@@ -1,0 +1,35 @@
+//! The experiment runner: regenerates every table/series (E1–E8) from the
+//! paper's figures and claims.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dfv-bench --bin experiments           # all
+//! cargo run --release -p dfv-bench --bin experiments -- e1 e3  # a subset
+//! ```
+
+use dfv_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment {id:?} (valid: {:?})", experiments::ALL);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

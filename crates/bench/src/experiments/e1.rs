@@ -1,0 +1,112 @@
+//! E1 — Figure 1: non-associativity of finite-precision addition.
+//!
+//! Reproduces the paper's Figure 1 with the sequential equivalence checker:
+//! the `int`-style C model masks the 8-bit overflow and SEC produces the
+//! concrete witness; the bit-accurate model is proven equivalent; the
+//! widened-temporary fix makes the `int`-style model pass too. A width
+//! sweep shows the (modest) growth in solve effort.
+
+use std::time::Instant;
+
+use dfv_designs::alu;
+use dfv_sec::{check_equivalence, EquivOutcome};
+use dfv_slmir::{elaborate, parse};
+
+use crate::render_table;
+
+/// Runs E1 and renders its report.
+pub fn e1_fig1_nonassociativity() -> String {
+    let mut out = String::from("E1 — Fig 1: non-associativity / int-masking (SEC verdicts)\n\n");
+
+    // Part A: the three SLM variants against the 8-bit-temp RTL.
+    let mut rows = Vec::new();
+    for (name, src, temp_w) in [
+        ("bit-accurate vs temp8", alu::slm_bit_accurate(), 8u32),
+        ("int-style    vs temp8", alu::slm_int_style(), 8),
+        ("reassociated vs temp8", alu::slm_reassociated(), 8),
+        ("int-style    vs temp9 (fix)", alu::slm_int_style(), 9),
+    ] {
+        let slm = elaborate(&parse(src).expect("parses"), "alu").expect("conditioned");
+        let rtl = alu::rtl(8, temp_w);
+        let t0 = Instant::now();
+        let report = check_equivalence(&slm, &rtl, &alu::equiv_spec()).expect("valid spec");
+        let dt = t0.elapsed();
+        let (verdict, witness) = match &report.outcome {
+            EquivOutcome::Equivalent => ("EQUIVALENT".to_string(), "-".to_string()),
+            EquivOutcome::NotEquivalent(cex) => {
+                let vals: Vec<String> = cex
+                    .slm_inputs
+                    .iter()
+                    .map(|(n, v)| format!("{n}={}", v.to_i64()))
+                    .collect();
+                ("COUNTEREXAMPLE".to_string(), vals.join(" "))
+            }
+        };
+        rows.push(vec![
+            name.to_string(),
+            verdict,
+            witness,
+            report.cnf_vars.to_string(),
+            format!("{dt:.1?}"),
+        ]);
+    }
+    out.push_str(&render_table(
+        &["pair", "verdict", "witness", "cnf vars", "time"],
+        &rows,
+    ));
+
+    // Part B: width sweep of the diverging pair (solve effort growth).
+    out.push_str("\nwidth sweep (int-style SLM vs narrow RTL — always a counterexample):\n");
+    let mut rows = Vec::new();
+    // Up to 24 bits: beyond that the operands stop being narrower than
+    // `int`, so C's promotion no longer masks anything (there is no bug to
+    // find at 32).
+    for width in [4u32, 8, 12, 16, 20, 24] {
+        // Regenerate the SLM at this width.
+        let src = format!(
+            "int<{ret}> alu(int<{w}> a, int<{w}> b, int<{w}> c) {{
+                int<{ww}> t = (int<{ww}>) a + (int<{ww}>) b;
+                return (int<{ret}>)(t + (int<{ww}>) c);
+            }}",
+            w = width,
+            ww = width.max(32) + 2, // comfortably wide "int-like" temp
+            ret = width + 1
+        );
+        let slm = elaborate(&parse(&src).expect("parses"), "alu").expect("conditioned");
+        let rtl = alu::rtl(width, width);
+        let t0 = Instant::now();
+        let report = check_equivalence(&slm, &rtl, &alu::equiv_spec()).expect("valid spec");
+        let dt = t0.elapsed();
+        let found = matches!(report.outcome, EquivOutcome::NotEquivalent(_));
+        rows.push(vec![
+            width.to_string(),
+            if found { "cex found" } else { "EQUIV?!" }.to_string(),
+            report.cnf_vars.to_string(),
+            report.cnf_clauses.to_string(),
+            report.solver_stats.conflicts.to_string(),
+            format!("{dt:.1?}"),
+        ]);
+    }
+    out.push_str(&render_table(
+        &["width", "verdict", "vars", "clauses", "conflicts", "time"],
+        &rows,
+    ));
+    out.push_str(
+        "\nshape: the int-style model always diverges from the narrow datapath \
+         (the paper's Fig 1),\nthe bit-accurate model is proven equivalent, and \
+         widening the RTL temporary fixes the\nint-style pair — with SEC effort \
+         growing only modestly in width.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_produces_expected_shape() {
+        let report = super::e1_fig1_nonassociativity();
+        assert!(report.contains("COUNTEREXAMPLE"));
+        assert!(report.contains("EQUIVALENT"));
+        assert!(!report.contains("EQUIV?!"));
+    }
+}

@@ -1,0 +1,130 @@
+//! E5 — §3.1.2: floating-point divergence between IEEE SLMs and
+//! reduced-feature hardware, and the input-constraint fix.
+//!
+//! Random `a * b + c` triples are drawn from three distributions
+//! (bit-uniform, magnitude-spread, and benign-constrained); the table
+//! reports how often the native-IEEE SLM and the flush-to-zero/no-specials
+//! hardware model disagree, broken down by corner-case cause.
+
+use dfv_designs::fpmac;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::render_table;
+
+struct Tally {
+    total: u64,
+    diverged: u64,
+    denormal: u64,
+    overflow: u64,
+    nan: u64,
+}
+
+fn classify(a: f32, b: f32, c: f32, t: &mut Tally) {
+    t.total += 1;
+    if !fpmac::diverges(a, b, c) {
+        return;
+    }
+    t.diverged += 1;
+    let slm = fpmac::slm_mac(a, b, c);
+    if slm.is_nan() {
+        t.nan += 1;
+    } else if slm.is_infinite() {
+        t.overflow += 1;
+    } else {
+        // Everything else traces back to denormal inputs or underflow.
+        t.denormal += 1;
+    }
+}
+
+/// Runs E5 and renders its report.
+pub fn e5_float_corner_cases() -> String {
+    const N: u64 = 50_000;
+    let mut out = String::from(
+        "E5 — float corner cases: IEEE SLM vs reduced hardware on a*b + c\n\n",
+    );
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let mut rows = Vec::new();
+
+    // Distribution 1: uniform random bit patterns (heavy on corner cases).
+    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    for _ in 0..N {
+        let (a, b, c) = (
+            f32::from_bits(rng.gen()),
+            f32::from_bits(rng.gen()),
+            f32::from_bits(rng.gen()),
+        );
+        classify(a, b, c, &mut t);
+    }
+    push_row(&mut rows, "uniform bit patterns", &t);
+
+    // Distribution 2: magnitudes spread over the whole exponent range.
+    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    for _ in 0..N {
+        let mut draw = || {
+            let exp = rng.gen_range(-45i32..39);
+            let mant = 1.0 + rng.gen::<f32>();
+            let sign = if rng.gen() { -1.0 } else { 1.0 };
+            sign * mant * 2f32.powi(exp)
+        };
+        classify(draw(), draw(), draw(), &mut t);
+    }
+    push_row(&mut rows, "magnitude-spread finite", &t);
+
+    // Distribution 3: constrained to benign inputs (the paper's fix).
+    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    let mut accepted = 0u64;
+    while accepted < N {
+        let mut draw = || {
+            let exp = rng.gen_range(-28i32..28);
+            let mant = 1.0 + rng.gen::<f32>();
+            let sign = if rng.gen() { -1.0 } else { 1.0 };
+            sign * mant * 2f32.powi(exp)
+        };
+        let (a, b, c) = (draw(), draw(), draw());
+        if !(fpmac::benign(a) && fpmac::benign(b) && fpmac::benign(c)) {
+            continue;
+        }
+        accepted += 1;
+        classify(a, b, c, &mut t);
+    }
+    push_row(&mut rows, "benign-constrained", &t);
+
+    out.push_str(&render_table(
+        &["input distribution", "samples", "diverged", "rate", "denorm/underflow", "overflow/inf", "nan"],
+        &rows,
+    ));
+    out.push_str(
+        "\nshape: unconstrained inputs diverge at a substantial rate, dominated \
+         by the exact\ncorner cases the paper lists (denormals, infinity, NaN); \
+         under the benign-input\nconstraint the divergence rate is exactly zero — \
+         \"constrain the input space ... such\nthat the differences do not show \
+         up\" (§3.1.2).\n",
+    );
+    out
+}
+
+fn push_row(rows: &mut Vec<Vec<String>>, name: &str, t: &Tally) {
+    rows.push(vec![
+        name.to_string(),
+        t.total.to_string(),
+        t.diverged.to_string(),
+        format!("{:.2}%", 100.0 * t.diverged as f64 / t.total as f64),
+        t.denormal.to_string(),
+        t.overflow.to_string(),
+        t.nan.to_string(),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_constrained_row_is_clean() {
+        let report = super::e5_float_corner_cases();
+        let benign_line = report
+            .lines()
+            .find(|l| l.contains("benign-constrained"))
+            .expect("row present");
+        assert!(benign_line.contains("0.00%"), "{benign_line}");
+    }
+}

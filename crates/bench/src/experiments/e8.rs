@@ -1,0 +1,190 @@
+//! E8 — §4.2: design partitioning. The same system is verified two ways:
+//! block-by-block (the paper's recommended one-to-one SLM/RTL partitioning)
+//! and as one flat lump. The table compares CNF size and solve time.
+
+use std::time::{Duration, Instant};
+
+use dfv_bits::Bv;
+use dfv_designs::{alu, fir};
+use dfv_rtl::{flatten, Design, Module, ModuleBuilder};
+use dfv_sec::{check_equivalence, Binding, EquivSpec};
+use dfv_slmir::{elaborate, parse};
+
+use crate::render_table;
+
+/// The combined SLM: ALU and FIR side by side in one function — the
+/// monolithic model the paper advises against.
+fn combined_slm_source() -> String {
+    format!(
+        r#"
+        void system(int8 a, int8 b, int8 c, int8 xs[8],
+                    out int<9> alu_out, out int<18> ys[8]) {{
+            // --- alu block (bit-accurate Fig-1 datapath) ---
+            int8 t = (int8)(a + b);
+            alu_out = (int<9>)((int)t + c);
+            // --- fir block ---
+            int coeffs[4];
+            coeffs[0] = {c0}; coeffs[1] = {c1}; coeffs[2] = {c2}; coeffs[3] = {c3};
+            for (int n = 0; n < 8; n++) {{
+                int acc = 0;
+                for (int k = 0; k < 4; k++) {{
+                    if (k > n) break;
+                    acc += coeffs[k] * xs[n - k];
+                }}
+                ys[n] = (int<18>) acc;
+            }}
+        }}
+        "#,
+        c0 = fir::COEFFS[0],
+        c1 = fir::COEFFS[1],
+        c2 = fir::COEFFS[2],
+        c3 = fir::COEFFS[3],
+    )
+}
+
+/// The combined RTL: both blocks instantiated in one top and flattened.
+fn combined_rtl() -> Module {
+    let alu_m = alu::rtl(8, 8);
+    let fir_m = fir::rtl();
+    let mut b = ModuleBuilder::new("system_top");
+    let a = b.input("a", 8);
+    let bi = b.input("b", 8);
+    let c = b.input("c", 8);
+    let in_valid = b.input("in_valid", 1);
+    let x = b.input("x", 8);
+    let stall = b.input("stall", 1);
+    let alu_outs = b.instantiate("u_alu", &alu_m, &[a, bi, c]);
+    let fir_outs = b.instantiate("u_fir", &fir_m, &[in_valid, x, stall]);
+    b.output("alu_out", alu_outs[0]);
+    b.output("y", fir_outs[0]);
+    b.output("out_valid", fir_outs[1]);
+    let top = b.finish().expect("top builds");
+    let mut d = Design::new();
+    d.add_module(alu_m);
+    d.add_module(fir_m);
+    d.add_module(top);
+    flatten(&d, "system_top").expect("flattens")
+}
+
+/// The combined spec: union of both blocks' transactions over 9 cycles.
+fn combined_spec() -> EquivSpec {
+    let mut spec = EquivSpec::new(fir::BLOCK as u32 + 1)
+        .bind("a", 0, Binding::Slm("a".into()))
+        .bind("b", 0, Binding::Slm("b".into()))
+        .bind("c", 0, Binding::Slm("c".into()))
+        .compare("alu_out", "alu_out", 1);
+    for n in 0..fir::BLOCK as u32 {
+        spec = spec
+            .bind("in_valid", n, Binding::Const(Bv::from_bool(true)))
+            .bind("stall", n, Binding::Const(Bv::from_bool(false)))
+            .bind(
+                "x",
+                n,
+                Binding::SlmSlice {
+                    name: "xs".into(),
+                    hi: n * 8 + 7,
+                    lo: n * 8,
+                },
+            )
+            .compare_slice(
+                "ys",
+                (n + 1) * fir::OUT_WIDTH - 1,
+                n * fir::OUT_WIDTH,
+                "y",
+                n + 1,
+            );
+    }
+    spec.bind(
+        "in_valid",
+        fir::BLOCK as u32,
+        Binding::Const(Bv::from_bool(false)),
+    )
+}
+
+/// Runs E8 and renders its report.
+pub fn e8_partitioned_sec() -> String {
+    let mut out = String::from("E8 — partitioned vs flat equivalence checking (§4.2)\n\n");
+    let mut rows = Vec::new();
+
+    // Block-level checks.
+    let mut partitioned_time = Duration::ZERO;
+    let mut partitioned_vars = 0usize;
+    for (name, src, entry, rtl, spec) in [
+        (
+            "alu (block)",
+            alu::slm_bit_accurate().to_string(),
+            "alu",
+            alu::rtl(8, 8),
+            alu::equiv_spec(),
+        ),
+        (
+            "fir (block)",
+            fir::slm_source().to_string(),
+            "fir",
+            fir::rtl(),
+            fir::equiv_spec(),
+        ),
+    ] {
+        let slm = elaborate(&parse(&src).expect("parses"), entry).expect("conditioned");
+        let t0 = Instant::now();
+        let report = check_equivalence(&slm, &rtl, &spec).expect("valid");
+        let dt = t0.elapsed();
+        assert!(report.outcome.is_equivalent(), "{name} must pass");
+        partitioned_time += dt;
+        partitioned_vars += report.cnf_vars;
+        rows.push(vec![
+            name.to_string(),
+            report.cnf_vars.to_string(),
+            report.cnf_clauses.to_string(),
+            report.solver_stats.conflicts.to_string(),
+            format!("{dt:.1?}"),
+        ]);
+    }
+    rows.push(vec![
+        "partitioned total".into(),
+        partitioned_vars.to_string(),
+        "-".into(),
+        "-".into(),
+        format!("{partitioned_time:.1?}"),
+    ]);
+
+    // Flat check.
+    let slm = elaborate(&parse(&combined_slm_source()).expect("parses"), "system")
+        .expect("conditioned");
+    let rtl = combined_rtl();
+    let t0 = Instant::now();
+    let report = check_equivalence(&slm, &rtl, &combined_spec()).expect("valid");
+    let flat_time = t0.elapsed();
+    assert!(report.outcome.is_equivalent(), "flat system must pass");
+    rows.push(vec![
+        "flat system".into(),
+        report.cnf_vars.to_string(),
+        report.cnf_clauses.to_string(),
+        report.solver_stats.conflicts.to_string(),
+        format!("{flat_time:.1?}"),
+    ]);
+    out.push_str(&render_table(
+        &["check", "cnf vars", "clauses", "conflicts", "time"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nshape: consistent partitioning keeps each check small and — crucially — \
+         lets the\ncampaign re-verify only edited blocks (E6); the flat check \
+         re-pays the whole cost on\nevery edit and reports divergences without a \
+         block to pin them on. (flat {flat:.1?} vs\npartitioned-after-one-edit \
+         {one:.1?} per touched block.)\n",
+        flat = flat_time,
+        one = partitioned_time / 2,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_both_strategies_pass() {
+        let report = super::e8_partitioned_sec();
+        assert!(report.contains("flat system"));
+        assert!(report.contains("partitioned total"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiments E1–E8: one per figure/claim of the paper. See DESIGN.md's
+//! per-experiment index for the mapping.
+
+mod e1;
+mod e2;
+mod e3;
+mod e4;
+mod e5;
+mod e6;
+mod e7;
+mod e8;
+
+pub use e1::e1_fig1_nonassociativity;
+pub use e2::e2_simulation_speed;
+pub use e3::e3_sec_vs_simulation;
+pub use e4::e4_timing_alignment;
+pub use e5::e5_float_corner_cases;
+pub use e6::e6_incremental_sec;
+pub use e7::e7_model_conditioning;
+pub use e8::e8_partitioned_sec;
+
+/// Runs one experiment by id (`"e1"`..`"e8"`); returns its report text.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "e1" => e1_fig1_nonassociativity(),
+        "e2" => e2_simulation_speed(),
+        "e3" => e3_sec_vs_simulation(),
+        "e4" => e4_timing_alignment(),
+        "e5" => e5_float_corner_cases(),
+        "e6" => e6_incremental_sec(),
+        "e7" => e7_model_conditioning(),
+        "e8" => e8_partitioned_sec(),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];

@@ -1,0 +1,386 @@
+//! Modular (hardware) arithmetic and comparisons on [`Bv`].
+
+use std::cmp::Ordering;
+
+use crate::Bv;
+
+impl Bv {
+    fn assert_same_width(&self, other: &Bv, op: &str) {
+        assert_eq!(
+            self.width, other.width,
+            "{op} requires equal widths ({} vs {})",
+            self.width, other.width
+        );
+    }
+
+    /// Addition modulo `2^width` — the semantics of a Verilog assignment of
+    /// `a + b` to a target of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ; widen explicitly with [`Bv::zext`] /
+    /// [`Bv::sext`] first, as you would in RTL.
+    pub fn wrapping_add(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "wrapping_add");
+        let mut out = Bv::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len() {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Addition producing a `width + 1` result so the carry is never lost —
+    /// the "widened accumulator" fix for the paper's Figure 1.
+    pub fn carrying_add(&self, other: &Bv) -> Bv {
+        self.zext(self.width + 1)
+            .wrapping_add(&other.zext(other.width + 1))
+    }
+
+    /// Subtraction modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_sub(&self, other: &Bv) -> Bv {
+        self.wrapping_add(&other.wrapping_neg())
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn wrapping_neg(&self) -> Bv {
+        let not = self.not();
+        not.wrapping_add(&Bv::from_u64(self.width, 1))
+    }
+
+    /// Multiplication modulo `2^width` (the low half of the full product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_mul(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "wrapping_mul");
+        self.widening_umul(other).trunc(self.width)
+    }
+
+    /// Full unsigned multiplication: the result has width
+    /// `self.width() + other.width()`.
+    pub fn widening_umul(&self, other: &Bv) -> Bv {
+        let mut out = Bv::zero(self.width + other.width);
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let k = i + j;
+                if k >= out.limbs.len() {
+                    break;
+                }
+                let t = (a as u128) * (b as u128) + (out.limbs[k] as u128) + carry;
+                out.limbs[k] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 && k < out.limbs.len() {
+                let t = (out.limbs[k] as u128) + carry;
+                out.limbs[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Full signed multiplication: the result has width
+    /// `self.width() + other.width()` and is the two's-complement product.
+    pub fn widening_smul(&self, other: &Bv) -> Bv {
+        let w = self.width + other.width;
+        self.sext(w).wrapping_mul(&other.sext(w))
+    }
+
+    /// Unsigned division. Division by zero yields all-ones (the common
+    /// 2-state hardware convention for Verilog's `x` result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn udiv(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "udiv");
+        self.udivrem(other).0
+    }
+
+    /// Unsigned remainder. Remainder by zero yields the dividend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn urem(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "urem");
+        self.udivrem(other).1
+    }
+
+    /// Unsigned quotient and remainder together ([`Bv::udiv`] /
+    /// [`Bv::urem`] each discard half of this work).
+    pub fn udivrem(&self, other: &Bv) -> (Bv, Bv) {
+        self.assert_same_width(other, "udivrem");
+        if other.is_zero() {
+            return (Bv::ones(self.width), self.clone());
+        }
+        // Fast path for values that fit in u128.
+        if self.width <= 128 {
+            let a = self.to_u128();
+            let b = other.to_u128();
+            return (
+                Bv::from_u128(self.width, a / b),
+                Bv::from_u128(self.width, a % b),
+            );
+        }
+        // Bit-serial restoring division, MSB first.
+        let mut quo = Bv::zero(self.width);
+        let mut rem = Bv::zero(self.width);
+        for i in (0..self.width).rev() {
+            rem = rem.shl(1).with_bit(0, self.bit(i));
+            if rem.ucmp(other) != Ordering::Less {
+                rem = rem.wrapping_sub(other);
+                quo = quo.with_bit(i, true);
+            }
+        }
+        (quo, rem)
+    }
+
+    /// Signed division, truncating toward zero (Verilog `/` on signed
+    /// operands). Division by zero yields all-ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn sdiv(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "sdiv");
+        if other.is_zero() {
+            return Bv::ones(self.width);
+        }
+        let (a, an) = self.abs_mag();
+        let (b, bn) = other.abs_mag();
+        let q = a.udiv(&b);
+        if an ^ bn {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder; the result takes the sign of the dividend
+    /// (Verilog `%`). Remainder by zero yields the dividend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn srem(&self, other: &Bv) -> Bv {
+        self.assert_same_width(other, "srem");
+        if other.is_zero() {
+            return self.clone();
+        }
+        let (a, an) = self.abs_mag();
+        let (b, _) = other.abs_mag();
+        let r = a.urem(&b);
+        if an {
+            r.wrapping_neg()
+        } else {
+            r
+        }
+    }
+
+    /// Magnitude under signed interpretation and whether the value was
+    /// negative. `abs(MIN)` wraps back to `MIN`, matching hardware.
+    fn abs_mag(&self) -> (Bv, bool) {
+        if self.msb() {
+            (self.wrapping_neg(), true)
+        } else {
+            (self.clone(), false)
+        }
+    }
+
+    /// Unsigned comparison.
+    ///
+    /// `Bv` deliberately does not implement `Ord`: an ordering requires
+    /// choosing a sign interpretation, which is per-operation in hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn ucmp(&self, other: &Bv) -> Ordering {
+        self.assert_same_width(other, "ucmp");
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed (two's-complement) comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn scmp(&self, other: &Bv) -> Ordering {
+        self.assert_same_width(other, "scmp");
+        match (self.msb(), other.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.ucmp(other),
+        }
+    }
+
+    /// `self < other`, unsigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn ult(&self, other: &Bv) -> bool {
+        self.ucmp(other) == Ordering::Less
+    }
+
+    /// `self < other`, signed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn slt(&self, other: &Bv) -> bool {
+        self.scmp(other) == Ordering::Less
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b8(v: i64) -> Bv {
+        Bv::from_i64(8, v)
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(b8(127).wrapping_add(&b8(1)).to_i64(), -128);
+        assert_eq!(b8(-1).wrapping_add(&b8(1)).to_u64(), 0);
+    }
+
+    #[test]
+    fn add_carry_across_limbs() {
+        let a = Bv::ones(128);
+        let one = Bv::from_u64(128, 1);
+        assert!(a.wrapping_add(&one).is_zero());
+        let wide = a.carrying_add(&one);
+        assert_eq!(wide.width(), 129);
+        assert!(wide.bit(128));
+        assert_eq!(wide.trunc(128), Bv::zero(128));
+    }
+
+    #[test]
+    fn fig1_non_associativity() {
+        // The paper's Figure 1: signed 8-bit a, b, c with an 8-bit tmp.
+        let (a, b, c) = (b8(127), b8(127), b8(-1));
+        let tmp1 = a.wrapping_add(&b); // overflows
+        let out1 = tmp1.sext(9).wrapping_add(&c.sext(9));
+        let tmp2 = b.wrapping_add(&c);
+        let out2 = tmp2.sext(9).wrapping_add(&a.sext(9));
+        assert_ne!(out1, out2);
+        assert_eq!(out2.to_i64(), 253);
+        assert_eq!(out1.to_i64(), -3);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(b8(5).wrapping_sub(&b8(7)).to_i64(), -2);
+        assert_eq!(b8(-128).wrapping_neg().to_i64(), -128); // MIN wraps
+        assert_eq!(b8(0).wrapping_neg().to_u64(), 0);
+    }
+
+    #[test]
+    fn mul_truncates() {
+        let a = Bv::from_u64(8, 0x10);
+        assert_eq!(a.wrapping_mul(&a).to_u64(), 0); // 0x100 truncated
+        assert_eq!(a.widening_umul(&a).to_u64(), 0x100);
+        assert_eq!(a.widening_umul(&a).width(), 16);
+    }
+
+    #[test]
+    fn widening_mul_wide_operands() {
+        let a = Bv::from_u128(128, u128::MAX);
+        let p = a.widening_umul(&a);
+        assert_eq!(p.width(), 256);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1 = (2^256 - 1) - 2^129 + 2
+        let expect = Bv::ones(256)
+            .wrapping_sub(&Bv::from_u64(256, 1).shl(129))
+            .wrapping_add(&Bv::from_u64(256, 2));
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn smul_signs() {
+        let a = b8(-3);
+        let b = b8(5);
+        assert_eq!(a.widening_smul(&b).to_i64(), -15);
+        assert_eq!(a.widening_smul(&a).to_i64(), 9);
+        assert_eq!(a.widening_smul(&b).width(), 16);
+    }
+
+    #[test]
+    fn div_rem_unsigned() {
+        let a = Bv::from_u64(8, 200);
+        let b = Bv::from_u64(8, 7);
+        assert_eq!(a.udiv(&b).to_u64(), 28);
+        assert_eq!(a.urem(&b).to_u64(), 4);
+    }
+
+    #[test]
+    fn div_by_zero_convention() {
+        let a = Bv::from_u64(8, 42);
+        let z = Bv::zero(8);
+        assert!(a.udiv(&z).is_ones());
+        assert_eq!(a.urem(&z), a);
+        assert!(b8(-5).sdiv(&z).is_ones());
+        assert_eq!(b8(-5).srem(&z), b8(-5));
+    }
+
+    #[test]
+    fn wide_division_matches_narrow() {
+        // Exercise the bit-serial path by using width > 128.
+        let a = Bv::from_u64(200, 1_000_000_007);
+        let b = Bv::from_u64(200, 97);
+        assert_eq!(a.udiv(&b).to_u64(), 1_000_000_007 / 97);
+        assert_eq!(a.urem(&b).to_u64(), 1_000_000_007 % 97);
+    }
+
+    #[test]
+    fn signed_div_truncates_toward_zero() {
+        assert_eq!(b8(-7).sdiv(&b8(2)).to_i64(), -3);
+        assert_eq!(b8(7).sdiv(&b8(-2)).to_i64(), -3);
+        assert_eq!(b8(-7).sdiv(&b8(-2)).to_i64(), 3);
+        assert_eq!(b8(-7).srem(&b8(2)).to_i64(), -1);
+        assert_eq!(b8(7).srem(&b8(-2)).to_i64(), 1);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Bv::from_u64(8, 200).ult(&Bv::from_u64(8, 201)));
+        assert!(b8(-1).slt(&b8(0)));
+        assert!(!b8(-1).ult(&b8(0))); // 0xFF unsigned is large
+        assert_eq!(b8(5).scmp(&b8(5)), Ordering::Equal);
+        let wide_a = Bv::from_u128(128, 1 << 100);
+        let wide_b = Bv::from_u128(128, (1 << 100) + 1);
+        assert!(wide_a.ult(&wide_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn width_mismatch_panics() {
+        let _ = Bv::zero(8).wrapping_add(&Bv::zero(9));
+    }
+}

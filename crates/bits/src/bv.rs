@@ -1,0 +1,525 @@
+//! The core [`Bv`] representation: constructors, accessors, structural ops.
+
+/// An arbitrary-width bit vector with hardware (Verilog-like) semantics.
+///
+/// A `Bv` is a vector of `width` bits stored little-endian in 64-bit limbs.
+/// Bits at positions `>= width` are always zero (a maintained invariant), so
+/// structural equality is value equality *including the width*: `8'h01` and
+/// `9'h001` are **not** equal.
+///
+/// Arithmetic is modular (wraps at `2^width`); signedness is an
+/// interpretation chosen per operation (`scmp`, `ashr`, `sext`, ...), exactly
+/// as in an HDL, rather than a property of the type.
+///
+/// # Example
+///
+/// ```
+/// use dfv_bits::Bv;
+///
+/// let x = Bv::from_u64(12, 0xABC);
+/// assert_eq!(x.slice(11, 8).to_u64(), 0xA);
+/// assert_eq!(x.concat(&Bv::from_u64(4, 0xD)).to_u64(), 0xABCD);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bv {
+    pub(crate) width: u32,
+    /// Little-endian limbs; `limbs.len() == ceil(width / 64)`, excess bits 0.
+    pub(crate) limbs: Vec<u64>,
+}
+
+pub(crate) fn limbs_for(width: u32) -> usize {
+    ((width as usize) + 63) / 64
+}
+
+impl Bv {
+    /// Creates the zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: u32) -> Self {
+        assert!(width > 0, "bit vector width must be at least 1");
+        Bv {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Creates the all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn ones(width: u32) -> Self {
+        let mut v = Bv {
+            width,
+            limbs: vec![u64::MAX; limbs_for(width)],
+        };
+        assert!(width > 0, "bit vector width must be at least 1");
+        v.mask_top();
+        v
+    }
+
+    /// Creates a one-bit vector from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        Bv {
+            width: 1,
+            limbs: vec![b as u64],
+        }
+    }
+
+    /// Creates a `width`-bit vector holding `value` truncated modulo
+    /// `2^width` (zero-extended if `width > 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        let mut v = Bv::zero(width);
+        v.limbs[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a `width`-bit vector holding `value` truncated modulo
+    /// `2^width` (zero-extended above 128 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_u128(width: u32, value: u128) -> Self {
+        let mut v = Bv::zero(width);
+        v.limbs[0] = value as u64;
+        if v.limbs.len() > 1 {
+            v.limbs[1] = (value >> 64) as u64;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Creates a `width`-bit vector holding the two's-complement encoding of
+    /// `value`, sign-extended (for `width > 64`) or truncated (for
+    /// `width < 64`) as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn from_i64(width: u32, value: i64) -> Self {
+        let fill = if value < 0 { u64::MAX } else { 0 };
+        let mut v = Bv {
+            width,
+            limbs: vec![fill; limbs_for(width)],
+        };
+        assert!(width > 0, "bit vector width must be at least 1");
+        v.limbs[0] = value as u64;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector from bits given LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits_lsb(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "bit vector width must be at least 1");
+        let mut v = Bv::zero(bits.len() as u32);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.limbs[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        v
+    }
+
+    /// Re-establishes the invariant that bits above `width` are zero.
+    pub(crate) fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// The width of this vector in bits. Always at least 1.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn with_bit(&self, i: u32, value: bool) -> Bv {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let mut v = self.clone();
+        let mask = 1u64 << (i % 64);
+        if value {
+            v.limbs[(i / 64) as usize] |= mask;
+        } else {
+            v.limbs[(i / 64) as usize] &= !mask;
+        }
+        v
+    }
+
+    /// The most significant bit — the sign bit under a signed interpretation.
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Whether every bit is one.
+    pub fn is_ones(&self) -> bool {
+        *self == Bv::ones(self.width)
+    }
+
+    /// The number of one bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// The value as a `u64`, if it fits (i.e. all bits above 63 are zero).
+    pub fn try_to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().all(|&l| l == 0) {
+            Some(self.limbs[0])
+        } else {
+            None
+        }
+    }
+
+    /// The value as a `u64`, truncating any bits above 63.
+    ///
+    /// This is the common accessor for vectors known to be at most 64 bits
+    /// wide; use [`Bv::try_to_u64`] when truncation would be a bug.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// The value as a `u128`, truncating any bits above 127.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.limbs[0] as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        (hi << 64) | lo
+    }
+
+    /// The value under a signed (two's-complement) interpretation, as `i64`.
+    ///
+    /// Bits above 63 are ignored except through the sign: the value is first
+    /// sign-extended from `width` (for narrow vectors) and then truncated to
+    /// 64 bits (for wide ones).
+    pub fn to_i64(&self) -> i64 {
+        if self.width >= 64 {
+            self.limbs[0] as i64
+        } else {
+            let raw = self.limbs[0];
+            let shift = 64 - self.width;
+            ((raw << shift) as i64) >> shift
+        }
+    }
+
+    /// Zero-extends (or returns a copy, if `new_width == width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`; use [`Bv::trunc`] to narrow.
+    pub fn zext(&self, new_width: u32) -> Bv {
+        assert!(
+            new_width >= self.width,
+            "zext target width {new_width} narrower than {}",
+            self.width
+        );
+        let mut v = Bv::zero(new_width);
+        v.limbs[..self.limbs.len()].copy_from_slice(&self.limbs);
+        v
+    }
+
+    /// Sign-extends (or returns a copy, if `new_width == width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`; use [`Bv::trunc`] to narrow.
+    pub fn sext(&self, new_width: u32) -> Bv {
+        assert!(
+            new_width >= self.width,
+            "sext target width {new_width} narrower than {}",
+            self.width
+        );
+        if !self.msb() {
+            return self.zext(new_width);
+        }
+        let mut v = Bv::ones(new_width);
+        // Copy the low limbs, then re-set the fill bits above `self.width`.
+        for (i, &l) in self.limbs.iter().enumerate() {
+            v.limbs[i] = l;
+        }
+        let start = self.width;
+        for i in start..new_width.min(((self.limbs.len() as u32) * 64).min(new_width)) {
+            v.limbs[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+        // Limbs beyond the original are already all-ones from `ones`.
+        v.mask_top();
+        v
+    }
+
+    /// Truncates to the low `new_width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero or greater than `self.width()`.
+    pub fn trunc(&self, new_width: u32) -> Bv {
+        assert!(
+            new_width <= self.width,
+            "trunc target width {new_width} wider than {}",
+            self.width
+        );
+        self.slice(new_width - 1, 0)
+    }
+
+    /// Resizes, zero-extending or truncating as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero.
+    pub fn resize_zext(&self, new_width: u32) -> Bv {
+        if new_width >= self.width {
+            self.zext(new_width)
+        } else {
+            self.trunc(new_width)
+        }
+    }
+
+    /// Resizes, sign-extending or truncating as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero.
+    pub fn resize_sext(&self, new_width: u32) -> Bv {
+        if new_width >= self.width {
+            self.sext(new_width)
+        } else {
+            self.trunc(new_width)
+        }
+    }
+
+    /// The inclusive part-select `self[hi:lo]`, a vector of width
+    /// `hi - lo + 1` (Verilog `x[hi:lo]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Bv {
+        assert!(hi >= lo, "slice hi {hi} below lo {lo}");
+        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        let out_width = hi - lo + 1;
+        let mut v = Bv::zero(out_width);
+        let limb_off = (lo / 64) as usize;
+        let bit_off = lo % 64;
+        for i in 0..v.limbs.len() {
+            let lo_part = self.limbs.get(limb_off + i).copied().unwrap_or(0) >> bit_off;
+            let hi_part = if bit_off == 0 {
+                0
+            } else {
+                self.limbs.get(limb_off + i + 1).copied().unwrap_or(0) << (64 - bit_off)
+            };
+            v.limbs[i] = lo_part | hi_part;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Concatenation with `self` as the **most** significant part —
+    /// Verilog `{self, low}`.
+    pub fn concat(&self, low: &Bv) -> Bv {
+        let mut v = low.zext(self.width + low.width);
+        for i in 0..self.width {
+            if self.bit(i) {
+                let pos = low.width + i;
+                v.limbs[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            }
+        }
+        v
+    }
+
+    /// Replication — Verilog `{n{self}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn repeat(&self, n: u32) -> Bv {
+        assert!(n > 0, "replication count must be at least 1");
+        let mut out = self.clone();
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// Iterates over the bits LSB-first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.width).map(move |i| self.bit(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = Bv::zero(130);
+        assert_eq!(z.width(), 130);
+        assert!(z.is_zero());
+        let o = Bv::ones(130);
+        assert!(o.is_ones());
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.bit(129));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_rejected() {
+        let _ = Bv::zero(0);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let v = Bv::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn from_i64_sign_extends_wide() {
+        let v = Bv::from_i64(100, -1);
+        assert!(v.is_ones());
+        assert_eq!(v.to_i64(), -1);
+        let w = Bv::from_i64(100, -5);
+        assert_eq!(w.to_i64(), -5);
+    }
+
+    #[test]
+    fn from_i64_truncates_narrow() {
+        let v = Bv::from_i64(4, -1);
+        assert_eq!(v.to_u64(), 0xF);
+        assert_eq!(v.to_i64(), -1);
+    }
+
+    #[test]
+    fn width_is_part_of_identity() {
+        assert_ne!(Bv::from_u64(8, 1), Bv::from_u64(9, 1));
+        assert_eq!(Bv::from_u64(8, 1), Bv::from_u64(8, 1));
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let v = Bv::from_u64(8, 0b1010_0001);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(7));
+        assert!(v.msb());
+        let w = v.with_bit(1, true).with_bit(0, false);
+        assert_eq!(w.to_u64(), 0b1010_0010);
+    }
+
+    #[test]
+    fn to_i64_narrow_and_wide() {
+        assert_eq!(Bv::from_u64(8, 0x80).to_i64(), -128);
+        assert_eq!(Bv::from_u64(8, 0x7F).to_i64(), 127);
+        assert_eq!(Bv::from_i64(128, -42).to_i64(), -42);
+    }
+
+    #[test]
+    fn try_to_u64_detects_overflow() {
+        let big = Bv::ones(65);
+        assert_eq!(big.try_to_u64(), None);
+        assert_eq!(big.trunc(64).try_to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn zext_sext() {
+        let v = Bv::from_u64(4, 0b1010);
+        assert_eq!(v.zext(8).to_u64(), 0b0000_1010);
+        assert_eq!(v.sext(8).to_u64(), 0b1111_1010);
+        assert_eq!(v.sext(8).to_i64(), -6);
+        let pos = Bv::from_u64(4, 0b0101);
+        assert_eq!(pos.sext(8).to_u64(), 0b0101);
+    }
+
+    #[test]
+    fn sext_across_limbs() {
+        let v = Bv::from_i64(8, -3);
+        let w = v.sext(200);
+        assert_eq!(w.to_i64(), -3);
+        assert_eq!(w.count_ones(), 200 - 2 + 1); // all ones except bits 0 and 1 pattern of -3 = ...11101
+        assert!(w.bit(199));
+    }
+
+    #[test]
+    fn slice_basic() {
+        let v = Bv::from_u64(16, 0xABCD);
+        assert_eq!(v.slice(15, 12).to_u64(), 0xA);
+        assert_eq!(v.slice(11, 8).to_u64(), 0xB);
+        assert_eq!(v.slice(7, 0).to_u64(), 0xCD);
+        assert_eq!(v.slice(15, 0), v);
+        assert_eq!(v.slice(3, 3).width(), 1);
+    }
+
+    #[test]
+    fn slice_across_limbs() {
+        let v = Bv::from_u128(128, 0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        assert_eq!(v.slice(95, 32).to_u64(), 0x89AB_CDEF_0011_2233);
+        assert_eq!(v.slice(127, 64).to_u64(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range() {
+        let _ = Bv::zero(8).slice(8, 0);
+    }
+
+    #[test]
+    fn concat_order_matches_verilog() {
+        let a = Bv::from_u64(4, 0xA);
+        let b = Bv::from_u64(8, 0xBC);
+        let v = a.concat(&b); // {a, b}
+        assert_eq!(v.width(), 12);
+        assert_eq!(v.to_u64(), 0xABC);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let v = Bv::from_u128(96, 0x1234_5678_9ABC_DEF0_1357_9BDF);
+        let hi = v.slice(95, 40);
+        let lo = v.slice(39, 0);
+        assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn repeat_builds_patterns() {
+        let v = Bv::from_u64(2, 0b10);
+        assert_eq!(v.repeat(4).to_u64(), 0b1010_1010);
+        assert_eq!(v.repeat(1), v);
+    }
+
+    #[test]
+    fn iter_bits_lsb_first() {
+        let v = Bv::from_u64(4, 0b0011);
+        let bits: Vec<bool> = v.iter_bits().collect();
+        assert_eq!(bits, vec![true, true, false, false]);
+        assert_eq!(Bv::from_bits_lsb(&bits), v);
+    }
+}

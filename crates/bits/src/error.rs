@@ -1,0 +1,29 @@
+//! Error types for this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::Bv`] from a string fails.
+///
+/// Produced by `Bv::from_str` (sized-literal syntax such as `8'hFF`) and
+/// [`crate::Bv::from_str_radix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBvError {
+    pub(crate) message: String,
+}
+
+impl ParseBvError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseBvError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit-vector literal: {}", self.message)
+    }
+}
+
+impl Error for ParseBvError {}

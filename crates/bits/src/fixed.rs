@@ -1,0 +1,321 @@
+//! Fixed-point values for signal-processing SLMs.
+//!
+//! The paper (§1) describes architectural models for signal/image processing
+//! that are used "to decide on the optimal word widths to support the desired
+//! bit error rates". [`Fx`] supports exactly that exploration: a
+//! two's-complement [`Bv`] with a binary point, plus explicit
+//! [`RoundingMode`] and [`OverflowMode`] choices — the knobs an RTL designer
+//! turns when shrinking a datapath.
+
+use std::fmt;
+
+use crate::Bv;
+
+/// How to round when discarding fraction bits in [`Fx::quantize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Drop the discarded bits (round toward negative infinity). The
+    /// cheapest hardware; the default.
+    #[default]
+    Truncate,
+    /// Add half an LSB before truncating (round half up).
+    HalfUp,
+    /// Round to nearest, ties to even LSB (IEEE-style "convergent").
+    HalfEven,
+}
+
+/// How to handle values that exceed the target integer range in
+/// [`Fx::quantize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowMode {
+    /// Two's-complement wrap-around — what a plain assignment does in RTL.
+    #[default]
+    Wrap,
+    /// Clamp to the most positive / most negative representable value.
+    Saturate,
+}
+
+/// A signed fixed-point number: a two's-complement bit pattern of
+/// `width` bits with `frac` bits to the right of the binary point.
+///
+/// The represented value is `raw.to_i64_equivalent() * 2^-frac` (conceptually;
+/// wide values are supported through [`Bv`]).
+///
+/// # Example
+///
+/// ```
+/// use dfv_bits::{Fx, RoundingMode, OverflowMode};
+///
+/// let x = Fx::from_f64(12, 6, 1.5);
+/// let y = Fx::from_f64(12, 6, 2.25);
+/// let p = x.mul(&y); // 24 bits, 12 fraction bits — full precision
+/// assert_eq!(p.to_f64(), 3.375);
+/// // Quantize back to the narrow format, as the RTL datapath would:
+/// let q = p.quantize(12, 6, RoundingMode::Truncate, OverflowMode::Saturate);
+/// assert_eq!(q.to_f64(), 3.375);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fx {
+    raw: Bv,
+    frac: u32,
+}
+
+impl Fx {
+    /// Creates a fixed-point value from a raw two's-complement pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac > raw.width()`.
+    pub fn from_raw(raw: Bv, frac: u32) -> Self {
+        assert!(
+            frac <= raw.width(),
+            "fraction bits {frac} exceed width {}",
+            raw.width()
+        );
+        Fx { raw, frac }
+    }
+
+    /// The zero value in the given format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `frac > width`.
+    pub fn zero(width: u32, frac: u32) -> Self {
+        Fx::from_raw(Bv::zero(width), frac)
+    }
+
+    /// Converts from `f64`, rounding half up, wrapping on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, `frac > width`, or `value` is not finite.
+    pub fn from_f64(width: u32, frac: u32, value: f64) -> Self {
+        assert!(value.is_finite(), "fixed-point conversion of non-finite value");
+        let scaled = (value * (2f64.powi(frac as i32))).round();
+        Fx::from_raw(Bv::from_i64(width, scaled as i64), frac)
+    }
+
+    /// The value as `f64` (exact for widths up to 53 significant bits).
+    pub fn to_f64(&self) -> f64 {
+        (self.raw.to_i64() as f64) * 2f64.powi(-(self.frac as i32))
+    }
+
+    /// The raw two's-complement pattern.
+    pub fn raw(&self) -> &Bv {
+        &self.raw
+    }
+
+    /// Total width in bits.
+    pub fn width(&self) -> u32 {
+        self.raw.width()
+    }
+
+    /// Fraction bits (binary-point position).
+    pub fn frac(&self) -> u32 {
+        self.frac
+    }
+
+    /// Aligns two operands to a common format wide enough to hold both
+    /// exactly, plus one extra integer bit for a carry.
+    fn align(&self, other: &Fx) -> (Bv, Bv, u32) {
+        let frac = self.frac.max(other.frac);
+        let int_bits = (self.width() - self.frac).max(other.width() - other.frac);
+        let width = int_bits + frac + 1;
+        let a = self.raw.sext(self.width() + (frac - self.frac)).shl(frac - self.frac);
+        let b = other
+            .raw
+            .sext(other.width() + (frac - other.frac))
+            .shl(frac - other.frac);
+        (a.sext(width), b.sext(width), frac)
+    }
+
+    /// Full-precision addition: the result is wide enough that no overflow
+    /// or rounding occurs.
+    pub fn add(&self, other: &Fx) -> Fx {
+        let (a, b, frac) = self.align(other);
+        Fx::from_raw(a.wrapping_add(&b), frac)
+    }
+
+    /// Full-precision subtraction.
+    pub fn sub(&self, other: &Fx) -> Fx {
+        let (a, b, frac) = self.align(other);
+        Fx::from_raw(a.wrapping_sub(&b), frac)
+    }
+
+    /// Full-precision multiplication: widths and fraction bits add.
+    pub fn mul(&self, other: &Fx) -> Fx {
+        Fx::from_raw(self.raw.widening_smul(&other.raw), self.frac + other.frac)
+    }
+
+    /// Two's-complement negation in the same format (the most negative
+    /// value wraps).
+    pub fn neg(&self) -> Fx {
+        Fx::from_raw(self.raw.wrapping_neg(), self.frac)
+    }
+
+    /// Converts to the given format, applying `rounding` to discarded
+    /// fraction bits and `overflow` to out-of-range results — the exact
+    /// operation an RTL designer implements when narrowing a datapath,
+    /// and a classic source of SLM/RTL divergence when the SLM rounds
+    /// differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `frac > width`.
+    pub fn quantize(
+        &self,
+        width: u32,
+        frac: u32,
+        rounding: RoundingMode,
+        overflow: OverflowMode,
+    ) -> Fx {
+        // Work in a comfortably wide intermediate.
+        let work_w = self.width().max(width) + self.frac.max(frac) + 2;
+        let mut v = self.raw.sext(work_w);
+        if frac >= self.frac {
+            v = v.shl(frac - self.frac);
+        } else {
+            let drop = self.frac - frac;
+            match rounding {
+                RoundingMode::Truncate => {}
+                RoundingMode::HalfUp => {
+                    let half = Bv::from_u64(work_w, 1).shl(drop - 1);
+                    v = v.wrapping_add(&half);
+                }
+                RoundingMode::HalfEven => {
+                    let half = Bv::from_u64(work_w, 1).shl(drop - 1);
+                    let frac_part = v.slice(drop - 1, 0);
+                    let tie = frac_part == Bv::from_u64(drop, 1).shl(drop - 1);
+                    let lsb_even = !v.bit(drop);
+                    if !(tie && lsb_even) {
+                        v = v.wrapping_add(&half);
+                    }
+                }
+            }
+            v = v.ashr(drop);
+        }
+        // Now `v` is the integer result in `frac`-fraction units; clamp or
+        // wrap into `width` bits.
+        let one = Bv::from_u64(work_w, 1);
+        let max = one.shl(width - 1).wrapping_sub(&one); // 2^(w-1) - 1
+        let min = one.shl(width - 1).wrapping_neg(); // -2^(w-1)
+        let out = match overflow {
+            OverflowMode::Wrap => v.trunc(width),
+            OverflowMode::Saturate => {
+                if v.scmp(&max) == std::cmp::Ordering::Greater {
+                    max.trunc(width)
+                } else if v.scmp(&min) == std::cmp::Ordering::Less {
+                    min.trunc(width)
+                } else {
+                    v.trunc(width)
+                }
+            }
+        };
+        Fx::from_raw(out, frac)
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(q{}.{})", self.to_f64(), self.width() - self.frac, self.frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let x = Fx::from_f64(16, 8, 3.5);
+        assert_eq!(x.to_f64(), 3.5);
+        assert_eq!(x.raw().to_u64(), 3 * 256 + 128);
+        let n = Fx::from_f64(16, 8, -0.25);
+        assert_eq!(n.to_f64(), -0.25);
+    }
+
+    #[test]
+    fn add_aligns_formats() {
+        let a = Fx::from_f64(8, 4, 1.5);
+        let b = Fx::from_f64(10, 2, 2.25);
+        let s = a.add(&b);
+        assert_eq!(s.to_f64(), 3.75);
+        assert_eq!(s.frac(), 4);
+    }
+
+    #[test]
+    fn add_never_overflows() {
+        let a = Fx::from_f64(8, 0, 127.0);
+        let s = a.add(&a);
+        assert_eq!(s.to_f64(), 254.0);
+    }
+
+    #[test]
+    fn mul_full_precision() {
+        let a = Fx::from_f64(8, 4, 1.0625); // 17/16
+        let p = a.mul(&a);
+        assert_eq!(p.frac(), 8);
+        assert_eq!(p.to_f64(), 289.0 / 256.0);
+    }
+
+    #[test]
+    fn quantize_truncate_rounds_down() {
+        let x = Fx::from_f64(16, 8, 1.99609375); // 511/256
+        let q = x.quantize(8, 0, RoundingMode::Truncate, OverflowMode::Wrap);
+        assert_eq!(q.to_f64(), 1.0);
+        let n = Fx::from_f64(16, 8, -1.5);
+        let qn = n.quantize(8, 0, RoundingMode::Truncate, OverflowMode::Wrap);
+        assert_eq!(qn.to_f64(), -2.0); // floor, like `ashr`
+    }
+
+    #[test]
+    fn quantize_half_up() {
+        let x = Fx::from_f64(16, 8, 1.5);
+        let q = x.quantize(8, 0, RoundingMode::HalfUp, OverflowMode::Wrap);
+        assert_eq!(q.to_f64(), 2.0);
+        let y = Fx::from_f64(16, 8, 1.25);
+        assert_eq!(
+            y.quantize(8, 0, RoundingMode::HalfUp, OverflowMode::Wrap).to_f64(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn quantize_half_even_breaks_ties() {
+        let up = |v: f64| {
+            Fx::from_f64(16, 8, v)
+                .quantize(8, 0, RoundingMode::HalfEven, OverflowMode::Wrap)
+                .to_f64()
+        };
+        assert_eq!(up(0.5), 0.0); // tie, 0 is even
+        assert_eq!(up(1.5), 2.0); // tie, rounds to even 2
+        assert_eq!(up(2.5), 2.0);
+        assert_eq!(up(1.75), 2.0); // not a tie
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let big = Fx::from_f64(16, 4, 300.0);
+        let q = big.quantize(8, 0, RoundingMode::Truncate, OverflowMode::Saturate);
+        assert_eq!(q.to_f64(), 127.0);
+        let small = Fx::from_f64(16, 4, -300.0);
+        let qs = small.quantize(8, 0, RoundingMode::Truncate, OverflowMode::Saturate);
+        assert_eq!(qs.to_f64(), -128.0);
+        // Wrap mode instead exhibits the classic RTL wrap bug.
+        let qw = big.quantize(8, 0, RoundingMode::Truncate, OverflowMode::Wrap);
+        assert_eq!(qw.to_f64(), 300.0 - 256.0);
+    }
+
+    #[test]
+    fn quantize_widening_fraction() {
+        let x = Fx::from_f64(8, 2, 1.25);
+        let q = x.quantize(16, 8, RoundingMode::Truncate, OverflowMode::Wrap);
+        assert_eq!(q.to_f64(), 1.25);
+    }
+
+    #[test]
+    fn neg_wraps_at_min() {
+        let min = Fx::from_raw(Bv::from_u64(8, 0x80), 4);
+        assert_eq!(min.neg(), min);
+    }
+}

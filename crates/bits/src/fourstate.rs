@@ -1,0 +1,285 @@
+//! Four-state (0/1/X) vectors with pessimistic X propagation.
+//!
+//! RTL simulators use unknown (`X`) values to model uninitialized state; the
+//! paper's §3.2 discusses how SLMs, which have no such notion, diverge from
+//! RTL before reset completes. [`Xv`] is the minimal four-state companion to
+//! [`Bv`] used by the RTL reset-coverage analysis: each bit is either a known
+//! 0/1 or unknown, and operations propagate unknowns pessimistically (with
+//! the usual dominance rules: `0 & X = 0`, `1 | X = 1`).
+
+use std::fmt;
+
+use crate::Bv;
+
+/// A four-state bit vector: per bit, known-0, known-1, or unknown (X).
+///
+/// High-impedance (`Z`) is folded into X, which is what a 2-state-plus-X
+/// analysis needs.
+///
+/// # Example
+///
+/// ```
+/// use dfv_bits::{Bv, Xv};
+///
+/// let known = Xv::from_bv(&Bv::from_u64(4, 0b0011));
+/// let all_x = Xv::unknown(4);
+/// let anded = known.and(&all_x);
+/// // 0 & X = 0 (bits 2,3 known zero); 1 & X = X (bits 0,1 unknown).
+/// assert_eq!(anded.known_mask(), Bv::from_u64(4, 0b1100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xv {
+    /// Bit values; only meaningful where `known` is 1.
+    value: Bv,
+    /// 1 = bit is a known 0/1, 0 = bit is X.
+    known: Bv,
+}
+
+impl Xv {
+    /// A fully known value.
+    pub fn from_bv(value: &Bv) -> Self {
+        Xv {
+            value: value.clone(),
+            known: Bv::ones(value.width()),
+        }
+    }
+
+    /// A fully unknown (all-X) value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn unknown(width: u32) -> Self {
+        Xv {
+            value: Bv::zero(width),
+            known: Bv::zero(width),
+        }
+    }
+
+    /// Builds from a value and a known mask (value bits where `known` is
+    /// zero are ignored and normalized to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn with_mask(value: &Bv, known: &Bv) -> Self {
+        Xv {
+            value: value.and(known),
+            known: known.clone(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.value.width()
+    }
+
+    /// The mask of known bit positions (1 = known).
+    pub fn known_mask(&self) -> Bv {
+        self.known.clone()
+    }
+
+    /// The canonical value bits: known bits carry their value, unknown
+    /// positions read as 0.
+    pub fn value_bits(&self) -> Bv {
+        self.value.clone()
+    }
+
+    /// Whether every bit is known.
+    pub fn is_fully_known(&self) -> bool {
+        self.known.is_ones()
+    }
+
+    /// The value as a plain [`Bv`], if fully known.
+    pub fn try_to_bv(&self) -> Option<Bv> {
+        if self.is_fully_known() {
+            Some(self.value.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Four-state AND: `0` dominates X.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, other: &Xv) -> Xv {
+        let value = self.value.and(&other.value);
+        // Known if both known, or either side is a known 0.
+        let known0_a = self.known.and(&self.value.not());
+        let known0_b = other.known.and(&other.value.not());
+        let known = self.known.and(&other.known).or(&known0_a).or(&known0_b);
+        Xv::with_mask(&value, &known)
+    }
+
+    /// Four-state OR: `1` dominates X.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, other: &Xv) -> Xv {
+        let value = self.value.or(&other.value);
+        let known1_a = self.known.and(&self.value);
+        let known1_b = other.known.and(&other.value);
+        let known = self.known.and(&other.known).or(&known1_a).or(&known1_b);
+        Xv::with_mask(&value, &known)
+    }
+
+    /// Four-state XOR: any X operand bit makes the result bit X.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, other: &Xv) -> Xv {
+        Xv::with_mask(&self.value.xor(&other.value), &self.known.and(&other.known))
+    }
+
+    /// Four-state NOT.
+    pub fn not(&self) -> Xv {
+        Xv::with_mask(&self.value.not(), &self.known)
+    }
+
+    /// Four-state multiplexer: if the select is X, output bits are known
+    /// only where both inputs agree and are known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data widths differ or `sel` is not one bit wide.
+    pub fn mux(sel: &Xv, a: &Xv, b: &Xv) -> Xv {
+        assert_eq!(sel.width(), 1, "mux select must be one bit");
+        if sel.is_fully_known() {
+            if sel.value.bit(0) {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        } else {
+            let agree = a.value.xor(&b.value).not();
+            let known = a.known.and(&b.known).and(&agree);
+            Xv::with_mask(&a.value, &known)
+        }
+    }
+
+    /// Pessimistic addition: output bits at and above the lowest X input
+    /// bit become X (a carry from an unknown bit could reach any of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add(&self, other: &Xv) -> Xv {
+        let w = self.width();
+        assert_eq!(w, other.width(), "add requires equal widths");
+        let value = self.value.wrapping_add(&other.value);
+        let both = self.known.and(&other.known);
+        let mut known = Bv::zero(w);
+        for i in 0..w {
+            if !both.bit(i) {
+                break;
+            }
+            known = known.with_bit(i, true);
+        }
+        Xv::with_mask(&value, &known)
+    }
+}
+
+impl fmt::Display for Xv {
+    /// Displays MSB-first with `x` for unknown bits, e.g. `4'b1x0x`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width())?;
+        for i in (0..self.width()).rev() {
+            let c = if !self.known.bit(i) {
+                'x'
+            } else if self.value.bit(i) {
+                '1'
+            } else {
+                '0'
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xv(s: &str) -> Xv {
+        // Accepts MSB-first strings of 0/1/x.
+        let width = s.len() as u32;
+        let mut value = Bv::zero(width);
+        let mut known = Bv::zero(width);
+        for (pos, ch) in s.chars().enumerate() {
+            let i = width - 1 - pos as u32;
+            match ch {
+                '0' => known = known.with_bit(i, true),
+                '1' => {
+                    known = known.with_bit(i, true);
+                    value = value.with_bit(i, true);
+                }
+                'x' => {}
+                other => panic!("bad test literal char {other:?}"),
+            }
+        }
+        Xv::with_mask(&value, &known)
+    }
+
+    #[test]
+    fn and_dominance() {
+        assert_eq!(xv("0x1x").and(&xv("xx1x")).to_string(), "4'b0x1x");
+        assert_eq!(xv("1111").and(&xv("0000")).to_string(), "4'b0000");
+    }
+
+    #[test]
+    fn or_dominance() {
+        assert_eq!(xv("1x0x").or(&xv("xx0x")).to_string(), "4'b1x0x");
+    }
+
+    #[test]
+    fn xor_propagates_x() {
+        assert_eq!(xv("1x01").xor(&xv("11x1")).to_string(), "4'b0xx0");
+    }
+
+    #[test]
+    fn not_preserves_mask() {
+        assert_eq!(xv("1x0x").not().to_string(), "4'b0x1x");
+    }
+
+    #[test]
+    fn mux_known_select() {
+        let a = xv("1010");
+        let b = xv("0101");
+        assert_eq!(Xv::mux(&xv("1"), &a, &b), a);
+        assert_eq!(Xv::mux(&xv("0"), &a, &b), b);
+    }
+
+    #[test]
+    fn mux_unknown_select_keeps_agreement() {
+        let a = xv("10x1");
+        let b = xv("1101");
+        let m = Xv::mux(&xv("x"), &a, &b);
+        assert_eq!(m.to_string(), "4'b1xx1");
+    }
+
+    #[test]
+    fn add_poisons_above_first_x() {
+        let a = xv("00x1");
+        let b = xv("0001");
+        let s = a.add(&b);
+        // Bit 0 is the only position below the first X input bit.
+        assert_eq!(s.known_mask(), Bv::from_u64(4, 0b0001));
+        let clean = xv("0011").add(&xv("0001"));
+        assert!(clean.is_fully_known());
+        assert_eq!(clean.try_to_bv().unwrap().to_u64(), 0b0100);
+    }
+
+    #[test]
+    fn fully_known_roundtrip() {
+        let v = Bv::from_u64(6, 0b101_010);
+        let x = Xv::from_bv(&v);
+        assert!(x.is_fully_known());
+        assert_eq!(x.try_to_bv(), Some(v));
+        assert_eq!(Xv::unknown(6).try_to_bv(), None);
+    }
+}

@@ -1,0 +1,297 @@
+//! Bitwise logic, shifts, reductions, and `std::ops` impls for [`Bv`].
+
+use std::ops;
+
+use crate::Bv;
+
+impl Bv {
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bv {
+        let mut out = self.clone();
+        for l in &mut out.limbs {
+            *l = !*l;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, other: &Bv) -> Bv {
+        self.zip(other, "and", |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, other: &Bv) -> Bv {
+        self.zip(other, "or", |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, other: &Bv) -> Bv {
+        self.zip(other, "xor", |a, b| a ^ b)
+    }
+
+    fn zip(&self, other: &Bv, op: &str, f: impl Fn(u64, u64) -> u64) -> Bv {
+        assert_eq!(
+            self.width, other.width,
+            "{op} requires equal widths ({} vs {})",
+            self.width, other.width
+        );
+        let mut out = self.clone();
+        for (l, &r) in out.limbs.iter_mut().zip(&other.limbs) {
+            *l = f(*l, r);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift left by a constant amount; bits shifted past the top
+    /// are lost (the width does not change). Shifting by `>= width` yields
+    /// zero, as in Verilog.
+    pub fn shl(&self, amount: u32) -> Bv {
+        if amount >= self.width {
+            return Bv::zero(self.width);
+        }
+        let mut out = Bv::zero(self.width);
+        let limb_shift = (amount / 64) as usize;
+        let bit_shift = amount % 64;
+        for i in (limb_shift..out.limbs.len()).rev() {
+            let lo = self.limbs[i - limb_shift] << bit_shift;
+            let hi = if bit_shift == 0 || i == limb_shift {
+                0
+            } else {
+                self.limbs[i - limb_shift - 1] >> (64 - bit_shift)
+            };
+            out.limbs[i] = lo | hi;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift right by a constant amount. Shifting by `>= width`
+    /// yields zero.
+    pub fn lshr(&self, amount: u32) -> Bv {
+        if amount >= self.width {
+            return Bv::zero(self.width);
+        }
+        self.slice(self.width - 1, amount).zext(self.width)
+    }
+
+    /// Arithmetic shift right by a constant amount (sign bit replicated).
+    /// Shifting by `>= width` yields all-sign-bits.
+    pub fn ashr(&self, amount: u32) -> Bv {
+        if amount >= self.width {
+            return if self.msb() {
+                Bv::ones(self.width)
+            } else {
+                Bv::zero(self.width)
+            };
+        }
+        self.slice(self.width - 1, amount).sext(self.width)
+    }
+
+    /// Logical shift left by a vector amount (Verilog `a << b` where `b` is a
+    /// signal). Amounts at or above the width produce zero.
+    pub fn shl_bv(&self, amount: &Bv) -> Bv {
+        match amount.try_to_u64() {
+            Some(a) if a < self.width as u64 => self.shl(a as u32),
+            _ => Bv::zero(self.width),
+        }
+    }
+
+    /// Logical shift right by a vector amount.
+    pub fn lshr_bv(&self, amount: &Bv) -> Bv {
+        match amount.try_to_u64() {
+            Some(a) if a < self.width as u64 => self.lshr(a as u32),
+            _ => Bv::zero(self.width),
+        }
+    }
+
+    /// Arithmetic shift right by a vector amount.
+    pub fn ashr_bv(&self, amount: &Bv) -> Bv {
+        match amount.try_to_u64() {
+            Some(a) if a < self.width as u64 => self.ashr(a as u32),
+            _ => self.ashr(self.width),
+        }
+    }
+
+    /// Reduction AND (`&x` in Verilog): true iff every bit is one.
+    pub fn reduce_and(&self) -> bool {
+        self.is_ones()
+    }
+
+    /// Reduction OR (`|x` in Verilog): true iff any bit is one.
+    pub fn reduce_or(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Reduction XOR (`^x` in Verilog): the parity of the value.
+    pub fn reduce_xor(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+}
+
+macro_rules! binop_impls {
+    ($trait_:ident, $method:ident, $inherent:ident) => {
+        impl ops::$trait_ for &Bv {
+            type Output = Bv;
+            fn $method(self, rhs: &Bv) -> Bv {
+                self.$inherent(rhs)
+            }
+        }
+        impl ops::$trait_ for Bv {
+            type Output = Bv;
+            fn $method(self, rhs: Bv) -> Bv {
+                self.$inherent(&rhs)
+            }
+        }
+    };
+}
+
+binop_impls!(BitAnd, bitand, and);
+binop_impls!(BitOr, bitor, or);
+binop_impls!(BitXor, bitxor, xor);
+binop_impls!(Add, add, wrapping_add);
+binop_impls!(Sub, sub, wrapping_sub);
+binop_impls!(Mul, mul, wrapping_mul);
+
+impl ops::Not for &Bv {
+    type Output = Bv;
+    fn not(self) -> Bv {
+        Bv::not(self)
+    }
+}
+
+impl ops::Not for Bv {
+    type Output = Bv;
+    fn not(self) -> Bv {
+        Bv::not(&self)
+    }
+}
+
+impl ops::Neg for &Bv {
+    type Output = Bv;
+    fn neg(self) -> Bv {
+        self.wrapping_neg()
+    }
+}
+
+impl ops::Neg for Bv {
+    type Output = Bv;
+    fn neg(self) -> Bv {
+        self.wrapping_neg()
+    }
+}
+
+impl ops::Shl<u32> for &Bv {
+    type Output = Bv;
+    fn shl(self, amount: u32) -> Bv {
+        Bv::shl(self, amount)
+    }
+}
+
+impl ops::Shr<u32> for &Bv {
+    type Output = Bv;
+    fn shr(self, amount: u32) -> Bv {
+        self.lshr(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Bv::from_u64(8, 0b1100_1010);
+        let b = Bv::from_u64(8, 0b1010_0110);
+        assert_eq!(a.and(&b).to_u64(), 0b1000_0010);
+        assert_eq!(a.or(&b).to_u64(), 0b1110_1110);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110_1100);
+        assert_eq!(a.not().to_u64(), 0b0011_0101);
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let a = Bv::from_u64(8, 0xF0);
+        let b = Bv::from_u64(8, 0x0F);
+        assert_eq!((&a | &b).to_u64(), 0xFF);
+        assert_eq!((&a & &b).to_u64(), 0);
+        assert_eq!((&a ^ &a).to_u64(), 0);
+        assert_eq!((!&b).to_u64(), 0xF0);
+        assert_eq!((&a + &b).to_u64(), 0xFF);
+        assert_eq!((-&Bv::from_u64(8, 1)).to_u64(), 0xFF);
+        assert_eq!((&a >> 4).to_u64(), 0x0F);
+        assert_eq!((&b << 4).to_u64(), 0xF0);
+    }
+
+    #[test]
+    fn shl_drops_top_bits() {
+        let v = Bv::from_u64(8, 0b1000_0001);
+        assert_eq!(v.shl(1).to_u64(), 0b0000_0010);
+        assert_eq!(v.shl(8).to_u64(), 0);
+        assert_eq!(v.shl(0), v);
+    }
+
+    #[test]
+    fn shl_across_limbs() {
+        let v = Bv::from_u64(128, 1);
+        assert!(v.shl(100).bit(100));
+        assert_eq!(v.shl(100).count_ones(), 1);
+        assert_eq!(v.shl(64).to_u128(), 1u128 << 64);
+        assert_eq!(v.shl(128), Bv::zero(128));
+    }
+
+    #[test]
+    fn shr_logical_vs_arith() {
+        let v = Bv::from_i64(8, -64); // 0b1100_0000
+        assert_eq!(v.lshr(4).to_u64(), 0b0000_1100);
+        assert_eq!(v.ashr(4).to_i64(), -4);
+        assert_eq!(v.ashr(100).to_i64(), -1);
+        assert_eq!(v.lshr(100).to_u64(), 0);
+        let pos = Bv::from_u64(8, 0x40);
+        assert_eq!(pos.ashr(100), Bv::zero(8));
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        let v = Bv::from_u64(8, 1);
+        assert_eq!(v.shl_bv(&Bv::from_u64(4, 3)).to_u64(), 8);
+        assert_eq!(v.shl_bv(&Bv::from_u64(8, 200)).to_u64(), 0);
+        let huge = Bv::ones(128); // amount that doesn't fit u64
+        assert_eq!(v.shl_bv(&huge).to_u64(), 0);
+        assert_eq!(Bv::from_i64(8, -2).ashr_bv(&huge).to_i64(), -1);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bv::ones(70).reduce_and());
+        assert!(!Bv::from_u64(70, 1).reduce_and());
+        assert!(Bv::from_u64(70, 2).reduce_or());
+        assert!(!Bv::zero(70).reduce_or());
+        assert!(Bv::from_u64(8, 0b0111).reduce_xor());
+        assert!(!Bv::from_u64(8, 0b0110).reduce_xor());
+    }
+
+    #[test]
+    fn shift_slice_identity() {
+        let v = Bv::from_u128(100, 0x1234_5678_9ABC_DEF0_1234);
+        let ones = Bv::ones(100);
+        for s in [0u32, 1, 17, 63, 64, 65, 99] {
+            // lshr-then-shl clears the low s bits; shl-then-lshr the high.
+            assert_eq!(v.lshr(s).shl(s), v.and(&ones.shl(s)));
+            assert_eq!(v.shl(s).lshr(s), v.and(&ones.lshr(s)));
+        }
+    }
+}

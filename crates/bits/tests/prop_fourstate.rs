@@ -1,0 +1,82 @@
+//! Soundness of four-state (X) propagation: for every completion of the
+//! unknown bits of the operands, the concrete 2-state result must be
+//! *covered* by the four-state result (agree on every bit the four-state
+//! result claims to know).
+
+use dfv_bits::{Bv, Xv};
+use proptest::prelude::*;
+
+/// Builds a partial value from (value bits, known mask) seeds.
+fn xv(width: u32, value: u64, known: u64) -> Xv {
+    Xv::with_mask(&Bv::from_u64(width, value), &Bv::from_u64(width, known))
+}
+
+/// Completes an Xv's unknown bits from a fill pattern.
+fn complete(x: &Xv, fill: u64) -> Bv {
+    let w = x.width();
+    let known = x.known_mask();
+    let fill = Bv::from_u64(w, fill);
+    x.value_bits().and(&known).or(&fill.and(&known.not()))
+}
+
+/// Checks the covering relation: wherever `x` claims a known bit, the
+/// concrete result must agree.
+fn covers(x: &Xv, concrete: &Bv) -> bool {
+    let known = x.known_mask();
+    x.value_bits().and(&known) == concrete.and(&known)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn binary_ops_are_sound(
+        w in 1u32..=16,
+        av in any::<u64>(), ak in any::<u64>(),
+        bv in any::<u64>(), bk in any::<u64>(),
+        fa in any::<u64>(), fb in any::<u64>(),
+    ) {
+        let a = xv(w, av, ak);
+        let b = xv(w, bv, bk);
+        let (ca, cb) = (complete(&a, fa), complete(&b, fb));
+        prop_assert!(covers(&a.and(&b), &ca.and(&cb)), "and");
+        prop_assert!(covers(&a.or(&b), &ca.or(&cb)), "or");
+        prop_assert!(covers(&a.xor(&b), &ca.xor(&cb)), "xor");
+        prop_assert!(covers(&a.not(), &ca.not()), "not");
+        prop_assert!(covers(&a.add(&b), &ca.wrapping_add(&cb)), "add");
+    }
+
+    #[test]
+    fn mux_is_sound(
+        w in 1u32..=16,
+        av in any::<u64>(), ak in any::<u64>(),
+        bv in any::<u64>(), bk in any::<u64>(),
+        sel_known in any::<bool>(), sel_val in any::<bool>(),
+        fa in any::<u64>(), fb in any::<u64>(), fs in any::<bool>(),
+    ) {
+        let a = xv(w, av, ak);
+        let b = xv(w, bv, bk);
+        let s = if sel_known {
+            Xv::from_bv(&Bv::from_bool(sel_val))
+        } else {
+            Xv::unknown(1)
+        };
+        let m = Xv::mux(&s, &a, &b);
+        let concrete_sel = if sel_known { sel_val } else { fs };
+        let concrete = if concrete_sel {
+            complete(&a, fa)
+        } else {
+            complete(&b, fb)
+        };
+        prop_assert!(covers(&m, &concrete));
+    }
+
+    #[test]
+    fn fully_known_ops_are_exact(w in 1u32..=16, av in any::<u64>(), bv in any::<u64>()) {
+        let (a, b) = (Bv::from_u64(w, av), Bv::from_u64(w, bv));
+        let (xa, xb) = (Xv::from_bv(&a), Xv::from_bv(&b));
+        prop_assert_eq!(xa.add(&xb).try_to_bv().unwrap(), a.wrapping_add(&b));
+        prop_assert_eq!(xa.and(&xb).try_to_bv().unwrap(), a.and(&b));
+        prop_assert_eq!(xa.xor(&xb).try_to_bv().unwrap(), a.xor(&b));
+    }
+}

@@ -1,0 +1,414 @@
+//! The design-for-verification methodology layer: block pairs, verification
+//! plans, a campaign runner, and incremental re-verification.
+//!
+//! This crate is the paper's §4 turned into an API:
+//!
+//! * **§4.2 design partitioning** — a [`VerificationPlan`] is a list of
+//!   [`BlockPair`]s, each a one-to-one SLM/RTL block correspondence with a
+//!   transaction spec ("clear functional boundaries both in the SLM and the
+//!   RTL at blocks that will be equivalence checked");
+//! * **§4.3 model conditioning** — every block is linted against the
+//!   DFV001–DFV007 rules before anything else runs;
+//! * **§2 verification** — conditioned blocks are statically elaborated and
+//!   sequentially equivalence-checked against their RTL;
+//! * **§4.1 keep models alive & check incrementally** — a [`Campaign`]
+//!   caches per-block verdicts keyed by a content hash of (SLM source, RTL
+//!   netlist, spec), so re-running after an edit re-verifies only the
+//!   touched blocks. "Incremental runs of sequential equivalence checking
+//!   between SLM and RTL are much more effective in terms of run time and
+//!   can help localize the source of any difference quickly."
+//!
+//! # Example
+//!
+//! ```
+//! use dfv_core::{BlockPair, Campaign, VerificationPlan, BlockStatus};
+//! use dfv_rtl::ModuleBuilder;
+//! use dfv_sec::{Binding, EquivSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rb = ModuleBuilder::new("inc_rtl");
+//! let x = rb.input("x", 8);
+//! let one = rb.lit(8, 1);
+//! let y = rb.add(x, one);
+//! rb.output("y", y);
+//!
+//! let plan = VerificationPlan::new().block(BlockPair {
+//!     name: "inc".into(),
+//!     slm_source: "uint8 inc(uint8 x) { return x + 1; }".into(),
+//!     slm_entry: "inc".into(),
+//!     rtl: rb.finish()?,
+//!     spec: EquivSpec::new(1)
+//!         .bind("x", 0, Binding::Slm("x".into()))
+//!         .compare("return", "y", 0),
+//! });
+//! let mut campaign = Campaign::new();
+//! let report = campaign.run(&plan);
+//! assert_eq!(report.blocks[0].status, BlockStatus::Pass);
+//! // Nothing changed: the second run is entirely cache hits.
+//! let report2 = campaign.run(&plan);
+//! assert!(report2.blocks[0].from_cache);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dfv_rtl::Module;
+use dfv_sec::{check_equivalence, EquivOutcome, EquivReport, EquivSpec};
+use dfv_slmir::{lint, LintFinding, Severity};
+
+/// One SLM/RTL block correspondence (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct BlockPair {
+    /// Block name (unique within a plan).
+    pub name: String,
+    /// SLM-C source of the block's golden model.
+    pub slm_source: String,
+    /// Entry function within the source.
+    pub slm_entry: String,
+    /// The RTL implementation (flat).
+    pub rtl: Module,
+    /// The transaction-level equivalence spec.
+    pub spec: EquivSpec,
+}
+
+impl BlockPair {
+    /// A stable content hash of everything that affects this block's
+    /// verdict. FNV-1a over the SLM source, the RTL netlist text, and the
+    /// spec's debug rendering.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.slm_source.as_bytes());
+        eat(self.slm_entry.as_bytes());
+        eat(dfv_rtl::write_module(&self.rtl).as_bytes());
+        eat(format!("{:?}", self.spec).as_bytes());
+        h
+    }
+}
+
+/// An ordered set of block pairs to verify.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationPlan {
+    /// The blocks.
+    pub blocks: Vec<BlockPair>,
+}
+
+impl VerificationPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        VerificationPlan::default()
+    }
+
+    /// Adds a block.
+    pub fn block(mut self, b: BlockPair) -> Self {
+        self.blocks.push(b);
+        self
+    }
+}
+
+/// The verdict for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockStatus {
+    /// Linted clean (errors-wise) and proven equivalent.
+    Pass,
+    /// Error-severity lint findings blocked elaboration.
+    LintBlocked,
+    /// A counterexample was found (rendered for the report).
+    NotEquivalent(String),
+    /// Parse/elaboration/spec failure.
+    Error(String),
+}
+
+impl fmt::Display for BlockStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockStatus::Pass => write!(f, "PASS"),
+            BlockStatus::LintBlocked => write!(f, "LINT"),
+            BlockStatus::NotEquivalent(_) => write!(f, "FAIL"),
+            BlockStatus::Error(_) => write!(f, "ERROR"),
+        }
+    }
+}
+
+/// The full record for one block in a campaign run.
+#[derive(Debug, Clone)]
+pub struct BlockResult {
+    /// Block name.
+    pub name: String,
+    /// Verdict.
+    pub status: BlockStatus,
+    /// All lint findings (including warnings).
+    pub lint_findings: Vec<LintFinding>,
+    /// The equivalence report, when the check ran.
+    pub equiv: Option<EquivReport>,
+    /// Wall-clock time spent on this block in this run.
+    pub duration: Duration,
+    /// Whether the verdict came from the incremental cache.
+    pub from_cache: bool,
+}
+
+/// A campaign run over a plan.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-block results, in plan order.
+    pub blocks: Vec<BlockResult>,
+    /// Total wall-clock time of the run.
+    pub duration: Duration,
+}
+
+impl CampaignReport {
+    /// Whether every block passed.
+    pub fn all_pass(&self) -> bool {
+        self.blocks.iter().all(|b| b.status == BlockStatus::Pass)
+    }
+
+    /// How many blocks were served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.blocks.iter().filter(|b| b.from_cache).count()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:<6} {:>6} {:>9} {:>10}  notes",
+            "block", "status", "cache", "lint", "time"
+        )?;
+        for b in &self.blocks {
+            let note = match &b.status {
+                BlockStatus::NotEquivalent(cex) => cex.clone(),
+                BlockStatus::Error(e) => e.clone(),
+                BlockStatus::LintBlocked => {
+                    let n = b
+                        .lint_findings
+                        .iter()
+                        .filter(|x| x.severity == Severity::Error)
+                        .count();
+                    format!("{n} blocking lint findings")
+                }
+                BlockStatus::Pass => String::new(),
+            };
+            writeln!(
+                f,
+                "{:<12} {:<6} {:>6} {:>9} {:>9.1?}  {}",
+                b.name,
+                b.status.to_string(),
+                if b.from_cache { "hit" } else { "-" },
+                b.lint_findings.len(),
+                b.duration,
+                note
+            )?;
+        }
+        write!(
+            f,
+            "total {:.1?}, {} cache hits",
+            self.duration,
+            self.cache_hits()
+        )
+    }
+}
+
+/// Verifies one block from scratch: lint → elaborate → equivalence check.
+pub fn verify_block(block: &BlockPair) -> BlockResult {
+    let start = Instant::now();
+    let mut result = BlockResult {
+        name: block.name.clone(),
+        status: BlockStatus::Pass,
+        lint_findings: Vec::new(),
+        equiv: None,
+        duration: Duration::ZERO,
+        from_cache: false,
+    };
+    let finish = |mut r: BlockResult, start: Instant| {
+        r.duration = start.elapsed();
+        r
+    };
+    let prog = match dfv_slmir::parse(&block.slm_source) {
+        Ok(p) => p,
+        Err(e) => {
+            result.status = BlockStatus::Error(format!("parse: {e}"));
+            return finish(result, start);
+        }
+    };
+    result.lint_findings = lint(&prog, Some(&block.slm_entry));
+    if result
+        .lint_findings
+        .iter()
+        .any(|f| f.severity == Severity::Error)
+    {
+        result.status = BlockStatus::LintBlocked;
+        return finish(result, start);
+    }
+    let slm = match dfv_slmir::elaborate(&prog, &block.slm_entry) {
+        Ok(m) => m,
+        Err(e) => {
+            result.status = BlockStatus::Error(format!("elaborate: {e}"));
+            return finish(result, start);
+        }
+    };
+    match check_equivalence(&slm, &block.rtl, &block.spec) {
+        Ok(report) => {
+            if let EquivOutcome::NotEquivalent(cex) = &report.outcome {
+                result.status = BlockStatus::NotEquivalent(cex.to_string());
+            }
+            result.equiv = Some(report);
+        }
+        Err(e) => result.status = BlockStatus::Error(format!("sec: {e}")),
+    }
+    finish(result, start)
+}
+
+/// A stateful campaign with an incremental result cache (paper §4.1).
+#[derive(Debug, Default)]
+pub struct Campaign {
+    cache: HashMap<String, (u64, BlockResult)>,
+}
+
+impl Campaign {
+    /// An empty campaign (cold cache).
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Runs the plan, re-verifying only blocks whose content changed since
+    /// the last run. Cached verdicts are returned with
+    /// [`BlockResult::from_cache`] set and near-zero duration — the paper's
+    /// incremental-SEC payoff.
+    pub fn run(&mut self, plan: &VerificationPlan) -> CampaignReport {
+        let start = Instant::now();
+        let mut blocks = Vec::with_capacity(plan.blocks.len());
+        for b in &plan.blocks {
+            let hash = b.content_hash();
+            if let Some((h, cached)) = self.cache.get(&b.name) {
+                if *h == hash {
+                    let mut r = cached.clone();
+                    r.from_cache = true;
+                    r.duration = Duration::ZERO;
+                    blocks.push(r);
+                    continue;
+                }
+            }
+            let r = verify_block(b);
+            self.cache.insert(b.name.clone(), (hash, r.clone()));
+            blocks.push(r);
+        }
+        CampaignReport {
+            blocks,
+            duration: start.elapsed(),
+        }
+    }
+
+    /// Drops all cached verdicts (forces a from-scratch run).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_rtl::ModuleBuilder;
+    use dfv_sec::Binding;
+
+    fn inc_rtl(bug: bool) -> Module {
+        let mut b = ModuleBuilder::new("inc_rtl");
+        let x = b.input("x", 8);
+        let one = b.lit(8, if bug { 2 } else { 1 });
+        let y = b.add(x, one);
+        b.output("y", y);
+        b.finish().unwrap()
+    }
+
+    fn inc_block(bug: bool) -> BlockPair {
+        BlockPair {
+            name: "inc".into(),
+            slm_source: "uint8 inc(uint8 x) { return x + 1; }".into(),
+            slm_entry: "inc".into(),
+            rtl: inc_rtl(bug),
+            spec: EquivSpec::new(1)
+                .bind("x", 0, Binding::Slm("x".into()))
+                .compare("return", "y", 0),
+        }
+    }
+
+    #[test]
+    fn passing_block() {
+        let r = verify_block(&inc_block(false));
+        assert_eq!(r.status, BlockStatus::Pass);
+        assert!(r.equiv.unwrap().outcome.is_equivalent());
+    }
+
+    #[test]
+    fn buggy_block_reports_counterexample() {
+        let r = verify_block(&inc_block(true));
+        let BlockStatus::NotEquivalent(note) = &r.status else {
+            panic!("expected NotEquivalent, got {:?}", r.status);
+        };
+        assert!(note.contains("counterexample"));
+    }
+
+    #[test]
+    fn lint_blocked_block() {
+        let mut b = inc_block(false);
+        b.slm_source = "uint8 inc(uint8 x) { int *p = malloc(4); return x + 1; }".into();
+        let r = verify_block(&b);
+        assert_eq!(r.status, BlockStatus::LintBlocked);
+        assert!(!r.lint_findings.is_empty());
+        assert!(r.equiv.is_none());
+    }
+
+    #[test]
+    fn parse_error_block() {
+        let mut b = inc_block(false);
+        b.slm_source = "not even a program".into();
+        let r = verify_block(&b);
+        assert!(matches!(r.status, BlockStatus::Error(_)));
+    }
+
+    #[test]
+    fn incremental_cache_skips_unchanged() {
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "other".into(),
+                ..inc_block(false)
+            });
+        let mut campaign = Campaign::new();
+        let r1 = campaign.run(&plan);
+        assert_eq!(r1.cache_hits(), 0);
+        assert!(r1.all_pass());
+        let r2 = campaign.run(&plan);
+        assert_eq!(r2.cache_hits(), 2);
+        assert!(r2.all_pass());
+
+        // Editing one block re-verifies only that block.
+        let mut edited = plan.clone();
+        edited.blocks[0].slm_source = "uint8 inc(uint8 x) { return (uint8)(x + 1); }".into();
+        let r3 = campaign.run(&edited);
+        assert_eq!(r3.cache_hits(), 1);
+        assert!(!r3.blocks[0].from_cache);
+        assert!(r3.blocks[1].from_cache);
+    }
+
+    #[test]
+    fn report_renders_a_table() {
+        let plan = VerificationPlan::new().block(inc_block(true));
+        let report = Campaign::new().run(&plan);
+        let text = report.to_string();
+        assert!(text.contains("inc"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("counterexample"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Output comparators: aligning SLM and RTL output streams.
+//!
+//! The paper's §2/§3.2: "temporal differences between when the SLM and
+//! wrapped-RTL produce outputs means that the procedure that compares the
+//! SLM outputs with RTL outputs needs to account for the timing
+//! differences", and stalls can even reorder outputs, requiring
+//! "complicated transactors". These comparators implement the three
+//! alignment policies:
+//!
+//! * [`ExactComparator`] — value *and* timestamp must match (only works for
+//!   cycle-accurate SLMs);
+//! * [`InOrderComparator`] — values must match in order, timestamps may
+//!   differ by up to a tolerance (latency-shifted streams);
+//! * [`OutOfOrderComparator`] — values match by a tag within a reorder
+//!   window (tagged out-of-order completion, e.g. a cache hit overtaking a
+//!   miss).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dfv_bits::Bv;
+
+/// One stream item: a value with the time it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamItem {
+    /// The value.
+    pub value: Bv,
+    /// Production time (SLM time units or RTL cycles).
+    pub time: u64,
+}
+
+/// A divergence between the expected (SLM) and actual (RTL) streams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamMismatch {
+    /// Values differ at the same in-order position.
+    Value {
+        /// Stream position.
+        index: usize,
+        /// SLM value.
+        expected: Bv,
+        /// RTL value.
+        actual: Bv,
+    },
+    /// Values match but timestamps differ beyond the tolerance.
+    Timing {
+        /// Stream position.
+        index: usize,
+        /// SLM time.
+        expected_time: u64,
+        /// RTL time.
+        actual_time: u64,
+    },
+    /// The RTL produced a value with no matching expectation (by tag, or
+    /// trailing extras in ordered modes).
+    Unexpected {
+        /// The value.
+        actual: Bv,
+        /// When it appeared.
+        time: u64,
+    },
+    /// The SLM expected a value the RTL never produced.
+    Missing {
+        /// The value.
+        expected: Bv,
+    },
+    /// An out-of-order match happened beyond the reorder window.
+    WindowExceeded {
+        /// The value that matched late.
+        value: Bv,
+        /// How many newer items had already matched.
+        distance: usize,
+        /// The allowed window.
+        window: usize,
+    },
+}
+
+impl fmt::Display for StreamMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamMismatch::Value {
+                index,
+                expected,
+                actual,
+            } => write!(f, "item {index}: expected {expected}, got {actual}"),
+            StreamMismatch::Timing {
+                index,
+                expected_time,
+                actual_time,
+            } => write!(
+                f,
+                "item {index}: timing off (expected t={expected_time}, actual t={actual_time})"
+            ),
+            StreamMismatch::Unexpected { actual, time } => {
+                write!(f, "unexpected {actual} at t={time}")
+            }
+            StreamMismatch::Missing { expected } => write!(f, "missing {expected}"),
+            StreamMismatch::WindowExceeded {
+                value,
+                distance,
+                window,
+            } => write!(
+                f,
+                "{value} matched {distance} items out of order (window {window})"
+            ),
+        }
+    }
+}
+
+/// The result of draining a comparator.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Items that matched.
+    pub matched: usize,
+    /// All divergences, in detection order.
+    pub mismatches: Vec<StreamMismatch>,
+}
+
+impl CompareReport {
+    /// Whether the streams agreed completely.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// A comparator consuming an expected (SLM) and an actual (RTL) stream.
+pub trait Comparator {
+    /// Feeds one expected item.
+    fn push_expected(&mut self, item: StreamItem);
+    /// Feeds one actual item.
+    fn push_actual(&mut self, item: StreamItem);
+    /// Finishes both streams and reports.
+    fn finish(&mut self) -> CompareReport;
+}
+
+/// Exact compare: position, value, and timestamp must all agree.
+#[derive(Debug, Default)]
+pub struct ExactComparator {
+    inner: InOrderComparator,
+}
+
+impl ExactComparator {
+    /// Creates an exact comparator.
+    pub fn new() -> Self {
+        ExactComparator {
+            inner: InOrderComparator::new(0),
+        }
+    }
+}
+
+impl Comparator for ExactComparator {
+    fn push_expected(&mut self, item: StreamItem) {
+        self.inner.push_expected(item);
+    }
+
+    fn push_actual(&mut self, item: StreamItem) {
+        self.inner.push_actual(item);
+    }
+
+    fn finish(&mut self) -> CompareReport {
+        self.inner.finish()
+    }
+}
+
+/// In-order compare with a timestamp tolerance. `tolerance = u64::MAX`
+/// ignores time entirely (pure value-stream comparison — the right mode for
+/// an untimed SLM against stalling RTL).
+#[derive(Debug)]
+pub struct InOrderComparator {
+    tolerance: u64,
+    expected: VecDeque<StreamItem>,
+    actual: VecDeque<StreamItem>,
+    report: CompareReport,
+    index: usize,
+}
+
+impl Default for InOrderComparator {
+    fn default() -> Self {
+        InOrderComparator::new(u64::MAX)
+    }
+}
+
+impl InOrderComparator {
+    /// Creates a comparator allowing timestamps to differ by up to
+    /// `tolerance`.
+    pub fn new(tolerance: u64) -> Self {
+        InOrderComparator {
+            tolerance,
+            expected: VecDeque::new(),
+            actual: VecDeque::new(),
+            report: CompareReport::default(),
+            index: 0,
+        }
+    }
+
+    fn drain_pairs(&mut self) {
+        while let (Some(e), Some(a)) = (self.expected.front(), self.actual.front()) {
+            let (e, a) = (e.clone(), a.clone());
+            self.expected.pop_front();
+            self.actual.pop_front();
+            if e.value != a.value {
+                self.report.mismatches.push(StreamMismatch::Value {
+                    index: self.index,
+                    expected: e.value,
+                    actual: a.value,
+                });
+            } else if self.tolerance != u64::MAX && e.time.abs_diff(a.time) > self.tolerance {
+                self.report.mismatches.push(StreamMismatch::Timing {
+                    index: self.index,
+                    expected_time: e.time,
+                    actual_time: a.time,
+                });
+            } else {
+                self.report.matched += 1;
+            }
+            self.index += 1;
+        }
+    }
+}
+
+impl Comparator for InOrderComparator {
+    fn push_expected(&mut self, item: StreamItem) {
+        self.expected.push_back(item);
+        self.drain_pairs();
+    }
+
+    fn push_actual(&mut self, item: StreamItem) {
+        self.actual.push_back(item);
+        self.drain_pairs();
+    }
+
+    fn finish(&mut self) -> CompareReport {
+        self.drain_pairs();
+        for e in self.expected.drain(..) {
+            self.report
+                .mismatches
+                .push(StreamMismatch::Missing { expected: e.value });
+        }
+        for a in self.actual.drain(..) {
+            self.report.mismatches.push(StreamMismatch::Unexpected {
+                actual: a.value,
+                time: a.time,
+            });
+        }
+        std::mem::take(&mut self.report)
+    }
+}
+
+/// Out-of-order compare: items carry a tag (extracted by a caller-supplied
+/// bit range) and match by tag. A match is flagged if it completes more
+/// than `window` positions later than its in-order slot.
+pub struct OutOfOrderComparator {
+    tag_hi: u32,
+    tag_lo: u32,
+    window: usize,
+    /// Expected items with their arrival order, still unmatched.
+    expected: Vec<(usize, StreamItem)>,
+    next_expected_seq: usize,
+    matched_seqs: Vec<usize>,
+    report: CompareReport,
+}
+
+impl OutOfOrderComparator {
+    /// Creates an out-of-order comparator matching on `value[tag_hi:tag_lo]`
+    /// with the given reorder window.
+    pub fn new(tag_hi: u32, tag_lo: u32, window: usize) -> Self {
+        OutOfOrderComparator {
+            tag_hi,
+            tag_lo,
+            window,
+            expected: Vec::new(),
+            next_expected_seq: 0,
+            matched_seqs: Vec::new(),
+            report: CompareReport::default(),
+        }
+    }
+
+    fn tag(&self, v: &Bv) -> Bv {
+        v.slice(self.tag_hi.min(v.width() - 1), self.tag_lo.min(v.width() - 1))
+    }
+}
+
+impl Comparator for OutOfOrderComparator {
+    fn push_expected(&mut self, item: StreamItem) {
+        let seq = self.next_expected_seq;
+        self.next_expected_seq += 1;
+        self.expected.push((seq, item));
+    }
+
+    fn push_actual(&mut self, item: StreamItem) {
+        let tag = self.tag(&item.value);
+        match self
+            .expected
+            .iter()
+            .position(|(_, e)| self.tag(&e.value) == tag)
+        {
+            Some(pos) => {
+                let (seq, e) = self.expected.remove(pos);
+                if e.value != item.value {
+                    self.report.mismatches.push(StreamMismatch::Value {
+                        index: seq,
+                        expected: e.value,
+                        actual: item.value,
+                    });
+                    return;
+                }
+                // Reorder distance: how many later-sequenced items matched
+                // before this one.
+                let distance = self
+                    .matched_seqs
+                    .iter()
+                    .filter(|&&m| m > seq)
+                    .count();
+                if distance > self.window {
+                    self.report.mismatches.push(StreamMismatch::WindowExceeded {
+                        value: item.value,
+                        distance,
+                        window: self.window,
+                    });
+                } else {
+                    self.report.matched += 1;
+                }
+                self.matched_seqs.push(seq);
+            }
+            None => self.report.mismatches.push(StreamMismatch::Unexpected {
+                actual: item.value,
+                time: item.time,
+            }),
+        }
+    }
+
+    fn finish(&mut self) -> CompareReport {
+        for (_, e) in self.expected.drain(..) {
+            self.report
+                .mismatches
+                .push(StreamMismatch::Missing { expected: e.value });
+        }
+        self.matched_seqs.clear();
+        self.next_expected_seq = 0;
+        std::mem::take(&mut self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(v: u64, t: u64) -> StreamItem {
+        StreamItem {
+            value: Bv::from_u64(16, v),
+            time: t,
+        }
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        let mut c = ExactComparator::new();
+        for i in 0..5 {
+            c.push_expected(item(i, i));
+            c.push_actual(item(i, i));
+        }
+        let r = c.finish();
+        assert!(r.is_clean());
+        assert_eq!(r.matched, 5);
+    }
+
+    #[test]
+    fn exact_flags_latency_shift() {
+        // The canonical §3.2 situation: same values, RTL delayed 2 cycles.
+        let mut c = ExactComparator::new();
+        for i in 0..3 {
+            c.push_expected(item(i, i));
+            c.push_actual(item(i, i + 2));
+        }
+        let r = c.finish();
+        assert_eq!(r.matched, 0);
+        assert_eq!(r.mismatches.len(), 3);
+        assert!(matches!(r.mismatches[0], StreamMismatch::Timing { .. }));
+    }
+
+    #[test]
+    fn tolerant_absorbs_latency_shift() {
+        let mut c = InOrderComparator::new(2);
+        for i in 0..3 {
+            c.push_expected(item(i, i));
+            c.push_actual(item(i, i + 2));
+        }
+        assert!(c.finish().is_clean());
+        // But not beyond the tolerance.
+        let mut c = InOrderComparator::new(1);
+        c.push_expected(item(7, 0));
+        c.push_actual(item(7, 5));
+        assert!(!c.finish().is_clean());
+    }
+
+    #[test]
+    fn untimed_mode_ignores_time() {
+        let mut c = InOrderComparator::default();
+        c.push_expected(item(1, 0));
+        c.push_expected(item(2, 0));
+        c.push_actual(item(1, 100));
+        c.push_actual(item(2, 999));
+        assert!(c.finish().is_clean());
+    }
+
+    #[test]
+    fn value_mismatch_detected_in_any_mode() {
+        let mut c = InOrderComparator::default();
+        c.push_expected(item(1, 0));
+        c.push_actual(item(9, 0));
+        let r = c.finish();
+        assert!(matches!(
+            r.mismatches[0],
+            StreamMismatch::Value { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_and_unexpected_reported() {
+        let mut c = InOrderComparator::default();
+        c.push_expected(item(1, 0));
+        c.push_expected(item(2, 0));
+        c.push_actual(item(1, 0));
+        let r = c.finish();
+        assert_eq!(r.matched, 1);
+        assert!(matches!(r.mismatches[0], StreamMismatch::Missing { .. }));
+
+        let mut c = InOrderComparator::default();
+        c.push_actual(item(3, 7));
+        let r = c.finish();
+        assert!(matches!(r.mismatches[0], StreamMismatch::Unexpected { .. }));
+    }
+
+    #[test]
+    fn out_of_order_matches_by_tag() {
+        // Value layout: tag in [15:12], payload below.
+        let mk = |tag: u64, payload: u64, t: u64| item(tag << 12 | payload, t);
+        let mut c = OutOfOrderComparator::new(15, 12, 4);
+        c.push_expected(mk(0, 0xA, 0));
+        c.push_expected(mk(1, 0xB, 1));
+        c.push_expected(mk(2, 0xC, 2));
+        // RTL completes 2, 0, 1 (a cache hit overtaking two misses).
+        c.push_actual(mk(2, 0xC, 10));
+        c.push_actual(mk(0, 0xA, 11));
+        c.push_actual(mk(1, 0xB, 12));
+        let r = c.finish();
+        assert!(r.is_clean(), "{:?}", r.mismatches);
+        assert_eq!(r.matched, 3);
+    }
+
+    #[test]
+    fn out_of_order_payload_mismatch_detected() {
+        let mk = |tag: u64, payload: u64| item(tag << 12 | payload, 0);
+        let mut c = OutOfOrderComparator::new(15, 12, 4);
+        c.push_expected(mk(5, 0xA));
+        c.push_actual(mk(5, 0xB));
+        let r = c.finish();
+        assert!(matches!(r.mismatches[0], StreamMismatch::Value { .. }));
+    }
+
+    #[test]
+    fn out_of_order_window_enforced() {
+        let mk = |tag: u64| item(tag << 12, 0);
+        let mut c = OutOfOrderComparator::new(15, 12, 1);
+        for t in 0..4 {
+            c.push_expected(mk(t));
+        }
+        // Tag 0 completes after 3 later tags: distance 3 > window 1.
+        c.push_actual(mk(1));
+        c.push_actual(mk(2));
+        c.push_actual(mk(3));
+        c.push_actual(mk(0));
+        let r = c.finish();
+        assert_eq!(r.matched, 3);
+        assert!(matches!(
+            r.mismatches[0],
+            StreamMismatch::WindowExceeded { distance: 3, .. }
+        ));
+    }
+}

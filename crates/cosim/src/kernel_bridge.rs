@@ -1,0 +1,191 @@
+//! Mixed SLM/RTL co-simulation: an RTL block living inside the
+//! discrete-event kernel.
+//!
+//! The paper's §2, strategy (b): "Replace a block of the SLM with a
+//! wrapped-RTL corresponding to that SLM block and co-simulate the
+//! wrapped-RTL and the remaining SLM blocks." [`RtlInKernel`] hosts a
+//! cycle-accurate [`Simulator`] as a kernel process: every rising edge of a
+//! [`Clock`], it samples its input [`Signal`]s into RTL input ports, steps
+//! one cycle, and drives its output ports onto output [`Signal`]s — so the
+//! rest of the system can stay at the system level.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dfv_bits::Bv;
+use dfv_rtl::{Module, RtlError, Simulator};
+use dfv_slm::{Clock, Kernel, Signal};
+
+/// An RTL module embedded in a `dfv-slm` simulation.
+///
+/// Input ports read from `Signal<Bv>`s; output ports write to
+/// `Signal<Bv>`s after each rising clock edge (so SLM processes see them
+/// one delta later, like registered outputs).
+pub struct RtlInKernel {
+    inputs: Vec<(String, Signal<Bv>)>,
+    outputs: Vec<(String, Signal<Bv>)>,
+}
+
+impl RtlInKernel {
+    /// Instantiates `module` in `kernel`, clocked by `clock`. Creates one
+    /// signal per port, named `prefix.port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError`] if the module fails validation.
+    pub fn new(
+        kernel: &mut Kernel,
+        clock: &Clock,
+        prefix: &str,
+        module: Module,
+    ) -> Result<Self, RtlError> {
+        let sim = Simulator::new(module)?;
+        let inputs: Vec<(String, Signal<Bv>)> = sim
+            .module()
+            .inputs
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    Signal::new(kernel, format!("{prefix}.{}", p.name), Bv::zero(p.width)),
+                )
+            })
+            .collect();
+        let outputs: Vec<(String, Signal<Bv>)> = sim
+            .module()
+            .outputs
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    Signal::new(kernel, format!("{prefix}.{}", p.name), Bv::zero(p.width)),
+                )
+            })
+            .collect();
+        let sim = Rc::new(RefCell::new(sim));
+        let (ins, outs) = (inputs.clone(), outputs.clone());
+        let sim2 = Rc::clone(&sim);
+        kernel.process(format!("{prefix}.step"), &[clock.posedge()], move |_| {
+            let mut sim = sim2.borrow_mut();
+            for (name, signal) in &ins {
+                sim.poke(name, signal.read());
+            }
+            // Pre-edge combinational outputs are what the SLM side of a
+            // registered interface would observe this cycle.
+            sim.step();
+            for (name, signal) in &outs {
+                signal.write(sim.output(name));
+            }
+        });
+        Ok(RtlInKernel { inputs, outputs })
+    }
+
+    /// The signal feeding an RTL input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn input(&self, port: &str) -> Signal<Bv> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == port)
+            .unwrap_or_else(|| panic!("no input port {port:?}"))
+            .1
+            .clone()
+    }
+
+    /// The signal carrying an RTL output port (updated after each rising
+    /// edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&self, port: &str) -> Signal<Bv> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == port)
+            .unwrap_or_else(|| panic!("no output port {port:?}"))
+            .1
+            .clone()
+    }
+}
+
+impl Clone for RtlInKernel {
+    fn clone(&self) -> Self {
+        RtlInKernel {
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_rtl::ModuleBuilder;
+    use std::cell::RefCell;
+
+    /// SLM producer + RTL accumulator + SLM checker, §2 strategy (b).
+    #[test]
+    fn slm_system_with_rtl_block_plugged_in() {
+        // RTL: accumulate din when en.
+        let mut b = ModuleBuilder::new("accum");
+        let en = b.input("en", 1);
+        let din = b.input("din", 8);
+        let acc = b.reg("acc", 16, Bv::zero(16));
+        let q = b.reg_q(acc);
+        let dw = b.zext(din, 16);
+        let sum = b.add(q, dw);
+        b.connect_reg(acc, sum);
+        b.reg_enable(acc, en);
+        b.output("total", q);
+        let module = b.finish().unwrap();
+
+        let mut k = Kernel::new();
+        let clk = Clock::new(&mut k, "clk", 2);
+        let rtl = RtlInKernel::new(&mut k, &clk, "u_accum", module).unwrap();
+
+        // SLM producer: drives one value per clock, alongside an SLM-side
+        // reference model of the accumulator.
+        let values = [5u64, 7, 11, 0, 13];
+        let din_sig = rtl.input("din");
+        let en_sig = rtl.input("en");
+        let expected_total = Rc::new(RefCell::new(0u64));
+        let idx = Rc::new(RefCell::new(0usize));
+        let (et, ix) = (Rc::clone(&expected_total), Rc::clone(&idx));
+        k.process("producer", &[clk.negedge()], move |_| {
+            // Drive on falling edges so values are stable at rising edges.
+            let mut i = ix.borrow_mut();
+            if *i < values.len() {
+                din_sig.write(Bv::from_u64(8, values[*i]));
+                en_sig.write(Bv::from_bool(true));
+                *et.borrow_mut() += values[*i];
+                *i += 1;
+            } else {
+                en_sig.write(Bv::from_bool(false));
+            }
+        });
+        // Run long enough for all values plus one settling edge.
+        k.run(2 * (values.len() as u64 + 3));
+
+        let total = rtl.output("total").read();
+        assert_eq!(total.to_u64(), values.iter().sum::<u64>());
+        assert_eq!(*expected_total.borrow(), total.to_u64());
+    }
+
+    #[test]
+    fn port_lookup_panics_on_typo() {
+        let mut b = ModuleBuilder::new("id");
+        let x = b.input("x", 4);
+        b.output("y", x);
+        let mut k = Kernel::new();
+        let clk = Clock::new(&mut k, "clk", 2);
+        let rtl = RtlInKernel::new(&mut k, &clk, "u", b.finish().unwrap()).unwrap();
+        let _ = rtl.input("x");
+        let _ = rtl.output("y");
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rtl.input("nope")
+        }))
+        .is_err());
+    }
+}

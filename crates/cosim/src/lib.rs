@@ -1,0 +1,41 @@
+//! Co-simulation between system-level models and RTL: transactors,
+//! wrapped-RTL, stream comparators, constrained-random stimulus, and an RTL
+//! mutation engine.
+//!
+//! Implements the paper's §2 simulation-based methodology:
+//!
+//! 1. stimulus is generated at the transaction level ([`StimulusGen`]),
+//! 2. the golden SLM produces expected outputs (via `dfv-slmir`'s
+//!    interpreter or a `dfv-slm` model),
+//! 3. adapters convert SLM stimulus to RTL stimulus — [`DirectDriver`] for
+//!    parallel interfaces, [`SerialDriver`] for the paper's
+//!    whole-image-to-pixel-stream case — around the simulator, forming the
+//!    **wrapped-RTL** ([`WrappedRtl`]),
+//! 4. output streams are aligned and compared with the policy the timing
+//!    abstraction demands: [`ExactComparator`], [`InOrderComparator`]
+//!    (latency-tolerant), or [`OutOfOrderComparator`] (tag-matched).
+//!
+//! The [`enumerate_mutations`] engine supplies realistic injected RTL bugs
+//! for measuring how quickly simulation and sequential equivalence checking
+//! find divergences (experiment E3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compare;
+mod kernel_bridge;
+mod mutate;
+mod stimulus;
+mod wrapped;
+
+pub use compare::{
+    Comparator, CompareReport, ExactComparator, InOrderComparator, OutOfOrderComparator,
+    StreamItem, StreamMismatch,
+};
+pub use kernel_bridge::RtlInKernel;
+pub use mutate::{apply_mutation, enumerate_mutations, Mutation};
+pub use stimulus::{FieldSpec, StimulusGen};
+pub use wrapped::{
+    DirectDriver, FixedCycleMonitor, InputTransactor, OutputTransactor, SerialCollector,
+    SerialDriver, Transaction, WrappedRtl,
+};

@@ -1,0 +1,260 @@
+//! RTL mutation: the injected-bug model for verification-effectiveness
+//! experiments.
+//!
+//! The paper claims SEC "is very effective at quickly finding discrepancies
+//! between SLM and RTL models" (§2). To measure that against simulation, we
+//! need a supply of realistic RTL bugs. Each [`Mutation`] is a small,
+//! width-preserving semantic change of the kind real designers make: a
+//! swapped operator, a perturbed constant, inverted mux polarity, a wrong
+//! reset value, a dropped clock enable, an off-by-one slice.
+
+use dfv_rtl::ir::{BinOp, Node};
+use dfv_rtl::Module;
+
+/// One applicable mutation site in a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Replace the operator of node `node` with `new_op` (same widths).
+    SwapBinOp {
+        /// Node index.
+        node: usize,
+        /// Replacement operator.
+        new_op: BinOp,
+    },
+    /// Flip bit `bit` of the constant at node `node`.
+    FlipConstBit {
+        /// Node index.
+        node: usize,
+        /// Bit to flip.
+        bit: u32,
+    },
+    /// Swap the two data inputs of the mux at node `node` (inverted
+    /// polarity).
+    InvertMux {
+        /// Node index.
+        node: usize,
+    },
+    /// Flip bit `bit` of register `reg`'s reset value.
+    FlipRegInit {
+        /// Register index.
+        reg: usize,
+        /// Bit to flip.
+        bit: u32,
+    },
+    /// Remove register `reg`'s clock enable (it now loads every cycle —
+    /// a classic dropped-stall bug, §3.2).
+    DropEnable {
+        /// Register index.
+        reg: usize,
+    },
+    /// Shift a slice down by one bit (off-by-one part select).
+    SliceOffByOne {
+        /// Node index.
+        node: usize,
+    },
+}
+
+/// Width-preserving operator substitutions considered "one edit" apart.
+fn swaps_for(op: BinOp) -> &'static [BinOp] {
+    match op {
+        BinOp::Add => &[BinOp::Sub, BinOp::Or],
+        BinOp::Sub => &[BinOp::Add],
+        BinOp::Mul => &[BinOp::Add],
+        BinOp::And => &[BinOp::Or, BinOp::Xor],
+        BinOp::Or => &[BinOp::And, BinOp::Xor],
+        BinOp::Xor => &[BinOp::Or, BinOp::And],
+        BinOp::Shl => &[BinOp::LShr],
+        BinOp::LShr => &[BinOp::AShr, BinOp::Shl],
+        BinOp::AShr => &[BinOp::LShr],
+        BinOp::Eq => &[BinOp::Ne],
+        BinOp::Ne => &[BinOp::Eq],
+        BinOp::ULt => &[BinOp::ULe, BinOp::SLt],
+        BinOp::ULe => &[BinOp::ULt],
+        BinOp::SLt => &[BinOp::SLe, BinOp::ULt],
+        BinOp::SLe => &[BinOp::SLt],
+        BinOp::UDiv => &[BinOp::URem],
+        BinOp::URem => &[BinOp::UDiv],
+        BinOp::SDiv => &[BinOp::SRem],
+        BinOp::SRem => &[BinOp::SDiv],
+    }
+}
+
+/// Enumerates every applicable mutation of a module.
+pub fn enumerate_mutations(m: &Module) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for (i, node) in m.nodes.iter().enumerate() {
+        match node {
+            Node::Bin(op, ..) => {
+                for &new_op in swaps_for(*op) {
+                    out.push(Mutation::SwapBinOp { node: i, new_op });
+                }
+            }
+            Node::Const(v) => {
+                // Flip each of up to the low 4 bits, plus the MSB.
+                for bit in 0..v.width().min(4) {
+                    out.push(Mutation::FlipConstBit { node: i, bit });
+                }
+                if v.width() > 4 {
+                    out.push(Mutation::FlipConstBit {
+                        node: i,
+                        bit: v.width() - 1,
+                    });
+                }
+            }
+            Node::Mux { .. } => out.push(Mutation::InvertMux { node: i }),
+            Node::Slice { lo, .. } if *lo > 0 => {
+                out.push(Mutation::SliceOffByOne { node: i });
+            }
+            _ => {}
+        }
+    }
+    for (r, reg) in m.regs.iter().enumerate() {
+        for bit in 0..reg.width.min(2) {
+            out.push(Mutation::FlipRegInit { reg: r, bit });
+        }
+        if reg.en.is_some() {
+            out.push(Mutation::DropEnable { reg: r });
+        }
+    }
+    out
+}
+
+/// Applies a mutation, returning the mutated module (the original is
+/// untouched). The result is structurally valid by construction.
+///
+/// # Panics
+///
+/// Panics if the mutation does not refer to a matching site in `m` (i.e.
+/// it was enumerated from a different module).
+pub fn apply_mutation(m: &Module, mutation: &Mutation) -> Module {
+    let mut out = m.clone();
+    match mutation {
+        Mutation::SwapBinOp { node, new_op } => {
+            let Node::Bin(op, a, b) = out.nodes[*node].clone() else {
+                panic!("mutation site {node} is not a binary op");
+            };
+            let _ = op;
+            out.nodes[*node] = Node::Bin(*new_op, a, b);
+            // Comparison <-> arithmetic swaps would change widths; the
+            // enumeration only proposes width-preserving swaps.
+        }
+        Mutation::FlipConstBit { node, bit } => {
+            let Node::Const(v) = &out.nodes[*node] else {
+                panic!("mutation site {node} is not a constant");
+            };
+            let flipped = v.with_bit(*bit, !v.bit(*bit));
+            out.nodes[*node] = Node::Const(flipped);
+        }
+        Mutation::InvertMux { node } => {
+            let Node::Mux { sel, t, f } = out.nodes[*node] else {
+                panic!("mutation site {node} is not a mux");
+            };
+            out.nodes[*node] = Node::Mux { sel, t: f, f: t };
+        }
+        Mutation::FlipRegInit { reg, bit } => {
+            let init = &out.regs[*reg].init;
+            out.regs[*reg].init = init.with_bit(*bit, !init.bit(*bit));
+        }
+        Mutation::DropEnable { reg } => {
+            out.regs[*reg].en = None;
+        }
+        Mutation::SliceOffByOne { node } => {
+            let Node::Slice { src, hi, lo } = out.nodes[*node] else {
+                panic!("mutation site {node} is not a slice");
+            };
+            out.nodes[*node] = Node::Slice {
+                src,
+                hi: hi - 1,
+                lo: lo - 1,
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_bits::Bv;
+    use dfv_rtl::{check_module, ModuleBuilder, Simulator};
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::new("dut");
+        let en = b.input("en", 1);
+        let x = b.input("x", 8);
+        let c = b.lit(8, 0x1F);
+        let sum = b.add(x, c);
+        let hi = b.slice(sum, 7, 4);
+        let lo = b.slice(sum, 3, 0);
+        let sel = b.ult(hi, lo);
+        let muxed = b.mux(sel, hi, lo);
+        let r = b.reg("r", 4, Bv::from_u64(4, 3));
+        b.connect_reg(r, muxed);
+        b.reg_enable(r, en);
+        let q = b.reg_q(r);
+        b.output("y", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn enumeration_finds_many_sites() {
+        let m = sample_module();
+        let muts = enumerate_mutations(&m);
+        assert!(muts.len() >= 10, "only {} mutations", muts.len());
+        assert!(muts.iter().any(|x| matches!(x, Mutation::SwapBinOp { .. })));
+        assert!(muts.iter().any(|x| matches!(x, Mutation::InvertMux { .. })));
+        assert!(muts.iter().any(|x| matches!(x, Mutation::DropEnable { .. })));
+        assert!(muts
+            .iter()
+            .any(|x| matches!(x, Mutation::SliceOffByOne { .. })));
+    }
+
+    #[test]
+    fn all_mutants_are_structurally_valid() {
+        let m = sample_module();
+        for mutation in enumerate_mutations(&m) {
+            let mutant = apply_mutation(&m, &mutation);
+            check_module(&mutant).unwrap_or_else(|e| panic!("{mutation:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn mutants_change_behaviour() {
+        // At least three quarters of mutants must differ observably from
+        // the original on a short directed run (weak mutants are normal,
+        // dead mutants in this little design should be rare).
+        let m = sample_module();
+        let run = |module: &Module| -> Vec<u64> {
+            let mut sim = Simulator::new(module.clone()).unwrap();
+            let mut outs = Vec::new();
+            for i in 0..16u64 {
+                sim.poke("en", Bv::from_bool(i % 3 != 0));
+                sim.poke("x", Bv::from_u64(8, i * 37));
+                outs.push(sim.output("y").to_u64());
+                sim.step();
+            }
+            outs
+        };
+        let golden = run(&m);
+        let muts = enumerate_mutations(&m);
+        let changed = muts
+            .iter()
+            .filter(|mutation| run(&apply_mutation(&m, mutation)) != golden)
+            .count();
+        assert!(
+            changed * 4 >= muts.len() * 3,
+            "only {changed}/{} mutants changed behaviour",
+            muts.len()
+        );
+    }
+
+    #[test]
+    fn original_module_is_untouched() {
+        let m = sample_module();
+        let before = m.clone();
+        for mutation in enumerate_mutations(&m) {
+            let _ = apply_mutation(&m, &mutation);
+        }
+        assert_eq!(m, before);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Figure-1 ALU: the paper's running example of computational
+//! inconsistency.
+//!
+//! Three SLM variants of `out = a + b + c` over signed 8-bit inputs:
+//!
+//! * [`slm_int_style`] — C idiom, `int` temporary: 32-bit arithmetic masks
+//!   the overflow of an 8-bit RTL temporary (**diverges** from the RTL);
+//! * [`slm_bit_accurate`] — explicit `int8` temporary in the RTL's
+//!   association order (**matches** the RTL);
+//! * [`slm_reassociated`] — explicit `int8` temporary but computing
+//!   `(b + c) + a`: non-associativity at 8 bits makes this **diverge**
+//!   (the literal Figure 1).
+//!
+//! The RTL ([`rtl`]) is a two-stage pipeline registering `tmp = a + b` and
+//! `c`, then producing `sext(tmp) + sext(c)` — with the temporary width as
+//! a parameter so experiment E1 can sweep it.
+
+use dfv_bits::Bv;
+use dfv_rtl::{Module, ModuleBuilder};
+use dfv_sec::{Binding, EquivSpec};
+
+/// SLM with a C-style `int` temporary (32-bit arithmetic, masking).
+pub fn slm_int_style() -> &'static str {
+    r#"
+    // C-style model: `int` temporaries never overflow for 8-bit inputs,
+    // so this model hides the RTL's narrow-adder behaviour (paper Fig 1).
+    int<9> alu(int8 a, int8 b, int8 c) {
+        int t = a + b;
+        return (int<9>)(t + c);
+    }
+    "#
+}
+
+/// SLM with an explicit narrow temporary matching the RTL exactly.
+pub fn slm_bit_accurate() -> &'static str {
+    r#"
+    // Bit-accurate model: the temporary is int8, like the RTL datapath.
+    int<9> alu(int8 a, int8 b, int8 c) {
+        int8 t = (int8)(a + b);
+        return (int<9>)((int)t + c);
+    }
+    "#
+}
+
+/// SLM with a narrow temporary in the *other* association order.
+pub fn slm_reassociated() -> &'static str {
+    r#"
+    // Same widths, different association: (b + c) + a. Non-associativity
+    // of finite-precision addition makes this differ from (a + b) + c.
+    int<9> alu(int8 a, int8 b, int8 c) {
+        int8 t = (int8)(b + c);
+        return (int<9>)((int)t + a);
+    }
+    "#
+}
+
+/// The two-stage pipelined RTL with a `temp_width`-bit temporary
+/// (`temp_width = 8` reproduces Figure 1; `temp_width >= 9` is the paper's
+/// widened-accumulator fix). Inputs are `width`-bit signed.
+///
+/// # Panics
+///
+/// Panics if `temp_width < width` or `width < 2`.
+pub fn rtl(width: u32, temp_width: u32) -> Module {
+    assert!(width >= 2 && temp_width >= width);
+    let mut b = ModuleBuilder::new("alu_rtl");
+    let a = b.input("a", width);
+    let bi = b.input("b", width);
+    let c = b.input("c", width);
+    // Stage 1: tmp := a + b at temp_width; c delayed alongside.
+    let aw = b.sext(a, temp_width);
+    let bw = b.sext(bi, temp_width);
+    let sum = b.add(aw, bw);
+    let tmp_r = b.reg("tmp", temp_width, Bv::zero(temp_width));
+    b.connect_reg(tmp_r, sum);
+    let c_r = b.reg("c_r", width, Bv::zero(width));
+    b.connect_reg(c_r, c);
+    // Stage 2: out := sext(tmp) + sext(c) at width + 1.
+    let tq = b.reg_q(tmp_r);
+    let cq = b.reg_q(c_r);
+    let out_w = width + 1;
+    let tqe = b.resize_sext(tq, out_w);
+    let cqe = b.sext(cq, out_w);
+    let out = b.add(tqe, cqe);
+    b.output("out", out);
+    b.finish().expect("alu rtl is well formed")
+}
+
+/// The transaction spec: inputs applied at cycle 0, output compared at
+/// cycle 1 (after the pipeline register).
+pub fn equiv_spec() -> EquivSpec {
+    EquivSpec::new(2)
+        .bind("a", 0, Binding::Slm("a".into()))
+        .bind("b", 0, Binding::Slm("b".into()))
+        .bind("c", 0, Binding::Slm("c".into()))
+        .compare("return", "out", 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_slmir::{elaborate, parse};
+
+    fn check(src: &str, temp_width: u32) -> bool {
+        let slm = elaborate(&parse(src).unwrap(), "alu").unwrap();
+        let rtl = rtl(8, temp_width);
+        dfv_sec::check_equivalence(&slm, &rtl, &equiv_spec())
+            .unwrap()
+            .outcome
+            .is_equivalent()
+    }
+
+    #[test]
+    fn bit_accurate_slm_matches_narrow_rtl() {
+        assert!(check(slm_bit_accurate(), 8));
+    }
+
+    #[test]
+    fn int_style_slm_diverges_from_narrow_rtl() {
+        // The paper's central point: the int-based C model masks the
+        // 8-bit overflow, so SEC finds a counterexample.
+        assert!(!check(slm_int_style(), 8));
+    }
+
+    #[test]
+    fn widened_temp_fixes_int_style() {
+        // With a 9-bit temporary the RTL no longer overflows and the
+        // int-style model agrees (9 bits suffice for a + b).
+        assert!(check(slm_int_style(), 9));
+    }
+
+    #[test]
+    fn reassociated_slm_diverges_regardless_of_rtl_temp() {
+        // The reassociated SLM's *own* 8-bit temporary overflows, so it
+        // disagrees with the RTL whether the RTL temp is narrow or wide.
+        assert!(!check(slm_reassociated(), 8));
+        assert!(!check(slm_reassociated(), 9));
+    }
+
+    #[test]
+    fn counterexample_is_fig1_shaped() {
+        let slm = elaborate(&parse(slm_reassociated()).unwrap(), "alu").unwrap();
+        let rtl = rtl(8, 8);
+        let report = dfv_sec::check_equivalence(&slm, &rtl, &equiv_spec()).unwrap();
+        let dfv_sec::EquivOutcome::NotEquivalent(cex) = report.outcome else {
+            panic!("expected counterexample");
+        };
+        // One of the two orders must overflow at 8 bits on this witness.
+        let get = |n: &str| {
+            cex.slm_inputs
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap()
+                .1
+                .to_i64()
+        };
+        let (a, b, c) = (get("a"), get("b"), get("c"));
+        let ab_overflows = !(-128..=127).contains(&(a + b));
+        let bc_overflows = !(-128..=127).contains(&(b + c));
+        assert!(ab_overflows || bc_overflows, "witness {a} {b} {c}");
+    }
+}

@@ -1,0 +1,269 @@
+//! A 3x3 Gaussian-blur image tile: the parallel-vs-serial interface pair.
+//!
+//! The paper's §3.2, verbatim: "the SLM of an image processing block may
+//! read in the entire image as a single array of pixels while the RTL reads
+//! it as a stream of pixels." The SLM here takes a whole 4x4 tile as one
+//! array argument; the RTL loads pixels one per cycle into an internal
+//! register file, then streams results out one per cycle. Larger images are
+//! processed tile by tile (see the `image_pipeline` example).
+
+use dfv_bits::Bv;
+use dfv_rtl::{Module, ModuleBuilder, NodeId};
+use dfv_sec::{Binding, EquivSpec};
+
+/// Image tile side length.
+pub const SIDE: usize = 4;
+/// Pixels per tile.
+pub const PIXELS: usize = SIDE * SIDE;
+/// Counter width: one phase bit above the pixel index bits.
+const CNT_W: u32 = 5;
+const IDX_W: u32 = 4;
+
+/// The SLM-C source: whole-tile-in, whole-tile-out, 3x3 kernel
+/// (1 2 1 / 2 4 2 / 1 2 1) / 16 with zero padding at the borders.
+///
+/// Written in the paper's *conditioned* style: every loop bound and array
+/// index is a static expression of loop variables, so the elaborator emits
+/// constant indexing (no mux trees) and static control.
+pub fn slm_source() -> &'static str {
+    r#"
+    // 3x3 Gaussian blur over a 4x4 tile, zero padding outside.
+    void blur(uint8 img[16], out uint8 res[16]) {
+        for (int y = 0; y < 4; y++) {
+            for (int x = 0; x < 4; x++) {
+                int acc = 0;
+                for (int dy = 0 - 1; dy <= 1; dy++) {
+                    for (int dx = 0 - 1; dx <= 1; dx++) {
+                        if (y + dy >= 0) {
+                            if (y + dy <= 3) {
+                                if (x + dx >= 0) {
+                                    if (x + dx <= 3) {
+                                        int w = (dy == 0 ? 2 : 1) * (dx == 0 ? 2 : 1);
+                                        acc += w * img[(y + dy) * 4 + (x + dx)];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                res[y * 4 + x] = (uint8)(acc >> 4);
+            }
+        }
+    }
+    "#
+}
+
+/// Builds the combinational blur of pixel (x, y) from the 16 pixel nodes.
+fn blur_pixel(b: &mut ModuleBuilder, pix: &[NodeId], x: i64, y: i64) -> NodeId {
+    let mut acc = b.lit(12, 0);
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            let (yy, xx) = (y + dy, x + dx);
+            if !(0..SIDE as i64).contains(&yy) || !(0..SIDE as i64).contains(&xx) {
+                continue;
+            }
+            let w = (if dy == 0 { 2u32 } else { 1 }) * (if dx == 0 { 2 } else { 1 });
+            let p = pix[(yy * SIDE as i64 + xx) as usize];
+            let pw = b.zext(p, 12);
+            let shift = b.lit(2, w.trailing_zeros() as u64);
+            let term = b.shl(pw, shift);
+            acc = b.add(acc, term);
+        }
+    }
+    let four = b.lit(4, 4);
+    let shifted = b.lshr(acc, four);
+    b.trunc(shifted, 8)
+}
+
+/// The streaming RTL: [`PIXELS`] LOAD cycles (one pixel per cycle on
+/// `pix_in` when `in_valid`), then [`PIXELS`] OUTPUT cycles (`pix_out` +
+/// `out_valid`). The pixel store is a register file; the blur of the
+/// streamed-out pixel is computed combinationally from it.
+pub fn rtl() -> Module {
+    let mut b = ModuleBuilder::new("blur_rtl");
+    let in_valid = b.input("in_valid", 1);
+    let pix_in = b.input("pix_in", 8);
+    let regs: Vec<_> = (0..PIXELS)
+        .map(|i| b.reg(format!("p{i}"), 8, Bv::zero(8)))
+        .collect();
+    let pix_q: Vec<NodeId> = regs.iter().map(|r| b.reg_q(*r)).collect();
+    // Phase counter: low IDX_W bits index pixels; the top bit selects the
+    // output phase.
+    let cnt = b.reg("cnt", CNT_W, Bv::zero(CNT_W));
+    let cntq = b.reg_q(cnt);
+    let streaming = b.bit(cntq, CNT_W - 1);
+    let loading = b.not(streaming);
+    let advance = {
+        let iv = b.and(loading, in_valid);
+        b.or(iv, streaming)
+    };
+    let one = b.lit(CNT_W, 1);
+    let next_cnt = b.add(cntq, one);
+    b.connect_reg(cnt, next_cnt);
+    b.reg_enable(cnt, advance);
+    // Load decode.
+    let idx = b.trunc(cntq, IDX_W);
+    for (i, r) in regs.iter().enumerate() {
+        let iv = b.lit(IDX_W, i as u64);
+        let hit = b.eq(idx, iv);
+        let en = {
+            let lh = b.and(loading, hit);
+            b.and(lh, in_valid)
+        };
+        b.connect_reg(*r, pix_in);
+        b.reg_enable(*r, en);
+    }
+    // Output select.
+    let mut out_val = b.lit(8, 0);
+    for y in 0..SIDE as i64 {
+        for x in 0..SIDE as i64 {
+            let i = (y * SIDE as i64 + x) as u64;
+            let iv = b.lit(IDX_W, i);
+            let hit = b.eq(idx, iv);
+            let v = blur_pixel(&mut b, &pix_q, x, y);
+            out_val = b.mux(hit, v, out_val);
+        }
+    }
+    b.output("pix_out", out_val);
+    b.output("out_valid", streaming);
+    b.finish().expect("blur rtl is well formed")
+}
+
+/// The transaction spec: [`PIXELS`] load cycles streaming `img` slices,
+/// then [`PIXELS`] compare cycles against `res` slices.
+pub fn equiv_spec() -> EquivSpec {
+    let mut spec = EquivSpec::new(2 * PIXELS as u32);
+    for i in 0..PIXELS as u32 {
+        spec = spec
+            .bind("in_valid", i, Binding::Const(Bv::from_bool(true)))
+            .bind(
+                "pix_in",
+                i,
+                Binding::SlmSlice {
+                    name: "img".into(),
+                    hi: i * 8 + 7,
+                    lo: i * 8,
+                },
+            );
+        let t = PIXELS as u32 + i;
+        spec = spec
+            .bind("in_valid", t, Binding::Const(Bv::from_bool(false)))
+            .compare_slice("res", i * 8 + 7, i * 8, "pix_out", t);
+    }
+    spec
+}
+
+/// Runs the SLM (via the interpreter) on a packed tile, returning the
+/// packed result — the golden model for co-simulation.
+///
+/// # Panics
+///
+/// Panics if `img` is not `PIXELS * 8` bits wide.
+pub fn slm_golden(img: &Bv) -> Bv {
+    use dfv_slmir::{Interp, ScalarTy, Value};
+    assert_eq!(img.width() as usize, PIXELS * 8);
+    let prog = dfv_slmir::parse(slm_source()).expect("slm source parses");
+    let u8t = ScalarTy {
+        width: 8,
+        signed: false,
+    };
+    let words: Vec<Bv> = (0..PIXELS as u32)
+        .map(|i| img.slice(i * 8 + 7, i * 8))
+        .collect();
+    let r = Interp::new(&prog)
+        .run("blur", &[Value::Array(words, u8t)])
+        .expect("slm executes");
+    let (_, Value::Array(out, _)) = &r.outs[0] else {
+        panic!("blur has one out array")
+    };
+    let mut packed = out[0].clone();
+    for w in &out[1..] {
+        packed = w.concat(&packed);
+    }
+    packed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_rtl::Simulator;
+
+    fn pack(pixels: &[u64]) -> Bv {
+        let mut packed = Bv::from_u64(8, pixels[0]);
+        for &p in &pixels[1..] {
+            packed = Bv::from_u64(8, p).concat(&packed);
+        }
+        packed
+    }
+
+    #[test]
+    fn uniform_tile_blurs_predictably() {
+        let img = pack(&[100; PIXELS]);
+        let out = slm_golden(&img);
+        let at = |x: u32, y: u32| {
+            let i = y * SIDE as u32 + x;
+            out.slice(i * 8 + 7, i * 8).to_u64()
+        };
+        // Interior pixel (full 16/16 kernel coverage): unchanged.
+        assert_eq!(at(1, 1), 100);
+        assert_eq!(at(2, 2), 100);
+        // Corner: covered weight 4+2+2+1 = 9 -> (100 * 9) >> 4 = 56.
+        assert_eq!(at(0, 0), 56);
+        // Edge (non-corner): weight 12 -> 75.
+        assert_eq!(at(1, 0), 75);
+    }
+
+    #[test]
+    fn rtl_streams_match_golden() {
+        let pixels: Vec<u64> = (0..PIXELS as u64).map(|i| (i * 31 + 7) % 256).collect();
+        let img = pack(&pixels);
+        let golden = slm_golden(&img);
+
+        let mut sim = Simulator::new(rtl()).unwrap();
+        for &p in pixels.iter() {
+            sim.poke("in_valid", Bv::from_bool(true));
+            sim.poke("pix_in", Bv::from_u64(8, p));
+            sim.step();
+        }
+        for i in 0..PIXELS as u32 {
+            sim.poke("in_valid", Bv::from_bool(false));
+            assert!(sim.output("out_valid").bit(0), "pixel {i}");
+            let expect = golden.slice(i * 8 + 7, i * 8).to_u64();
+            assert_eq!(sim.output("pix_out").to_u64(), expect, "pixel {i}");
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn load_phase_respects_in_valid_gaps() {
+        let pixels: Vec<u64> = (0..PIXELS as u64).map(|i| (i * 13) % 256).collect();
+        let mut sim = Simulator::new(rtl()).unwrap();
+        let mut i = 0usize;
+        let mut cycle = 0;
+        while i < PIXELS {
+            let bubble = cycle % 5 == 2;
+            sim.poke("in_valid", Bv::from_bool(!bubble));
+            sim.poke("pix_in", Bv::from_u64(8, pixels[i.min(PIXELS - 1)]));
+            sim.step();
+            if !bubble {
+                i += 1;
+            }
+            cycle += 1;
+        }
+        let golden = slm_golden(&pack(&pixels));
+        sim.poke("in_valid", Bv::from_bool(false));
+        assert!(sim.output("out_valid").bit(0));
+        assert_eq!(sim.output("pix_out").to_u64(), golden.slice(7, 0).to_u64());
+    }
+
+    #[test]
+    fn slm_rtl_equivalence_via_sec() {
+        let slm = dfv_slmir::elaborate(&dfv_slmir::parse(slm_source()).unwrap(), "blur").unwrap();
+        let report = dfv_sec::check_equivalence(&slm, &rtl(), &equiv_spec()).unwrap();
+        assert!(
+            report.outcome.is_equivalent(),
+            "blur SLM and RTL must be transaction equivalent: {:?}",
+            report.outcome
+        );
+    }
+}

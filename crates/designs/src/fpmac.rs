@@ -1,0 +1,131 @@
+//! A floating-point multiply-accumulate: the §3.1.2 divergence pair.
+//!
+//! The SLM computes `a * b + c` with the host's IEEE `f32`; the "RTL"
+//! behavioural model uses [`FpUnit`] with [`FloatFeatures::REDUCED_HARDWARE`]
+//! (flush-to-zero, saturate-on-overflow, no NaN). They agree on ordinary
+//! values and diverge exactly on the corner cases the paper lists —
+//! denormals, infinities, NaN — which the [`benign`] input constraint
+//! excludes, making the constrained pair equivalent (the paper's
+//! recommended technique for equivalence checking such designs).
+
+use dfv_float::{FloatFeatures, FloatFormat, FpUnit};
+
+/// The full-IEEE unit (bit-exact with the host FPU — property-tested in
+/// `dfv-float`).
+pub fn ieee_unit() -> FpUnit {
+    FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::FULL_IEEE)
+}
+
+/// The reduced hardware unit.
+pub fn hw_unit() -> FpUnit {
+    FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::REDUCED_HARDWARE)
+}
+
+/// The SLM: native IEEE multiply-accumulate (separate rounding per
+/// operation, like C source code `a * b + c` — not a fused MAC).
+pub fn slm_mac(a: f32, b: f32, c: f32) -> f32 {
+    a * b + c
+}
+
+/// The RTL behavioural model: the same dataflow through a unit.
+pub fn unit_mac(u: &FpUnit, a: u32, b: u32, c: u32) -> u64 {
+    let p = u.mul(u64::from(a), u64::from(b));
+    u.add(p, u64::from(c))
+}
+
+/// Whether SLM and reduced hardware diverge on this input triple.
+pub fn diverges(a: f32, b: f32, c: f32) -> bool {
+    let slm = slm_mac(a, b, c);
+    let hw = unit_mac(&hw_unit(), a.to_bits(), b.to_bits(), c.to_bits());
+    if slm.is_nan() {
+        // Reduced hardware cannot represent NaN at all — always divergent.
+        return true;
+    }
+    u64::from(slm.to_bits()) != hw
+}
+
+/// The input constraint of the paper's §3.1.2: values for which the
+/// reduced-feature hardware is exact. Zero or a normal number whose
+/// magnitude keeps products and sums away from overflow and underflow.
+pub fn benign(x: f32) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    if !x.is_finite() || x.is_nan() {
+        return false;
+    }
+    let mag = x.abs();
+    // Normal, and within 2^-30 .. 2^30 so products stay in 2^-60 .. 2^60:
+    // comfortably inside single-precision normal range.
+    (f32::MIN_POSITIVE..=f32::MAX).contains(&mag) && (1e-9..=1e9).contains(&mag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_values_agree() {
+        for (a, b, c) in [
+            (1.5f32, 2.0, 3.25),
+            (-7.0, 0.125, 100.0),
+            (3.14159, 2.71828, -1.41421),
+            (0.0, 5.0, 9.5),
+        ] {
+            assert!(!diverges(a, b, c), "{a} {b} {c}");
+        }
+    }
+
+    #[test]
+    fn denormals_diverge() {
+        let tiny = f32::from_bits(0x0000_1000); // denormal
+        assert!(diverges(tiny, 1.0, 0.0));
+        // A product that underflows into the denormal range.
+        assert!(diverges(1e-25, 1e-15, 0.0));
+    }
+
+    #[test]
+    fn overflow_diverges() {
+        // IEEE gives +inf, reduced hardware saturates to MAX.
+        assert!(diverges(f32::MAX, 2.0, 0.0));
+    }
+
+    #[test]
+    fn nan_diverges() {
+        assert!(diverges(f32::NAN, 1.0, 1.0));
+        assert!(diverges(f32::INFINITY, 0.0, 1.0)); // inf * 0 = NaN
+    }
+
+    #[test]
+    fn benign_inputs_never_diverge() {
+        // Deterministic pseudo-random sweep over benign triples.
+        let mut seed = 0x5EED_5EEDu64;
+        let mut next_f32 = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            // Map into +-[1e-6, 1e6] — comfortably benign.
+            let mant = (seed % 2_000_000) as f32 / 1000.0 - 1000.0;
+            if mant == 0.0 {
+                1.0
+            } else {
+                mant
+            }
+        };
+        for _ in 0..2000 {
+            let (a, b, c) = (next_f32(), next_f32(), next_f32());
+            assert!(benign(a) && benign(b) && benign(c));
+            assert!(!diverges(a, b, c), "{a} {b} {c}");
+        }
+    }
+
+    #[test]
+    fn benign_rejects_corners() {
+        assert!(!benign(f32::NAN));
+        assert!(!benign(f32::INFINITY));
+        assert!(!benign(f32::from_bits(1))); // denormal
+        assert!(!benign(f32::MAX)); // overflow risk under multiplication
+        assert!(benign(0.0));
+        assert!(benign(-123.5));
+    }
+}

@@ -1,0 +1,662 @@
+//! Parametric soft floating point, modelling *reduced-IEEE* hardware FPUs.
+//!
+//! The paper's §3.1.2 identifies floating point as a classic source of
+//! SLM/RTL divergence: the system-level model uses the machine's IEEE
+//! `float`/`double`, while "RTL designers often do not implement the full
+//! IEEE standard" because handling denormals, NaN, and infinity "can be
+//! prohibitively costly in hardware". This crate provides:
+//!
+//! * [`FloatFormat`] — a parametric (exponent bits, fraction bits) binary
+//!   format (IEEE single, half, bfloat16, or custom),
+//! * [`FloatFeatures`] — which IEEE corner cases the implementation
+//!   actually supports (denormals / NaN / infinity / rounding mode),
+//! * [`FpUnit`] — add, sub, mul, and compare implemented the way RTL does
+//!   it, by explicit mantissa/exponent manipulation with guard-round-sticky
+//!   rounding.
+//!
+//! With [`FloatFeatures::FULL_IEEE`] and [`FloatFormat::IEEE_SINGLE`], every
+//! operation is bit-exact with native `f32` (property-tested against the
+//! host FPU). With [`FloatFeatures::REDUCED_HARDWARE`], denormals flush to
+//! zero and overflow saturates to the largest finite value — so an SLM
+//! using native floats and an RTL using this unit *diverge on exactly the
+//! corner cases the paper describes*, and agree when inputs are constrained
+//! away from them (the paper's recommended fix for equivalence checking).
+//!
+//! # Example
+//!
+//! ```
+//! use dfv_float::{FloatFormat, FloatFeatures, FpUnit};
+//!
+//! let ieee = FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::FULL_IEEE);
+//! let hw = FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::REDUCED_HARDWARE);
+//!
+//! let a = ieee.from_f32(1.5);
+//! let b = ieee.from_f32(2.25);
+//! assert_eq!(ieee.to_f32(ieee.add(a, b)), 3.75);
+//! // On ordinary values the reduced unit agrees...
+//! assert_eq!(hw.add(a, b), ieee.add(a, b));
+//! // ...but a denormal input is flushed to zero by the reduced unit.
+//! let tiny = ieee.from_f32(f32::from_bits(1)); // smallest denormal
+//! assert_eq!(hw.to_f32(hw.add(tiny, hw.from_f32(0.0))), 0.0);
+//! assert_ne!(ieee.to_f32(ieee.add(tiny, ieee.from_f32(0.0))), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A binary floating-point format: 1 sign bit, `exp_bits` exponent bits,
+/// `frac_bits` fraction bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    /// Exponent field width (2..=11).
+    pub exp_bits: u32,
+    /// Fraction (mantissa-without-hidden-bit) width (1..=52).
+    pub frac_bits: u32,
+}
+
+impl FloatFormat {
+    /// IEEE 754 binary32.
+    pub const IEEE_SINGLE: FloatFormat = FloatFormat {
+        exp_bits: 8,
+        frac_bits: 23,
+    };
+    /// IEEE 754 binary16.
+    pub const IEEE_HALF: FloatFormat = FloatFormat {
+        exp_bits: 5,
+        frac_bits: 10,
+    };
+    /// Google bfloat16.
+    pub const BFLOAT16: FloatFormat = FloatFormat {
+        exp_bits: 8,
+        frac_bits: 7,
+    };
+
+    /// Total width in bits (1 + exp + frac).
+    pub fn width(self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// The exponent bias (`2^(exp_bits-1) - 1`).
+    pub fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    fn max_exp_field(self) -> u64 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// The bit pattern of the largest finite value with the given sign.
+    pub fn max_finite(self, negative: bool) -> u64 {
+        let mag = ((self.max_exp_field() - 1) << self.frac_bits) | ((1 << self.frac_bits) - 1);
+        (u64::from(negative) << (self.exp_bits + self.frac_bits)) | mag
+    }
+
+    /// The canonical quiet-NaN bit pattern.
+    pub fn quiet_nan(self) -> u64 {
+        (self.max_exp_field() << self.frac_bits) | (1 << (self.frac_bits - 1))
+    }
+
+    /// The infinity bit pattern with the given sign.
+    pub fn infinity(self, negative: bool) -> u64 {
+        (u64::from(negative) << (self.exp_bits + self.frac_bits))
+            | (self.max_exp_field() << self.frac_bits)
+    }
+}
+
+/// Which IEEE features the hardware actually implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFeatures {
+    /// Support denormal (subnormal) inputs and outputs; if `false`, they
+    /// flush to zero.
+    pub denormals: bool,
+    /// Support NaN; if `false`, would-be-NaN results become the largest
+    /// finite value and NaN-patterned inputs are read as that value too.
+    pub nan: bool,
+    /// Support infinity; if `false`, overflow saturates to the largest
+    /// finite value and infinity-patterned inputs are read as that value.
+    pub inf: bool,
+    /// Round to nearest-even; if `false`, truncate toward zero (the
+    /// cheapest hardware rounding).
+    pub round_nearest: bool,
+}
+
+impl FloatFeatures {
+    /// Everything IEEE 754 requires.
+    pub const FULL_IEEE: FloatFeatures = FloatFeatures {
+        denormals: true,
+        nan: true,
+        inf: true,
+        round_nearest: true,
+    };
+    /// A typical cost-reduced hardware FPU: flush-to-zero, no specials,
+    /// round-to-nearest kept.
+    pub const REDUCED_HARDWARE: FloatFeatures = FloatFeatures {
+        denormals: false,
+        nan: false,
+        inf: false,
+        round_nearest: true,
+    };
+}
+
+/// Decoded value; finite magnitude is exactly `mant * 2^exp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decoded {
+    Zero { sign: bool },
+    Nan,
+    Inf { sign: bool },
+    Finite { sign: bool, exp: i32, mant: u64 },
+}
+
+/// A floating-point unit for one (format, features) pair. Values are raw
+/// bit patterns (`u64`, low `format.width()` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpUnit {
+    format: FloatFormat,
+    features: FloatFeatures,
+}
+
+impl FpUnit {
+    /// Creates a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is out of the supported range (exponent 2..=11
+    /// bits, fraction 1..=52 bits).
+    pub fn new(format: FloatFormat, features: FloatFeatures) -> Self {
+        assert!(
+            (2..=11).contains(&format.exp_bits) && (1..=52).contains(&format.frac_bits),
+            "unsupported float format"
+        );
+        FpUnit { format, features }
+    }
+
+    /// This unit's format.
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// This unit's feature set.
+    pub fn features(&self) -> FloatFeatures {
+        self.features
+    }
+
+    fn decode(&self, bits: u64) -> Decoded {
+        let f = self.format;
+        let sign = (bits >> (f.exp_bits + f.frac_bits)) & 1 == 1;
+        let exp_field = (bits >> f.frac_bits) & f.max_exp_field();
+        let frac = bits & ((1 << f.frac_bits) - 1);
+        if exp_field == f.max_exp_field() {
+            if frac != 0 {
+                if self.features.nan {
+                    return Decoded::Nan;
+                }
+                return self.decode(f.max_finite(sign));
+            }
+            if self.features.inf {
+                return Decoded::Inf { sign };
+            }
+            return self.decode(f.max_finite(sign));
+        }
+        if exp_field == 0 {
+            if frac == 0 || !self.features.denormals {
+                return Decoded::Zero { sign };
+            }
+            return Decoded::Finite {
+                sign,
+                exp: 1 - f.bias() - f.frac_bits as i32,
+                mant: frac,
+            };
+        }
+        Decoded::Finite {
+            sign,
+            exp: exp_field as i32 - f.bias() - f.frac_bits as i32,
+            mant: frac | (1 << f.frac_bits),
+        }
+    }
+
+    /// The exponent (at mantissa-LSB weight) of the smallest normal number.
+    fn min_norm_exp(&self) -> i32 {
+        1 - self.format.bias() - self.format.frac_bits as i32
+    }
+
+    /// Rounds and encodes a finite value `(-1)^sign * mant * 2^exp`.
+    /// Applies the overflow/underflow policy of the feature set.
+    fn encode(&self, sign: bool, mut exp: i32, mut mant: u128) -> u64 {
+        let f = self.format;
+        let sign_bit = u64::from(sign) << (f.exp_bits + f.frac_bits);
+        if mant == 0 {
+            return sign_bit;
+        }
+        // Normalize so the top set bit sits at position frac_bits + 3
+        // (three guard bits below the target LSB), collecting sticky on
+        // right shifts. Stop left shifts at the denormal floor.
+        let target_top = f.frac_bits + 3;
+        let floor = self.min_norm_exp() - 3;
+        let mut sticky = false;
+        while (mant >> target_top) > 1 {
+            sticky |= mant & 1 == 1;
+            mant >>= 1;
+            exp += 1;
+        }
+        while (mant >> target_top) == 0 && exp > floor {
+            mant <<= 1;
+            exp -= 1;
+        }
+        while exp < floor {
+            sticky |= mant & 1 == 1;
+            mant >>= 1;
+            exp += 1;
+        }
+        // Round off the three guard bits.
+        let guard = (mant >> 2) & 1 == 1;
+        let round = (mant >> 1) & 1 == 1;
+        sticky |= mant & 1 == 1;
+        let mut result = (mant >> 3) as u64;
+        if self.features.round_nearest {
+            let lsb = result & 1 == 1;
+            if guard && (round || sticky || lsb) {
+                result += 1;
+            }
+        }
+        let mut exp_real = exp + 3;
+        if result >> (f.frac_bits + 1) != 0 {
+            result >>= 1;
+            exp_real += 1;
+        }
+        if result == 0 {
+            return sign_bit; // underflowed to zero
+        }
+        if result >> f.frac_bits == 0 {
+            // Denormal range.
+            if !self.features.denormals {
+                return sign_bit; // flush to zero
+            }
+            debug_assert_eq!(exp_real, self.min_norm_exp());
+            return sign_bit | result;
+        }
+        let exp_field = exp_real + f.bias() + f.frac_bits as i32;
+        debug_assert!(exp_field >= 1);
+        if exp_field as u64 >= f.max_exp_field() {
+            return if self.features.inf {
+                f.infinity(sign)
+            } else {
+                f.max_finite(sign)
+            };
+        }
+        sign_bit | ((exp_field as u64) << f.frac_bits) | (result & ((1 << f.frac_bits) - 1))
+    }
+
+    fn nan_result(&self) -> u64 {
+        if self.features.nan {
+            self.format.quiet_nan()
+        } else {
+            self.format.max_finite(false)
+        }
+    }
+
+    fn zero_bits(&self, sign: bool) -> u64 {
+        u64::from(sign) << (self.format.exp_bits + self.format.frac_bits)
+    }
+
+    /// Addition.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        match (self.decode(a), self.decode(b)) {
+            (Decoded::Nan, _) | (_, Decoded::Nan) => self.nan_result(),
+            (Decoded::Inf { sign: sa }, Decoded::Inf { sign: sb }) => {
+                if sa == sb {
+                    self.format.infinity(sa)
+                } else {
+                    self.nan_result()
+                }
+            }
+            (Decoded::Inf { sign }, _) | (_, Decoded::Inf { sign }) => self.format.infinity(sign),
+            (Decoded::Zero { sign: sa }, Decoded::Zero { sign: sb }) => self.zero_bits(sa && sb),
+            (Decoded::Zero { .. }, Decoded::Finite { sign, exp, mant })
+            | (Decoded::Finite { sign, exp, mant }, Decoded::Zero { .. }) => {
+                self.encode(sign, exp, mant as u128)
+            }
+            (
+                Decoded::Finite {
+                    sign: sa,
+                    exp: ea,
+                    mant: ma,
+                },
+                Decoded::Finite {
+                    sign: sb,
+                    exp: eb,
+                    mant: mb,
+                },
+            ) => self.add_finite(sa, ea, ma, sb, eb, mb),
+        }
+    }
+
+    fn add_finite(&self, sa: bool, ea: i32, ma: u64, sb: bool, eb: i32, mb: u64) -> u64 {
+        let (hi, lo) = if ea >= eb {
+            ((sa, ea, ma), (sb, eb, mb))
+        } else {
+            ((sb, eb, mb), (sa, ea, ma))
+        };
+        let diff = (hi.1 - lo.1) as u32;
+        if diff <= 60 {
+            // Mantissas are < 2^53, so the alignment is exact in u128.
+            self.add_aligned(hi.0, (hi.2 as u128) << diff, lo.0, lo.2 as u128, lo.1)
+        } else {
+            // The small operand sits entirely below the big one's guard
+            // bits; it contributes only a sticky bit.
+            self.add_aligned(hi.0, (hi.2 as u128) << 4, lo.0, 1, hi.1 - 4)
+        }
+    }
+
+    fn add_aligned(&self, sa: bool, ma: u128, sb: bool, mb: u128, exp: i32) -> u64 {
+        if sa == sb {
+            self.encode(sa, exp, ma + mb)
+        } else if ma > mb {
+            self.encode(sa, exp, ma - mb)
+        } else if mb > ma {
+            self.encode(sb, exp, mb - ma)
+        } else {
+            self.zero_bits(false) // exact cancellation -> +0 under RNE
+        }
+    }
+
+    /// Subtraction (`a - b`).
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        let sign_bit = 1u64 << (self.format.exp_bits + self.format.frac_bits);
+        self.add(a, b ^ sign_bit)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        match (self.decode(a), self.decode(b)) {
+            (Decoded::Nan, _) | (_, Decoded::Nan) => self.nan_result(),
+            (Decoded::Inf { .. }, Decoded::Zero { .. })
+            | (Decoded::Zero { .. }, Decoded::Inf { .. }) => self.nan_result(),
+            (Decoded::Inf { sign: sa }, Decoded::Inf { sign: sb })
+            | (Decoded::Inf { sign: sa }, Decoded::Finite { sign: sb, .. })
+            | (Decoded::Finite { sign: sa, .. }, Decoded::Inf { sign: sb }) => {
+                self.format.infinity(sa != sb)
+            }
+            (Decoded::Zero { sign: sa }, Decoded::Zero { sign: sb })
+            | (Decoded::Zero { sign: sa }, Decoded::Finite { sign: sb, .. })
+            | (Decoded::Finite { sign: sa, .. }, Decoded::Zero { sign: sb }) => {
+                self.zero_bits(sa != sb)
+            }
+            (
+                Decoded::Finite {
+                    sign: sa,
+                    exp: ea,
+                    mant: ma,
+                },
+                Decoded::Finite {
+                    sign: sb,
+                    exp: eb,
+                    mant: mb,
+                },
+            ) => self.encode(sa != sb, ea + eb, ma as u128 * mb as u128),
+        }
+    }
+
+    /// IEEE comparison: `None` when unordered (NaN involved).
+    pub fn compare(&self, a: u64, b: u64) -> Option<std::cmp::Ordering> {
+        if self.is_nan(a) || self.is_nan(b) {
+            return None;
+        }
+        self.to_f64(a).partial_cmp(&self.to_f64(b))
+    }
+
+    /// Whether the bit pattern decodes to NaN under this unit's features.
+    pub fn is_nan(&self, a: u64) -> bool {
+        self.decode(a) == Decoded::Nan
+    }
+
+    /// Converts a native `f32` into this format.
+    pub fn from_f32(&self, v: f32) -> u64 {
+        self.from_f64(v as f64)
+    }
+
+    /// Converts a native `f64` into this format (rounding once, per the
+    /// unit's rounding mode, and applying the feature policy).
+    pub fn from_f64(&self, v: f64) -> u64 {
+        if v.is_nan() {
+            return self.nan_result();
+        }
+        if v.is_infinite() {
+            return if self.features.inf {
+                self.format.infinity(v < 0.0)
+            } else {
+                self.format.max_finite(v < 0.0)
+            };
+        }
+        if v == 0.0 {
+            return self.zero_bits(v.is_sign_negative());
+        }
+        let bits = v.to_bits();
+        let sign = bits >> 63 == 1;
+        let exp_field = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if exp_field == 0 {
+            (frac, 1 - 1023 - 52)
+        } else {
+            (frac | (1 << 52), exp_field - 1023 - 52)
+        };
+        self.encode(sign, exp, mant as u128)
+    }
+
+    /// Converts a value of this format to native `f64` exactly (every
+    /// supported format fits in f64 without rounding).
+    pub fn to_f64(&self, a: u64) -> f64 {
+        match self.decode(a) {
+            Decoded::Nan => f64::NAN,
+            Decoded::Inf { sign } => {
+                if sign {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Decoded::Zero { sign } => {
+                if sign {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Decoded::Finite { sign, exp, mant } => {
+                let mag = mant as f64 * 2f64.powi(exp);
+                if sign {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        }
+    }
+
+    /// Converts to native `f32` (exact for formats no wider than binary32).
+    pub fn to_f32(&self, a: u64) -> f32 {
+        self.to_f64(a) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ieee() -> FpUnit {
+        FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::FULL_IEEE)
+    }
+
+    fn hw() -> FpUnit {
+        FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::REDUCED_HARDWARE)
+    }
+
+    fn assert_matches_native(u: &FpUnit, a: f32, b: f32) {
+        let cases: [(fn(&FpUnit, u64, u64) -> u64, fn(f32, f32) -> f32, &str); 3] = [
+            (FpUnit::add, |x, y| x + y, "+"),
+            (FpUnit::sub, |x, y| x - y, "-"),
+            (FpUnit::mul, |x, y| x * y, "*"),
+        ];
+        for (soft, native, name) in cases {
+            let got = soft(u, u64::from(a.to_bits()), u64::from(b.to_bits()));
+            let expect = native(a, b);
+            if expect.is_nan() {
+                assert!(u.is_nan(got), "{a:e} {name} {b:e}: expected NaN");
+            } else {
+                assert_eq!(
+                    got,
+                    u64::from(expect.to_bits()),
+                    "{a:e} {name} {b:e}: got {:e} ({got:#010x}), expected {expect:e}",
+                    u.to_f32(got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sums_and_products_match_native() {
+        let u = ieee();
+        for (a, b) in [
+            (1.0f32, 2.0),
+            (0.1, 0.2),
+            (1.5e30, -1.5e30),
+            (3.25, -0.125),
+            (1e-40, 1e-40),
+            (16_777_215.0, 1.0),
+            (16_777_216.0, 1.0), // beyond exact-integer range: rounding
+            (-0.0, 0.0),
+            (1e20, 1e20),
+            (1e-30, 1e-30),
+            (f32::MAX, f32::MAX),
+            (f32::MIN_POSITIVE, f32::MIN_POSITIVE),
+            (f32::MIN_POSITIVE / 2.0, -f32::MIN_POSITIVE / 4.0),
+        ] {
+            assert_matches_native(&u, a, b);
+            assert_matches_native(&u, b, a);
+        }
+    }
+
+    #[test]
+    fn specials_follow_ieee() {
+        let u = ieee();
+        let inf = u.from_f32(f32::INFINITY);
+        let ninf = u.from_f32(f32::NEG_INFINITY);
+        let zero = u.from_f32(0.0);
+        assert!(u.is_nan(u.add(inf, ninf)));
+        assert!(u.is_nan(u.mul(inf, zero)));
+        assert_eq!(u.add(inf, u.from_f32(1.0)), inf);
+        assert_eq!(u.mul(ninf, u.from_f32(2.0)), ninf);
+        let nan = u.from_f32(f32::NAN);
+        assert!(u.is_nan(u.add(nan, u.from_f32(1.0))));
+        assert_eq!(u.compare(nan, zero), None);
+        assert_eq!(
+            u.compare(u.from_f32(1.0), u.from_f32(2.0)),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn exact_cancellation_gives_positive_zero() {
+        let u = ieee();
+        let a = u.from_f32(7.25);
+        let na = u.from_f32(-7.25);
+        let r = u.add(a, na);
+        assert_eq!(r, 0); // +0, matching IEEE RNE
+        assert_eq!((7.25f32 + (-7.25f32)).to_bits(), 0);
+    }
+
+    #[test]
+    fn reduced_hardware_flushes_denormals() {
+        let h = hw();
+        let tiny = f32::from_bits(0x0000_0001);
+        assert_eq!(h.to_f32(h.add(h.from_f32(tiny), h.from_f32(0.0))), 0.0);
+        // 1e-25 * 1e-15 = 1e-40: a denormal, kept by IEEE, flushed by hw.
+        assert_eq!(h.to_f32(h.mul(h.from_f32(1e-25), h.from_f32(1e-15))), 0.0);
+        let u = ieee();
+        assert!(u.to_f32(u.mul(u.from_f32(1e-25), u.from_f32(1e-15))) > 0.0);
+    }
+
+    #[test]
+    fn reduced_hardware_saturates_overflow() {
+        let h = hw();
+        let big = h.from_f32(f32::MAX);
+        let two = h.from_f32(2.0);
+        assert_eq!(h.mul(big, two), FloatFormat::IEEE_SINGLE.max_finite(false));
+        assert_eq!(
+            h.mul(h.from_f32(f32::MIN), two),
+            FloatFormat::IEEE_SINGLE.max_finite(true)
+        );
+        // And NaN patterns are read as max-finite rather than propagating.
+        let nan_bits = u64::from(f32::NAN.to_bits());
+        assert!(!h.is_nan(h.add(nan_bits, h.from_f32(0.0))));
+    }
+
+    #[test]
+    fn reduced_and_full_agree_on_ordinary_values() {
+        let u = ieee();
+        let h = hw();
+        for (a, b) in [(1.5f32, 2.25), (-3.75, 10.5), (100.0, 0.0078125)] {
+            assert_eq!(
+                u.add(u.from_f32(a), u.from_f32(b)),
+                h.add(h.from_f32(a), h.from_f32(b))
+            );
+            assert_eq!(
+                u.mul(u.from_f32(a), u.from_f32(b)),
+                h.mul(h.from_f32(a), h.from_f32(b))
+            );
+        }
+    }
+
+    #[test]
+    fn truncating_unit_rounds_toward_zero() {
+        let trunc = FpUnit::new(
+            FloatFormat::IEEE_SINGLE,
+            FloatFeatures {
+                round_nearest: false,
+                ..FloatFeatures::FULL_IEEE
+            },
+        );
+        let u = ieee();
+        // 1.0 + (2^-24 + ulp): RNE rounds up, truncation does not.
+        let a = u.from_f32(1.0);
+        let b = u.from_f32(f32::from_bits(0x3380_0001));
+        assert_eq!(trunc.to_f32(trunc.add(a, b)), 1.0);
+        assert!(u.to_f32(u.add(a, b)) > 1.0);
+    }
+
+    #[test]
+    fn half_precision_basics() {
+        let u = FpUnit::new(FloatFormat::IEEE_HALF, FloatFeatures::FULL_IEEE);
+        let a = u.from_f32(1.5);
+        let b = u.from_f32(2.5);
+        assert_eq!(u.to_f32(u.add(a, b)), 4.0);
+        assert_eq!(u.to_f32(u.mul(a, b)), 3.75);
+        let big = u.from_f32(60000.0);
+        assert_eq!(u.to_f32(u.add(big, big)), f32::INFINITY);
+    }
+
+    #[test]
+    fn bfloat16_coarse_rounding() {
+        let u = FpUnit::new(FloatFormat::BFLOAT16, FloatFeatures::FULL_IEEE);
+        // bfloat16 has 8 mantissa bits of precision: 257 rounds to 256.
+        let v = u.from_f32(257.0);
+        assert_eq!(u.to_f32(v), 256.0);
+        assert_eq!(u.to_f32(u.from_f32(258.0)), 258.0);
+    }
+
+    #[test]
+    fn format_constants() {
+        assert_eq!(FloatFormat::IEEE_SINGLE.width(), 32);
+        assert_eq!(FloatFormat::IEEE_SINGLE.bias(), 127);
+        assert_eq!(FloatFormat::IEEE_HALF.width(), 16);
+        assert_eq!(FloatFormat::BFLOAT16.width(), 16);
+        assert_eq!(
+            FloatFormat::IEEE_SINGLE.max_finite(false),
+            u64::from(f32::MAX.to_bits())
+        );
+        assert_eq!(
+            FloatFormat::IEEE_SINGLE.infinity(true),
+            u64::from(f32::NEG_INFINITY.to_bits())
+        );
+        assert!(f32::from_bits(FloatFormat::IEEE_SINGLE.quiet_nan() as u32).is_nan());
+    }
+}

@@ -1,0 +1,87 @@
+//! The full-IEEE soft FPU must be bit-exact with the host FPU on *random
+//! bit patterns* (including denormals, infinities, and NaNs), for add, sub,
+//! and mul at binary32.
+
+use dfv_float::{FloatFeatures, FloatFormat, FpUnit};
+use proptest::prelude::*;
+
+fn unit() -> FpUnit {
+    FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::FULL_IEEE)
+}
+
+fn check(u: &FpUnit, a: u32, b: u32) -> Result<(), TestCaseError> {
+    let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+    let ops: [(fn(&FpUnit, u64, u64) -> u64, fn(f32, f32) -> f32, &str); 3] = [
+        (FpUnit::add, |x, y| x + y, "add"),
+        (FpUnit::sub, |x, y| x - y, "sub"),
+        (FpUnit::mul, |x, y| x * y, "mul"),
+    ];
+    for (soft, native, name) in ops {
+        let got = soft(u, u64::from(a), u64::from(b));
+        let expect = native(fa, fb);
+        if expect.is_nan() {
+            prop_assert!(u.is_nan(got), "{name}({fa:e}, {fb:e}) should be NaN, got {got:#x}");
+        } else {
+            prop_assert_eq!(
+                got,
+                u64::from(expect.to_bits()),
+                "{}({:e} [{:#010x}], {:e} [{:#010x}]) = {:e}, native {:e}",
+                name,
+                fa,
+                a,
+                fb,
+                b,
+                u.to_f32(got),
+                expect
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn random_patterns_match_host_fpu(a in any::<u32>(), b in any::<u32>()) {
+        check(&unit(), a, b)?;
+    }
+
+    #[test]
+    fn near_patterns_match_host_fpu(a in any::<u32>(), delta in 0u32..8) {
+        // Values close to each other stress cancellation and rounding ties.
+        check(&unit(), a, a.wrapping_add(delta))?;
+        check(&unit(), a, a ^ 0x8000_0000)?; // exact negation
+    }
+
+    #[test]
+    fn denormal_region_matches_host_fpu(a in 0u32..0x0100_0000, b in 0u32..0x0100_0000, sa in any::<bool>(), sb in any::<bool>()) {
+        let a = a | u32::from(sa) << 31;
+        let b = b | u32::from(sb) << 31;
+        check(&unit(), a, b)?;
+    }
+
+    #[test]
+    fn from_f32_roundtrips(a in any::<u32>()) {
+        let u = unit();
+        let f = f32::from_bits(a);
+        let enc = u.from_f32(f);
+        if f.is_nan() {
+            prop_assert!(u.is_nan(enc));
+        } else {
+            prop_assert_eq!(enc, u64::from(a), "roundtrip of {:e}", f);
+            prop_assert_eq!(u.to_f32(enc).to_bits(), a);
+        }
+    }
+
+    #[test]
+    fn reduced_unit_never_produces_specials(a in any::<u32>(), b in any::<u32>()) {
+        let h = FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::REDUCED_HARDWARE);
+        for r in [h.add(a.into(), b.into()), h.mul(a.into(), b.into())] {
+            let f = f32::from_bits(r as u32);
+            prop_assert!(f.is_finite(), "reduced unit produced {f:e}");
+            // No denormal outputs either.
+            prop_assert!(f == 0.0 || f.abs() >= f32::MIN_POSITIVE);
+        }
+    }
+}

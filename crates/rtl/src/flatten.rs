@@ -1,0 +1,328 @@
+//! Hierarchy elaboration: inline all instances to produce a flat module.
+//!
+//! The paper's §4.2 recommends partitioning SLM and RTL consistently so that
+//! blocks correspond one-to-one. In this workspace, blocks are [`Module`]s
+//! composed via [`crate::ir::Instance`]s; verification tools (simulator,
+//! equivalence checker) operate on *flattened* modules, while the
+//! block-level correspondence is preserved in hierarchical names
+//! (`instance.register`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{Design, Mem, MemId, Module, Node, NodeId, ReadPort, Reg, RegId, WritePort};
+use crate::RtlError;
+
+/// Flattens `top` within `design`, recursively inlining every instance.
+///
+/// Names of inlined registers, memories, and node debug names are prefixed
+/// with the instance path (`inst.name`).
+///
+/// # Errors
+///
+/// Returns [`RtlError::UnknownModule`] for unresolved instances and
+/// [`RtlError::RecursiveInstance`] for instantiation cycles.
+pub fn flatten(design: &Design, top: &str) -> Result<Module, RtlError> {
+    let mut cache: HashMap<String, Module> = HashMap::new();
+    let mut visiting = HashSet::new();
+    flatten_inner(design, top, &mut cache, &mut visiting)
+}
+
+fn flatten_inner(
+    design: &Design,
+    name: &str,
+    cache: &mut HashMap<String, Module>,
+    visiting: &mut HashSet<String>,
+) -> Result<Module, RtlError> {
+    if let Some(m) = cache.get(name) {
+        return Ok(m.clone());
+    }
+    if !visiting.insert(name.to_string()) {
+        return Err(RtlError::RecursiveInstance {
+            module: name.to_string(),
+        });
+    }
+    let m = design.module(name).ok_or_else(|| RtlError::UnknownModule {
+        name: name.to_string(),
+    })?;
+    // Flatten children first.
+    let mut flat_children: HashMap<String, Module> = HashMap::new();
+    for inst in &m.instances {
+        if !flat_children.contains_key(&inst.module) {
+            let fc = flatten_inner(design, &inst.module, cache, visiting)?;
+            flat_children.insert(inst.module.clone(), fc);
+        }
+    }
+    visiting.remove(name);
+
+    let flat = inline_instances(m, &flat_children);
+    cache.insert(name.to_string(), flat.clone());
+    Ok(flat)
+}
+
+/// Inlines the (already flat) children of `m` into a new flat module.
+fn inline_instances(m: &Module, children: &HashMap<String, Module>) -> Module {
+    if m.instances.is_empty() {
+        return m.clone();
+    }
+    let mut out = Module {
+        name: m.name.clone(),
+        inputs: m.inputs.clone(),
+        outputs: m.outputs.clone(),
+        ..Module::default()
+    };
+    // parent node id -> new node id
+    let mut pmap: Vec<Option<NodeId>> = vec![None; m.nodes.len()];
+    // For each instance, the new ids of its output drivers.
+    let mut inst_outs: Vec<Option<Vec<NodeId>>> = vec![None; m.instances.len()];
+
+    for (i, node) in m.nodes.iter().enumerate() {
+        let new_id = match node {
+            Node::InstOut(inst, out_idx) => {
+                let ii = inst.0 as usize;
+                if inst_outs[ii].is_none() {
+                    let instance = &m.instances[ii];
+                    let child = &children[&instance.module];
+                    let conns: Vec<NodeId> = instance
+                        .input_conns
+                        .iter()
+                        .map(|c| pmap[c.index()].expect("connection precedes instance outputs"))
+                        .collect();
+                    inst_outs[ii] = Some(inline_child(&mut out, &instance.name, child, &conns));
+                }
+                inst_outs[ii].as_ref().expect("just inlined")[*out_idx]
+            }
+            other => push_remapped(&mut out, other, &m.node_widths[i], &|id: NodeId| {
+                pmap[id.index()].expect("topological order")
+            }),
+        };
+        pmap[i] = Some(new_id);
+        if let Some(n) = m.node_names.get(&(i as u32)) {
+            out.node_names.insert(new_id.0, n.clone());
+        }
+    }
+    let remap = |id: NodeId| pmap[id.index()].expect("mapped");
+    out.output_drivers = m.output_drivers.iter().map(|d| remap(*d)).collect();
+    remap_state(&mut out, m, "", &remap, 0, 0);
+    out
+}
+
+/// Pushes a copy of `node` (which must not be `InstOut`) into `out` with
+/// operand ids remapped.
+fn push_remapped(
+    out: &mut Module,
+    node: &Node,
+    width: &u32,
+    remap: &dyn Fn(NodeId) -> NodeId,
+) -> NodeId {
+    let new = match node {
+        Node::Input(i) => Node::Input(*i),
+        Node::Const(v) => Node::Const(v.clone()),
+        Node::RegQ(r) => Node::RegQ(*r),
+        Node::MemReadData(mm, p) => Node::MemReadData(*mm, *p),
+        Node::InstOut(..) => unreachable!("InstOut handled by caller"),
+        Node::Un(op, a) => Node::Un(*op, remap(*a)),
+        Node::Bin(op, a, b) => Node::Bin(*op, remap(*a), remap(*b)),
+        Node::Mux { sel, t, f } => Node::Mux {
+            sel: remap(*sel),
+            t: remap(*t),
+            f: remap(*f),
+        },
+        Node::Slice { src, hi, lo } => Node::Slice {
+            src: remap(*src),
+            hi: *hi,
+            lo: *lo,
+        },
+        Node::Concat(a, b) => Node::Concat(remap(*a), remap(*b)),
+        Node::Zext(a, w) => Node::Zext(remap(*a), *w),
+        Node::Sext(a, w) => Node::Sext(remap(*a), *w),
+    };
+    let id = NodeId(out.nodes.len() as u32);
+    out.nodes.push(new);
+    out.node_widths.push(*width);
+    id
+}
+
+/// Copies `src`'s registers and memories into `out` with ports remapped and
+/// names prefixed; `reg_off`/`mem_off` are the id offsets in `out`.
+fn remap_state(
+    out: &mut Module,
+    src: &Module,
+    prefix: &str,
+    remap: &dyn Fn(NodeId) -> NodeId,
+    _reg_off: usize,
+    _mem_off: usize,
+) {
+    for r in &src.regs {
+        out.regs.push(Reg {
+            name: format!("{prefix}{}", r.name),
+            width: r.width,
+            init: r.init.clone(),
+            next: r.next.map(remap),
+            en: r.en.map(remap),
+        });
+    }
+    for mm in &src.mems {
+        out.mems.push(Mem {
+            name: format!("{prefix}{}", mm.name),
+            addr_width: mm.addr_width,
+            data_width: mm.data_width,
+            depth: mm.depth,
+            init: mm.init.clone(),
+            write_ports: mm
+                .write_ports
+                .iter()
+                .map(|wp| WritePort {
+                    en: remap(wp.en),
+                    addr: remap(wp.addr),
+                    data: remap(wp.data),
+                })
+                .collect(),
+            read_ports: mm
+                .read_ports
+                .iter()
+                .map(|rp| ReadPort { addr: remap(rp.addr) })
+                .collect(),
+        });
+    }
+}
+
+/// Inlines flat `child` into `out`, driving its inputs from `conns`.
+/// Returns the new ids of the child's output drivers.
+fn inline_child(out: &mut Module, inst_name: &str, child: &Module, conns: &[NodeId]) -> Vec<NodeId> {
+    debug_assert!(child.instances.is_empty(), "child must already be flat");
+    let reg_off = out.regs.len();
+    let mem_off = out.mems.len();
+    let mut cmap: Vec<NodeId> = Vec::with_capacity(child.nodes.len());
+    for (i, node) in child.nodes.iter().enumerate() {
+        let new_id = match node {
+            Node::Input(idx) => {
+                // Reuse the parent's connection node directly.
+                cmap.push(conns[*idx]);
+                continue;
+            }
+            Node::RegQ(r) => {
+                let id = NodeId(out.nodes.len() as u32);
+                out.nodes.push(Node::RegQ(RegId((reg_off + r.index()) as u32)));
+                out.node_widths.push(child.node_widths[i]);
+                id
+            }
+            Node::MemReadData(mm, p) => {
+                let id = NodeId(out.nodes.len() as u32);
+                out.nodes
+                    .push(Node::MemReadData(MemId((mem_off + mm.index()) as u32), *p));
+                out.node_widths.push(child.node_widths[i]);
+                id
+            }
+            other => {
+                let cm = cmap.clone();
+                push_remapped(out, other, &child.node_widths[i], &move |id: NodeId| {
+                    cm[id.index()]
+                })
+            }
+        };
+        if let Some(n) = child.node_names.get(&(i as u32)) {
+            out.node_names.insert(new_id.0, format!("{inst_name}.{n}"));
+        }
+        cmap.push(new_id);
+    }
+    let cm = cmap.clone();
+    let remap = move |id: NodeId| cm[id.index()];
+    remap_state(
+        out,
+        child,
+        &format!("{inst_name}."),
+        &remap,
+        reg_off,
+        mem_off,
+    );
+    child.output_drivers.iter().map(|d| cmap[d.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::check::check_module;
+    use dfv_bits::Bv;
+    use crate::ir::Design;
+
+    /// A child module: one-cycle-delayed increment.
+    fn child() -> Module {
+        let mut b = ModuleBuilder::new("inc");
+        let a = b.input("a", 8);
+        let one = b.lit(8, 1);
+        let sum = b.add(a, one);
+        let r = b.reg("d", 8, Bv::zero(8));
+        b.connect_reg(r, sum);
+        let q = b.reg_q(r);
+        b.output("y", q);
+        b.finish().unwrap()
+    }
+
+    fn parent(design: &mut Design) -> Module {
+        let c = child();
+        let mut b = ModuleBuilder::new("top");
+        let x = b.input("x", 8);
+        let outs1 = b.instantiate("u1", &c, &[x]);
+        let outs2 = b.instantiate("u2", &c, &[outs1[0]]);
+        b.output("y", outs2[0]);
+        design.add_module(c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn flatten_inlines_two_levels() {
+        let mut d = Design::new();
+        let top = parent(&mut d);
+        d.add_module(top);
+        let flat = flatten(&d, "top").unwrap();
+        assert!(flat.instances.is_empty());
+        assert_eq!(flat.regs.len(), 2);
+        assert_eq!(flat.regs[0].name, "u1.d");
+        assert_eq!(flat.regs[1].name, "u2.d");
+        check_module(&flat).unwrap();
+    }
+
+    #[test]
+    fn flatten_missing_module_errors() {
+        let mut d = Design::new();
+        let c = child();
+        let mut b = ModuleBuilder::new("top");
+        let x = b.input("x", 8);
+        let o = b.instantiate("u1", &c, &[x]);
+        b.output("y", o[0]);
+        d.add_module(b.finish().unwrap()); // child never added to design
+        assert!(matches!(
+            flatten(&d, "top"),
+            Err(RtlError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn flatten_detects_recursion() {
+        // Build a self-instantiating module by hand (the builder cannot,
+        // since it needs the child module value).
+        let mut d = Design::new();
+        let c = child();
+        let mut b = ModuleBuilder::new("loopy");
+        let x = b.input("x", 8);
+        let o = b.instantiate("u", &c, &[x]);
+        b.output("y", o[0]);
+        let mut m = b.finish().unwrap();
+        m.instances[0].module = "loopy".into();
+        d.add_module(m);
+        assert!(matches!(
+            flatten(&d, "loopy"),
+            Err(RtlError::RecursiveInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_module_is_identity() {
+        let c = child();
+        let mut d = Design::new();
+        d.add_module(c.clone());
+        let flat = flatten(&d, "inc").unwrap();
+        assert_eq!(flat, c);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal VCD (Value Change Dump) export for simulator traces.
+//!
+//! Produces standard-compliant VCD text that waveform viewers (GTKWave &c.)
+//! can open, from the watched signals of a [`crate::Simulator`].
+
+use std::fmt::Write as _;
+
+use dfv_bits::Bv;
+
+use crate::sim::{Simulator, TraceStep};
+
+fn id_code(mut idx: usize) -> String {
+    // VCD identifier codes: printable ASCII 33..=126, little-endian base 94.
+    let mut s = String::new();
+    loop {
+        s.push((33 + (idx % 94)) as u8 as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn bv_vcd(v: &Bv) -> String {
+    if v.width() == 1 {
+        return if v.bit(0) { "1".into() } else { "0".into() };
+    }
+    format!("b{:b} ", v)
+}
+
+/// Renders the simulator's recorded trace as a VCD document.
+///
+/// One VCD time unit per clock cycle. Only watched signals appear; watch
+/// them (see [`Simulator::watch_output`]) *before* stepping.
+///
+/// # Example
+///
+/// ```
+/// use dfv_bits::Bv;
+/// use dfv_rtl::{ModuleBuilder, Simulator, trace_to_vcd};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ModuleBuilder::new("c");
+/// let r = b.reg("q", 4, Bv::zero(4));
+/// let q = b.reg_q(r);
+/// let one = b.lit(4, 1);
+/// let n = b.add(q, one);
+/// b.connect_reg(r, n);
+/// b.output("q", q);
+/// let mut sim = Simulator::new(b.finish()?)?;
+/// sim.watch_output("q");
+/// for _ in 0..4 { sim.step(); }
+/// let vcd = trace_to_vcd(&sim, "c");
+/// assert!(vcd.contains("$var wire 4 ! q $end"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn trace_to_vcd(sim: &Simulator, scope: &str) -> String {
+    let names = sim.watch_names();
+    let trace = sim.trace();
+    let mut out = String::new();
+    let _ = writeln!(out, "$date today $end");
+    let _ = writeln!(out, "$version dfv-rtl $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module {scope} $end");
+    let widths: Vec<u32> = match trace.first() {
+        Some(step) => step.values.iter().map(Bv::width).collect(),
+        None => Vec::new(),
+    };
+    for (i, name) in names.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(1);
+        let sanitized: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = writeln!(out, "$var wire {w} {} {sanitized} $end", id_code(i));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+    let mut last: Vec<Option<Bv>> = vec![None; names.len()];
+    for TraceStep { cycle, values } in trace {
+        let mut changes = String::new();
+        for (i, v) in values.iter().enumerate() {
+            if last[i].as_ref() != Some(v) {
+                let _ = writeln!(changes, "{}{}", bv_vcd(v), id_code(i));
+                last[i] = Some(v.clone());
+            }
+        }
+        if !changes.is_empty() {
+            let _ = writeln!(out, "#{cycle}");
+            out.push_str(&changes);
+        }
+    }
+    let _ = writeln!(out, "#{}", trace.last().map(|t| t.cycle + 1).unwrap_or(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn vcd_contains_changes_only() {
+        let mut b = ModuleBuilder::new("t");
+        let en = b.input("en", 1);
+        let r = b.reg("q", 4, Bv::zero(4));
+        let q = b.reg_q(r);
+        let one = b.lit(4, 1);
+        let n = b.add(q, one);
+        b.connect_reg(r, n);
+        b.reg_enable(r, en);
+        b.output("q", q);
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.watch_output("q");
+        sim.poke("en", Bv::from_bool(false));
+        sim.step(); // q stays 0
+        sim.step();
+        sim.poke("en", Bv::from_bool(true));
+        sim.step(); // q -> 1 observed at next step's record
+        sim.step();
+        let vcd = trace_to_vcd(&sim, "t");
+        assert!(vcd.starts_with("$date"));
+        assert!(vcd.contains("$var wire 4 ! q $end"));
+        // Initial value at #0, then a change when the counter moves.
+        assert!(vcd.contains("#0\nb0000 !"));
+        assert!(vcd.contains("b0001 !"));
+        // No redundant dump between cycles 0 and 1 (value unchanged).
+        assert!(!vcd.contains("#1\nb0000"));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn scalar_signals_use_short_form() {
+        assert_eq!(bv_vcd(&Bv::from_bool(true)), "1");
+        assert_eq!(bv_vcd(&Bv::from_bool(false)), "0");
+        assert_eq!(bv_vcd(&Bv::from_u64(3, 0b101)), "b101 ");
+    }
+}

@@ -1,0 +1,354 @@
+//! X-propagation reset analysis.
+//!
+//! SLMs have no notion of unknown state, so "the SLM and RTL diverge until
+//! reset completes" is a standing §3.2 hazard: any register the RTL does
+//! not actually flush stays `X` in a real 4-state simulator while the SLM
+//! confidently computes numbers. [`reset_coverage`] simulates the design
+//! with all registers starting unknown ([`Xv`]) and known inputs, and
+//! reports when (whether) every register and output becomes fully known —
+//! i.e. from which cycle onward the SLM comparison is meaningful.
+//!
+//! Propagation is *pessimistic but exact-when-known*: a node whose operands
+//! are all fully known is computed precisely; bitwise ops, muxes and
+//! additions use [`Xv`]'s dominance rules; everything else poisons to X.
+
+use dfv_bits::{Bv, Xv};
+
+use crate::check::check_module;
+use crate::ir::{BinOp, Module, Node, UnOp};
+use crate::sim::{eval_bin, eval_un};
+use crate::RtlError;
+
+/// The result of a reset-coverage analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XpropReport {
+    /// The first cycle (counting from 0) at the *start* of which every
+    /// register was fully known, or `None` if the bound was reached first.
+    pub registers_known_after: Option<u32>,
+    /// The first cycle during which every output was fully known.
+    pub outputs_known_after: Option<u32>,
+    /// Registers still carrying X bits when the analysis stopped.
+    pub unknown_regs: Vec<String>,
+    /// How many cycles were simulated.
+    pub cycles_run: u32,
+}
+
+impl XpropReport {
+    /// Whether the design provably flushes all unknown state within the
+    /// analyzed bound.
+    pub fn flushes(&self) -> bool {
+        self.registers_known_after.is_some()
+    }
+}
+
+fn eval_node_x(node: &Node, vals: &[Xv], regs: &[Xv], mem_read: &[Vec<Xv>]) -> Xv {
+    // Fully-known operands: compute exactly through the 2-state evaluator.
+    let all_known = |ids: &[&Xv]| ids.iter().all(|x| x.is_fully_known());
+    match node {
+        Node::Input(_) | Node::Const(_) => unreachable!("handled by caller"),
+        Node::RegQ(r) => regs[r.index()].clone(),
+        Node::MemReadData(m, p) => mem_read[m.index()][*p].clone(),
+        Node::InstOut(..) => unreachable!("flat module"),
+        Node::Un(op, a) => {
+            let av = &vals[a.index()];
+            if let Some(b) = av.try_to_bv() {
+                Xv::from_bv(&eval_un(*op, &b))
+            } else {
+                match op {
+                    UnOp::Not => av.not(),
+                    // Reductions and negation of partially-known values:
+                    // pessimistic (a 1-bit or full-width X).
+                    UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => Xv::unknown(1),
+                    UnOp::Neg => Xv::unknown(av.width()),
+                }
+            }
+        }
+        Node::Bin(op, a, b) => {
+            let (av, bv) = (&vals[a.index()], &vals[b.index()]);
+            if all_known(&[av, bv]) {
+                let (ab, bb) = (av.try_to_bv().expect("known"), bv.try_to_bv().expect("known"));
+                return Xv::from_bv(&eval_bin(*op, &ab, &bb));
+            }
+            match op {
+                BinOp::And => av.and(bv),
+                BinOp::Or => av.or(bv),
+                BinOp::Xor => av.xor(bv),
+                BinOp::Add => av.add(bv),
+                // Comparisons of partially known values: 1-bit X.
+                BinOp::Eq | BinOp::Ne | BinOp::ULt | BinOp::ULe | BinOp::SLt | BinOp::SLe => {
+                    Xv::unknown(1)
+                }
+                // Everything else poisons at full width.
+                _ => Xv::unknown(result_width(op, av)),
+            }
+        }
+        Node::Mux { sel, t, f } => Xv::mux(&vals[sel.index()], &vals[t.index()], &vals[f.index()]),
+        Node::Slice { src, hi, lo } => {
+            let s = &vals[src.index()];
+            Xv::with_mask(
+                &s.value_bits().slice(*hi, *lo),
+                &s.known_mask().slice(*hi, *lo),
+            )
+        }
+        Node::Concat(a, b) => {
+            let (av, bv) = (&vals[a.index()], &vals[b.index()]);
+            Xv::with_mask(
+                &av.value_bits().concat(&bv.value_bits()),
+                &av.known_mask().concat(&bv.known_mask()),
+            )
+        }
+        Node::Zext(a, w) => {
+            let av = &vals[a.index()];
+            // Extension bits are known zeros.
+            Xv::with_mask(
+                &av.value_bits().zext(*w),
+                &av.known_mask().zext(*w).or(&Bv::ones(*w).shl(av.width())),
+            )
+        }
+        Node::Sext(a, w) => {
+            let av = &vals[a.index()];
+            // The replicated sign bit is known only if the source MSB is.
+            let src_w = av.width();
+            let msb_known = av.known_mask().bit(src_w - 1);
+            let known = if msb_known {
+                av.known_mask().zext(*w).or(&Bv::ones(*w).shl(src_w))
+            } else {
+                av.known_mask().zext(*w)
+            };
+            Xv::with_mask(&av.value_bits().sext(*w), &known)
+        }
+    }
+}
+
+/// Simulates `module` for up to `max_cycles` with every register starting
+/// **unknown** and all inputs held at the given known values, reporting when
+/// unknowns flush.
+///
+/// # Errors
+///
+/// Returns [`RtlError`] if the module fails checks or is not flat.
+pub fn reset_coverage(
+    module: &Module,
+    inputs: &[(&str, Bv)],
+    max_cycles: u32,
+) -> Result<XpropReport, RtlError> {
+    check_module(module)?;
+    if !module.instances.is_empty() {
+        return Err(RtlError::NotFlat {
+            module: module.name.clone(),
+        });
+    }
+    let mut regs: Vec<Xv> = module.regs.iter().map(|r| Xv::unknown(r.width)).collect();
+    // Memory contents start unknown too; read ports deliver X until the
+    // word is written with known data. Track per-word.
+    let mut mems: Vec<Vec<Xv>> = module
+        .mems
+        .iter()
+        .map(|m| vec![Xv::unknown(m.data_width); m.depth])
+        .collect();
+    let mut mem_read: Vec<Vec<Xv>> = module
+        .mems
+        .iter()
+        .map(|m| vec![Xv::unknown(m.data_width); m.read_ports.len()])
+        .collect();
+    let input_vals: Vec<Xv> = module
+        .inputs
+        .iter()
+        .map(|p| {
+            let v = inputs
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| Bv::zero(p.width));
+            Xv::from_bv(&v)
+        })
+        .collect();
+
+    let mut registers_known_after = None;
+    let mut outputs_known_after = None;
+    let mut unknown_regs = Vec::new();
+    let mut cycles_run = 0;
+    for cycle in 0..=max_cycles {
+        cycles_run = cycle;
+        if registers_known_after.is_none() && regs.iter().all(Xv::is_fully_known) {
+            registers_known_after = Some(cycle);
+        }
+        // Evaluate combinational nodes.
+        let mut vals: Vec<Xv> = Vec::with_capacity(module.nodes.len());
+        for (i, node) in module.nodes.iter().enumerate() {
+            let v = match node {
+                Node::Input(idx) => input_vals[*idx].clone(),
+                Node::Const(c) => Xv::from_bv(c),
+                _ => eval_node_x(node, &vals, &regs, &mem_read),
+            };
+            debug_assert_eq!(v.width(), module.node_widths[i]);
+            vals.push(v);
+        }
+        if outputs_known_after.is_none()
+            && module
+                .output_drivers
+                .iter()
+                .all(|d| vals[d.index()].is_fully_known())
+        {
+            outputs_known_after = Some(cycle);
+        }
+        if registers_known_after.is_some() && outputs_known_after.is_some() {
+            break;
+        }
+        if cycle == max_cycles {
+            unknown_regs = module
+                .regs
+                .iter()
+                .zip(&regs)
+                .filter(|(_, v)| !v.is_fully_known())
+                .map(|(r, _)| r.name.clone())
+                .collect();
+            break;
+        }
+        // Clock edge.
+        let mut new_regs = Vec::with_capacity(regs.len());
+        for (ri, reg) in module.regs.iter().enumerate() {
+            let next = vals[reg.next.expect("checked").index()].clone();
+            let v = match reg.en {
+                None => next,
+                Some(en) => Xv::mux(&vals[en.index()], &next, &regs[ri]),
+            };
+            new_regs.push(v);
+        }
+        for (mi, mem) in module.mems.iter().enumerate() {
+            for (pi, rp) in mem.read_ports.iter().enumerate() {
+                let addr = &vals[rp.addr.index()];
+                mem_read[mi][pi] = match addr.try_to_bv() {
+                    Some(a) => mems[mi][a.to_u64() as usize % mem.depth].clone(),
+                    None => Xv::unknown(mem.data_width),
+                };
+            }
+            for wp in &mem.write_ports {
+                let en = &vals[wp.en.index()];
+                let addr = &vals[wp.addr.index()];
+                let data = vals[wp.data.index()].clone();
+                match (en.try_to_bv(), addr.try_to_bv()) {
+                    (Some(e), Some(a)) if e.bit(0) => {
+                        let i = a.to_u64() as usize % mem.depth;
+                        mems[mi][i] = data;
+                    }
+                    (Some(e), _) if !e.bit(0) => {} // definitely no write
+                    // Unknown enable or address: every word could have been
+                    // corrupted; poison all (sound, pessimistic).
+                    _ => {
+                        for w in &mut mems[mi] {
+                            *w = Xv::unknown(mem.data_width);
+                        }
+                    }
+                }
+            }
+        }
+        regs = new_regs;
+    }
+    Ok(XpropReport {
+        registers_known_after,
+        outputs_known_after,
+        unknown_regs,
+        cycles_run,
+    })
+}
+
+fn result_width(op: &BinOp, a: &Xv) -> u32 {
+    if op.is_comparison() {
+        1
+    } else {
+        a.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    /// A shift-register chain: X flushes after `depth` cycles.
+    fn chain(depth: usize) -> Module {
+        let mut b = ModuleBuilder::new("chain");
+        let x = b.input("x", 8);
+        let mut d = x;
+        for i in 0..depth {
+            let r = b.reg(format!("s{i}"), 8, Bv::zero(8));
+            b.connect_reg(r, d);
+            d = b.reg_q(r);
+        }
+        b.output("y", d);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn pipeline_flushes_after_its_depth() {
+        let report =
+            reset_coverage(&chain(3), &[("x", Bv::from_u64(8, 7))], 10).unwrap();
+        assert!(report.flushes());
+        assert_eq!(report.registers_known_after, Some(3));
+        assert_eq!(report.outputs_known_after, Some(3));
+        assert!(report.unknown_regs.is_empty());
+    }
+
+    #[test]
+    fn self_feeding_register_never_flushes_without_reset_mux() {
+        // acc <= acc + x: the X in acc circulates forever.
+        let mut b = ModuleBuilder::new("acc");
+        let x = b.input("x", 8);
+        let r = b.reg("acc", 8, Bv::zero(8));
+        let q = b.reg_q(r);
+        let s = b.add(q, x);
+        b.connect_reg(r, s);
+        b.output("y", q);
+        let m = b.finish().unwrap();
+        let report = reset_coverage(&m, &[("x", Bv::from_u64(8, 1))], 20).unwrap();
+        assert!(!report.flushes());
+        assert_eq!(report.unknown_regs, vec!["acc".to_string()]);
+    }
+
+    #[test]
+    fn explicit_reset_mux_flushes_immediately() {
+        // acc <= rst ? 0 : acc + x, with rst tied high.
+        let mut b = ModuleBuilder::new("acc_rst");
+        let rst = b.input("rst", 1);
+        let x = b.input("x", 8);
+        let r = b.reg("acc", 8, Bv::zero(8));
+        let q = b.reg_q(r);
+        let s = b.add(q, x);
+        let zero = b.lit(8, 0);
+        let nxt = b.mux(rst, zero, s);
+        b.connect_reg(r, nxt);
+        b.output("y", q);
+        let m = b.finish().unwrap();
+        let report =
+            reset_coverage(&m, &[("rst", Bv::from_bool(true)), ("x", Bv::from_u64(8, 1))], 5)
+                .unwrap();
+        assert_eq!(report.registers_known_after, Some(1));
+    }
+
+    #[test]
+    fn memory_reads_stay_unknown_until_written() {
+        let mut b = ModuleBuilder::new("memx");
+        let we = b.input("we", 1);
+        let addr = b.input("addr", 2);
+        let data = b.input("data", 8);
+        let mem = b.mem("m", 2, 8, 4);
+        b.mem_write(mem, we, addr, data);
+        let rd = b.mem_read(mem, addr);
+        b.output("q", rd);
+        let m = b.finish().unwrap();
+        // Writing address 1 with known data, reading address 1: the read
+        // becomes known; but outputs at cycle 0/1 carry X.
+        let report = reset_coverage(
+            &m,
+            &[
+                ("we", Bv::from_bool(true)),
+                ("addr", Bv::from_u64(2, 1)),
+                ("data", Bv::from_u64(8, 0xAB)),
+            ],
+            5,
+        )
+        .unwrap();
+        assert_eq!(report.outputs_known_after, Some(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! A standalone CNF formula type with DIMACS I/O and a brute-force
+//! reference solver for cross-validation in tests and benches.
+
+use std::fmt::Write as _;
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// A CNF formula independent of any solver instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let c: Vec<Lit> = lits.into_iter().collect();
+        for l in &c {
+            assert!(l.var().index() < self.num_vars, "unallocated variable");
+        }
+        self.clauses.push(c);
+    }
+
+    /// Loads the formula into a fresh [`Solver`] and solves it.
+    pub fn solve(&self) -> (SolveResult, Solver) {
+        let mut s = Solver::new();
+        s.new_vars(self.num_vars);
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        let r = s.solve();
+        (r, s)
+    }
+
+    /// Exhaustive satisfiability check — exponential; only for
+    /// cross-validating the CDCL solver on small instances in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn brute_force_sat(&self) -> bool {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        'outer: for bits in 0u64..(1 << self.num_vars) {
+            for c in &self.clauses {
+                let sat = c.iter().any(|l| {
+                    let val = (bits >> l.var().index()) & 1 == 1;
+                    val != l.is_negated()
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Evaluates the formula under a (total) assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] != l.is_negated())
+        })
+    }
+
+    /// Serializes to DIMACS CNF.
+    pub fn to_dimacs(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let n = l.var().index() as i64 + 1;
+                let _ = write!(s, "{} ", if l.is_negated() { -n } else { n });
+            }
+            let _ = writeln!(s, "0");
+        }
+        s
+    }
+
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_dimacs(text: &str) -> Result<Cnf, String> {
+        let mut cnf = Cnf::new();
+        let mut declared_vars = 0usize;
+        let mut current: Vec<Lit> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let mut it = rest.split_whitespace();
+                declared_vars = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad problem line", ln + 1))?;
+                while cnf.num_vars < declared_vars {
+                    cnf.new_var();
+                }
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| format!("line {}: bad literal {tok:?}", ln + 1))?;
+                if n == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let idx = (n.unsigned_abs() - 1) as usize;
+                    if idx >= declared_vars {
+                        return Err(format!("line {}: variable {} out of range", ln + 1, n));
+                    }
+                    current.push(Var(idx as u32).lit(n > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.negative()]);
+        cnf.add_clause([a.negative()]);
+        let text = cnf.to_dimacs();
+        assert_eq!(text, "p cnf 2 2\n1 -2 0\n-1 0\n");
+        let back = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(Cnf::from_dimacs("p cnf x y\n").is_err());
+        assert!(Cnf::from_dimacs("p cnf 1 1\n2 0\n").is_err());
+        assert!(Cnf::from_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+
+    #[test]
+    fn brute_force_agrees_on_tiny_instances() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.positive()]);
+        cnf.add_clause([a.negative(), b.negative()]);
+        assert!(cnf.brute_force_sat());
+        let (r, _) = cnf.solve();
+        assert_eq!(r, SolveResult::Sat);
+        cnf.add_clause([a.positive(), b.negative()]);
+        cnf.add_clause([a.negative(), b.positive()]);
+        assert!(!cnf.brute_force_sat());
+        let (r, _) = cnf.solve();
+        assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn eval_checks_assignments() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.positive(), b.positive()]);
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+}

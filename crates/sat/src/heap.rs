@@ -1,0 +1,144 @@
+//! An indexed max-heap over variable activities (the VSIDS order).
+
+use crate::lit::Var;
+
+/// Max-heap of variables keyed by an external activity array, supporting
+/// `decrease/increase key` via [`VarHeap::update`] and membership queries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    #[cfg(test)]
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    pub fn grow_to(&mut self, nvars: usize) {
+        if self.pos.len() < nvars {
+            self.pos.resize(nvars, ABSENT);
+        }
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos.get(v.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.grow_to(v.index() + 1);
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.pos.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = ABSENT;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..4 {
+            h.insert(Var(i), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn update_moves_var_up() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var(i), &act);
+        }
+        act[0] = 10.0;
+        h.update(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let act = vec![1.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(0), &act);
+        h.insert(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+        assert_eq!(h.pop_max(&act), None);
+    }
+}

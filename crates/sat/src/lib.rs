@@ -1,0 +1,42 @@
+//! A CDCL SAT solver built from scratch as the decision-procedure substrate
+//! for sequential equivalence checking (`dfv-sec`).
+//!
+//! The DAC 2007 paper this workspace reproduces relies on a commercial
+//! sequential equivalence checker; this crate supplies the reasoning engine
+//! underneath our from-scratch replacement. Features:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict-driven clause learning with non-chronological
+//!   backjumping,
+//! * VSIDS decision heuristics with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learnt-clause database reduction,
+//! * **incremental solving under assumptions** — learnt clauses persist
+//!   across [`Solver::solve_with`] calls, which is what makes the paper's
+//!   recommended *incremental* SLM/RTL equivalence runs (§4.1) cheap.
+//!
+//! # Example
+//!
+//! ```
+//! use dfv_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let x = s.new_var();
+//! let y = s.new_var();
+//! s.add_clause(&[x.positive(), y.positive()]);
+//! s.add_clause(&[x.negative()]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(y), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cnf;
+mod heap;
+mod lit;
+mod solver;
+
+pub use cnf::Cnf;
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

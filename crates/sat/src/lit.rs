@@ -1,0 +1,111 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a raw 0-based index.
+    ///
+    /// Both [`crate::Solver`] and [`crate::Cnf`] allocate variables densely
+    /// from 0, so indices are interchangeable between them; using an index
+    /// that was never allocated in the target solver is an error that
+    /// [`crate::Solver::add_clause`] will catch.
+    pub fn from_index(i: usize) -> Var {
+        Var(i as u32)
+    }
+
+    /// The raw index of this variable (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given polarity (`true` =
+    /// positive).
+    pub fn lit(self, polarity: bool) -> Lit {
+        if polarity {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` where sign 1 means negated, so a literal
+/// indexes watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The raw index (`2 * var + sign`), used for watch lists.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(3);
+        assert_eq!(v.positive().index(), 6);
+        assert_eq!(v.negative().index(), 7);
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+        assert!(v.negative().is_negated());
+        assert_eq!(v.negative().var(), v);
+        assert_eq!(v.positive().to_string(), "x3");
+        assert_eq!(v.negative().to_string(), "-x3");
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-validation of the CDCL solver against exhaustive enumeration on
+//! random small formulas, including under assumptions.
+
+use dfv_sat::{Cnf, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomCnf {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn random_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = RandomCnf> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| RandomCnf { num_vars: nv, clauses })
+    })
+}
+
+fn build(rc: &RandomCnf) -> Cnf {
+    let mut cnf = Cnf::new();
+    let vars: Vec<Var> = (0..rc.num_vars).map(|_| cnf.new_var()).collect();
+    for c in &rc.clauses {
+        cnf.add_clause(c.iter().map(|&(v, pol)| vars[v].lit(pol)));
+    }
+    cnf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(rc in random_cnf(12, 60)) {
+        let cnf = build(&rc);
+        let expect = cnf.brute_force_sat();
+        let (result, solver) = cnf.solve();
+        prop_assert_eq!(result == SolveResult::Sat, expect);
+        if result == SolveResult::Sat {
+            let assignment: Vec<bool> = (0..cnf.num_vars())
+                .map(|i| solver.value(Var::from_index(i)).unwrap_or(false))
+                .collect();
+            prop_assert!(cnf.eval(&assignment), "returned model does not satisfy formula");
+        }
+    }
+
+    #[test]
+    fn assumptions_equal_added_units(rc in random_cnf(10, 40), pol0 in any::<bool>(), pol1 in any::<bool>()) {
+        let cnf = build(&rc);
+        let a0 = Var::from_index(0).lit(pol0);
+        let a1 = Var::from_index(1).lit(pol1);
+        // Solve with assumptions.
+        let mut s1 = Solver::new();
+        s1.new_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s1.add_clause(c);
+        }
+        let with_assumps = s1.solve_with(&[a0, a1]);
+        // Solve with the same literals as unit clauses.
+        let mut s2 = Solver::new();
+        s2.new_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s2.add_clause(c);
+        }
+        s2.add_clause(&[a0]);
+        s2.add_clause(&[a1]);
+        let with_units = s2.solve();
+        prop_assert_eq!(with_assumps, with_units);
+        // The solver with assumptions must still agree with brute force
+        // afterwards (no state corruption).
+        let plain = s1.solve();
+        prop_assert_eq!(plain == SolveResult::Sat, cnf.brute_force_sat());
+    }
+
+    #[test]
+    fn repeated_solves_are_stable(rc in random_cnf(10, 40)) {
+        let cnf = build(&rc);
+        let (first, mut solver) = cnf.solve();
+        for _ in 0..3 {
+            prop_assert_eq!(solver.solve(), first);
+        }
+    }
+}
+
+/// A deterministic hard-ish instance: pigeonhole 6→5 must be UNSAT and the
+/// solver must survive clause-database reductions while proving it.
+#[test]
+fn pigeonhole_6_into_5() {
+    let mut s = Solver::new();
+    let n = 6;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(n - 1)).collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+        s.add_clause(&clause);
+    }
+    for j in 0..n - 1 {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}

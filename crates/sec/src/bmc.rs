@@ -1,0 +1,201 @@
+//! Bounded model checking of safety properties on the RTL IR.
+//!
+//! A property is a 1-bit output port that must be 1 on every cycle. BMC
+//! unrolls the design `k` cycles from reset with free symbolic inputs and
+//! searches for a violating trace — the block-level "did I break an
+//! invariant" check that complements transaction equivalence.
+
+use std::time::{Duration, Instant};
+
+use dfv_bits::Bv;
+use dfv_rtl::{Module, Simulator};
+use dfv_sat::{Lit, SolveResult, Solver};
+
+use crate::bitblast::{model_word, BitBlaster};
+use crate::spec::{InitState, SecError};
+use crate::unroll::SymbolicSim;
+
+/// A violating trace found by [`check_property`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyTrace {
+    /// Inputs per cycle (named, in port order).
+    pub inputs: Vec<Vec<(String, Bv)>>,
+    /// The first cycle at which the property output was 0.
+    pub violation_cycle: u32,
+    /// The property output that failed.
+    pub property: String,
+}
+
+/// The result of a bounded model check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BmcOutcome {
+    /// No violation within the bound.
+    HoldsUpTo(u32),
+    /// A replay-validated violating trace.
+    Violated(Box<PropertyTrace>),
+}
+
+/// Result of [`check_property`] with statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BmcReport {
+    /// The verdict.
+    pub outcome: BmcOutcome,
+    /// CNF variables allocated.
+    pub cnf_vars: usize,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+/// Bounded-model-checks that the 1-bit output `property` of `module` is 1
+/// on every one of the first `bound` cycles from reset, for all inputs.
+///
+/// # Errors
+///
+/// Returns [`SecError`] if the output is missing or not 1 bit wide, the
+/// module is not flat, or a memory is too large.
+pub fn check_property(module: &Module, property: &str, bound: u32) -> Result<BmcReport, SecError> {
+    let start = Instant::now();
+    dfv_rtl::check_module(module)?;
+    let pidx = module
+        .output_index(property)
+        .ok_or_else(|| SecError::Spec(format!("no output {property:?}")))?;
+    if module.outputs[pidx].width != 1 {
+        return Err(SecError::Spec(format!("property {property:?} must be 1 bit")));
+    }
+    if bound == 0 {
+        return Err(SecError::Spec("bound must be at least 1".into()));
+    }
+
+    let mut solver = Solver::new();
+    let mut bb = BitBlaster::new(&mut solver);
+    let mut sym = SymbolicSim::new(&mut bb, module, InitState::Reset)?;
+    let mut input_words: Vec<Vec<Vec<Lit>>> = Vec::new();
+    let mut violated_at: Vec<Lit> = Vec::new();
+    for _ in 0..bound {
+        let inputs: Vec<Vec<Lit>> = module.inputs.iter().map(|p| bb.fresh_word(p.width)).collect();
+        input_words.push(inputs.clone());
+        let cyc = sym.step(&mut bb, &inputs);
+        let prop = cyc.output(module, property);
+        violated_at.push(!prop[0]);
+    }
+    let mut any = bb.false_lit();
+    for &v in &violated_at {
+        any = bb.or_gate(any, v);
+    }
+    bb.assert_lit(any);
+    drop(bb);
+
+    let cnf_vars = solver.num_vars();
+    let outcome = match solver.solve() {
+        SolveResult::Unsat => BmcOutcome::HoldsUpTo(bound),
+        SolveResult::Sat => {
+            let inputs: Vec<Vec<(String, Bv)>> = input_words
+                .iter()
+                .map(|cycle| {
+                    module
+                        .inputs
+                        .iter()
+                        .zip(cycle)
+                        .map(|(p, w)| (p.name.clone(), model_word(&solver, w)))
+                        .collect()
+                })
+                .collect();
+            // Replay to find (and validate) the first violation.
+            let mut sim = Simulator::new(module.clone()).expect("checked");
+            let mut violation_cycle = None;
+            for (t, cycle_inputs) in inputs.iter().enumerate() {
+                for (name, v) in cycle_inputs {
+                    sim.poke(name, v.clone());
+                }
+                if !sim.output(property).bit(0) {
+                    violation_cycle = Some(t as u32);
+                    break;
+                }
+                sim.step();
+            }
+            let violation_cycle = violation_cycle
+                .expect("SAT model did not replay to a violation: bit-blasting soundness bug");
+            BmcOutcome::Violated(Box::new(PropertyTrace {
+                inputs,
+                violation_cycle,
+                property: property.to_string(),
+            }))
+        }
+    };
+    Ok(BmcReport {
+        outcome,
+        cnf_vars,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_rtl::ModuleBuilder;
+
+    /// A saturating counter that must never exceed LIMIT... unless the
+    /// implementation forgot the clamp on one path.
+    fn counter(clamped: bool) -> Module {
+        let mut b = ModuleBuilder::new("ctr");
+        let up = b.input("up", 1);
+        let r = b.reg("count", 4, Bv::zero(4));
+        let q = b.reg_q(r);
+        let one = b.lit(4, 1);
+        let inc = b.add(q, one);
+        let limit = b.lit(4, 10);
+        let at_limit = b.eq(q, limit);
+        let next_inc = if clamped {
+            b.mux(at_limit, q, inc)
+        } else {
+            inc // bug: wraps past the limit
+        };
+        let next = b.mux(up, next_inc, q);
+        b.connect_reg(r, next);
+        let ok = b.ule(q, limit);
+        b.output("count", q);
+        b.output("ok", ok);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn clamped_counter_holds() {
+        let report = check_property(&counter(true), "ok", 16).unwrap();
+        assert_eq!(report.outcome, BmcOutcome::HoldsUpTo(16));
+    }
+
+    #[test]
+    fn unclamped_counter_violates_at_depth_11() {
+        let report = check_property(&counter(false), "ok", 16).unwrap();
+        match report.outcome {
+            BmcOutcome::Violated(trace) => {
+                // The counter needs at least 11 increments to pass 10 (the
+                // solver may return a longer trace that idles first).
+                assert!(trace.violation_cycle >= 11);
+                assert_eq!(trace.property, "ok");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        // The exact frontier: depth 12 reaches the bug, depth 11 does not
+        // (the property is sampled before the 11th increment commits).
+        let at12 = check_property(&counter(false), "ok", 12).unwrap();
+        assert!(matches!(at12.outcome, BmcOutcome::Violated(_)));
+        let at11 = check_property(&counter(false), "ok", 11).unwrap();
+        assert_eq!(at11.outcome, BmcOutcome::HoldsUpTo(11));
+    }
+
+    #[test]
+    fn shallow_bound_misses_deep_bug() {
+        // BMC is bounded: the same bug is invisible at depth 5 — which is
+        // why equivalence checking over full transactions matters.
+        let report = check_property(&counter(false), "ok", 5).unwrap();
+        assert_eq!(report.outcome, BmcOutcome::HoldsUpTo(5));
+    }
+
+    #[test]
+    fn property_errors() {
+        assert!(check_property(&counter(true), "nope", 4).is_err());
+        assert!(check_property(&counter(true), "count", 4).is_err());
+        assert!(check_property(&counter(true), "ok", 0).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Primitive channels: signals, clocks, and bounded FIFOs.
+//!
+//! These are the communication primitives the paper's §4.4 says to keep
+//! *orthogonal* to computation: a model's functional kernel stays a pure
+//! function, and the level of communication detail (signal-level vs
+//! transaction-level) can be refined without touching it.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::kernel::{EventId, Kernel, Update, UpdateQueue};
+
+struct SignalInner<T> {
+    name: String,
+    current: T,
+    next: RefCell<Option<T>>,
+    changed: EventId,
+}
+
+impl<T: Clone + PartialEq> Update for SignalState<T> {
+    fn apply(&self) -> Option<EventId> {
+        let mut inner = self.0.borrow_mut();
+        let next = inner.next.get_mut().take()?;
+        if next != inner.current {
+            inner.current = next;
+            Some(inner.changed)
+        } else {
+            None
+        }
+    }
+}
+
+struct SignalState<T>(RefCell<SignalInner<T>>);
+
+/// A SystemC-style signal: reads see the value from the previous delta
+/// cycle; writes take effect at the update phase and fire a value-changed
+/// event only when the value actually changes.
+///
+/// `Signal` is a cheap handle (`Rc` inside); clone it freely into process
+/// closures.
+///
+/// # Example
+///
+/// ```
+/// use dfv_slm::{Kernel, Signal};
+///
+/// let mut k = Kernel::new();
+/// let sig: Signal<u32> = Signal::new(&mut k, "data", 0);
+/// let s = sig.clone();
+/// let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+/// let seen2 = seen.clone();
+/// k.process("watcher", &[sig.changed()], move |_| {
+///     seen2.set(s.read());
+/// });
+/// sig.write(42);
+/// k.run(10);
+/// assert_eq!(seen.get(), 42);
+/// ```
+pub struct Signal<T> {
+    state: Rc<SignalState<T>>,
+    updates: UpdateQueue,
+}
+
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        Signal {
+            state: Rc::clone(&self.state),
+            updates: Rc::clone(&self.updates),
+        }
+    }
+}
+
+impl<T: Clone + PartialEq + 'static> Signal<T> {
+    /// Creates a signal with an initial value.
+    pub fn new(k: &mut Kernel, name: impl Into<String>, init: T) -> Self {
+        let name = name.into();
+        let changed = k.event(format!("{name}.changed"));
+        Signal {
+            state: Rc::new(SignalState(RefCell::new(SignalInner {
+                name,
+                current: init,
+                next: RefCell::new(None),
+                changed,
+            }))),
+            updates: k.update_queue(),
+        }
+    }
+
+    /// The signal's name.
+    pub fn name(&self) -> String {
+        self.state.0.borrow().name.clone()
+    }
+
+    /// The current (last-updated) value.
+    pub fn read(&self) -> T {
+        self.state.0.borrow().current.clone()
+    }
+
+    /// Schedules a write; it becomes visible after the current delta's
+    /// update phase (last write in a delta wins, as in SystemC).
+    pub fn write(&self, value: T) {
+        {
+            let inner = self.state.0.borrow();
+            *inner.next.borrow_mut() = Some(value);
+        }
+        self.updates
+            .borrow_mut()
+            .push(Rc::clone(&self.state) as Rc<dyn Update>);
+    }
+
+    /// The value-changed event (subscribe processes to it).
+    pub fn changed(&self) -> EventId {
+        self.state.0.borrow().changed
+    }
+}
+
+/// A free-running clock built from a toggling boolean signal.
+///
+/// # Example
+///
+/// ```
+/// use dfv_slm::{Clock, Kernel};
+///
+/// let mut k = Kernel::new();
+/// let clk = Clock::new(&mut k, "clk", 10);
+/// let edges = std::rc::Rc::new(std::cell::Cell::new(0));
+/// let e = edges.clone();
+/// k.process("on_rise", &[clk.posedge()], move |_| e.set(e.get() + 1));
+/// k.run(95);
+/// assert_eq!(edges.get(), 10);
+/// ```
+pub struct Clock {
+    signal: Signal<bool>,
+    posedge: EventId,
+    negedge: EventId,
+    period: u64,
+}
+
+impl Clock {
+    /// Creates a clock with the given full period (first rising edge at
+    /// `period / 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2`.
+    pub fn new(k: &mut Kernel, name: impl Into<String>, period: u64) -> Self {
+        assert!(period >= 2, "clock period must be at least 2");
+        let name = name.into();
+        let signal = Signal::new(k, name.clone(), false);
+        let posedge = k.event(format!("{name}.posedge"));
+        let negedge = k.event(format!("{name}.negedge"));
+        let tick = k.event(format!("{name}.tick"));
+        let sig = signal.clone();
+        let half = period / 2;
+        k.process(format!("{name}.driver"), &[tick], move |k| {
+            let v = sig.read();
+            sig.write(!v);
+            k.notify_now(if v { negedge } else { posedge });
+            k.notify(tick, half.max(1));
+        });
+        k.notify(tick, half.max(1));
+        Clock {
+            signal,
+            posedge,
+            negedge,
+            period,
+        }
+    }
+
+    /// The clock's boolean level signal.
+    pub fn signal(&self) -> &Signal<bool> {
+        &self.signal
+    }
+
+    /// The rising-edge event.
+    pub fn posedge(&self) -> EventId {
+        self.posedge
+    }
+
+    /// The falling-edge event.
+    pub fn negedge(&self) -> EventId {
+        self.negedge
+    }
+
+    /// The full period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+struct FifoInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    written: EventId,
+    read: EventId,
+}
+
+/// A bounded FIFO channel with data-written / data-read events — the
+/// transaction-level channel for loosely-timed producer/consumer models.
+///
+/// Processes use the non-blocking [`Fifo::try_put`] / [`Fifo::try_get`] and
+/// subscribe to [`Fifo::written_event`] / [`Fifo::read_event`] to retry —
+/// the method-process idiom for blocking reads/writes.
+pub struct Fifo<T> {
+    inner: Rc<RefCell<FifoInner<T>>>,
+}
+
+impl<T> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        Fifo {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(k: &mut Kernel, name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        let name = name.into();
+        let written = k.event(format!("{name}.written"));
+        let read = k.event(format!("{name}.read"));
+        Fifo {
+            inner: Rc::new(RefCell::new(FifoInner {
+                items: VecDeque::new(),
+                capacity,
+                written,
+                read,
+            })),
+        }
+    }
+
+    /// Attempts to enqueue; fires the written event via `k` on success.
+    /// Returns the item back on a full FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the FIFO is full.
+    pub fn try_put(&self, k: &mut Kernel, item: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.items.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let e = inner.written;
+        drop(inner);
+        k.notify_now(e);
+        Ok(())
+    }
+
+    /// Attempts to dequeue; fires the read event via `k` on success.
+    pub fn try_get(&self, k: &mut Kernel) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        let item = inner.items.pop_front()?;
+        let e = inner.read;
+        drop(inner);
+        k.notify_now(e);
+        Some(item)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.items.len() >= inner.capacity
+    }
+
+    /// Event fired whenever an item is enqueued (consumers subscribe).
+    pub fn written_event(&self) -> EventId {
+        self.inner.borrow().written
+    }
+
+    /// Event fired whenever an item is dequeued (producers subscribe).
+    pub fn read_event(&self) -> EventId {
+        self.inner.borrow().read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn signal_update_is_deferred_one_delta() {
+        let mut k = Kernel::new();
+        let s: Signal<u32> = Signal::new(&mut k, "s", 1);
+        let observed = Rc::new(Cell::new(0));
+        let start = k.event("start");
+        let (s2, o2) = (s.clone(), observed.clone());
+        k.process("writer", &[start], move |_| {
+            s2.write(99);
+            // The write is not yet visible within the same evaluation.
+            o2.set(s2.read());
+        });
+        k.notify(start, 0);
+        k.run(1);
+        assert_eq!(observed.get(), 1); // old value during evaluation
+        assert_eq!(s.read(), 99); // new value after the update phase
+    }
+
+    #[test]
+    fn signal_fires_changed_only_on_change() {
+        let mut k = Kernel::new();
+        let s: Signal<u32> = Signal::new(&mut k, "s", 5);
+        let fires = Rc::new(Cell::new(0));
+        let f = fires.clone();
+        k.process("watch", &[s.changed()], move |_| f.set(f.get() + 1));
+        let tick = k.event("tick");
+        let s2 = s.clone();
+        let n = Rc::new(Cell::new(0u32));
+        k.process("drive", &[tick], move |k| {
+            n.set(n.get() + 1);
+            s2.write(if n.get() <= 2 { 7 } else { 7 }); // same value later
+            if n.get() < 4 {
+                k.notify(tick, 1);
+            }
+        });
+        k.notify(tick, 1);
+        k.run(100);
+        assert_eq!(fires.get(), 1); // only the 5 -> 7 transition fires
+    }
+
+    #[test]
+    fn last_write_in_delta_wins() {
+        let mut k = Kernel::new();
+        let s: Signal<u32> = Signal::new(&mut k, "s", 0);
+        let start = k.event("go");
+        let s2 = s.clone();
+        k.process("w1", &[start], move |_| s2.write(1));
+        let s3 = s.clone();
+        k.process("w2", &[start], move |_| s3.write(2));
+        k.notify(start, 0);
+        k.run(1);
+        assert_eq!(s.read(), 2);
+    }
+
+    #[test]
+    fn clock_edges_alternate() {
+        let mut k = Kernel::new();
+        let clk = Clock::new(&mut k, "clk", 4);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, sig) = (log.clone(), clk.signal().clone());
+        k.process("pos", &[clk.posedge()], move |k| {
+            l1.borrow_mut().push((k.time(), "pos", sig.read()))
+        });
+        let (l2, sig2) = (log.clone(), clk.signal().clone());
+        k.process("neg", &[clk.negedge()], move |k| {
+            l2.borrow_mut().push((k.time(), "neg", sig2.read()))
+        });
+        k.run(10);
+        let log = log.borrow();
+        // Edges at t = 2 (pos), 4 (neg), 6 (pos), 8 (neg), 10 (pos).
+        assert_eq!(log.len(), 5);
+        assert_eq!(log[0].0, 2);
+        assert_eq!(log[0].1, "pos");
+        assert_eq!(log[1].1, "neg");
+        assert_eq!(log[2].0, 6);
+    }
+
+    #[test]
+    fn fifo_producer_consumer() {
+        let mut k = Kernel::new();
+        let fifo: Fifo<u32> = Fifo::new(&mut k, "ch", 2);
+        let produced = Rc::new(Cell::new(0u32));
+        let consumed = Rc::new(RefCell::new(Vec::new()));
+
+        let tick = k.event("tick");
+        let (f1, p1) = (fifo.clone(), produced.clone());
+        k.process("producer", &[tick, fifo.read_event()], move |k| {
+            while p1.get() < 6 {
+                if f1.try_put(k, p1.get() * 10).is_err() {
+                    break; // full: retry on the read event
+                }
+                p1.set(p1.get() + 1);
+            }
+        });
+        let (f2, c2) = (fifo.clone(), consumed.clone());
+        k.process("consumer", &[fifo.written_event()], move |k| {
+            while let Some(v) = f2.try_get(k) {
+                c2.borrow_mut().push(v);
+            }
+        });
+        k.notify(tick, 1);
+        k.run(100);
+        assert_eq!(*consumed.borrow(), vec![0, 10, 20, 30, 40, 50]);
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn fifo_capacity_enforced() {
+        let mut k = Kernel::new();
+        let fifo: Fifo<u8> = Fifo::new(&mut k, "ch", 1);
+        assert!(fifo.try_put(&mut k, 1).is_ok());
+        assert!(fifo.is_full());
+        assert_eq!(fifo.try_put(&mut k, 2), Err(2));
+        assert_eq!(fifo.try_get(&mut k), Some(1));
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.try_get(&mut k), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! The discrete-event simulation kernel.
+//!
+//! The paper notes that "design teams often use a custom simulation kernel
+//! to model timing and events" in system-level models (§3.2) before SystemC
+//! standardized the pattern. This is that kernel: events, delta cycles,
+//! timed notifications, and *method processes* (callbacks re-run whenever a
+//! subscribed event fires). Thread-style processes are written as explicit
+//! state machines inside a method process — deliberately simple and
+//! deterministic.
+//!
+//! Determinism: processes triggered in the same delta run in their
+//! registration order; simultaneous timed notifications fire in schedule
+//! order. Two runs of the same model produce identical traces.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies an event within a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u32);
+
+/// Identifies a process within a [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+/// Simulation time in abstract time units.
+pub type Time = u64;
+
+/// Cumulative kernel statistics — the denominator of the paper's
+/// "SLM simulates 10x–1000x faster than RTL" claim (experiment E2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Process activations executed.
+    pub activations: u64,
+    /// Delta cycles completed.
+    pub delta_cycles: u64,
+    /// Events fired.
+    pub events_fired: u64,
+    /// Timed notifications processed.
+    pub timed_notifications: u64,
+}
+
+/// Things a signal does at the update phase. Implemented by
+/// [`crate::Signal`]'s inner state.
+pub trait Update {
+    /// Applies the pending write; returns the value-changed event to fire,
+    /// if the value actually changed.
+    fn apply(&self) -> Option<EventId>;
+}
+
+/// The shared queue signals push themselves onto when written.
+pub type UpdateQueue = Rc<RefCell<Vec<Rc<dyn Update>>>>;
+
+struct ProcessEntry {
+    name: String,
+    body: Option<Box<dyn FnMut(&mut Kernel)>>,
+    runnable: bool,
+}
+
+/// A discrete-event simulation kernel.
+///
+/// # Example
+///
+/// ```
+/// use dfv_slm::Kernel;
+///
+/// let mut k = Kernel::new();
+/// let tick = k.event("tick");
+/// let counter = std::rc::Rc::new(std::cell::Cell::new(0u32));
+/// let c2 = counter.clone();
+/// k.process("count", &[tick], move |k| {
+///     c2.set(c2.get() + 1);
+///     if c2.get() < 5 {
+///         k.notify(tick, 10); // re-arm
+///     }
+/// });
+/// k.notify(tick, 0);
+/// k.run(1_000);
+/// assert_eq!(counter.get(), 5);
+/// assert_eq!(k.time(), 40);
+/// ```
+pub struct Kernel {
+    time: Time,
+    events: Vec<String>,
+    /// event -> statically sensitive process ids.
+    sensitivity: Vec<Vec<ProcessId>>,
+    processes: Vec<ProcessEntry>,
+    /// Min-heap of (time, seq, event).
+    timed: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    seq: u64,
+    /// Events fired in the current evaluation, to trigger next delta.
+    pending_events: Vec<EventId>,
+    updates: UpdateQueue,
+    stats: KernelStats,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("time", &self.time)
+            .field("events", &self.events.len())
+            .field("processes", &self.processes.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel at time 0.
+    pub fn new() -> Self {
+        Kernel {
+            time: 0,
+            events: Vec::new(),
+            sensitivity: Vec::new(),
+            processes: Vec::new(),
+            timed: BinaryHeap::new(),
+            seq: 0,
+            pending_events: Vec::new(),
+            updates: Rc::new(RefCell::new(Vec::new())),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The signal-update queue (used by [`crate::Signal`]).
+    pub(crate) fn update_queue(&self) -> UpdateQueue {
+        Rc::clone(&self.updates)
+    }
+
+    /// Declares a named event.
+    pub fn event(&mut self, name: impl Into<String>) -> EventId {
+        self.events.push(name.into());
+        self.sensitivity.push(Vec::new());
+        EventId(self.events.len() as u32 - 1)
+    }
+
+    /// The name of an event.
+    pub fn event_name(&self, e: EventId) -> &str {
+        &self.events[e.0 as usize]
+    }
+
+    /// Registers a method process statically sensitive to `sensitive`
+    /// events. The body runs once per triggering delta cycle.
+    pub fn process(
+        &mut self,
+        name: impl Into<String>,
+        sensitive: &[EventId],
+        body: impl FnMut(&mut Kernel) + 'static,
+    ) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(ProcessEntry {
+            name: name.into(),
+            body: Some(Box::new(body)),
+            runnable: false,
+        });
+        for e in sensitive {
+            self.sensitivity[e.0 as usize].push(id);
+        }
+        id
+    }
+
+    /// The name of a process.
+    pub fn process_name(&self, p: ProcessId) -> &str {
+        &self.processes[p.0 as usize].name
+    }
+
+    /// Adds sensitivity of an existing process to another event.
+    pub fn sensitize(&mut self, p: ProcessId, e: EventId) {
+        self.sensitivity[e.0 as usize].push(p);
+    }
+
+    /// Makes a process runnable in the next delta cycle regardless of
+    /// events (a "spawn now" helper).
+    pub fn trigger_process(&mut self, p: ProcessId) {
+        self.processes[p.0 as usize].runnable = true;
+    }
+
+    /// Notifies an event after `delay` time units (0 = next delta cycle,
+    /// SystemC's `notify(SC_ZERO_TIME)`).
+    pub fn notify(&mut self, e: EventId, delay: Time) {
+        if delay == 0 {
+            self.pending_events.push(e);
+        } else {
+            self.seq += 1;
+            self.timed.push(Reverse((self.time + delay, self.seq, e.0)));
+        }
+    }
+
+    /// Fires an event immediately within the current evaluation phase
+    /// (processes become runnable in the next delta).
+    pub fn notify_now(&mut self, e: EventId) {
+        self.pending_events.push(e);
+    }
+
+    fn fire_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending_events);
+        for e in pending {
+            self.stats.events_fired += 1;
+            for &p in &self.sensitivity[e.0 as usize] {
+                self.processes[p.0 as usize].runnable = true;
+            }
+        }
+    }
+
+    /// Runs one delta cycle: evaluation phase (all runnable processes) then
+    /// update phase (signal updates, which may fire value-changed events).
+    /// Returns whether anything ran.
+    fn delta_cycle(&mut self) -> bool {
+        // Fire events queued since the last delta (zero-delay notifies,
+        // update-phase value changes, external notifications).
+        self.fire_pending();
+        let runnable: Vec<usize> = self
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() && self.updates.borrow().is_empty() {
+            return false;
+        }
+        for i in &runnable {
+            self.processes[*i].runnable = false;
+        }
+        for i in runnable {
+            // Take the body out so the process can borrow the kernel.
+            let mut body = self.processes[i].body.take().expect("not reentrant");
+            self.stats.activations += 1;
+            body(self);
+            self.processes[i].body = Some(body);
+        }
+        // Update phase.
+        let updates = std::mem::take(&mut *self.updates.borrow_mut());
+        for u in updates {
+            if let Some(e) = u.apply() {
+                self.pending_events.push(e);
+            }
+        }
+        self.stats.delta_cycles += 1;
+        true
+    }
+
+    /// Runs until no activity remains or simulation time exceeds `until`.
+    /// Returns the final simulation time.
+    pub fn run(&mut self, until: Time) -> Time {
+        loop {
+            // Exhaust delta cycles at the current time.
+            while self.delta_cycle() {}
+            // Advance to the next timed notification.
+            let Some(&Reverse((t, _, _))) = self.timed.peek() else {
+                break;
+            };
+            if t > until {
+                break;
+            }
+            self.time = t;
+            while let Some(&Reverse((t2, _, e))) = self.timed.peek() {
+                if t2 != t {
+                    break;
+                }
+                self.timed.pop();
+                self.stats.timed_notifications += 1;
+                self.pending_events.push(EventId(e));
+            }
+            self.fire_pending();
+        }
+        self.time
+    }
+
+    /// Runs exactly one timestep (all deltas at the current time plus the
+    /// advance to the next timed notification). Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        while self.delta_cycle() {}
+        let Some(&Reverse((t, _, _))) = self.timed.peek() else {
+            return false;
+        };
+        self.time = t;
+        while let Some(&Reverse((t2, _, e))) = self.timed.peek() {
+            if t2 != t {
+                break;
+            }
+            self.timed.pop();
+            self.stats.timed_notifications += 1;
+            self.pending_events.push(EventId(e));
+        }
+        self.fire_pending();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn timed_notifications_advance_time() {
+        let mut k = Kernel::new();
+        let e = k.event("e");
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        k.process("p", &[e], move |_| h.set(h.get() + 1));
+        k.notify(e, 5);
+        k.notify(e, 10);
+        k.run(100);
+        assert_eq!(hits.get(), 2);
+        assert_eq!(k.time(), 10);
+    }
+
+    #[test]
+    fn zero_delay_is_a_delta_cycle() {
+        let mut k = Kernel::new();
+        let e = k.event("e");
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o1 = order.clone();
+        k.process("a", &[e], move |_| o1.borrow_mut().push("a"));
+        let o2 = order.clone();
+        k.process("b", &[e], move |_| o2.borrow_mut().push("b"));
+        k.notify(e, 0);
+        k.run(10);
+        // Both run in the same delta, in registration order; time stays 0.
+        assert_eq!(*order.borrow(), vec!["a", "b"]);
+        assert_eq!(k.time(), 0);
+        assert_eq!(k.stats().delta_cycles, 1);
+    }
+
+    #[test]
+    fn cascading_deltas_same_time() {
+        let mut k = Kernel::new();
+        let e1 = k.event("e1");
+        let e2 = k.event("e2");
+        let done = Rc::new(Cell::new(false));
+        k.process("first", &[e1], move |k| k.notify_now(e2));
+        let d = done.clone();
+        k.process("second", &[e2], move |_| d.set(true));
+        k.notify(e1, 3);
+        k.run(10);
+        assert!(done.get());
+        assert_eq!(k.time(), 3);
+        assert!(k.stats().delta_cycles >= 2);
+    }
+
+    #[test]
+    fn run_respects_time_limit() {
+        let mut k = Kernel::new();
+        let e = k.event("e");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        k.process("p", &[e], move |k| {
+            h.set(h.get() + 1);
+            k.notify(e, 10);
+        });
+        k.notify(e, 10);
+        k.run(55);
+        assert_eq!(hits.get(), 5); // t = 10, 20, 30, 40, 50
+        assert_eq!(k.time(), 50);
+        // Continuing picks up where it left off.
+        k.run(100);
+        assert_eq!(hits.get(), 10);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> (Vec<u64>, KernelStats) {
+            let mut k = Kernel::new();
+            let a = k.event("a");
+            let b = k.event("b");
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l1 = log.clone();
+            k.process("pa", &[a], move |k| {
+                l1.borrow_mut().push(k.time());
+                k.notify(b, 7);
+            });
+            let l2 = log.clone();
+            k.process("pb", &[b], move |k| {
+                l2.borrow_mut().push(k.time() * 1000);
+                if k.time() < 40 {
+                    k.notify(a, 3);
+                }
+            });
+            k.notify(a, 1);
+            k.run(200);
+            let log = log.borrow().clone();
+            (log, k.stats())
+        }
+        let (l1, s1) = run_once();
+        let (l2, s2) = run_once();
+        assert_eq!(l1, l2);
+        assert_eq!(s1, s2);
+        assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn step_advances_one_timestep() {
+        let mut k = Kernel::new();
+        let e = k.event("e");
+        k.process("p", &[e], |_| {});
+        k.notify(e, 4);
+        k.notify(e, 9);
+        assert!(k.step());
+        assert_eq!(k.time(), 4);
+        assert!(k.step());
+        assert_eq!(k.time(), 9);
+        // One more step to drain the last delta, then idle.
+        let _ = k.step();
+        assert!(!k.step());
+    }
+}

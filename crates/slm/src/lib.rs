@@ -1,0 +1,53 @@
+//! A system-level modelling kernel: discrete events, delta cycles, signals,
+//! clocks, FIFOs, and transaction-level ports.
+//!
+//! This crate is the workspace's SystemC stand-in (the paper's SLMs are
+//! written in C/C++/SystemC). It provides the three abstraction levels the
+//! paper's §1 catalogue of models needs:
+//!
+//! * **untimed**: pure function / [`Transport`] transaction calls — fastest,
+//!   used for algorithmic and software-prototyping models;
+//! * **loosely timed**: processes + [`Fifo`] channels with event-driven
+//!   hand-off;
+//! * **cycle approximate**: [`Clock`]-driven processes sampling [`Signal`]s
+//!   — close enough to RTL timing for verification reuse.
+//!
+//! The kernel is single-threaded and deterministic (see [`Kernel`]); models
+//! are method processes (closures re-run on subscribed events).
+//!
+//! # Example: loosely-timed producer/consumer
+//!
+//! ```
+//! use dfv_slm::{Fifo, Kernel};
+//! use std::{cell::RefCell, rc::Rc};
+//!
+//! let mut k = Kernel::new();
+//! let ch: Fifo<u32> = Fifo::new(&mut k, "ch", 4);
+//! let go = k.event("go");
+//! let (tx, seen) = (ch.clone(), Rc::new(RefCell::new(Vec::new())));
+//! k.process("producer", &[go], move |k| {
+//!     for i in 0..3 {
+//!         let _ = tx.try_put(k, i);
+//!     }
+//! });
+//! let (rx, log) = (ch.clone(), seen.clone());
+//! k.process("consumer", &[ch.written_event()], move |k| {
+//!     while let Some(v) = rx.try_get(k) {
+//!         log.borrow_mut().push(v);
+//!     }
+//! });
+//! k.notify(go, 1);
+//! k.run(100);
+//! assert_eq!(*seen.borrow(), vec![0, 1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod channels;
+mod kernel;
+mod tlm;
+
+pub use channels::{Clock, Fifo, Signal};
+pub use kernel::{EventId, Kernel, KernelStats, ProcessId, Time, Update, UpdateQueue};
+pub use tlm::{MemReq, MemResp, TargetPort, TlmMemory, Transport};

@@ -1,0 +1,152 @@
+//! Transaction-level modelling: blocking transport as plain function calls.
+//!
+//! The paper's §4.4 ("Orthogonal Communication and Computation") and its
+//! reference [1] describe transaction-based modelling: functional blocks
+//! exchange whole transactions through interfaces, so the same
+//! computational kernel can be reused from untimed architectural models
+//! down to verification models. [`Transport`] is that interface in its
+//! untimed form: a request/response function call, with no clocks or
+//! events — the fastest abstraction level in experiment E2.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Blocking transaction transport: the initiator calls, the target
+/// computes, the response returns — zero simulated time.
+pub trait Transport<Req, Resp> {
+    /// Processes one transaction.
+    fn transport(&mut self, req: Req) -> Resp;
+}
+
+impl<Req, Resp, F: FnMut(Req) -> Resp> Transport<Req, Resp> for F {
+    fn transport(&mut self, req: Req) -> Resp {
+        self(req)
+    }
+}
+
+/// A shareable binding to a transport target, so several initiator
+/// processes can call the same target model.
+pub struct TargetPort<Req, Resp> {
+    target: Rc<RefCell<dyn Transport<Req, Resp>>>,
+}
+
+impl<Req, Resp> Clone for TargetPort<Req, Resp> {
+    fn clone(&self) -> Self {
+        TargetPort {
+            target: Rc::clone(&self.target),
+        }
+    }
+}
+
+impl<Req: 'static, Resp: 'static> TargetPort<Req, Resp> {
+    /// Wraps a target model.
+    pub fn new(target: impl Transport<Req, Resp> + 'static) -> Self {
+        TargetPort {
+            target: Rc::new(RefCell::new(target)),
+        }
+    }
+
+    /// Issues one transaction.
+    pub fn transport(&self, req: Req) -> Resp {
+        self.target.borrow_mut().transport(req)
+    }
+}
+
+/// A memory transaction for the canonical register/memory target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemReq {
+    /// Read one word.
+    Read {
+        /// Word address.
+        addr: usize,
+    },
+    /// Write one word.
+    Write {
+        /// Word address.
+        addr: usize,
+        /// Data to store.
+        data: u64,
+    },
+}
+
+/// Response to a [`MemReq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemResp {
+    /// Read data.
+    Data(u64),
+    /// Write acknowledged.
+    Ack,
+    /// Address out of range.
+    Error,
+}
+
+/// The paper's §3.2 "memory ... simply a static array in C (accessed and
+/// written without any delay)": a zero-latency TLM memory target. The RTL
+/// it abstracts has a one-cycle read delay — the canonical timing
+/// divergence that transactors must absorb.
+#[derive(Debug, Clone)]
+pub struct TlmMemory {
+    words: Vec<u64>,
+}
+
+impl TlmMemory {
+    /// A memory of `depth` words, zero-initialized.
+    pub fn new(depth: usize) -> Self {
+        TlmMemory {
+            words: vec![0; depth],
+        }
+    }
+
+    /// Direct backdoor access for checkers.
+    pub fn word(&self, addr: usize) -> Option<u64> {
+        self.words.get(addr).copied()
+    }
+}
+
+impl Transport<MemReq, MemResp> for TlmMemory {
+    fn transport(&mut self, req: MemReq) -> MemResp {
+        match req {
+            MemReq::Read { addr } => match self.words.get(addr) {
+                Some(&w) => MemResp::Data(w),
+                None => MemResp::Error,
+            },
+            MemReq::Write { addr, data } => match self.words.get_mut(addr) {
+                Some(w) => {
+                    *w = data;
+                    MemResp::Ack
+                }
+                None => MemResp::Error,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_targets() {
+        let mut double = |x: u32| x * 2;
+        assert_eq!(double.transport(21), 42);
+    }
+
+    #[test]
+    fn tlm_memory_read_write() {
+        let port = TargetPort::new(TlmMemory::new(16));
+        assert_eq!(
+            port.transport(MemReq::Write { addr: 3, data: 0xAB }),
+            MemResp::Ack
+        );
+        assert_eq!(port.transport(MemReq::Read { addr: 3 }), MemResp::Data(0xAB));
+        assert_eq!(port.transport(MemReq::Read { addr: 99 }), MemResp::Error);
+    }
+
+    #[test]
+    fn port_is_shareable() {
+        let port = TargetPort::new(TlmMemory::new(4));
+        let p2 = port.clone();
+        p2.transport(MemReq::Write { addr: 0, data: 7 });
+        assert_eq!(port.transport(MemReq::Read { addr: 0 }), MemResp::Data(7));
+    }
+}

@@ -1,0 +1,302 @@
+//! Abstract syntax for SLM-C.
+//!
+//! The grammar deliberately *includes* the constructs the paper's §4.3 tells
+//! SLM authors to avoid — pointers, `malloc`, data-dependent loop bounds —
+//! so that the lint pass ([`crate::lint`]) has something to diagnose and the
+//! elaborator ([`crate::elaborate`]) can reject them with the paper's
+//! suggested rewrites.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A scalar value type: a signed or unsigned bit vector of known width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScalarTy {
+    /// Width in bits (1..=128).
+    pub width: u32,
+    /// Two's-complement signedness.
+    pub signed: bool,
+}
+
+impl ScalarTy {
+    /// `bool` is `uint<1>`.
+    pub const BOOL: ScalarTy = ScalarTy {
+        width: 1,
+        signed: false,
+    };
+    /// `int` is `int<32>`.
+    pub const INT: ScalarTy = ScalarTy {
+        width: 32,
+        signed: true,
+    };
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>", if self.signed { "int" } else { "uint" }, self.width)
+    }
+}
+
+/// A full type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// No value (function returns only).
+    Void,
+    /// A scalar.
+    Scalar(ScalarTy),
+    /// A statically sized array of scalars.
+    Array(ScalarTy, usize),
+    /// A pointer to a scalar — lintable, not synthesizable.
+    Ptr(ScalarTy),
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Scalar(s) => write!(f, "{s}"),
+            Ty::Array(s, n) => write!(f, "{s}[{n}]"),
+            Ty::Ptr(s) => write!(f, "{s}*"),
+        }
+    }
+}
+
+/// Binary operators (C semantics, bit-accurate widths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic when the left operand is signed)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (strict — both sides evaluated; SLM-C has no side effects in
+    /// expressions)
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Not,
+    /// `!`
+    LNot,
+}
+
+/// An expression, with a unique id for type-annotation side tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique within the program.
+    pub id: u32,
+    /// Location.
+    pub span: Span,
+    /// The node itself.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(u64),
+    /// Variable reference.
+    Var(String),
+    /// Array element `base[index]`.
+    Index {
+        /// Array variable name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary `cond ? t : f`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        t: Box<Expr>,
+        /// Else value.
+        f: Box<Expr>,
+    },
+    /// Cast `(ty) expr`.
+    Cast(ScalarTy, Box<Expr>),
+    /// Address-of `&var` (produces a pointer; lint DFV002).
+    AddrOf(String),
+    /// Dereference `*ptr`.
+    Deref(Box<Expr>),
+    /// `malloc(n)` intrinsic (lint DFV001).
+    Malloc {
+        /// Element type.
+        elem: ScalarTy,
+        /// Element-count expression.
+        count: Box<Expr>,
+    },
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar or pointer variable.
+    Var(String),
+    /// An array element.
+    Index {
+        /// Array variable name.
+        base: String,
+        /// Index expression.
+        index: Expr,
+    },
+    /// A pointer dereference.
+    Deref(String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Location.
+    pub span: Span,
+    /// The node itself.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// A local declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Its type.
+        ty: Ty,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// An assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// C-style `for`.
+    For {
+        /// Loop variable (declared by the loop, `int` typed).
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Condition (evaluated before each iteration).
+        cond: Expr,
+        /// Step (assigned to `var` after each iteration).
+        step: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return` with optional value.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// A nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type (scalars and arrays; pointers are legal but lint).
+    pub ty: Ty,
+    /// Whether this is an `out` parameter (written by the function,
+    /// surfaced as an output of the elaborated hardware model).
+    pub is_out: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Location of the signature.
+    pub span: Span,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed SLM-C program (a set of functions).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Functions in source order.
+    pub funcs: Vec<Func>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,1091 @@
+//! The SLM-C interpreter — the *executable* system-level model.
+//!
+//! This is the fast path the paper's methodology leans on: the SLM "simulates
+//! several orders of magnitude faster" than RTL because it is an untimed,
+//! single-threaded program with no clocks or events. The interpreter executes
+//! bit-accurately over [`Bv`] values, so its results agree exactly with the
+//! elaborated hardware model and the RTL (when the RTL is correct).
+//!
+//! Array indices wrap modulo the array length — matching the elaborated
+//! hardware's mux-tree semantics, so interpretation and elaboration can never
+//! silently disagree on out-of-range accesses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dfv_bits::Bv;
+
+use crate::ast::*;
+use crate::sema::{binop_result, literal_ty, promote};
+use crate::token::Span;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar with its signedness.
+    Scalar(Bv, bool),
+    /// An array of same-width scalars.
+    Array(Vec<Bv>, ScalarTy),
+    /// A pointer into the interpreter's store.
+    Ptr(PtrVal),
+    /// No value.
+    Void,
+}
+
+impl Value {
+    /// Convenience constructor from a `u64`.
+    pub fn from_u64(ty: ScalarTy, v: u64) -> Value {
+        Value::Scalar(Bv::from_u64(ty.width, v), ty.signed)
+    }
+
+    /// Convenience constructor from an `i64`.
+    pub fn from_i64(ty: ScalarTy, v: i64) -> Value {
+        Value::Scalar(Bv::from_i64(ty.width, v), ty.signed)
+    }
+
+    /// The scalar [`Bv`], if this is a scalar.
+    pub fn as_bv(&self) -> Option<&Bv> {
+        match self {
+            Value::Scalar(b, _) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(b, true) => write!(f, "{}", b.to_i64()),
+            Value::Scalar(b, false) => write!(f, "{b}"),
+            Value::Array(ws, _) => {
+                write!(f, "[")?;
+                for (i, w) in ws.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Ptr(p) => write!(f, "ptr({}+{})", p.cell, p.offset),
+            Value::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// A pointer value: a store cell plus an element offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtrVal {
+    cell: usize,
+    offset: usize,
+}
+
+/// A runtime error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Where execution failed.
+    pub span: Span,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: runtime error: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The result of running an entry function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The return value.
+    pub ret: Value,
+    /// Final values of `out` parameters, in declaration order.
+    pub outs: Vec<(String, Value)>,
+    /// Number of statements executed (the speed metric for experiment E2).
+    pub steps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Cell {
+    words: Vec<Bv>,
+    ty: ScalarTy,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// Interpreter state for one program.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    prog: &'p Program,
+    store: Vec<Cell>,
+    fuel: u64,
+    steps: u64,
+}
+
+/// Default statement budget before an execution is declared runaway.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for `prog` with the default fuel.
+    pub fn new(prog: &'p Program) -> Self {
+        Interp {
+            prog,
+            store: Vec::new(),
+            fuel: DEFAULT_FUEL,
+            steps: 0,
+        }
+    }
+
+    /// Overrides the statement budget (for tests of runaway loops).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `entry` with the given argument values.
+    ///
+    /// Scalar arguments are resized to the parameter type; array arguments
+    /// must match exactly. `out` parameters receive zero-initialized storage
+    /// and their final values are returned in [`RunResult::outs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on a runtime failure (unknown entry, argument
+    /// mismatch, fuel exhaustion, null dereference, ...).
+    pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<RunResult, EvalError> {
+        let nowhere = Span::default();
+        let f = self.prog.func(entry).ok_or_else(|| EvalError {
+            span: nowhere,
+            message: format!("no function named {entry:?}"),
+        })?;
+        // `out` params may be omitted from the argument list entirely.
+        let required: Vec<&Param> = f.params.iter().filter(|p| !p.is_out).collect();
+        if args.len() != required.len() && args.len() != f.params.len() {
+            return Err(EvalError {
+                span: f.span,
+                message: format!(
+                    "{entry:?} takes {} arguments ({} with outs), {} given",
+                    required.len(),
+                    f.params.len(),
+                    args.len()
+                ),
+            });
+        }
+        self.store.clear();
+        self.steps = 0;
+        let mut env: HashMap<String, usize> = HashMap::new();
+        let mut arg_iter = args.iter();
+        for p in &f.params {
+            let v = if p.is_out && args.len() == required.len() {
+                // Zero-initialize omitted out params.
+                match p.ty {
+                    Ty::Scalar(s) => Value::Scalar(Bv::zero(s.width), s.signed),
+                    Ty::Array(s, n) => Value::Array(vec![Bv::zero(s.width); n], s),
+                    _ => unreachable!("sema rejects pointer outs"),
+                }
+            } else {
+                arg_iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| EvalError {
+                        span: f.span,
+                        message: "missing argument".into(),
+                    })?
+            };
+            let cell = self.bind_param(f, p, v)?;
+            env.insert(p.name.clone(), cell);
+        }
+        let flow = self.exec_block(f, &f.body, &mut env)?;
+        let ret = match flow {
+            Flow::Return(v) => v,
+            _ => Value::Void,
+        };
+        let outs = f
+            .params
+            .iter()
+            .filter(|p| p.is_out)
+            .map(|p| {
+                let cell = &self.store[env[&p.name]];
+                let v = match p.ty {
+                    Ty::Scalar(s) => Value::Scalar(cell.words[0].clone(), s.signed),
+                    Ty::Array(s, _) => Value::Array(cell.words.clone(), s),
+                    _ => unreachable!(),
+                };
+                (p.name.clone(), v)
+            })
+            .collect();
+        Ok(RunResult {
+            ret,
+            outs,
+            steps: self.steps,
+        })
+    }
+
+    fn bind_param(&mut self, f: &Func, p: &Param, v: Value) -> Result<usize, EvalError> {
+        let cell = match (&p.ty, v) {
+            (Ty::Scalar(s), Value::Scalar(b, signed)) => Cell {
+                words: vec![resize(&b, signed, *s)],
+                ty: *s,
+            },
+            (Ty::Array(s, n), Value::Array(ws, wt)) => {
+                if ws.len() != *n || wt != *s {
+                    return Err(EvalError {
+                        span: f.span,
+                        message: format!(
+                            "array argument for {:?} has wrong shape (got {}x{}, want {}x{})",
+                            p.name,
+                            ws.len(),
+                            wt,
+                            n,
+                            s
+                        ),
+                    });
+                }
+                Cell {
+                    words: ws,
+                    ty: *s,
+                }
+            }
+            (ty, v) => {
+                return Err(EvalError {
+                    span: f.span,
+                    message: format!("argument for {:?}: expected {ty}, got {v}", p.name),
+                })
+            }
+        };
+        self.store.push(cell);
+        Ok(self.store.len() - 1)
+    }
+
+    fn tick(&mut self, span: Span) -> Result<(), EvalError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            return Err(EvalError {
+                span,
+                message: "fuel exhausted (runaway loop? see lint DFV006)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        f: &Func,
+        body: &[Stmt],
+        env: &mut HashMap<String, usize>,
+    ) -> Result<Flow, EvalError> {
+        // Block scoping: names declared inside are removed after (restore
+        // the shadowed binding if there was one).
+        let mut shadowed: Vec<(String, Option<usize>)> = Vec::new();
+        let mut flow = Flow::Normal;
+        for s in body {
+            match self.exec_stmt(f, s, env, &mut shadowed)? {
+                Flow::Normal => {}
+                other => {
+                    flow = other;
+                    break;
+                }
+            }
+        }
+        for (name, old) in shadowed.into_iter().rev() {
+            match old {
+                Some(c) => env.insert(name, c),
+                None => env.remove(&name),
+            };
+        }
+        Ok(flow)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        f: &Func,
+        s: &Stmt,
+        env: &mut HashMap<String, usize>,
+        shadowed: &mut Vec<(String, Option<usize>)>,
+    ) -> Result<Flow, EvalError> {
+        self.tick(s.span)?;
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let cell = match ty {
+                    Ty::Scalar(sc) => {
+                        let w = match init {
+                            Some(e) => {
+                                let (b, signed) = self.scalar(f, e, env)?;
+                                resize(&b, signed, *sc)
+                            }
+                            None => Bv::zero(sc.width),
+                        };
+                        Cell {
+                            words: vec![w],
+                            ty: *sc,
+                        }
+                    }
+                    Ty::Array(sc, n) => Cell {
+                        words: vec![Bv::zero(sc.width); *n],
+                        ty: *sc,
+                    },
+                    Ty::Ptr(sc) => {
+                        // Pointers are stored as a 64-bit encoded (cell,
+                        // offset) pair in a side value; model them as a
+                        // one-word cell holding the encoding.
+                        let enc = match init {
+                            Some(e) => match self.eval(f, e, env)? {
+                                Value::Ptr(p) => encode_ptr(p),
+                                other => {
+                                    return Err(EvalError {
+                                        span: e.span,
+                                        message: format!("expected pointer, got {other}"),
+                                    })
+                                }
+                            },
+                            None => Bv::zero(64),
+                        };
+                        Cell {
+                            words: vec![enc],
+                            ty: ScalarTy {
+                                width: sc.width,
+                                signed: sc.signed,
+                            },
+                        }
+                    }
+                    Ty::Void => unreachable!("no void declarations"),
+                };
+                self.store.push(cell);
+                let idx = self.store.len() - 1;
+                shadowed.push((name.clone(), env.insert(name.clone(), idx)));
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                match lhs {
+                    LValue::Var(n) => {
+                        let cell_idx = lookup(env, n, s.span)?;
+                        if is_ptr_ty(self.prog, f, n) {
+                            let v = self.eval(f, rhs, env)?;
+                            let Value::Ptr(p) = v else {
+                                return Err(EvalError {
+                                    span: rhs.span,
+                                    message: format!("expected pointer, got {v}"),
+                                });
+                            };
+                            self.store[cell_idx].words[0] = encode_ptr(p);
+                        } else {
+                            let (b, signed) = self.scalar(f, rhs, env)?;
+                            let ty = self.store[cell_idx].ty;
+                            self.store[cell_idx].words[0] = resize(&b, signed, ty);
+                        }
+                    }
+                    LValue::Index { base, index } => {
+                        let (iv, _) = self.scalar(f, index, env)?;
+                        let (b, signed) = self.scalar(f, rhs, env)?;
+                        let cell_idx = lookup(env, base, s.span)?;
+                        if is_ptr_ty(self.prog, f, base) {
+                            // Write through the pointer: p[i] aliases the
+                            // pointee, not the pointer cell.
+                            let p = decode_ptr(&self.store[cell_idx].words[0], s.span)?;
+                            let target = self
+                                .store
+                                .get(p.cell)
+                                .ok_or_else(|| dangling(s.span))?
+                                .ty;
+                            let w = resize(&b, signed, target);
+                            let words = &mut self
+                                .store
+                                .get_mut(p.cell)
+                                .ok_or_else(|| dangling(s.span))?
+                                .words;
+                            let i = p.offset + iv.to_u64() as usize;
+                            if i >= words.len() {
+                                return Err(dangling(s.span));
+                            }
+                            words[i] = w;
+                        } else {
+                            let len = self.store[cell_idx].words.len();
+                            let ty = self.store[cell_idx].ty;
+                            let i = (iv.to_u64() as usize) % len.max(1);
+                            self.store[cell_idx].words[i] = resize(&b, signed, ty);
+                        }
+                    }
+                    LValue::Deref(n) => {
+                        let (b, signed) = self.scalar(f, rhs, env)?;
+                        let cell_idx = lookup(env, n, s.span)?;
+                        let p = decode_ptr(&self.store[cell_idx].words[0], s.span)?;
+                        let target = self
+                            .store
+                            .get(p.cell)
+                            .ok_or_else(|| dangling(s.span))?
+                            .ty;
+                        let w = resize(&b, signed, target);
+                        let words = &mut self
+                            .store
+                            .get_mut(p.cell)
+                            .ok_or_else(|| dangling(s.span))?
+                            .words;
+                        if p.offset >= words.len() {
+                            return Err(dangling(s.span));
+                        }
+                        words[p.offset] = w;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(f, e, env)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let (c, _) = self.scalar(f, cond, env)?;
+                if !c.is_zero() {
+                    self.exec_block(f, then_body, env)
+                } else {
+                    self.exec_block(f, else_body, env)
+                }
+            }
+            StmtKind::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let (iv, signed) = self.scalar(f, init, env)?;
+                self.store.push(Cell {
+                    words: vec![resize(&iv, signed, ScalarTy::INT)],
+                    ty: ScalarTy::INT,
+                });
+                let idx = self.store.len() - 1;
+                let old = env.insert(var.clone(), idx);
+                let mut result = Flow::Normal;
+                loop {
+                    self.tick(s.span)?;
+                    let (c, _) = self.scalar(f, cond, env)?;
+                    if c.is_zero() {
+                        break;
+                    }
+                    match self.exec_block(f, body, env)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => {
+                            result = r;
+                            break;
+                        }
+                    }
+                    let (sv, ssigned) = self.scalar(f, step, env)?;
+                    self.store[idx].words[0] = resize(&sv, ssigned, ScalarTy::INT);
+                }
+                match old {
+                    Some(c) => env.insert(var.clone(), c),
+                    None => env.remove(var),
+                };
+                Ok(result)
+            }
+            StmtKind::While { cond, body } => loop {
+                self.tick(s.span)?;
+                let (c, _) = self.scalar(f, cond, env)?;
+                if c.is_zero() {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec_block(f, body, env)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => return Ok(Flow::Normal),
+                    r @ Flow::Return(_) => return Ok(r),
+                }
+            },
+            StmtKind::Return(v) => {
+                let val = match (v, &f.ret) {
+                    (None, _) => Value::Void,
+                    (Some(e), Ty::Scalar(sc)) => {
+                        let (b, signed) = self.scalar(f, e, env)?;
+                        Value::Scalar(resize(&b, signed, *sc), sc.signed)
+                    }
+                    (Some(e), _) => self.eval(f, e, env)?,
+                };
+                Ok(Flow::Return(val))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(body) => self.exec_block(f, body, env),
+        }
+    }
+
+    /// Evaluates an expression to a scalar (Bv, signedness).
+    fn scalar(
+        &mut self,
+        f: &Func,
+        e: &Expr,
+        env: &mut HashMap<String, usize>,
+    ) -> Result<(Bv, bool), EvalError> {
+        match self.eval(f, e, env)? {
+            Value::Scalar(b, s) => Ok((b, s)),
+            other => Err(EvalError {
+                span: e.span,
+                message: format!("expected scalar, got {other}"),
+            }),
+        }
+    }
+
+    fn eval(
+        &mut self,
+        f: &Func,
+        e: &Expr,
+        env: &mut HashMap<String, usize>,
+    ) -> Result<Value, EvalError> {
+        self.tick(e.span)?;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let t = literal_ty(*v);
+                Ok(Value::Scalar(Bv::from_u64(t.width, *v), t.signed))
+            }
+            ExprKind::Var(n) => {
+                let idx = lookup(env, n, e.span)?;
+                let cell = &self.store[idx];
+                if is_ptr_ty(self.prog, f, n) {
+                    Ok(Value::Ptr(decode_ptr(&cell.words[0], e.span)?))
+                } else if cell_is_array(self.prog, f, n) {
+                    Ok(Value::Array(cell.words.clone(), cell.ty))
+                } else {
+                    Ok(Value::Scalar(cell.words[0].clone(), cell.ty.signed))
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let (iv, _) = self.scalar(f, index, env)?;
+                let idx = lookup(env, base, e.span)?;
+                if is_ptr_ty(self.prog, f, base) {
+                    let p = decode_ptr(&self.store[idx].words[0].clone(), e.span)?;
+                    let cell = self.store.get(p.cell).ok_or_else(|| dangling(e.span))?;
+                    let i = p.offset + iv.to_u64() as usize;
+                    let w = cell.words.get(i).ok_or_else(|| dangling(e.span))?;
+                    return Ok(Value::Scalar(w.clone(), cell.ty.signed));
+                }
+                let cell = &self.store[idx];
+                let len = cell.words.len().max(1);
+                let i = (iv.to_u64() as usize) % len;
+                Ok(Value::Scalar(cell.words[i].clone(), cell.ty.signed))
+            }
+            ExprKind::Call { callee, args } => self.call(f, e.span, callee, args, env),
+            ExprKind::Un(op, a) => {
+                let (b, signed) = self.scalar(f, a, env)?;
+                Ok(match op {
+                    UnOp::Neg => Value::Scalar(b.wrapping_neg(), signed),
+                    UnOp::Not => Value::Scalar(b.not(), signed),
+                    UnOp::LNot => Value::Scalar(Bv::from_bool(b.is_zero()), false),
+                })
+            }
+            ExprKind::Bin(op, a, b) => {
+                let (av, asig) = self.scalar(f, a, env)?;
+                let (bv, bsig) = self.scalar(f, b, env)?;
+                Ok(eval_binop(
+                    *op,
+                    &av,
+                    ScalarTy {
+                        width: av.width(),
+                        signed: asig,
+                    },
+                    &bv,
+                    ScalarTy {
+                        width: bv.width(),
+                        signed: bsig,
+                    },
+                ))
+            }
+            ExprKind::Ternary { cond, t, f: fe } => {
+                let (c, _) = self.scalar(f, cond, env)?;
+                // Both sides are pure in SLM-C, so evaluate only the taken
+                // side for speed.
+                if !c.is_zero() {
+                    self.eval(f, t, env)
+                } else {
+                    self.eval(f, fe, env)
+                }
+            }
+            ExprKind::Cast(ty, a) => {
+                let (b, signed) = self.scalar(f, a, env)?;
+                Ok(Value::Scalar(resize(&b, signed, *ty), ty.signed))
+            }
+            ExprKind::AddrOf(n) => {
+                let idx = lookup(env, n, e.span)?;
+                Ok(Value::Ptr(PtrVal {
+                    cell: idx,
+                    offset: 0,
+                }))
+            }
+            ExprKind::Deref(p) => {
+                let v = self.eval(f, p, env)?;
+                let Value::Ptr(pv) = v else {
+                    return Err(EvalError {
+                        span: e.span,
+                        message: format!("cannot dereference {v}"),
+                    });
+                };
+                let cell = self.store.get(pv.cell).ok_or_else(|| dangling(e.span))?;
+                let w = cell.words.get(pv.offset).ok_or_else(|| dangling(e.span))?;
+                Ok(Value::Scalar(w.clone(), cell.ty.signed))
+            }
+            ExprKind::Malloc { elem, count } => {
+                let (n, _) = self.scalar(f, count, env)?;
+                let n = n.to_u64() as usize;
+                self.store.push(Cell {
+                    words: vec![Bv::zero(elem.width); n.max(1)],
+                    ty: *elem,
+                });
+                Ok(Value::Ptr(PtrVal {
+                    cell: self.store.len() - 1,
+                    offset: 0,
+                }))
+            }
+        }
+    }
+
+    fn call(
+        &mut self,
+        caller: &Func,
+        span: Span,
+        callee: &str,
+        args: &[Expr],
+        env: &mut HashMap<String, usize>,
+    ) -> Result<Value, EvalError> {
+        let g = self
+            .prog
+            .func(callee)
+            .ok_or_else(|| EvalError {
+                span,
+                message: format!("unknown function {callee:?}"),
+            })?
+            .clone();
+        let mut new_env: HashMap<String, usize> = HashMap::new();
+        let mut out_links: Vec<(String, usize)> = Vec::new();
+        for (p, a) in g.params.iter().zip(args) {
+            let v = self.eval(caller, a, env)?;
+            let cell = self.bind_param(&g, p, v)?;
+            if p.is_out {
+                // Remember the caller's variable so we can copy back.
+                let ExprKind::Var(n) = &a.kind else {
+                    return Err(EvalError {
+                        span: a.span,
+                        message: "out arguments must be plain variables".into(),
+                    });
+                };
+                out_links.push((n.clone(), cell));
+            }
+            new_env.insert(p.name.clone(), cell);
+        }
+        let flow = self.exec_block(&g, &g.body, &mut new_env)?;
+        // Copy out parameters back to the caller, converting each word to
+        // the caller variable's type (widths may differ through implicit
+        // scalar conversion).
+        for (caller_var, callee_cell) in out_links {
+            let src_ty = self.store[callee_cell].ty;
+            let words = self.store[callee_cell].words.clone();
+            let dst = lookup(env, &caller_var, span)?;
+            let dst_ty = self.store[dst].ty;
+            self.store[dst].words = words
+                .iter()
+                .map(|w| resize(w, src_ty.signed, dst_ty))
+                .collect();
+        }
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => Value::Void,
+        })
+    }
+}
+
+fn lookup(env: &HashMap<String, usize>, n: &str, span: Span) -> Result<usize, EvalError> {
+    env.get(n).copied().ok_or_else(|| EvalError {
+        span,
+        message: format!("undeclared variable {n:?}"),
+    })
+}
+
+fn dangling(span: Span) -> EvalError {
+    EvalError {
+        span,
+        message: "dangling or null pointer access".into(),
+    }
+}
+
+fn encode_ptr(p: PtrVal) -> Bv {
+    Bv::from_u64(64, ((p.cell as u64) << 24) | (p.offset as u64 & 0xFF_FFFF) | (1 << 63))
+}
+
+fn decode_ptr(b: &Bv, span: Span) -> Result<PtrVal, EvalError> {
+    let raw = b.to_u64();
+    if raw & (1 << 63) == 0 {
+        return Err(EvalError {
+            span,
+            message: "dereference of uninitialized pointer".into(),
+        });
+    }
+    Ok(PtrVal {
+        cell: ((raw >> 24) & 0xFF_FFFF_FF) as usize,
+        offset: (raw & 0xFF_FFFF) as usize,
+    })
+}
+
+/// Whether `n` is pointer-typed in `f` (syntactic: declared as pointer).
+/// The interpreter only needs this for variables, whose declarations are in
+/// scope; sema has already validated everything.
+fn is_ptr_ty(prog: &Program, f: &Func, n: &str) -> bool {
+    fn in_stmts(stmts: &[Stmt], n: &str) -> Option<bool> {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Decl { name, ty, .. } if name == n => {
+                    return Some(matches!(ty, Ty::Ptr(_)))
+                }
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    if let Some(b) = in_stmts(then_body, n).or_else(|| in_stmts(else_body, n)) {
+                        return Some(b);
+                    }
+                }
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                    if let Some(b) = in_stmts(body, n) {
+                        return Some(b);
+                    }
+                }
+                StmtKind::Block(body) => {
+                    if let Some(b) = in_stmts(body, n) {
+                        return Some(b);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    let _ = prog;
+    if let Some(p) = f.params.iter().find(|p| p.name == n) {
+        return matches!(p.ty, Ty::Ptr(_));
+    }
+    in_stmts(&f.body, n).unwrap_or(false)
+}
+
+fn cell_is_array(prog: &Program, f: &Func, n: &str) -> bool {
+    fn in_stmts(stmts: &[Stmt], n: &str) -> Option<bool> {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Decl { name, ty, .. } if name == n => {
+                    return Some(matches!(ty, Ty::Array(..)))
+                }
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    if let Some(b) = in_stmts(then_body, n).or_else(|| in_stmts(else_body, n)) {
+                        return Some(b);
+                    }
+                }
+                StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                    if let Some(b) = in_stmts(body, n) {
+                        return Some(b);
+                    }
+                }
+                StmtKind::Block(body) => {
+                    if let Some(b) = in_stmts(body, n) {
+                        return Some(b);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    let _ = prog;
+    if let Some(p) = f.params.iter().find(|p| p.name == n) {
+        return matches!(p.ty, Ty::Array(..));
+    }
+    in_stmts(&f.body, n).unwrap_or(false)
+}
+
+/// Resizes a scalar to a target type, extending per the *source* signedness
+/// (the SLM-C conversion rule).
+pub fn resize(b: &Bv, src_signed: bool, target: ScalarTy) -> Bv {
+    if src_signed {
+        b.resize_sext(target.width)
+    } else {
+        b.resize_zext(target.width)
+    }
+}
+
+/// Evaluates a binary operator with SLM-C promotion, shared between the
+/// interpreter and tests.
+pub fn eval_binop(op: BinOp, a: &Bv, at: ScalarTy, b: &Bv, bt: ScalarTy) -> Value {
+    use BinOp::*;
+    let rt = binop_result(op, at, bt);
+    let p = promote(at, bt);
+    let ap = resize(a, at.signed, p);
+    let bp = resize(b, bt.signed, p);
+    match op {
+        Add => Value::Scalar(ap.wrapping_add(&bp), rt.signed),
+        Sub => Value::Scalar(ap.wrapping_sub(&bp), rt.signed),
+        Mul => Value::Scalar(ap.wrapping_mul(&bp), rt.signed),
+        Div => Value::Scalar(
+            if p.signed { ap.sdiv(&bp) } else { ap.udiv(&bp) },
+            rt.signed,
+        ),
+        Rem => Value::Scalar(
+            if p.signed { ap.srem(&bp) } else { ap.urem(&bp) },
+            rt.signed,
+        ),
+        And => Value::Scalar(ap.and(&bp), rt.signed),
+        Or => Value::Scalar(ap.or(&bp), rt.signed),
+        Xor => Value::Scalar(ap.xor(&bp), rt.signed),
+        Shl => {
+            let lt = crate::sema::int_promote(at);
+            let ap = resize(a, at.signed, lt);
+            Value::Scalar(ap.shl_bv(b), lt.signed)
+        }
+        Shr => {
+            let lt = crate::sema::int_promote(at);
+            let ap = resize(a, at.signed, lt);
+            Value::Scalar(
+                if lt.signed { ap.ashr_bv(b) } else { ap.lshr_bv(b) },
+                lt.signed,
+            )
+        }
+        Eq => Value::Scalar(Bv::from_bool(ap == bp), false),
+        Ne => Value::Scalar(Bv::from_bool(ap != bp), false),
+        Lt => Value::Scalar(
+            Bv::from_bool(if p.signed { ap.slt(&bp) } else { ap.ult(&bp) }),
+            false,
+        ),
+        Le => Value::Scalar(
+            Bv::from_bool(if p.signed {
+                !bp.slt(&ap)
+            } else {
+                !bp.ult(&ap)
+            }),
+            false,
+        ),
+        Gt => Value::Scalar(
+            Bv::from_bool(if p.signed { bp.slt(&ap) } else { bp.ult(&ap) }),
+            false,
+        ),
+        Ge => Value::Scalar(
+            Bv::from_bool(if p.signed {
+                !ap.slt(&bp)
+            } else {
+                !ap.ult(&bp)
+            }),
+            false,
+        ),
+        LAnd => Value::Scalar(Bv::from_bool(!a.is_zero() && !b.is_zero()), false),
+        LOr => Value::Scalar(Bv::from_bool(!a.is_zero() || !b.is_zero()), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run1(src: &str, entry: &str, args: &[Value]) -> Value {
+        let prog = parse(src).unwrap();
+        crate::sema::check(&prog).unwrap();
+        Interp::new(&prog).run(entry, args).unwrap().ret
+    }
+
+    fn u8v(v: u64) -> Value {
+        Value::from_u64(ScalarTy { width: 8, signed: false }, v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let src = "uint8 f(uint8 a, uint8 b) { return a * 2 + b; }";
+        assert_eq!(run1(src, "f", &[u8v(10), u8v(5)]), u8v(25));
+    }
+
+    #[test]
+    fn fig1_masked_by_wide_ints() {
+        // The paper's Fig 1 written with `int` temporaries: no overflow,
+        // both orders agree — the SLM masks the bug.
+        let src = r#"
+            int lhs(int8 a, int8 b, int8 c) { int t = a + b; return t + c; }
+            int rhs(int8 a, int8 b, int8 c) { int t = b + c; return t + a; }
+        "#;
+        let args = [
+            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
+            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
+            Value::from_i64(ScalarTy { width: 8, signed: true }, -1),
+        ];
+        let l = run1(src, "lhs", &args);
+        let r = run1(src, "rhs", &args);
+        assert_eq!(l, r);
+        assert_eq!(l.as_bv().unwrap().to_i64(), 253);
+    }
+
+    #[test]
+    fn fig1_exposed_by_narrow_temp() {
+        // With an 8-bit temporary the same computation diverges.
+        let src = r#"
+            int lhs(int8 a, int8 b, int8 c) { int8 t = a + b; return t + c; }
+            int rhs(int8 a, int8 b, int8 c) { int8 t = b + c; return t + a; }
+        "#;
+        let args = [
+            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
+            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
+            Value::from_i64(ScalarTy { width: 8, signed: true }, -1),
+        ];
+        let l = run1(src, "lhs", &args);
+        let r = run1(src, "rhs", &args);
+        assert_ne!(l, r);
+        assert_eq!(l.as_bv().unwrap().to_i64(), -3);
+        assert_eq!(r.as_bv().unwrap().to_i64(), 253);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = r#"
+            uint32 sum(uint8 xs[8]) {
+                uint32 acc = 0;
+                for (int i = 0; i < 8; i++) {
+                    acc += xs[i];
+                }
+                return acc;
+            }
+        "#;
+        let xs = Value::Array(
+            (1..=8).map(|i| Bv::from_u64(8, i)).collect(),
+            ScalarTy { width: 8, signed: false },
+        );
+        let r = run1(src, "sum", &[xs]);
+        assert_eq!(r.as_bv().unwrap().to_u64(), 36);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = r#"
+            int f() {
+                int acc = 0;
+                for (int i = 0; i < 100; i++) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    acc += i;
+                }
+                return acc;
+            }
+        "#;
+        // 1 + 3 + 5 + 7 + 9 = 25
+        assert_eq!(run1(src, "f", &[]).as_bv().unwrap().to_i64(), 25);
+    }
+
+    #[test]
+    fn function_calls_and_out_params() {
+        let src = r#"
+            void split(uint16 v, out uint8 hi, out uint8 lo) {
+                hi = (uint8)(v >> 8);
+                lo = (uint8) v;
+            }
+            uint16 top(uint16 v) {
+                uint8 h = 0;
+                uint8 l = 0;
+                split(v, h, l);
+                return ((uint16) h << 8) | (uint16) l;
+            }
+        "#;
+        let v = Value::from_u64(ScalarTy { width: 16, signed: false }, 0xABCD);
+        assert_eq!(run1(src, "top", &[v.clone()]), v);
+    }
+
+    #[test]
+    fn out_params_surface_in_run_result() {
+        let src = "void f(uint8 x, out uint8 y) { y = x + 1; }";
+        let prog = parse(src).unwrap();
+        let r = Interp::new(&prog).run("f", &[u8v(9)]).unwrap();
+        assert_eq!(r.outs.len(), 1);
+        assert_eq!(r.outs[0].0, "y");
+        assert_eq!(r.outs[0].1, u8v(10));
+    }
+
+    #[test]
+    fn pointers_and_malloc() {
+        let src = r#"
+            int f() {
+                int x = 5;
+                int *p = &x;
+                *p = 7;
+                int *q = malloc(4);
+                q[2] = 0; // default zero anyway
+                *q = 35;
+                return *p + *q;
+            }
+        "#;
+        assert_eq!(run1(src, "f", &[]).as_bv().unwrap().to_i64(), 42);
+    }
+
+    #[test]
+    fn uninitialized_pointer_faults() {
+        let src = "int f() { int *p; return *p; }";
+        let prog = parse(src).unwrap();
+        let e = Interp::new(&prog).run("f", &[]).unwrap_err();
+        assert!(e.message.contains("uninitialized pointer"));
+    }
+
+    #[test]
+    fn fuel_stops_runaway_loops() {
+        let src = "int f() { int x = 1; while (x) { x = 1; } return x; }";
+        let prog = parse(src).unwrap();
+        let e = Interp::new(&prog).with_fuel(10_000).run("f", &[]).unwrap_err();
+        assert!(e.message.contains("fuel"));
+    }
+
+    #[test]
+    fn index_wraps_like_hardware() {
+        let src = r#"
+            uint8 f(uint8 xs[4], uint8 i) { return xs[i]; }
+        "#;
+        let xs = Value::Array(
+            (0..4).map(|i| Bv::from_u64(8, 10 + i)).collect(),
+            ScalarTy { width: 8, signed: false },
+        );
+        // Index 6 wraps to 2.
+        let r = run1(src, "f", &[xs, u8v(6)]);
+        assert_eq!(r.as_bv().unwrap().to_u64(), 12);
+    }
+
+    #[test]
+    fn signed_unsigned_comparison_promotion() {
+        // int8 vs uint8 promote to int (C's integer promotion), so the
+        // comparison behaves mathematically...
+        let src = "bool f(int8 a, uint8 b) { return a > b; }";
+        let s8 = ScalarTy { width: 8, signed: true };
+        let r = run1(src, "f", &[Value::from_i64(s8, -1), u8v(1)]);
+        assert_eq!(r.as_bv().unwrap().to_u64(), 0);
+        // ...but at 64 bits unsigned wins and -1 reads as u64::MAX — the
+        // classic C trap, faithfully reproduced.
+        let src64 = "bool f(int64 a, uint64 b) { return a > b; }";
+        let s64 = ScalarTy { width: 64, signed: true };
+        let u64t = ScalarTy { width: 64, signed: false };
+        let r = run1(
+            src64,
+            "f",
+            &[Value::from_i64(s64, -1), Value::from_u64(u64t, 1)],
+        );
+        assert_eq!(r.as_bv().unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let src = "int8 f(int8 a) { return a >> 1; }";
+        let r = run1(src, "f", &[Value::from_i64(ScalarTy { width: 8, signed: true }, -8)]);
+        assert_eq!(r.as_bv().unwrap().to_i64(), -4); // arithmetic shift
+        let src2 = "uint8 g(uint8 a) { return a >> 1; }";
+        let r2 = run1(src2, "g", &[u8v(0x80)]);
+        assert_eq!(r2.as_bv().unwrap().to_u64(), 0x40);
+    }
+}

@@ -1,0 +1,694 @@
+//! The design-for-verification lint: the paper's §4.3 coding guidelines as
+//! machine-checked rules.
+//!
+//! | rule | paper guideline | severity |
+//! |------|-----------------|----------|
+//! | DFV001 | "use statically sized arrays rather than pointers that are assigned memory allocated dynamically using new or malloc" | error |
+//! | DFV002 | "explicit use of memories rather than using pointer aliasing" | error |
+//! | DFV003 | "using static loop bounds with conditional exits" — data-dependent `for` bound | error |
+//! | DFV004 | unbounded `while` loop (no static bound at all) | error |
+//! | DFV005 | recursion — no static call structure | error |
+//! | DFV006 | "single point of entry" — functions unreachable from the top | warning |
+//! | DFV007 | `out` parameter not assigned on every path (latch-like behaviour in hardware) | warning |
+//!
+//! *Error*-severity findings are exactly the constructs
+//! [`crate::elaborate`] rejects; a program with no error findings is
+//! statically analyzable, i.e. usable for sequential equivalence checking
+//! and behavioural synthesis.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::*;
+use crate::token::Span;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintRule {
+    /// Dynamic allocation.
+    Dfv001,
+    /// Pointer aliasing.
+    Dfv002,
+    /// Data-dependent `for` bound.
+    Dfv003,
+    /// Unbounded `while`.
+    Dfv004,
+    /// Recursion.
+    Dfv005,
+    /// Unreachable function.
+    Dfv006,
+    /// Out parameter not assigned on every path.
+    Dfv007,
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintRule::Dfv001 => "DFV001",
+            LintRule::Dfv002 => "DFV002",
+            LintRule::Dfv003 => "DFV003",
+            LintRule::Dfv004 => "DFV004",
+            LintRule::Dfv005 => "DFV005",
+            LintRule::Dfv006 => "DFV006",
+            LintRule::Dfv007 => "DFV007",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; elaboration still succeeds.
+    Warning,
+    /// Blocks static elaboration.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// The violated rule.
+    pub rule: LintRule,
+    /// Severity.
+    pub severity: Severity,
+    /// Function the finding is in (empty for program-level findings).
+    pub func: String,
+    /// Location.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// The paper's suggested rewrite.
+    pub suggestion: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}] in {:?}: {} (fix: {})",
+            self.span,
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.rule,
+            self.func,
+            self.message,
+            self.suggestion
+        )
+    }
+}
+
+/// Runs all design-for-verification lints on `prog`, treating `entry` as
+/// the single point of entry for reachability (DFV006).
+///
+/// # Example
+///
+/// ```
+/// use dfv_slmir::{lint, parse, LintRule};
+///
+/// let prog = parse("int f(int n) { int *p = malloc(8); return n; }").unwrap();
+/// let findings = lint(&prog, Some("f"));
+/// assert!(findings.iter().any(|f| f.rule == LintRule::Dfv001));
+/// ```
+pub fn lint(prog: &Program, entry: Option<&str>) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        let mut ctx = FuncLint {
+            func: f,
+            out: &mut out,
+        };
+        ctx.check_signature();
+        ctx.stmts(&f.body);
+        ctx.check_out_assignment();
+    }
+    check_recursion(prog, &mut out);
+    if let Some(entry) = entry {
+        check_reachability(prog, entry, &mut out);
+    }
+    out.sort_by_key(|f| (f.span.line, f.span.col));
+    out
+}
+
+/// Whether the program has no error-severity findings (and is therefore
+/// accepted by the elaborator).
+pub fn is_conditioned(prog: &Program, entry: &str) -> bool {
+    lint(prog, Some(entry))
+        .iter()
+        .all(|f| f.severity != Severity::Error)
+}
+
+struct FuncLint<'a> {
+    func: &'a Func,
+    out: &'a mut Vec<LintFinding>,
+}
+
+impl<'a> FuncLint<'a> {
+    fn emit(
+        &mut self,
+        rule: LintRule,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) {
+        self.out.push(LintFinding {
+            rule,
+            severity,
+            func: self.func.name.clone(),
+            span,
+            message: message.into(),
+            suggestion: suggestion.into(),
+        });
+    }
+
+    fn check_signature(&mut self) {
+        let span = self.func.span;
+        if matches!(self.func.ret, Ty::Ptr(_)) {
+            self.emit(
+                LintRule::Dfv002,
+                Severity::Error,
+                span,
+                "function returns a pointer",
+                "return a scalar or use an out array parameter",
+            );
+        }
+        let ptr_params: Vec<String> = self
+            .func
+            .params
+            .iter()
+            .filter(|p| matches!(p.ty, Ty::Ptr(_)))
+            .map(|p| p.name.clone())
+            .collect();
+        for name in ptr_params {
+            self.emit(
+                LintRule::Dfv002,
+                Severity::Error,
+                span,
+                format!("parameter {name:?} is a pointer"),
+                "pass a statically sized array instead",
+            );
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                if matches!(ty, Ty::Ptr(_)) {
+                    self.emit(
+                        LintRule::Dfv002,
+                        Severity::Error,
+                        s.span,
+                        format!("{name:?} is declared as a pointer"),
+                        "use a statically sized array (explicit memory) instead of pointer aliasing",
+                    );
+                }
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                if let LValue::Deref(n) = lhs {
+                    self.emit(
+                        LintRule::Dfv002,
+                        Severity::Error,
+                        s.span,
+                        format!("store through pointer {n:?}"),
+                        "write to an explicit array element instead",
+                    );
+                }
+                if let LValue::Index { index, .. } = lhs {
+                    self.expr(index);
+                }
+                self.expr(rhs);
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.expr(cond);
+                self.stmts(then_body);
+                self.stmts(else_body);
+            }
+            StmtKind::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.expr(init);
+                self.expr(step);
+                // DFV003: the bound must involve only the loop variable and
+                // literals.
+                let mut frees = HashSet::new();
+                free_vars(cond, &mut frees);
+                frees.remove(var.as_str());
+                if !frees.is_empty() {
+                    let mut names: Vec<String> = frees.into_iter().collect();
+                    names.sort_unstable();
+                    self.emit(
+                        LintRule::Dfv003,
+                        Severity::Error,
+                        s.span,
+                        format!(
+                            "loop bound depends on runtime value(s) {}",
+                            names.join(", ")
+                        ),
+                        "loop to the static maximum and exit early: \
+                         `for (i = 0; i < MAX; i++) { if (i >= n) break; ... }`",
+                    );
+                }
+                self.stmts(body);
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.emit(
+                    LintRule::Dfv004,
+                    Severity::Error,
+                    s.span,
+                    "while loop has no static bound",
+                    "rewrite as a for loop with a static bound and a conditional exit",
+                );
+                self.stmts(body);
+            }
+            StmtKind::Return(Some(e)) => self.expr(e),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Malloc { .. } => {
+                self.emit(
+                    LintRule::Dfv001,
+                    Severity::Error,
+                    e.span,
+                    "dynamic allocation with malloc",
+                    "use a statically sized array; the hardware structure must be \
+                     statically determinable",
+                );
+            }
+            ExprKind::AddrOf(n) => {
+                self.emit(
+                    LintRule::Dfv002,
+                    Severity::Error,
+                    e.span,
+                    format!("address of {n:?} taken"),
+                    "use an explicit memory (array) rather than aliasing",
+                );
+            }
+            ExprKind::Deref(inner) => {
+                self.emit(
+                    LintRule::Dfv002,
+                    Severity::Error,
+                    e.span,
+                    "pointer dereference",
+                    "read an explicit array element instead",
+                );
+                self.expr(inner);
+            }
+            ExprKind::Un(_, a) => self.expr(a),
+            ExprKind::Bin(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Ternary { cond, t, f } => {
+                self.expr(cond);
+                self.expr(t);
+                self.expr(f);
+            }
+            ExprKind::Cast(_, a) => self.expr(a),
+            ExprKind::Index { index, .. } => self.expr(index),
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Int(_) | ExprKind::Var(_) => {}
+        }
+    }
+
+    /// DFV007: every `out` parameter must be assigned on every control path
+    /// (loops may run zero times, so assignments inside them do not count).
+    fn check_out_assignment(&mut self) {
+        let out_names: Vec<String> = self
+            .func
+            .params
+            .iter()
+            .filter(|p| p.is_out)
+            .map(|p| p.name.clone())
+            .collect();
+        for name in out_names {
+            if !must_assign(&self.func.body, &name) {
+                self.emit(
+                    LintRule::Dfv007,
+                    Severity::Warning,
+                    self.func.span,
+                    format!("out parameter {name:?} may be left unassigned on some path"),
+                    "assign a default value unconditionally before any branches",
+                );
+            }
+        }
+    }
+}
+
+/// Whether every path through `body` assigns `name` (conservative).
+fn must_assign(body: &[Stmt], name: &str) -> bool {
+    for s in body {
+        match &s.kind {
+            StmtKind::Assign { lhs, .. } => match lhs {
+                LValue::Var(n) if n == name => return true,
+                LValue::Index { base, .. } if base == name => return true,
+                _ => {}
+            },
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if must_assign(then_body, name) && must_assign(else_body, name) {
+                    return true;
+                }
+            }
+            StmtKind::Block(b) => {
+                if must_assign(b, name) {
+                    return true;
+                }
+            }
+            // Calls could assign via their own out params; treat a call
+            // passing `name` as an argument as a definite assignment.
+            StmtKind::Expr(e) => {
+                if let ExprKind::Call { args, .. } = &e.kind {
+                    if args
+                        .iter()
+                        .any(|a| matches!(&a.kind, ExprKind::Var(n) if n == name))
+                    {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn free_vars(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Var(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::Index { base, index } => {
+            out.insert(base.clone());
+            free_vars(index, out);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                free_vars(a, out);
+            }
+        }
+        ExprKind::Un(_, a) | ExprKind::Cast(_, a) | ExprKind::Deref(a) => free_vars(a, out),
+        ExprKind::Bin(_, a, b) => {
+            free_vars(a, out);
+            free_vars(b, out);
+        }
+        ExprKind::Ternary { cond, t, f } => {
+            free_vars(cond, out);
+            free_vars(t, out);
+            free_vars(f, out);
+        }
+        ExprKind::AddrOf(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::Malloc { count, .. } => free_vars(count, out),
+        ExprKind::Int(_) => {}
+    }
+}
+
+fn calls_in(body: &[Stmt], out: &mut HashSet<String>) {
+    fn in_expr(e: &Expr, out: &mut HashSet<String>) {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                out.insert(callee.clone());
+                for a in args {
+                    in_expr(a, out);
+                }
+            }
+            ExprKind::Un(_, a) | ExprKind::Cast(_, a) | ExprKind::Deref(a) => in_expr(a, out),
+            ExprKind::Bin(_, a, b) => {
+                in_expr(a, out);
+                in_expr(b, out);
+            }
+            ExprKind::Ternary { cond, t, f } => {
+                in_expr(cond, out);
+                in_expr(t, out);
+                in_expr(f, out);
+            }
+            ExprKind::Index { index, .. } => in_expr(index, out),
+            ExprKind::Malloc { count, .. } => in_expr(count, out),
+            _ => {}
+        }
+    }
+    for s in body {
+        match &s.kind {
+            StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
+                in_expr(e, out)
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                if let LValue::Index { index, .. } = lhs {
+                    in_expr(index, out);
+                }
+                in_expr(rhs, out);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                in_expr(cond, out);
+                calls_in(then_body, out);
+                calls_in(else_body, out);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                in_expr(init, out);
+                in_expr(cond, out);
+                in_expr(step, out);
+                calls_in(body, out);
+            }
+            StmtKind::While { cond, body } => {
+                in_expr(cond, out);
+                calls_in(body, out);
+            }
+            StmtKind::Block(body) => calls_in(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Builds the call graph: function name -> called function names.
+pub fn call_graph(prog: &Program) -> HashMap<String, HashSet<String>> {
+    prog.funcs
+        .iter()
+        .map(|f| {
+            let mut callees = HashSet::new();
+            calls_in(&f.body, &mut callees);
+            (f.name.clone(), callees)
+        })
+        .collect()
+}
+
+fn check_recursion(prog: &Program, out: &mut Vec<LintFinding>) {
+    let graph = call_graph(prog);
+    // DFS cycle detection per function.
+    for f in &prog.funcs {
+        let mut stack = vec![f.name.clone()];
+        let mut visited = HashSet::new();
+        let mut on_cycle = false;
+        while let Some(n) = stack.pop() {
+            if let Some(callees) = graph.get(&n) {
+                for c in callees {
+                    if c == &f.name {
+                        on_cycle = true;
+                    }
+                    if visited.insert(c.clone()) {
+                        stack.push(c.clone());
+                    }
+                }
+            }
+            if on_cycle {
+                break;
+            }
+        }
+        if on_cycle {
+            out.push(LintFinding {
+                rule: LintRule::Dfv005,
+                severity: Severity::Error,
+                func: f.name.clone(),
+                span: f.span,
+                message: format!("{:?} is (transitively) recursive", f.name),
+                suggestion: "restructure into loops with static bounds so the hardware \
+                             structure is statically determinable"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn check_reachability(prog: &Program, entry: &str, out: &mut Vec<LintFinding>) {
+    let graph = call_graph(prog);
+    let mut reachable: HashSet<&str> = HashSet::new();
+    let mut stack = vec![entry];
+    while let Some(n) = stack.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        if let Some(callees) = graph.get(n) {
+            for c in callees {
+                stack.push(c.as_str());
+            }
+        }
+    }
+    for f in &prog.funcs {
+        if !reachable.contains(f.name.as_str()) {
+            out.push(LintFinding {
+                rule: LintRule::Dfv006,
+                severity: Severity::Warning,
+                func: f.name.clone(),
+                span: f.span,
+                message: format!("{:?} is unreachable from entry {entry:?}", f.name),
+                suggestion: "keep a single well-defined top-level entry point; remove or \
+                             merge dead model code"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn rules(src: &str, entry: Option<&str>) -> Vec<LintRule> {
+        lint(&parse(src).unwrap(), entry)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let src = r#"
+            uint8 helper(uint8 x) { return x * 3; }
+            uint8 top(uint8 a) {
+                uint8 acc = 0;
+                for (int i = 0; i < 4; i++) {
+                    if (acc > 100) break;
+                    acc += helper(a);
+                }
+                return acc;
+            }
+        "#;
+        assert!(rules(src, Some("top")).is_empty());
+        assert!(is_conditioned(&parse(src).unwrap(), "top"));
+    }
+
+    #[test]
+    fn dfv001_malloc() {
+        let src = "int f() { int *p = malloc(4); return 0; }";
+        let r = rules(src, Some("f"));
+        assert!(r.contains(&LintRule::Dfv001));
+        assert!(r.contains(&LintRule::Dfv002)); // the pointer decl too
+    }
+
+    #[test]
+    fn dfv002_aliasing() {
+        let src = "int f() { int x = 1; int *p = &x; *p = 2; return x + *p; }";
+        let findings = lint(&parse(src).unwrap(), Some("f"));
+        let aliasing: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == LintRule::Dfv002)
+            .collect();
+        assert!(aliasing.len() >= 3); // decl, addr-of, store, load
+        assert!(aliasing.iter().all(|f| f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn dfv003_data_dependent_bound() {
+        let src = "int f(int n) { int acc = 0; for (int i = 0; i < n; i++) { acc += i; } return acc; }";
+        let findings = lint(&parse(src).unwrap(), Some("f"));
+        let f3 = findings.iter().find(|f| f.rule == LintRule::Dfv003).unwrap();
+        assert!(f3.message.contains('n'));
+        assert!(f3.suggestion.contains("break"));
+        // The paper's rewrite is clean:
+        let fixed = "int f(int n) { int acc = 0; for (int i = 0; i < 16; i++) { if (i >= n) break; acc += i; } return acc; }";
+        assert!(rules(fixed, Some("f")).is_empty());
+    }
+
+    #[test]
+    fn dfv004_while() {
+        let src = "int f(int n) { while (n > 0) { n -= 1; } return n; }";
+        assert!(rules(src, Some("f")).contains(&LintRule::Dfv004));
+    }
+
+    #[test]
+    fn dfv005_recursion() {
+        let direct = "int f(int n) { return n == 0 ? 1 : n * f(n - 1); }";
+        assert!(rules(direct, Some("f")).contains(&LintRule::Dfv005));
+        let mutual = r#"
+            int g(int n) { return h(n); }
+            int h(int n) { return g(n); }
+        "#;
+        let r = rules(mutual, Some("g"));
+        assert_eq!(r.iter().filter(|r| **r == LintRule::Dfv005).count(), 2);
+    }
+
+    #[test]
+    fn dfv006_dead_function() {
+        let src = r#"
+            int top(int a) { return a; }
+            int unused(int a) { return a * 2; }
+        "#;
+        let findings = lint(&parse(src).unwrap(), Some("top"));
+        let f6 = findings.iter().find(|f| f.rule == LintRule::Dfv006).unwrap();
+        assert_eq!(f6.func, "unused");
+        assert_eq!(f6.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn dfv007_unassigned_out() {
+        let src = "void f(uint8 x, out uint8 y) { if (x > 3) { y = 1; } }";
+        let r = rules(src, Some("f"));
+        assert!(r.contains(&LintRule::Dfv007));
+        let ok = "void f(uint8 x, out uint8 y) { y = 0; if (x > 3) { y = 1; } }";
+        assert!(!rules(ok, Some("f")).contains(&LintRule::Dfv007));
+        let both = "void f(uint8 x, out uint8 y) { if (x > 3) { y = 1; } else { y = 2; } }";
+        assert!(!rules(both, Some("f")).contains(&LintRule::Dfv007));
+    }
+
+    #[test]
+    fn findings_render_readably() {
+        let src = "int f() { int *p = malloc(4); return 0; }";
+        let findings = lint(&parse(src).unwrap(), Some("f"));
+        let text = findings[0].to_string();
+        assert!(text.contains("DFV"));
+        assert!(text.contains("fix:"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Lexer for SLM-C, the workspace's C-like system-level modelling language.
+
+use std::fmt;
+
+/// A source location (1-based line and column) used in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value, and whether it was written in hex).
+    Int(u64),
+    /// Punctuation / operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexing error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the bad input starts.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: lex error: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<",
+    ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+];
+
+/// Tokenizes SLM-C source. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unrecognized characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+    'outer: while i < bytes.len() {
+        let span = Span { line, col };
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2, bytes);
+                        continue 'outer;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                return Err(LexError {
+                    span,
+                    message: "unterminated block comment".into(),
+                });
+            }
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            out.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x';
+            if hex {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+            }
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            let text = &src[start..i];
+            let digits = if hex { &text[2..] } else { text };
+            let value = u64::from_str_radix(&digits.replace('_', ""), if hex { 16 } else { 10 })
+                .map_err(|_| LexError {
+                    span,
+                    message: format!("invalid integer literal {text:?}"),
+                })?;
+            out.push(Token {
+                tok: Tok::Int(value),
+                span,
+            });
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                advance(&mut i, &mut line, &mut col, p.len(), bytes);
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    span,
+                });
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            span,
+            message: format!("unexpected character {:?}", c as char),
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            toks("x1 = 0xFF + 42;"),
+            vec![
+                Tok::Ident("x1".into()),
+                Tok::Punct("="),
+                Tok::Int(255),
+                Tok::Punct("+"),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            toks("a<<=b<<c<=d<e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("<"),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_located() {
+        let e = lex("a @ b").unwrap_err();
+        assert_eq!(e.span, Span { line: 1, col: 3 });
+        assert!(e.to_string().contains('@'));
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn underscored_and_hex_literals() {
+        assert_eq!(toks("1_000"), vec![Tok::Int(1000), Tok::Eof]);
+        assert_eq!(toks("0xdead_beef"), vec![Tok::Int(0xDEAD_BEEF), Tok::Eof]);
+        assert!(lex("0xZZ").is_err());
+    }
+}

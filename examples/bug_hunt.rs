@@ -1,0 +1,123 @@
+//! Bug hunt: simulation vs sequential equivalence checking on injected RTL
+//! bugs (the paper's §2 claim that SEC "is very effective at quickly
+//! finding discrepancies").
+//!
+//! Every width-preserving mutation of the Figure-1 ALU is checked two ways:
+//!
+//! * constrained-random co-simulation against the SLM interpreter, counting
+//!   how many transactions it takes to expose the bug (if it ever does);
+//! * SEC, which either *proves* the mutant benign or returns a witness.
+//!
+//! Run with: `cargo run --release --example bug_hunt`
+
+use dfv::bits::Bv;
+use dfv::cosim::{apply_mutation, enumerate_mutations, FieldSpec, StimulusGen};
+use dfv::designs::alu;
+use dfv::rtl::Simulator;
+use dfv::sec::check_equivalence;
+use dfv::slmir::{elaborate, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = parse(alu::slm_bit_accurate())?;
+    let slm = elaborate(&prog, "alu")?;
+    let golden_rtl = alu::rtl(8, 8);
+    let spec = alu::equiv_spec();
+
+    // Sanity: the un-mutated pair is equivalent.
+    assert!(check_equivalence(&slm, &golden_rtl, &spec)?
+        .outcome
+        .is_equivalent());
+
+    let mutations = enumerate_mutations(&golden_rtl);
+    println!("hunting {} mutants of the Fig-1 ALU\n", mutations.len());
+    println!(
+        "{:>3} {:<28} {:>10} {:>12} {:>10}",
+        "#", "mutation", "sim txns", "sim verdict", "sec"
+    );
+
+    let budget = 2000;
+    let mut sim_caught = 0;
+    let mut sec_caught = 0;
+    let mut benign = 0;
+    for (i, m) in mutations.iter().enumerate() {
+        let mutant = apply_mutation(&golden_rtl, m);
+
+        // Random co-simulation with corner bias.
+        let mut gen = StimulusGen::new(0xBEEF + i as u64);
+        let fields: Vec<(&str, FieldSpec)> = ["a", "b", "c"]
+            .iter()
+            .map(|n| {
+                (*n, FieldSpec::Corners {
+                    width: 8,
+                    corner_percent: 25,
+                })
+            })
+            .collect();
+        let mut sim = Simulator::new(mutant.clone())?;
+        let mut slm_sim = Simulator::new(slm.clone())?;
+        let mut found = None;
+        for t in 0..budget {
+            let vals: Vec<Bv> = fields.iter().map(|(_, s)| gen.draw(s)).collect();
+            // SLM (combinational elaborated model).
+            let expect = slm_sim.eval_comb(&[
+                ("a", vals[0].clone()),
+                ("b", vals[1].clone()),
+                ("c", vals[2].clone()),
+            ])["return"]
+                .clone();
+            // RTL transaction: 2 cycles from reset.
+            sim.reset();
+            sim.step_with(&[
+                ("a", vals[0].clone()),
+                ("b", vals[1].clone()),
+                ("c", vals[2].clone()),
+            ]);
+            let got = sim.output("out");
+            if got != expect {
+                found = Some(t + 1);
+                break;
+            }
+        }
+
+        // SEC.
+        let report = check_equivalence(&slm, &mutant, &spec)?;
+        let equivalent = report.outcome.is_equivalent();
+        match (found, equivalent) {
+            (Some(_), false) => sim_caught += 1,
+            (None, false) => {}
+            (_, true) => benign += 1,
+        }
+        if !equivalent {
+            sec_caught += 1;
+        }
+        println!(
+            "{:>3} {:<28} {:>10} {:>12} {:>10}",
+            i,
+            format!("{m:?}").chars().take(28).collect::<String>(),
+            found.map_or("-".into(), |t| t.to_string()),
+            match found {
+                Some(_) => "caught",
+                None => "missed",
+            },
+            if equivalent { "benign" } else { "caught" }
+        );
+        // Soundness cross-check: simulation can never catch a mutant SEC
+        // proved equivalent.
+        assert!(!(found.is_some() && equivalent), "soundness violation");
+    }
+    println!(
+        "\nsummary: {} mutants | SEC caught {} (rest proven benign: {}) | \
+         random sim caught {} within {} transactions",
+        mutations.len(),
+        sec_caught,
+        benign,
+        sim_caught,
+        budget
+    );
+    println!(
+        "-> every SEC 'caught' verdict came with a replay-validated \
+         counterexample; every 'benign' verdict is a proof over all 2^24 \
+         input combinations."
+    );
+    Ok(())
+}

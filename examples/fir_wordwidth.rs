@@ -1,0 +1,64 @@
+//! Word-width exploration for the FIR filter — the paper's §1 use-case for
+//! signal-processing SLMs: "decide on the optimal word widths to support
+//! the desired bit error rates".
+//!
+//! The exact (double-precision) filter response is compared against
+//! fixed-point implementations at a range of fraction widths, reporting the
+//! worst-case and RMS error per configuration — the table an architect
+//! reads to choose the datapath width before RTL is written.
+//!
+//! Run with: `cargo run --example fir_wordwidth`
+
+use dfv::designs::fir;
+
+fn main() {
+    // A test signal: two tones plus a step.
+    let samples: Vec<f64> = (0..256)
+        .map(|i| {
+            let t = i as f64 / 16.0;
+            let tone = (t * 1.7).sin() * 0.4 + (t * 5.3).sin() * 0.2;
+            let step = if i > 128 { 0.25 } else { -0.25 };
+            tone + step
+        })
+        .collect();
+    let exact = fir::fir_reference_exact(&samples);
+
+    println!("fixed-point FIR error vs fraction bits (width = frac + 6)");
+    println!("{:>6} {:>6} {:>12} {:>12} {:>9}", "width", "frac", "max err", "rms err", "ok?");
+    let budget = 0.002; // the "desired bit error rate" of the spec
+    let mut chosen = None;
+    for frac in 2..=14u32 {
+        let width = frac + 6;
+        let fx = fir::fir_reference_fx(&samples, width, frac);
+        let (mut max_err, mut sum_sq) = (0f64, 0f64);
+        for (e, f) in exact.iter().zip(&fx) {
+            let d = (e - f).abs();
+            max_err = max_err.max(d);
+            sum_sq += d * d;
+        }
+        let rms = (sum_sq / exact.len() as f64).sqrt();
+        let ok = max_err <= budget;
+        if ok && chosen.is_none() {
+            chosen = Some((width, frac));
+        }
+        println!(
+            "{:>6} {:>6} {:>12.6} {:>12.6} {:>9}",
+            width,
+            frac,
+            max_err,
+            rms,
+            if ok { "yes" } else { "no" }
+        );
+    }
+    let (width, frac) = chosen.expect("some width meets the budget");
+    println!(
+        "\nsmallest datapath meeting the {budget} error budget: \
+         width {width}, {frac} fraction bits"
+    );
+    println!(
+        "-> the RTL datapath ships at q{}.{frac}; the SLM keeps computing in \
+         double precision, and the quantized reference model is the contract \
+         between them.",
+        width - frac
+    );
+}

@@ -1,0 +1,90 @@
+//! Timing-alignment demo (paper Fig 2 / §3.2): comparing an untimed SLM
+//! against RTL whose latency varies and whose responses complete out of
+//! order.
+//!
+//! The memsys design answers bank-0 lookups in 1 cycle and bank-1 lookups
+//! in 3, on separate tagged response ports. An exact comparator drowns in
+//! false mismatches; the tag-matched out-of-order comparator aligns the
+//! streams and confirms functional agreement.
+//!
+//! Run with: `cargo run --example memsys_cosim`
+
+use dfv::bits::Bv;
+use dfv::cosim::{Comparator, ExactComparator, OutOfOrderComparator, StreamItem};
+use dfv::designs::memsys;
+use dfv::rtl::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = [0u8; 16];
+    for (i, v) in table.iter_mut().enumerate() {
+        *v = (i as u8) * 11 + 5;
+    }
+
+    // Random tagged lookups, one per cycle.
+    let mut rng = StdRng::seed_from_u64(7);
+    let reqs: Vec<(u64, u64)> = (0..24)
+        .map(|i| (i % 8, rng.gen_range(0..16u64)))
+        .collect();
+
+    // Drive the RTL, merging both response ports into one stream.
+    let mut sim = Simulator::new(memsys::rtl(&table))?;
+    let mut responses = Vec::new();
+    for cycle in 0..(reqs.len() as u64 + memsys::SLOW_LATENCY + 1) {
+        if let Some(&(tag, addr)) = reqs.get(cycle as usize) {
+            sim.poke("req_valid", Bv::from_bool(true));
+            sim.poke("tag", Bv::from_u64(memsys::TAG_W, tag));
+            sim.poke("addr", Bv::from_u64(memsys::ADDR_W, addr));
+        } else {
+            sim.poke("req_valid", Bv::from_bool(false));
+        }
+        sim.step();
+        for port in ["resp0", "resp1"] {
+            if sim.output(&format!("{port}_valid")).bit(0) {
+                responses.push((
+                    cycle,
+                    sim.output(&format!("{port}_tag")).to_u64(),
+                    sim.output(&format!("{port}_data")).to_u64(),
+                ));
+            }
+        }
+    }
+
+    println!("request order : {:?}", reqs.iter().map(|r| r.0).collect::<Vec<_>>());
+    println!("response order: {:?}", responses.iter().map(|r| r.1).collect::<Vec<_>>());
+
+    // Feed both comparators the same streams.
+    let mut exact = ExactComparator::new();
+    let mut ooo = OutOfOrderComparator::new(10, 8, 8);
+    for (i, &(tag, addr)) in reqs.iter().enumerate() {
+        let golden = memsys::pack_response(tag, memsys::slm_golden(&table, addr as u8) as u64);
+        exact.push_expected(StreamItem { value: golden.clone(), time: i as u64 });
+        ooo.push_expected(StreamItem { value: golden, time: i as u64 });
+    }
+    for &(cycle, tag, data) in &responses {
+        let v = memsys::pack_response(tag, data);
+        exact.push_actual(StreamItem { value: v.clone(), time: cycle });
+        ooo.push_actual(StreamItem { value: v, time: cycle });
+    }
+    let exact_report = exact.finish();
+    let ooo_report = ooo.finish();
+    println!(
+        "\nexact comparator      : {} matched, {} mismatches (latency + reordering \
+         look like bugs)",
+        exact_report.matched,
+        exact_report.mismatches.len()
+    );
+    println!(
+        "out-of-order comparator: {} matched, {} mismatches (streams align by tag)",
+        ooo_report.matched,
+        ooo_report.mismatches.len()
+    );
+    assert!(ooo_report.is_clean());
+    assert!(!exact_report.is_clean());
+    println!(
+        "\n-> the models were functionally consistent all along; only the \
+         *interface timing* differs — the paper's Fig 2 in action."
+    );
+    Ok(())
+}

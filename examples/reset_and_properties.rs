@@ -1,0 +1,123 @@
+//! Block-level verification utilities beyond equivalence: X-propagation
+//! reset coverage (§3.2's "SLM and RTL diverge until reset completes"),
+//! bounded model checking of safety properties, and VCD waveform export.
+//!
+//! Run with: `cargo run --example reset_and_properties`
+
+use dfv::bits::Bv;
+use dfv::designs::{conv, fir};
+use dfv::rtl::{reset_coverage, trace_to_vcd, ModuleBuilder, Simulator};
+use dfv::sec::{check_property, BmcOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. X-prop reset coverage on the shipped designs. --------------
+    println!("reset coverage (registers start X; when does the design flush?)\n");
+    for (name, module, inputs) in [
+        (
+            "fir",
+            fir::rtl(),
+            vec![
+                ("in_valid", Bv::from_bool(true)),
+                ("stall", Bv::from_bool(false)),
+                ("x", Bv::from_u64(8, 1)),
+            ],
+        ),
+        (
+            "conv",
+            conv::rtl(),
+            vec![
+                ("in_valid", Bv::from_bool(true)),
+                ("pix_in", Bv::from_u64(8, 7)),
+            ],
+        ),
+    ] {
+        let ins: Vec<(&str, Bv)> = inputs.iter().map(|(n, v)| (*n, v.clone())).collect();
+        let report = reset_coverage(&module, &ins, 64)?;
+        match report.registers_known_after {
+            Some(c) => println!("  {name}: all registers known after {c} cycles"),
+            None => println!(
+                "  {name}: still unknown after {} cycles: {:?}",
+                report.cycles_run, report.unknown_regs
+            ),
+        }
+    }
+    // The FIR flushes (shift registers overwrite X); an accumulator without
+    // a reset mux would not — build one to show the failure mode:
+    let mut b = ModuleBuilder::new("acc_noreset");
+    let x = b.input("x", 8);
+    let r = b.reg("acc", 8, Bv::zero(8));
+    let q = b.reg_q(r);
+    let s = b.add(q, x);
+    b.connect_reg(r, s);
+    b.output("y", q);
+    let bad = b.finish()?;
+    let report = reset_coverage(&bad, &[("x", Bv::from_u64(8, 1))], 64)?;
+    println!(
+        "  acc_noreset: flushes = {} (unknown: {:?}) — an SLM would happily \
+         print numbers here\n",
+        report.flushes(),
+        report.unknown_regs
+    );
+
+    // ---- 2. Bounded model checking of a safety property. ----------------
+    // The conv engine's out_valid must never assert during the load phase:
+    // encode `ok = !(out_valid && cnt < 16)`; here out_valid *is* the phase
+    // bit, so prove out_valid implies cnt >= 16 for 64 cycles.
+    let mut b = ModuleBuilder::new("conv_prop");
+    let in_valid = b.input("in_valid", 1);
+    let pix = b.input("pix_in", 8);
+    let m = conv::rtl();
+    let outs = b.instantiate("u", &m, &[in_valid, pix]);
+    // ok = !out_valid || in the streaming phase (out_valid is the phase
+    // bit, so this is a consistency self-check of the interface contract:
+    // out_valid and accepting-input are mutually exclusive).
+    let accepting = in_valid;
+    let both = b.and(outs[1], accepting);
+    // The engine may see in_valid high while streaming (it must ignore
+    // it) — the property we *can* demand: pix_out is a function of state
+    // only, i.e. out_valid never glitches to X; as a checkable safety
+    // property use: valid-out implies the counter phase bit (always true
+    // by construction — BMC proves it instead of asserting it).
+    let ok = b.not(both);
+    b.output("never_overlap", ok);
+    let _ = outs;
+    let prop_module = {
+        let mut d = dfv::rtl::Design::new();
+        d.add_module(m);
+        d.add_module(b.finish()?);
+        dfv::rtl::flatten(&d, "conv_prop")?
+    };
+    let report = check_property(&prop_module, "never_overlap", 40)?;
+    match report.outcome {
+        BmcOutcome::HoldsUpTo(k) => {
+            println!("BMC: load/stream phases CAN overlap? no violation found up to {k} cycles —")
+        }
+        BmcOutcome::Violated(trace) => println!(
+            "BMC: interface contract violated at cycle {} — the environment \
+             may not hold in_valid high during streaming; the transactors in \
+             dfv-cosim never do.",
+            trace.violation_cycle
+        ),
+    }
+
+    // ---- 3. VCD export of a short FIR run. ------------------------------
+    let mut sim = Simulator::new(fir::rtl())?;
+    sim.watch_output("y");
+    sim.watch_output("out_valid");
+    sim.watch_reg("h0");
+    for i in 0..12i64 {
+        sim.poke("in_valid", Bv::from_bool(true));
+        sim.poke("stall", Bv::from_bool(i % 4 == 2));
+        sim.poke("x", Bv::from_i64(8, (i * 17) % 100 - 50));
+        sim.step();
+    }
+    let vcd = trace_to_vcd(&sim, "fir");
+    let path = std::env::temp_dir().join("dfv_fir.vcd");
+    std::fs::write(&path, &vcd)?;
+    println!(
+        "\nwrote {} bytes of VCD to {} (open with any waveform viewer)",
+        vcd.len(),
+        path.display()
+    );
+    Ok(())
+}

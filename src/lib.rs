@@ -1,0 +1,29 @@
+//! `dfv` — design for verification in system-level models and RTL.
+//!
+//! The umbrella crate of the workspace: re-exports every subsystem under
+//! one roof so examples, integration tests, and downstream users can
+//! `use dfv::...` without tracking individual crates.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index. Start with:
+//!
+//! * [`slmir`] — write and execute system-level models in SLM-C, lint them
+//!   against the design-for-verification rules, elaborate to hardware;
+//! * [`rtl`] — build and simulate RTL;
+//! * [`sec`] — prove SLM/RTL transaction equivalence;
+//! * [`cosim`] — simulate them together through transactors;
+//! * [`core`] — run whole verification campaigns incrementally.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dfv_bits as bits;
+pub use dfv_core as core;
+pub use dfv_cosim as cosim;
+pub use dfv_designs as designs;
+pub use dfv_float as float;
+pub use dfv_rtl as rtl;
+pub use dfv_sat as sat;
+pub use dfv_sec as sec;
+pub use dfv_slm as slm;
+pub use dfv_slmir as slmir;

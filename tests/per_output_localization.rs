@@ -1,0 +1,60 @@
+//! Per-output incremental SEC: a divergence is localized to the specific
+//! output samples (stream beats) that disagree, on one shared CNF with
+//! clause learning carried across outputs.
+
+use dfv::cosim::{apply_mutation, enumerate_mutations, Mutation};
+use dfv::designs::fir;
+use dfv::sec::{check_equivalence_per_output, EquivOutcome};
+use dfv::slmir::{elaborate, parse};
+
+#[test]
+fn clean_fir_proves_every_output() {
+    let slm = elaborate(&parse(fir::slm_source()).unwrap(), "fir").unwrap();
+    let report = check_equivalence_per_output(&slm, &fir::rtl(), &fir::equiv_spec()).unwrap();
+    assert!(report.all_equivalent());
+    assert_eq!(report.verdicts.len(), fir::BLOCK);
+    // Shared learning: no later output may be drastically more expensive
+    // than the whole-check; just sanity-check they all completed.
+    for v in &report.verdicts {
+        assert!(v.outcome.is_equivalent(), "{:?}", v.compare);
+    }
+}
+
+#[test]
+fn mutated_fir_divergence_is_localized() {
+    let slm = elaborate(&parse(fir::slm_source()).unwrap(), "fir").unwrap();
+    let golden = fir::rtl();
+    // Swap an adder in the MAC into a subtractor (an Add -> Sub swap can
+    // only target the accumulate chain in this design): every output beat
+    // diverges; the per-output report says exactly which.
+    let m = enumerate_mutations(&golden)
+        .into_iter()
+        .find(|m| {
+            matches!(
+                m,
+                Mutation::SwapBinOp {
+                    new_op: dfv::rtl::ir::BinOp::Sub,
+                    ..
+                }
+            )
+        })
+        .expect("fir has adders");
+    let mutant = apply_mutation(&golden, &m);
+    let report = check_equivalence_per_output(&slm, &mutant, &fir::equiv_spec()).unwrap();
+    let bad: Vec<u32> = report
+        .verdicts
+        .iter()
+        .filter(|v| !v.outcome.is_equivalent())
+        .map(|v| v.compare.rtl_cycle)
+        .collect();
+    assert!(!bad.is_empty(), "a datapath mutation must show somewhere");
+    // Every reported divergence carries a concrete (replayed) witness.
+    for v in &report.verdicts {
+        if let EquivOutcome::NotEquivalent(cex) = &v.outcome {
+            assert!(!cex.mismatches.is_empty());
+        }
+    }
+    // And the one-shot checker agrees that the pair diverges at all.
+    let whole = dfv::sec::check_equivalence(&slm, &mutant, &fir::equiv_spec()).unwrap();
+    assert!(!whole.outcome.is_equivalent());
+}

@@ -1,37 +1,59 @@
 //! Component bench: arbitrary-width bit-vector arithmetic (`dfv-bits`).
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dfv_bits::Bv;
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use dfv_bits::Bv;
+    use std::hint::black_box;
 
-fn bench_bv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bitvec");
-    for width in [8u32, 64, 256, 1024] {
-        let a = Bv::from_u64(width, 0xDEAD_BEEF_CAFE_F00D).wrapping_mul(&Bv::from_u64(width, 3));
-        let b = Bv::from_u64(width, 0x0123_4567_89AB_CDEF);
-        g.bench_with_input(BenchmarkId::new("add", width), &width, |bench, _| {
-            bench.iter(|| black_box(black_box(&a).wrapping_add(black_box(&b))))
-        });
-        g.bench_with_input(BenchmarkId::new("mul", width), &width, |bench, _| {
-            bench.iter(|| black_box(black_box(&a).wrapping_mul(black_box(&b))))
-        });
-        g.bench_with_input(BenchmarkId::new("udivrem", width), &width, |bench, _| {
-            bench.iter(|| black_box(black_box(&a).udivrem(black_box(&b))))
-        });
-        g.bench_with_input(BenchmarkId::new("slice_concat", width), &width, |bench, _| {
-            bench.iter(|| {
-                let hi = a.slice(width - 1, width / 2);
-                let lo = a.slice(width / 2 - 1, 0);
-                black_box(hi.concat(&lo))
-            })
-        });
+    fn bench_bv(c: &mut Criterion) {
+        let mut g = c.benchmark_group("bitvec");
+        for width in [8u32, 64, 256, 1024] {
+            let a =
+                Bv::from_u64(width, 0xDEAD_BEEF_CAFE_F00D).wrapping_mul(&Bv::from_u64(width, 3));
+            let b = Bv::from_u64(width, 0x0123_4567_89AB_CDEF);
+            g.bench_with_input(BenchmarkId::new("add", width), &width, |bench, _| {
+                bench.iter(|| black_box(black_box(&a).wrapping_add(black_box(&b))))
+            });
+            g.bench_with_input(BenchmarkId::new("mul", width), &width, |bench, _| {
+                bench.iter(|| black_box(black_box(&a).wrapping_mul(black_box(&b))))
+            });
+            g.bench_with_input(BenchmarkId::new("udivrem", width), &width, |bench, _| {
+                bench.iter(|| black_box(black_box(&a).udivrem(black_box(&b))))
+            });
+            g.bench_with_input(
+                BenchmarkId::new("slice_concat", width),
+                &width,
+                |bench, _| {
+                    bench.iter(|| {
+                        let hi = a.slice(width - 1, width / 2);
+                        let lo = a.slice(width / 2 - 1, 0);
+                        black_box(hi.concat(&lo))
+                    })
+                },
+            );
+        }
+        g.finish();
     }
-    g.finish();
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(40);
+        targets = bench_bv
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_bv
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,52 +1,69 @@
 //! E1 bench: SEC solve cost for the Figure-1 pair across datapath widths —
 //! regenerates the width-sweep series of experiment E1 as a timing curve.
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dfv_designs::alu;
-use dfv_sec::{check_equivalence, EquivOutcome};
-use dfv_slmir::{elaborate, parse};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use dfv_designs::alu;
+    use dfv_sec::{check_equivalence, EquivOutcome};
+    use dfv_slmir::{elaborate, parse};
+    use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_sec");
-    // Counterexample search (int-style vs narrow RTL) and full proof
-    // (bit-accurate vs narrow RTL) at increasing widths.
-    for width in [8u32, 16, 24] {
-        let cex_src = format!(
-            "int<{r}> alu(int<{w}> a, int<{w}> b, int<{w}> c) {{
-                int<34> t = (int<34>) a + (int<34>) b;
-                return (int<{r}>)(t + (int<34>) c);
-            }}",
-            w = width,
-            r = width + 1
-        );
-        let cex_slm = elaborate(&parse(&cex_src).unwrap(), "alu").unwrap();
-        let rtl = alu::rtl(width, width);
+    fn bench_fig1(c: &mut Criterion) {
+        let mut g = c.benchmark_group("fig1_sec");
+        // Counterexample search (int-style vs narrow RTL) and full proof
+        // (bit-accurate vs narrow RTL) at increasing widths.
+        for width in [8u32, 16, 24] {
+            let cex_src = format!(
+                "int<{r}> alu(int<{w}> a, int<{w}> b, int<{w}> c) {{
+                    int<34> t = (int<34>) a + (int<34>) b;
+                    return (int<{r}>)(t + (int<34>) c);
+                }}",
+                w = width,
+                r = width + 1
+            );
+            let cex_slm = elaborate(&parse(&cex_src).unwrap(), "alu").unwrap();
+            let rtl = alu::rtl(width, width);
+            let spec = alu::equiv_spec();
+            g.bench_with_input(BenchmarkId::new("find_cex", width), &width, |b, _| {
+                b.iter(|| {
+                    let r = check_equivalence(&cex_slm, &rtl, &spec).unwrap();
+                    assert!(matches!(r.outcome, EquivOutcome::NotEquivalent(_)));
+                    black_box(r.cnf_vars)
+                })
+            });
+        }
+        let proof_slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
+        let rtl = alu::rtl(8, 8);
         let spec = alu::equiv_spec();
-        g.bench_with_input(BenchmarkId::new("find_cex", width), &width, |b, _| {
+        g.bench_function("prove_equivalent_w8", |b| {
             b.iter(|| {
-                let r = check_equivalence(&cex_slm, &rtl, &spec).unwrap();
-                assert!(matches!(r.outcome, EquivOutcome::NotEquivalent(_)));
+                let r = check_equivalence(&proof_slm, &rtl, &spec).unwrap();
+                assert!(r.outcome.is_equivalent());
                 black_box(r.cnf_vars)
             })
         });
+        g.finish();
     }
-    let proof_slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
-    let rtl = alu::rtl(8, 8);
-    let spec = alu::equiv_spec();
-    g.bench_function("prove_equivalent_w8", |b| {
-        b.iter(|| {
-            let r = check_equivalence(&proof_slm, &rtl, &spec).unwrap();
-            assert!(r.outcome.is_equivalent());
-            black_box(r.cnf_vars)
-        })
-    });
-    g.finish();
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(20);
+        targets = bench_fig1
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fig1
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

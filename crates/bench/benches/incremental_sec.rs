@@ -1,72 +1,89 @@
 //! E6 bench: a campaign run with a warm incremental cache vs a cold
 //! from-scratch run (the paper's §4.1 incremental-SEC payoff).
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dfv_core::{BlockPair, Campaign, VerificationPlan};
-use dfv_designs::{alu, fir};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use dfv_core::{BlockPair, Campaign, VerificationPlan};
+    use dfv_designs::{alu, fir};
+    use std::hint::black_box;
 
-fn plan() -> VerificationPlan {
-    VerificationPlan::new()
-        .block(BlockPair {
-            name: "alu".into(),
-            slm_source: alu::slm_bit_accurate().into(),
-            slm_entry: "alu".into(),
-            rtl: alu::rtl(8, 8),
-            spec: alu::equiv_spec(),
-        })
-        .block(BlockPair {
-            name: "fir".into(),
-            slm_source: fir::slm_source().into(),
-            slm_entry: "fir".into(),
-            rtl: fir::rtl(),
-            spec: fir::equiv_spec(),
-        })
-}
+    fn plan() -> VerificationPlan {
+        VerificationPlan::new()
+            .block(BlockPair {
+                name: "alu".into(),
+                slm_source: alu::slm_bit_accurate().into(),
+                slm_entry: "alu".into(),
+                rtl: alu::rtl(8, 8),
+                spec: alu::equiv_spec(),
+            })
+            .block(BlockPair {
+                name: "fir".into(),
+                slm_source: fir::slm_source().into(),
+                slm_entry: "fir".into(),
+                rtl: fir::rtl(),
+                spec: fir::equiv_spec(),
+            })
+    }
 
-fn bench_incremental(c: &mut Criterion) {
-    let mut g = c.benchmark_group("campaign");
-    g.bench_function("cold_full_run", |b| {
-        let p = plan();
-        b.iter(|| {
+    fn bench_incremental(c: &mut Criterion) {
+        let mut g = c.benchmark_group("campaign");
+        g.bench_function("cold_full_run", |b| {
+            let p = plan();
+            b.iter(|| {
+                let mut campaign = Campaign::new();
+                let r = campaign.run(&p);
+                assert!(r.all_pass());
+                black_box(r.duration)
+            })
+        });
+        g.bench_function("warm_cached_run", |b| {
+            let p = plan();
             let mut campaign = Campaign::new();
-            let r = campaign.run(&p);
-            assert!(r.all_pass());
-            black_box(r.duration)
-        })
-    });
-    g.bench_function("warm_cached_run", |b| {
-        let p = plan();
-        let mut campaign = Campaign::new();
-        campaign.run(&p); // prime the cache
-        b.iter(|| {
-            let r = campaign.run(&p);
-            assert_eq!(r.cache_hits(), 2);
-            black_box(r.duration)
-        })
-    });
-    g.bench_function("one_block_edited", |b| {
-        let base = plan();
-        let mut edited = plan();
-        edited.blocks[0].slm_source =
-            "int<9> alu(int8 a, int8 b, int8 c) { int8 t = (int8)(a + b); return (int<9>)((int)t + c); }"
-                .into();
-        let mut campaign = Campaign::new();
-        campaign.run(&base);
-        let mut flip = false;
-        b.iter(|| {
-            flip = !flip;
-            let r = campaign.run(if flip { &edited } else { &base });
-            assert_eq!(r.cache_hits(), 1);
-            black_box(r.duration)
-        })
-    });
-    g.finish();
+            campaign.run(&p); // prime the cache
+            b.iter(|| {
+                let r = campaign.run(&p);
+                assert_eq!(r.cache_hits(), 2);
+                black_box(r.duration)
+            })
+        });
+        g.bench_function("one_block_edited", |b| {
+            let base = plan();
+            let mut edited = plan();
+            edited.blocks[0].slm_source =
+                "int<9> alu(int8 a, int8 b, int8 c) { int8 t = (int8)(a + b); return (int<9>)((int)t + c); }"
+                    .into();
+            let mut campaign = Campaign::new();
+            campaign.run(&base);
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let r = campaign.run(if flip { &edited } else { &base });
+                assert_eq!(r.cache_hits(), 1);
+                black_box(r.duration)
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(20);
+        targets = bench_incremental
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_incremental
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,60 +1,77 @@
 //! Component bench: the discrete-event kernel (`dfv-slm`).
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dfv_slm::{Fifo, Kernel};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use dfv_slm::{Fifo, Kernel};
+    use std::hint::black_box;
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
-    g.bench_function("producer_consumer_1k_items", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new();
-            let ch: Fifo<u64> = Fifo::new(&mut k, "ch", 16);
-            let go = k.event("go");
-            let tx = ch.clone();
-            let mut produced = 0u64;
-            k.process("producer", &[go, ch.read_event()], move |k| {
-                while produced < 1000 {
-                    if tx.try_put(k, produced).is_err() {
-                        break;
+    fn bench_kernel(c: &mut Criterion) {
+        let mut g = c.benchmark_group("kernel");
+        g.bench_function("producer_consumer_1k_items", |b| {
+            b.iter(|| {
+                let mut k = Kernel::new();
+                let ch: Fifo<u64> = Fifo::new(&mut k, "ch", 16);
+                let go = k.event("go");
+                let tx = ch.clone();
+                let mut produced = 0u64;
+                k.process("producer", &[go, ch.read_event()], move |k| {
+                    while produced < 1000 {
+                        if tx.try_put(k, produced).is_err() {
+                            break;
+                        }
+                        produced += 1;
                     }
-                    produced += 1;
-                }
-            });
-            let rx = ch.clone();
-            let mut sum = 0u64;
-            k.process("consumer", &[ch.written_event()], move |k| {
-                while let Some(v) = rx.try_get(k) {
-                    sum = sum.wrapping_add(v);
-                }
-                black_box(sum);
-            });
-            k.notify(go, 1);
-            black_box(k.run(10_000))
-        })
-    });
-    g.bench_function("timed_notifications_10k", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new();
-            let e = k.event("tick");
-            let mut count = 0u64;
-            k.process("p", &[e], move |k| {
-                count += 1;
-                if count < 10_000 {
-                    k.notify(e, 1);
-                }
-            });
-            k.notify(e, 1);
-            black_box(k.run(u64::MAX / 2));
-            black_box(k.stats())
-        })
-    });
-    g.finish();
+                });
+                let rx = ch.clone();
+                let mut sum = 0u64;
+                k.process("consumer", &[ch.written_event()], move |k| {
+                    while let Some(v) = rx.try_get(k) {
+                        sum = sum.wrapping_add(v);
+                    }
+                    black_box(sum);
+                });
+                k.notify(go, 1);
+                black_box(k.run(10_000))
+            })
+        });
+        g.bench_function("timed_notifications_10k", |b| {
+            b.iter(|| {
+                let mut k = Kernel::new();
+                let e = k.event("tick");
+                let mut count = 0u64;
+                k.process("p", &[e], move |k| {
+                    count += 1;
+                    if count < 10_000 {
+                        k.notify(e, 1);
+                    }
+                });
+                k.notify(e, 1);
+                black_box(k.run(u64::MAX / 2));
+                black_box(k.stats())
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(20);
+        targets = bench_kernel
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kernel
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,39 +1,56 @@
 //! E8 bench: block-level vs flat equivalence checks (paper §4.2).
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dfv_designs::{alu, conv, fir};
-use dfv_sec::check_equivalence;
-use dfv_slmir::{elaborate, parse};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use dfv_designs::{alu, conv, fir};
+    use dfv_sec::check_equivalence;
+    use dfv_slmir::{elaborate, parse};
+    use std::hint::black_box;
 
-fn bench_partitioning(c: &mut Criterion) {
-    let alu_slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
-    let alu_rtl = alu::rtl(8, 8);
-    let alu_spec = alu::equiv_spec();
-    let fir_slm = elaborate(&parse(fir::slm_source()).unwrap(), "fir").unwrap();
-    let fir_rtl = fir::rtl();
-    let fir_spec = fir::equiv_spec();
-    let conv_slm = elaborate(&parse(conv::slm_source()).unwrap(), "blur").unwrap();
-    let conv_rtl = conv::rtl();
-    let conv_spec = conv::equiv_spec();
+    fn bench_partitioning(c: &mut Criterion) {
+        let alu_slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
+        let alu_rtl = alu::rtl(8, 8);
+        let alu_spec = alu::equiv_spec();
+        let fir_slm = elaborate(&parse(fir::slm_source()).unwrap(), "fir").unwrap();
+        let fir_rtl = fir::rtl();
+        let fir_spec = fir::equiv_spec();
+        let conv_slm = elaborate(&parse(conv::slm_source()).unwrap(), "blur").unwrap();
+        let conv_rtl = conv::rtl();
+        let conv_spec = conv::equiv_spec();
 
-    let mut g = c.benchmark_group("partitioned_sec");
-    g.sample_size(10);
-    g.bench_function("alu_block", |b| {
-        b.iter(|| black_box(check_equivalence(&alu_slm, &alu_rtl, &alu_spec).unwrap()))
-    });
-    g.bench_function("fir_block", |b| {
-        b.iter(|| black_box(check_equivalence(&fir_slm, &fir_rtl, &fir_spec).unwrap()))
-    });
-    g.bench_function("conv_block", |b| {
-        b.iter(|| black_box(check_equivalence(&conv_slm, &conv_rtl, &conv_spec).unwrap()))
-    });
-    g.finish();
+        let mut g = c.benchmark_group("partitioned_sec");
+        g.sample_size(10);
+        g.bench_function("alu_block", |b| {
+            b.iter(|| black_box(check_equivalence(&alu_slm, &alu_rtl, &alu_spec).unwrap()))
+        });
+        g.bench_function("fir_block", |b| {
+            b.iter(|| black_box(check_equivalence(&fir_slm, &fir_rtl, &fir_spec).unwrap()))
+        });
+        g.bench_function("conv_block", |b| {
+            b.iter(|| black_box(check_equivalence(&conv_slm, &conv_rtl, &conv_spec).unwrap()))
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = bench_partitioning
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_partitioning
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,45 +1,62 @@
 //! Component bench: the cycle-accurate RTL simulator on the design RTLs.
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dfv_bench::models::{sample_block, RtlFir};
-use dfv_bits::Bv;
-use dfv_rtl::Simulator;
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use dfv_bench::models::{sample_block, RtlFir};
+    use dfv_bits::Bv;
+    use dfv_rtl::Simulator;
+    use std::hint::black_box;
 
-fn bench_rtl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rtl_sim");
-    g.bench_function("fir_block_8", |b| {
-        let mut m = RtlFir::new();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(m.run(&sample_block(seed)))
-        })
-    });
-    g.bench_function("blur_tile_load_stream", |b| {
-        let mut sim = Simulator::new(dfv_designs::conv::rtl()).unwrap();
-        b.iter(|| {
-            sim.reset();
-            for i in 0..dfv_designs::conv::PIXELS as u64 {
-                sim.poke("in_valid", Bv::from_bool(true));
-                sim.poke("pix_in", Bv::from_u64(8, i * 11));
-                sim.step();
-            }
-            let mut acc = 0u64;
-            for _ in 0..dfv_designs::conv::PIXELS {
-                sim.poke("in_valid", Bv::from_bool(false));
-                acc ^= sim.output("pix_out").to_u64();
-                sim.step();
-            }
-            black_box(acc)
-        })
-    });
-    g.finish();
+    fn bench_rtl(c: &mut Criterion) {
+        let mut g = c.benchmark_group("rtl_sim");
+        g.bench_function("fir_block_8", |b| {
+            let mut m = RtlFir::new();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(m.run(&sample_block(seed)))
+            })
+        });
+        g.bench_function("blur_tile_load_stream", |b| {
+            let mut sim = Simulator::new(dfv_designs::conv::rtl()).unwrap();
+            b.iter(|| {
+                sim.reset();
+                for i in 0..dfv_designs::conv::PIXELS as u64 {
+                    sim.poke("in_valid", Bv::from_bool(true));
+                    sim.poke("pix_in", Bv::from_u64(8, i * 11));
+                    sim.step();
+                }
+                let mut acc = 0u64;
+                for _ in 0..dfv_designs::conv::PIXELS {
+                    sim.poke("in_valid", Bv::from_bool(false));
+                    acc ^= sim.output("pix_out").to_u64();
+                    sim.step();
+                }
+                black_box(acc)
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(30);
+        targets = bench_rtl
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_rtl
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,76 +1,93 @@
 //! Component bench: the CDCL solver (`dfv-sat`) on classic instances.
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dfv_sat::{SolveResult, Solver, Var};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use dfv_sat::{SolveResult, Solver, Var};
+    use std::hint::black_box;
 
-fn pigeonhole(n: usize) -> Solver {
-    let mut s = Solver::new();
-    let p: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(n - 1)).collect();
-    for row in &p {
-        let clause: Vec<_> = row.iter().map(|v| v.positive()).collect();
-        s.add_clause(&clause);
-    }
-    for j in 0..n - 1 {
-        for i1 in 0..n {
-            for i2 in (i1 + 1)..n {
-                s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(n - 1)).collect();
+        for row in &p {
+            let clause: Vec<_> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..n - 1 {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
             }
         }
+        s
     }
-    s
+
+    fn random_3sat(nvars: usize, nclauses: usize, seed: u64) -> Solver {
+        let mut s = Solver::new();
+        let vars = s.new_vars(nvars);
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..nclauses {
+            let c: Vec<_> = (0..3)
+                .map(|_| vars[(rnd() % nvars as u64) as usize].lit(rnd() % 2 == 0))
+                .collect();
+            s.add_clause(&c);
+        }
+        s
+    }
+
+    fn bench_sat(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sat");
+        for n in [5usize, 6] {
+            g.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
+                b.iter_batched(
+                    || pigeonhole(n),
+                    |mut s| {
+                        assert_eq!(s.solve(), SolveResult::Unsat);
+                        black_box(s.stats())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+        // Near the 3-SAT phase transition (ratio ~4.26).
+        for nvars in [40usize, 60] {
+            let nclauses = (nvars as f64 * 4.26) as usize;
+            g.bench_with_input(BenchmarkId::new("random3sat", nvars), &nvars, |b, &nv| {
+                b.iter_batched(
+                    || random_3sat(nv, nclauses, nv as u64 * 17),
+                    |mut s| black_box(s.solve()),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(20);
+        targets = bench_sat
+    }
 }
 
-fn random_3sat(nvars: usize, nclauses: usize, seed: u64) -> Solver {
-    let mut s = Solver::new();
-    let vars = s.new_vars(nvars);
-    let mut state = seed | 1;
-    let mut rnd = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    for _ in 0..nclauses {
-        let c: Vec<_> = (0..3)
-            .map(|_| vars[(rnd() % nvars as u64) as usize].lit(rnd() % 2 == 0))
-            .collect();
-        s.add_clause(&c);
-    }
-    s
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat");
-    for n in [5usize, 6] {
-        g.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
-            b.iter_batched(
-                || pigeonhole(n),
-                |mut s| {
-                    assert_eq!(s.solve(), SolveResult::Unsat);
-                    black_box(s.stats())
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-    }
-    // Near the 3-SAT phase transition (ratio ~4.26).
-    for nvars in [40usize, 60] {
-        let nclauses = (nvars as f64 * 4.26) as usize;
-        g.bench_with_input(BenchmarkId::new("random3sat", nvars), &nvars, |b, &nv| {
-            b.iter_batched(
-                || random_3sat(nv, nclauses, nv as u64 * 17),
-                |mut s| black_box(s.solve()),
-                criterion::BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sat
-}
-criterion_main!(benches);

@@ -1,67 +1,87 @@
 //! E3 bench: cost of exposing one injected bug — SEC counterexample search
 //! vs constrained-random co-simulation.
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use dfv_cosim::{apply_mutation, enumerate_mutations, FieldSpec, Mutation, StimulusGen};
-use dfv_designs::alu;
-use dfv_rtl::Simulator;
-use dfv_sec::{check_equivalence, EquivOutcome};
-use dfv_slmir::{elaborate, parse};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use dfv_cosim::{apply_mutation, enumerate_mutations, FieldSpec, Mutation, StimulusGen};
+    use dfv_designs::alu;
+    use dfv_rtl::Simulator;
+    use dfv_sec::{check_equivalence, EquivOutcome};
+    use dfv_slmir::{elaborate, parse};
+    use std::hint::black_box;
 
-fn bench_detection(c: &mut Criterion) {
-    let slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
-    let golden = alu::rtl(8, 8);
-    let spec = alu::equiv_spec();
-    // A real datapath bug: the first operator swap.
-    let m = enumerate_mutations(&golden)
-        .into_iter()
-        .find(|m| matches!(m, Mutation::SwapBinOp { .. }))
-        .expect("alu has swappable operators");
-    let mutant = apply_mutation(&golden, &m);
+    fn bench_detection(c: &mut Criterion) {
+        let slm = elaborate(&parse(alu::slm_bit_accurate()).unwrap(), "alu").unwrap();
+        let golden = alu::rtl(8, 8);
+        let spec = alu::equiv_spec();
+        // A real datapath bug: the first operator swap.
+        let m = enumerate_mutations(&golden)
+            .into_iter()
+            .find(|m| matches!(m, Mutation::SwapBinOp { .. }))
+            .expect("alu has swappable operators");
+        let mutant = apply_mutation(&golden, &m);
 
-    let mut g = c.benchmark_group("bug_detection");
-    g.bench_function("sec_counterexample", |b| {
-        b.iter(|| {
-            let r = check_equivalence(&slm, &mutant, &spec).unwrap();
-            assert!(matches!(r.outcome, EquivOutcome::NotEquivalent(_)));
-            black_box(r.solver_stats.conflicts)
-        })
-    });
-    g.bench_function("random_cosim_until_detect", |b| {
-        let mut slm_sim = Simulator::new(slm.clone()).unwrap();
-        let mut dut = Simulator::new(mutant.clone()).unwrap();
-        let mut round = 0u64;
-        b.iter(|| {
-            round += 1;
-            let mut gen = StimulusGen::new(round);
-            let corner = FieldSpec::Corners { width: 8, corner_percent: 25 };
-            let mut txns = 0u64;
-            loop {
-                txns += 1;
-                let (a, bv, cv) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
-                let expect = slm_sim.eval_comb(&[
-                    ("a", a.clone()),
-                    ("b", bv.clone()),
-                    ("c", cv.clone()),
-                ])["return"]
-                    .clone();
-                dut.reset();
-                dut.step_with(&[("a", a), ("b", bv), ("c", cv)]);
-                if dut.output("out") != expect {
-                    break;
+        let mut g = c.benchmark_group("bug_detection");
+        g.bench_function("sec_counterexample", |b| {
+            b.iter(|| {
+                let r = check_equivalence(&slm, &mutant, &spec).unwrap();
+                assert!(matches!(r.outcome, EquivOutcome::NotEquivalent(_)));
+                black_box(r.solver_stats.conflicts)
+            })
+        });
+        g.bench_function("random_cosim_until_detect", |b| {
+            let mut slm_sim = Simulator::new(slm.clone()).unwrap();
+            let mut dut = Simulator::new(mutant.clone()).unwrap();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let mut gen = StimulusGen::new(round);
+                let corner = FieldSpec::Corners {
+                    width: 8,
+                    corner_percent: 25,
+                };
+                let mut txns = 0u64;
+                loop {
+                    txns += 1;
+                    let (a, bv, cv) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
+                    let expect = slm_sim.eval_comb(&[
+                        ("a", a.clone()),
+                        ("b", bv.clone()),
+                        ("c", cv.clone()),
+                    ])["return"]
+                        .clone();
+                    dut.reset();
+                    dut.step_with(&[("a", a), ("b", bv), ("c", cv)]);
+                    if dut.output("out") != expect {
+                        break;
+                    }
+                    assert!(txns < 1_000_000, "mutant never detected");
                 }
-                assert!(txns < 1_000_000, "mutant never detected");
-            }
-            black_box(txns)
-        })
-    });
-    g.finish();
+                black_box(txns)
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(20);
+        targets = bench_detection
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_detection
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

@@ -1,51 +1,68 @@
 //! E2 bench: the abstraction-level simulation-speed ladder as Criterion
 //! series (samples/sec shape of experiment E2).
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dfv_bench::models::{sample_block, untimed_fir, CycleApproxFir, InterpFir, RtlFir};
-use dfv_designs::fir::BLOCK;
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+    use dfv_bench::models::{sample_block, untimed_fir, CycleApproxFir, InterpFir, RtlFir};
+    use dfv_designs::fir::BLOCK;
+    use std::hint::black_box;
 
-fn bench_levels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_speed");
-    g.throughput(Throughput::Elements(BLOCK as u64));
-    g.bench_function("untimed_native", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(untimed_fir(&sample_block(seed)))
-        })
-    });
-    g.bench_function("untimed_interpreted_slmc", |b| {
-        let m = InterpFir::new();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(m.run(&sample_block(seed)))
-        })
-    });
-    g.bench_function("cycle_approx_kernel", |b| {
-        let mut m = CycleApproxFir::new();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(m.run(&sample_block(seed)))
-        })
-    });
-    g.bench_function("rtl_cycle_accurate", |b| {
-        let mut m = RtlFir::new();
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(m.run(&sample_block(seed)))
-        })
-    });
-    g.finish();
+    fn bench_levels(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sim_speed");
+        g.throughput(Throughput::Elements(BLOCK as u64));
+        g.bench_function("untimed_native", |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(untimed_fir(&sample_block(seed)))
+            })
+        });
+        g.bench_function("untimed_interpreted_slmc", |b| {
+            let m = InterpFir::new();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(m.run(&sample_block(seed)))
+            })
+        });
+        g.bench_function("cycle_approx_kernel", |b| {
+            let mut m = CycleApproxFir::new();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(m.run(&sample_block(seed)))
+            })
+        });
+        g.bench_function("rtl_cycle_accurate", |b| {
+            let mut m = RtlFir::new();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(m.run(&sample_block(seed)))
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(30);
+        targets = bench_levels
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_levels
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
+}

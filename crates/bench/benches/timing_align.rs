@@ -1,57 +1,74 @@
 //! E4 bench: comparator throughput for the three alignment policies.
+//!
+//! Gated: criterion is an external crate offline builds cannot fetch.
+//! Enable with `--features criterion-benches` where crates.io resolves.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dfv_bits::Bv;
-use dfv_cosim::{
-    Comparator, ExactComparator, InOrderComparator, OutOfOrderComparator, StreamItem,
-};
-use std::hint::black_box;
+#[cfg(feature = "criterion-benches")]
+mod imp {
+    use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+    use dfv_bits::Bv;
+    use dfv_cosim::{
+        Comparator, ExactComparator, InOrderComparator, OutOfOrderComparator, StreamItem,
+    };
+    use std::hint::black_box;
 
-const N: u64 = 4096;
+    const N: u64 = 4096;
 
-fn item(v: u64, t: u64) -> StreamItem {
-    StreamItem {
-        value: Bv::from_u64(16, v),
-        time: t,
+    fn item(v: u64, t: u64) -> StreamItem {
+        StreamItem {
+            value: Bv::from_u64(16, v),
+            time: t,
+        }
+    }
+
+    fn drive(cmp: &mut dyn Comparator, shift: u64) -> usize {
+        for i in 0..N {
+            cmp.push_expected(item(i & 0xFFF | (i % 8) << 12, i));
+            cmp.push_actual(item(i & 0xFFF | (i % 8) << 12, i + shift));
+        }
+        let r = cmp.finish();
+        r.matched
+    }
+
+    fn bench_compare(c: &mut Criterion) {
+        let mut g = c.benchmark_group("comparators");
+        g.throughput(Throughput::Elements(N));
+        g.bench_function("exact", |b| {
+            b.iter(|| {
+                let mut cmp = ExactComparator::new();
+                black_box(drive(&mut cmp, 0))
+            })
+        });
+        g.bench_function("inorder_tolerant", |b| {
+            b.iter(|| {
+                let mut cmp = InOrderComparator::new(8);
+                black_box(drive(&mut cmp, 5))
+            })
+        });
+        g.bench_function("out_of_order_tagged", |b| {
+            b.iter(|| {
+                let mut cmp = OutOfOrderComparator::new(15, 12, 8);
+                black_box(drive(&mut cmp, 3))
+            })
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(30);
+        targets = bench_compare
     }
 }
 
-fn drive(cmp: &mut dyn Comparator, shift: u64) -> usize {
-    for i in 0..N {
-        cmp.push_expected(item(i & 0xFFF | (i % 8) << 12, i));
-        cmp.push_actual(item(i & 0xFFF | (i % 8) << 12, i + shift));
-    }
-    let r = cmp.finish();
-    r.matched
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    imp::benches();
 }
 
-fn bench_compare(c: &mut Criterion) {
-    let mut g = c.benchmark_group("comparators");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("exact", |b| {
-        b.iter(|| {
-            let mut cmp = ExactComparator::new();
-            black_box(drive(&mut cmp, 0))
-        })
-    });
-    g.bench_function("inorder_tolerant", |b| {
-        b.iter(|| {
-            let mut cmp = InOrderComparator::new(8);
-            black_box(drive(&mut cmp, 5))
-        })
-    });
-    g.bench_function("out_of_order_tagged", |b| {
-        b.iter(|| {
-            let mut cmp = OutOfOrderComparator::new(15, 12, 8);
-            black_box(drive(&mut cmp, 3))
-        })
-    });
-    g.finish();
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    eprintln!(
+        "bench gated behind the `criterion-benches` feature (needs the external criterion crate)"
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_compare
-}
-criterion_main!(benches);

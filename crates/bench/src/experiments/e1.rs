@@ -41,6 +41,9 @@ pub fn e1_fig1_nonassociativity() -> String {
                     .collect();
                 ("COUNTEREXAMPLE".to_string(), vals.join(" "))
             }
+            EquivOutcome::Inconclusive { reason, .. } => {
+                ("INCONCLUSIVE".to_string(), reason.to_string())
+            }
         };
         rows.push(vec![
             name.to_string(),

@@ -21,8 +21,8 @@ pub fn e3_sec_vs_simulation() -> String {
     let mut out = String::from(
         "E3 — bug-finding effectiveness: random co-simulation vs SEC (ALU mutants)\n\n",
     );
-    let slm = elaborate(&parse(alu::slm_bit_accurate()).expect("parses"), "alu")
-        .expect("conditioned");
+    let slm =
+        elaborate(&parse(alu::slm_bit_accurate()).expect("parses"), "alu").expect("conditioned");
     let golden = alu::rtl(8, 8);
     let spec = alu::equiv_spec();
     let mutations = enumerate_mutations(&golden);
@@ -49,11 +49,8 @@ pub fn e3_sec_vs_simulation() -> String {
         let mut found = None;
         for t in 0..budget {
             let (a, b, c) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
-            let expect = slm_sim.eval_comb(&[
-                ("a", a.clone()),
-                ("b", b.clone()),
-                ("c", c.clone()),
-            ])["return"]
+            let expect = slm_sim.eval_comb(&[("a", a.clone()), ("b", b.clone()), ("c", c.clone())])
+                ["return"]
                 .clone();
             dut.reset();
             dut.poke("a", a);
@@ -87,12 +84,24 @@ pub fn e3_sec_vs_simulation() -> String {
             format!("{m:?}").chars().take(26).collect(),
             found.map_or("-".into(), |t| t.to_string()),
             format!("{sim_dt:.1?}"),
-            if equivalent { "benign(proof)" } else { "caught" }.to_string(),
+            if equivalent {
+                "benign(proof)"
+            } else {
+                "caught"
+            }
+            .to_string(),
             format!("{sec_dt:.1?}"),
         ]);
     }
     out.push_str(&render_table(
-        &["#", "mutation", "sim txns", "sim time", "sec verdict", "sec time"],
+        &[
+            "#",
+            "mutation",
+            "sim txns",
+            "sim time",
+            "sec verdict",
+            "sec time",
+        ],
         &rows,
     ));
     let mean_txns = if sim_txns_when_caught.is_empty() {
@@ -148,6 +157,7 @@ pub fn e3_sec_vs_simulation() -> String {
             .collect::<Vec<_>>()
             .join(" "),
         EquivOutcome::Equivalent => "MISSED".into(),
+        EquivOutcome::Inconclusive { reason, .. } => format!("INCONCLUSIVE ({reason})"),
     };
     out.push_str(&format!(
         "\nneedle bug (wrong on exactly 1 of 2^24 inputs): random sim {} after \

@@ -11,13 +11,10 @@
 //!   tag-matched comparator; the table sweeps the reorder window.
 
 use dfv_bits::Bv;
-use dfv_cosim::{
-    Comparator, ExactComparator, InOrderComparator, OutOfOrderComparator, StreamItem,
-};
+use dfv_bits::SplitMix64;
+use dfv_cosim::{Comparator, ExactComparator, InOrderComparator, OutOfOrderComparator, StreamItem};
 use dfv_designs::{fir, memsys};
 use dfv_rtl::Simulator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::render_table;
 
@@ -36,13 +33,16 @@ pub fn e4_timing_alignment() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["stall prob", "rtl cycles", "exact-compare mismatches", "ordered-compare mismatches"],
+        &[
+            "stall prob",
+            "rtl cycles",
+            "exact-compare mismatches",
+            "ordered-compare mismatches",
+        ],
         &rows,
     ));
 
-    out.push_str(
-        "\npart B: memsys out-of-order completion (48 tagged lookups per row)\n",
-    );
+    out.push_str("\npart B: memsys out-of-order completion (48 tagged lookups per row)\n");
     let mut rows = Vec::new();
     for window in [0usize, 1, 2, 4, 8] {
         let (matched, mismatches, in_order_mis) = memsys_run(window, 48);
@@ -54,7 +54,12 @@ pub fn e4_timing_alignment() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["reorder window", "ooo-compare matched", "ooo flags", "in-order-compare mismatches"],
+        &[
+            "reorder window",
+            "ooo-compare matched",
+            "ooo flags",
+            "in-order-compare mismatches",
+        ],
         &rows,
     ));
     out.push_str(
@@ -70,8 +75,8 @@ pub fn e4_timing_alignment() -> String {
 /// the untimed SLM with an exact and an order-based comparator. Returns
 /// (exact mismatches, ordered mismatches, RTL cycles used).
 fn fir_stall_run(stall_pct: u32, nsamples: usize) -> (usize, usize, u64) {
-    let mut rng = StdRng::seed_from_u64(0xE4 + stall_pct as u64);
-    let samples: Vec<i64> = (0..nsamples).map(|_| rng.gen_range(-128..128)).collect();
+    let mut rng = SplitMix64::new(0xE4 + stall_pct as u64);
+    let samples: Vec<i64> = (0..nsamples).map(|_| rng.range_i64(-128, 127)).collect();
 
     // Untimed SLM: outputs at "time" = sample index (zero-delay ideal).
     let mut hist = [0i64; fir::TAPS];
@@ -92,7 +97,7 @@ fn fir_stall_run(stall_pct: u32, nsamples: usize) -> (usize, usize, u64) {
     let mut i = 0usize;
     let mut cycle = 0u64;
     while actual.len() < nsamples {
-        let stall = rng.gen_range(0..100) < stall_pct;
+        let stall = (rng.below(100) as u32) < stall_pct;
         sim.poke("stall", Bv::from_bool(stall));
         sim.poke("in_valid", Bv::from_bool(i < nsamples));
         sim.poke(
@@ -143,10 +148,8 @@ fn memsys_run(window: usize, nreqs: usize) -> (usize, usize, usize) {
     for (i, v) in table.iter_mut().enumerate() {
         *v = (i as u8) * 13 + 1;
     }
-    let mut rng = StdRng::seed_from_u64(0xE4_00 + window as u64);
-    let reqs: Vec<(u64, u64)> = (0..nreqs as u64)
-        .map(|i| (i % 8, rng.gen_range(0..16)))
-        .collect();
+    let mut rng = SplitMix64::new(0xE4_00 + window as u64);
+    let reqs: Vec<(u64, u64)> = (0..nreqs as u64).map(|i| (i % 8, rng.below(16))).collect();
 
     let mut sim = Simulator::new(memsys::rtl(&table)).expect("memsys rtl");
     let mut ooo = OutOfOrderComparator::new(10, 8, window);

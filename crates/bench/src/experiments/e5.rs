@@ -6,9 +6,8 @@
 //! reports how often the native-IEEE SLM and the flush-to-zero/no-specials
 //! hardware model disagree, broken down by corner-case cause.
 
+use dfv_bits::SplitMix64;
 use dfv_designs::fpmac;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::render_table;
 
@@ -40,31 +39,42 @@ fn classify(a: f32, b: f32, c: f32, t: &mut Tally) {
 /// Runs E5 and renders its report.
 pub fn e5_float_corner_cases() -> String {
     const N: u64 = 50_000;
-    let mut out = String::from(
-        "E5 — float corner cases: IEEE SLM vs reduced hardware on a*b + c\n\n",
-    );
-    let mut rng = StdRng::seed_from_u64(0xE5);
+    let mut out =
+        String::from("E5 — float corner cases: IEEE SLM vs reduced hardware on a*b + c\n\n");
+    let mut rng = SplitMix64::new(0xE5);
     let mut rows = Vec::new();
 
     // Distribution 1: uniform random bit patterns (heavy on corner cases).
-    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    let mut t = Tally {
+        total: 0,
+        diverged: 0,
+        denormal: 0,
+        overflow: 0,
+        nan: 0,
+    };
     for _ in 0..N {
         let (a, b, c) = (
-            f32::from_bits(rng.gen()),
-            f32::from_bits(rng.gen()),
-            f32::from_bits(rng.gen()),
+            f32::from_bits(rng.next_u32()),
+            f32::from_bits(rng.next_u32()),
+            f32::from_bits(rng.next_u32()),
         );
         classify(a, b, c, &mut t);
     }
     push_row(&mut rows, "uniform bit patterns", &t);
 
     // Distribution 2: magnitudes spread over the whole exponent range.
-    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    let mut t = Tally {
+        total: 0,
+        diverged: 0,
+        denormal: 0,
+        overflow: 0,
+        nan: 0,
+    };
     for _ in 0..N {
         let mut draw = || {
-            let exp = rng.gen_range(-45i32..39);
-            let mant = 1.0 + rng.gen::<f32>();
-            let sign = if rng.gen() { -1.0 } else { 1.0 };
+            let exp = rng.range_i64(-45, 38) as i32;
+            let mant = 1.0 + rng.next_f32();
+            let sign = if rng.next_bool() { -1.0 } else { 1.0 };
             sign * mant * 2f32.powi(exp)
         };
         classify(draw(), draw(), draw(), &mut t);
@@ -72,13 +82,19 @@ pub fn e5_float_corner_cases() -> String {
     push_row(&mut rows, "magnitude-spread finite", &t);
 
     // Distribution 3: constrained to benign inputs (the paper's fix).
-    let mut t = Tally { total: 0, diverged: 0, denormal: 0, overflow: 0, nan: 0 };
+    let mut t = Tally {
+        total: 0,
+        diverged: 0,
+        denormal: 0,
+        overflow: 0,
+        nan: 0,
+    };
     let mut accepted = 0u64;
     while accepted < N {
         let mut draw = || {
-            let exp = rng.gen_range(-28i32..28);
-            let mant = 1.0 + rng.gen::<f32>();
-            let sign = if rng.gen() { -1.0 } else { 1.0 };
+            let exp = rng.range_i64(-28, 27) as i32;
+            let mant = 1.0 + rng.next_f32();
+            let sign = if rng.next_bool() { -1.0 } else { 1.0 };
             sign * mant * 2f32.powi(exp)
         };
         let (a, b, c) = (draw(), draw(), draw());
@@ -91,7 +107,15 @@ pub fn e5_float_corner_cases() -> String {
     push_row(&mut rows, "benign-constrained", &t);
 
     out.push_str(&render_table(
-        &["input distribution", "samples", "diverged", "rate", "denorm/underflow", "overflow/inf", "nan"],
+        &[
+            "input distribution",
+            "samples",
+            "diverged",
+            "rate",
+            "denorm/underflow",
+            "overflow/inf",
+            "nan",
+        ],
         &rows,
     ));
     out.push_str(

@@ -52,7 +52,10 @@ const CONDITIONED: &str = r#"
 pub fn e7_model_conditioning() -> String {
     let mut out = String::from("E7 — model conditioning (§4.3): lint + elaborability\n\n");
     let mut rows = Vec::new();
-    for (name, src) in [("software-style", UNCONDITIONED), ("conditioned", CONDITIONED)] {
+    for (name, src) in [
+        ("software-style", UNCONDITIONED),
+        ("conditioned", CONDITIONED),
+    ] {
         let prog = parse(src).expect("parses");
         let findings = lint(&prog, Some("checksum"));
         let count = |r: LintRule| findings.iter().filter(|f| f.rule == r).count();
@@ -68,16 +71,30 @@ pub fn e7_model_conditioning() -> String {
         ]);
     }
     out.push_str(&render_table(
-        &["model", "DFV001", "DFV002", "DFV003", "DFV004", "total", "elaborates?"],
+        &[
+            "model",
+            "DFV001",
+            "DFV002",
+            "DFV003",
+            "DFV004",
+            "total",
+            "elaborates?",
+        ],
         &rows,
     ));
 
     // Simulation-speed cost of conditioning: run both on the interpreter.
-    let u8t = ScalarTy { width: 8, signed: false };
+    let u8t = ScalarTy {
+        width: 8,
+        signed: false,
+    };
     let data = Value::Array((0..16).map(|i| Bv::from_u64(8, i * 7)).collect(), u8t);
     let n = Value::from_u64(u8t, 11);
     let mut speeds = Vec::new();
-    for (name, src) in [("software-style", UNCONDITIONED), ("conditioned", CONDITIONED)] {
+    for (name, src) in [
+        ("software-style", UNCONDITIONED),
+        ("conditioned", CONDITIONED),
+    ] {
         let prog = parse(src).expect("parses");
         let t0 = Instant::now();
         let mut runs = 0u64;

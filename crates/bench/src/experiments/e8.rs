@@ -149,8 +149,8 @@ pub fn e8_partitioned_sec() -> String {
     ]);
 
     // Flat check.
-    let slm = elaborate(&parse(&combined_slm_source()).expect("parses"), "system")
-        .expect("conditioned");
+    let slm =
+        elaborate(&parse(&combined_slm_source()).expect("parses"), "system").expect("conditioned");
     let rtl = combined_rtl();
     let t0 = Instant::now();
     let report = check_equivalence(&slm, &rtl, &combined_spec()).expect("valid");

@@ -107,7 +107,7 @@ impl CycleApproxFir {
         self.output.borrow_mut().clear();
         let start = self.kernel.time();
         // Rising edges land on odd times (period 2, first edge at t = 1).
-        let first_edge = if start % self.period == 0 {
+        let first_edge = if start.is_multiple_of(self.period) {
             start + self.period / 2
         } else {
             start + self.period

@@ -28,7 +28,7 @@ pub struct Bv {
 }
 
 pub(crate) fn limbs_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 impl Bv {
@@ -152,7 +152,11 @@ impl Bv {
     ///
     /// Panics if `i >= self.width()`.
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -162,7 +166,11 @@ impl Bv {
     ///
     /// Panics if `i >= self.width()`.
     pub fn with_bit(&self, i: u32, value: bool) -> Bv {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let mut v = self.clone();
         let mask = 1u64 << (i % 64);
         if value {
@@ -324,7 +332,11 @@ impl Bv {
     /// Panics if `hi < lo` or `hi >= self.width()`.
     pub fn slice(&self, hi: u32, lo: u32) -> Bv {
         assert!(hi >= lo, "slice hi {hi} below lo {lo}");
-        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice hi {hi} out of range for width {}",
+            self.width
+        );
         let out_width = hi - lo + 1;
         let mut v = Bv::zero(out_width);
         let limb_off = (lo / 64) as usize;

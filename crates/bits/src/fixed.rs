@@ -90,7 +90,10 @@ impl Fx {
     ///
     /// Panics if `width` is zero, `frac > width`, or `value` is not finite.
     pub fn from_f64(width: u32, frac: u32, value: f64) -> Self {
-        assert!(value.is_finite(), "fixed-point conversion of non-finite value");
+        assert!(
+            value.is_finite(),
+            "fixed-point conversion of non-finite value"
+        );
         let scaled = (value * (2f64.powi(frac as i32))).round();
         Fx::from_raw(Bv::from_i64(width, scaled as i64), frac)
     }
@@ -121,7 +124,10 @@ impl Fx {
         let frac = self.frac.max(other.frac);
         let int_bits = (self.width() - self.frac).max(other.width() - other.frac);
         let width = int_bits + frac + 1;
-        let a = self.raw.sext(self.width() + (frac - self.frac)).shl(frac - self.frac);
+        let a = self
+            .raw
+            .sext(self.width() + (frac - self.frac))
+            .shl(frac - self.frac);
         let b = other
             .raw
             .sext(other.width() + (frac - other.frac))
@@ -217,7 +223,13 @@ impl Fx {
 
 impl fmt::Display for Fx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(q{}.{})", self.to_f64(), self.width() - self.frac, self.frac)
+        write!(
+            f,
+            "{}(q{}.{})",
+            self.to_f64(),
+            self.width() - self.frac,
+            self.frac
+        )
     }
 }
 
@@ -275,7 +287,8 @@ mod tests {
         assert_eq!(q.to_f64(), 2.0);
         let y = Fx::from_f64(16, 8, 1.25);
         assert_eq!(
-            y.quantize(8, 0, RoundingMode::HalfUp, OverflowMode::Wrap).to_f64(),
+            y.quantize(8, 0, RoundingMode::HalfUp, OverflowMode::Wrap)
+                .to_f64(),
             1.0
         );
     }

@@ -39,9 +39,9 @@ impl Bv {
             if ch == '_' {
                 continue;
             }
-            let d = ch
-                .to_digit(radix)
-                .ok_or_else(|| ParseBvError::new(format!("invalid digit {ch:?} for radix {radix}")))?;
+            let d = ch.to_digit(radix).ok_or_else(|| {
+                ParseBvError::new(format!("invalid digit {ch:?} for radix {radix}"))
+            })?;
             // Overflow check: the pre-scale value must shrink back after.
             let next = value
                 .wrapping_mul(&scale)
@@ -57,7 +57,9 @@ impl Bv {
         }
         if value.width() > width {
             if !value.slice(value.width() - 1, width).is_zero() {
-                return Err(ParseBvError::new(format!("value does not fit in {width} bits")));
+                return Err(ParseBvError::new(format!(
+                    "value does not fit in {width} bits"
+                )));
             }
             value = value.trunc(width);
         }
@@ -109,7 +111,7 @@ impl fmt::Debug for Bv {
 
 impl fmt::LowerHex for Bv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let digits = (self.width as usize + 3) / 4;
+        let digits = (self.width as usize).div_ceil(4);
         let mut s = String::with_capacity(digits);
         for i in (0..digits).rev() {
             let lo = (i * 4) as u32;

@@ -26,7 +26,10 @@
 //!   explicit rounding and overflow modes, for the word-width-exploration
 //!   use-case the paper describes for signal-processing SLMs,
 //! * [`Xv`] — four-state (0/1/X) vectors with pessimistic X propagation, used
-//!   for reset analysis of RTL models.
+//!   for reset analysis of RTL models,
+//! * [`SplitMix64`] — a tiny seeded PRNG used for constrained-random
+//!   stimulus and benches, so the workspace builds with no external (and
+//!   therefore no network-fetched) dependencies.
 //!
 //! # Example
 //!
@@ -63,8 +66,10 @@ mod fixed;
 mod fmt;
 mod fourstate;
 mod logic;
+mod rng;
 
 pub use bv::Bv;
 pub use error::ParseBvError;
 pub use fixed::{Fx, OverflowMode, RoundingMode};
 pub use fourstate::Xv;
+pub use rng::SplitMix64;

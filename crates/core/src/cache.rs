@@ -1,0 +1,321 @@
+//! Crash-safe on-disk persistence for the campaign's incremental cache.
+//!
+//! The paper's incremental-SEC payoff only survives a process restart if
+//! the per-block verdicts do, so a [`crate::Campaign`] can persist its
+//! cache to a plain-text file (version 1, UTF-8, one record per line):
+//!
+//! ```text
+//! dfv-campaign-cache v1
+//! checksum <16 hex digits>
+//! entry<TAB><name><TAB><content hash, 16 hex><TAB><status tag><TAB><note>
+//! ```
+//!
+//! The checksum is FNV-1a over the raw bytes of the entry section, so a
+//! truncated or bit-flipped file is detected on load — the campaign then
+//! starts cold and rebuilds the file, rather than trusting (or panicking
+//! on) bad verdicts. Saves write a sibling `.tmp` file and atomically
+//! rename it over the old cache, so a crash mid-save leaves the previous
+//! cache intact.
+//!
+//! Only *conclusive* verdicts (`pass`, `lint`, `fail`, `error`) are
+//! persisted: an [`crate::BlockStatus::Inconclusive`] block must be retried
+//! on the next run (possibly under a bigger budget), not replayed. Lint
+//! findings and solver statistics are not persisted; a disk-served
+//! [`BlockResult`] carries only the verdict.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::{BlockResult, BlockStatus};
+
+/// First line of every cache file.
+const MAGIC: &str = "dfv-campaign-cache v1";
+
+/// What happened when a campaign tried to load its persisted cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CacheLoad {
+    /// No persistence configured (in-memory campaign).
+    #[default]
+    Disabled,
+    /// No cache file existed yet (first run on this path).
+    Missing,
+    /// The cache file was read, checksum-verified, and parsed.
+    Loaded {
+        /// Number of block verdicts recovered.
+        entries: usize,
+    },
+    /// The file was unreadable, malformed, truncated, or failed its
+    /// checksum. The campaign starts cold and rebuilds it on the next save.
+    Corrupt {
+        /// What exactly was wrong with the file.
+        reason: String,
+    },
+}
+
+/// Incremental FNV-1a-64 hasher — shared by the cache checksum and
+/// [`crate::BlockPair::content_hash`]. No dependencies, stable across
+/// platforms and runs (unlike `DefaultHasher`).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape sequence \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the conclusive entries of `cache` in the on-disk format.
+pub(crate) fn serialize(cache: &HashMap<String, (u64, BlockResult)>) -> String {
+    let mut names: Vec<&String> = cache.keys().collect();
+    names.sort();
+    let mut body = String::new();
+    for name in names {
+        let (hash, r) = &cache[name.as_str()];
+        let (tag, note) = match &r.status {
+            BlockStatus::Pass => ("pass", String::new()),
+            BlockStatus::LintBlocked => ("lint", String::new()),
+            BlockStatus::NotEquivalent(n) => ("fail", n.clone()),
+            BlockStatus::Error(n) => ("error", n.clone()),
+            BlockStatus::Inconclusive(_) => continue,
+        };
+        body.push_str(&format!(
+            "entry\t{}\t{:016x}\t{}\t{}\n",
+            escape(name),
+            hash,
+            tag,
+            escape(&note)
+        ));
+    }
+    let mut f = Fnv::new();
+    f.write(body.as_bytes());
+    format!("{MAGIC}\nchecksum {:016x}\n{body}", f.finish())
+}
+
+/// Parses a cache file's full text, verifying the checksum.
+pub(crate) fn deserialize(text: &str) -> Result<HashMap<String, (u64, BlockResult)>, String> {
+    let rest = text
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix('\n'))
+        .ok_or_else(|| format!("bad magic (expected {MAGIC:?})"))?;
+    let (ck_line, body) = rest
+        .split_once('\n')
+        .ok_or("missing checksum line".to_string())?;
+    let ck_hex = ck_line
+        .strip_prefix("checksum ")
+        .ok_or_else(|| format!("malformed checksum line {ck_line:?}"))?;
+    let want =
+        u64::from_str_radix(ck_hex, 16).map_err(|_| format!("malformed checksum {ck_hex:?}"))?;
+    let mut f = Fnv::new();
+    f.write(body.as_bytes());
+    if f.finish() != want {
+        return Err("checksum mismatch: cache file is truncated or corrupted".into());
+    }
+    let mut map = HashMap::new();
+    for line in body.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 || fields[0] != "entry" {
+            return Err(format!("malformed entry line {line:?}"));
+        }
+        let name = unescape(fields[1])?;
+        let hash = u64::from_str_radix(fields[2], 16)
+            .map_err(|_| format!("malformed content hash {:?}", fields[2]))?;
+        let note = unescape(fields[4])?;
+        let status = match fields[3] {
+            "pass" => BlockStatus::Pass,
+            "lint" => BlockStatus::LintBlocked,
+            "fail" => BlockStatus::NotEquivalent(note),
+            "error" => BlockStatus::Error(note),
+            tag => return Err(format!("unknown status tag {tag:?}")),
+        };
+        let result = BlockResult {
+            name: name.clone(),
+            status,
+            lint_findings: Vec::new(),
+            equiv: None,
+            duration: Duration::ZERO,
+            from_cache: false,
+            attempts: 0,
+        };
+        if map.insert(name.clone(), (hash, result)).is_some() {
+            return Err(format!("duplicate entry for block {name:?}"));
+        }
+    }
+    Ok(map)
+}
+
+/// Loads the cache at `path`. Never fails: a missing file starts the
+/// campaign cold, and a corrupt one does too (with the reason reported), so
+/// a damaged cache can only cost re-verification time, never correctness.
+pub(crate) fn load(path: &Path) -> (HashMap<String, (u64, BlockResult)>, CacheLoad) {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return (HashMap::new(), CacheLoad::Missing)
+        }
+        Err(e) => {
+            return (
+                HashMap::new(),
+                CacheLoad::Corrupt {
+                    reason: format!("read {}: {e}", path.display()),
+                },
+            )
+        }
+    };
+    match deserialize(&text) {
+        Ok(map) => {
+            let entries = map.len();
+            (map, CacheLoad::Loaded { entries })
+        }
+        Err(reason) => (HashMap::new(), CacheLoad::Corrupt { reason }),
+    }
+}
+
+/// Atomically persists `cache` to `path` (write `.tmp` sibling, fsync,
+/// rename).
+pub(crate) fn save(path: &Path, cache: &HashMap<String, (u64, BlockResult)>) -> Result<(), String> {
+    let data = serialize(cache);
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let write = (|| -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(data.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    write.map_err(|e| format!("persist cache to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(status: BlockStatus) -> (u64, BlockResult) {
+        (
+            0xDEAD_BEEF_0123_4567,
+            BlockResult {
+                name: "x".into(),
+                status,
+                lint_findings: Vec::new(),
+                equiv: None,
+                duration: Duration::ZERO,
+                from_cache: false,
+                attempts: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_verdicts_and_hashes() {
+        let mut cache = HashMap::new();
+        cache.insert("plain".to_string(), entry(BlockStatus::Pass));
+        cache.insert(
+            "with\ttab\nand newline".to_string(),
+            entry(BlockStatus::NotEquivalent("cex: a=1\tb=2".into())),
+        );
+        cache.insert("lints".to_string(), entry(BlockStatus::LintBlocked));
+        cache.insert(
+            "err".to_string(),
+            entry(BlockStatus::Error("parse: nope".into())),
+        );
+        let text = serialize(&cache);
+        let back = deserialize(&text).unwrap();
+        assert_eq!(back.len(), 4);
+        for (name, (hash, r)) in &cache {
+            let (h2, r2) = &back[name];
+            assert_eq!(h2, hash);
+            assert_eq!(r2.status, r.status);
+        }
+    }
+
+    #[test]
+    fn inconclusive_verdicts_are_not_persisted() {
+        let mut cache = HashMap::new();
+        cache.insert("ok".to_string(), entry(BlockStatus::Pass));
+        cache.insert(
+            "undecided".to_string(),
+            entry(BlockStatus::Inconclusive("budget ran out".into())),
+        );
+        let back = deserialize(&serialize(&cache)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.contains_key("ok"));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_detected() {
+        let mut cache = HashMap::new();
+        cache.insert("a".to_string(), entry(BlockStatus::Pass));
+        cache.insert(
+            "b".to_string(),
+            entry(BlockStatus::NotEquivalent("cex".into())),
+        );
+        let text = serialize(&cache);
+
+        // Truncating the body trips the checksum.
+        let truncated = &text[..text.len() - 10];
+        assert!(deserialize(truncated).unwrap_err().contains("checksum"));
+
+        // Flipping a verdict byte trips the checksum too.
+        let flipped = text.replacen("fail", "pass", 1);
+        assert!(deserialize(&flipped).unwrap_err().contains("checksum"));
+
+        // Garbage and wrong versions are rejected up front.
+        assert!(deserialize("not a cache").unwrap_err().contains("magic"));
+        assert!(deserialize("dfv-campaign-cache v99\nchecksum 0\n")
+            .unwrap_err()
+            .contains("magic"));
+    }
+
+    #[test]
+    fn empty_cache_roundtrips() {
+        let cache = HashMap::new();
+        let back = deserialize(&serialize(&cache)).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -18,10 +18,25 @@
 //!   between SLM and RTL are much more effective in terms of run time and
 //!   can help localize the source of any difference quickly."
 //!
+//! # Resource governance
+//!
+//! A campaign treats the proof engine as a *metered* resource: each block is
+//! solved under a [`RetryPolicy`] of escalating [`Budget`]s, the whole run
+//! can carry a wall-clock deadline, and a block whose budgets all exhaust
+//! degrades to bounded random-simulation falsification instead of hanging —
+//! its verdict is [`BlockStatus::Inconclusive`] with a summary like
+//! "no counterexample in N random transactions at depth k". The incremental
+//! cache can be persisted to disk ([`CampaignOptions::cache_path`]) in a
+//! checksummed text format, so verdicts survive a process restart and a
+//! truncated or corrupted cache file is detected and rebuilt, never trusted.
+//!
 //! # Example
 //!
 //! ```
-//! use dfv_core::{BlockPair, Campaign, VerificationPlan, BlockStatus};
+//! use std::time::Duration;
+//! use dfv_core::{
+//!     BlockPair, BlockStatus, Campaign, CampaignOptions, RetryPolicy, VerificationPlan,
+//! };
 //! use dfv_rtl::ModuleBuilder;
 //! use dfv_sec::{Binding, EquivSpec};
 //!
@@ -41,12 +56,24 @@
 //!         .bind("x", 0, Binding::Slm("x".into()))
 //!         .compare("return", "y", 0),
 //! });
-//! let mut campaign = Campaign::new();
+//!
+//! // Escalating proof budgets, a run deadline, and a persisted cache.
+//! let path = std::env::temp_dir().join(format!("dfv-core-doc-{}.cache", std::process::id()));
+//! let _ = std::fs::remove_file(&path);
+//! let mut campaign = Campaign::with_options(CampaignOptions {
+//!     retry: RetryPolicy::escalating(10_000, 10, 3),
+//!     deadline: Some(Duration::from_secs(60)),
+//!     cache_path: Some(path.clone()),
+//! });
 //! let report = campaign.run(&plan);
 //! assert_eq!(report.blocks[0].status, BlockStatus::Pass);
-//! // Nothing changed: the second run is entirely cache hits.
-//! let report2 = campaign.run(&plan);
+//!
+//! // A fresh process (here: a fresh `Campaign`) reloads the persisted
+//! // verdicts, so nothing is re-proven.
+//! let mut campaign2 = Campaign::with_cache_file(&path);
+//! let report2 = campaign2.run(&plan);
 //! assert!(report2.blocks[0].from_cache);
+//! let _ = std::fs::remove_file(&path);
 //! # Ok(())
 //! # }
 //! ```
@@ -56,11 +83,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use dfv_rtl::Module;
-use dfv_sec::{check_equivalence, EquivOutcome, EquivReport, EquivSpec};
+use dfv_sec::{check_equivalence_with, Budget, CheckOptions, EquivOutcome, EquivReport, EquivSpec};
 use dfv_slmir::{lint, LintFinding, Severity};
+
+mod cache;
+
+pub use cache::CacheLoad;
 
 /// One SLM/RTL block correspondence (paper §4.2).
 #[derive(Debug, Clone)]
@@ -82,18 +114,12 @@ impl BlockPair {
     /// verdict. FNV-1a over the SLM source, the RTL netlist text, and the
     /// spec's debug rendering.
     pub fn content_hash(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        eat(self.slm_source.as_bytes());
-        eat(self.slm_entry.as_bytes());
-        eat(dfv_rtl::write_module(&self.rtl).as_bytes());
-        eat(format!("{:?}", self.spec).as_bytes());
-        h
+        let mut h = cache::Fnv::new();
+        h.write(self.slm_source.as_bytes());
+        h.write(self.slm_entry.as_bytes());
+        h.write(dfv_rtl::write_module(&self.rtl).as_bytes());
+        h.write(format!("{:?}", self.spec).as_bytes());
+        h.finish()
     }
 }
 
@@ -126,6 +152,13 @@ pub enum BlockStatus {
     LintBlocked,
     /// A counterexample was found (rendered for the report).
     NotEquivalent(String),
+    /// Every proof budget ran out before the solver answered, and bounded
+    /// random simulation found no counterexample either. The note records
+    /// the exhausted resource and (when the fallback ran) how much of the
+    /// input space was sampled — quantified negative evidence, not a proof.
+    /// Inconclusive verdicts are never cached: the block is retried on the
+    /// next run.
+    Inconclusive(String),
     /// Parse/elaboration/spec failure.
     Error(String),
 }
@@ -136,6 +169,7 @@ impl fmt::Display for BlockStatus {
             BlockStatus::Pass => write!(f, "PASS"),
             BlockStatus::LintBlocked => write!(f, "LINT"),
             BlockStatus::NotEquivalent(_) => write!(f, "FAIL"),
+            BlockStatus::Inconclusive(_) => write!(f, "INCONC"),
             BlockStatus::Error(_) => write!(f, "ERROR"),
         }
     }
@@ -148,14 +182,95 @@ pub struct BlockResult {
     pub name: String,
     /// Verdict.
     pub status: BlockStatus,
-    /// All lint findings (including warnings).
+    /// All lint findings (including warnings). Empty for verdicts served
+    /// from a persisted cache (findings are not persisted).
     pub lint_findings: Vec<LintFinding>,
-    /// The equivalence report, when the check ran.
+    /// The equivalence report, when the check ran in this process. For an
+    /// inconclusive block this is the *last* attempt's report.
     pub equiv: Option<EquivReport>,
     /// Wall-clock time spent on this block in this run.
     pub duration: Duration,
     /// Whether the verdict came from the incremental cache.
     pub from_cache: bool,
+    /// How many budgeted proof attempts ran (0 for cached/skipped blocks).
+    pub attempts: u32,
+}
+
+/// Escalating per-block proof budgets plus the degradation policy once the
+/// last one exhausts (see [`CheckOptions::fallback_transactions`]).
+///
+/// Industrial SEC treats solver time as a metered resource: try cheap
+/// first, escalate on exhaustion, and when proving is off the table fall
+/// back to bounded falsification so the time spent still buys evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Budgets to try in order. Empty means a single unlimited attempt.
+    pub budgets: Vec<Budget>,
+    /// After the *last* budget exhausts, how many constraint-satisfying
+    /// random transactions the simulation fallback replays looking for a
+    /// concrete counterexample. `0` disables the fallback.
+    pub fallback_transactions: u64,
+    /// Seed for the fallback stimulus generator.
+    pub fallback_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::unlimited()
+    }
+}
+
+impl RetryPolicy {
+    /// A single unbudgeted attempt — the solver runs to completion, so no
+    /// block is ever inconclusive (but a pathological one can hang).
+    pub fn unlimited() -> Self {
+        RetryPolicy {
+            budgets: Vec::new(),
+            fallback_transactions: 256,
+            fallback_seed: 0xDF5,
+        }
+    }
+
+    /// Geometric escalation: `attempts` budgets starting at
+    /// `initial_conflicts` conflicts, multiplying by `factor` each retry.
+    pub fn escalating(initial_conflicts: u64, factor: u32, attempts: usize) -> Self {
+        let mut budgets = Vec::with_capacity(attempts.max(1));
+        let mut c = initial_conflicts;
+        for _ in 0..attempts.max(1) {
+            budgets.push(Budget::unlimited().with_conflicts(c));
+            c = c.saturating_mul(factor.max(1) as u64);
+        }
+        RetryPolicy {
+            budgets,
+            ..RetryPolicy::unlimited()
+        }
+    }
+
+    /// Additionally caps every attempt with a per-attempt wall-clock
+    /// timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        if self.budgets.is_empty() {
+            self.budgets.push(Budget::unlimited());
+        }
+        for b in &mut self.budgets {
+            b.timeout = Some(timeout);
+        }
+        self
+    }
+}
+
+/// Campaign-wide resource governance knobs.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Per-block retry/budget policy.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget for one [`Campaign::run`]. Blocks reached after it
+    /// passes are not started; they get [`BlockStatus::Inconclusive`], and
+    /// a block in flight when it passes stops at its next budget check.
+    pub deadline: Option<Duration>,
+    /// Persist the incremental cache here (checksummed text format, written
+    /// atomically after every run) so verdicts survive process restarts.
+    pub cache_path: Option<PathBuf>,
 }
 
 /// A campaign run over a plan.
@@ -165,6 +280,9 @@ pub struct CampaignReport {
     pub blocks: Vec<BlockResult>,
     /// Total wall-clock time of the run.
     pub duration: Duration,
+    /// Why persisting the cache failed, if it did (the run itself is still
+    /// valid; only restart-resumability is lost).
+    pub cache_write_error: Option<String>,
 }
 
 impl CampaignReport {
@@ -176,6 +294,14 @@ impl CampaignReport {
     /// How many blocks were served from the cache.
     pub fn cache_hits(&self) -> usize {
         self.blocks.iter().filter(|b| b.from_cache).count()
+    }
+
+    /// How many blocks ended inconclusive (budget/deadline exhaustion).
+    pub fn inconclusive(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.status, BlockStatus::Inconclusive(_)))
+            .count()
     }
 }
 
@@ -190,6 +316,7 @@ impl fmt::Display for CampaignReport {
             let note = match &b.status {
                 BlockStatus::NotEquivalent(cex) => cex.clone(),
                 BlockStatus::Error(e) => e.clone(),
+                BlockStatus::Inconclusive(why) => why.clone(),
                 BlockStatus::LintBlocked => {
                     let n = b
                         .lint_findings
@@ -213,15 +340,35 @@ impl fmt::Display for CampaignReport {
         }
         write!(
             f,
-            "total {:.1?}, {} cache hits",
+            "total {:.1?}, {} cache hits, {} inconclusive",
             self.duration,
-            self.cache_hits()
-        )
+            self.cache_hits(),
+            self.inconclusive()
+        )?;
+        if let Some(e) = &self.cache_write_error {
+            write!(f, " (cache not persisted: {e})")?;
+        }
+        Ok(())
     }
 }
 
-/// Verifies one block from scratch: lint → elaborate → equivalence check.
+/// Verifies one block from scratch with a single unlimited proof attempt:
+/// lint → elaborate → equivalence check.
 pub fn verify_block(block: &BlockPair) -> BlockResult {
+    verify_block_with(block, &RetryPolicy::unlimited(), None)
+}
+
+/// Verifies one block under escalating budgets: lint → elaborate → one
+/// budgeted equivalence check per [`RetryPolicy`] budget, stopping at the
+/// first conclusive answer. If every budget exhausts (or `deadline`
+/// passes), the final attempt's simulation-fallback evidence is folded into
+/// a [`BlockStatus::Inconclusive`] verdict — bounded time, no hang, no
+/// panic.
+pub fn verify_block_with(
+    block: &BlockPair,
+    retry: &RetryPolicy,
+    deadline: Option<Instant>,
+) -> BlockResult {
     let start = Instant::now();
     let mut result = BlockResult {
         name: block.name.clone(),
@@ -230,6 +377,7 @@ pub fn verify_block(block: &BlockPair) -> BlockResult {
         equiv: None,
         duration: Duration::ZERO,
         from_cache: false,
+        attempts: 0,
     };
     let finish = |mut r: BlockResult, start: Instant| {
         r.duration = start.elapsed();
@@ -258,36 +406,117 @@ pub fn verify_block(block: &BlockPair) -> BlockResult {
             return finish(result, start);
         }
     };
-    match check_equivalence(&slm, &block.rtl, &block.spec) {
-        Ok(report) => {
-            if let EquivOutcome::NotEquivalent(cex) = &report.outcome {
-                result.status = BlockStatus::NotEquivalent(cex.to_string());
-            }
-            result.equiv = Some(report);
+    let unlimited = [Budget::unlimited()];
+    let budgets: &[Budget] = if retry.budgets.is_empty() {
+        &unlimited
+    } else {
+        &retry.budgets
+    };
+    for (i, b) in budgets.iter().enumerate() {
+        let last = i + 1 == budgets.len();
+        let mut budget = *b;
+        if let Some(d) = deadline {
+            budget.deadline = Some(budget.deadline.map_or(d, |x| x.min(d)));
         }
-        Err(e) => result.status = BlockStatus::Error(format!("sec: {e}")),
+        let opts = CheckOptions {
+            budget,
+            // Falsification is the *terminal* degradation step; while there
+            // are budgets left to escalate into, skip it.
+            fallback_transactions: if last { retry.fallback_transactions } else { 0 },
+            fallback_seed: retry.fallback_seed,
+        };
+        result.attempts += 1;
+        match check_equivalence_with(&slm, &block.rtl, &block.spec, &opts) {
+            Ok(report) => match &report.outcome {
+                EquivOutcome::Equivalent => {
+                    result.equiv = Some(report);
+                    return finish(result, start);
+                }
+                EquivOutcome::NotEquivalent(cex) => {
+                    result.status = BlockStatus::NotEquivalent(cex.to_string());
+                    result.equiv = Some(report);
+                    return finish(result, start);
+                }
+                EquivOutcome::Inconclusive {
+                    reason,
+                    falsification,
+                } => {
+                    let campaign_over = deadline.is_some_and(|d| Instant::now() >= d);
+                    if last || campaign_over {
+                        result.status = BlockStatus::Inconclusive(match falsification {
+                            Some(f) => format!("{reason}; {f}"),
+                            None => reason.to_string(),
+                        });
+                        result.equiv = Some(report);
+                        return finish(result, start);
+                    }
+                    // Otherwise escalate into the next budget.
+                }
+            },
+            Err(e) => {
+                result.status = BlockStatus::Error(format!("sec: {e}"));
+                return finish(result, start);
+            }
+        }
     }
-    finish(result, start)
+    unreachable!("the budget loop always returns on its last iteration")
 }
 
-/// A stateful campaign with an incremental result cache (paper §4.1).
+/// A stateful campaign with an incremental result cache (paper §4.1),
+/// optionally persisted across process restarts.
 #[derive(Debug, Default)]
 pub struct Campaign {
     cache: HashMap<String, (u64, BlockResult)>,
+    opts: CampaignOptions,
+    cache_load: CacheLoad,
 }
 
 impl Campaign {
-    /// An empty campaign (cold cache).
+    /// An empty in-memory campaign (cold cache, unlimited budgets).
     pub fn new() -> Self {
         Campaign::default()
+    }
+
+    /// A campaign with explicit resource governance. If
+    /// [`CampaignOptions::cache_path`] is set, the persisted cache is loaded
+    /// now; a missing file starts cold, and a corrupted one starts cold
+    /// *and records why* (see [`Campaign::cache_load`]) — it never panics
+    /// and never trusts damaged verdicts.
+    pub fn with_options(opts: CampaignOptions) -> Self {
+        let (cache, cache_load) = match &opts.cache_path {
+            Some(p) => cache::load(p),
+            None => (HashMap::new(), CacheLoad::Disabled),
+        };
+        Campaign {
+            cache,
+            opts,
+            cache_load,
+        }
+    }
+
+    /// A campaign persisting its cache at `path`, with default budgets.
+    pub fn with_cache_file(path: impl Into<PathBuf>) -> Self {
+        Campaign::with_options(CampaignOptions {
+            cache_path: Some(path.into()),
+            ..CampaignOptions::default()
+        })
+    }
+
+    /// How loading the persisted cache went at construction time.
+    pub fn cache_load(&self) -> &CacheLoad {
+        &self.cache_load
     }
 
     /// Runs the plan, re-verifying only blocks whose content changed since
     /// the last run. Cached verdicts are returned with
     /// [`BlockResult::from_cache`] set and near-zero duration — the paper's
-    /// incremental-SEC payoff.
+    /// incremental-SEC payoff. Under a campaign deadline, blocks reached
+    /// after it passes are skipped with [`BlockStatus::Inconclusive`]; if a
+    /// cache path is configured, the (conclusive) verdicts are persisted
+    /// atomically before returning.
     pub fn run(&mut self, plan: &VerificationPlan) -> CampaignReport {
         let start = Instant::now();
+        let deadline = self.opts.deadline.map(|d| start + d);
         let mut blocks = Vec::with_capacity(plan.blocks.len());
         for b in &plan.blocks {
             let hash = b.content_hash();
@@ -300,17 +529,42 @@ impl Campaign {
                     continue;
                 }
             }
-            let r = verify_block(b);
-            self.cache.insert(b.name.clone(), (hash, r.clone()));
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                blocks.push(BlockResult {
+                    name: b.name.clone(),
+                    status: BlockStatus::Inconclusive(
+                        "campaign deadline exceeded before block started".into(),
+                    ),
+                    lint_findings: Vec::new(),
+                    equiv: None,
+                    duration: Duration::ZERO,
+                    from_cache: false,
+                    attempts: 0,
+                });
+                continue;
+            }
+            let r = verify_block_with(b, &self.opts.retry, deadline);
+            // Inconclusive is a statement about the *budget*, not the block:
+            // caching it would freeze a too-small budget's verdict forever.
+            if !matches!(r.status, BlockStatus::Inconclusive(_)) {
+                self.cache.insert(b.name.clone(), (hash, r.clone()));
+            }
             blocks.push(r);
         }
+        let cache_write_error = match &self.opts.cache_path {
+            Some(p) => cache::save(p, &self.cache).err(),
+            None => None,
+        };
         CampaignReport {
             blocks,
             duration: start.elapsed(),
+            cache_write_error,
         }
     }
 
-    /// Drops all cached verdicts (forces a from-scratch run).
+    /// Drops all cached verdicts (forces a from-scratch run). Does not
+    /// delete the on-disk cache file; the next [`Campaign::run`] rewrites
+    /// it.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -321,6 +575,8 @@ mod tests {
     use super::*;
     use dfv_rtl::ModuleBuilder;
     use dfv_sec::Binding;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn inc_rtl(bug: bool) -> Module {
         let mut b = ModuleBuilder::new("inc_rtl");
@@ -343,10 +599,47 @@ mod tests {
         }
     }
 
+    /// A deliberately hard, genuinely-equivalent block: 16×16→32 multiplier
+    /// commutativity (`a*b` in the SLM vs `b*a` in the RTL), which CDCL
+    /// cannot settle under a tiny budget.
+    fn hard_block() -> BlockPair {
+        let mut rb = ModuleBuilder::new("rtl_mul");
+        let a = rb.input("a", 16);
+        let b = rb.input("b", 16);
+        let (aw, bw) = (rb.zext(a, 32), rb.zext(b, 32));
+        let y = rb.mul(bw, aw);
+        rb.output("y", y);
+        BlockPair {
+            name: "mul".into(),
+            slm_source: "uint32 mul(uint16 a, uint16 b) { return (uint32)a * (uint32)b; }".into(),
+            slm_entry: "mul".into(),
+            rtl: rb.finish().unwrap(),
+            spec: EquivSpec::new(1)
+                .bind("a", 0, Binding::Slm("a".into()))
+                .bind("b", 0, Binding::Slm("b".into()))
+                .compare("return", "y", 0),
+        }
+    }
+
+    /// A unique temp path per test invocation (no external tempfile dep).
+    fn temp_cache_path(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "dfv-core-test-{}-{tag}-{n}.cache",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+    }
+
     #[test]
     fn passing_block() {
         let r = verify_block(&inc_block(false));
         assert_eq!(r.status, BlockStatus::Pass);
+        assert_eq!(r.attempts, 1);
         assert!(r.equiv.unwrap().outcome.is_equivalent());
     }
 
@@ -410,5 +703,198 @@ mod tests {
         assert!(text.contains("inc"));
         assert!(text.contains("FAIL"));
         assert!(text.contains("counterexample"));
+    }
+
+    #[test]
+    fn hard_block_under_tiny_budget_degrades_to_simulation() {
+        // The acceptance scenario: 100 conflicts + 1ms per attempt must
+        // yield Inconclusive with a falsification summary in bounded time.
+        let retry = RetryPolicy {
+            budgets: vec![Budget::unlimited()
+                .with_conflicts(100)
+                .with_timeout(Duration::from_millis(1))],
+            fallback_transactions: 32,
+            fallback_seed: 9,
+        };
+        let started = Instant::now();
+        let r = verify_block_with(&hard_block(), &retry, None);
+        let BlockStatus::Inconclusive(note) = &r.status else {
+            panic!("expected Inconclusive, got {:?}", r.status);
+        };
+        assert!(
+            note.contains("no counterexample in 32 random transactions"),
+            "note: {note}"
+        );
+        assert_eq!(r.attempts, 1);
+        assert!(r.equiv.is_some());
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "budgeted verification must return in bounded time"
+        );
+    }
+
+    #[test]
+    fn escalation_retries_until_a_budget_suffices() {
+        // First budget (0 conflicts) exhausts before the search can start;
+        // the second (unlimited) finds the counterexample. The simulation
+        // fallback is disabled, so the verdict can only come from the
+        // escalated solve. (A trivially-UNSAT block won't do here: it is
+        // decided during clause insertion, before any budget applies.)
+        let retry = RetryPolicy {
+            budgets: vec![Budget::unlimited().with_conflicts(0), Budget::unlimited()],
+            fallback_transactions: 0,
+            fallback_seed: 1,
+        };
+        let r = verify_block_with(&inc_block(true), &retry, None);
+        assert!(
+            matches!(r.status, BlockStatus::NotEquivalent(_)),
+            "got {:?}",
+            r.status
+        );
+        assert_eq!(r.attempts, 2);
+    }
+
+    #[test]
+    fn simulation_fallback_still_finds_real_bugs() {
+        // A buggy block under a zero-conflict budget: the fallback must
+        // surface the divergence as NotEquivalent, not Inconclusive.
+        let retry = RetryPolicy {
+            budgets: vec![Budget::unlimited().with_conflicts(0)],
+            fallback_transactions: 300,
+            fallback_seed: 2,
+        };
+        let r = verify_block_with(&inc_block(true), &retry, None);
+        assert!(
+            matches!(r.status, BlockStatus::NotEquivalent(_)),
+            "got {:?}",
+            r.status
+        );
+    }
+
+    #[test]
+    fn campaign_deadline_skips_remaining_blocks() {
+        let plan = VerificationPlan::new()
+            .block(hard_block())
+            .block(inc_block(false));
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            retry: RetryPolicy {
+                budgets: vec![Budget::unlimited()],
+                fallback_transactions: 0,
+                fallback_seed: 0,
+            },
+            deadline: Some(Duration::ZERO),
+            cache_path: None,
+        });
+        let report = campaign.run(&plan);
+        assert_eq!(report.inconclusive(), 2);
+        // With a zero deadline neither block gets to start a proof; a block
+        // already in flight would instead stop at the solver's next budget
+        // check with the deadline reason.
+        let BlockStatus::Inconclusive(note) = &report.blocks[1].status else {
+            panic!("expected skip, got {:?}", report.blocks[1].status);
+        };
+        assert!(note.contains("deadline"), "note: {note}");
+        assert_eq!(report.blocks[1].attempts, 0);
+    }
+
+    #[test]
+    fn inconclusive_verdicts_are_retried_next_run() {
+        let plan = VerificationPlan::new().block(hard_block());
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            retry: RetryPolicy {
+                budgets: vec![Budget::unlimited().with_conflicts(10)],
+                fallback_transactions: 0,
+                fallback_seed: 0,
+            },
+            deadline: None,
+            cache_path: None,
+        });
+        let r1 = campaign.run(&plan);
+        assert_eq!(r1.inconclusive(), 1);
+        let r2 = campaign.run(&plan);
+        assert_eq!(r2.cache_hits(), 0, "inconclusive must not be cached");
+        assert_eq!(r2.inconclusive(), 1);
+    }
+
+    #[test]
+    fn persisted_cache_survives_process_restart() {
+        let path = temp_cache_path("restart");
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "buggy".into(),
+                ..inc_block(true)
+            });
+
+        let mut first = Campaign::with_cache_file(&path);
+        assert_eq!(first.cache_load(), &CacheLoad::Missing);
+        let r1 = first.run(&plan);
+        assert_eq!(r1.cache_hits(), 0);
+        assert!(r1.cache_write_error.is_none());
+        drop(first); // "process exit"
+
+        let mut second = Campaign::with_cache_file(&path);
+        assert_eq!(second.cache_load(), &CacheLoad::Loaded { entries: 2 });
+        let r2 = second.run(&plan);
+        assert_eq!(r2.cache_hits(), 2);
+        assert!(r2.blocks.iter().all(|b| b.from_cache));
+        // The failing verdict (with its rendered counterexample) survived.
+        let BlockStatus::NotEquivalent(note) = &r2.blocks[1].status else {
+            panic!("expected persisted FAIL, got {:?}", r2.blocks[1].status);
+        };
+        assert!(note.contains("counterexample"));
+
+        // An edit after restart re-verifies only the touched block.
+        let mut edited = plan.clone();
+        edited.blocks[0].slm_source = "uint8 inc(uint8 x) { return (uint8)(x + 1); }".into();
+        let r3 = second.run(&edited);
+        assert!(!r3.blocks[0].from_cache);
+        assert!(r3.blocks[1].from_cache);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupted_cache_is_detected_and_rebuilt() {
+        let path = temp_cache_path("corrupt");
+        let plan = VerificationPlan::new().block(inc_block(false));
+        let mut first = Campaign::with_cache_file(&path);
+        first.run(&plan);
+        drop(first);
+
+        // Truncate the file mid-entry (simulates a crash or disk fault).
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+
+        let mut second = Campaign::with_cache_file(&path);
+        let CacheLoad::Corrupt { reason } = second.cache_load() else {
+            panic!("expected Corrupt, got {:?}", second.cache_load());
+        };
+        assert!(reason.contains("checksum"), "reason: {reason}");
+        // The campaign still runs (cold) and rewrites a valid cache file.
+        let r = second.run(&plan);
+        assert!(r.all_pass());
+        assert_eq!(r.cache_hits(), 0);
+        drop(second);
+
+        let third = Campaign::with_cache_file(&path);
+        assert_eq!(third.cache_load(), &CacheLoad::Loaded { entries: 1 });
+
+        // Outright garbage is also survived.
+        std::fs::write(&path, "!! this is not a cache file !!").unwrap();
+        let fourth = Campaign::with_cache_file(&path);
+        assert!(matches!(fourth.cache_load(), CacheLoad::Corrupt { .. }));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unwritable_cache_path_is_reported_not_fatal() {
+        let plan = VerificationPlan::new().block(inc_block(false));
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            cache_path: Some(PathBuf::from("/nonexistent-dir/dfv.cache")),
+            ..CampaignOptions::default()
+        });
+        let report = campaign.run(&plan);
+        assert!(report.all_pass(), "verdicts must not depend on the cache");
+        assert!(report.cache_write_error.is_some());
     }
 }

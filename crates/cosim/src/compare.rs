@@ -275,7 +275,10 @@ impl OutOfOrderComparator {
     }
 
     fn tag(&self, v: &Bv) -> Bv {
-        v.slice(self.tag_hi.min(v.width() - 1), self.tag_lo.min(v.width() - 1))
+        v.slice(
+            self.tag_hi.min(v.width() - 1),
+            self.tag_lo.min(v.width() - 1),
+        )
     }
 }
 
@@ -305,11 +308,7 @@ impl Comparator for OutOfOrderComparator {
                 }
                 // Reorder distance: how many later-sequenced items matched
                 // before this one.
-                let distance = self
-                    .matched_seqs
-                    .iter()
-                    .filter(|&&m| m > seq)
-                    .count();
+                let distance = self.matched_seqs.iter().filter(|&&m| m > seq).count();
                 if distance > self.window {
                     self.report.mismatches.push(StreamMismatch::WindowExceeded {
                         value: item.value,

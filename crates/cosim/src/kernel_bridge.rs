@@ -183,9 +183,9 @@ mod tests {
         let rtl = RtlInKernel::new(&mut k, &clk, "u", b.finish().unwrap()).unwrap();
         let _ = rtl.input("x");
         let _ = rtl.output("y");
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            rtl.input("nope")
-        }))
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { rtl.input("nope") }))
+                .is_err()
+        );
     }
 }

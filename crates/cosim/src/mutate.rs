@@ -203,7 +203,9 @@ mod tests {
         assert!(muts.len() >= 10, "only {} mutations", muts.len());
         assert!(muts.iter().any(|x| matches!(x, Mutation::SwapBinOp { .. })));
         assert!(muts.iter().any(|x| matches!(x, Mutation::InvertMux { .. })));
-        assert!(muts.iter().any(|x| matches!(x, Mutation::DropEnable { .. })));
+        assert!(muts
+            .iter()
+            .any(|x| matches!(x, Mutation::DropEnable { .. })));
         assert!(muts
             .iter()
             .any(|x| matches!(x, Mutation::SliceOffByOne { .. })));

@@ -4,9 +4,7 @@
 //! generated under constraints (ranges, interesting corner values, excluded
 //! values) and replayed on both the SLM and the wrapped-RTL.
 
-use dfv_bits::Bv;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dfv_bits::{Bv, SplitMix64};
 
 use crate::wrapped::Transaction;
 
@@ -72,7 +70,7 @@ impl FieldSpec {
 /// ```
 #[derive(Debug)]
 pub struct StimulusGen {
-    rng: StdRng,
+    rng: SplitMix64,
     fields: Vec<(String, FieldSpec)>,
 }
 
@@ -80,7 +78,7 @@ impl StimulusGen {
     /// Creates a generator with a fixed seed (reproducible).
     pub fn new(seed: u64) -> Self {
         StimulusGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             fields: Vec::new(),
         }
     }
@@ -94,18 +92,22 @@ impl StimulusGen {
     /// Draws one value for a spec.
     pub fn draw(&mut self, spec: &FieldSpec) -> Bv {
         let width = spec.width();
+        if let FieldSpec::Uniform { .. } = spec {
+            // Uniform fields are random across their *entire* width, 64
+            // bits at a time — wide fields (packed arrays, image rows) get
+            // full-entropy stimulus.
+            return uniform_bv(&mut self.rng, width);
+        }
         let mask = if width >= 64 {
             u64::MAX
         } else {
             (1u64 << width) - 1
         };
         let raw = match spec {
-            FieldSpec::Uniform { .. } => self.rng.gen::<u64>() & mask,
-            FieldSpec::Range { lo, hi, .. } => self.rng.gen_range(*lo..=*hi),
-            FieldSpec::Corners {
-                corner_percent, ..
-            } => {
-                if self.rng.gen_range(0..100) < *corner_percent {
+            FieldSpec::Uniform { .. } => unreachable!("handled above"),
+            FieldSpec::Range { lo, hi, .. } => self.rng.range_u64(*lo, *hi),
+            FieldSpec::Corners { corner_percent, .. } => {
+                if self.rng.below(100) < u64::from(*corner_percent) {
                     let corners = [
                         0u64,
                         mask,
@@ -113,20 +115,20 @@ impl StimulusGen {
                         mask >> 1,       // max signed
                         (mask >> 1) + 1, // min signed
                     ];
-                    corners[self.rng.gen_range(0..corners.len())]
+                    corners[self.rng.below(corners.len() as u64) as usize]
                 } else {
-                    self.rng.gen::<u64>() & mask
+                    self.rng.bits(width.min(64))
                 }
             }
             FieldSpec::Excluding { exclude, .. } => loop {
-                let v = self.rng.gen::<u64>() & mask;
+                let v = self.rng.bits(width.min(64));
                 if !exclude.contains(&v) {
                     break v;
                 }
             },
         };
-        // Values above 64 bits zero-extend; the interesting action is in
-        // the low bits for these specs.
+        // Non-uniform specs above 64 bits zero-extend; the interesting
+        // action is in the low bits for ranges/corners/exclusions.
         Bv::from_u64(width, raw)
     }
 
@@ -140,6 +142,22 @@ impl StimulusGen {
     }
 }
 
+/// A uniformly random `Bv` of arbitrary width, drawn 64 bits per chunk
+/// LSB-first.
+fn uniform_bv(rng: &mut SplitMix64, width: u32) -> Bv {
+    if width <= 64 {
+        return Bv::from_u64(width, rng.bits(width));
+    }
+    let mut v = Bv::from_u64(64, rng.next_u64());
+    let mut remaining = width - 64;
+    while remaining > 0 {
+        let w = remaining.min(64);
+        v = Bv::from_u64(w, rng.bits(w)).concat(&v);
+        remaining -= w;
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,7 +167,13 @@ mod tests {
         let mk = || {
             StimulusGen::new(7)
                 .field("x", FieldSpec::Uniform { width: 16 })
-                .field("y", FieldSpec::Corners { width: 8, corner_percent: 50 })
+                .field(
+                    "y",
+                    FieldSpec::Corners {
+                        width: 8,
+                        corner_percent: 50,
+                    },
+                )
         };
         let (mut a, mut b) = (mk(), mk());
         for _ in 0..20 {
@@ -159,7 +183,14 @@ mod tests {
 
     #[test]
     fn range_respected() {
-        let mut g = StimulusGen::new(1).field("v", FieldSpec::Range { width: 12, lo: 100, hi: 200 });
+        let mut g = StimulusGen::new(1).field(
+            "v",
+            FieldSpec::Range {
+                width: 12,
+                lo: 100,
+                hi: 200,
+            },
+        );
         for _ in 0..100 {
             let v = g.next_transaction()["v"].to_u64();
             assert!((100..=200).contains(&v));
@@ -179,6 +210,23 @@ mod tests {
             let v = g.next_transaction()["v"].to_u64();
             assert!(v != 0xF && v != 0);
         }
+    }
+
+    #[test]
+    fn wide_uniform_fields_have_entropy_everywhere() {
+        let mut g = StimulusGen::new(9).field("img", FieldSpec::Uniform { width: 200 });
+        let first = g.next_transaction()["img"].clone();
+        assert_eq!(first.width(), 200);
+        let mut high_bits_seen = false;
+        for _ in 0..10 {
+            if !g.next_transaction()["img"].slice(199, 64).is_zero() {
+                high_bits_seen = true;
+            }
+        }
+        assert!(
+            high_bits_seen,
+            "upper chunks of a wide uniform field never toggled"
+        );
     }
 
     #[test]

@@ -71,11 +71,7 @@ pub fn rtl() -> Module {
     // pre-edge values: tap 0 uses the live input x, tap k uses h[k-1].
     let mut acc = b.lit(OUT_WIDTH, 0);
     for (k, &c) in COEFFS.iter().enumerate() {
-        let sample = if k == 0 {
-            x
-        } else {
-            b.reg_q(taps_q[k - 1])
-        };
+        let sample = if k == 0 { x } else { b.reg_q(taps_q[k - 1]) };
         let sw = b.sext(sample, OUT_WIDTH);
         let cw = b.constant(Bv::from_i64(OUT_WIDTH, c));
         let prod = b.mul(sw, cw);
@@ -137,18 +133,12 @@ pub fn fir_reference_fx(samples: &[f64], width: u32, frac: u32) -> Vec<f64> {
                 break;
             }
             let x = Fx::from_f64(width, frac, samples[n - k]);
-            let p = x.mul(c).quantize(
-                width,
-                frac,
-                RoundingMode::HalfEven,
-                OverflowMode::Saturate,
-            );
-            acc = acc.add(&p).quantize(
-                width,
-                frac,
-                RoundingMode::HalfEven,
-                OverflowMode::Saturate,
-            );
+            let p = x
+                .mul(c)
+                .quantize(width, frac, RoundingMode::HalfEven, OverflowMode::Saturate);
+            acc = acc
+                .add(&p)
+                .quantize(width, frac, RoundingMode::HalfEven, OverflowMode::Saturate);
         }
         out.push(acc.to_f64());
     }
@@ -179,7 +169,10 @@ mod tests {
     #[test]
     fn slm_interpreter_computes_fir() {
         let prog = parse(slm_source()).unwrap();
-        let s8 = ScalarTy { width: 8, signed: true };
+        let s8 = ScalarTy {
+            width: 8,
+            signed: true,
+        };
         let xs = Value::Array(
             vec![
                 Bv::from_i64(8, 10),
@@ -276,7 +269,9 @@ mod tests {
 
     #[test]
     fn wordwidth_exploration_error_shrinks() {
-        let samples: Vec<f64> = (0..32).map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0).collect();
+        let samples: Vec<f64> = (0..32)
+            .map(|i| ((i * 37 % 17) as f64 - 8.0) / 8.0)
+            .collect();
         let exact = fir_reference_exact(&samples);
         let mut last_err = f64::INFINITY;
         for frac in [4, 6, 8, 12] {

@@ -65,6 +65,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::approx_constant)] // arbitrary sample floats, not stand-ins for consts
     fn ordinary_values_agree() {
         for (a, b, c) in [
             (1.5f32, 2.0, 3.25),

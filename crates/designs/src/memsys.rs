@@ -39,11 +39,17 @@ pub fn rtl(table: &[u8; 16]) -> Module {
     let mem1 = b.mem("bank1", ADDR_W - 1, 8, 8);
     b.mem_init(
         mem0,
-        table[..8].iter().map(|&v| Bv::from_u64(8, v as u64)).collect(),
+        table[..8]
+            .iter()
+            .map(|&v| Bv::from_u64(8, v as u64))
+            .collect(),
     );
     b.mem_init(
         mem1,
-        table[8..].iter().map(|&v| Bv::from_u64(8, v as u64)).collect(),
+        table[8..]
+            .iter()
+            .map(|&v| Bv::from_u64(8, v as u64))
+            .collect(),
     );
     let rd0 = b.mem_read(mem0, word_addr);
     let rd1 = b.mem_read(mem1, word_addr);
@@ -105,9 +111,7 @@ pub fn slm_source(table: &[u8; 16]) -> String {
     for (i, v) in table.iter().enumerate() {
         inits.push_str(&format!("        t[{i}] = {v};\n"));
     }
-    format!(
-        "uint8 lookup(uint<4> addr) {{\n    uint8 t[16];\n{inits}    return t[addr];\n}}\n"
-    )
+    format!("uint8 lookup(uint<4> addr) {{\n    uint8 t[16];\n{inits}    return t[addr];\n}}\n")
 }
 
 /// The transaction spec for one *fast-bank* lookup: address constrained to
@@ -202,7 +206,10 @@ mod tests {
     #[test]
     fn latencies_are_1_and_3() {
         let resp = run_requests(&[(1, 2)]);
-        assert_eq!(resp, vec![(FAST_LATENCY - 1, 1, slm_golden(&table(), 2) as u64)]);
+        assert_eq!(
+            resp,
+            vec![(FAST_LATENCY - 1, 1, slm_golden(&table(), 2) as u64)]
+        );
         let resp = run_requests(&[(2, 10)]);
         assert_eq!(
             resp,
@@ -251,11 +258,8 @@ mod tests {
         // with 1- and 3-cycle latencies — proven equivalent per bank, with
         // the tag pins left fully symbolic (Free).
         let t = table();
-        let slm = dfv_slmir::elaborate(
-            &dfv_slmir::parse(&slm_source(&t)).unwrap(),
-            "lookup",
-        )
-        .unwrap();
+        let slm =
+            dfv_slmir::elaborate(&dfv_slmir::parse(&slm_source(&t)).unwrap(), "lookup").unwrap();
         let rtl = rtl(&t);
         let fast = dfv_sec::check_equivalence(&slm, &rtl, &equiv_spec_fast()).unwrap();
         assert!(fast.outcome.is_equivalent(), "{:?}", fast.outcome);
@@ -270,7 +274,11 @@ mod tests {
         let dfv_sec::EquivOutcome::NotEquivalent(cex) = report.outcome else {
             panic!("corrupted ROM must be caught");
         };
-        assert_eq!(cex.slm_inputs[0].1.to_u64(), 3, "witness addresses the bad word");
+        assert_eq!(
+            cex.slm_inputs[0].1.to_u64(),
+            3,
+            "witness addresses the bad word"
+        );
     }
 
     // Rebuild with a different table (the public `rtl` shadows the name in

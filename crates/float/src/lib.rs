@@ -490,8 +490,14 @@ mod tests {
         FpUnit::new(FloatFormat::IEEE_SINGLE, FloatFeatures::REDUCED_HARDWARE)
     }
 
+    type NativeCase = (
+        fn(&FpUnit, u64, u64) -> u64,
+        fn(f32, f32) -> f32,
+        &'static str,
+    );
+
     fn assert_matches_native(u: &FpUnit, a: f32, b: f32) {
-        let cases: [(fn(&FpUnit, u64, u64) -> u64, fn(f32, f32) -> f32, &str); 3] = [
+        let cases: [NativeCase; 3] = [
             (FpUnit::add, |x, y| x + y, "+"),
             (FpUnit::sub, |x, y| x - y, "-"),
             (FpUnit::mul, |x, y| x * y, "*"),

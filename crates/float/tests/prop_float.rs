@@ -1,6 +1,10 @@
 //! The full-IEEE soft FPU must be bit-exact with the host FPU on *random
 //! bit patterns* (including denormals, infinities, and NaNs), for add, sub,
 //! and mul at binary32.
+// Gated: property-based tests depend on the external `proptest` crate,
+// which offline builds cannot fetch. Enable with `--features proptest-tests`
+// in an environment that can resolve crates.io dependencies.
+#![cfg(feature = "proptest-tests")]
 
 use dfv_float::{FloatFeatures, FloatFormat, FpUnit};
 use proptest::prelude::*;
@@ -20,7 +24,10 @@ fn check(u: &FpUnit, a: u32, b: u32) -> Result<(), TestCaseError> {
         let got = soft(u, u64::from(a), u64::from(b));
         let expect = native(fa, fb);
         if expect.is_nan() {
-            prop_assert!(u.is_nan(got), "{name}({fa:e}, {fb:e}) should be NaN, got {got:#x}");
+            prop_assert!(
+                u.is_nan(got),
+                "{name}({fa:e}, {fb:e}) should be NaN, got {got:#x}"
+            );
         } else {
             prop_assert_eq!(
                 got,

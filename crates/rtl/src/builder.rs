@@ -165,7 +165,11 @@ impl ModuleBuilder {
     pub fn connect_reg(&mut self, reg: RegId, next: NodeId) {
         let w = self.width(next);
         let r = &mut self.m.regs[reg.index()];
-        assert_eq!(r.width, w, "register {:?} next width {w} != {}", r.name, r.width);
+        assert_eq!(
+            r.width, w,
+            "register {:?} next width {w} != {}",
+            r.name, r.width
+        );
         assert!(r.next.is_none(), "register {:?} connected twice", r.name);
         r.next = Some(next);
     }
@@ -196,7 +200,10 @@ impl ModuleBuilder {
     ) -> MemId {
         let name = name.into();
         self.claim_name("memory", &name);
-        assert!(data_width > 0 && addr_width > 0, "memory widths must be nonzero");
+        assert!(
+            data_width > 0 && addr_width > 0,
+            "memory widths must be nonzero"
+        );
         assert!(depth > 0, "memory depth must be nonzero");
         if addr_width < usize::BITS {
             assert!(
@@ -488,7 +495,10 @@ impl ModuleBuilder {
     /// Panics if `hi < lo` or `hi` is outside the source width.
     pub fn slice(&mut self, src: NodeId, hi: u32, lo: u32) -> NodeId {
         let w = self.width(src);
-        assert!(hi >= lo && hi < w, "slice [{hi}:{lo}] invalid for width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "slice [{hi}:{lo}] invalid for width {w}"
+        );
         self.push(Node::Slice { src, hi, lo }, hi - lo + 1)
     }
 

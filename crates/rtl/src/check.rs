@@ -196,10 +196,13 @@ pub fn check_module(m: &Module) -> Result<(), RtlError> {
                 }
             }
             Node::RegQ(r) => {
-                let reg = m.regs.get(r.index()).ok_or_else(|| RtlError::DanglingNode {
-                    module: m.name.clone(),
-                    site: format!("regq node {this}"),
-                })?;
+                let reg = m
+                    .regs
+                    .get(r.index())
+                    .ok_or_else(|| RtlError::DanglingNode {
+                        module: m.name.clone(),
+                        site: format!("regq node {this}"),
+                    })?;
                 if reg.width != w {
                     return Err(RtlError::WidthMismatch {
                         module: m.name.clone(),
@@ -210,10 +213,13 @@ pub fn check_module(m: &Module) -> Result<(), RtlError> {
                 }
             }
             Node::MemReadData(mem, port) => {
-                let mm = m.mems.get(mem.index()).ok_or_else(|| RtlError::DanglingNode {
-                    module: m.name.clone(),
-                    site: format!("memread node {this}"),
-                })?;
+                let mm = m
+                    .mems
+                    .get(mem.index())
+                    .ok_or_else(|| RtlError::DanglingNode {
+                        module: m.name.clone(),
+                        site: format!("memread node {this}"),
+                    })?;
                 if *port >= mm.read_ports.len() {
                     return Err(RtlError::DanglingNode {
                         module: m.name.clone(),
@@ -404,7 +410,10 @@ mod tests {
             node_widths: vec![4, 5, 4],
             ..Module::default()
         };
-        assert!(matches!(check_module(&m), Err(RtlError::WidthMismatch { .. })));
+        assert!(matches!(
+            check_module(&m),
+            Err(RtlError::WidthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -180,7 +180,9 @@ fn remap_state(
             read_ports: mm
                 .read_ports
                 .iter()
-                .map(|rp| ReadPort { addr: remap(rp.addr) })
+                .map(|rp| ReadPort {
+                    addr: remap(rp.addr),
+                })
                 .collect(),
         });
     }
@@ -188,7 +190,12 @@ fn remap_state(
 
 /// Inlines flat `child` into `out`, driving its inputs from `conns`.
 /// Returns the new ids of the child's output drivers.
-fn inline_child(out: &mut Module, inst_name: &str, child: &Module, conns: &[NodeId]) -> Vec<NodeId> {
+fn inline_child(
+    out: &mut Module,
+    inst_name: &str,
+    child: &Module,
+    conns: &[NodeId],
+) -> Vec<NodeId> {
     debug_assert!(child.instances.is_empty(), "child must already be flat");
     let reg_off = out.regs.len();
     let mem_off = out.mems.len();
@@ -202,7 +209,8 @@ fn inline_child(out: &mut Module, inst_name: &str, child: &Module, conns: &[Node
             }
             Node::RegQ(r) => {
                 let id = NodeId(out.nodes.len() as u32);
-                out.nodes.push(Node::RegQ(RegId((reg_off + r.index()) as u32)));
+                out.nodes
+                    .push(Node::RegQ(RegId((reg_off + r.index()) as u32)));
                 out.node_widths.push(child.node_widths[i]);
                 id
             }
@@ -235,7 +243,11 @@ fn inline_child(out: &mut Module, inst_name: &str, child: &Module, conns: &[Node
         reg_off,
         mem_off,
     );
-    child.output_drivers.iter().map(|d| cmap[d.index()]).collect()
+    child
+        .output_drivers
+        .iter()
+        .map(|d| cmap[d.index()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,8 +255,8 @@ mod tests {
     use super::*;
     use crate::builder::ModuleBuilder;
     use crate::check::check_module;
-    use dfv_bits::Bv;
     use crate::ir::Design;
+    use dfv_bits::Bv;
 
     /// A child module: one-cycle-delayed increment.
     fn child() -> Module {

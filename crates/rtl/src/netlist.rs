@@ -181,7 +181,11 @@ pub fn write_module(m: &Module) -> String {
 
 /// Serializes a whole design (modules in order).
 pub fn write_design(d: &Design) -> String {
-    d.modules.iter().map(write_module).collect::<Vec<_>>().join("\n")
+    d.modules
+        .iter()
+        .map(write_module)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 struct Parser<'a> {
@@ -369,7 +373,10 @@ impl<'a> Parser<'a> {
                     if id.index() != m.nodes.len() {
                         return Err(perr(
                             ln,
-                            format!("node ids must be dense and in order (expected n{})", m.nodes.len()),
+                            format!(
+                                "node ids must be dense and in order (expected n{})",
+                                m.nodes.len()
+                            ),
                         ));
                     }
                     if t.next() != Some("=") {

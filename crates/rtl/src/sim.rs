@@ -127,11 +127,7 @@ impl Simulator {
                 module: module.name.clone(),
             });
         }
-        let values = module
-            .node_widths
-            .iter()
-            .map(|&w| Bv::zero(w))
-            .collect();
+        let values = module.node_widths.iter().map(|&w| Bv::zero(w)).collect();
         let input_vals = module.inputs.iter().map(|p| Bv::zero(p.width)).collect();
         let mut sim = Simulator {
             values,
@@ -418,9 +414,7 @@ impl Simulator {
             .watches
             .iter()
             .map(|w| match w {
-                Watch::Output(i) => {
-                    self.values[self.module.output_drivers[*i].index()].clone()
-                }
+                Watch::Output(i) => self.values[self.module.output_drivers[*i].index()].clone(),
                 Watch::Reg(i) => self.reg_vals[*i].clone(),
                 Watch::Node(n) => self.values[n.index()].clone(),
             })
@@ -508,10 +502,7 @@ mod tests {
         b.output("sum", s);
         b.output("diff", d);
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
-        let outs = sim.eval_comb(&[
-            ("x", Bv::from_u64(16, 100)),
-            ("y", Bv::from_u64(16, 42)),
-        ]);
+        let outs = sim.eval_comb(&[("x", Bv::from_u64(16, 100)), ("y", Bv::from_u64(16, 42))]);
         assert_eq!(outs["sum"].to_u64(), 142);
         assert_eq!(outs["diff"].to_u64(), 58);
     }
@@ -560,7 +551,10 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t[2].cycle, 2);
         assert_eq!(t[2].values[0].to_u64(), 2);
-        assert_eq!(sim.watch_names(), vec!["count".to_string(), "count".to_string()]);
+        assert_eq!(
+            sim.watch_names(),
+            vec!["count".to_string(), "count".to_string()]
+        );
     }
 
     #[test]

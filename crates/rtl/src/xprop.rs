@@ -66,7 +66,10 @@ fn eval_node_x(node: &Node, vals: &[Xv], regs: &[Xv], mem_read: &[Vec<Xv>]) -> X
         Node::Bin(op, a, b) => {
             let (av, bv) = (&vals[a.index()], &vals[b.index()]);
             if all_known(&[av, bv]) {
-                let (ab, bb) = (av.try_to_bv().expect("known"), bv.try_to_bv().expect("known"));
+                let (ab, bb) = (
+                    av.try_to_bv().expect("known"),
+                    bv.try_to_bv().expect("known"),
+                );
                 return Xv::from_bv(&eval_bin(*op, &ab, &bb));
             }
             match op {
@@ -282,8 +285,7 @@ mod tests {
 
     #[test]
     fn pipeline_flushes_after_its_depth() {
-        let report =
-            reset_coverage(&chain(3), &[("x", Bv::from_u64(8, 7))], 10).unwrap();
+        let report = reset_coverage(&chain(3), &[("x", Bv::from_u64(8, 7))], 10).unwrap();
         assert!(report.flushes());
         assert_eq!(report.registers_known_after, Some(3));
         assert_eq!(report.outputs_known_after, Some(3));
@@ -320,9 +322,12 @@ mod tests {
         b.connect_reg(r, nxt);
         b.output("y", q);
         let m = b.finish().unwrap();
-        let report =
-            reset_coverage(&m, &[("rst", Bv::from_bool(true)), ("x", Bv::from_u64(8, 1))], 5)
-                .unwrap();
+        let report = reset_coverage(
+            &m,
+            &[("rst", Bv::from_bool(true)), ("x", Bv::from_u64(8, 1))],
+            5,
+        )
+        .unwrap();
         assert_eq!(report.registers_known_after, Some(1));
     }
 

@@ -1,6 +1,10 @@
 //! Fuzz: netlist serialization must round-trip arbitrary (comb + state)
 //! modules exactly, and the simulator must behave identically on the
 //! round-tripped module.
+// Gated: property-based tests depend on the external `proptest` crate,
+// which offline builds cannot fetch. Enable with `--features proptest-tests`
+// in an environment that can resolve crates.io dependencies.
+#![cfg(feature = "proptest-tests")]
 
 use dfv_bits::Bv;
 use dfv_rtl::{parse_module, write_module, Module, ModuleBuilder, Simulator};
@@ -54,7 +58,11 @@ fn build(r: &Recipe) -> Module {
             7 => b.eq(x, yr),
             _ => unreachable!(),
         };
-        let n = if b.node_width(n) > 24 { b.trunc(n, 24) } else { n };
+        let n = if b.node_width(n) > 24 {
+            b.trunc(n, 24)
+        } else {
+            n
+        };
         nodes.push(n);
     }
     for (k, (di, seed, has_en)) in r.regs.iter().enumerate() {

@@ -1,0 +1,163 @@
+//! Resource budgets for bounded solver invocations.
+//!
+//! A verification campaign cannot afford one pathological block wedging the
+//! whole run, so every potentially-exponential engine call takes a
+//! [`Budget`]: a cap on conflicts, on propagations, and/or on wall-clock
+//! time. When any cap trips, the solver returns
+//! [`SolveResult::Unknown`](crate::SolveResult::Unknown) with the
+//! [`ExhaustedReason`] instead of running on — the caller decides whether to
+//! retry with a bigger budget, fall back to simulation, or give up.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted solve stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExhaustedReason {
+    /// The conflict cap was reached.
+    Conflicts,
+    /// The propagation cap was reached.
+    Propagations,
+    /// The wall-clock deadline (or timeout) passed.
+    Deadline,
+}
+
+impl fmt::Display for ExhaustedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExhaustedReason::Conflicts => "conflict budget exhausted",
+            ExhaustedReason::Propagations => "propagation budget exhausted",
+            ExhaustedReason::Deadline => "deadline exceeded",
+        })
+    }
+}
+
+/// A resource budget for one solver call (or a family of calls sharing a
+/// deadline).
+///
+/// All limits are optional; [`Budget::unlimited`] (also the `Default`)
+/// never exhausts. Conflict and propagation caps are *per call* — they
+/// measure work done inside the budgeted call, not cumulative solver
+/// statistics. The deadline is an absolute [`Instant`], so one `Budget`
+/// value can be shared across many calls to bound a whole phase; `timeout`
+/// is relative to each call's start, whichever of the two trips first wins.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use dfv_sat::Budget;
+///
+/// let b = Budget::unlimited()
+///     .with_conflicts(10_000)
+///     .with_timeout(Duration::from_millis(50));
+/// assert_eq!(b.max_conflicts, Some(10_000));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum conflicts for this call.
+    pub max_conflicts: Option<u64>,
+    /// Maximum unit propagations for this call.
+    pub max_propagations: Option<u64>,
+    /// Absolute wall-clock cutoff (shared across calls).
+    pub deadline: Option<Instant>,
+    /// Relative wall-clock cutoff, measured from the start of each call.
+    pub timeout: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget with no limits: the solve runs to completion.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps the number of conflicts.
+    pub fn with_conflicts(mut self, n: u64) -> Self {
+        self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Caps the number of unit propagations.
+    pub fn with_propagations(mut self, n: u64) -> Self {
+        self.max_propagations = Some(n);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a per-call timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// True when no limit is set at all (the solve cannot exhaust).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_conflicts.is_none()
+            && self.max_propagations.is_none()
+            && self.deadline.is_none()
+            && self.timeout.is_none()
+    }
+
+    /// The effective absolute cutoff for a call starting `now`: the earlier
+    /// of `deadline` and `now + timeout`.
+    pub(crate) fn cutoff(&self, now: Instant) -> Option<Instant> {
+        match (self.deadline, self.timeout.map(|t| now + t)) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (d, t) => d.or(t),
+        }
+    }
+
+    /// True if the deadline/timeout has already passed at `now` for a call
+    /// that started at `now` (i.e. the budget allows no time at all).
+    pub fn already_expired(&self, now: Instant) -> bool {
+        self.cutoff(now).is_some_and(|c| now >= c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_has_no_cutoff() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert_eq!(b.cutoff(Instant::now()), None);
+    }
+
+    #[test]
+    fn cutoff_takes_the_earlier_bound() {
+        let now = Instant::now();
+        let b = Budget::unlimited()
+            .with_deadline(now + Duration::from_secs(10))
+            .with_timeout(Duration::from_secs(1));
+        assert_eq!(b.cutoff(now), Some(now + Duration::from_secs(1)));
+
+        let b = Budget::unlimited()
+            .with_deadline(now + Duration::from_millis(5))
+            .with_timeout(Duration::from_secs(1));
+        assert_eq!(b.cutoff(now), Some(now + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn expired_deadline_detected() {
+        let now = Instant::now();
+        let b = Budget::unlimited().with_deadline(now);
+        assert!(b.already_expired(now));
+        assert!(!Budget::unlimited().already_expired(now));
+    }
+
+    #[test]
+    fn reason_display() {
+        assert_eq!(
+            ExhaustedReason::Conflicts.to_string(),
+            "conflict budget exhausted"
+        );
+        assert_eq!(ExhaustedReason::Deadline.to_string(), "deadline exceeded");
+    }
+}

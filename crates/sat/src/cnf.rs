@@ -1,10 +1,32 @@
 //! A standalone CNF formula type with DIMACS I/O and a brute-force
 //! reference solver for cross-validation in tests and benches.
 
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::lit::{Lit, Var};
 use crate::solver::{SolveResult, Solver};
+
+/// The formula is too large for exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteForceError {
+    /// How many variables the formula has.
+    pub num_vars: usize,
+    /// The enumeration cap (currently 24 variables).
+    pub limit: usize,
+}
+
+impl fmt::Display for BruteForceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "brute force limited to {} variables, formula has {}",
+            self.limit, self.num_vars
+        )
+    }
+}
+
+impl std::error::Error for BruteForceError {}
 
 /// A CNF formula independent of any solver instance.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,11 +85,18 @@ impl Cnf {
     /// Exhaustive satisfiability check — exponential; only for
     /// cross-validating the CDCL solver on small instances in tests.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the formula has more than 24 variables.
-    pub fn brute_force_sat(&self) -> bool {
-        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+    /// Returns [`BruteForceError`] if the formula has more than 24
+    /// variables, instead of attempting a 2^n enumeration.
+    pub fn brute_force_sat(&self) -> Result<bool, BruteForceError> {
+        const LIMIT: usize = 24;
+        if self.num_vars > LIMIT {
+            return Err(BruteForceError {
+                num_vars: self.num_vars,
+                limit: LIMIT,
+            });
+        }
         'outer: for bits in 0u64..(1 << self.num_vars) {
             for c in &self.clauses {
                 let sat = c.iter().any(|l| {
@@ -78,9 +107,9 @@ impl Cnf {
                     continue 'outer;
                 }
             }
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 
     /// Evaluates the formula under a (total) assignment.
@@ -183,14 +212,26 @@ mod tests {
         let b = cnf.new_var();
         cnf.add_clause([a.positive(), b.positive()]);
         cnf.add_clause([a.negative(), b.negative()]);
-        assert!(cnf.brute_force_sat());
+        assert_eq!(cnf.brute_force_sat(), Ok(true));
         let (r, _) = cnf.solve();
         assert_eq!(r, SolveResult::Sat);
         cnf.add_clause([a.positive(), b.negative()]);
         cnf.add_clause([a.negative(), b.positive()]);
-        assert!(!cnf.brute_force_sat());
+        assert_eq!(cnf.brute_force_sat(), Ok(false));
         let (r, _) = cnf.solve();
         assert_eq!(r, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn brute_force_rejects_large_formulas() {
+        let mut cnf = Cnf::new();
+        for _ in 0..25 {
+            cnf.new_var();
+        }
+        let err = cnf.brute_force_sat().unwrap_err();
+        assert_eq!(err.num_vars, 25);
+        assert_eq!(err.limit, 24);
+        assert!(err.to_string().contains("25"));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * activity-based learnt-clause database reduction,
 //! * **incremental solving under assumptions** — learnt clauses persist
 //!   across [`Solver::solve_with`] calls, which is what makes the paper's
-//!   recommended *incremental* SLM/RTL equivalence runs (§4.1) cheap.
+//!   recommended *incremental* SLM/RTL equivalence runs (§4.1) cheap,
+//! * **budgeted solving** — [`Solver::solve_budgeted`] caps conflicts,
+//!   propagations, and wall-clock time per call, answering
+//!   [`SolveResult::Unknown`] instead of hanging on a pathological
+//!   instance; clauses learnt before exhaustion survive for retries.
 //!
 //! # Example
 //!
@@ -32,11 +36,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod budget;
 mod cnf;
 mod heap;
 mod lit;
 mod solver;
 
-pub use cnf::Cnf;
+pub use budget::{Budget, ExhaustedReason};
+pub use cnf::{BruteForceError, Cnf};
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

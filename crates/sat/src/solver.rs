@@ -2,6 +2,9 @@
 //! VSIDS decisions with phase saving, Luby restarts, activity-based learnt
 //! clause reduction, and incremental solving under assumptions.
 
+use std::time::Instant;
+
+use crate::budget::{Budget, ExhaustedReason};
 use crate::heap::VarHeap;
 use crate::lit::{Lit, Var};
 
@@ -12,6 +15,11 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions, if any) is unsatisfiable.
     Unsat,
+    /// A [`Budget`] ran out before the search finished. Only
+    /// [`Solver::solve_budgeted`] produces this; the solver stays fully
+    /// usable (learnt clauses are kept), so a retry with a larger budget
+    /// resumes from a stronger clause database.
+    Unknown(ExhaustedReason),
 }
 
 /// Cumulative search statistics.
@@ -163,7 +171,10 @@ impl Solver {
         sorted.sort();
         sorted.dedup();
         for &l in &sorted {
-            assert!(l.var().index() < self.num_vars(), "literal from foreign solver");
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal from foreign solver"
+            );
             if sorted.contains(&!l) {
                 return true; // tautology
             }
@@ -447,14 +458,53 @@ impl Solver {
     /// persist, which is what makes *incremental* equivalence-checking runs
     /// cheap (paper §4.1).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_budgeted(assumptions, &Budget::unlimited())
+    }
+
+    /// Solves under assumptions with a resource [`Budget`].
+    ///
+    /// Conflict and propagation caps count work done *in this call* (the
+    /// cumulative [`SolverStats`] are snapshotted at entry). The wall clock
+    /// is polled every 64 search steps so even millisecond-scale deadlines
+    /// are honoured without a syscall per step. On exhaustion the solver
+    /// returns [`SolveResult::Unknown`] and remains fully usable: clauses
+    /// learnt so far are kept, so escalating retries resume from a stronger
+    /// database rather than starting over.
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
         self.model.clear();
+        let start = self.stats;
+        let cutoff = budget.cutoff(Instant::now());
+        let mut clock_ticks = 0u32;
         let mut restart_idx = 0u64;
         let mut conflicts_until_restart = 64 * luby(restart_idx);
         let mut max_learnts = (self.clauses.len() / 3).max(2000);
         let result = 'outer: loop {
+            // Budget checks. Each loop pass is one conflict or one decision,
+            // so counter caps are exact; the deadline is polled every 64
+            // passes (and once up front, via clock_ticks starting high) to
+            // amortize `Instant::now()`.
+            if let Some(max) = budget.max_conflicts {
+                if self.stats.conflicts - start.conflicts >= max {
+                    break SolveResult::Unknown(ExhaustedReason::Conflicts);
+                }
+            }
+            if let Some(max) = budget.max_propagations {
+                if self.stats.propagations - start.propagations >= max {
+                    break SolveResult::Unknown(ExhaustedReason::Propagations);
+                }
+            }
+            if let Some(c) = cutoff {
+                if clock_ticks == 0 {
+                    if Instant::now() >= c {
+                        break SolveResult::Unknown(ExhaustedReason::Deadline);
+                    }
+                    clock_ticks = 64;
+                }
+                clock_ticks -= 1;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -596,6 +646,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes two rows at once
     fn pigeonhole_3_into_2_is_unsat() {
         // Classic small UNSAT instance exercising conflict analysis.
         let mut s = Solver::new();
@@ -615,6 +666,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes two rows at once
     fn pigeonhole_5_into_4_is_unsat() {
         let mut s = Solver::new();
         let n = 5;
@@ -716,5 +768,89 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A pigeonhole instance (`n+1` pigeons into `n` holes) — UNSAT with a
+    /// proof exponential in `n` for resolution, so a modest `n` reliably
+    /// outlasts small conflict budgets.
+    #[allow(clippy::needless_range_loop)] // j indexes two rows at once
+    fn pigeonhole(s: &mut Solver, n: usize) {
+        let p: Vec<Vec<Var>> = (0..n + 1).map(|_| s.new_vars(n)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..n {
+            for i1 in 0..n + 1 {
+                for i2 in (i1 + 1)..n + 1 {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9);
+        let before = s.stats().conflicts;
+        let r = s.solve_budgeted(&[], &Budget::unlimited().with_conflicts(100));
+        assert_eq!(r, SolveResult::Unknown(ExhaustedReason::Conflicts));
+        assert_eq!(s.stats().conflicts - before, 100);
+    }
+
+    #[test]
+    fn propagation_budget_yields_unknown() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9);
+        let r = s.solve_budgeted(&[], &Budget::unlimited().with_propagations(50));
+        assert_eq!(r, SolveResult::Unknown(ExhaustedReason::Propagations));
+    }
+
+    #[test]
+    fn deadline_budget_yields_unknown_quickly() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 11);
+        let started = std::time::Instant::now();
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::from_millis(1));
+        let r = s.solve_budgeted(&[], &budget);
+        assert_eq!(r, SolveResult::Unknown(ExhaustedReason::Deadline));
+        // "Bounded time": generous margin, but nowhere near a full PHP-11 run.
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn solver_stays_usable_after_exhaustion() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        let r = s.solve_budgeted(&[], &Budget::unlimited().with_conflicts(20));
+        assert_eq!(r, SolveResult::Unknown(ExhaustedReason::Conflicts));
+        // Retry unbudgeted: learnt clauses persisted, answer is definitive.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn easy_instance_finishes_inside_budget() {
+        let mut s = Solver::new();
+        let vs = lits(&mut s, 30);
+        s.add_clause(&[vs[0].positive()]);
+        for w in vs.windows(2) {
+            s.add_clause(&[w[0].negative(), w[1].positive()]);
+        }
+        let budget = Budget::unlimited()
+            .with_conflicts(1000)
+            .with_timeout(std::time::Duration::from_secs(10));
+        assert_eq!(s.solve_budgeted(&[], &budget), SolveResult::Sat);
+        assert_eq!(s.value(vs[29]), Some(true));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_solve() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4);
+        assert_eq!(
+            s.solve_budgeted(&[], &Budget::unlimited()),
+            SolveResult::Unsat
+        );
     }
 }

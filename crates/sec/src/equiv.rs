@@ -6,8 +6,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use dfv_bits::Bv;
+use dfv_cosim::{FieldSpec, StimulusGen};
 use dfv_rtl::{Module, Simulator};
-use dfv_sat::{Lit, SolveResult, Solver, SolverStats};
+use dfv_sat::{Budget, ExhaustedReason, Lit, SolveResult, Solver, SolverStats};
 
 use crate::bitblast::{model_word, BitBlaster};
 use crate::spec::{Binding, EquivSpec, InitState, SecError};
@@ -65,6 +66,29 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// What the bounded random-simulation fallback established after a proof
+/// budget ran out: not a proof, but quantified negative evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FalsificationSummary {
+    /// Constraint-satisfying random transactions replayed without finding a
+    /// mismatch.
+    pub transactions: u64,
+    /// The stimulus seed (rerun with the same seed to reproduce exactly).
+    pub seed: u64,
+    /// Transaction depth in RTL cycles (the spec's `rtl_cycles`).
+    pub rtl_cycles: u32,
+}
+
+impl fmt::Display for FalsificationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no counterexample in {} random transactions at depth {} (seed {:#x})",
+            self.transactions, self.rtl_cycles, self.seed
+        )
+    }
+}
+
 /// The verdict of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EquivOutcome {
@@ -73,12 +97,64 @@ pub enum EquivOutcome {
     Equivalent,
     /// A validated counterexample was found.
     NotEquivalent(Box<Counterexample>),
+    /// The proof budget ran out before the solver reached an answer. When
+    /// the check fell back to bounded random simulation (see
+    /// [`CheckOptions::fallback_transactions`]), `falsification` quantifies
+    /// how much of the input space was sampled without a mismatch.
+    Inconclusive {
+        /// Which resource ran out.
+        reason: ExhaustedReason,
+        /// Simulation-fallback evidence, if the fallback ran.
+        falsification: Option<FalsificationSummary>,
+    },
 }
 
 impl EquivOutcome {
     /// Whether the outcome is [`EquivOutcome::Equivalent`].
     pub fn is_equivalent(&self) -> bool {
         matches!(self, EquivOutcome::Equivalent)
+    }
+
+    /// Whether the outcome is [`EquivOutcome::Inconclusive`].
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, EquivOutcome::Inconclusive { .. })
+    }
+}
+
+/// Resource limits and degradation policy for one equivalence check.
+///
+/// The default is an unlimited budget (the solver runs to completion, so
+/// the outcome is never [`EquivOutcome::Inconclusive`]) with a 256-
+/// transaction simulation fallback should a caller-supplied budget run out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOptions {
+    /// Resource budget for the SAT search.
+    pub budget: Budget,
+    /// On budget exhaustion, how many constraint-satisfying random
+    /// transactions to replay looking for a concrete counterexample.
+    /// `0` disables the fallback.
+    pub fallback_transactions: u64,
+    /// Seed for the fallback stimulus generator.
+    pub fallback_seed: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            budget: Budget::unlimited(),
+            fallback_transactions: 256,
+            fallback_seed: 0xDF5,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options with the given budget and the default fallback.
+    pub fn with_budget(budget: Budget) -> Self {
+        CheckOptions {
+            budget,
+            ..CheckOptions::default()
+        }
     }
 }
 
@@ -152,6 +228,27 @@ pub fn check_equivalence(
     rtl: &Module,
     spec: &EquivSpec,
 ) -> Result<EquivReport, SecError> {
+    check_equivalence_with(slm, rtl, spec, &CheckOptions::default())
+}
+
+/// Like [`check_equivalence`], but under a resource [`Budget`] with graceful
+/// degradation: if the budget runs out before the solver answers, the check
+/// falls back to bounded constrained-random simulation (the `dfv-cosim`
+/// stimulus machinery) and returns either a *genuine* replay-validated
+/// counterexample found by simulation, or
+/// [`EquivOutcome::Inconclusive`] carrying a [`FalsificationSummary`] —
+/// "no counterexample in N random transactions at depth k" — so a campaign
+/// always learns something from the time it spent.
+///
+/// # Errors
+///
+/// As [`check_equivalence`].
+pub fn check_equivalence_with(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    opts: &CheckOptions,
+) -> Result<EquivReport, SecError> {
     let start = Instant::now();
     let mut ctx = build_miter(slm, rtl, spec)?;
     // Assert that *some* compare point differs: one clause over the diffs.
@@ -159,7 +256,7 @@ pub fn check_equivalence(
     ctx.solver.add_clause(&diffs);
     let cnf_vars = ctx.solver.num_vars();
     let cnf_clauses = ctx.solver.num_clauses();
-    let outcome = match ctx.solver.solve() {
+    let outcome = match ctx.solver.solve_budgeted(&[], &opts.budget) {
         SolveResult::Unsat => EquivOutcome::Equivalent,
         SolveResult::Sat => EquivOutcome::NotEquivalent(Box::new(extract_and_replay(
             &ctx.solver,
@@ -170,6 +267,28 @@ pub fn check_equivalence(
             &ctx.free_words,
             &ctx.initial_reg_words,
         ))),
+        SolveResult::Unknown(reason) => {
+            if opts.fallback_transactions == 0 {
+                EquivOutcome::Inconclusive {
+                    reason,
+                    falsification: None,
+                }
+            } else {
+                match simulate_falsify(
+                    slm,
+                    rtl,
+                    spec,
+                    opts.fallback_transactions,
+                    opts.fallback_seed,
+                ) {
+                    Falsification::Found(cex) => EquivOutcome::NotEquivalent(cex),
+                    Falsification::NoneFound(summary) => EquivOutcome::Inconclusive {
+                        reason,
+                        falsification: Some(summary),
+                    },
+                }
+            }
+        }
     };
     Ok(EquivReport {
         outcome,
@@ -226,13 +345,33 @@ pub fn check_equivalence_per_output(
     rtl: &Module,
     spec: &EquivSpec,
 ) -> Result<PerOutputReport, SecError> {
+    check_equivalence_per_output_with(slm, rtl, spec, &CheckOptions::default())
+}
+
+/// Like [`check_equivalence_per_output`], but each per-output solve runs
+/// under `opts.budget`. The budget's conflict/propagation caps apply to
+/// each output separately; an absolute `deadline` naturally bounds the
+/// whole sweep. An exhausted output gets an
+/// [`EquivOutcome::Inconclusive`] verdict (without the simulation fallback
+/// — use [`check_equivalence_with`] for that) and the sweep moves on, so
+/// one hard output cannot starve the rest of their budget.
+///
+/// # Errors
+///
+/// As [`check_equivalence`].
+pub fn check_equivalence_per_output_with(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    opts: &CheckOptions,
+) -> Result<PerOutputReport, SecError> {
     let start = Instant::now();
     let mut ctx = build_miter(slm, rtl, spec)?;
     let cnf_vars = ctx.solver.num_vars();
     let mut verdicts = Vec::with_capacity(spec.compares.len());
     for (cp, &diff) in spec.compares.iter().zip(&ctx.diffs) {
         let t0 = Instant::now();
-        let outcome = match ctx.solver.solve_with(&[diff]) {
+        let outcome = match ctx.solver.solve_budgeted(&[diff], &opts.budget) {
             SolveResult::Unsat => EquivOutcome::Equivalent,
             SolveResult::Sat => EquivOutcome::NotEquivalent(Box::new(extract_and_replay(
                 &ctx.solver,
@@ -243,6 +382,10 @@ pub fn check_equivalence_per_output(
                 &ctx.free_words,
                 &ctx.initial_reg_words,
             ))),
+            SolveResult::Unknown(reason) => EquivOutcome::Inconclusive {
+                reason,
+                falsification: None,
+            },
         };
         verdicts.push(OutputVerdict {
             compare: cp.clone(),
@@ -290,7 +433,11 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
 
     // Environment constraints.
     for c in &spec.constraints {
-        let ins: Vec<Vec<Lit>> = c.inputs.iter().map(|p| slm_words[&p.name].clone()).collect();
+        let ins: Vec<Vec<Lit>> = c
+            .inputs
+            .iter()
+            .map(|p| slm_words[&p.name].clone())
+            .collect();
         let cyc = eval_comb_symbolic(&mut bb, c, &ins);
         let ok = cyc.output(c, &c.outputs[0].name);
         bb.assert_lit(ok[0]);
@@ -353,29 +500,24 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
     })
 }
 
-/// Reads the SAT model, replays it concretely on both models, and verifies
-/// that the replay reproduces a mismatch.
-fn extract_and_replay(
-    solver: &Solver,
-    slm: &Module,
+/// Builds the concrete per-cycle RTL input vectors for given SLM input
+/// values, asking `free_value` for each [`Binding::Free`] port/cycle.
+///
+/// The `expect("validated")` / map-indexing here is invariant-protected:
+/// `spec.validate` (run by `build_miter` before any caller reaches this)
+/// guarantees every bound port exists on the RTL and every `Binding::Slm`
+/// name is an SLM input.
+fn concretize_rtl_inputs(
     rtl: &Module,
     spec: &EquivSpec,
-    slm_words: &HashMap<String, Vec<Lit>>,
-    free_words: &HashMap<(usize, u32), Vec<Lit>>,
-    initial_reg_words: &[Vec<Lit>],
-) -> Counterexample {
-    let slm_inputs: Vec<(String, Bv)> = slm
-        .inputs
-        .iter()
-        .map(|p| (p.name.clone(), model_word(solver, &slm_words[&p.name])))
-        .collect();
-    let slm_map: HashMap<&str, &Bv> = slm_inputs.iter().map(|(n, v)| (n.as_str(), v)).collect();
-
+    slm_map: &HashMap<&str, &Bv>,
+    mut free_value: impl FnMut(usize, u32, u32) -> Bv,
+) -> Vec<Vec<(String, Bv)>> {
     let mut binding_at: HashMap<(usize, u32), &Binding> = HashMap::new();
     for (port, cycle, b) in &spec.bindings {
         binding_at.insert((rtl.input_index(port).expect("validated"), *cycle), b);
     }
-    let rtl_inputs: Vec<Vec<(String, Bv)>> = (0..spec.rtl_cycles)
+    (0..spec.rtl_cycles)
         .map(|t| {
             rtl.inputs
                 .iter()
@@ -387,21 +529,30 @@ fn extract_and_replay(
                             slm_map[name.as_str()].slice(*hi, *lo)
                         }
                         Some(Binding::Const(v)) => v.clone(),
-                        Some(Binding::Free) => model_word(solver, &free_words[&(i, t)]),
+                        Some(Binding::Free) => free_value(i, t, p.width),
                         None => Bv::zero(p.width),
                     };
                     (p.name.clone(), v)
                 })
                 .collect()
         })
-        .collect();
-    let initial_regs: Vec<(String, Bv)> = rtl
-        .regs
-        .iter()
-        .zip(initial_reg_words)
-        .map(|(r, w)| (r.name.clone(), model_word(solver, w)))
-        .collect();
+        .collect()
+}
 
+/// Concretely replays one transaction on both simulators and collects the
+/// compare-point mismatches (empty = the models agreed on this input).
+///
+/// `Simulator::new` only fails on malformed modules; both modules were
+/// already accepted by `check_module` in `build_miter`, so the `expect`s
+/// are invariant-protected.
+fn replay_mismatches(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    slm_inputs: &[(String, Bv)],
+    rtl_inputs: &[Vec<(String, Bv)>],
+    initial_regs: &[(String, Bv)],
+) -> Vec<Mismatch> {
     // Replay the SLM.
     let mut slm_sim = Simulator::new(slm.clone()).expect("validated slm");
     let slm_in_refs: Vec<(&str, Bv)> = slm_inputs
@@ -413,7 +564,7 @@ fn extract_and_replay(
     // Replay the RTL.
     let mut rtl_sim = Simulator::new(rtl.clone()).expect("validated rtl");
     if spec.init == InitState::Free {
-        for (name, v) in &initial_regs {
+        for (name, v) in initial_regs {
             rtl_sim.set_reg(name, v.clone());
         }
     }
@@ -448,6 +599,40 @@ fn extract_and_replay(
             });
         }
     }
+    mismatches
+}
+
+/// Reads the SAT model, replays it concretely on both models, and verifies
+/// that the replay reproduces a mismatch.
+fn extract_and_replay(
+    solver: &Solver,
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    slm_words: &HashMap<String, Vec<Lit>>,
+    free_words: &HashMap<(usize, u32), Vec<Lit>>,
+    initial_reg_words: &[Vec<Lit>],
+) -> Counterexample {
+    let slm_inputs: Vec<(String, Bv)> = slm
+        .inputs
+        .iter()
+        .map(|p| (p.name.clone(), model_word(solver, &slm_words[&p.name])))
+        .collect();
+    let slm_map: HashMap<&str, &Bv> = slm_inputs.iter().map(|(n, v)| (n.as_str(), v)).collect();
+    let rtl_inputs = concretize_rtl_inputs(rtl, spec, &slm_map, |i, t, _| {
+        model_word(solver, &free_words[&(i, t)])
+    });
+    let initial_regs: Vec<(String, Bv)> = rtl
+        .regs
+        .iter()
+        .zip(initial_reg_words)
+        .map(|(r, w)| (r.name.clone(), model_word(solver, w)))
+        .collect();
+
+    let mismatches = replay_mismatches(slm, rtl, spec, &slm_inputs, &rtl_inputs, &initial_regs);
+    // Not invariant-protected so much as soundness-checked: a SAT model
+    // that fails to replay means the bit-blasted encoding diverged from the
+    // simulators, which must never be reported as a "counterexample".
     assert!(
         !mismatches.is_empty(),
         "SAT model did not replay to a concrete mismatch: bit-blasting soundness bug"
@@ -458,6 +643,120 @@ fn extract_and_replay(
         initial_regs,
         mismatches,
     }
+}
+
+/// The result of the bounded random-simulation fallback.
+enum Falsification {
+    /// Simulation found a real, replay-validated mismatch.
+    Found(Box<Counterexample>),
+    /// All replayed transactions agreed.
+    NoneFound(FalsificationSummary),
+}
+
+/// Replays up to `transactions` constraint-satisfying random transactions
+/// on both models, looking for a concrete mismatch — the degradation path
+/// when the proof budget runs out. Draws that violate an environment
+/// constraint are discarded (bounded at 16 draws per accepted transaction,
+/// so adversarially tight constraints degrade coverage, never hang).
+fn simulate_falsify(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    transactions: u64,
+    seed: u64,
+) -> Falsification {
+    // One stimulus field per SLM input, per free RTL binding, and (for
+    // free-init checks) per register. The prefixes keep the namespaces
+    // apart; port names cannot contain spaces.
+    let mut gen = StimulusGen::new(seed);
+    for p in &slm.inputs {
+        gen = gen.field(
+            &format!("in {}", p.name),
+            FieldSpec::Uniform { width: p.width },
+        );
+    }
+    for (port, cycle, b) in &spec.bindings {
+        if matches!(b, Binding::Free) {
+            let idx = rtl.input_index(port).expect("validated");
+            gen = gen.field(
+                &format!("free {idx} {cycle}"),
+                FieldSpec::Uniform {
+                    width: rtl.inputs[idx].width,
+                },
+            );
+        }
+    }
+    if spec.init == InitState::Free {
+        for r in &rtl.regs {
+            gen = gen.field(
+                &format!("reg {}", r.name),
+                FieldSpec::Uniform { width: r.width },
+            );
+        }
+    }
+    // Constraint modules are validated combinational by `spec.validate`.
+    let mut constraint_sims: Vec<Simulator> = spec
+        .constraints
+        .iter()
+        .map(|c| Simulator::new(c.clone()).expect("validated constraint"))
+        .collect();
+
+    let mut replayed = 0u64;
+    let max_draws = transactions.saturating_mul(16);
+    let mut draws = 0u64;
+    while replayed < transactions && draws < max_draws {
+        draws += 1;
+        let txn = gen.next_transaction();
+        let slm_inputs: Vec<(String, Bv)> = slm
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), txn[&format!("in {}", p.name)].clone()))
+            .collect();
+        let slm_map: HashMap<&str, &Bv> = slm_inputs.iter().map(|(n, v)| (n.as_str(), v)).collect();
+
+        // Reject draws that violate an environment constraint.
+        let ok = constraint_sims
+            .iter_mut()
+            .zip(&spec.constraints)
+            .all(|(sim, c)| {
+                let ins: Vec<(&str, Bv)> = c
+                    .inputs
+                    .iter()
+                    .map(|p| (p.name.as_str(), (*slm_map[p.name.as_str()]).clone()))
+                    .collect();
+                sim.eval_comb(&ins)[&c.outputs[0].name].bit(0)
+            });
+        if !ok {
+            continue;
+        }
+        replayed += 1;
+
+        let rtl_inputs = concretize_rtl_inputs(rtl, spec, &slm_map, |i, t, _| {
+            txn[&format!("free {i} {t}")].clone()
+        });
+        let initial_regs: Vec<(String, Bv)> = if spec.init == InitState::Free {
+            rtl.regs
+                .iter()
+                .map(|r| (r.name.clone(), txn[&format!("reg {}", r.name)].clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mismatches = replay_mismatches(slm, rtl, spec, &slm_inputs, &rtl_inputs, &initial_regs);
+        if !mismatches.is_empty() {
+            return Falsification::Found(Box::new(Counterexample {
+                slm_inputs,
+                rtl_inputs,
+                initial_regs,
+                mismatches,
+            }));
+        }
+    }
+    Falsification::NoneFound(FalsificationSummary {
+        transactions: replayed,
+        seed,
+        rtl_cycles: spec.rtl_cycles,
+    })
 }
 
 #[cfg(test)]
@@ -666,15 +965,218 @@ mod tests {
         assert!(report.outcome.is_equivalent());
     }
 
+    /// A deliberately hard miter: two structurally different 16×16→32
+    /// multipliers (`a*b` vs `b*a`). Proving commutativity of a bit-blasted
+    /// multiplier is notoriously expensive for CDCL, so tiny budgets
+    /// reliably exhaust — while the models are genuinely equivalent, so the
+    /// simulation fallback finds no counterexample.
+    fn hard_pair() -> (Module, Module, EquivSpec) {
+        let mut sb = ModuleBuilder::new("slm_mul");
+        let a = sb.input("a", 16);
+        let b = sb.input("b", 16);
+        let (aw, bw) = (sb.zext(a, 32), sb.zext(b, 32));
+        let y = sb.mul(aw, bw);
+        sb.output("y", y);
+        let slm = sb.finish().unwrap();
+
+        let mut rb = ModuleBuilder::new("rtl_mul");
+        let a = rb.input("a", 16);
+        let b = rb.input("b", 16);
+        let (aw, bw) = (rb.zext(a, 32), rb.zext(b, 32));
+        let y = rb.mul(bw, aw);
+        rb.output("y", y);
+        let rtl = rb.finish().unwrap();
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("b", 0, Binding::Slm("b".into()))
+            .compare("y", "y", 0);
+        (slm, rtl, spec)
+    }
+
+    #[test]
+    fn tiny_budget_yields_inconclusive_with_falsification() {
+        let (slm, rtl, spec) = hard_pair();
+        let opts = CheckOptions {
+            budget: Budget::unlimited().with_conflicts(100),
+            fallback_transactions: 64,
+            fallback_seed: 7,
+        };
+        let started = Instant::now();
+        let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
+        match report.outcome {
+            EquivOutcome::Inconclusive {
+                reason,
+                falsification: Some(f),
+            } => {
+                assert_eq!(reason, ExhaustedReason::Conflicts);
+                assert_eq!(f.transactions, 64);
+                assert_eq!(f.seed, 7);
+                assert_eq!(f.rtl_cycles, 1);
+                assert!(f.to_string().contains("64 random transactions"));
+            }
+            other => panic!("expected inconclusive with fallback, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "budgeted check must return in bounded time"
+        );
+    }
+
+    #[test]
+    fn deadline_budget_yields_inconclusive() {
+        let (slm, rtl, spec) = hard_pair();
+        let opts = CheckOptions {
+            budget: Budget::unlimited().with_timeout(Duration::from_millis(1)),
+            fallback_transactions: 0,
+            fallback_seed: 0,
+        };
+        let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
+        assert_eq!(
+            report.outcome,
+            EquivOutcome::Inconclusive {
+                reason: ExhaustedReason::Deadline,
+                falsification: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fallback_simulation_finds_real_bugs() {
+        // y = a vs y = !a differ everywhere, so even with a zero-conflict
+        // proof budget the random fallback must produce a *validated*
+        // counterexample, not an Inconclusive.
+        let mut sb = ModuleBuilder::new("slm");
+        let a = sb.input("a", 8);
+        sb.output("y", a);
+        let slm = sb.finish().unwrap();
+
+        let mut rb = ModuleBuilder::new("rtl");
+        let a = rb.input("a", 8);
+        let y = rb.not(a);
+        rb.output("y", y);
+        let rtl = rb.finish().unwrap();
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .compare("y", "y", 0);
+        let opts = CheckOptions {
+            budget: Budget::unlimited().with_conflicts(0),
+            fallback_transactions: 32,
+            fallback_seed: 1,
+        };
+        let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
+        match report.outcome {
+            EquivOutcome::NotEquivalent(cex) => {
+                assert_eq!(cex.mismatches.len(), 1);
+                let (_, av) = &cex.slm_inputs[0];
+                assert_eq!(cex.mismatches[0].slm_value, *av);
+            }
+            other => panic!("expected simulation-found counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_respects_constraints() {
+        // The models differ only at a == 0; a constraint excludes that
+        // value, so the fallback must never report the constrained-away
+        // mismatch.
+        let mut sb = ModuleBuilder::new("slm");
+        let a = sb.input("a", 2);
+        sb.output("y", a);
+        let slm = sb.finish().unwrap();
+
+        let mut rb = ModuleBuilder::new("rtl");
+        let a = rb.input("a", 2);
+        let zero = rb.lit(2, 0);
+        let is_zero = rb.eq(a, zero);
+        let three = rb.lit(2, 3);
+        let y = rb.mux(is_zero, three, a);
+        rb.output("y", y);
+        let rtl = rb.finish().unwrap();
+
+        let mut cb = ModuleBuilder::new("nonzero");
+        let a = cb.input("a", 2);
+        let zero = cb.lit(2, 0);
+        let ok = cb.ne(a, zero);
+        cb.output("ok", ok);
+        let constraint = cb.finish().unwrap();
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .compare("y", "y", 0)
+            .constrain(constraint);
+        let opts = CheckOptions {
+            budget: Budget::unlimited().with_conflicts(0),
+            fallback_transactions: 200,
+            fallback_seed: 3,
+        };
+        let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
+        match report.outcome {
+            EquivOutcome::Inconclusive {
+                falsification: Some(f),
+                ..
+            } => assert!(f.transactions > 0, "some draws must satisfy a != 0"),
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_output_budget_localizes_exhaustion() {
+        // One easy output (pass-through) and one hard output (multiplier
+        // commutativity): under a tiny budget the easy one still proves,
+        // only the hard one is inconclusive.
+        let mut sb = ModuleBuilder::new("slm");
+        let a = sb.input("a", 16);
+        let b = sb.input("b", 16);
+        let (aw, bw) = (sb.zext(a, 32), sb.zext(b, 32));
+        let p = sb.mul(aw, bw);
+        sb.output("p", p);
+        sb.output("pass", a);
+        let slm = sb.finish().unwrap();
+
+        let mut rb = ModuleBuilder::new("rtl");
+        let a = rb.input("a", 16);
+        let b = rb.input("b", 16);
+        let (aw, bw) = (rb.zext(a, 32), rb.zext(b, 32));
+        let p = rb.mul(bw, aw);
+        rb.output("p", p);
+        rb.output("pass", a);
+        let rtl = rb.finish().unwrap();
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("b", 0, Binding::Slm("b".into()))
+            .compare("pass", "pass", 0)
+            .compare("p", "p", 0);
+        let opts = CheckOptions::with_budget(Budget::unlimited().with_conflicts(50));
+        let report = check_equivalence_per_output_with(&slm, &rtl, &spec, &opts).unwrap();
+        assert_eq!(report.verdicts.len(), 2);
+        assert!(report.verdicts[0].outcome.is_equivalent());
+        assert!(report.verdicts[1].outcome.is_inconclusive());
+        assert!(!report.all_equivalent());
+    }
+
+    #[test]
+    fn unlimited_budget_never_inconclusive() {
+        let report = check_equivalence_with(
+            &fig1_slm(false),
+            &fig1_rtl(),
+            &fig1_spec(),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_equivalent());
+    }
+
     #[test]
     fn spec_validation_errors() {
         let slm = fig1_slm(false);
         let rtl = fig1_rtl();
-        let bad = EquivSpec::new(2).compare("out", "out", 1).bind(
-            "nope",
-            0,
-            Binding::Slm("a".into()),
-        );
+        let bad =
+            EquivSpec::new(2)
+                .compare("out", "out", 1)
+                .bind("nope", 0, Binding::Slm("a".into()));
         assert!(matches!(
             check_equivalence(&slm, &rtl, &bad),
             Err(SecError::Spec(_))

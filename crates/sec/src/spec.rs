@@ -179,7 +179,9 @@ impl EquivSpec {
             };
             let want = rtl.inputs[idx].width;
             if *cycle >= self.rtl_cycles {
-                return err(format!("binding for {port:?} at cycle {cycle} out of range"));
+                return err(format!(
+                    "binding for {port:?} at cycle {cycle} out of range"
+                ));
             }
             let got = match binding {
                 Binding::Slm(name) => match slm.input_index(name) {
@@ -190,7 +192,9 @@ impl EquivSpec {
                     Some(i) => {
                         let w = slm.inputs[i].width;
                         if hi < lo || *hi >= w {
-                            return err(format!("slice [{hi}:{lo}] out of range for SLM input {name:?}"));
+                            return err(format!(
+                                "slice [{hi}:{lo}] out of range for SLM input {name:?}"
+                            ));
                         }
                         hi - lo + 1
                     }
@@ -236,7 +240,10 @@ impl EquivSpec {
         }
         for c in &self.constraints {
             if !c.is_combinational() {
-                return err(format!("constraint module {:?} must be combinational", c.name));
+                return err(format!(
+                    "constraint module {:?} must be combinational",
+                    c.name
+                ));
             }
             if c.outputs.len() != 1 || c.outputs[0].width != 1 {
                 return err(format!(

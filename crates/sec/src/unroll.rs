@@ -87,7 +87,11 @@ impl<'m> SymbolicSim<'m> {
             .map(|m| {
                 (0..m.depth)
                     .map(|i| {
-                        let word = m.init.get(i).cloned().unwrap_or_else(|| Bv::zero(m.data_width));
+                        let word = m
+                            .init
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| Bv::zero(m.data_width));
                         match init {
                             InitState::Reset => bb.constant(&word),
                             InitState::Free => bb.fresh_word(m.data_width),
@@ -282,7 +286,7 @@ mod tests {
         let x = bb.constant(&Bv::from_u64(8, 5));
         let mut outs = Vec::new();
         for _ in 0..4 {
-            let cyc = sym.step(&mut bb, &[x.clone()]);
+            let cyc = sym.step(&mut bb, std::slice::from_ref(&x));
             outs.push(cyc.output(&m, "y"));
         }
         drop(bb);

@@ -1,11 +1,15 @@
 //! Soundness fuzz: on random expression DAGs, the bit-blaster must agree
 //! with the concrete cycle simulator — the two independent implementations
 //! of the IR semantics.
+// Gated: property-based tests depend on the external `proptest` crate,
+// which offline builds cannot fetch. Enable with `--features proptest-tests`
+// in an environment that can resolve crates.io dependencies.
+#![cfg(feature = "proptest-tests")]
 
 use dfv_bits::Bv;
 use dfv_rtl::{ModuleBuilder, Simulator};
 use dfv_sat::{SolveResult, Solver};
-use dfv_sec::{model_word, BitBlaster, Binding, EquivSpec};
+use dfv_sec::{model_word, Binding, BitBlaster, EquivSpec};
 use proptest::prelude::*;
 
 /// A recipe for one random combinational module.
@@ -125,7 +129,11 @@ fn build(r: &Recipe) -> dfv_rtl::Module {
             _ => unreachable!(),
         };
         // Keep widths bounded so division circuits stay tractable.
-        let n = if b.node_width(n) > 24 { b.trunc(n, 24) } else { n };
+        let n = if b.node_width(n) > 24 {
+            b.trunc(n, 24)
+        } else {
+            n
+        };
         nodes.push(n);
     }
     b.output("out", *nodes.last().expect("nonempty"));

@@ -325,7 +325,7 @@ mod tests {
         let n = Rc::new(Cell::new(0u32));
         k.process("drive", &[tick], move |k| {
             n.set(n.get() + 1);
-            s2.write(if n.get() <= 2 { 7 } else { 7 }); // same value later
+            s2.write(7); // the same value every time: later writes are no-ops
             if n.get() < 4 {
                 k.notify(tick, 1);
             }

@@ -54,9 +54,12 @@ pub trait Update {
 /// The shared queue signals push themselves onto when written.
 pub type UpdateQueue = Rc<RefCell<Vec<Rc<dyn Update>>>>;
 
+/// A process body: called with the kernel each time the process runs.
+type ProcessBody = Box<dyn FnMut(&mut Kernel)>;
+
 struct ProcessEntry {
     name: String,
-    body: Option<Box<dyn FnMut(&mut Kernel)>>,
+    body: Option<ProcessBody>,
     runnable: bool,
 }
 

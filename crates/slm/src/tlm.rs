@@ -135,10 +135,16 @@ mod tests {
     fn tlm_memory_read_write() {
         let port = TargetPort::new(TlmMemory::new(16));
         assert_eq!(
-            port.transport(MemReq::Write { addr: 3, data: 0xAB }),
+            port.transport(MemReq::Write {
+                addr: 3,
+                data: 0xAB
+            }),
             MemResp::Ack
         );
-        assert_eq!(port.transport(MemReq::Read { addr: 3 }), MemResp::Data(0xAB));
+        assert_eq!(
+            port.transport(MemReq::Read { addr: 3 }),
+            MemResp::Data(0xAB)
+        );
         assert_eq!(port.transport(MemReq::Read { addr: 99 }), MemResp::Error);
     }
 

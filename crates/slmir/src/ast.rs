@@ -34,7 +34,12 @@ impl ScalarTy {
 
 impl fmt::Display for ScalarTy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}<{}>", if self.signed { "int" } else { "uint" }, self.width)
+        write!(
+            f,
+            "{}<{}>",
+            if self.signed { "int" } else { "uint" },
+            self.width
+        )
     }
 }
 

@@ -288,7 +288,7 @@ impl<'p> Elab<'p> {
     }
 
     /// 1-bit truthiness of a scalar.
-    fn to_bool(&mut self, node: NodeId) -> NodeId {
+    fn boolify(&mut self, node: NodeId) -> NodeId {
         if self.b.node_width(node) == 1 {
             node
         } else {
@@ -507,7 +507,8 @@ impl<'p> Elab<'p> {
                                 es
                             }
                             None => {
-                                let idx = self.index_node(fr, index, elems.len(), guard, loop_ctx)?;
+                                let idx =
+                                    self.index_node(fr, index, elems.len(), guard, loop_ctx)?;
                                 let iw = self.b.node_width(idx);
                                 let mut es = Vec::with_capacity(elems.len());
                                 for (i, &old) in elems.iter().enumerate() {
@@ -550,7 +551,7 @@ impl<'p> Elab<'p> {
                     };
                 }
                 let (c, _) = self.expr(fr, cond, guard, loop_ctx)?;
-                let cb = self.to_bool(c);
+                let cb = self.boolify(c);
                 let g_then = self.b.and(guard, cb);
                 let ncb = self.b.not(cb);
                 let g_else = self.b.and(guard, ncb);
@@ -629,10 +630,7 @@ impl<'p> Elab<'p> {
                     // Advance the loop variable statically.
                     fr.consts.insert(var.clone(), v.clone());
                     let Some(nv) = self.const_eval(fr, step) else {
-                        break self.err(
-                            step.span,
-                            "loop step is not static (DFV003)",
-                        );
+                        break self.err(step.span, "loop step is not static (DFV003)");
                     };
                     let Value::Scalar(nb, ns) = nv else {
                         break self.err(step.span, "loop step must be scalar");
@@ -736,14 +734,16 @@ impl<'p> Elab<'p> {
                     }
                 }
             }
-            ExprKind::Call { callee, args } => self.inline_call(fr, e.span, callee, args, guard, loop_ctx),
+            ExprKind::Call { callee, args } => {
+                self.inline_call(fr, e.span, callee, args, guard, loop_ctx)
+            }
             ExprKind::Un(op, a) => {
                 let (an, at) = self.expr(fr, a, guard, loop_ctx)?;
                 Ok(match op {
                     UnOp::Neg => (self.b.neg(an), at),
                     UnOp::Not => (self.b.not(an), at),
                     UnOp::LNot => {
-                        let b = self.to_bool(an);
+                        let b = self.boolify(an);
                         (self.b.not(b), ScalarTy::BOOL)
                     }
                 })
@@ -755,7 +755,7 @@ impl<'p> Elab<'p> {
             }
             ExprKind::Ternary { cond, t, f } => {
                 let (cn, _) = self.expr(fr, cond, guard, loop_ctx)?;
-                let cb = self.to_bool(cn);
+                let cb = self.boolify(cn);
                 let (tn, tt) = self.expr(fr, t, guard, loop_ctx)?;
                 let (fn_, ft) = self.expr(fr, f, guard, loop_ctx)?;
                 let rt = promote(tt, ft);
@@ -838,13 +838,13 @@ impl<'p> Elab<'p> {
                 Ok((n, ScalarTy::BOOL))
             }
             LAnd => {
-                let a = self.to_bool(an);
-                let b = self.to_bool(bn);
+                let a = self.boolify(an);
+                let b = self.boolify(bn);
                 Ok((self.b.and(a, b), ScalarTy::BOOL))
             }
             LOr => {
-                let a = self.to_bool(an);
-                let b = self.to_bool(bn);
+                let a = self.boolify(an);
+                let b = self.boolify(bn);
                 Ok((self.b.or(a, b), ScalarTy::BOOL))
             }
         }
@@ -904,10 +904,7 @@ impl<'p> Elab<'p> {
                     }
                 }
                 Ty::Ptr(_) => {
-                    return self.err(
-                        a.span,
-                        "pointer parameters are not synthesizable (DFV002)",
-                    )
+                    return self.err(a.span, "pointer parameters are not synthesizable (DFV002)")
                 }
                 Ty::Void => unreachable!(),
             };
@@ -1133,7 +1130,8 @@ mod tests {
         let e = elaborate(&parse(mal).unwrap(), "f").unwrap_err();
         assert!(e.message.contains("DFV002") || e.message.contains("DFV001"));
 
-        let dyn_bound = "int f(int n) { int a = 0; for (int i = 0; i < n; i++) { a += i; } return a; }";
+        let dyn_bound =
+            "int f(int n) { int a = 0; for (int i = 0; i < n; i++) { a += i; } return a; }";
         let e = elaborate(&parse(dyn_bound).unwrap(), "f").unwrap_err();
         assert!(e.message.contains("DFV003"));
 

@@ -128,10 +128,17 @@ pub struct Interp<'p> {
     store: Vec<Cell>,
     fuel: u64,
     steps: u64,
+    call_depth: u32,
+    max_call_depth: u32,
 }
 
 /// Default statement budget before an execution is declared runaway.
 pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// Default call-nesting budget before an execution is declared runaway.
+/// Recursion is rejected by lint DFV005, but the interpreter also accepts
+/// unlinted programs, so it must bound its own (native) stack use.
+pub const DEFAULT_MAX_CALL_DEPTH: u32 = 64;
 
 impl<'p> Interp<'p> {
     /// Creates an interpreter for `prog` with the default fuel.
@@ -141,12 +148,20 @@ impl<'p> Interp<'p> {
             store: Vec::new(),
             fuel: DEFAULT_FUEL,
             steps: 0,
+            call_depth: 0,
+            max_call_depth: DEFAULT_MAX_CALL_DEPTH,
         }
     }
 
     /// Overrides the statement budget (for tests of runaway loops).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the call-nesting budget.
+    pub fn with_max_call_depth(mut self, depth: u32) -> Self {
+        self.max_call_depth = depth;
         self
     }
 
@@ -181,24 +196,32 @@ impl<'p> Interp<'p> {
         }
         self.store.clear();
         self.steps = 0;
+        self.call_depth = 0;
         let mut env: HashMap<String, usize> = HashMap::new();
         let mut arg_iter = args.iter();
         for p in &f.params {
             let v = if p.is_out && args.len() == required.len() {
-                // Zero-initialize omitted out params.
+                // Zero-initialize omitted out params. Sema rejects
+                // pointer-typed outs, but `run` also accepts programs that
+                // never went through sema, so report rather than panic.
                 match p.ty {
                     Ty::Scalar(s) => Value::Scalar(Bv::zero(s.width), s.signed),
                     Ty::Array(s, n) => Value::Array(vec![Bv::zero(s.width); n], s),
-                    _ => unreachable!("sema rejects pointer outs"),
+                    _ => {
+                        return Err(EvalError {
+                            span: f.span,
+                            message: format!(
+                                "out parameter {:?} has unsupported type {} (run sema first)",
+                                p.name, p.ty
+                            ),
+                        })
+                    }
                 }
             } else {
-                arg_iter
-                    .next()
-                    .cloned()
-                    .ok_or_else(|| EvalError {
-                        span: f.span,
-                        message: "missing argument".into(),
-                    })?
+                arg_iter.next().cloned().ok_or_else(|| EvalError {
+                    span: f.span,
+                    message: "missing argument".into(),
+                })?
             };
             let cell = self.bind_param(f, p, v)?;
             env.insert(p.name.clone(), cell);
@@ -217,7 +240,10 @@ impl<'p> Interp<'p> {
                 let v = match p.ty {
                     Ty::Scalar(s) => Value::Scalar(cell.words[0].clone(), s.signed),
                     Ty::Array(s, _) => Value::Array(cell.words.clone(), s),
-                    _ => unreachable!(),
+                    // Invariant: `bind_param` (and the omitted-out zero-init
+                    // above) reject every other param type before the body
+                    // runs, so no other type reaches the outs collection.
+                    _ => unreachable!("non-scalar/array params are rejected at binding"),
                 };
                 (p.name.clone(), v)
             })
@@ -249,10 +275,7 @@ impl<'p> Interp<'p> {
                         ),
                     });
                 }
-                Cell {
-                    words: ws,
-                    ty: *s,
-                }
+                Cell { words: ws, ty: *s }
             }
             (ty, v) => {
                 return Err(EvalError {
@@ -356,7 +379,10 @@ impl<'p> Interp<'p> {
                             },
                         }
                     }
-                    Ty::Void => unreachable!("no void declarations"),
+                    // Invariant: the parser only produces `Ty::Void` for
+                    // function return types (see `Parser::func`); declaration
+                    // statements are always scalar, pointer, or array typed.
+                    Ty::Void => unreachable!("parser never produces void declarations"),
                 };
                 self.store.push(cell);
                 let idx = self.store.len() - 1;
@@ -390,11 +416,7 @@ impl<'p> Interp<'p> {
                             // Write through the pointer: p[i] aliases the
                             // pointee, not the pointer cell.
                             let p = decode_ptr(&self.store[cell_idx].words[0], s.span)?;
-                            let target = self
-                                .store
-                                .get(p.cell)
-                                .ok_or_else(|| dangling(s.span))?
-                                .ty;
+                            let target = self.store.get(p.cell).ok_or_else(|| dangling(s.span))?.ty;
                             let w = resize(&b, signed, target);
                             let words = &mut self
                                 .store
@@ -417,11 +439,7 @@ impl<'p> Interp<'p> {
                         let (b, signed) = self.scalar(f, rhs, env)?;
                         let cell_idx = lookup(env, n, s.span)?;
                         let p = decode_ptr(&self.store[cell_idx].words[0], s.span)?;
-                        let target = self
-                            .store
-                            .get(p.cell)
-                            .ok_or_else(|| dangling(s.span))?
-                            .ty;
+                        let target = self.store.get(p.cell).ok_or_else(|| dangling(s.span))?.ty;
                         let w = resize(&b, signed, target);
                         let words = &mut self
                             .store
@@ -655,6 +673,15 @@ impl<'p> Interp<'p> {
         args: &[Expr],
         env: &mut HashMap<String, usize>,
     ) -> Result<Value, EvalError> {
+        if self.call_depth >= self.max_call_depth {
+            return Err(EvalError {
+                span,
+                message: format!(
+                    "call depth exceeds {} (runaway recursion? see lint DFV005)",
+                    self.max_call_depth
+                ),
+            });
+        }
         let g = self
             .prog
             .func(callee)
@@ -680,7 +707,10 @@ impl<'p> Interp<'p> {
             }
             new_env.insert(p.name.clone(), cell);
         }
-        let flow = self.exec_block(&g, &g.body, &mut new_env)?;
+        self.call_depth += 1;
+        let flow = self.exec_block(&g, &g.body, &mut new_env);
+        self.call_depth -= 1;
+        let flow = flow?;
         // Copy out parameters back to the caller, converting each word to
         // the caller variable's type (widths may differ through implicit
         // scalar conversion).
@@ -716,7 +746,10 @@ fn dangling(span: Span) -> EvalError {
 }
 
 fn encode_ptr(p: PtrVal) -> Bv {
-    Bv::from_u64(64, ((p.cell as u64) << 24) | (p.offset as u64 & 0xFF_FFFF) | (1 << 63))
+    Bv::from_u64(
+        64,
+        ((p.cell as u64) << 24) | (p.offset as u64 & 0xFF_FFFF) | (1 << 63),
+    )
 }
 
 fn decode_ptr(b: &Bv, span: Span) -> Result<PtrVal, EvalError> {
@@ -728,7 +761,7 @@ fn decode_ptr(b: &Bv, span: Span) -> Result<PtrVal, EvalError> {
         });
     }
     Ok(PtrVal {
-        cell: ((raw >> 24) & 0xFF_FFFF_FF) as usize,
+        cell: ((raw >> 24) & 0xFFFF_FFFF) as usize,
         offset: (raw & 0xFF_FFFF) as usize,
     })
 }
@@ -854,7 +887,11 @@ pub fn eval_binop(op: BinOp, a: &Bv, at: ScalarTy, b: &Bv, bt: ScalarTy) -> Valu
             let lt = crate::sema::int_promote(at);
             let ap = resize(a, at.signed, lt);
             Value::Scalar(
-                if lt.signed { ap.ashr_bv(b) } else { ap.lshr_bv(b) },
+                if lt.signed {
+                    ap.ashr_bv(b)
+                } else {
+                    ap.lshr_bv(b)
+                },
                 lt.signed,
             )
         }
@@ -865,11 +902,7 @@ pub fn eval_binop(op: BinOp, a: &Bv, at: ScalarTy, b: &Bv, bt: ScalarTy) -> Valu
             false,
         ),
         Le => Value::Scalar(
-            Bv::from_bool(if p.signed {
-                !bp.slt(&ap)
-            } else {
-                !bp.ult(&ap)
-            }),
+            Bv::from_bool(if p.signed { !bp.slt(&ap) } else { !bp.ult(&ap) }),
             false,
         ),
         Gt => Value::Scalar(
@@ -877,11 +910,7 @@ pub fn eval_binop(op: BinOp, a: &Bv, at: ScalarTy, b: &Bv, bt: ScalarTy) -> Valu
             false,
         ),
         Ge => Value::Scalar(
-            Bv::from_bool(if p.signed {
-                !ap.slt(&bp)
-            } else {
-                !ap.ult(&bp)
-            }),
+            Bv::from_bool(if p.signed { !ap.slt(&bp) } else { !ap.ult(&bp) }),
             false,
         ),
         LAnd => Value::Scalar(Bv::from_bool(!a.is_zero() && !b.is_zero()), false),
@@ -901,7 +930,13 @@ mod tests {
     }
 
     fn u8v(v: u64) -> Value {
-        Value::from_u64(ScalarTy { width: 8, signed: false }, v)
+        Value::from_u64(
+            ScalarTy {
+                width: 8,
+                signed: false,
+            },
+            v,
+        )
     }
 
     #[test]
@@ -919,9 +954,27 @@ mod tests {
             int rhs(int8 a, int8 b, int8 c) { int t = b + c; return t + a; }
         "#;
         let args = [
-            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
-            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
-            Value::from_i64(ScalarTy { width: 8, signed: true }, -1),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                127,
+            ),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                127,
+            ),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                -1,
+            ),
         ];
         let l = run1(src, "lhs", &args);
         let r = run1(src, "rhs", &args);
@@ -937,9 +990,27 @@ mod tests {
             int rhs(int8 a, int8 b, int8 c) { int8 t = b + c; return t + a; }
         "#;
         let args = [
-            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
-            Value::from_i64(ScalarTy { width: 8, signed: true }, 127),
-            Value::from_i64(ScalarTy { width: 8, signed: true }, -1),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                127,
+            ),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                127,
+            ),
+            Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                -1,
+            ),
         ];
         let l = run1(src, "lhs", &args);
         let r = run1(src, "rhs", &args);
@@ -961,7 +1032,10 @@ mod tests {
         "#;
         let xs = Value::Array(
             (1..=8).map(|i| Bv::from_u64(8, i)).collect(),
-            ScalarTy { width: 8, signed: false },
+            ScalarTy {
+                width: 8,
+                signed: false,
+            },
         );
         let r = run1(src, "sum", &[xs]);
         assert_eq!(r.as_bv().unwrap().to_u64(), 36);
@@ -998,8 +1072,14 @@ mod tests {
                 return ((uint16) h << 8) | (uint16) l;
             }
         "#;
-        let v = Value::from_u64(ScalarTy { width: 16, signed: false }, 0xABCD);
-        assert_eq!(run1(src, "top", &[v.clone()]), v);
+        let v = Value::from_u64(
+            ScalarTy {
+                width: 16,
+                signed: false,
+            },
+            0xABCD,
+        );
+        assert_eq!(run1(src, "top", std::slice::from_ref(&v)), v);
     }
 
     #[test]
@@ -1037,10 +1117,49 @@ mod tests {
     }
 
     #[test]
+    fn call_depth_stops_runaway_recursion() {
+        // Recursion is a DFV005 lint error, but the interpreter also runs
+        // unlinted programs: it must fail cleanly, not blow the native stack.
+        let src = "int f(int n) { return f(n + 1); }";
+        let prog = parse(src).unwrap();
+        let e = Interp::new(&prog)
+            .run("f", &[Value::from_i64(ScalarTy::INT, 0)])
+            .unwrap_err();
+        assert!(e.message.contains("call depth"), "{}", e.message);
+
+        // Legitimate nested (non-recursive) calls still work under a
+        // tightened budget.
+        let src = r#"
+            int leaf(int x) { return x + 1; }
+            int mid(int x) { return leaf(x) + 1; }
+            int top(int x) { return mid(x) + 1; }
+        "#;
+        let prog = parse(src).unwrap();
+        let r = Interp::new(&prog)
+            .with_max_call_depth(3)
+            .run("top", &[Value::from_i64(ScalarTy::INT, 0)])
+            .unwrap();
+        assert_eq!(r.ret.as_bv().unwrap().to_i64(), 3);
+    }
+
+    #[test]
+    fn pointer_out_param_is_a_typed_error_without_sema() {
+        // Sema rejects pointer-typed out params, but the interpreter also
+        // accepts parsed-but-unchecked programs: it must report, not panic.
+        let src = "void f(out int* p) { }";
+        let prog = parse(src).unwrap();
+        let e = Interp::new(&prog).run("f", &[]).unwrap_err();
+        assert!(e.message.contains("run sema first"), "{}", e.message);
+    }
+
+    #[test]
     fn fuel_stops_runaway_loops() {
         let src = "int f() { int x = 1; while (x) { x = 1; } return x; }";
         let prog = parse(src).unwrap();
-        let e = Interp::new(&prog).with_fuel(10_000).run("f", &[]).unwrap_err();
+        let e = Interp::new(&prog)
+            .with_fuel(10_000)
+            .run("f", &[])
+            .unwrap_err();
         assert!(e.message.contains("fuel"));
     }
 
@@ -1051,7 +1170,10 @@ mod tests {
         "#;
         let xs = Value::Array(
             (0..4).map(|i| Bv::from_u64(8, 10 + i)).collect(),
-            ScalarTy { width: 8, signed: false },
+            ScalarTy {
+                width: 8,
+                signed: false,
+            },
         );
         // Index 6 wraps to 2.
         let r = run1(src, "f", &[xs, u8v(6)]);
@@ -1063,14 +1185,23 @@ mod tests {
         // int8 vs uint8 promote to int (C's integer promotion), so the
         // comparison behaves mathematically...
         let src = "bool f(int8 a, uint8 b) { return a > b; }";
-        let s8 = ScalarTy { width: 8, signed: true };
+        let s8 = ScalarTy {
+            width: 8,
+            signed: true,
+        };
         let r = run1(src, "f", &[Value::from_i64(s8, -1), u8v(1)]);
         assert_eq!(r.as_bv().unwrap().to_u64(), 0);
         // ...but at 64 bits unsigned wins and -1 reads as u64::MAX — the
         // classic C trap, faithfully reproduced.
         let src64 = "bool f(int64 a, uint64 b) { return a > b; }";
-        let s64 = ScalarTy { width: 64, signed: true };
-        let u64t = ScalarTy { width: 64, signed: false };
+        let s64 = ScalarTy {
+            width: 64,
+            signed: true,
+        };
+        let u64t = ScalarTy {
+            width: 64,
+            signed: false,
+        };
         let r = run1(
             src64,
             "f",
@@ -1082,7 +1213,17 @@ mod tests {
     #[test]
     fn shift_semantics() {
         let src = "int8 f(int8 a) { return a >> 1; }";
-        let r = run1(src, "f", &[Value::from_i64(ScalarTy { width: 8, signed: true }, -8)]);
+        let r = run1(
+            src,
+            "f",
+            &[Value::from_i64(
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                -8,
+            )],
+        );
         assert_eq!(r.as_bv().unwrap().to_i64(), -4); // arithmetic shift
         let src2 = "uint8 g(uint8 a) { return a >> 1; }";
         let r2 = run1(src2, "g", &[u8v(0x80)]);

@@ -376,15 +376,11 @@ fn must_assign(body: &[Stmt], name: &str) -> bool {
                 then_body,
                 else_body,
                 ..
-            } => {
-                if must_assign(then_body, name) && must_assign(else_body, name) {
-                    return true;
-                }
+            } if must_assign(then_body, name) && must_assign(else_body, name) => {
+                return true;
             }
-            StmtKind::Block(b) => {
-                if must_assign(b, name) {
-                    return true;
-                }
+            StmtKind::Block(b) if must_assign(b, name) => {
+                return true;
             }
             // Calls could assign via their own out params; treat a call
             // passing `name` as an argument as a definite assignment.
@@ -462,9 +458,9 @@ fn calls_in(body: &[Stmt], out: &mut HashSet<String>) {
     }
     for s in body {
         match &s.kind {
-            StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
-                in_expr(e, out)
-            }
+            StmtKind::Decl { init: Some(e), .. }
+            | StmtKind::Expr(e)
+            | StmtKind::Return(Some(e)) => in_expr(e, out),
             StmtKind::Assign { lhs, rhs } => {
                 if let LValue::Index { index, .. } = lhs {
                     in_expr(index, out);
@@ -632,9 +628,13 @@ mod tests {
 
     #[test]
     fn dfv003_data_dependent_bound() {
-        let src = "int f(int n) { int acc = 0; for (int i = 0; i < n; i++) { acc += i; } return acc; }";
+        let src =
+            "int f(int n) { int acc = 0; for (int i = 0; i < n; i++) { acc += i; } return acc; }";
         let findings = lint(&parse(src).unwrap(), Some("f"));
-        let f3 = findings.iter().find(|f| f.rule == LintRule::Dfv003).unwrap();
+        let f3 = findings
+            .iter()
+            .find(|f| f.rule == LintRule::Dfv003)
+            .unwrap();
         assert!(f3.message.contains('n'));
         assert!(f3.suggestion.contains("break"));
         // The paper's rewrite is clean:
@@ -667,7 +667,10 @@ mod tests {
             int unused(int a) { return a * 2; }
         "#;
         let findings = lint(&parse(src).unwrap(), Some("top"));
-        let f6 = findings.iter().find(|f| f.rule == LintRule::Dfv006).unwrap();
+        let f6 = findings
+            .iter()
+            .find(|f| f.rule == LintRule::Dfv006)
+            .unwrap();
         assert_eq!(f6.func, "unused");
         assert_eq!(f6.severity, Severity::Warning);
     }

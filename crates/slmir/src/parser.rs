@@ -112,7 +112,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(span)
         } else {
-            self.err(format!("expected {p:?}, found {}", describe(&self.peek().tok)))
+            self.err(format!(
+                "expected {p:?}, found {}",
+                describe(&self.peek().tok)
+            ))
         }
     }
 
@@ -176,20 +179,66 @@ impl Parser {
                 },
                 1,
             )),
-            "int8" => Some((ScalarTy { width: 8, signed: true }, 1)),
-            "int16" => Some((ScalarTy { width: 16, signed: true }, 1)),
-            "int32" => Some((ScalarTy { width: 32, signed: true }, 1)),
-            "int64" => Some((ScalarTy { width: 64, signed: true }, 1)),
-            "uint8" => Some((ScalarTy { width: 8, signed: false }, 1)),
-            "uint16" => Some((ScalarTy { width: 16, signed: false }, 1)),
-            "uint32" => Some((ScalarTy { width: 32, signed: false }, 1)),
-            "uint64" => Some((ScalarTy { width: 64, signed: false }, 1)),
+            "int8" => Some((
+                ScalarTy {
+                    width: 8,
+                    signed: true,
+                },
+                1,
+            )),
+            "int16" => Some((
+                ScalarTy {
+                    width: 16,
+                    signed: true,
+                },
+                1,
+            )),
+            "int32" => Some((
+                ScalarTy {
+                    width: 32,
+                    signed: true,
+                },
+                1,
+            )),
+            "int64" => Some((
+                ScalarTy {
+                    width: 64,
+                    signed: true,
+                },
+                1,
+            )),
+            "uint8" => Some((
+                ScalarTy {
+                    width: 8,
+                    signed: false,
+                },
+                1,
+            )),
+            "uint16" => Some((
+                ScalarTy {
+                    width: 16,
+                    signed: false,
+                },
+                1,
+            )),
+            "uint32" => Some((
+                ScalarTy {
+                    width: 32,
+                    signed: false,
+                },
+                1,
+            )),
+            "uint64" => Some((
+                ScalarTy {
+                    width: 64,
+                    signed: false,
+                },
+                1,
+            )),
             _ => None,
         }?;
         // Optional <N> width parameter on int/uint.
-        let next_is = |off: usize, p: &str| {
-            matches!(self.tokens.get(self.pos + off).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
-        };
+        let next_is = |off: usize, p: &str| matches!(self.tokens.get(self.pos + off).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p);
         if (name == "int" || name == "uint") && next_is(1, "<") {
             if let Some(Token {
                 tok: Tok::Int(w), ..
@@ -221,7 +270,10 @@ impl Parser {
                 }
                 Ok(ty)
             }
-            None => self.err(format!("expected type, found {}", describe(&self.peek().tok))),
+            None => self.err(format!(
+                "expected type, found {}",
+                describe(&self.peek().tok)
+            )),
         }
     }
 
@@ -530,12 +582,18 @@ impl Parser {
         if self.eat_punct("++") {
             let cur = current(self);
             let one = self.mk(span, ExprKind::Int(1));
-            return Ok(self.mk(span, ExprKind::Bin(BinOp::Add, Box::new(cur), Box::new(one))));
+            return Ok(self.mk(
+                span,
+                ExprKind::Bin(BinOp::Add, Box::new(cur), Box::new(one)),
+            ));
         }
         if self.eat_punct("--") {
             let cur = current(self);
             let one = self.mk(span, ExprKind::Int(1));
-            return Ok(self.mk(span, ExprKind::Bin(BinOp::Sub, Box::new(cur), Box::new(one))));
+            return Ok(self.mk(
+                span,
+                ExprKind::Bin(BinOp::Sub, Box::new(cur), Box::new(one)),
+            ));
         }
         self.expect_punct("=")?;
         self.expr()
@@ -592,10 +650,7 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else {
-                break;
-            };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
@@ -777,7 +832,13 @@ mod tests {
         assert_eq!(p.funcs.len(), 1);
         let f = &p.funcs[0];
         assert_eq!(f.name, "inc");
-        assert_eq!(f.ret, Ty::Scalar(ScalarTy { width: 8, signed: false }));
+        assert_eq!(
+            f.ret,
+            Ty::Scalar(ScalarTy {
+                width: 8,
+                signed: false
+            })
+        );
         assert_eq!(f.params.len(), 1);
         assert!(matches!(f.body[0].kind, StmtKind::Return(Some(_))));
     }
@@ -787,11 +848,17 @@ mod tests {
         let p = parse("int<9> f(uint<3> a) { return (int<9>) a; }").unwrap();
         assert_eq!(
             p.funcs[0].ret,
-            Ty::Scalar(ScalarTy { width: 9, signed: true })
+            Ty::Scalar(ScalarTy {
+                width: 9,
+                signed: true
+            })
         );
         assert_eq!(
             p.funcs[0].params[0].ty,
-            Ty::Scalar(ScalarTy { width: 3, signed: false })
+            Ty::Scalar(ScalarTy {
+                width: 3,
+                signed: false
+            })
         );
     }
 
@@ -799,7 +866,16 @@ mod tests {
     fn parses_arrays_and_out_params() {
         let p = parse("void f(uint8 img[16], out uint8 res[16]) { res[0] = img[0]; }").unwrap();
         let f = &p.funcs[0];
-        assert_eq!(f.params[0].ty, Ty::Array(ScalarTy { width: 8, signed: false }, 16));
+        assert_eq!(
+            f.params[0].ty,
+            Ty::Array(
+                ScalarTy {
+                    width: 8,
+                    signed: false
+                },
+                16
+            )
+        );
         assert!(!f.params[0].is_out);
         assert!(f.params[1].is_out);
     }

@@ -238,12 +238,7 @@ impl<'p> Checker<'p> {
                     match (ty, it) {
                         (Ty::Scalar(_), Ty::Scalar(_)) => {} // implicit resize
                         (Ty::Ptr(a), Ty::Ptr(b)) if *a == b => {}
-                        _ => {
-                            return self.err(
-                                e.span,
-                                format!("cannot initialize {ty} from {it}"),
-                            )
-                        }
+                        _ => return self.err(e.span, format!("cannot initialize {ty} from {it}")),
                     }
                 }
                 if !self.scope.declare(name, *ty) {
@@ -375,9 +370,7 @@ impl<'p> Checker<'p> {
                 self.scalar_expr(index)?;
                 match self.scope.lookup(base) {
                     Some(Ty::Array(s, _)) | Some(Ty::Ptr(s)) => Ok(Ty::Scalar(s)),
-                    Some(other) => {
-                        self.err(e.span, format!("{base:?} is {other}, not indexable"))
-                    }
+                    Some(other) => self.err(e.span, format!("{base:?} is {other}, not indexable")),
                     None => self.err(e.span, format!("undeclared variable {base:?}")),
                 }
             }
@@ -468,17 +461,35 @@ mod tests {
 
     #[test]
     fn promotion_rule_is_c_like() {
-        let s8 = ScalarTy { width: 8, signed: true };
-        let u16 = ScalarTy { width: 16, signed: false };
+        let s8 = ScalarTy {
+            width: 8,
+            signed: true,
+        };
+        let u16 = ScalarTy {
+            width: 16,
+            signed: false,
+        };
         // Narrow types promote to int first: int8 + uint16 computes as int.
         assert_eq!(promote(s8, u16), ScalarTy::INT);
         // At 64 bits, unsigned wins ties (the classic C trap).
-        let s64 = ScalarTy { width: 64, signed: true };
-        let u64t = ScalarTy { width: 64, signed: false };
+        let s64 = ScalarTy {
+            width: 64,
+            signed: true,
+        };
+        let u64t = ScalarTy {
+            width: 64,
+            signed: false,
+        };
         assert!(!promote(s64, u64t).signed);
         // A wider signed type beats a narrower unsigned one.
-        let u33 = ScalarTy { width: 33, signed: false };
-        let s40 = ScalarTy { width: 40, signed: true };
+        let u33 = ScalarTy {
+            width: 33,
+            signed: false,
+        };
+        let s40 = ScalarTy {
+            width: 40,
+            signed: true,
+        };
         assert!(promote(u33, s40).signed);
         assert_eq!(promote(u33, s40).width, 40);
     }
@@ -563,7 +574,13 @@ mod tests {
         let StmtKind::Return(Some(e2)) = &prog2.funcs[0].body[0].kind else {
             panic!()
         };
-        assert_eq!(map2.ty(e2), Ty::Scalar(ScalarTy { width: 33, signed: false }));
+        assert_eq!(
+            map2.ty(e2),
+            Ty::Scalar(ScalarTy {
+                width: 33,
+                signed: false
+            })
+        );
     }
 
     #[test]

@@ -59,8 +59,8 @@ impl std::error::Error for LexError {}
 const PUNCTS: &[&str] = &[
     // Longest first so maximal munch works.
     "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<",
-    ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+    "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
 ];
 
 /// Tokenizes SLM-C source. `//` and `/* */` comments are skipped.
@@ -131,9 +131,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             if hex {
                 advance(&mut i, &mut line, &mut col, 2, bytes);
             }
-            while i < bytes.len()
-                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 advance(&mut i, &mut line, &mut col, 1, bytes);
             }
             let text = &src[start..i];

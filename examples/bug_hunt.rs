@@ -47,10 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fields: Vec<(&str, FieldSpec)> = ["a", "b", "c"]
             .iter()
             .map(|n| {
-                (*n, FieldSpec::Corners {
-                    width: 8,
-                    corner_percent: 25,
-                })
+                (
+                    *n,
+                    FieldSpec::Corners {
+                        width: 8,
+                        corner_percent: 25,
+                    },
+                )
             })
             .collect();
         let mut sim = Simulator::new(mutant.clone())?;

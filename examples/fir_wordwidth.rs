@@ -24,7 +24,10 @@ fn main() {
     let exact = fir::fir_reference_exact(&samples);
 
     println!("fixed-point FIR error vs fraction bits (width = frac + 6)");
-    println!("{:>6} {:>6} {:>12} {:>12} {:>9}", "width", "frac", "max err", "rms err", "ok?");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>9}",
+        "width", "frac", "max err", "rms err", "ok?"
+    );
     let budget = 0.002; // the "desired bit error rate" of the spec
     let mut chosen = None;
     for frac in 2..=14u32 {

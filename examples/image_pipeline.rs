@@ -81,8 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for dy in 0..side {
                 for dx in 0..side {
                     let i = (dy * side + dx) as u32;
-                    out_image[ty + dy][tx + dx] =
-                        value.slice(i * 8 + 7, i * 8).to_u64() as u8;
+                    out_image[ty + dy][tx + dx] = value.slice(i * 8 + 7, i * 8).to_u64() as u8;
                 }
             }
             tiles += 1;

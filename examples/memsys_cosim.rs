@@ -10,11 +10,10 @@
 //! Run with: `cargo run --example memsys_cosim`
 
 use dfv::bits::Bv;
+use dfv::bits::SplitMix64;
 use dfv::cosim::{Comparator, ExactComparator, OutOfOrderComparator, StreamItem};
 use dfv::designs::memsys;
 use dfv::rtl::Simulator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = [0u8; 16];
@@ -23,10 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Random tagged lookups, one per cycle.
-    let mut rng = StdRng::seed_from_u64(7);
-    let reqs: Vec<(u64, u64)> = (0..24)
-        .map(|i| (i % 8, rng.gen_range(0..16u64)))
-        .collect();
+    let mut rng = SplitMix64::new(7);
+    let reqs: Vec<(u64, u64)> = (0..24).map(|i| (i % 8, rng.below(16))).collect();
 
     // Drive the RTL, merging both response ports into one stream.
     let mut sim = Simulator::new(memsys::rtl(&table))?;
@@ -51,21 +48,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("request order : {:?}", reqs.iter().map(|r| r.0).collect::<Vec<_>>());
-    println!("response order: {:?}", responses.iter().map(|r| r.1).collect::<Vec<_>>());
+    println!(
+        "request order : {:?}",
+        reqs.iter().map(|r| r.0).collect::<Vec<_>>()
+    );
+    println!(
+        "response order: {:?}",
+        responses.iter().map(|r| r.1).collect::<Vec<_>>()
+    );
 
     // Feed both comparators the same streams.
     let mut exact = ExactComparator::new();
     let mut ooo = OutOfOrderComparator::new(10, 8, 8);
     for (i, &(tag, addr)) in reqs.iter().enumerate() {
         let golden = memsys::pack_response(tag, memsys::slm_golden(&table, addr as u8) as u64);
-        exact.push_expected(StreamItem { value: golden.clone(), time: i as u64 });
-        ooo.push_expected(StreamItem { value: golden, time: i as u64 });
+        exact.push_expected(StreamItem {
+            value: golden.clone(),
+            time: i as u64,
+        });
+        ooo.push_expected(StreamItem {
+            value: golden,
+            time: i as u64,
+        });
     }
     for &(cycle, tag, data) in &responses {
         let v = memsys::pack_response(tag, data);
-        exact.push_actual(StreamItem { value: v.clone(), time: cycle });
-        ooo.push_actual(StreamItem { value: v, time: cycle });
+        exact.push_actual(StreamItem {
+            value: v.clone(),
+            time: cycle,
+        });
+        ooo.push_actual(StreamItem {
+            value: v,
+            time: cycle,
+        });
     }
     let exact_report = exact.finish();
     let ooo_report = ooo.finish();

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ---- 3. Execute the SLM (the paper's fast golden reference). -------
-    let u8t = ScalarTy { width: 8, signed: false };
+    let u8t = ScalarTy {
+        width: 8,
+        signed: false,
+    };
     let mut interp = Interp::new(&prog);
     let demo = interp.run(
         "sat_add",
@@ -53,8 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- 5. Co-simulation on constrained-random stimulus. --------------
     let mut gen = StimulusGen::new(2024)
-        .field("a", FieldSpec::Corners { width: 8, corner_percent: 30 })
-        .field("b", FieldSpec::Corners { width: 8, corner_percent: 30 });
+        .field(
+            "a",
+            FieldSpec::Corners {
+                width: 8,
+                corner_percent: 30,
+            },
+        )
+        .field(
+            "b",
+            FieldSpec::Corners {
+                width: 8,
+                corner_percent: 30,
+            },
+        );
     let mut sim = Simulator::new(rtl.clone())?;
     let mut mismatches = 0;
     for _ in 0..1000 {

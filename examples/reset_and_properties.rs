@@ -98,6 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              dfv-cosim never do.",
             trace.violation_cycle
         ),
+        BmcOutcome::Inconclusive {
+            holds_up_to,
+            reason,
+        } => println!("BMC: {reason} — property proven only up to cycle {holds_up_to}"),
     }
 
     // ---- 3. VCD export of a short FIR run. ------------------------------

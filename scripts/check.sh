@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full offline verification gate: build, tests, lints, formatting.
+#
+# Everything runs with the network disabled (CARGO_NET_OFFLINE) so the
+# gate gives the same answer on an air-gapped machine as on a developer
+# laptop. The workspace has no external dependencies, so an up-to-date
+# Cargo.lock is all cargo needs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q --workspace
+run cargo clippy --all-targets --workspace -- -D warnings
+run cargo fmt --all --check
+
+echo "==> all checks passed"

@@ -84,7 +84,10 @@ fn interpreter_elaborator_and_rtl_agree_on_fir() {
     let samples: Vec<i64> = vec![12, -33, 7, 127, -128, 0, 55, -1];
 
     // Interpreter.
-    let s8 = ScalarTy { width: 8, signed: true };
+    let s8 = ScalarTy {
+        width: 8,
+        signed: true,
+    };
     let xs = Value::Array(samples.iter().map(|&s| Bv::from_i64(8, s)).collect(), s8);
     let run = Interp::new(&prog).run("fir", &[xs]).unwrap();
     let (_, Value::Array(interp_ys, _)) = &run.outs[0] else {

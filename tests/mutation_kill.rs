@@ -4,7 +4,7 @@
 //! verification paths of the paper's §2.
 
 use dfv::bits::Bv;
-use dfv::cosim::{apply_mutation, enumerate_mutations, StimulusGen, FieldSpec};
+use dfv::cosim::{apply_mutation, enumerate_mutations, FieldSpec, StimulusGen};
 use dfv::designs::alu;
 use dfv::rtl::Simulator;
 use dfv::sec::{check_equivalence, EquivOutcome};
@@ -50,9 +50,27 @@ fn every_alu_mutant_is_classified_soundly() {
                 // SEC says equivalent: simulation must agree on a random
                 // sweep (no false equivalences).
                 let mut gen = StimulusGen::new(99)
-                    .field("a", FieldSpec::Corners { width: 8, corner_percent: 40 })
-                    .field("b", FieldSpec::Corners { width: 8, corner_percent: 40 })
-                    .field("c", FieldSpec::Corners { width: 8, corner_percent: 40 });
+                    .field(
+                        "a",
+                        FieldSpec::Corners {
+                            width: 8,
+                            corner_percent: 40,
+                        },
+                    )
+                    .field(
+                        "b",
+                        FieldSpec::Corners {
+                            width: 8,
+                            corner_percent: 40,
+                        },
+                    )
+                    .field(
+                        "c",
+                        FieldSpec::Corners {
+                            width: 8,
+                            corner_percent: 40,
+                        },
+                    );
                 let mutant = apply_mutation(&golden, m);
                 let mut mut_sim = Simulator::new(mutant).unwrap();
                 let mut ref_sim = Simulator::new(golden.clone()).unwrap();
@@ -73,6 +91,9 @@ fn every_alu_mutant_is_classified_soundly() {
                     );
                 }
             }
+            EquivOutcome::Inconclusive { reason, .. } => {
+                panic!("unbudgeted SEC must never be inconclusive: {reason}")
+            }
         }
     }
     // Every datapath mutation must be caught; the benign ones are the
@@ -84,8 +105,8 @@ fn every_alu_mutant_is_classified_soundly() {
 
 #[test]
 fn dropped_stall_bug_is_caught_on_fir() {
-    use dfv::designs::fir;
     use dfv::cosim::Mutation;
+    use dfv::designs::fir;
     // The paper's §3.2 "stall conditions" bug: drop a clock enable.
     let prog = parse(fir::slm_source()).unwrap();
     let slm = elaborate(&prog, "fir").unwrap();
@@ -149,9 +170,5 @@ fn stalling_spec() -> dfv::sec::EquivSpec {
         .bind("in_valid", stall_at, Binding::Free)
         .bind("x", stall_at, Binding::Free);
     // Idle tail.
-    spec.bind(
-        "in_valid",
-        block + 1,
-        Binding::Const(Bv::from_bool(false)),
-    )
+    spec.bind("in_valid", block + 1, Binding::Const(Bv::from_bool(false)))
 }

@@ -35,7 +35,7 @@ mod imp {
                     black_box(sum);
                 });
                 k.notify(go, 1);
-                black_box(k.run(10_000))
+                black_box(k.run(10_000).unwrap())
             })
         });
         g.bench_function("timed_notifications_10k", |b| {
@@ -50,7 +50,7 @@ mod imp {
                     }
                 });
                 k.notify(e, 1);
-                black_box(k.run(u64::MAX / 2));
+                black_box(k.run(u64::MAX / 2).unwrap());
                 black_box(k.stats())
             })
         });

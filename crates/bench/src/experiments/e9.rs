@@ -1,0 +1,194 @@
+//! E9 — interface-fault robustness: sweeping the Fig 2 hazard taxonomy
+//! over live co-simulated designs.
+//!
+//! The paper's Fig 2 blames most apparent SLM↔RTL divergence on interface
+//! timing: latency, stalls, back-pressure, out-of-order completion. E9
+//! turns that around and asks whether the comparison layer is *robust*:
+//! for each fault class injected into a design's real RTL output stream,
+//! is it detected (with provenance), tolerated (by the declared
+//! comparator policy), or masked (an undetected escape)?
+//!
+//! Three blocks are swept:
+//!
+//! * **fir** — the streaming FIR over random samples, compared in-order
+//!   untimed (the latency-divergent pair);
+//! * **memsys** — the dual-bank tagged lookup engine, compared
+//!   out-of-order by tag (the reorder-divergent pair);
+//! * **fir-dc** — the FIR fed a constant input, exhibiting the one
+//!   legitimate *masked* cell: reordering identical values is invisible
+//!   to any value-based comparator.
+
+use dfv_bits::{Bv, SplitMix64};
+use dfv_core::{FaultBlock, FaultCampaign};
+use dfv_cosim::{ComparatorPolicy, StreamItem};
+use dfv_designs::{fir, memsys};
+use dfv_rtl::Simulator;
+
+/// Deterministic campaign seed: E9 must render identically run to run.
+const SEED: u64 = 0x00E9_0B05;
+
+/// Masks a signed accumulator into the FIR's 18-bit output encoding.
+fn fir_out(acc: i64) -> Bv {
+    Bv::from_u64(fir::OUT_WIDTH, (acc as u64) & ((1 << fir::OUT_WIDTH) - 1))
+}
+
+/// Builds a FIR fault block: SLM convolution as the expected stream, the
+/// streaming RTL's sampled outputs as the actual stream.
+fn fir_block(name: &str, samples: &[i8]) -> FaultBlock {
+    // Expected: direct convolution with zero history, one item per sample.
+    let mut expected = Vec::with_capacity(samples.len());
+    for n in 0..samples.len() {
+        let mut acc = 0i64;
+        for (k, &c) in fir::COEFFS.iter().enumerate() {
+            if k > n {
+                break;
+            }
+            acc += c * samples[n - k] as i64;
+        }
+        expected.push(StreamItem {
+            value: fir_out(acc),
+            time: n as u64,
+        });
+    }
+    // Actual: drive the RTL one sample per cycle, sample y on out_valid.
+    let mut sim = Simulator::new(fir::rtl()).expect("fir rtl builds");
+    sim.poke("stall", Bv::from_bool(false));
+    let mut actual = Vec::new();
+    for cycle in 0..samples.len() as u64 + 2 {
+        match samples.get(cycle as usize) {
+            Some(&x) => {
+                sim.poke("in_valid", Bv::from_bool(true));
+                sim.poke("x", Bv::from_u64(8, (x as u64) & 0xFF));
+            }
+            None => sim.poke("in_valid", Bv::from_bool(false)),
+        }
+        sim.step();
+        if sim.output("out_valid").bit(0) {
+            actual.push(StreamItem {
+                value: sim.output("y"),
+                time: cycle,
+            });
+        }
+    }
+    FaultBlock {
+        name: name.into(),
+        expected,
+        actual,
+        policy: ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: None,
+        },
+    }
+}
+
+/// Builds the memsys fault block: zero-delay SLM lookups in issue order
+/// vs the dual-bank RTL's tagged, latency-split responses.
+fn memsys_block() -> FaultBlock {
+    let mut table = [0u8; 16];
+    for (i, v) in table.iter_mut().enumerate() {
+        *v = (i as u8) * 11 + 5;
+    }
+    // Interleave fast- and slow-bank requests so the RTL genuinely
+    // reorders; tags stay unique among in-flight transactions.
+    let mut rng = SplitMix64::new(SEED ^ 0xA5);
+    let reqs: Vec<(u64, u64)> = (0..24).map(|i| (i % 8, rng.below(16))).collect();
+    let expected: Vec<StreamItem> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(tag, addr))| StreamItem {
+            value: memsys::pack_response(tag, memsys::slm_golden(&table, addr as u8) as u64),
+            time: i as u64,
+        })
+        .collect();
+    let mut sim = Simulator::new(memsys::rtl(&table)).expect("memsys rtl builds");
+    let mut actual = Vec::new();
+    for cycle in 0..reqs.len() as u64 + memsys::SLOW_LATENCY + 2 {
+        match reqs.get(cycle as usize) {
+            Some(&(tag, addr)) => {
+                sim.poke("req_valid", Bv::from_bool(true));
+                sim.poke("tag", Bv::from_u64(memsys::TAG_W, tag));
+                sim.poke("addr", Bv::from_u64(memsys::ADDR_W, addr));
+            }
+            None => sim.poke("req_valid", Bv::from_bool(false)),
+        }
+        sim.step();
+        for port in ["resp0", "resp1"] {
+            if sim.output(&format!("{port}_valid")).bit(0) {
+                actual.push(StreamItem {
+                    value: memsys::pack_response(
+                        sim.output(&format!("{port}_tag")).to_u64(),
+                        sim.output(&format!("{port}_data")).to_u64(),
+                    ),
+                    time: cycle,
+                });
+            }
+        }
+    }
+    FaultBlock {
+        name: "memsys".into(),
+        expected,
+        actual,
+        policy: ComparatorPolicy::OutOfOrder {
+            tag_hi: 8 + memsys::TAG_W - 1,
+            tag_lo: 8,
+            window: 4,
+            max_skew: None,
+        },
+    }
+}
+
+/// Runs E9 and renders its report.
+pub fn e9_fault_robustness() -> String {
+    let mut out = String::from(
+        "E9 — interface-fault robustness: detected / tolerated / masked (Fig 2 taxonomy)\n\n",
+    );
+
+    // Random FIR samples (seeded — the whole experiment is reproducible).
+    let mut rng = SplitMix64::new(SEED);
+    let samples: Vec<i8> = (0..48).map(|_| rng.bits(8) as i8).collect();
+
+    let live = [fir_block("fir", &samples), memsys_block()];
+    let campaign = FaultCampaign::new(SEED);
+    let report = campaign.run(&live);
+    assert!(
+        report.baseline_errors.is_empty(),
+        "clean streams must baseline clean: {:?}",
+        report.baseline_errors
+    );
+    assert!(
+        report.all_accounted(),
+        "every fault over the live designs must be detected or tolerated:\n{report}"
+    );
+    out.push_str(&report.to_string());
+    out.push_str("\n\n");
+
+    // The masked exhibit: a DC input stream makes reordering invisible.
+    let dc = [fir_block("fir-dc", &[13i8; 48])];
+    let masked_report = FaultCampaign::new(SEED).run(&dc);
+    assert!(
+        masked_report.masked() >= 1,
+        "the constant stream must mask reorder:\n{masked_report}"
+    );
+    out.push_str(&masked_report.to_string());
+    out.push_str(
+        "\n\nshape: over live streams every Fig 2 hazard is either absorbed by the \
+         declared\ncomparator policy or flagged with cycle+transaction provenance; \
+         the DC-input FIR shows\nthe residual risk — faults that do not change the \
+         observable value stream (reordering\nidentical values) are masked, which \
+         is why fault campaigns sweep *random* stimulus,\nnot quiescent corners.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e9_classifies_all_faults() {
+        let report = super::e9_fault_robustness();
+        assert!(report.contains("DETECTED"));
+        assert!(report.contains("TOLERATED"));
+        assert!(report.contains("MASKED"));
+        // Reproducible byte for byte.
+        assert_eq!(report, super::e9_fault_robustness());
+    }
+}

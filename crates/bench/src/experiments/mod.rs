@@ -1,4 +1,4 @@
-//! Experiments E1–E8: one per figure/claim of the paper. See DESIGN.md's
+//! Experiments E1–E9: one per figure/claim of the paper. See DESIGN.md's
 //! per-experiment index for the mapping.
 
 mod e1;
@@ -9,6 +9,7 @@ mod e5;
 mod e6;
 mod e7;
 mod e8;
+mod e9;
 
 pub use e1::e1_fig1_nonassociativity;
 pub use e2::e2_simulation_speed;
@@ -18,8 +19,9 @@ pub use e5::e5_float_corner_cases;
 pub use e6::e6_incremental_sec;
 pub use e7::e7_model_conditioning;
 pub use e8::e8_partitioned_sec;
+pub use e9::e9_fault_robustness;
 
-/// Runs one experiment by id (`"e1"`..`"e8"`); returns its report text.
+/// Runs one experiment by id (`"e1"`..`"e9"`); returns its report text.
 pub fn run(id: &str) -> Option<String> {
     Some(match id {
         "e1" => e1_fig1_nonassociativity(),
@@ -30,9 +32,10 @@ pub fn run(id: &str) -> Option<String> {
         "e6" => e6_incremental_sec(),
         "e7" => e7_model_conditioning(),
         "e8" => e8_partitioned_sec(),
+        "e9" => e9_fault_robustness(),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];

@@ -115,7 +115,9 @@ impl CycleApproxFir {
         for (i, &x) in xs.iter().enumerate() {
             // Present the sample, then run through its rising edge.
             self.input.write(x);
-            self.kernel.run(first_edge + self.period * i as u64);
+            self.kernel
+                .run(first_edge + self.period * i as u64)
+                .expect("cycle model stays within kernel watchdog bounds");
         }
         let out = self.output.borrow();
         let mut ys = [0i64; BLOCK];

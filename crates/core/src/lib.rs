@@ -30,6 +30,16 @@
 //! checksummed text format, so verdicts survive a process restart and a
 //! truncated or corrupted cache file is detected and rebuilt, never trusted.
 //!
+//! # Fault-injection campaigns
+//!
+//! Next to the equivalence campaign, a [`FaultCampaign`] sweeps the
+//! interface-fault taxonomy (stall, backpressure, drop, duplicate,
+//! reorder, jitter — the paper's Fig 2 inconsistency sources) over each
+//! block's output streams and classifies every cell as **detected** (the
+//! comparator flagged it, with provenance), **tolerated** (absorbed by
+//! the declared [`dfv_cosim::ComparatorPolicy`]), or **masked** (an
+//! undeclared escape). The sweep is a pure function of its seed.
+//!
 //! # Example
 //!
 //! ```
@@ -91,8 +101,10 @@ use dfv_sec::{check_equivalence_with, Budget, CheckOptions, EquivOutcome, EquivR
 use dfv_slmir::{lint, LintFinding, Severity};
 
 mod cache;
+mod faultcamp;
 
 pub use cache::CacheLoad;
+pub use faultcamp::{FaultBlock, FaultCampaign, FaultCampaignReport, FaultCase, FaultVerdict};
 
 /// One SLM/RTL block correspondence (paper §4.2).
 #[derive(Debug, Clone)]

@@ -72,6 +72,33 @@ pub enum StreamMismatch {
         /// The allowed window.
         window: usize,
     },
+    /// End-of-stream reconciliation: a tagged expectation the RTL never
+    /// completed (e.g. a dropped transaction).
+    Lost {
+        /// The expected value (tag included).
+        expected: Bv,
+        /// Its issue order in the expected stream.
+        seq: usize,
+    },
+    /// A tagged RTL completion with no matching expectation (e.g. a
+    /// duplicated transaction).
+    Spurious {
+        /// The value (tag included).
+        actual: Bv,
+        /// When it appeared.
+        time: u64,
+    },
+    /// The streams drifted further apart than the max-skew bound allows —
+    /// an unbounded stall is a timing violation, not something to absorb
+    /// forever.
+    SkewExceeded {
+        /// Expected items pending (produced by the SLM, unmatched).
+        expected_pending: usize,
+        /// Actual items pending (produced by the RTL, unmatched).
+        actual_pending: usize,
+        /// The configured bound.
+        bound: usize,
+    },
 }
 
 impl fmt::Display for StreamMismatch {
@@ -101,6 +128,21 @@ impl fmt::Display for StreamMismatch {
             } => write!(
                 f,
                 "{value} matched {distance} items out of order (window {window})"
+            ),
+            StreamMismatch::Lost { expected, seq } => {
+                write!(f, "lost: expectation #{seq} ({expected}) never completed")
+            }
+            StreamMismatch::Spurious { actual, time } => {
+                write!(f, "spurious: {actual} at t={time} matches no expectation")
+            }
+            StreamMismatch::SkewExceeded {
+                expected_pending,
+                actual_pending,
+                bound,
+            } => write!(
+                f,
+                "skew exceeded: {expected_pending} expected / {actual_pending} actual \
+                 pending (bound {bound})"
             ),
         }
     }
@@ -167,6 +209,8 @@ impl Comparator for ExactComparator {
 #[derive(Debug)]
 pub struct InOrderComparator {
     tolerance: u64,
+    max_skew: Option<usize>,
+    skew_flagged: bool,
     expected: VecDeque<StreamItem>,
     actual: VecDeque<StreamItem>,
     report: CompareReport,
@@ -185,10 +229,40 @@ impl InOrderComparator {
     pub fn new(tolerance: u64) -> Self {
         InOrderComparator {
             tolerance,
+            max_skew: None,
+            skew_flagged: false,
             expected: VecDeque::new(),
             actual: VecDeque::new(),
             report: CompareReport::default(),
             index: 0,
+        }
+    }
+
+    /// Bounds how far one stream may run ahead of the other (in pending
+    /// items). Beyond the bound a [`StreamMismatch::SkewExceeded`] is
+    /// flagged once per excursion — so an injected stall surfaces as a
+    /// timing violation instead of being absorbed forever.
+    pub fn with_max_skew(mut self, bound: usize) -> Self {
+        self.max_skew = Some(bound);
+        self
+    }
+
+    fn check_skew(&mut self) {
+        let Some(bound) = self.max_skew else { return };
+        // After draining, at most one queue is non-empty: its depth is the
+        // current skew between the streams.
+        let skew = self.expected.len().max(self.actual.len());
+        if skew > bound {
+            if !self.skew_flagged {
+                self.skew_flagged = true;
+                self.report.mismatches.push(StreamMismatch::SkewExceeded {
+                    expected_pending: self.expected.len(),
+                    actual_pending: self.actual.len(),
+                    bound,
+                });
+            }
+        } else {
+            self.skew_flagged = false;
         }
     }
 
@@ -221,11 +295,13 @@ impl Comparator for InOrderComparator {
     fn push_expected(&mut self, item: StreamItem) {
         self.expected.push_back(item);
         self.drain_pairs();
+        self.check_skew();
     }
 
     fn push_actual(&mut self, item: StreamItem) {
         self.actual.push_back(item);
         self.drain_pairs();
+        self.check_skew();
     }
 
     fn finish(&mut self) -> CompareReport {
@@ -241,6 +317,8 @@ impl Comparator for InOrderComparator {
                 time: a.time,
             });
         }
+        self.index = 0;
+        self.skew_flagged = false;
         std::mem::take(&mut self.report)
     }
 }
@@ -248,12 +326,26 @@ impl Comparator for InOrderComparator {
 /// Out-of-order compare: items carry a tag (extracted by a caller-supplied
 /// bit range) and match by tag. A match is flagged if it completes more
 /// than `window` positions later than its in-order slot.
+///
+/// A completion arriving before its expectation (possible when streams
+/// are replayed chronologically and the interface reorders) is buffered
+/// until the expectation shows up, as an online scoreboard would.
+///
+/// Never panics on malformed streams: tag ranges are clamped to each
+/// value's width, and [`OutOfOrderComparator::finish`] reconciles every
+/// pending tag — unmatched expectations become [`StreamMismatch::Lost`],
+/// unmatched completions [`StreamMismatch::Spurious`] — so a dropped or
+/// duplicated transaction can never silently pass.
 pub struct OutOfOrderComparator {
     tag_hi: u32,
     tag_lo: u32,
     window: usize,
+    max_skew: Option<usize>,
+    skew_flagged: bool,
     /// Expected items with their arrival order, still unmatched.
     expected: Vec<(usize, StreamItem)>,
+    /// Completions that arrived before any matching expectation.
+    pending_actual: Vec<StreamItem>,
     next_expected_seq: usize,
     matched_seqs: Vec<usize>,
     report: CompareReport,
@@ -261,24 +353,81 @@ pub struct OutOfOrderComparator {
 
 impl OutOfOrderComparator {
     /// Creates an out-of-order comparator matching on `value[tag_hi:tag_lo]`
-    /// with the given reorder window.
+    /// with the given reorder window. A reversed tag range is normalized
+    /// rather than trusted.
     pub fn new(tag_hi: u32, tag_lo: u32, window: usize) -> Self {
         OutOfOrderComparator {
-            tag_hi,
-            tag_lo,
+            tag_hi: tag_hi.max(tag_lo),
+            tag_lo: tag_hi.min(tag_lo),
             window,
+            max_skew: None,
+            skew_flagged: false,
             expected: Vec::new(),
+            pending_actual: Vec::new(),
             next_expected_seq: 0,
             matched_seqs: Vec::new(),
             report: CompareReport::default(),
         }
     }
 
+    /// Bounds how many expectations may sit unmatched at once. Beyond the
+    /// bound a [`StreamMismatch::SkewExceeded`] is flagged once per
+    /// excursion — an interface stalled forever stops being "still in
+    /// flight" and becomes a detected timing violation.
+    pub fn with_max_skew(mut self, bound: usize) -> Self {
+        self.max_skew = Some(bound);
+        self
+    }
+
     fn tag(&self, v: &Bv) -> Bv {
+        // Clamp to the value's width so malformed (narrow) stream items
+        // degrade to prefix-tag matching instead of panicking.
         v.slice(
             self.tag_hi.min(v.width() - 1),
             self.tag_lo.min(v.width() - 1),
         )
+    }
+
+    fn check_skew(&mut self) {
+        let Some(bound) = self.max_skew else { return };
+        let skew = self.expected.len().max(self.pending_actual.len());
+        if skew > bound {
+            if !self.skew_flagged {
+                self.skew_flagged = true;
+                self.report.mismatches.push(StreamMismatch::SkewExceeded {
+                    expected_pending: self.expected.len(),
+                    actual_pending: self.pending_actual.len(),
+                    bound,
+                });
+            }
+        } else {
+            self.skew_flagged = false;
+        }
+    }
+
+    /// Pairs a completion with its expectation: value compare, then
+    /// reorder-window check against how many later-issued transactions
+    /// already matched.
+    fn resolve(&mut self, seq: usize, expected: StreamItem, actual: StreamItem) {
+        if expected.value != actual.value {
+            self.report.mismatches.push(StreamMismatch::Value {
+                index: seq,
+                expected: expected.value,
+                actual: actual.value,
+            });
+            return;
+        }
+        let distance = self.matched_seqs.iter().filter(|&&m| m > seq).count();
+        if distance > self.window {
+            self.report.mismatches.push(StreamMismatch::WindowExceeded {
+                value: actual.value,
+                distance,
+                window: self.window,
+            });
+        } else {
+            self.report.matched += 1;
+        }
+        self.matched_seqs.push(seq);
     }
 }
 
@@ -286,7 +435,21 @@ impl Comparator for OutOfOrderComparator {
     fn push_expected(&mut self, item: StreamItem) {
         let seq = self.next_expected_seq;
         self.next_expected_seq += 1;
-        self.expected.push((seq, item));
+        let tag = self.tag(&item.value);
+        // A completion may have arrived early (reordered interface): pair
+        // it now.
+        match self
+            .pending_actual
+            .iter()
+            .position(|a| self.tag(&a.value) == tag)
+        {
+            Some(pos) => {
+                let a = self.pending_actual.remove(pos);
+                self.resolve(seq, item, a);
+            }
+            None => self.expected.push((seq, item)),
+        }
+        self.check_skew();
     }
 
     fn push_actual(&mut self, item: StreamItem) {
@@ -298,43 +461,34 @@ impl Comparator for OutOfOrderComparator {
         {
             Some(pos) => {
                 let (seq, e) = self.expected.remove(pos);
-                if e.value != item.value {
-                    self.report.mismatches.push(StreamMismatch::Value {
-                        index: seq,
-                        expected: e.value,
-                        actual: item.value,
-                    });
-                    return;
-                }
-                // Reorder distance: how many later-sequenced items matched
-                // before this one.
-                let distance = self.matched_seqs.iter().filter(|&&m| m > seq).count();
-                if distance > self.window {
-                    self.report.mismatches.push(StreamMismatch::WindowExceeded {
-                        value: item.value,
-                        distance,
-                        window: self.window,
-                    });
-                } else {
-                    self.report.matched += 1;
-                }
-                self.matched_seqs.push(seq);
+                self.resolve(seq, e, item);
             }
-            None => self.report.mismatches.push(StreamMismatch::Unexpected {
-                actual: item.value,
-                time: item.time,
-            }),
+            // No expectation yet: buffer, reconcile on expectation arrival
+            // or at end of stream.
+            None => self.pending_actual.push(item),
         }
+        self.check_skew();
     }
 
     fn finish(&mut self) -> CompareReport {
-        for (_, e) in self.expected.drain(..) {
-            self.report
-                .mismatches
-                .push(StreamMismatch::Missing { expected: e.value });
+        // End-of-stream reconciliation: every expectation still pending is
+        // a transaction the RTL lost (reported with its issue order), and
+        // every completion still pending matched no expectation at all.
+        for (seq, e) in self.expected.drain(..) {
+            self.report.mismatches.push(StreamMismatch::Lost {
+                expected: e.value,
+                seq,
+            });
+        }
+        for a in self.pending_actual.drain(..) {
+            self.report.mismatches.push(StreamMismatch::Spurious {
+                actual: a.value,
+                time: a.time,
+            });
         }
         self.matched_seqs.clear();
         self.next_expected_seq = 0;
+        self.skew_flagged = false;
         std::mem::take(&mut self.report)
     }
 }
@@ -452,6 +606,126 @@ mod tests {
         let mut c = OutOfOrderComparator::new(15, 12, 4);
         c.push_expected(mk(5, 0xA));
         c.push_actual(mk(5, 0xB));
+        let r = c.finish();
+        assert!(matches!(r.mismatches[0], StreamMismatch::Value { .. }));
+    }
+
+    /// Satellite regression: a transaction dropped by the interface must
+    /// surface as `Lost` (with its issue order) at end-of-stream
+    /// reconciliation — never a silent pass.
+    #[test]
+    fn dropped_transaction_reported_lost_at_finish() {
+        let mk = |tag: u64, payload: u64| item(tag << 12 | payload, 0);
+        let mut c = OutOfOrderComparator::new(15, 12, 4);
+        c.push_expected(mk(0, 0xA));
+        c.push_expected(mk(1, 0xB));
+        c.push_expected(mk(2, 0xC));
+        // The interface dropped tag 1: only tags 2 and 0 complete.
+        c.push_actual(mk(2, 0xC));
+        c.push_actual(mk(0, 0xA));
+        let r = c.finish();
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.mismatches.len(), 1);
+        let StreamMismatch::Lost { expected, seq } = &r.mismatches[0] else {
+            panic!("expected Lost, got {:?}", r.mismatches[0]);
+        };
+        assert_eq!(*seq, 1, "provenance: the second issued transaction");
+        assert_eq!(expected.to_u64() >> 12, 1);
+
+        // The comparator is reusable after reconciliation.
+        c.push_expected(mk(3, 0xD));
+        c.push_actual(mk(3, 0xD));
+        assert!(c.finish().is_clean());
+    }
+
+    #[test]
+    fn duplicated_transaction_reported_spurious() {
+        let mk = |tag: u64, payload: u64| item(tag << 12 | payload, 0);
+        let mut c = OutOfOrderComparator::new(15, 12, 4);
+        c.push_expected(mk(5, 0xA));
+        c.push_actual(mk(5, 0xA));
+        c.push_actual(mk(5, 0xA)); // duplicate completion
+        let r = c.finish();
+        assert_eq!(r.matched, 1);
+        assert!(matches!(r.mismatches[0], StreamMismatch::Spurious { .. }));
+    }
+
+    #[test]
+    fn max_skew_flags_unbounded_stall_in_order() {
+        // Untimed mode absorbs any latency — unless a skew bound is set.
+        let mut c = InOrderComparator::default().with_max_skew(2);
+        for i in 0..5 {
+            c.push_expected(item(i, i));
+        }
+        // The RTL has produced nothing: 5 pending > bound 2.
+        let r = c.finish();
+        assert!(
+            r.mismatches
+                .iter()
+                .any(|m| matches!(m, StreamMismatch::SkewExceeded { bound: 2, .. })),
+            "{:?}",
+            r.mismatches
+        );
+        // One flag per excursion, not one per item.
+        assert_eq!(
+            r.mismatches
+                .iter()
+                .filter(|m| matches!(m, StreamMismatch::SkewExceeded { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn max_skew_flags_stalled_out_of_order_stream() {
+        let mk = |tag: u64| item(tag << 12, 0);
+        let mut c = OutOfOrderComparator::new(15, 12, 8).with_max_skew(3);
+        for t in 0..6 {
+            c.push_expected(mk(t));
+        }
+        let r = c.finish();
+        assert!(r
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, StreamMismatch::SkewExceeded { bound: 3, .. })));
+    }
+
+    #[test]
+    fn skew_within_bound_stays_clean() {
+        let mut c = InOrderComparator::default().with_max_skew(8);
+        for i in 0..5 {
+            c.push_expected(item(i, i));
+        }
+        for i in 0..5 {
+            c.push_actual(item(i, i + 100));
+        }
+        assert!(c.finish().is_clean());
+    }
+
+    #[test]
+    fn malformed_streams_never_panic() {
+        // Narrow values against a wide tag range: clamped, not a panic.
+        let mut c = OutOfOrderComparator::new(40, 32, 2);
+        c.push_expected(item(3, 0));
+        c.push_actual(StreamItem {
+            value: Bv::from_u64(1, 1),
+            time: 0,
+        });
+        let _ = c.finish();
+
+        // Reversed tag range is normalized.
+        let mut c = OutOfOrderComparator::new(2, 9, 1);
+        c.push_expected(item(0x3FF, 0));
+        c.push_actual(item(0x3FF, 1));
+        assert!(c.finish().is_clean());
+
+        // Width-mismatched values compare unequal, not UB/panic.
+        let mut c = InOrderComparator::default();
+        c.push_expected(item(1, 0));
+        c.push_actual(StreamItem {
+            value: Bv::from_u64(64, 1),
+            time: 0,
+        });
         let r = c.finish();
         assert!(matches!(r.mismatches[0], StreamMismatch::Value { .. }));
     }

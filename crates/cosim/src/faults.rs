@@ -1,0 +1,969 @@
+//! Seeded interface-fault injection: the paper's Fig 2 inconsistency
+//! sources, made reproducible.
+//!
+//! The paper's §2/Fig 2 argues that most *apparent* SLM↔RTL divergence is
+//! interface timing, not computation: latency offsets, stalls,
+//! back-pressure, and out-of-order completion break naive output
+//! comparison even when the design is functionally equivalent. This module
+//! turns each of those hazards into a first-class, seeded fault the
+//! verification stack can be exercised against:
+//!
+//! * [`FaultKind`] — the six-member taxonomy (stall, backpressure, drop,
+//!   duplicate, reorder, jitter);
+//! * [`FaultPlan`] — a reproducible recipe (seed + per-class rates and
+//!   bounds);
+//! * [`FaultInjector`] — applies a plan to an output stream
+//!   ([`FaultInjector::perturb`]) recording every injection in a
+//!   [`FaultLog`] with transaction-index + cycle provenance;
+//! * [`FaultyDriver`] / [`FaultyMonitor`] — wrappers over any
+//!   [`InputTransactor`] / [`OutputTransactor`] that misbehave at the
+//!   transactor boundary itself;
+//! * [`ComparatorPolicy`] — a *declared* tolerance: which fault classes a
+//!   given comparator configuration is designed to absorb. A clean verdict
+//!   outside the declared tolerance is a **masked** fault — the
+//!   interesting escape class the fault campaign exists to find.
+//!
+//! Everything is driven by the in-tree [`SplitMix64`]: the same seed
+//! always yields the same faulted stream and the same log, byte for byte.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use dfv_bits::{Bv, SplitMix64};
+use dfv_rtl::Simulator;
+
+use crate::compare::{
+    Comparator, CompareReport, ExactComparator, InOrderComparator, OutOfOrderComparator, StreamItem,
+};
+use crate::wrapped::{InputTransactor, OutputTransactor, Transaction};
+
+/// One class of interface-timing hazard (the paper's Fig 2 inconsistency
+/// sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The producer holds an output for extra cycles: everything after the
+    /// stall point shifts later in time.
+    Stall,
+    /// The consumer refuses to accept: the transaction (and everything
+    /// after it) is delayed before it even starts.
+    Backpressure,
+    /// A transaction is lost at the interface and never completes.
+    Drop,
+    /// A transaction completes twice.
+    Duplicate,
+    /// Two completions swap order (tagged out-of-order completion).
+    Reorder,
+    /// A completion lands a bounded number of cycles late, without
+    /// affecting its neighbours.
+    Jitter,
+}
+
+impl FaultKind {
+    /// Every fault class, in taxonomy order — the sweep axis for fault
+    /// campaigns.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Stall,
+        FaultKind::Backpressure,
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Jitter,
+    ];
+
+    /// A short stable name (used in reports and log lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Stall => "stall",
+            FaultKind::Backpressure => "backpressure",
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Jitter => "jitter",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected fault, with provenance: which transaction (by stream
+/// index) was hit, at what original time, and what was done to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Index of the afflicted transaction in the unfaulted stream.
+    pub index: usize,
+    /// The transaction's original production time (cycle).
+    pub time: u64,
+    /// Human-readable description of the specific injection.
+    pub detail: String,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on txn #{} (t={}): {}",
+            self.kind, self.index, self.time, self.detail
+        )
+    }
+}
+
+/// The record of every fault injected during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Events in injection order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// Whether nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total injections.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Injections of one class.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    fn push(&mut self, kind: FaultKind, index: usize, time: u64, detail: String) {
+        self.events.push(FaultEvent {
+            kind,
+            index,
+            time,
+            detail,
+        });
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no faults injected");
+        }
+        writeln!(f, "{} fault(s) injected:", self.events.len())?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reproducible fault recipe: a seed plus per-class injection rates
+/// (percent per transaction) and magnitude bounds. Two injectors built
+/// from equal plans produce identical faulted streams and identical logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed — the sole source of nondeterminism.
+    pub seed: u64,
+    /// Per-transaction probability (percent) of a stall before it.
+    pub stall_pct: u8,
+    /// Longest single stall, in cycles.
+    pub max_stall: u64,
+    /// Per-transaction probability (percent) of back-pressure delay.
+    pub backpressure_pct: u8,
+    /// Longest single back-pressure delay, in cycles.
+    pub max_backpressure: u64,
+    /// Per-transaction probability (percent) of being dropped.
+    pub drop_pct: u8,
+    /// Per-transaction probability (percent) of completing twice.
+    pub duplicate_pct: u8,
+    /// Per-transaction probability (percent) of swapping with a later one.
+    pub reorder_pct: u8,
+    /// Furthest a reordered completion may travel, in stream positions.
+    pub max_reorder_distance: usize,
+    /// Per-transaction probability (percent) of bounded lateness.
+    pub jitter_pct: u8,
+    /// Largest single-transaction lateness, in cycles.
+    pub max_jitter: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the baseline control).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stall_pct: 0,
+            max_stall: 0,
+            backpressure_pct: 0,
+            max_backpressure: 0,
+            drop_pct: 0,
+            duplicate_pct: 0,
+            reorder_pct: 0,
+            max_reorder_distance: 0,
+            jitter_pct: 0,
+            max_jitter: 0,
+        }
+    }
+
+    /// A single-class plan at default intensity — the campaign sweep uses
+    /// one of these per (block, fault-class) cell so every verdict is
+    /// attributable to exactly one hazard.
+    pub fn only(kind: FaultKind, seed: u64) -> Self {
+        let mut p = FaultPlan::quiet(seed);
+        match kind {
+            FaultKind::Stall => {
+                p.stall_pct = 25;
+                p.max_stall = 8;
+            }
+            FaultKind::Backpressure => {
+                p.backpressure_pct = 25;
+                p.max_backpressure = 8;
+            }
+            FaultKind::Drop => p.drop_pct = 20,
+            FaultKind::Duplicate => p.duplicate_pct = 20,
+            FaultKind::Reorder => {
+                p.reorder_pct = 30;
+                p.max_reorder_distance = 2;
+            }
+            FaultKind::Jitter => {
+                p.jitter_pct = 40;
+                p.max_jitter = 3;
+            }
+        }
+        p
+    }
+
+    /// The fault classes this plan can actually inject (non-zero rate).
+    pub fn active_kinds(&self) -> Vec<FaultKind> {
+        FaultKind::ALL
+            .into_iter()
+            .filter(|k| {
+                (match k {
+                    FaultKind::Stall => self.stall_pct,
+                    FaultKind::Backpressure => self.backpressure_pct,
+                    FaultKind::Drop => self.drop_pct,
+                    FaultKind::Duplicate => self.duplicate_pct,
+                    FaultKind::Reorder => self.reorder_pct,
+                    FaultKind::Jitter => self.jitter_pct,
+                }) > 0
+            })
+            .collect()
+    }
+
+    /// Builds the injector for this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            rng: SplitMix64::new(self.seed),
+            log: FaultLog::default(),
+        }
+    }
+}
+
+/// Applies a [`FaultPlan`] to transaction streams, logging every
+/// injection. Obtain one from [`FaultPlan::injector`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    fn roll(&mut self, pct: u8) -> bool {
+        pct > 0 && self.rng.below(100) < u64::from(pct)
+    }
+
+    /// Perturbs an output stream according to the plan. Three passes:
+    ///
+    /// 1. **timing** — stall and back-pressure shift the afflicted
+    ///    transaction *and everything after it* later; jitter delays one
+    ///    transaction by a bounded amount (clamped so stream order is
+    ///    preserved — pure lateness, never reordering);
+    /// 2. **structural** — drop removes a transaction, duplicate
+    ///    completes one twice;
+    /// 3. **reorder** — swaps the *values* of two transactions up to
+    ///    `max_reorder_distance` apart while their completion times stay
+    ///    put (tagged out-of-order completion). Swaps never chain, so no
+    ///    value travels further than the bound.
+    ///
+    /// Every injection lands in the log with the index and original time
+    /// of the afflicted transaction.
+    pub fn perturb(&mut self, stream: &[StreamItem]) -> Vec<StreamItem> {
+        // Pass 1: timing faults.
+        let mut shift: u64 = 0;
+        let mut prev_time: u64 = 0;
+        let mut items: Vec<StreamItem> = Vec::with_capacity(stream.len());
+        for (i, it) in stream.iter().enumerate() {
+            if self.roll(self.plan.stall_pct) {
+                let d = self.rng.range_u64(1, self.plan.max_stall.max(1));
+                shift += d;
+                self.log.push(
+                    FaultKind::Stall,
+                    i,
+                    it.time,
+                    format!("output held {d} cycles"),
+                );
+            }
+            if self.roll(self.plan.backpressure_pct) {
+                let d = self.rng.range_u64(1, self.plan.max_backpressure.max(1));
+                shift += d;
+                self.log.push(
+                    FaultKind::Backpressure,
+                    i,
+                    it.time,
+                    format!("acceptance delayed {d} cycles"),
+                );
+            }
+            let mut t = it.time.saturating_add(shift);
+            if self.roll(self.plan.jitter_pct) {
+                let e = self.rng.range_u64(1, self.plan.max_jitter.max(1));
+                t = t.saturating_add(e);
+                self.log
+                    .push(FaultKind::Jitter, i, it.time, format!("late by {e} cycles"));
+            }
+            // Jitter is lateness, not reordering: keep times non-decreasing.
+            t = t.max(prev_time);
+            prev_time = t;
+            items.push(StreamItem {
+                value: it.value.clone(),
+                time: t,
+            });
+        }
+
+        // Pass 2: structural faults.
+        let mut out: Vec<StreamItem> = Vec::with_capacity(items.len());
+        for (i, it) in items.into_iter().enumerate() {
+            let orig_time = stream[i].time;
+            if self.roll(self.plan.drop_pct) {
+                self.log
+                    .push(FaultKind::Drop, i, orig_time, "never completed".into());
+                continue;
+            }
+            let dup = self.roll(self.plan.duplicate_pct);
+            if dup {
+                self.log
+                    .push(FaultKind::Duplicate, i, orig_time, "completed twice".into());
+            }
+            out.push(it.clone());
+            if dup {
+                out.push(it);
+            }
+        }
+
+        // Pass 3: reorder (value swaps; times stay). A cursor jump past
+        // the swap target keeps swaps disjoint, bounding travel distance.
+        let mut i = 0;
+        while i + 1 < out.len() {
+            if self.roll(self.plan.reorder_pct) {
+                let max_d = self.plan.max_reorder_distance.max(1) as u64;
+                let d = self.rng.range_u64(1, max_d) as usize;
+                let j = (i + d).min(out.len() - 1);
+                if j != i {
+                    let (a, b) = (out[i].value.clone(), out[j].value.clone());
+                    out[i].value = b;
+                    out[j].value = a;
+                    self.log.push(
+                        FaultKind::Reorder,
+                        i,
+                        stream.get(i).map_or(0, |s| s.time),
+                        format!("swapped with completion {} positions later", j - i),
+                    );
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The injections so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Takes the log, resetting it (the PRNG stream continues).
+    pub fn take_log(&mut self) -> FaultLog {
+        std::mem::take(&mut self.log)
+    }
+}
+
+/// A shared fault log handle for transactor wrappers, so a driver and a
+/// monitor wrapping the same DUT record into one place.
+pub type SharedFaultLog = Rc<RefCell<FaultLog>>;
+
+/// Creates a fresh shared [`FaultLog`].
+pub fn shared_fault_log() -> SharedFaultLog {
+    Rc::new(RefCell::new(FaultLog::default()))
+}
+
+/// Wraps any [`InputTransactor`] with input-side hazards: **drop** (the
+/// transaction is swallowed before the DUT sees it), **backpressure**
+/// (the handshake is held off for a bounded number of cycles), and
+/// **stall** (mid-drive freeze). Output-side hazards (duplicate, jitter)
+/// belong on [`FaultyMonitor`]; reorder needs multiple transactions in
+/// flight and is a stream-level fault ([`FaultInjector::perturb`]).
+pub struct FaultyDriver<D: InputTransactor> {
+    inner: D,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    log: SharedFaultLog,
+    txn_index: usize,
+    hold_cycles: u64,
+    dropping: bool,
+}
+
+impl<D: InputTransactor> FaultyDriver<D> {
+    /// Wraps `inner`, injecting per `plan`, recording into `log`.
+    pub fn new(inner: D, plan: FaultPlan, log: SharedFaultLog) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultyDriver {
+            inner,
+            plan,
+            rng,
+            log,
+            txn_index: 0,
+            hold_cycles: 0,
+            dropping: false,
+        }
+    }
+
+    fn roll(&mut self, pct: u8) -> bool {
+        pct > 0 && self.rng.below(100) < u64::from(pct)
+    }
+}
+
+impl<D: InputTransactor> InputTransactor for FaultyDriver<D> {
+    fn load(&mut self, txn: &Transaction) {
+        let i = self.txn_index;
+        self.txn_index += 1;
+        if self.roll(self.plan.drop_pct) {
+            self.dropping = true;
+            self.log
+                .borrow_mut()
+                .push(FaultKind::Drop, i, 0, "swallowed at the input".into());
+            return;
+        }
+        self.dropping = false;
+        self.hold_cycles = 0;
+        if self.roll(self.plan.backpressure_pct) {
+            let d = self.rng.range_u64(1, self.plan.max_backpressure.max(1));
+            self.hold_cycles = d;
+            self.log.borrow_mut().push(
+                FaultKind::Backpressure,
+                i,
+                0,
+                format!("input held off {d} cycles"),
+            );
+        } else if self.roll(self.plan.stall_pct) {
+            let d = self.rng.range_u64(1, self.plan.max_stall.max(1));
+            self.hold_cycles = d;
+            self.log
+                .borrow_mut()
+                .push(FaultKind::Stall, i, 0, format!("drive frozen {d} cycles"));
+        }
+        self.inner.load(txn);
+    }
+
+    fn drive(&mut self, sim: &mut Simulator) -> bool {
+        if self.dropping {
+            return false;
+        }
+        if self.hold_cycles > 0 {
+            self.hold_cycles -= 1;
+            // Ports keep whatever was last driven — exactly the hazard a
+            // real frozen handshake presents.
+            return true;
+        }
+        self.inner.drive(sim)
+    }
+}
+
+/// Wraps any [`OutputTransactor`] with output-side hazards: **drop** (a
+/// completed output vanishes), **duplicate** (it is reported twice), and
+/// **jitter** (its completion cycle is reported late).
+pub struct FaultyMonitor<M: OutputTransactor> {
+    inner: M,
+    plan: FaultPlan,
+    rng: SplitMix64,
+    log: SharedFaultLog,
+    out_index: usize,
+    swallowed: usize,
+}
+
+impl<M: OutputTransactor> FaultyMonitor<M> {
+    /// Wraps `inner`, injecting per `plan`, recording into `log`.
+    pub fn new(inner: M, plan: FaultPlan, log: SharedFaultLog) -> Self {
+        // Offset the stream so a driver/monitor pair sharing one plan
+        // seed does not make correlated decisions.
+        let rng = SplitMix64::new(plan.seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        FaultyMonitor {
+            inner,
+            plan,
+            rng,
+            log,
+            out_index: 0,
+            swallowed: 0,
+        }
+    }
+
+    fn roll(&mut self, pct: u8) -> bool {
+        pct > 0 && self.rng.below(100) < u64::from(pct)
+    }
+}
+
+impl<M: OutputTransactor> OutputTransactor for FaultyMonitor<M> {
+    fn sample(&mut self, sim: &mut Simulator, cycle: u64, out: &mut Vec<(String, Bv, u64)>) {
+        let mut tmp = Vec::new();
+        self.inner.sample(sim, cycle, &mut tmp);
+        for (name, value, at) in tmp {
+            let i = self.out_index;
+            self.out_index += 1;
+            if self.roll(self.plan.drop_pct) {
+                self.swallowed += 1;
+                self.log
+                    .borrow_mut()
+                    .push(FaultKind::Drop, i, at, "output swallowed".into());
+                continue;
+            }
+            if self.roll(self.plan.duplicate_pct) {
+                self.log.borrow_mut().push(
+                    FaultKind::Duplicate,
+                    i,
+                    at,
+                    "output reported twice".into(),
+                );
+                out.push((name.clone(), value.clone(), at));
+            }
+            let mut report_at = at;
+            if self.roll(self.plan.jitter_pct) {
+                let e = self.rng.range_u64(1, self.plan.max_jitter.max(1));
+                report_at = at.saturating_add(e);
+                self.log.borrow_mut().push(
+                    FaultKind::Jitter,
+                    i,
+                    at,
+                    format!("reported {e} cycles late"),
+                );
+            }
+            out.push((name, value, report_at));
+        }
+    }
+
+    fn done(&self) -> bool {
+        // A swallowed output will never arrive: report done so the
+        // wrapped-RTL's cycle cap is the only thing that keeps waiting.
+        self.inner.done()
+    }
+
+    fn begin_transaction(&mut self) {
+        self.inner.begin_transaction();
+    }
+}
+
+/// A declared comparator configuration — both a factory for the
+/// comparator and a *tolerance declaration* used to classify clean
+/// verdicts: a fault the policy tolerates is expected to pass; a fault it
+/// does not tolerate that still passes is **masked**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComparatorPolicy {
+    /// Position, value, and timestamp must all match. Tolerates nothing.
+    Exact,
+    /// Values in order; timestamps within `tolerance` (`u64::MAX` =
+    /// untimed).
+    InOrder {
+        /// Allowed |expected time − actual time| per item.
+        tolerance: u64,
+        /// Optional pending-item skew bound ([`InOrderComparator::with_max_skew`]).
+        max_skew: Option<usize>,
+    },
+    /// Tag-matched completion within a reorder window.
+    OutOfOrder {
+        /// Tag field high bit.
+        tag_hi: u32,
+        /// Tag field low bit.
+        tag_lo: u32,
+        /// Allowed reorder distance.
+        window: usize,
+        /// Optional pending-expectation skew bound
+        /// ([`OutOfOrderComparator::with_max_skew`]).
+        max_skew: Option<usize>,
+    },
+}
+
+impl ComparatorPolicy {
+    /// Builds the comparator this policy describes.
+    pub fn build(&self) -> Box<dyn Comparator> {
+        match *self {
+            ComparatorPolicy::Exact => Box::new(ExactComparator::new()),
+            ComparatorPolicy::InOrder {
+                tolerance,
+                max_skew,
+            } => {
+                let c = InOrderComparator::new(tolerance);
+                Box::new(match max_skew {
+                    Some(b) => c.with_max_skew(b),
+                    None => c,
+                })
+            }
+            ComparatorPolicy::OutOfOrder {
+                tag_hi,
+                tag_lo,
+                window,
+                max_skew,
+            } => {
+                let c = OutOfOrderComparator::new(tag_hi, tag_lo, window);
+                Box::new(match max_skew {
+                    Some(b) => c.with_max_skew(b),
+                    None => c,
+                })
+            }
+        }
+    }
+
+    /// Whether this policy *declares* tolerance for a fault class at the
+    /// plan's intensity. The table is deliberately conservative: a clean
+    /// verdict outside it is classified masked, never silently excused.
+    ///
+    /// | policy | tolerated |
+    /// |---|---|
+    /// | `Exact` | nothing |
+    /// | `InOrder` | jitter ≤ tolerance; stall/backpressure only untimed; never with a skew bound |
+    /// | `OutOfOrder` | reorder ≤ window; stall/backpressure/jitter unless a skew bound is set |
+    ///
+    /// Drop and duplicate are never tolerated — no alignment policy may
+    /// excuse a lost or duplicated transaction.
+    pub fn tolerates(&self, kind: FaultKind, plan: &FaultPlan) -> bool {
+        match self {
+            ComparatorPolicy::Exact => false,
+            ComparatorPolicy::InOrder {
+                tolerance,
+                max_skew,
+            } => match kind {
+                FaultKind::Jitter => max_skew.is_none() && plan.max_jitter <= *tolerance,
+                FaultKind::Stall | FaultKind::Backpressure => {
+                    max_skew.is_none() && *tolerance == u64::MAX
+                }
+                _ => false,
+            },
+            ComparatorPolicy::OutOfOrder {
+                window, max_skew, ..
+            } => match kind {
+                FaultKind::Reorder => plan.max_reorder_distance <= *window,
+                FaultKind::Stall | FaultKind::Backpressure | FaultKind::Jitter => {
+                    max_skew.is_none()
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// A short human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            ComparatorPolicy::Exact => "exact".into(),
+            ComparatorPolicy::InOrder {
+                tolerance,
+                max_skew,
+            } => {
+                let tol = if *tolerance == u64::MAX {
+                    "untimed".into()
+                } else {
+                    format!("tol={tolerance}")
+                };
+                match max_skew {
+                    Some(b) => format!("in-order ({tol}, skew≤{b})"),
+                    None => format!("in-order ({tol})"),
+                }
+            }
+            ComparatorPolicy::OutOfOrder {
+                tag_hi,
+                tag_lo,
+                window,
+                max_skew,
+            } => {
+                let base = format!("out-of-order (tag [{tag_hi}:{tag_lo}], win={window}");
+                match max_skew {
+                    Some(b) => format!("{base}, skew≤{b})"),
+                    None => format!("{base})"),
+                }
+            }
+        }
+    }
+}
+
+/// Replays an expected and an actual stream through a comparator in
+/// global chronological order (ties: expected first), then finishes.
+///
+/// This is how faulted streams must be fed: pushing all expectations
+/// first and all completions second would make every skew bound fire
+/// vacuously. Chronological interleaving reproduces what an online
+/// scoreboard sees, so `SkewExceeded` means a real pile-up.
+pub fn replay(
+    expected: &[StreamItem],
+    actual: &[StreamItem],
+    comparator: &mut dyn Comparator,
+) -> CompareReport {
+    let (mut i, mut j) = (0, 0);
+    while i < expected.len() || j < actual.len() {
+        let take_expected =
+            j >= actual.len() || (i < expected.len() && expected[i].time <= actual[j].time);
+        if take_expected {
+            comparator.push_expected(expected[i].clone());
+            i += 1;
+        } else {
+            comparator.push_actual(actual[j].clone());
+            j += 1;
+        }
+    }
+    comparator.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapped::{DirectDriver, FixedCycleMonitor, WrappedRtl};
+    use dfv_rtl::ModuleBuilder;
+
+    fn stream(n: u64) -> Vec<StreamItem> {
+        (0..n)
+            .map(|i| StreamItem {
+                value: Bv::from_u64(16, 0x100 + i),
+                time: i * 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_plan_is_identity_with_empty_log() {
+        let s = stream(20);
+        let mut inj = FaultPlan::quiet(7).injector();
+        assert_eq!(inj.perturb(&s), s);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_faults_byte_for_byte() {
+        let s = stream(50);
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::only(kind, 0xDEAD_BEEF);
+            let mut a = plan.injector();
+            let mut b = plan.injector();
+            assert_eq!(a.perturb(&s), b.perturb(&s), "{kind}");
+            assert_eq!(a.log(), b.log(), "{kind}");
+            assert!(
+                !a.log().is_empty(),
+                "{kind} plan injected nothing in 50 txns"
+            );
+            assert!(a.log().events.iter().all(|e| e.kind == kind));
+        }
+    }
+
+    #[test]
+    fn stall_shifts_time_only() {
+        let s = stream(30);
+        let mut inj = FaultPlan::only(FaultKind::Stall, 3).injector();
+        let f = inj.perturb(&s);
+        assert_eq!(f.len(), s.len());
+        for (orig, got) in s.iter().zip(&f) {
+            assert_eq!(orig.value, got.value);
+            assert!(got.time >= orig.time);
+        }
+        // Cumulative: shifts never decrease along the stream.
+        let mut last_shift = 0;
+        for (orig, got) in s.iter().zip(&f) {
+            let shift = got.time - orig.time;
+            assert!(shift >= last_shift);
+            last_shift = shift;
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_order_preserving() {
+        let s = stream(40);
+        let plan = FaultPlan::only(FaultKind::Jitter, 11);
+        let mut inj = plan.injector();
+        let f = inj.perturb(&s);
+        let mut prev = 0;
+        for (orig, got) in s.iter().zip(&f) {
+            assert_eq!(orig.value, got.value);
+            assert!(got.time >= orig.time);
+            assert!(got.time - orig.time <= plan.max_jitter);
+            assert!(got.time >= prev, "jitter must never reorder");
+            prev = got.time;
+        }
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_cardinality() {
+        let s = stream(40);
+        let mut inj = FaultPlan::only(FaultKind::Drop, 5).injector();
+        let f = inj.perturb(&s);
+        assert_eq!(f.len(), s.len() - inj.log().count(FaultKind::Drop));
+
+        let mut inj = FaultPlan::only(FaultKind::Duplicate, 5).injector();
+        let f = inj.perturb(&s);
+        assert_eq!(f.len(), s.len() + inj.log().count(FaultKind::Duplicate));
+    }
+
+    #[test]
+    fn reorder_swaps_values_within_bound() {
+        let s = stream(40);
+        let plan = FaultPlan::only(FaultKind::Reorder, 13);
+        let mut inj = plan.injector();
+        let f = inj.perturb(&s);
+        assert!(!inj.log().is_empty());
+        // Same multiset of values, same times.
+        for (orig, got) in s.iter().zip(&f) {
+            assert_eq!(orig.time, got.time);
+        }
+        let mut sv: Vec<u64> = s.iter().map(|x| x.value.to_u64()).collect();
+        let mut fv: Vec<u64> = f.iter().map(|x| x.value.to_u64()).collect();
+        sv.sort_unstable();
+        fv.sort_unstable();
+        assert_eq!(sv, fv);
+        // No value travelled further than the bound.
+        for (i, got) in f.iter().enumerate() {
+            let home = s.iter().position(|o| o.value == got.value).unwrap();
+            assert!(home.abs_diff(i) <= plan.max_reorder_distance);
+        }
+    }
+
+    #[test]
+    fn tolerance_table_matches_replay_verdicts() {
+        let s = stream(60);
+        let untimed = ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: None,
+        };
+        let ooo = ComparatorPolicy::OutOfOrder {
+            tag_hi: 15,
+            tag_lo: 0,
+            window: 4,
+            max_skew: None,
+        };
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::only(kind, 99);
+            for policy in [&untimed, &ooo] {
+                let mut inj = plan.injector();
+                let f = inj.perturb(&s);
+                if inj.log().is_empty() {
+                    continue;
+                }
+                let report = replay(&s, &f, policy.build().as_mut());
+                if policy.tolerates(kind, &plan) {
+                    assert!(
+                        report.is_clean(),
+                        "{kind} declared tolerated by {} but flagged: {:?}",
+                        policy.describe(),
+                        report.mismatches
+                    );
+                } else {
+                    assert!(
+                        !report.is_clean(),
+                        "{kind} not tolerated by {} yet passed clean (masked in a \
+                         distinct-value stream should be impossible)",
+                        policy.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_bound_converts_tolerated_stall_into_detection() {
+        let s = stream(60);
+        let plan = FaultPlan::only(FaultKind::Stall, 21);
+        let lenient = ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: None,
+        };
+        let strict = ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: Some(2),
+        };
+        let f = plan.injector().perturb(&s);
+        assert!(replay(&s, &f, lenient.build().as_mut()).is_clean());
+        let r = replay(&s, &f, strict.build().as_mut());
+        assert!(r
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, crate::StreamMismatch::SkewExceeded { .. })));
+        assert!(!strict.tolerates(FaultKind::Stall, &plan));
+    }
+
+    fn addreg() -> dfv_rtl::Module {
+        let mut b = ModuleBuilder::new("addreg");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.add(x, y);
+        let r = b.reg("r", 8, Bv::zero(8));
+        b.connect_reg(r, s);
+        let q = b.reg_q(r);
+        b.output("sum", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn faulty_driver_drops_transactions_at_the_input() {
+        let log = shared_fault_log();
+        let mut plan = FaultPlan::quiet(5);
+        plan.drop_pct = 100;
+        let mut wrapped = WrappedRtl::new(addreg())
+            .unwrap()
+            .with_driver(FaultyDriver::new(
+                DirectDriver::new().map("a", "x").map("b", "y"),
+                plan,
+                log.clone(),
+            ))
+            .with_monitor(FixedCycleMonitor::new("sum", 1))
+            .with_max_cycles(8);
+        let mut txn = Transaction::new();
+        txn.insert("a".into(), Bv::from_u64(8, 3));
+        txn.insert("b".into(), Bv::from_u64(8, 4));
+        let outs = wrapped.run_transaction(&txn);
+        // The DUT never saw the inputs; the monitor sampled the reset
+        // value instead of 7 — and the log says why.
+        assert_eq!(outs[0].1.to_u64(), 0);
+        assert_eq!(log.borrow().count(FaultKind::Drop), 1);
+    }
+
+    #[test]
+    fn faulty_monitor_duplicates_and_logs() {
+        let log = shared_fault_log();
+        let mut plan = FaultPlan::quiet(5);
+        plan.duplicate_pct = 100;
+        let mut wrapped = WrappedRtl::new(addreg())
+            .unwrap()
+            .with_driver(DirectDriver::new().map("a", "x").map("b", "y"))
+            .with_monitor(FaultyMonitor::new(
+                FixedCycleMonitor::new("sum", 1),
+                plan,
+                log.clone(),
+            ));
+        let mut txn = Transaction::new();
+        txn.insert("a".into(), Bv::from_u64(8, 30));
+        txn.insert("b".into(), Bv::from_u64(8, 12));
+        let outs = wrapped.run_transaction(&txn);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].1.to_u64(), 42);
+        assert_eq!(outs[1].1.to_u64(), 42);
+        assert_eq!(log.borrow().count(FaultKind::Duplicate), 1);
+    }
+
+    #[test]
+    fn replay_interleaves_chronologically() {
+        // An actual stream fully after the expected stream would trip a
+        // skew bound; interleaved (clean case) it must not.
+        let e = stream(10);
+        let a = stream(10);
+        let policy = ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: Some(2),
+        };
+        assert!(replay(&e, &a, policy.build().as_mut()).is_clean());
+    }
+}

@@ -166,7 +166,7 @@ mod tests {
             }
         });
         // Run long enough for all values plus one settling edge.
-        k.run(2 * (values.len() as u64 + 3));
+        k.run(2 * (values.len() as u64 + 3)).expect("no livelock");
 
         let total = rtl.output("total").read();
         assert_eq!(total.to_u64(), values.iter().sum::<u64>());

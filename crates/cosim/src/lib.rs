@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 mod compare;
+mod faults;
 mod kernel_bridge;
 mod mutate;
 mod stimulus;
@@ -31,6 +32,10 @@ mod wrapped;
 pub use compare::{
     Comparator, CompareReport, ExactComparator, InOrderComparator, OutOfOrderComparator,
     StreamItem, StreamMismatch,
+};
+pub use faults::{
+    replay, shared_fault_log, ComparatorPolicy, FaultEvent, FaultInjector, FaultKind, FaultLog,
+    FaultPlan, FaultyDriver, FaultyMonitor, SharedFaultLog,
 };
 pub use kernel_bridge::RtlInKernel;
 pub use mutate::{apply_mutation, enumerate_mutations, Mutation};

@@ -1,0 +1,257 @@
+//! Property tests (in-tree PRNG, fully offline) for the fault-injection /
+//! comparator contract:
+//!
+//! 1. **legal schedules are invariant** — any perturbation a policy
+//!    declares tolerance for leaves the verdict clean with the full match
+//!    count;
+//! 2. **illegal schedules are always flagged** — any realized
+//!    perturbation outside the policy's tolerance produces at least one
+//!    mismatch of the right family;
+//! 3. **never panic** — arbitrary malformed streams through arbitrary
+//!    comparator configurations must finish without panicking.
+//!
+//! "Realized" matters: a plan may *allow* more violence than a given seed
+//! actually commits, so the oracle is computed from the perturbed stream
+//! itself (displacements, latenesses, cardinality), not from the plan.
+
+use dfv_bits::{Bv, SplitMix64};
+use dfv_cosim::{
+    replay, Comparator, ComparatorPolicy, FaultKind, FaultPlan, InOrderComparator,
+    OutOfOrderComparator, StreamItem, StreamMismatch,
+};
+
+/// A dense stream of distinct 16-bit values (distinctness makes every
+/// structural/ordering fault observable by value).
+fn distinct_stream(rng: &mut SplitMix64, n: u64) -> Vec<StreamItem> {
+    let base = rng.below(0x8000);
+    (0..n)
+        .map(|i| StreamItem {
+            value: Bv::from_u64(16, base + i),
+            time: i,
+        })
+        .collect()
+}
+
+fn untimed_in_order() -> ComparatorPolicy {
+    ComparatorPolicy::InOrder {
+        tolerance: u64::MAX,
+        max_skew: None,
+    }
+}
+
+/// Full-width tags: every distinct value is its own transaction id.
+fn out_of_order(window: usize) -> ComparatorPolicy {
+    ComparatorPolicy::OutOfOrder {
+        tag_hi: 15,
+        tag_lo: 0,
+        window,
+        max_skew: None,
+    }
+}
+
+#[test]
+fn tolerated_faults_leave_verdicts_invariant() {
+    let mut rng = SplitMix64::new(0x1EA1);
+    for round in 0..200u64 {
+        let n = 16 + rng.below(48);
+        let s = distinct_stream(&mut rng, n);
+        let kind =
+            [FaultKind::Stall, FaultKind::Backpressure, FaultKind::Jitter][rng.below(3) as usize];
+        let policy = if rng.next_bool() {
+            untimed_in_order()
+        } else {
+            out_of_order(rng.below(6) as usize)
+        };
+        let plan = FaultPlan::only(kind, rng.next_u64());
+        assert!(policy.tolerates(kind, &plan), "test setup broken");
+        let f = plan.injector().perturb(&s);
+        let report = replay(&s, &f, policy.build().as_mut());
+        assert!(
+            report.is_clean(),
+            "round {round}: tolerated {kind} flagged: {:?}",
+            report.mismatches
+        );
+        assert_eq!(
+            report.matched,
+            s.len(),
+            "round {round}: lossy clean verdict"
+        );
+    }
+}
+
+#[test]
+fn drops_and_duplicates_are_always_flagged() {
+    let mut rng = SplitMix64::new(0xD0D0);
+    for round in 0..200u64 {
+        let n = 16 + rng.below(48);
+        let s = distinct_stream(&mut rng, n);
+        let kind = [FaultKind::Drop, FaultKind::Duplicate][rng.below(2) as usize];
+        let policy = if rng.next_bool() {
+            untimed_in_order()
+        } else {
+            out_of_order(rng.below(6) as usize)
+        };
+        let plan = FaultPlan::only(kind, rng.next_u64());
+        let mut inj = plan.injector();
+        let f = inj.perturb(&s);
+        if inj.log().is_empty() {
+            continue; // nothing injected this seed: nothing to flag
+        }
+        assert!(!policy.tolerates(kind, &plan));
+        let report = replay(&s, &f, policy.build().as_mut());
+        assert!(
+            !report.is_clean(),
+            "round {round}: {kind} passed clean through {}",
+            policy.describe()
+        );
+    }
+}
+
+#[test]
+fn reorder_verdict_tracks_realized_displacement() {
+    let mut rng = SplitMix64::new(0x0DD5);
+    for round in 0..200u64 {
+        let n = 24 + rng.below(40);
+        let s = distinct_stream(&mut rng, n);
+        let mut plan = FaultPlan::only(FaultKind::Reorder, rng.next_u64());
+        plan.max_reorder_distance = 1 + rng.below(4) as usize;
+        let mut inj = plan.injector();
+        let f = inj.perturb(&s);
+        if inj.log().is_empty() {
+            continue;
+        }
+        // Oracle: each distinct value's realized displacement from its
+        // issue slot.
+        let realized_max = f
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let home = s.iter().position(|o| o.value == item.value).unwrap();
+                home.abs_diff(i)
+            })
+            .max()
+            .unwrap();
+        assert!(realized_max >= 1, "round {round}: log nonempty but no swap");
+
+        // A window at least as wide as the worst realized displacement
+        // stays clean; a window strictly narrower must flag it.
+        let wide = replay(&s, &f, out_of_order(realized_max).build().as_mut());
+        assert!(
+            wide.is_clean(),
+            "round {round}: window {realized_max} flagged a legal reorder: {:?}",
+            wide.mismatches
+        );
+        let narrow = replay(&s, &f, out_of_order(realized_max - 1).build().as_mut());
+        assert!(
+            narrow
+                .mismatches
+                .iter()
+                .any(|m| matches!(m, StreamMismatch::WindowExceeded { .. })),
+            "round {round}: displacement {realized_max} slipped past window {}",
+            realized_max - 1
+        );
+
+        // And any in-order policy sees reordered distinct values as value
+        // mismatches.
+        let in_order = replay(&s, &f, untimed_in_order().build().as_mut());
+        assert!(!in_order.is_clean(), "round {round}");
+    }
+}
+
+#[test]
+fn jitter_verdict_tracks_realized_lateness() {
+    let mut rng = SplitMix64::new(0x717E);
+    for round in 0..200u64 {
+        let n = 16 + rng.below(48);
+        let s = distinct_stream(&mut rng, n);
+        let mut plan = FaultPlan::only(FaultKind::Jitter, rng.next_u64());
+        plan.max_jitter = 1 + rng.below(8);
+        let mut inj = plan.injector();
+        let f = inj.perturb(&s);
+        if inj.log().is_empty() {
+            continue;
+        }
+        // Jitter preserves order and count, so lateness is per-index.
+        assert_eq!(f.len(), s.len());
+        let worst = s
+            .iter()
+            .zip(&f)
+            .map(|(o, g)| g.time - o.time)
+            .max()
+            .unwrap();
+        assert!(worst >= 1 && worst <= plan.max_jitter, "round {round}");
+
+        let lenient = ComparatorPolicy::InOrder {
+            tolerance: worst,
+            max_skew: None,
+        };
+        assert!(
+            replay(&s, &f, lenient.build().as_mut()).is_clean(),
+            "round {round}: lateness {worst} flagged at tolerance {worst}"
+        );
+        let strict = ComparatorPolicy::InOrder {
+            tolerance: worst - 1,
+            max_skew: None,
+        };
+        let report = replay(&s, &f, strict.build().as_mut());
+        assert!(
+            report
+                .mismatches
+                .iter()
+                .any(|m| matches!(m, StreamMismatch::Timing { .. })),
+            "round {round}: lateness {worst} slipped past tolerance {}",
+            worst - 1
+        );
+    }
+}
+
+#[test]
+fn arbitrary_malformed_streams_never_panic() {
+    let mut rng = SplitMix64::new(0x0BAD_5EED);
+    for _ in 0..300u64 {
+        // Arbitrary comparator configuration, including reversed and
+        // out-of-range tag fields and degenerate bounds.
+        let mut cmp: Box<dyn Comparator> = match rng.below(3) {
+            0 => {
+                let c = InOrderComparator::new(rng.next_u64());
+                if rng.next_bool() {
+                    Box::new(c.with_max_skew(rng.below(4) as usize))
+                } else {
+                    Box::new(c)
+                }
+            }
+            _ => {
+                let c = OutOfOrderComparator::new(
+                    rng.below(80) as u32,
+                    rng.below(80) as u32,
+                    rng.below(5) as usize,
+                );
+                if rng.next_bool() {
+                    Box::new(c.with_max_skew(rng.below(4) as usize))
+                } else {
+                    Box::new(c)
+                }
+            }
+        };
+        // Arbitrary width-mismatched streams pushed in arbitrary order.
+        for _ in 0..rng.below(60) {
+            let width = 1 + rng.below(64) as u32;
+            let item = StreamItem {
+                value: Bv::from_u64(width, rng.bits(width.min(63))),
+                time: rng.below(1000),
+            };
+            if rng.next_bool() {
+                cmp.push_expected(item);
+            } else {
+                cmp.push_actual(item);
+            }
+        }
+        let _ = cmp.finish();
+        // A comparator must also survive reuse after reconciliation.
+        cmp.push_expected(StreamItem {
+            value: Bv::from_u64(8, 1),
+            time: 0,
+        });
+        let _ = cmp.finish();
+    }
+}

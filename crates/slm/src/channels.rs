@@ -54,7 +54,7 @@ struct SignalState<T>(RefCell<SignalInner<T>>);
 ///     seen2.set(s.read());
 /// });
 /// sig.write(42);
-/// k.run(10);
+/// k.run(10).expect("no livelock");
 /// assert_eq!(seen.get(), 42);
 /// ```
 pub struct Signal<T> {
@@ -127,7 +127,7 @@ impl<T: Clone + PartialEq + 'static> Signal<T> {
 /// let edges = std::rc::Rc::new(std::cell::Cell::new(0));
 /// let e = edges.clone();
 /// k.process("on_rise", &[clk.posedge()], move |_| e.set(e.get() + 1));
-/// k.run(95);
+/// k.run(95).expect("no livelock");
 /// assert_eq!(edges.get(), 10);
 /// ```
 pub struct Clock {
@@ -308,7 +308,7 @@ mod tests {
             o2.set(s2.read());
         });
         k.notify(start, 0);
-        k.run(1);
+        k.run(1).unwrap();
         assert_eq!(observed.get(), 1); // old value during evaluation
         assert_eq!(s.read(), 99); // new value after the update phase
     }
@@ -331,7 +331,7 @@ mod tests {
             }
         });
         k.notify(tick, 1);
-        k.run(100);
+        k.run(100).unwrap();
         assert_eq!(fires.get(), 1); // only the 5 -> 7 transition fires
     }
 
@@ -345,7 +345,7 @@ mod tests {
         let s3 = s.clone();
         k.process("w2", &[start], move |_| s3.write(2));
         k.notify(start, 0);
-        k.run(1);
+        k.run(1).unwrap();
         assert_eq!(s.read(), 2);
     }
 
@@ -362,7 +362,7 @@ mod tests {
         k.process("neg", &[clk.negedge()], move |k| {
             l2.borrow_mut().push((k.time(), "neg", sig2.read()))
         });
-        k.run(10);
+        k.run(10).unwrap();
         let log = log.borrow();
         // Edges at t = 2 (pos), 4 (neg), 6 (pos), 8 (neg), 10 (pos).
         assert_eq!(log.len(), 5);
@@ -396,7 +396,7 @@ mod tests {
             }
         });
         k.notify(tick, 1);
-        k.run(100);
+        k.run(100).unwrap();
         assert_eq!(*consumed.borrow(), vec![0, 10, 20, 30, 40, 50]);
         assert!(fifo.is_empty());
     }

@@ -37,9 +37,14 @@
 //!     }
 //! });
 //! k.notify(go, 1);
-//! k.run(100);
+//! k.run(100).expect("no livelock");
 //! assert_eq!(*seen.borrow(), vec![0, 1, 2]);
 //! ```
+//!
+//! The kernel is hang-proof: [`Kernel::run`] returns a typed
+//! [`KernelHalt`] (livelock, deadlock, or budget exhaustion) instead of
+//! spinning forever — see the watchdog section of [`Kernel`]'s module
+//! docs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -49,5 +54,12 @@ mod kernel;
 mod tlm;
 
 pub use channels::{Clock, Fifo, Signal};
-pub use kernel::{EventId, Kernel, KernelStats, ProcessId, Time, Update, UpdateQueue};
+pub use kernel::{
+    EventId, Kernel, KernelHalt, KernelStats, ProcessId, Starvation, Time, Update, UpdateQueue,
+    DEFAULT_DELTA_LIMIT,
+};
 pub use tlm::{MemReq, MemResp, TargetPort, TlmMemory, Transport};
+
+// Re-exported so kernel users can arm the watchdog budget without a direct
+// `dfv-sat` dependency.
+pub use dfv_sat::{Budget, ExhaustedReason};

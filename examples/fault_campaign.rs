@@ -1,0 +1,199 @@
+//! Interface-fault campaign + hang-proof kernel demo.
+//!
+//! Part 1 shows the `dfv-slm` kernel watchdogs: a zero-delay self-notify
+//! livelock is caught by the delta-cycle limit, and a drained event queue
+//! with starved waiters is named process-by-process by the deadlock
+//! diagnostic — typed errors instead of a hung process.
+//!
+//! Part 2 runs a seeded fault-injection sweep (the paper's Fig 2 hazard
+//! taxonomy: stall, backpressure, drop, duplicate, reorder, jitter) over
+//! two live designs — the streaming FIR and the dual-bank tagged memsys —
+//! and classifies every cell as detected, tolerated, or masked. The whole
+//! sweep is a pure function of its seed; the example re-runs it and
+//! asserts byte-for-byte identical reports.
+//!
+//! Run with: `cargo run --example fault_campaign`
+
+use dfv::bits::{Bv, SplitMix64};
+use dfv::core::{FaultBlock, FaultCampaign};
+use dfv::cosim::{ComparatorPolicy, StreamItem};
+use dfv::designs::{fir, memsys};
+use dfv::rtl::Simulator;
+use dfv::slm::{Fifo, Kernel, KernelHalt};
+
+const SEED: u64 = 0x00FA_0175;
+
+/// Watchdog demo 1: a process that re-notifies its own trigger with zero
+/// delay would spin forever; the default delta-cycle limit converts the
+/// hang into a typed, diagnosable halt.
+fn livelock_demo() {
+    let mut k = Kernel::new();
+    let tick = k.event("tick");
+    k.process("spinner", &[tick], move |k| {
+        k.notify(tick, 0);
+    });
+    k.notify(tick, 0);
+    match k.run(100) {
+        Err(KernelHalt::Livelock {
+            time,
+            deltas,
+            runnable,
+        }) => {
+            println!("  livelock caught at t={time} after {deltas} delta cycles");
+            println!("  runnable set: {runnable:?}");
+        }
+        other => panic!("expected a livelock halt, got {other:?}"),
+    }
+}
+
+/// Watchdog demo 2: a consumer sensitized to a FIFO no producer ever
+/// fills. The kernel quiesces early; the deadlock diagnostic names the
+/// starved process and the event it waits on.
+fn deadlock_demo() {
+    let mut k = Kernel::new();
+    let ch: Fifo<u32> = Fifo::new(&mut k, "requests", 4);
+    let rx = ch.clone();
+    k.process("consumer", &[ch.written_event()], move |k| {
+        while rx.try_get(k).is_some() {}
+    });
+    match k.run_expecting_activity(1_000) {
+        Err(KernelHalt::Deadlock { time, starved }) => {
+            println!("  deadlock diagnosed at t={time}:");
+            for s in &starved {
+                println!("    {s}");
+            }
+        }
+        other => panic!("expected a deadlock diagnostic, got {other:?}"),
+    }
+}
+
+fn fir_out(acc: i64) -> Bv {
+    Bv::from_u64(fir::OUT_WIDTH, (acc as u64) & ((1 << fir::OUT_WIDTH) - 1))
+}
+
+/// The streaming FIR as a fault-sweep subject: SLM convolution vs the
+/// RTL's sampled output stream, compared in-order untimed.
+fn fir_block(samples: &[i8]) -> Result<FaultBlock, Box<dyn std::error::Error>> {
+    let mut expected = Vec::with_capacity(samples.len());
+    for n in 0..samples.len() {
+        let mut acc = 0i64;
+        for (k, &c) in fir::COEFFS.iter().enumerate() {
+            if k > n {
+                break;
+            }
+            acc += c * samples[n - k] as i64;
+        }
+        expected.push(StreamItem {
+            value: fir_out(acc),
+            time: n as u64,
+        });
+    }
+    let mut sim = Simulator::new(fir::rtl())?;
+    sim.poke("stall", Bv::from_bool(false));
+    let mut actual = Vec::new();
+    for cycle in 0..samples.len() as u64 + 2 {
+        match samples.get(cycle as usize) {
+            Some(&x) => {
+                sim.poke("in_valid", Bv::from_bool(true));
+                sim.poke("x", Bv::from_u64(8, (x as u64) & 0xFF));
+            }
+            None => sim.poke("in_valid", Bv::from_bool(false)),
+        }
+        sim.step();
+        if sim.output("out_valid").bit(0) {
+            actual.push(StreamItem {
+                value: sim.output("y"),
+                time: cycle,
+            });
+        }
+    }
+    Ok(FaultBlock {
+        name: "fir".into(),
+        expected,
+        actual,
+        policy: ComparatorPolicy::InOrder {
+            tolerance: u64::MAX,
+            max_skew: None,
+        },
+    })
+}
+
+/// The dual-bank memsys as a fault-sweep subject: zero-delay SLM lookups
+/// vs tagged responses with 1- and 3-cycle latencies, compared
+/// out-of-order by tag.
+fn memsys_block() -> Result<FaultBlock, Box<dyn std::error::Error>> {
+    let mut table = [0u8; 16];
+    for (i, v) in table.iter_mut().enumerate() {
+        *v = (i as u8) * 7 + 3;
+    }
+    let mut rng = SplitMix64::new(SEED ^ 0x5A);
+    let reqs: Vec<(u64, u64)> = (0..24).map(|i| (i % 8, rng.below(16))).collect();
+    let expected: Vec<StreamItem> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(tag, addr))| StreamItem {
+            value: memsys::pack_response(tag, memsys::slm_golden(&table, addr as u8) as u64),
+            time: i as u64,
+        })
+        .collect();
+    let mut sim = Simulator::new(memsys::rtl(&table))?;
+    let mut actual = Vec::new();
+    for cycle in 0..reqs.len() as u64 + memsys::SLOW_LATENCY + 2 {
+        match reqs.get(cycle as usize) {
+            Some(&(tag, addr)) => {
+                sim.poke("req_valid", Bv::from_bool(true));
+                sim.poke("tag", Bv::from_u64(memsys::TAG_W, tag));
+                sim.poke("addr", Bv::from_u64(memsys::ADDR_W, addr));
+            }
+            None => sim.poke("req_valid", Bv::from_bool(false)),
+        }
+        sim.step();
+        for port in ["resp0", "resp1"] {
+            if sim.output(&format!("{port}_valid")).bit(0) {
+                actual.push(StreamItem {
+                    value: memsys::pack_response(
+                        sim.output(&format!("{port}_tag")).to_u64(),
+                        sim.output(&format!("{port}_data")).to_u64(),
+                    ),
+                    time: cycle,
+                });
+            }
+        }
+    }
+    Ok(FaultBlock {
+        name: "memsys".into(),
+        expected,
+        actual,
+        policy: ComparatorPolicy::OutOfOrder {
+            tag_hi: 8 + memsys::TAG_W - 1,
+            tag_lo: 8,
+            window: 4,
+            max_skew: None,
+        },
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("-- kernel watchdogs --");
+    livelock_demo();
+    deadlock_demo();
+
+    println!("\n-- fault-injection sweep (seed {SEED:#x}) --");
+    let mut rng = SplitMix64::new(SEED);
+    let samples: Vec<i8> = (0..48).map(|_| rng.bits(8) as i8).collect();
+    let blocks = [fir_block(&samples)?, memsys_block()?];
+
+    let report = FaultCampaign::new(SEED).run(&blocks);
+    println!("{report}");
+    assert!(
+        report.all_accounted(),
+        "every injected fault must be detected or tolerated"
+    );
+
+    // Reproducibility: the same seed renders the same report, byte for
+    // byte — the property that makes fault campaigns debuggable.
+    let again = FaultCampaign::new(SEED).run(&blocks);
+    assert_eq!(report.to_string(), again.to_string());
+    println!("\nre-run with the same seed: byte-for-byte identical report");
+    Ok(())
+}

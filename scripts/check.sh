@@ -17,6 +17,10 @@ run() {
 
 run cargo build --release
 run cargo test -q --workspace
+# Offline smoke test: fault-injection sweep + kernel watchdog demos. The
+# example asserts zero masked faults and byte-for-byte report
+# reproducibility, so a plain exit 0 is a real check.
+run cargo run --release --example fault_campaign
 run cargo clippy --all-targets --workspace -- -D warnings
 run cargo fmt --all --check
 

@@ -130,6 +130,11 @@ impl CycleApproxFir {
     pub fn stats(&self) -> dfv_slm::KernelStats {
         self.kernel.stats()
     }
+
+    /// Streams the kernel's `slm.*` counters into `rec`.
+    pub fn set_recorder(&mut self, rec: dfv_obs::SharedRecorder) {
+        self.kernel.set_recorder(rec);
+    }
 }
 
 impl Default for CycleApproxFir {
@@ -164,6 +169,11 @@ impl RtlFir {
             ys[i] = self.sim.output("y").to_i64();
         }
         ys
+    }
+
+    /// Streams the simulator's `rtl.*` counters into `rec`.
+    pub fn set_recorder(&mut self, rec: dfv_obs::SharedRecorder) {
+        self.sim.set_recorder(rec);
     }
 }
 

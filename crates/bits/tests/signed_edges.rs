@@ -1,0 +1,155 @@
+//! Signed-arithmetic edge cases cross-checked against `i128` reference
+//! semantics: `sdiv`/`srem`/`widening_smul`/`wrapping_neg` at MIN / -1,
+//! width-1 operands, and the wrap of `-MIN`.
+//!
+//! Unlike `prop_bv.rs` these run offline: exhaustive enumeration for small
+//! widths plus seeded `SplitMix64` sampling (with forced edge values) up
+//! to width 64, where every operation still has an exact `i128` model.
+
+use dfv_bits::{Bv, SplitMix64};
+
+/// Truncates `v` to `w` bits and reinterprets as two's complement —
+/// the reference for every modular operation below (`w <= 64`).
+fn trunc_i(v: i128, w: u32) -> i128 {
+    let m = 1i128 << w;
+    let r = v.rem_euclid(m);
+    if r >= m / 2 {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// Builds the `w`-bit vector with the two's-complement encoding of `v`
+/// (`w <= 128`; the `u128` cast preserves the low bit pattern).
+fn bv_i128(w: u32, v: i128) -> Bv {
+    Bv::from_u128(w, v as u128)
+}
+
+/// Reference signed division, truncating toward zero, with the crate's
+/// hardware conventions: `x / 0` is all-ones and `MIN / -1` wraps to `MIN`.
+fn ref_sdiv(a: i128, b: i128, w: u32) -> i128 {
+    if b == 0 {
+        trunc_i(-1, w) // all-ones pattern
+    } else {
+        trunc_i(a / b, w)
+    }
+}
+
+/// Reference signed remainder (sign of the dividend); `x % 0` is `x`.
+fn ref_srem(a: i128, b: i128, w: u32) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        trunc_i(a % b, w)
+    }
+}
+
+/// Checks all four signed operations on one `(a, b)` pair at width `w`.
+fn check_pair(w: u32, a: i128, b: i128) {
+    let av = bv_i128(w, a);
+    let bv = bv_i128(w, b);
+
+    let q = av.sdiv(&bv);
+    assert_eq!(q, bv_i128(w, ref_sdiv(a, b, w)), "sdiv w={w} a={a} b={b}");
+    let r = av.srem(&bv);
+    assert_eq!(r, bv_i128(w, ref_srem(a, b, w)), "srem w={w} a={a} b={b}");
+    if b != 0 {
+        // Euclidean identity in the modular ring: q*b + r == a.
+        let qb = q.wrapping_mul(&bv);
+        assert_eq!(qb.wrapping_add(&r), av, "q*b+r w={w} a={a} b={b}");
+    }
+
+    // The full product always fits i128 for w <= 64.
+    let p = av.widening_smul(&bv);
+    assert_eq!(p.width(), 2 * w, "smul width w={w}");
+    assert_eq!(p, bv_i128(2 * w, a * b), "smul w={w} a={a} b={b}");
+
+    assert_eq!(
+        av.wrapping_neg(),
+        bv_i128(w, trunc_i(-a, w)),
+        "neg w={w} a={a}"
+    );
+}
+
+#[test]
+fn exhaustive_small_widths() {
+    for w in 1..=6u32 {
+        let min = -(1i128 << (w - 1));
+        let max = (1i128 << (w - 1)) - 1;
+        for a in min..=max {
+            for b in min..=max {
+                check_pair(w, a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn min_and_minus_one_wrap_at_every_width() {
+    for w in 1..=64u32 {
+        let min = -(1i128 << (w - 1));
+        let minv = bv_i128(w, min);
+        let neg1 = bv_i128(w, -1);
+
+        // -MIN has no representation: negation wraps back to MIN.
+        assert_eq!(minv.wrapping_neg(), minv, "neg(MIN) w={w}");
+        // MIN / -1 overflows the same way (the x86 #DE case, defined here).
+        assert_eq!(minv.sdiv(&neg1), minv, "MIN/-1 w={w}");
+        assert!(minv.srem(&neg1).is_zero(), "MIN%-1 w={w}");
+        // But the widening product has room: -MIN fits in 2w bits.
+        assert_eq!(
+            minv.widening_smul(&neg1),
+            bv_i128(2 * w, -min),
+            "MIN*-1 w={w}"
+        );
+        // And the general reference covers the same pair.
+        check_pair(w, min, -1);
+    }
+}
+
+#[test]
+fn width_one_operands() {
+    // A 1-bit vector holds 0 or -1; exhaustive over all pairs (also hit
+    // by `exhaustive_small_widths`, spelled out here for the corner
+    // conventions).
+    let zero = Bv::zero(1);
+    let neg1 = Bv::ones(1);
+    check_pair(1, 0, 0);
+    check_pair(1, 0, -1);
+    check_pair(1, -1, 0);
+    check_pair(1, -1, -1);
+    // -1 / -1 = +1, which does not fit in 1 bit: wraps to -1.
+    assert_eq!(neg1.sdiv(&neg1), neg1);
+    // ... but the 2-bit widening product represents it exactly.
+    assert_eq!(neg1.widening_smul(&neg1).to_i64(), 1);
+    // Division by zero: all-ones; remainder by zero: the dividend.
+    assert_eq!(zero.sdiv(&zero), neg1);
+    assert_eq!(neg1.srem(&zero), neg1);
+    // MIN at width 1 *is* -1, so its negation wraps to itself.
+    assert_eq!(neg1.wrapping_neg(), neg1);
+}
+
+#[test]
+fn random_wide_widths_match_i128_reference() {
+    let mut rng = SplitMix64::new(0xD1CE_5EED);
+    let widths = [7u32, 8, 15, 16, 31, 32, 33, 48, 63, 64];
+    for _ in 0..4000 {
+        let w = widths[rng.below(widths.len() as u64) as usize];
+        let min = -(1i128 << (w - 1));
+        let max = (1i128 << (w - 1)) - 1;
+        // Bias one operand in eight toward an edge value so MIN, -1, and 0
+        // meet random partners at every width.
+        let draw = |rng: &mut SplitMix64| match rng.below(8) {
+            0 => min,
+            1 => max,
+            2 => -1,
+            3 => 0,
+            _ => trunc_i(rng.bits(w) as i128, w),
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert!((min..=max).contains(&a) && (min..=max).contains(&b));
+        check_pair(w, a, b);
+    }
+}

@@ -31,6 +31,7 @@ use std::fmt;
 
 use dfv_bits::SplitMix64;
 use dfv_cosim::{replay, ComparatorPolicy, FaultKind, FaultPlan, StreamItem};
+use dfv_obs::{Json, RunReport};
 
 /// One block's streams and declared comparison policy, as a fault-sweep
 /// subject.
@@ -233,6 +234,45 @@ impl FaultCampaignReport {
     pub fn all_accounted(&self) -> bool {
         self.masked() == 0 && self.baseline_errors.is_empty()
     }
+
+    /// The sweep as a machine-readable [`RunReport`]: verdict tallies as
+    /// counters, the seed and per-cell verdicts under `values`. The sweep
+    /// records no wall times, so
+    /// [`canonical_json`](RunReport::canonical_json) of the result is a
+    /// pure function of the campaign seed and blocks.
+    pub fn to_run_report(&self) -> RunReport {
+        let mut rep = RunReport::new("fault_campaign");
+        rep.set_counter("faultcamp.cases", self.cases.len() as u64);
+        rep.set_counter("faultcamp.detected", self.detected() as u64);
+        rep.set_counter("faultcamp.tolerated", self.tolerated() as u64);
+        rep.set_counter("faultcamp.masked", self.masked() as u64);
+        rep.set_counter("faultcamp.not_injected", self.not_injected() as u64);
+        rep.set_counter(
+            "faultcamp.baseline_errors",
+            self.baseline_errors.len() as u64,
+        );
+        rep.set_value("seed", Json::UInt(self.seed));
+        rep.set_value("all_accounted", Json::Bool(self.all_accounted()));
+        rep.set_value(
+            "cases",
+            Json::Arr(
+                self.cases
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("block", Json::str(&c.block)),
+                            ("fault", Json::str(c.kind.name())),
+                            ("verdict", Json::Str(c.verdict.to_string())),
+                            ("seed", Json::UInt(c.seed)),
+                            ("injected", Json::UInt(c.injected as u64)),
+                            ("mismatches", Json::UInt(c.mismatches as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        rep
+    }
 }
 
 impl fmt::Display for FaultCampaignReport {
@@ -357,6 +397,35 @@ mod tests {
         // The healthy block still swept.
         assert_eq!(report.cases.len(), FaultKind::ALL.len());
         assert!(!report.all_accounted());
+    }
+
+    #[test]
+    fn run_report_json_is_reproducible_and_parses() {
+        let blocks = [untimed_block("fir")];
+        let j1 = FaultCampaign::new(0xF00D)
+            .run(&blocks)
+            .to_run_report()
+            .canonical_json();
+        let j2 = FaultCampaign::new(0xF00D)
+            .run(&blocks)
+            .to_run_report()
+            .canonical_json();
+        assert_eq!(j1, j2);
+        let parsed = dfv_obs::parse_json(&j1).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("faultcamp.cases"))
+                .and_then(Json::as_u64),
+            Some(FaultKind::ALL.len() as u64)
+        );
+        let cases = parsed
+            .get("values")
+            .and_then(|v| v.get("cases"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(cases.len(), FaultKind::ALL.len());
+        assert!(cases[0].get("verdict").is_some());
     }
 
     #[test]

@@ -315,6 +315,66 @@ impl CampaignReport {
             .filter(|b| matches!(b.status, BlockStatus::Inconclusive(_)))
             .count()
     }
+
+    /// The run as a machine-readable [`RunReport`]: block tallies and
+    /// solver totals as counters, per-block verdicts under `values`, and
+    /// the measured per-block wall times in the timing section (only) —
+    /// so [`RunReport::canonical_json`] of the result depends on the
+    /// verdicts, never on how long the solver took to reach them.
+    pub fn to_run_report(&self) -> dfv_obs::RunReport {
+        use dfv_obs::Json;
+        let mut rep = dfv_obs::RunReport::new("campaign");
+        rep.set_counter("campaign.blocks", self.blocks.len() as u64);
+        rep.set_counter(
+            "campaign.passed",
+            self.blocks
+                .iter()
+                .filter(|b| b.status == BlockStatus::Pass)
+                .count() as u64,
+        );
+        rep.set_counter("campaign.cache_hits", self.cache_hits() as u64);
+        rep.set_counter("campaign.inconclusive", self.inconclusive() as u64);
+        rep.set_counter(
+            "campaign.attempts",
+            self.blocks.iter().map(|b| b.attempts as u64).sum(),
+        );
+        let (mut vars, mut clauses, mut conflicts) = (0u64, 0u64, 0u64);
+        for b in &self.blocks {
+            if let Some(e) = &b.equiv {
+                vars += e.cnf_vars as u64;
+                clauses += e.cnf_clauses as u64;
+                conflicts += e.solver_stats.conflicts;
+            }
+        }
+        rep.set_counter("campaign.cnf_vars", vars);
+        rep.set_counter("campaign.cnf_clauses", clauses);
+        rep.set_counter("campaign.conflicts", conflicts);
+        rep.set_value(
+            "blocks",
+            Json::Arr(
+                self.blocks
+                    .iter()
+                    .map(|b| {
+                        Json::obj(vec![
+                            ("name", Json::str(&b.name)),
+                            ("status", Json::Str(b.status.to_string())),
+                            ("from_cache", Json::Bool(b.from_cache)),
+                            ("attempts", Json::UInt(b.attempts as u64)),
+                            ("lint_findings", Json::UInt(b.lint_findings.len() as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        if let Some(e) = &self.cache_write_error {
+            rep.set_value("cache_write_error", Json::str(e));
+        }
+        for b in &self.blocks {
+            rep.push_phase(format!("block:{}", b.name), b.duration);
+        }
+        rep.push_phase("total", self.duration);
+        rep
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -705,6 +765,39 @@ mod tests {
         assert_eq!(r3.cache_hits(), 1);
         assert!(!r3.blocks[0].from_cache);
         assert!(r3.blocks[1].from_cache);
+    }
+
+    #[test]
+    fn campaign_run_report_json_separates_timing_from_verdicts() {
+        use dfv_obs::Json;
+        let plan = VerificationPlan::new().block(inc_block(false));
+        let rep = Campaign::new().run(&plan).to_run_report();
+        let canon = rep.canonical_json();
+        assert!(!canon.contains("wall_us"), "{canon}");
+        let parsed = dfv_obs::parse_json(&canon).unwrap();
+        let counters = parsed.get("counters").unwrap();
+        assert_eq!(
+            counters.get("campaign.blocks").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            counters.get("campaign.passed").and_then(Json::as_u64),
+            Some(1)
+        );
+        let blocks = parsed
+            .get("values")
+            .and_then(|v| v.get("blocks"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(blocks[0].get("status").and_then(Json::as_str), Some("PASS"));
+        // Wall time lives only in the full report: one phase per block + total.
+        let full = dfv_obs::parse_json(&rep.full_json()).unwrap();
+        let phases = full
+            .get("timing")
+            .and_then(|t| t.get("phases"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(phases.len(), 2);
     }
 
     #[test]

@@ -162,6 +162,22 @@ impl CompareReport {
     pub fn is_clean(&self) -> bool {
         self.mismatches.is_empty()
     }
+
+    /// Records this report into a recorder: bumps the `cosim.matched` /
+    /// `cosim.mismatches` counters and emits one `cosim.mismatch` event
+    /// per divergence (in detection order).
+    pub fn record_to(&self, rec: &dfv_obs::SharedRecorder) {
+        let mut r = rec.borrow_mut();
+        if self.matched > 0 {
+            r.counter_add("cosim.matched", self.matched as u64);
+        }
+        if !self.mismatches.is_empty() {
+            r.counter_add("cosim.mismatches", self.mismatches.len() as u64);
+        }
+        for m in &self.mismatches {
+            r.event("cosim.mismatch", m.to_string());
+        }
+    }
 }
 
 /// A comparator consuming an expected (SLM) and an actual (RTL) stream.

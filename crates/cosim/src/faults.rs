@@ -137,6 +137,19 @@ impl FaultLog {
         self.events.iter().filter(|e| e.kind == kind).count()
     }
 
+    /// Records this log into a recorder: bumps the
+    /// `cosim.faults_injected` counter and emits one `cosim.fault` event
+    /// per injection (in injection order, with provenance).
+    pub fn record_to(&self, rec: &dfv_obs::SharedRecorder) {
+        let mut r = rec.borrow_mut();
+        if !self.events.is_empty() {
+            r.counter_add("cosim.faults_injected", self.events.len() as u64);
+        }
+        for e in &self.events {
+            r.event("cosim.fault", e.to_string());
+        }
+    }
+
     fn push(&mut self, kind: FaultKind, index: usize, time: u64, detail: String) {
         self.events.push(FaultEvent {
             kind,

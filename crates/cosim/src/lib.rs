@@ -25,6 +25,7 @@
 mod compare;
 mod faults;
 mod kernel_bridge;
+mod localize;
 mod mutate;
 mod stimulus;
 mod wrapped;
@@ -38,6 +39,7 @@ pub use faults::{
     FaultPlan, FaultyDriver, FaultyMonitor, SharedFaultLog,
 };
 pub use kernel_bridge::RtlInKernel;
+pub use localize::{combined_divergence_vcd, localize, DivergenceReport};
 pub use mutate::{apply_mutation, enumerate_mutations, Mutation};
 pub use stimulus::{FieldSpec, StimulusGen};
 pub use wrapped::{

@@ -1,0 +1,164 @@
+//! Divergence localization: from "the streams disagree" to *where*.
+//!
+//! A cosim mismatch or SEC counterexample says two models disagree; the
+//! debugging question is always the same: at which cycle did they first
+//! split, on which signal, and which RTL logic feeds that signal? This
+//! module answers all three from a pair of [`WatchedTrace`]s (one per
+//! side) and the RTL netlist:
+//!
+//! 1. [`dfv_obs::first_divergence`] scans the aligned traces for the
+//!    first cycle/signal where the sides differ;
+//! 2. [`dfv_rtl::fanin_cone`] back-traverses the netlist from the
+//!    offending signal, ranking suspects by structural distance;
+//! 3. the result renders as a human-readable report
+//!    ([`DivergenceReport::render_text`]) and as one combined VCD with
+//!    both sides' watched values in separate scopes
+//!    ([`combined_divergence_vcd`]) for waveform-viewer inspection.
+
+use dfv_obs::{first_divergence, Divergence, WatchedTrace};
+use dfv_rtl::{fanin_cone, ConeEntry, ConeStart, Module};
+
+/// A localized divergence: the first point of disagreement plus the RTL
+/// fan-in cone of the offending signal, ranked by distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// First cycle/signal where the two sides disagree.
+    pub divergence: Divergence,
+    /// Fan-in cone of the offending signal (empty if the signal could
+    /// not be resolved to a netlist object, e.g. an SLM-only name).
+    pub cone: Vec<ConeEntry>,
+}
+
+impl DivergenceReport {
+    /// Renders the report as indented text: the divergence line followed
+    /// by the cone, one suspect per line, nearest first.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{}\n", self.divergence);
+        if self.cone.is_empty() {
+            out.push_str(&format!(
+                "  (no fan-in cone: `{}` is not an RTL output, register, or named node)\n",
+                self.divergence.signal
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "fan-in cone of `{}` ({} suspects, nearest first):\n",
+            self.divergence.signal,
+            self.cone.len()
+        ));
+        for e in &self.cone {
+            out.push_str(&format!("  d={:<3} {} {}\n", e.distance, e.kind, e.name));
+        }
+        out
+    }
+}
+
+/// Resolves a watched-signal name to a cone start point: output port
+/// first, then register, then named combinational node.
+fn cone_start(rtl: &Module, signal: &str) -> Option<ConeStart> {
+    if rtl.output_index(signal).is_some() {
+        return Some(ConeStart::Output(signal.to_string()));
+    }
+    if rtl.reg_index(signal).is_some() {
+        return Some(ConeStart::Reg(signal.to_string()));
+    }
+    rtl.node_named(signal).map(ConeStart::Node)
+}
+
+/// Localizes the first divergence between an expected (SLM-side) and
+/// actual (RTL-side) trace: names the cycle and signal, then
+/// back-traverses `rtl`'s netlist from that signal for up to `max_cone`
+/// ranked suspects. Returns `None` when the traces agree on every signal
+/// they share.
+pub fn localize(
+    rtl: &Module,
+    expected: &WatchedTrace,
+    actual: &WatchedTrace,
+    max_cone: usize,
+) -> Option<DivergenceReport> {
+    let divergence = first_divergence(expected, actual)?;
+    let cone = cone_start(rtl, &divergence.signal)
+        .and_then(|s| fanin_cone(rtl, &s, max_cone))
+        .unwrap_or_default();
+    Some(DivergenceReport { divergence, cone })
+}
+
+/// Renders one VCD with both sides' watched values: the expected trace
+/// under scope `slm`, the actual under scope `rtl` — open it in any
+/// waveform viewer and the two sides sit next to each other.
+pub fn combined_divergence_vcd(expected: &WatchedTrace, actual: &WatchedTrace) -> String {
+    dfv_obs::combined_vcd(expected, "slm", actual, "rtl")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_bits::Bv;
+    use dfv_rtl::{ConeKind, ModuleBuilder, Simulator};
+
+    /// y = reg(a + b): watchable output with a two-deep cone.
+    fn adder_reg(swap_bug: bool) -> Module {
+        let mut b = ModuleBuilder::new("dut");
+        let a = b.input("a", 8);
+        let bi = b.input("b", 8);
+        let sum = if swap_bug { b.sub(a, bi) } else { b.add(a, bi) };
+        b.name_node(sum, "sum");
+        let r = b.reg("acc", 8, Bv::zero(8));
+        b.connect_reg(r, sum);
+        let q = b.reg_q(r);
+        b.output("y", q);
+        b.finish().unwrap()
+    }
+
+    fn run_trace(m: Module, steps: u64) -> WatchedTrace {
+        let mut sim = Simulator::new(m).unwrap();
+        sim.watch_output("y");
+        sim.poke("a", Bv::from_u64(8, 7));
+        sim.poke("b", Bv::from_u64(8, 5));
+        for _ in 0..steps {
+            sim.step();
+        }
+        sim.watched_trace()
+    }
+
+    #[test]
+    fn localizes_first_divergence_with_cone() {
+        let expected = run_trace(adder_reg(false), 3);
+        let actual = run_trace(adder_reg(true), 3);
+        let rep = localize(&adder_reg(true), &expected, &actual, 16).unwrap();
+        // Cycle 0 samples the reset value on both sides; the faulty sum
+        // lands at cycle 1.
+        assert_eq!(rep.divergence.step, 1);
+        assert_eq!(rep.divergence.signal, "y");
+        assert_eq!(rep.divergence.expected.to_u64(), 12);
+        assert_eq!(rep.divergence.actual.to_u64(), 2);
+        // Cone: acc (the register driving y), then sum, then the inputs.
+        assert!(rep
+            .cone
+            .iter()
+            .any(|e| e.name == "acc" && e.kind == ConeKind::Reg));
+        assert!(rep.cone.iter().any(|e| e.name == "sum"));
+        assert!(rep.cone.iter().any(|e| e.name == "a"));
+        let text = rep.render_text();
+        assert!(text.contains("cycle 1"), "{text}");
+        assert!(text.contains("`y`"), "{text}");
+        assert!(text.contains("acc"), "{text}");
+    }
+
+    #[test]
+    fn agreement_yields_none() {
+        let expected = run_trace(adder_reg(false), 3);
+        let actual = run_trace(adder_reg(false), 3);
+        assert!(localize(&adder_reg(false), &expected, &actual, 16).is_none());
+    }
+
+    #[test]
+    fn combined_vcd_carries_both_scopes() {
+        let expected = run_trace(adder_reg(false), 2);
+        let actual = run_trace(adder_reg(true), 2);
+        let vcd = combined_divergence_vcd(&expected, &actual);
+        let parsed = dfv_obs::parse_vcd(&vcd).unwrap();
+        assert!(parsed.var("slm", "y").is_some());
+        assert!(parsed.var("rtl", "y").is_some());
+    }
+}

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use dfv_bits::Bv;
+use dfv_obs::{ObsHook, SharedRecorder};
 use dfv_rtl::{Module, RtlError, Simulator};
 
 /// A transaction: named SLM-level values (whole arrays as packed words).
@@ -261,6 +262,7 @@ pub struct WrappedRtl {
     monitors: Vec<Box<dyn OutputTransactor>>,
     max_cycles: u64,
     total_cycles: u64,
+    obs: ObsHook,
 }
 
 impl WrappedRtl {
@@ -276,7 +278,16 @@ impl WrappedRtl {
             monitors: Vec::new(),
             max_cycles: 10_000,
             total_cycles: 0,
+            obs: ObsHook::none(),
         })
+    }
+
+    /// Streams instrumentation into `rec`: `cosim.transactions` /
+    /// `cosim.cycles` counters from this wrapper, plus the underlying
+    /// simulator's own `rtl.*` counters (the recorder is forwarded).
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.sim.set_recorder(rec.clone());
+        self.obs.set(rec);
     }
 
     /// Adds an input transactor.
@@ -322,6 +333,7 @@ impl WrappedRtl {
             m.begin_transaction();
         }
         let mut outputs = Vec::new();
+        let before = self.total_cycles;
         for cycle in 0..self.max_cycles {
             for d in &mut self.drivers {
                 let _ = d.drive(&mut self.sim);
@@ -335,6 +347,8 @@ impl WrappedRtl {
                 break;
             }
         }
+        self.obs.add("cosim.transactions", 1);
+        self.obs.add("cosim.cycles", self.total_cycles - before);
         outputs
     }
 }
@@ -414,6 +428,24 @@ mod tests {
         txn2.insert("b".into(), Bv::from_u64(8, 2));
         let outs2 = wrapped.run_transaction(&txn2);
         assert_eq!(outs2[0].1.to_u64(), 3);
+    }
+
+    #[test]
+    fn recorder_counts_transactions_and_cycles() {
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let mut wrapped = WrappedRtl::new(stream_summer())
+            .unwrap()
+            .with_driver(SerialDriver::new("bytes", "data", "valid", 8))
+            .with_monitor(SerialCollector::new("total", "total", "done", 1));
+        wrapped.set_recorder(rec.clone());
+        let mut txn = Transaction::new();
+        txn.insert("bytes".into(), Bv::from_u64(32, 0x04_03_02_01));
+        wrapped.run_transaction(&txn);
+        let m = rec.borrow();
+        assert_eq!(m.counter("cosim.transactions"), 1);
+        assert_eq!(m.counter("cosim.cycles"), wrapped.total_cycles());
+        // The forwarded recorder sees the inner simulator's work too.
+        assert_eq!(m.counter("rtl.steps"), wrapped.total_cycles());
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Cross-domain watched traces and first-divergence detection.
+//!
+//! A [`WatchedTrace`] is the common shape both sides of a comparison
+//! are lowered into: the SLM side from golden/reference values, the
+//! RTL side from `Simulator` watch lists. [`first_divergence`] walks
+//! the two in lockstep and names the earliest mismatching step and
+//! signal; [`combined_vcd`] renders both sides into one dump with
+//! separate scopes so a viewer can eyeball the split point.
+
+use crate::vcd::{render_vcd, VcdScope, VcdSignal};
+use dfv_bits::Bv;
+
+/// A cycle-indexed trace over a fixed set of named, sized signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchedTrace {
+    names: Vec<String>,
+    widths: Vec<u32>,
+    /// `steps[k]` holds `(time, values)` for the k-th recorded step;
+    /// `values` is parallel to `names`.
+    steps: Vec<(u64, Vec<Bv>)>,
+}
+
+impl WatchedTrace {
+    /// Creates an empty trace over the given signals. Panics if names
+    /// and widths disagree in length.
+    pub fn new(names: Vec<String>, widths: Vec<u32>) -> Self {
+        assert_eq!(names.len(), widths.len(), "names/widths must be parallel");
+        Self {
+            names,
+            widths,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Signal names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Declared signal widths, parallel to [`Self::names`].
+    pub fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends one step. Panics if the value count doesn't match the
+    /// signal count or the time goes backwards.
+    pub fn push(&mut self, time: u64, values: Vec<Bv>) {
+        assert_eq!(values.len(), self.names.len(), "one value per signal");
+        if let Some(&(prev, _)) = self.steps.last() {
+            assert!(time >= prev, "times must be nondecreasing");
+        }
+        self.steps.push((time, values));
+    }
+
+    /// Column index of a signal by name.
+    pub fn signal(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The value of column `sig` at step `step`.
+    pub fn value(&self, step: usize, sig: usize) -> Option<&Bv> {
+        self.steps.get(step).and_then(|(_, vs)| vs.get(sig))
+    }
+
+    /// Lowers the trace into one VCD scope with the given name.
+    pub fn to_scope(&self, scope_name: &str) -> VcdScope {
+        VcdScope {
+            name: scope_name.to_string(),
+            signals: self
+                .names
+                .iter()
+                .zip(&self.widths)
+                .enumerate()
+                .map(|(i, (name, &width))| VcdSignal {
+                    name: name.clone(),
+                    width,
+                    samples: self
+                        .steps
+                        .iter()
+                        .map(|(t, vs)| (*t, vs[i].clone()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The earliest point where two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Step index (cycle) of the first mismatch.
+    pub step: usize,
+    /// Trace time at that step (taken from the `actual` side).
+    pub time: u64,
+    /// Name of the offending signal.
+    pub signal: String,
+    /// Expected-side value.
+    pub expected: Bv,
+    /// Actual-side value.
+    pub actual: Bv,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first divergence at cycle {} (t={}): signal `{}` expected {} got {}",
+            self.step, self.time, self.signal, self.expected, self.actual
+        )
+    }
+}
+
+/// Finds the first step/signal where the traces disagree.
+///
+/// Only signals present in *both* traces (matched by name) are
+/// compared, so the RTL side may watch extra internals. Steps are
+/// aligned by position; comparison stops at the shorter trace. Within
+/// a step, the expected trace's signal order breaks ties.
+pub fn first_divergence(expected: &WatchedTrace, actual: &WatchedTrace) -> Option<Divergence> {
+    let pairs: Vec<(usize, usize)> = expected
+        .names
+        .iter()
+        .enumerate()
+        .filter_map(|(ei, name)| actual.signal(name).map(|ai| (ei, ai)))
+        .collect();
+    let steps = expected.len().min(actual.len());
+    for k in 0..steps {
+        for &(ei, ai) in &pairs {
+            let ev = &expected.steps[k].1[ei];
+            let av = &actual.steps[k].1[ai];
+            if ev != av {
+                return Some(Divergence {
+                    step: k,
+                    time: actual.steps[k].0,
+                    signal: expected.names[ei].clone(),
+                    expected: ev.clone(),
+                    actual: av.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Renders both sides into one VCD with separate scopes (default
+/// names `slm` and `rtl`), so viewers show the two domains aligned on
+/// a shared timeline.
+pub fn combined_vcd(
+    expected: &WatchedTrace,
+    expected_scope: &str,
+    actual: &WatchedTrace,
+    actual_scope: &str,
+) -> String {
+    render_vcd(&[
+        expected.to_scope(expected_scope),
+        actual.to_scope(actual_scope),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcd::parse_vcd;
+
+    fn bv(w: u32, v: u64) -> Bv {
+        Bv::from_u64(w, v)
+    }
+
+    fn trace(vals: &[(u64, u64)]) -> WatchedTrace {
+        let mut t = WatchedTrace::new(vec!["y".into()], vec![8]);
+        for &(time, v) in vals {
+            t.push(time, vec![bv(8, v)]);
+        }
+        t
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let a = trace(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn earliest_step_and_signal_order_win() {
+        let mut e = WatchedTrace::new(vec!["a".into(), "b".into()], vec![4, 4]);
+        let mut g = WatchedTrace::new(vec!["b".into(), "a".into()], vec![4, 4]);
+        e.push(0, vec![bv(4, 1), bv(4, 2)]);
+        g.push(0, vec![bv(4, 2), bv(4, 1)]); // same values, columns swapped
+        e.push(5, vec![bv(4, 3), bv(4, 4)]);
+        g.push(5, vec![bv(4, 9), bv(4, 8)]); // both signals wrong here
+        let d = first_divergence(&e, &g).expect("diverges");
+        assert_eq!(d.step, 1);
+        assert_eq!(d.time, 5);
+        assert_eq!(d.signal, "a", "expected-side order breaks the tie");
+        assert_eq!(d.expected, bv(4, 3));
+        assert_eq!(d.actual, bv(4, 8));
+        assert!(d.to_string().contains("cycle 1"));
+    }
+
+    #[test]
+    fn extra_actual_signals_are_ignored() {
+        let e = trace(&[(0, 1), (1, 2)]);
+        let mut g = WatchedTrace::new(vec!["y".into(), "debug".into()], vec![8, 1]);
+        g.push(0, vec![bv(8, 1), bv(1, 0)]);
+        g.push(1, vec![bv(8, 2), bv(1, 1)]);
+        assert_eq!(first_divergence(&e, &g), None);
+    }
+
+    #[test]
+    fn combined_vcd_has_both_scopes_and_initial_values() {
+        let e = trace(&[(0, 1), (1, 2)]);
+        let g = trace(&[(0, 1), (1, 7)]);
+        let vcd = combined_vcd(&e, "slm", &g, "rtl");
+        let parsed = parse_vcd(&vcd).expect("well-formed");
+        assert!(parsed.var("slm", "y").is_some());
+        assert!(parsed.var("rtl", "y").is_some());
+        assert_eq!(parsed.dumpvars_len, 2, "both scopes dumped at t0");
+    }
+}

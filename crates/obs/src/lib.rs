@@ -1,0 +1,40 @@
+//! `dfv-obs` — the workspace's structured observability substrate.
+//!
+//! Every engine crate (kernel, RTL simulator, SAT solver, SEC driver,
+//! co-simulation harness) funnels its instrumentation through the one
+//! [`Recorder`] trait defined here, so a single in-memory sink sees a
+//! coherent, deterministically ordered stream of spans, events, and
+//! monotonic counters regardless of which engines participated in a run.
+//!
+//! Design rules, enforced by construction:
+//!
+//! - **No wall-clock values in recorded data.** Recorded entries carry a
+//!   monotonic sequence number, never an `Instant` or timestamp, so two
+//!   runs of the same seeded workload produce byte-identical streams.
+//!   Wall time is measured only "at the edges" by [`RunReport::phase`],
+//!   and is kept out of the canonical (byte-reproducible) JSON form.
+//! - **Deterministic ordering.** Counters live in ordered maps; events
+//!   are ordered by their sequence number; JSON objects preserve
+//!   insertion order.
+//!
+//! The crate also hosts the format-level pieces the observability layer
+//! needs and that more than one crate consumes: a dependency-free JSON
+//! value type with writer and parser ([`json`]), a multi-scope VCD
+//! writer and round-trip parser ([`vcd`]), and the cross-domain
+//! [`WatchedTrace`]/[`first_divergence`] machinery the divergence
+//! localizer is built on ([`divergence`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod vcd;
+
+pub use divergence::{combined_vcd, first_divergence, Divergence, WatchedTrace};
+pub use json::{parse_json, Json};
+pub use recorder::{MemoryRecorder, ObsEntry, ObsHook, Recorder, SharedRecorder};
+pub use report::{Phase, RunReport};
+pub use vcd::{parse_vcd, render_vcd, sanitize_id, ParsedVcd, VcdScope, VcdSignal};

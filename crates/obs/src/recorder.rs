@@ -1,0 +1,289 @@
+//! The [`Recorder`] trait and its in-memory implementation.
+//!
+//! Engines report three kinds of instrumentation:
+//!
+//! - **spans** — named begin/end brackets around a unit of work
+//!   (`sat.solve`, `slm.run`, …);
+//! - **events** — one-off typed occurrences with a human-readable
+//!   detail string (`sec.depth`, `cosim.fault`, …);
+//! - **counters** — named monotonic tallies that only ever increase
+//!   (`rtl.eval_passes`, `sat.conflicts`, …).
+//!
+//! Nothing here captures wall-clock time: entries are ordered by a
+//! monotonic sequence number so recorded streams are reproducible
+//! across runs of the same seeded workload.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Sink for structured instrumentation emitted by the engines.
+///
+/// Counter names and span/event kinds are `&'static str` by convention
+/// (`"<crate>.<metric>"`), which keeps the hot paths allocation-free.
+pub trait Recorder {
+    /// Opens a named span. Spans may nest; pairing is by name and order.
+    fn begin_span(&mut self, name: &'static str);
+    /// Closes the most recent open span with this name.
+    fn end_span(&mut self, name: &'static str);
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&mut self, name: &'static str, delta: u64);
+    /// Records a one-off event of the given kind with a detail string.
+    fn event(&mut self, kind: &'static str, detail: String);
+}
+
+/// Shared, dynamically dispatched recorder handle.
+///
+/// The workspace is single-threaded by design, so `Rc<RefCell<..>>` is
+/// the right sharing primitive; engines that hold one become `!Send`,
+/// which nothing in the workspace requires.
+pub type SharedRecorder = Rc<RefCell<dyn Recorder>>;
+
+/// One recorded entry, ordered by its monotonic `seq` number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsEntry {
+    /// A span opened.
+    SpanBegin {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Span name.
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Span name.
+        name: &'static str,
+    },
+    /// A one-off event.
+    Event {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Event kind.
+        kind: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl ObsEntry {
+    /// The entry's sequence number.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            ObsEntry::SpanBegin { seq, .. }
+            | ObsEntry::SpanEnd { seq, .. }
+            | ObsEntry::Event { seq, .. } => seq,
+        }
+    }
+}
+
+/// In-memory [`Recorder`] that keeps everything it is told, in order.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    seq: u64,
+    entries: Vec<ObsEntry>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder already wrapped for sharing with engines.
+    pub fn shared() -> Rc<RefCell<MemoryRecorder>> {
+        Rc::new(RefCell::new(MemoryRecorder::new()))
+    }
+
+    /// All recorded entries in sequence order.
+    pub fn entries(&self) -> &[ObsEntry] {
+        &self.entries
+    }
+
+    /// The counters, in deterministic (sorted-by-name) order.
+    pub fn counters(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// Current value of one counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All events of the given kind, in order.
+    pub fn events_of(&self, kind: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                ObsEntry::Event {
+                    kind: k, detail, ..
+                } if *k == kind => Some(detail.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn begin_span(&mut self, name: &'static str) {
+        let seq = self.next_seq();
+        self.entries.push(ObsEntry::SpanBegin { seq, name });
+    }
+
+    fn end_span(&mut self, name: &'static str) {
+        let seq = self.next_seq();
+        self.entries.push(ObsEntry::SpanEnd { seq, name });
+    }
+
+    fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn event(&mut self, kind: &'static str, detail: String) {
+        let seq = self.next_seq();
+        self.entries.push(ObsEntry::Event { seq, kind, detail });
+    }
+}
+
+/// Optional recorder attachment point embedded in engine structs.
+///
+/// An unset hook makes every operation a no-op, so instrumented hot
+/// paths cost one branch when observability is off. The newtype also
+/// gives engines `Clone`/`Debug`/`Default` without exposing the
+/// `Rc<RefCell<..>>` plumbing (a cloned engine shares its recorder).
+#[derive(Clone, Default)]
+pub struct ObsHook(Option<SharedRecorder>);
+
+impl ObsHook {
+    /// An unset hook; every operation is a no-op.
+    pub fn none() -> Self {
+        Self(None)
+    }
+
+    /// A hook already attached to `rec`.
+    pub fn attached(rec: SharedRecorder) -> Self {
+        Self(Some(rec))
+    }
+
+    /// Attaches a recorder to this hook.
+    pub fn set(&mut self, rec: SharedRecorder) {
+        self.0 = Some(rec);
+    }
+
+    /// Detaches any recorder.
+    pub fn clear(&mut self) {
+        self.0 = None;
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A clone of the attached recorder handle, if any — for forwarding
+    /// the same sink into a nested engine.
+    pub fn recorder(&self) -> Option<SharedRecorder> {
+        self.0.clone()
+    }
+
+    /// Opens a span if a recorder is attached.
+    pub fn begin_span(&self, name: &'static str) {
+        if let Some(r) = &self.0 {
+            r.borrow_mut().begin_span(name);
+        }
+    }
+
+    /// Closes a span if a recorder is attached.
+    pub fn end_span(&self, name: &'static str) {
+        if let Some(r) = &self.0 {
+            r.borrow_mut().end_span(name);
+        }
+    }
+
+    /// Adds to a counter if a recorder is attached. Zero deltas are
+    /// dropped so counters only materialize when work actually happened.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(r) = &self.0 {
+            r.borrow_mut().counter_add(name, delta);
+        }
+    }
+
+    /// Records an event if a recorder is attached. The detail closure
+    /// only runs when one is, keeping formatting off the fast path.
+    pub fn event(&self, kind: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(r) = &self.0 {
+            r.borrow_mut().event(kind, detail());
+        }
+    }
+}
+
+impl fmt::Debug for ObsHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_set() {
+            "ObsHook(attached)"
+        } else {
+            "ObsHook(unset)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_sequenced_and_counters_monotonic() {
+        let mut r = MemoryRecorder::new();
+        r.begin_span("a");
+        r.counter_add("x", 3);
+        r.event("k", "one".into());
+        r.counter_add("x", 2);
+        r.end_span("a");
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        let seqs: Vec<u64> = r.entries().iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.events_of("k"), vec!["one"]);
+    }
+
+    #[test]
+    fn unset_hook_is_noop_and_set_hook_forwards() {
+        let hook = ObsHook::none();
+        hook.add("x", 1);
+        hook.event("k", || unreachable!("detail must not be built when unset"));
+        assert!(!hook.is_set());
+
+        let rec = MemoryRecorder::shared();
+        let mut hook = ObsHook::none();
+        hook.set(rec.clone());
+        hook.begin_span("s");
+        hook.add("x", 7);
+        hook.add("x", 0); // dropped
+        hook.event("k", || "d".into());
+        hook.end_span("s");
+        let r = rec.borrow();
+        assert_eq!(r.counter("x"), 7);
+        assert_eq!(r.entries().len(), 3);
+        assert!(format!("{hook:?}").contains("attached"));
+    }
+
+    #[test]
+    fn shared_recorder_coerces_to_dyn() {
+        let rec = MemoryRecorder::shared();
+        let dynrec: SharedRecorder = rec.clone();
+        dynrec.borrow_mut().counter_add("c", 1);
+        assert_eq!(rec.borrow().counter("c"), 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! Multi-scope VCD (Value Change Dump, IEEE 1800 §21.7) writer and a
+//! small round-trip parser.
+//!
+//! The writer fixes the two format bugs the repo's original exporter
+//! had: it emits the `$dumpvars … $end` initial-value block viewers
+//! expect at time zero, and it takes every signal's width from its
+//! *declaration* rather than guessing from the first trace sample.
+//! Identifiers are sanitized against the full reserved set (`$`, `#`,
+//! `[`, `]`, whitespace, non-printables), and the parser exists so
+//! tests can prove a rendered dump survives a parse round trip.
+
+use dfv_bits::Bv;
+
+/// One declared signal and its sampled values.
+#[derive(Debug, Clone)]
+pub struct VcdSignal {
+    /// Signal name (sanitized on render).
+    pub name: String,
+    /// Declared width in bits — authoritative, never inferred from samples.
+    pub width: u32,
+    /// `(time, value)` samples with nondecreasing times. Values are
+    /// emitted change-only; the value at the earliest dump time goes
+    /// into the `$dumpvars` block.
+    pub samples: Vec<(u64, Bv)>,
+}
+
+/// A named scope grouping signals (e.g. `slm` vs `rtl` sides).
+#[derive(Debug, Clone)]
+pub struct VcdScope {
+    /// Scope (module) name.
+    pub name: String,
+    /// The scope's signals.
+    pub signals: Vec<VcdSignal>,
+}
+
+/// Replaces every VCD-reserved or non-printable character with `_`.
+///
+/// `$var` identifiers are whitespace-delimited and `$`-keyword,
+/// `#`-timestamp, and `[`/`]` bit-select syntax all collide with raw
+/// names, so the whole set maps to underscores. Empty names become `_`.
+pub fn sanitize_id(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || !c.is_ascii_graphic() || matches!(c, '$' | '#' | '[' | ']') {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Short identifier code for the `idx`-th variable: base-94 over the
+/// printable ASCII range starting at `!`.
+fn id_code(mut idx: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (idx % 94) as u8) as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+    }
+    code
+}
+
+fn value_text(v: &Bv, id: &str) -> String {
+    if v.width() == 1 {
+        format!("{}{}", if v.bit(0) { '1' } else { '0' }, id)
+    } else {
+        let mut bits = String::with_capacity(v.width() as usize);
+        for i in (0..v.width()).rev() {
+            bits.push(if v.bit(i) { '1' } else { '0' });
+        }
+        format!("b{bits} {id}")
+    }
+}
+
+fn unknown_text(width: u32, id: &str) -> String {
+    if width == 1 {
+        format!("x{id}")
+    } else {
+        format!("b{} {}", "x".repeat(width as usize), id)
+    }
+}
+
+/// Renders scopes into VCD text.
+///
+/// The header declares every signal with its declared width; the first
+/// timestamp carries a `$dumpvars … $end` block giving every variable
+/// an initial value (`x` for signals whose first sample comes later);
+/// subsequent timestamps carry value changes only. Output is a pure
+/// function of the input — no clocks, no environment.
+pub fn render_vcd(scopes: &[VcdScope]) -> String {
+    let mut out = String::new();
+    out.push_str("$date\n    (deterministic)\n$end\n");
+    out.push_str("$version\n    dfv-obs vcd writer\n$end\n");
+    out.push_str("$timescale\n    1ns\n$end\n");
+
+    // Header: declared widths only.
+    let mut idx = 0usize;
+    let mut ids: Vec<Vec<String>> = Vec::with_capacity(scopes.len());
+    for scope in scopes {
+        out.push_str(&format!(
+            "$scope module {} $end\n",
+            sanitize_id(&scope.name)
+        ));
+        let mut scope_ids = Vec::with_capacity(scope.signals.len());
+        for sig in &scope.signals {
+            let id = id_code(idx);
+            idx += 1;
+            out.push_str(&format!(
+                "$var wire {} {} {} $end\n",
+                sig.width,
+                id,
+                sanitize_id(&sig.name)
+            ));
+            scope_ids.push(id);
+        }
+        out.push_str("$upscope $end\n");
+        ids.push(scope_ids);
+    }
+    out.push_str("$enddefinitions $end\n");
+
+    // Gather every (time, scope_idx, sig_idx) sample in one ordered walk.
+    let mut times: Vec<u64> = scopes
+        .iter()
+        .flat_map(|s| s.signals.iter())
+        .flat_map(|sig| sig.samples.iter().map(|(t, _)| *t))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    let t0 = times.first().copied().unwrap_or(0);
+
+    // Initial-value block at the earliest time (spec §21.7.2): every
+    // declared variable gets a value; signals not yet sampled are `x`.
+    out.push_str(&format!("#{t0}\n$dumpvars\n"));
+    let mut last: Vec<Vec<Option<Bv>>> =
+        scopes.iter().map(|s| vec![None; s.signals.len()]).collect();
+    for (si, scope) in scopes.iter().enumerate() {
+        for (gi, sig) in scope.signals.iter().enumerate() {
+            let id = &ids[si][gi];
+            match sig.samples.iter().find(|(t, _)| *t == t0) {
+                Some((_, v)) => {
+                    out.push_str(&value_text(v, id));
+                    out.push('\n');
+                    last[si][gi] = Some(v.clone());
+                }
+                None => {
+                    out.push_str(&unknown_text(sig.width, id));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out.push_str("$end\n");
+
+    // Change-only emission for the remaining times.
+    for &t in times.iter().skip(1) {
+        let mut block = String::new();
+        for (si, scope) in scopes.iter().enumerate() {
+            for (gi, sig) in scope.signals.iter().enumerate() {
+                for (st, v) in &sig.samples {
+                    if *st != t {
+                        continue;
+                    }
+                    if last[si][gi].as_ref() != Some(v) {
+                        block.push_str(&value_text(v, &ids[si][gi]));
+                        block.push('\n');
+                        last[si][gi] = Some(v.clone());
+                    }
+                }
+            }
+        }
+        if !block.is_empty() {
+            out.push_str(&format!("#{t}\n"));
+            out.push_str(&block);
+        }
+    }
+    if let Some(&t_last) = times.last() {
+        out.push_str(&format!("#{}\n", t_last + 1));
+    }
+    out
+}
+
+/// One `$var` declaration from a parsed VCD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedVar {
+    /// Enclosing scope name.
+    pub scope: String,
+    /// Declared width.
+    pub width: u32,
+    /// Short identifier code.
+    pub id: String,
+    /// Declared name.
+    pub name: String,
+}
+
+/// Result of parsing a VCD document.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedVcd {
+    /// Declared variables, in declaration order.
+    pub vars: Vec<ParsedVar>,
+    /// `(time, id, value)` changes in document order, where value is
+    /// the raw token: `0`, `1`, `x`, or `b…` bit text without the id.
+    pub changes: Vec<(u64, String, String)>,
+    /// Number of value entries inside the `$dumpvars` block.
+    pub dumpvars_len: usize,
+}
+
+impl ParsedVcd {
+    /// Finds a declared variable by scope and name.
+    pub fn var(&self, scope: &str, name: &str) -> Option<&ParsedVar> {
+        self.vars
+            .iter()
+            .find(|v| v.scope == scope && v.name == name)
+    }
+}
+
+/// Parses the subset of VCD the workspace's writers emit (scalar and
+/// `b…` vector values, `x` unknowns, `$scope`/`$var` headers,
+/// `$dumpvars` blocks). Returns an error naming what was malformed.
+pub fn parse_vcd(text: &str) -> Result<ParsedVcd, String> {
+    let mut parsed = ParsedVcd::default();
+    let mut scope_stack: Vec<String> = Vec::new();
+    let mut time: Option<u64> = None;
+    let mut in_dumpvars = false;
+    let mut header_done = false;
+
+    let mut tokens = text.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            "$date" | "$version" | "$timescale" | "$comment" => {
+                for t in tokens.by_ref() {
+                    if t == "$end" {
+                        break;
+                    }
+                }
+            }
+            "$scope" => {
+                let kind = tokens.next().ok_or("truncated $scope")?;
+                if kind != "module" {
+                    return Err(format!("unsupported scope kind {kind}"));
+                }
+                let name = tokens.next().ok_or("truncated $scope")?;
+                scope_stack.push(name.to_string());
+                if tokens.next() != Some("$end") {
+                    return Err("unterminated $scope".into());
+                }
+            }
+            "$upscope" => {
+                scope_stack.pop().ok_or("unbalanced $upscope")?;
+                if tokens.next() != Some("$end") {
+                    return Err("unterminated $upscope".into());
+                }
+            }
+            "$var" => {
+                let _kind = tokens.next().ok_or("truncated $var")?;
+                let width: u32 = tokens
+                    .next()
+                    .ok_or("truncated $var")?
+                    .parse()
+                    .map_err(|_| "non-numeric $var width".to_string())?;
+                let id = tokens.next().ok_or("truncated $var")?.to_string();
+                let name = tokens.next().ok_or("truncated $var")?.to_string();
+                // Bit-selects like `q [3:0]` would appear as an extra
+                // token before $end; the writers never emit them.
+                if tokens.next() != Some("$end") {
+                    return Err(format!("malformed $var line for {name}"));
+                }
+                parsed.vars.push(ParsedVar {
+                    scope: scope_stack.last().cloned().unwrap_or_default(),
+                    width,
+                    id,
+                    name,
+                });
+            }
+            "$enddefinitions" => {
+                if tokens.next() != Some("$end") {
+                    return Err("unterminated $enddefinitions".into());
+                }
+                header_done = true;
+            }
+            "$dumpvars" => {
+                if !header_done {
+                    return Err("$dumpvars before $enddefinitions".into());
+                }
+                in_dumpvars = true;
+            }
+            "$end" => {
+                if !in_dumpvars {
+                    return Err("stray $end".into());
+                }
+                in_dumpvars = false;
+            }
+            t if t.starts_with('#') => {
+                let v: u64 = t[1..].parse().map_err(|_| format!("bad timestamp {t}"))?;
+                time = Some(v);
+            }
+            t if t.starts_with('b') || t.starts_with('B') => {
+                let bits = &t[1..];
+                if bits.is_empty() || !bits.chars().all(|c| matches!(c, '0' | '1' | 'x' | 'X')) {
+                    return Err(format!("bad vector value {t}"));
+                }
+                let id = tokens.next().ok_or("vector value missing id")?;
+                let t_now = time.ok_or("value change before first timestamp")?;
+                record_change(&mut parsed, t_now, id, bits, in_dumpvars)?;
+            }
+            t if matches!(t.chars().next(), Some('0' | '1' | 'x' | 'X' | 'z' | 'Z')) => {
+                if t.len() < 2 {
+                    return Err(format!("scalar value {t} missing id"));
+                }
+                let (val, id) = t.split_at(1);
+                let t_now = time.ok_or("value change before first timestamp")?;
+                record_change(&mut parsed, t_now, id, val, in_dumpvars)?;
+            }
+            t => return Err(format!("unrecognized token {t}")),
+        }
+    }
+    if in_dumpvars {
+        return Err("unterminated $dumpvars".into());
+    }
+    Ok(parsed)
+}
+
+fn record_change(
+    parsed: &mut ParsedVcd,
+    time: u64,
+    id: &str,
+    value: &str,
+    in_dumpvars: bool,
+) -> Result<(), String> {
+    let var = parsed
+        .vars
+        .iter()
+        .find(|v| v.id == id)
+        .ok_or_else(|| format!("value change for undeclared id {id}"))?;
+    // Scalar x/z shorthand legally applies to any width (left-extension),
+    // so only multi-character bit texts are checked against the declaration.
+    if value.len() > 1 && value.len() > var.width as usize {
+        return Err(format!(
+            "value {value} wider than declared {} for {}",
+            var.width, var.name
+        ));
+    }
+    if in_dumpvars {
+        parsed.dumpvars_len += 1;
+    }
+    parsed
+        .changes
+        .push((time, id.to_string(), value.to_string()));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(width: u32, v: u64) -> Bv {
+        Bv::from_u64(width, v)
+    }
+
+    #[test]
+    fn sanitize_replaces_full_reserved_set() {
+        assert_eq!(sanitize_id("a b\tc"), "a_b_c");
+        assert_eq!(sanitize_id("bus[3]"), "bus_3_");
+        assert_eq!(sanitize_id("$top#x"), "_top_x");
+        assert_eq!(sanitize_id("déjà"), "d_j_");
+        assert_eq!(sanitize_id(""), "_");
+    }
+
+    #[test]
+    fn render_emits_dumpvars_with_declared_widths() {
+        let scopes = vec![VcdScope {
+            name: "top".into(),
+            signals: vec![
+                VcdSignal {
+                    name: "q".into(),
+                    width: 4,
+                    samples: vec![(0, bv(4, 0)), (1, bv(4, 5)), (2, bv(4, 5))],
+                },
+                VcdSignal {
+                    name: "late".into(),
+                    width: 1,
+                    // First sample after t0: initial value must be x.
+                    samples: vec![(2, bv(1, 1))],
+                },
+            ],
+        }];
+        let vcd = render_vcd(&scopes);
+        assert!(vcd.contains("$var wire 4 ! q $end"));
+        assert!(vcd.contains("$var wire 1 \" late $end"));
+        let dump = "#0\n$dumpvars\nb0000 !\nx\"\n$end\n";
+        assert!(vcd.contains(dump), "missing initial block in:\n{vcd}");
+        // Change-only afterwards: t2 repeats q=5, so only `late` changes.
+        assert!(vcd.contains("#1\nb0101 !\n"));
+        assert!(vcd.contains("#2\n1\"\n"));
+        assert!(!vcd.contains("#2\nb0101"));
+    }
+
+    #[test]
+    fn empty_trace_still_declares_real_widths() {
+        let scopes = vec![VcdScope {
+            name: "top".into(),
+            signals: vec![VcdSignal {
+                name: "wide".into(),
+                width: 18,
+                samples: vec![],
+            }],
+        }];
+        let vcd = render_vcd(&scopes);
+        assert!(vcd.contains("$var wire 18 ! wide $end"));
+        assert!(vcd.contains("$dumpvars\nbxxxxxxxxxxxxxxxxxx !\n$end"));
+    }
+
+    #[test]
+    fn rendered_vcd_round_trips_through_parser() {
+        let scopes = vec![
+            VcdScope {
+                name: "slm".into(),
+                signals: vec![VcdSignal {
+                    name: "y[0]".into(),
+                    width: 8,
+                    samples: vec![(0, bv(8, 1)), (3, bv(8, 9))],
+                }],
+            },
+            VcdScope {
+                name: "rtl".into(),
+                signals: vec![VcdSignal {
+                    name: "y".into(),
+                    width: 8,
+                    samples: vec![(0, bv(8, 1)), (3, bv(8, 255))],
+                }],
+            },
+        ];
+        let parsed = parse_vcd(&render_vcd(&scopes)).expect("round trip");
+        assert_eq!(parsed.vars.len(), 2);
+        let v0 = parsed.var("slm", "y_0_").expect("sanitized var present");
+        assert_eq!(v0.width, 8);
+        assert_eq!(parsed.var("rtl", "y").map(|v| v.width), Some(8));
+        // Initial block covers every declared var.
+        assert_eq!(parsed.dumpvars_len, 2);
+        // Two later changes at t=3.
+        assert_eq!(parsed.changes.iter().filter(|(t, _, _)| *t == 3).count(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_vcd("$var wire x ! q $end").is_err());
+        assert!(parse_vcd("#0\n1!").is_err()); // change for undeclared id
+        assert!(parse_vcd("$scope module a $end $upscope").is_err());
+    }
+
+    #[test]
+    fn id_codes_cover_more_than_94_signals() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!\"");
+        let scopes = vec![VcdScope {
+            name: "wide".into(),
+            signals: (0..100)
+                .map(|i| VcdSignal {
+                    name: format!("s{i}"),
+                    width: 1,
+                    samples: vec![(0, bv(1, (i % 2) as u64))],
+                })
+                .collect(),
+        }];
+        let parsed = parse_vcd(&render_vcd(&scopes)).expect("round trip");
+        assert_eq!(parsed.vars.len(), 100);
+        assert_eq!(parsed.dumpvars_len, 100);
+    }
+}

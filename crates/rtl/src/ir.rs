@@ -301,6 +301,15 @@ impl Module {
         self.outputs.iter().position(|p| p.name == name)
     }
 
+    /// Looks up a named combinational node (see
+    /// `ModuleBuilder::name_node`) by its debug name.
+    pub fn node_named(&self, name: &str) -> Option<NodeId> {
+        self.node_names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(&raw, _)| NodeId(raw))
+    }
+
     /// Looks up a register by name.
     pub fn reg_index(&self, name: &str) -> Option<RegId> {
         self.regs

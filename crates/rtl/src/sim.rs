@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use dfv_bits::Bv;
+use dfv_obs::{ObsHook, SharedRecorder, WatchedTrace};
 
 use crate::check::check_module;
 use crate::ir::{BinOp, Module, Node, NodeId, UnOp};
@@ -50,6 +51,25 @@ pub fn eval_un(op: UnOp, a: &Bv) -> Bv {
         UnOp::RedOr => Bv::from_bool(a.reduce_or()),
         UnOp::RedXor => Bv::from_bool(a.reduce_xor()),
     }
+}
+
+/// Cumulative work counters for one [`Simulator`].
+///
+/// Monotonic across the simulator's lifetime (a [`Simulator::reset`]
+/// clears state and trace but not these), so deltas between snapshots
+/// measure the work of a bounded stretch of simulation. `node_evals`
+/// is the deterministic RTL work metric the speed-ratio experiment
+/// compares against the SLM kernel's activation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Completed clock cycles ([`Simulator::step`] calls).
+    pub steps: u64,
+    /// Combinational evaluation passes actually run (dirty evals).
+    pub eval_passes: u64,
+    /// Total node evaluations across all passes.
+    pub node_evals: u64,
+    /// Watched-signal value changes observed while recording the trace.
+    pub value_changes: u64,
 }
 
 /// A recorded per-cycle snapshot of watched signals.
@@ -102,6 +122,8 @@ pub struct Simulator {
     dirty: bool,
     watches: Vec<Watch>,
     trace: Vec<TraceStep>,
+    stats: SimStats,
+    obs: ObsHook,
 }
 
 #[derive(Debug, Clone)]
@@ -139,6 +161,8 @@ impl Simulator {
             dirty: true,
             watches: Vec::new(),
             trace: Vec::new(),
+            stats: SimStats::default(),
+            obs: ObsHook::none(),
             module,
         };
         sim.reset();
@@ -238,6 +262,11 @@ impl Simulator {
             self.values[i] = v;
         }
         self.dirty = false;
+        self.stats.eval_passes += 1;
+        self.stats.node_evals += self.module.nodes.len() as u64;
+        self.obs.add("rtl.eval_passes", 1);
+        self.obs
+            .add("rtl.node_evals", self.module.nodes.len() as u64);
     }
 
     /// Reads an output port value (after evaluating if needed).
@@ -339,6 +368,8 @@ impl Simulator {
         self.reg_vals = new_regs;
         self.cycle += 1;
         self.dirty = true;
+        self.stats.steps += 1;
+        self.obs.add("rtl.steps", 1);
     }
 
     /// Convenience: poke several ports, then step once.
@@ -401,16 +432,52 @@ impl Simulator {
             .collect()
     }
 
+    /// The declared widths of watched signals, in watch order — taken
+    /// from the module's port/register/node declarations, never inferred
+    /// from recorded values (so they are right even for an empty trace).
+    pub fn watch_widths(&self) -> Vec<u32> {
+        self.watches
+            .iter()
+            .map(|w| match w {
+                Watch::Output(i) => self.module.outputs[*i].width,
+                Watch::Reg(i) => self.module.regs[*i].width,
+                Watch::Node(n) => self.module.node_widths[n.index()],
+            })
+            .collect()
+    }
+
     /// The recorded trace (one entry per completed step).
     pub fn trace(&self) -> &[TraceStep] {
         &self.trace
+    }
+
+    /// Lowers the recorded trace into an observability
+    /// [`WatchedTrace`] (one time unit per cycle, declared widths),
+    /// ready for divergence localization or VCD rendering.
+    pub fn watched_trace(&self) -> WatchedTrace {
+        let mut t = WatchedTrace::new(self.watch_names(), self.watch_widths());
+        for TraceStep { cycle, values } in &self.trace {
+            t.push(*cycle, values.clone());
+        }
+        t
+    }
+
+    /// Cumulative work counters (monotonic; not cleared by reset).
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Attaches a recorder; subsequent steps report `rtl.steps`,
+    /// `rtl.eval_passes`, `rtl.node_evals`, and `rtl.value_changes`.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.obs.set(rec);
     }
 
     fn record_trace(&mut self) {
         if self.watches.is_empty() {
             return;
         }
-        let values = self
+        let values: Vec<Bv> = self
             .watches
             .iter()
             .map(|w| match w {
@@ -419,6 +486,16 @@ impl Simulator {
                 Watch::Node(n) => self.values[n.index()].clone(),
             })
             .collect();
+        let changed = match self.trace.last() {
+            Some(prev) => values
+                .iter()
+                .zip(&prev.values)
+                .filter(|(now, before)| now != before)
+                .count() as u64,
+            None => values.len() as u64,
+        };
+        self.stats.value_changes += changed;
+        self.obs.add("rtl.value_changes", changed);
         self.trace.push(TraceStep {
             cycle: self.cycle,
             values,
@@ -555,6 +632,36 @@ mod tests {
             sim.watch_names(),
             vec!["count".to_string(), "count".to_string()]
         );
+    }
+
+    #[test]
+    fn stats_count_work_and_widths_come_from_declarations() {
+        let mut sim = Simulator::new(counter_with_enable()).unwrap();
+        sim.watch_output("count");
+        sim.watch_reg("count");
+        assert_eq!(sim.watch_widths(), vec![8, 8]);
+        let rec = dfv_obs::MemoryRecorder::shared();
+        sim.set_recorder(rec.clone());
+        sim.poke("en", Bv::from_bool(true));
+        sim.step();
+        sim.step();
+        let s = sim.stats();
+        assert_eq!(s.steps, 2);
+        assert!(s.eval_passes >= 2);
+        let node_count = sim.module().nodes.len() as u64;
+        assert_eq!(s.node_evals, s.eval_passes * node_count);
+        // First record counts every watch; second counts the two changes.
+        assert_eq!(s.value_changes, 4);
+        let r = rec.borrow();
+        assert_eq!(r.counter("rtl.steps"), 2);
+        assert!(r.counter("rtl.node_evals") > 0);
+        // Reset keeps the cumulative counters but clears the trace.
+        sim.reset();
+        assert_eq!(sim.stats().steps, 2);
+        assert!(sim.trace().is_empty());
+        let wt = sim.watched_trace();
+        assert!(wt.is_empty());
+        assert_eq!(wt.widths(), &[8, 8]);
     }
 
     #[test]

@@ -1,38 +1,21 @@
-//! Minimal VCD (Value Change Dump) export for simulator traces.
+//! VCD (Value Change Dump) export for simulator traces.
 //!
-//! Produces standard-compliant VCD text that waveform viewers (GTKWave &c.)
-//! can open, from the watched signals of a [`crate::Simulator`].
+//! A thin adapter over the shared writer in [`dfv_obs::vcd`]: the
+//! simulator's watched signals become one scope, widths come from the
+//! module's *declarations* (via [`Simulator::watch_widths`]) rather
+//! than from the first trace sample, the dump opens with the
+//! spec-mandated `$dumpvars … $end` initial-value block, and names are
+//! sanitized against the full VCD reserved set.
 
-use std::fmt::Write as _;
-
-use dfv_bits::Bv;
-
-use crate::sim::{Simulator, TraceStep};
-
-fn id_code(mut idx: usize) -> String {
-    // VCD identifier codes: printable ASCII 33..=126, little-endian base 94.
-    let mut s = String::new();
-    loop {
-        s.push((33 + (idx % 94)) as u8 as char);
-        idx /= 94;
-        if idx == 0 {
-            break;
-        }
-    }
-    s
-}
-
-fn bv_vcd(v: &Bv) -> String {
-    if v.width() == 1 {
-        return if v.bit(0) { "1".into() } else { "0".into() };
-    }
-    format!("b{:b} ", v)
-}
+use crate::sim::Simulator;
+use dfv_obs::vcd::{render_vcd, VcdScope, VcdSignal};
 
 /// Renders the simulator's recorded trace as a VCD document.
 ///
 /// One VCD time unit per clock cycle. Only watched signals appear; watch
-/// them (see [`Simulator::watch_output`]) *before* stepping.
+/// them (see [`Simulator::watch_output`]) *before* stepping. An empty
+/// trace still yields a well-formed document whose `$var` widths match
+/// the watched declarations (initial values dump as `x`).
 ///
 /// # Example
 ///
@@ -53,56 +36,41 @@ fn bv_vcd(v: &Bv) -> String {
 /// for _ in 0..4 { sim.step(); }
 /// let vcd = trace_to_vcd(&sim, "c");
 /// assert!(vcd.contains("$var wire 4 ! q $end"));
+/// assert!(vcd.contains("$dumpvars"));
 /// # Ok(())
 /// # }
 /// ```
 pub fn trace_to_vcd(sim: &Simulator, scope: &str) -> String {
     let names = sim.watch_names();
+    let widths = sim.watch_widths();
     let trace = sim.trace();
-    let mut out = String::new();
-    let _ = writeln!(out, "$date today $end");
-    let _ = writeln!(out, "$version dfv-rtl $end");
-    let _ = writeln!(out, "$timescale 1ns $end");
-    let _ = writeln!(out, "$scope module {scope} $end");
-    let widths: Vec<u32> = match trace.first() {
-        Some(step) => step.values.iter().map(Bv::width).collect(),
-        None => Vec::new(),
-    };
-    for (i, name) in names.iter().enumerate() {
-        let w = widths.get(i).copied().unwrap_or(1);
-        let sanitized: String = name
-            .chars()
-            .map(|c| if c.is_whitespace() { '_' } else { c })
-            .collect();
-        let _ = writeln!(out, "$var wire {w} {} {sanitized} $end", id_code(i));
-    }
-    let _ = writeln!(out, "$upscope $end");
-    let _ = writeln!(out, "$enddefinitions $end");
-    let mut last: Vec<Option<Bv>> = vec![None; names.len()];
-    for TraceStep { cycle, values } in trace {
-        let mut changes = String::new();
-        for (i, v) in values.iter().enumerate() {
-            if last[i].as_ref() != Some(v) {
-                let _ = writeln!(changes, "{}{}", bv_vcd(v), id_code(i));
-                last[i] = Some(v.clone());
-            }
-        }
-        if !changes.is_empty() {
-            let _ = writeln!(out, "#{cycle}");
-            out.push_str(&changes);
-        }
-    }
-    let _ = writeln!(out, "#{}", trace.last().map(|t| t.cycle + 1).unwrap_or(0));
-    out
+    let signals = names
+        .into_iter()
+        .zip(widths)
+        .enumerate()
+        .map(|(i, (name, width))| VcdSignal {
+            name,
+            width,
+            samples: trace
+                .iter()
+                .map(|step| (step.cycle, step.values[i].clone()))
+                .collect(),
+        })
+        .collect();
+    render_vcd(&[VcdScope {
+        name: scope.to_string(),
+        signals,
+    }])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::ModuleBuilder;
+    use dfv_bits::Bv;
+    use dfv_obs::parse_vcd;
 
-    #[test]
-    fn vcd_contains_changes_only() {
+    fn enabled_counter_sim() -> Simulator {
         let mut b = ModuleBuilder::new("t");
         let en = b.input("en", 1);
         let r = b.reg("q", 4, Bv::zero(4));
@@ -112,7 +80,12 @@ mod tests {
         b.connect_reg(r, n);
         b.reg_enable(r, en);
         b.output("q", q);
-        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        Simulator::new(b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn vcd_has_initial_value_block_then_changes_only() {
+        let mut sim = enabled_counter_sim();
         sim.watch_output("q");
         sim.poke("en", Bv::from_bool(false));
         sim.step(); // q stays 0
@@ -123,27 +96,45 @@ mod tests {
         let vcd = trace_to_vcd(&sim, "t");
         assert!(vcd.starts_with("$date"));
         assert!(vcd.contains("$var wire 4 ! q $end"));
-        // Initial value at #0, then a change when the counter moves.
-        assert!(vcd.contains("#0\nb0000 !"));
+        // Spec §21.7.2: initial values live in a $dumpvars block at t0.
+        assert!(vcd.contains("#0\n$dumpvars\nb0000 !\n$end"));
         assert!(vcd.contains("b0001 !"));
         // No redundant dump between cycles 0 and 1 (value unchanged).
         assert!(!vcd.contains("#1\nb0000"));
     }
 
     #[test]
-    fn id_codes_are_unique_and_printable() {
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..500 {
-            let c = id_code(i);
-            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
-            assert!(seen.insert(c));
-        }
+    fn empty_trace_keeps_declared_widths() {
+        let mut sim = enabled_counter_sim();
+        sim.watch_output("q");
+        sim.watch_reg("q");
+        // No steps: the old exporter defaulted every width to 1 here.
+        let vcd = trace_to_vcd(&sim, "t");
+        assert!(vcd.contains("$var wire 4 ! q $end"));
+        assert!(vcd.contains("$var wire 4 \" q $end"));
+        let parsed = parse_vcd(&vcd).expect("well-formed");
+        assert!(parsed.vars.iter().all(|v| v.width == 4));
+        assert_eq!(parsed.dumpvars_len, 2, "x-initials for unsampled signals");
     }
 
     #[test]
-    fn scalar_signals_use_short_form() {
-        assert_eq!(bv_vcd(&Bv::from_bool(true)), "1");
-        assert_eq!(bv_vcd(&Bv::from_bool(false)), "0");
-        assert_eq!(bv_vcd(&Bv::from_u64(3, 0b101)), "b101 ");
+    fn reserved_characters_in_names_round_trip() {
+        let mut b = ModuleBuilder::new("t");
+        let x = b.input("bus[3]", 8);
+        let y = b.input("$tag#2", 8);
+        let s = b.add(x, y);
+        b.name_node(x, "bus[3]");
+        b.output("sum out", s);
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.watch_output("sum out");
+        sim.watch_node(x);
+        sim.step_with(&[
+            ("bus[3]", Bv::from_u64(8, 3)),
+            ("$tag#2", Bv::from_u64(8, 4)),
+        ]);
+        let vcd = trace_to_vcd(&sim, "t");
+        let parsed = parse_vcd(&vcd).expect("sanitized names must parse");
+        assert!(parsed.var("t", "sum_out").is_some());
+        assert!(parsed.var("t", "bus_3_").is_some());
     }
 }

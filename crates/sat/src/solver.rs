@@ -4,6 +4,8 @@
 
 use std::time::Instant;
 
+use dfv_obs::{ObsHook, SharedRecorder};
+
 use crate::budget::{Budget, ExhaustedReason};
 use crate::heap::VarHeap;
 use crate::lit::{Lit, Var};
@@ -91,6 +93,7 @@ pub struct Solver {
     ok: bool,
     model: Vec<Option<bool>>,
     learnt_count: usize,
+    obs: ObsHook,
 }
 
 impl Solver {
@@ -474,6 +477,7 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        self.obs.begin_span("sat.solve");
         self.model.clear();
         let start = self.stats;
         let cutoff = budget.cutoff(Instant::now());
@@ -566,7 +570,33 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        // Observability: report this call's search work as counter deltas
+        // (the cumulative stats were snapshotted at entry) plus a typed
+        // outcome event. Nothing here carries wall-clock values.
+        self.obs
+            .add("sat.decisions", self.stats.decisions - start.decisions);
+        self.obs.add(
+            "sat.propagations",
+            self.stats.propagations - start.propagations,
+        );
+        self.obs
+            .add("sat.conflicts", self.stats.conflicts - start.conflicts);
+        self.obs
+            .add("sat.restarts", self.stats.restarts - start.restarts);
+        self.obs.event("sat.result", || match result {
+            SolveResult::Sat => "sat".to_string(),
+            SolveResult::Unsat => "unsat".to_string(),
+            SolveResult::Unknown(reason) => format!("unknown ({reason:?})"),
+        });
+        self.obs.end_span("sat.solve");
         result
+    }
+
+    /// Attaches a recorder; each solve call then reports `sat.*`
+    /// counter deltas (decisions, propagations, conflicts, restarts)
+    /// inside a `sat.solve` span, plus a `sat.result` outcome event.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.obs.set(rec);
     }
 
     /// The model value of a variable after a [`SolveResult::Sat`] answer.
@@ -852,5 +882,34 @@ mod tests {
             s.solve_budgeted(&[], &Budget::unlimited()),
             SolveResult::Unsat
         );
+    }
+
+    #[test]
+    fn recorder_sees_search_deltas_and_outcomes() {
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let mut s = Solver::new();
+        s.set_recorder(rec.clone());
+        pigeonhole(&mut s, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        {
+            let r = rec.borrow();
+            let stats = s.stats();
+            assert_eq!(r.counter("sat.conflicts"), stats.conflicts);
+            assert_eq!(r.counter("sat.propagations"), stats.propagations);
+            assert_eq!(r.events_of("sat.result"), vec!["unsat"]);
+            // The work sits inside a sat.solve span.
+            let names: Vec<_> = r
+                .entries()
+                .iter()
+                .filter_map(|e| match e {
+                    dfv_obs::ObsEntry::SpanBegin { name, .. } => Some(*name),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(names, vec!["sat.solve"]);
+        }
+        // A second call reports only its own (zero, post-Unsat) work.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(rec.borrow().counter("sat.conflicts"), s.stats().conflicts);
     }
 }

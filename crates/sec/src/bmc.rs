@@ -8,6 +8,7 @@
 use std::time::{Duration, Instant};
 
 use dfv_bits::Bv;
+use dfv_obs::{ObsHook, SharedRecorder};
 use dfv_rtl::{Module, Simulator};
 use dfv_sat::{Budget, ExhaustedReason, Lit, SolveResult, Solver};
 
@@ -131,6 +132,37 @@ pub fn check_property_budgeted(
     bound: u32,
     budget: &Budget,
 ) -> Result<BmcReport, SecError> {
+    check_property_budgeted_inner(module, property, bound, budget, &ObsHook::none())
+}
+
+/// Like [`check_property_budgeted`], but streams progress into `rec`:
+/// the whole unrolling runs under a `sec.bmc` span, each depth emits a
+/// `sec.depth` event (depth, CNF size so far, per-depth verdict) and
+/// bumps the `sec.depths` counter, the final CNF size lands in
+/// `sec.cnf_vars`, and the verdict is recorded as a `sec.outcome` event.
+/// The same recorder is forwarded into the underlying SAT solver, so
+/// `sat.*` counters accumulate alongside.
+///
+/// # Errors
+///
+/// As [`check_property`].
+pub fn check_property_observed(
+    module: &Module,
+    property: &str,
+    bound: u32,
+    budget: &Budget,
+    rec: SharedRecorder,
+) -> Result<BmcReport, SecError> {
+    check_property_budgeted_inner(module, property, bound, budget, &ObsHook::attached(rec))
+}
+
+fn check_property_budgeted_inner(
+    module: &Module,
+    property: &str,
+    bound: u32,
+    budget: &Budget,
+    obs: &ObsHook,
+) -> Result<BmcReport, SecError> {
     let start = Instant::now();
     validate_property(module, property, bound)?;
     let mut budget = *budget;
@@ -139,13 +171,24 @@ pub fn check_property_budgeted(
         budget.deadline = Some(budget.deadline.map_or(d, |x| x.min(d)));
     }
 
+    obs.begin_span("sec.bmc");
     let mut solver = Solver::new();
+    if let Some(rec) = obs.recorder() {
+        solver.set_recorder(rec);
+    }
     let mut bb = BitBlaster::new(&mut solver);
-    let mut sym = SymbolicSim::new(&mut bb, module, InitState::Reset)?;
+    let mut sym = match SymbolicSim::new(&mut bb, module, InitState::Reset) {
+        Ok(s) => s,
+        Err(e) => {
+            drop(bb);
+            obs.end_span("sec.bmc");
+            return Err(e);
+        }
+    };
     let mut input_words: Vec<Vec<Vec<Lit>>> = Vec::new();
     let mut outcome = None;
     let mut holds_up_to = 0u32;
-    for _ in 0..bound {
+    for depth in 0..bound {
         let inputs: Vec<Vec<Lit>> = module
             .inputs
             .iter()
@@ -155,7 +198,18 @@ pub fn check_property_budgeted(
         let cyc = sym.step(&mut bb, &inputs);
         let prop = cyc.output(module, property);
         let violated = !prop[0];
-        match bb.solver().solve_budgeted(&[violated], &budget) {
+        let result = bb.solver().solve_budgeted(&[violated], &budget);
+        obs.add("sec.depths", 1);
+        let vars_now = bb.solver().num_vars();
+        obs.event("sec.depth", || {
+            let verdict = match &result {
+                SolveResult::Unsat => "holds",
+                SolveResult::Sat => "violated",
+                SolveResult::Unknown(_) => "exhausted",
+            };
+            format!("depth={depth} cnf_vars={vars_now} {verdict}")
+        });
+        match result {
             SolveResult::Unsat => holds_up_to += 1,
             SolveResult::Sat => {
                 outcome = Some(BmcOutcome::Violated(Box::new(extract_trace(
@@ -176,9 +230,21 @@ pub fn check_property_budgeted(
         }
     }
     drop(bb);
+    let outcome = outcome.unwrap_or(BmcOutcome::HoldsUpTo(bound));
+    let cnf_vars = solver.num_vars();
+    obs.add("sec.cnf_vars", cnf_vars as u64);
+    obs.event("sec.outcome", || match &outcome {
+        BmcOutcome::HoldsUpTo(k) => format!("holds_up_to {k}"),
+        BmcOutcome::Violated(t) => format!("violated at cycle {}", t.violation_cycle),
+        BmcOutcome::Inconclusive {
+            holds_up_to,
+            reason,
+        } => format!("inconclusive ({reason:?}) after depth {holds_up_to}"),
+    });
+    obs.end_span("sec.bmc");
     Ok(BmcReport {
-        outcome: outcome.unwrap_or(BmcOutcome::HoldsUpTo(bound)),
-        cnf_vars: solver.num_vars(),
+        outcome,
+        cnf_vars,
         duration: start.elapsed(),
     })
 }
@@ -335,6 +401,22 @@ mod tests {
                 reason: ExhaustedReason::Conflicts,
             }
         );
+    }
+
+    #[test]
+    fn observed_bmc_records_depths_and_outcome() {
+        use dfv_obs::MemoryRecorder;
+        let rec = MemoryRecorder::shared();
+        let r = check_property_observed(&counter(true), "ok", 8, &Budget::unlimited(), rec.clone())
+            .unwrap();
+        assert_eq!(r.outcome, BmcOutcome::HoldsUpTo(8));
+        let m = rec.borrow();
+        assert_eq!(m.counter("sec.depths"), 8);
+        assert_eq!(m.counter("sec.cnf_vars"), r.cnf_vars as u64);
+        assert_eq!(m.events_of("sec.depth").len(), 8);
+        assert_eq!(m.events_of("sec.outcome"), vec!["holds_up_to 8"]);
+        // The forwarded recorder also sees the solver's own counters.
+        assert!(m.counter("sat.propagations") > 0);
     }
 
     #[test]

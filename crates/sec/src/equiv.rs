@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use dfv_bits::Bv;
 use dfv_cosim::{FieldSpec, StimulusGen};
+use dfv_obs::{ObsHook, SharedRecorder};
 use dfv_rtl::{Module, Simulator};
 use dfv_sat::{Budget, ExhaustedReason, Lit, SolveResult, Solver, SolverStats};
 
@@ -249,13 +250,49 @@ pub fn check_equivalence_with(
     spec: &EquivSpec,
     opts: &CheckOptions,
 ) -> Result<EquivReport, SecError> {
+    check_equivalence_inner(slm, rtl, spec, opts, &ObsHook::none())
+}
+
+/// Like [`check_equivalence_with`], but streams instrumentation into
+/// `rec`: the whole check runs under a `sec.equiv` span, the miter's
+/// unroll size lands in the `sec.cnf_vars` / `sec.cnf_clauses` counters,
+/// the verdict is recorded as a `sec.outcome` event, and the same
+/// recorder is forwarded into the SAT solver so `sat.*` counters
+/// accumulate alongside.
+///
+/// # Errors
+///
+/// As [`check_equivalence`].
+pub fn check_equivalence_observed(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    opts: &CheckOptions,
+    rec: SharedRecorder,
+) -> Result<EquivReport, SecError> {
+    check_equivalence_inner(slm, rtl, spec, opts, &ObsHook::attached(rec))
+}
+
+fn check_equivalence_inner(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    opts: &CheckOptions,
+    obs: &ObsHook,
+) -> Result<EquivReport, SecError> {
     let start = Instant::now();
     let mut ctx = build_miter(slm, rtl, spec)?;
+    obs.begin_span("sec.equiv");
+    if let Some(rec) = obs.recorder() {
+        ctx.solver.set_recorder(rec);
+    }
     // Assert that *some* compare point differs: one clause over the diffs.
     let diffs = ctx.diffs.clone();
     ctx.solver.add_clause(&diffs);
     let cnf_vars = ctx.solver.num_vars();
     let cnf_clauses = ctx.solver.num_clauses();
+    obs.add("sec.cnf_vars", cnf_vars as u64);
+    obs.add("sec.cnf_clauses", cnf_clauses as u64);
     let outcome = match ctx.solver.solve_budgeted(&[], &opts.budget) {
         SolveResult::Unsat => EquivOutcome::Equivalent,
         SolveResult::Sat => EquivOutcome::NotEquivalent(Box::new(extract_and_replay(
@@ -290,6 +327,23 @@ pub fn check_equivalence_with(
             }
         }
     };
+    obs.event("sec.outcome", || match &outcome {
+        EquivOutcome::Equivalent => "equivalent".to_string(),
+        EquivOutcome::NotEquivalent(cex) => {
+            format!("not_equivalent ({} mismatches)", cex.mismatches.len())
+        }
+        EquivOutcome::Inconclusive {
+            reason,
+            falsification,
+        } => match falsification {
+            Some(f) => format!(
+                "inconclusive ({reason:?}); no cex in {} simulated transactions",
+                f.transactions
+            ),
+            None => format!("inconclusive ({reason:?})"),
+        },
+    });
+    obs.end_span("sec.equiv");
     Ok(EquivReport {
         outcome,
         cnf_vars,
@@ -807,6 +861,45 @@ mod tests {
             .bind("b", 0, Binding::Slm("b".into()))
             .bind("c", 0, Binding::Slm("c".into()))
             .compare("out", "out", 1)
+    }
+
+    #[test]
+    fn observed_equivalence_records_unroll_size_and_outcome() {
+        use dfv_obs::MemoryRecorder;
+        let rec = MemoryRecorder::shared();
+        let report = check_equivalence_observed(
+            &fig1_slm(false),
+            &fig1_rtl(),
+            &fig1_spec(),
+            &CheckOptions::default(),
+            rec.clone(),
+        )
+        .unwrap();
+        assert!(report.outcome.is_equivalent());
+        let m = rec.borrow();
+        assert_eq!(m.counter("sec.cnf_vars"), report.cnf_vars as u64);
+        assert_eq!(m.counter("sec.cnf_clauses"), report.cnf_clauses as u64);
+        assert_eq!(m.events_of("sec.outcome"), vec!["equivalent"]);
+        // The forwarded recorder also sees the solver itself: any counter
+        // deltas it records are bounded by the solver's cumulative stats
+        // (this fixture's miter can even simplify to unsat while clauses
+        // are *added*, in which case the solve call records nothing).
+        assert!(m.counter("sat.propagations") <= report.solver_stats.propagations);
+
+        let rec = MemoryRecorder::shared();
+        let report = check_equivalence_observed(
+            &fig1_slm(true),
+            &fig1_rtl(),
+            &fig1_spec(),
+            &CheckOptions::default(),
+            rec.clone(),
+        )
+        .unwrap();
+        assert!(!report.outcome.is_equivalent());
+        let m = rec.borrow();
+        let events = m.events_of("sec.outcome");
+        assert_eq!(events.len(), 1);
+        assert!(events[0].starts_with("not_equivalent"), "{}", events[0]);
     }
 
     #[test]

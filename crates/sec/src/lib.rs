@@ -30,11 +30,14 @@ mod spec;
 mod unroll;
 
 pub use bitblast::{model_word, BitBlaster};
-pub use bmc::{check_property, check_property_budgeted, BmcOutcome, BmcReport, PropertyTrace};
+pub use bmc::{
+    check_property, check_property_budgeted, check_property_observed, BmcOutcome, BmcReport,
+    PropertyTrace,
+};
 pub use equiv::{
-    check_equivalence, check_equivalence_per_output, check_equivalence_per_output_with,
-    check_equivalence_with, CheckOptions, Counterexample, EquivOutcome, EquivReport,
-    FalsificationSummary, Mismatch, OutputVerdict, PerOutputReport,
+    check_equivalence, check_equivalence_observed, check_equivalence_per_output,
+    check_equivalence_per_output_with, check_equivalence_with, CheckOptions, Counterexample,
+    EquivOutcome, EquivReport, FalsificationSummary, Mismatch, OutputVerdict, PerOutputReport,
 };
 pub use spec::{Binding, ComparePoint, EquivSpec, InitState, SecError};
 pub use unroll::{eval_comb_symbolic, SymbolicCycle, SymbolicSim, MEM_BLAST_LIMIT};

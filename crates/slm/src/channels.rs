@@ -249,6 +249,7 @@ impl<T: 'static> Fifo<T> {
         inner.items.push_back(item);
         let e = inner.written;
         drop(inner);
+        k.note_channel_op();
         k.notify_now(e);
         Ok(())
     }
@@ -259,6 +260,7 @@ impl<T: 'static> Fifo<T> {
         let item = inner.items.pop_front()?;
         let e = inner.read;
         drop(inner);
+        k.note_channel_op();
         k.notify_now(e);
         Some(item)
     }

@@ -36,7 +36,13 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Instant;
 
+use dfv_obs::{ObsHook, SharedRecorder};
 use dfv_sat::{Budget, ExhaustedReason};
+
+/// How many delta cycles run between wall-clock polls when a deadline
+/// is armed — the same stride [`dfv_sat`]'s solver uses, so watchdog
+/// overhead never distorts SLM-vs-RTL speed comparisons.
+const WALL_POLL_STRIDE: u32 = 64;
 
 /// Identifies an event within a [`Kernel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,6 +164,27 @@ pub struct KernelStats {
     pub events_fired: u64,
     /// Timed notifications processed.
     pub timed_notifications: u64,
+    /// Channel operations (FIFO puts/gets) executed through the kernel.
+    pub channel_ops: u64,
+}
+
+/// Armed watchdog state for one `run`/`step` call. The wall-clock tick
+/// counter lives here (not in a local) so the poll stride spans every
+/// timestep of the call.
+struct Watchdogs {
+    cutoff: Option<Instant>,
+    act_cap: Option<u64>,
+    clock_ticks: u32,
+}
+
+impl Watchdogs {
+    fn unarmed() -> Self {
+        Watchdogs {
+            cutoff: None,
+            act_cap: None,
+            clock_ticks: 0,
+        }
+    }
 }
 
 /// Things a signal does at the update phase. Implemented by
@@ -219,6 +246,8 @@ pub struct Kernel {
     delta_limit: u64,
     /// Optional wall-clock/activation budget for `run`/`step`.
     budget: Option<Budget>,
+    /// Optional observability sink for stats deltas and halt events.
+    obs: ObsHook,
 }
 
 impl fmt::Debug for Kernel {
@@ -253,6 +282,7 @@ impl Kernel {
             stats: KernelStats::default(),
             delta_limit: DEFAULT_DELTA_LIMIT,
             budget: None,
+            obs: ObsHook::none(),
         }
     }
 
@@ -299,6 +329,39 @@ impl Kernel {
     /// Statistics so far.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Attaches a recorder; each `run`/`step` call then reports the
+    /// work it did as `slm.*` counter deltas (activations, delta
+    /// cycles, events fired, timed notifications, channel ops), and
+    /// halts surface as `slm.halt` events. Nothing recorded carries a
+    /// wall-clock value, so recorded streams stay reproducible.
+    pub fn set_recorder(&mut self, rec: SharedRecorder) {
+        self.obs.set(rec);
+    }
+
+    /// Bumps the channel-operation counter (FIFO puts/gets report
+    /// through here so channel traffic shows up in [`KernelStats`]).
+    pub(crate) fn note_channel_op(&mut self) {
+        self.stats.channel_ops += 1;
+    }
+
+    /// Emits the difference between `before` and the current stats to
+    /// the attached recorder (no-op when none is attached).
+    fn record_stats_delta(&self, before: KernelStats) {
+        let s = self.stats;
+        self.obs
+            .add("slm.activations", s.activations - before.activations);
+        self.obs
+            .add("slm.delta_cycles", s.delta_cycles - before.delta_cycles);
+        self.obs
+            .add("slm.events_fired", s.events_fired - before.events_fired);
+        self.obs.add(
+            "slm.timed_notifications",
+            s.timed_notifications - before.timed_notifications,
+        );
+        self.obs
+            .add("slm.channel_ops", s.channel_ops - before.channel_ops);
     }
 
     /// The signal-update queue (used by [`crate::Signal`]).
@@ -441,11 +504,10 @@ impl Kernel {
         names
     }
 
-    /// The effective wall-clock cutoff and activation cap for a call
-    /// starting now.
-    fn arm_watchdogs(&self, now: Instant) -> (Option<Instant>, Option<u64>) {
+    /// The armed watchdog state for one `run`/`step` call.
+    fn arm_watchdogs(&self, now: Instant) -> Watchdogs {
         let Some(b) = self.budget else {
-            return (None, None);
+            return Watchdogs::unarmed();
         };
         let cutoff = match (b.deadline, b.timeout.map(|t| now + t)) {
             (Some(d), Some(t)) => Some(d.min(t)),
@@ -454,16 +516,18 @@ impl Kernel {
         let act_cap = b
             .max_propagations
             .map(|n| self.stats.activations.saturating_add(n));
-        (cutoff, act_cap)
+        Watchdogs {
+            cutoff,
+            act_cap,
+            clock_ticks: 0,
+        }
     }
 
     /// Exhausts the delta cycles at the current timestep under the
-    /// watchdogs. `Ok(())` means the timestep settled.
-    fn settle_timestep(
-        &mut self,
-        cutoff: Option<Instant>,
-        act_cap: Option<u64>,
-    ) -> Result<(), KernelHalt> {
+    /// watchdogs. `Ok(())` means the timestep settled. `wd` persists
+    /// across the timesteps of one `run` call so the wall-clock poll
+    /// stride amortizes over the whole call, not per timestep.
+    fn settle_timestep(&mut self, wd: &mut Watchdogs) -> Result<(), KernelHalt> {
         let mut deltas: u64 = 0;
         while self.delta_cycle() {
             deltas += 1;
@@ -474,7 +538,7 @@ impl Kernel {
                     runnable: self.runnable_names(),
                 });
             }
-            if let Some(cap) = act_cap {
+            if let Some(cap) = wd.act_cap {
                 if self.stats.activations > cap {
                     return Err(KernelHalt::BudgetExhausted {
                         time: self.time,
@@ -482,13 +546,21 @@ impl Kernel {
                     });
                 }
             }
-            if let Some(c) = cutoff {
-                if Instant::now() >= c {
-                    return Err(KernelHalt::BudgetExhausted {
-                        time: self.time,
-                        reason: ExhaustedReason::Deadline,
-                    });
+            // The deadline is polled every WALL_POLL_STRIDE deltas (and
+            // once on the first delta, via clock_ticks starting at 0) —
+            // the same amortization as dfv-sat's solve_budgeted, so an
+            // armed watchdog costs no syscall per delta cycle.
+            if let Some(c) = wd.cutoff {
+                if wd.clock_ticks == 0 {
+                    if Instant::now() >= c {
+                        return Err(KernelHalt::BudgetExhausted {
+                            time: self.time,
+                            reason: ExhaustedReason::Deadline,
+                        });
+                    }
+                    wd.clock_ticks = WALL_POLL_STRIDE;
                 }
+                wd.clock_ticks -= 1;
             }
         }
         Ok(())
@@ -525,10 +597,22 @@ impl Kernel {
     /// limit; [`KernelHalt::BudgetExhausted`] when the armed [`Budget`]
     /// runs out.
     pub fn run(&mut self, until: Time) -> Result<Time, KernelHalt> {
-        let (cutoff, act_cap) = self.arm_watchdogs(Instant::now());
+        let before = self.stats;
+        self.obs.begin_span("slm.run");
+        let result = self.run_inner(until);
+        self.record_stats_delta(before);
+        if let Err(halt) = &result {
+            self.obs.event("slm.halt", || halt.to_string());
+        }
+        self.obs.end_span("slm.run");
+        result
+    }
+
+    fn run_inner(&mut self, until: Time) -> Result<Time, KernelHalt> {
+        let mut wd = self.arm_watchdogs(Instant::now());
         loop {
             // Exhaust delta cycles at the current time.
-            self.settle_timestep(cutoff, act_cap)?;
+            self.settle_timestep(&mut wd)?;
             // Advance to the next timed notification.
             let Some(&Reverse((t, _, _))) = self.timed.peek() else {
                 break;
@@ -566,9 +650,17 @@ impl Kernel {
     ///
     /// Same watchdogs as [`Kernel::run`].
     pub fn step(&mut self) -> Result<bool, KernelHalt> {
-        let (cutoff, act_cap) = self.arm_watchdogs(Instant::now());
-        self.settle_timestep(cutoff, act_cap)?;
-        Ok(self.advance_to_next_timed())
+        let before = self.stats;
+        let mut wd = self.arm_watchdogs(Instant::now());
+        let settled = self.settle_timestep(&mut wd);
+        self.record_stats_delta(before);
+        match settled {
+            Ok(()) => Ok(self.advance_to_next_timed()),
+            Err(halt) => {
+                self.obs.event("slm.halt", || halt.to_string());
+                Err(halt)
+            }
+        }
     }
 
     /// Whether the kernel is quiescent: no runnable process, no pending
@@ -862,6 +954,68 @@ mod tests {
         ));
         // Bounded work: the cap is on activations, give or take one delta.
         assert!(hits.get() <= 12, "ran {} activations", hits.get());
+    }
+
+    #[test]
+    fn recorder_sees_stats_deltas_and_halt_events() {
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let mut k = Kernel::new();
+        k.set_recorder(rec.clone());
+        let e = k.event("e");
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        k.process("p", &[e], move |k| {
+            h.set(h.get() + 1);
+            if h.get() < 3 {
+                k.notify(e, 10);
+            }
+        });
+        k.notify(e, 10);
+        k.run(100).unwrap();
+        {
+            let r = rec.borrow();
+            let s = k.stats();
+            assert_eq!(r.counter("slm.activations"), s.activations);
+            assert_eq!(r.counter("slm.delta_cycles"), s.delta_cycles);
+            assert_eq!(r.counter("slm.timed_notifications"), s.timed_notifications);
+            assert!(r.events_of("slm.halt").is_empty());
+        }
+        // A second run records only the new work (deltas, not totals).
+        let before = rec.borrow().counter("slm.activations");
+        k.run(200).unwrap();
+        assert_eq!(rec.borrow().counter("slm.activations"), before);
+
+        // A livelock shows up as a typed halt event.
+        let rec2 = dfv_obs::MemoryRecorder::shared();
+        let mut k2 = Kernel::new().with_delta_limit(16);
+        k2.set_recorder(rec2.clone());
+        let ping = k2.event("ping");
+        k2.process("spinner", &[ping], move |k| k.notify_now(ping));
+        k2.notify(ping, 0);
+        assert!(k2.run(10).is_err());
+        let r2 = rec2.borrow();
+        assert_eq!(r2.events_of("slm.halt").len(), 1);
+        assert!(r2.events_of("slm.halt")[0].contains("livelock"));
+    }
+
+    #[test]
+    fn amortized_wall_clock_still_halts_nonzero_timeouts() {
+        use std::time::Duration;
+        // A 2 ms deadline with the 64-delta poll stride: the endless
+        // loop must still halt (within the stride, not never).
+        let mut k = Kernel::new()
+            .with_budget(dfv_sat::Budget::unlimited().with_timeout(Duration::from_millis(2)));
+        let e = k.event("e");
+        k.process("p", &[e], move |k| k.notify(e, 1));
+        k.notify(e, 1);
+        let halt = k.run(u64::MAX / 2).unwrap_err();
+        assert!(matches!(
+            halt,
+            KernelHalt::BudgetExhausted {
+                reason: ExhaustedReason::Deadline,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -21,6 +21,16 @@ run cargo test -q --workspace
 # example asserts zero masked faults and byte-for-byte report
 # reproducibility, so a plain exit 0 is a real check.
 run cargo run --release --example fault_campaign
+# Offline smoke test: observability layer. The example localizes a seeded
+# fault and asserts its combined VCD round-trips; here we additionally
+# pin down the canonical JSON report — it must parse and be
+# byte-reproducible across two separate processes.
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+run cargo run --release --example observability -- "$obs_dir/run1.json"
+run cargo run --release --example observability -- "$obs_dir/run2.json"
+run cmp "$obs_dir/run1.json" "$obs_dir/run2.json"
+run cargo run --release -q -p dfv-bench --bin experiments -- e10 > /dev/null
 run cargo clippy --all-targets --workspace -- -D warnings
 run cargo fmt --all --check
 

@@ -12,7 +12,9 @@
 //! * [`rtl`] — build and simulate RTL;
 //! * [`sec`] — prove SLM/RTL transaction equivalence;
 //! * [`cosim`] — simulate them together through transactors;
-//! * [`core`] — run whole verification campaigns incrementally.
+//! * [`core`] — run whole verification campaigns incrementally;
+//! * [`obs`] — observe all of the above: recorders, run reports,
+//!   divergence localization, and VCD rendering.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +24,7 @@ pub use dfv_core as core;
 pub use dfv_cosim as cosim;
 pub use dfv_designs as designs;
 pub use dfv_float as float;
+pub use dfv_obs as obs;
 pub use dfv_rtl as rtl;
 pub use dfv_sat as sat;
 pub use dfv_sec as sec;

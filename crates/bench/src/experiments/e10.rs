@@ -53,8 +53,22 @@ pub fn e10_report() -> RunReport {
         std::hint::black_box(sink);
     });
 
-    rep.add_counters(slm_rec.borrow().counters().iter().map(|(k, v)| (*k, *v)));
-    rep.add_counters(rtl_rec.borrow().counters().iter().map(|(k, v)| (*k, *v)));
+    rep.add_counters(
+        slm_rec
+            .lock()
+            .unwrap()
+            .counters()
+            .iter()
+            .map(|(k, v)| (*k, *v)),
+    );
+    rep.add_counters(
+        rtl_rec
+            .lock()
+            .unwrap()
+            .counters()
+            .iter()
+            .map(|(k, v)| (*k, *v)),
+    );
     rep.set_value("blocks", Json::UInt(BLOCKS));
     let slm_work = rep.counter("slm.activations").max(1);
     let rtl_work = rep.counter("rtl.node_evals");

@@ -1,0 +1,198 @@
+//! E11 — the deterministic parallel campaign scheduler: the same
+//! verification plan run at 1, 2, 4 and 8 workers, with the wall time of
+//! each run recorded in the report's `timing` section and the canonical
+//! campaign reports asserted byte-identical across all worker counts.
+//!
+//! The experiment makes the scheduler's contract measurable: parallelism
+//! buys wall time (on multi-core hosts) and costs *nothing* in
+//! reproducibility — the canonical JSON a CI gate would diff is the same
+//! string whether the campaign ran on one thread or eight. Speedup is a
+//! property of the host (`available_parallelism`), so it lives in the
+//! rendered text and the `timing` section, never in the canonical JSON.
+
+use dfv_core::{BlockPair, Campaign, CampaignOptions, RetryPolicy, VerificationPlan};
+use dfv_designs::{alu, fir};
+use dfv_obs::{Json, RunReport};
+use dfv_rtl::ModuleBuilder;
+use dfv_sec::{Binding, EquivSpec};
+
+use crate::render_table;
+
+/// Worker counts swept by the experiment.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A genuinely-equivalent multiplier-commutativity block: `a * b` in the
+/// SLM against `b * a` in RTL, `width` bits per operand. SAT cost grows
+/// steeply with `width`, giving the plan a mix of cheap and pricey items.
+fn mul_block(width: u32) -> BlockPair {
+    let out = 2 * width;
+    let mut rb = ModuleBuilder::new("rtl_mul");
+    let a = rb.input("a", width);
+    let b = rb.input("b", width);
+    let (aw, bw) = (rb.zext(a, out), rb.zext(b, out));
+    let y = rb.mul(bw, aw);
+    rb.output("y", y);
+    BlockPair {
+        name: format!("mul{width}"),
+        slm_source: format!(
+            "uint<{out}> mul(uint<{width}> a, uint<{width}> b) {{ return (uint<{out}>)a * (uint<{out}>)b; }}"
+        ),
+        slm_entry: "mul".into(),
+        rtl: rb.finish().expect("mul rtl builds"),
+        spec: EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("b", 0, Binding::Slm("b".into()))
+            .compare("return", "y", 0),
+    }
+}
+
+/// The E11 plan: the ALU and FIR reference blocks plus a ramp of
+/// multiplier widths — eight independent proof obligations of uneven
+/// cost, which is exactly the load shape self-scheduling is for.
+pub fn e11_plan() -> VerificationPlan {
+    let mut plan = VerificationPlan::new()
+        .block(BlockPair {
+            name: "alu".into(),
+            slm_source: alu::slm_bit_accurate().into(),
+            slm_entry: "alu".into(),
+            rtl: alu::rtl(8, 8),
+            spec: alu::equiv_spec(),
+        })
+        .block(BlockPair {
+            name: "fir".into(),
+            slm_source: fir::slm_source().into(),
+            slm_entry: "fir".into(),
+            rtl: fir::rtl(),
+            spec: fir::equiv_spec(),
+        });
+    for width in [4, 4, 5, 5, 6, 6] {
+        let mut b = mul_block(width);
+        // Widths repeat, but names must stay unique within the plan.
+        b.name = format!("mul{width}_{}", plan.blocks.len());
+        plan = plan.block(b);
+    }
+    plan
+}
+
+fn options(workers: usize) -> CampaignOptions {
+    CampaignOptions {
+        retry: RetryPolicy::default(),
+        deadline: None,
+        cache_path: None,
+        workers: Some(workers),
+    }
+}
+
+/// Runs the sweep and reduces it to a [`RunReport`].
+///
+/// Canonical values: block count, worker counts, and whether every run's
+/// canonical campaign report matched the serial reference byte for byte.
+/// Per-worker-count wall time lands in the `timing` section as phases
+/// named `workers_N`.
+pub fn e11_report() -> RunReport {
+    let mut rep = RunReport::new("e11_parallel_campaign");
+    let plan = e11_plan();
+    let mut reference: Option<String> = None;
+    let mut identical = true;
+    for w in WORKER_COUNTS {
+        let campaign_report = rep.phase(format!("workers_{w}"), || {
+            Campaign::with_options(options(w)).run(&plan)
+        });
+        assert!(
+            campaign_report.all_pass(),
+            "all E11 blocks are genuinely equivalent: {:?}",
+            campaign_report
+                .blocks
+                .iter()
+                .map(|b| (b.name.as_str(), b.status.to_string()))
+                .collect::<Vec<_>>()
+        );
+        let canon = campaign_report.to_run_report().canonical_json();
+        match &reference {
+            None => reference = Some(canon),
+            Some(r) => identical &= &canon == r,
+        }
+    }
+    rep.set_value("blocks", Json::UInt(plan.blocks.len() as u64));
+    rep.set_value(
+        "worker_counts",
+        Json::Arr(
+            WORKER_COUNTS
+                .iter()
+                .map(|w| Json::UInt(*w as u64))
+                .collect(),
+        ),
+    );
+    rep.set_value("reports_identical_across_workers", Json::Bool(identical));
+    rep
+}
+
+/// Runs E11 and renders its report.
+pub fn e11_parallel_campaign() -> String {
+    let rep = e11_report();
+    let mut out =
+        String::from("E11 — parallel campaign scheduling: one plan, swept over worker counts\n\n");
+    let serial_us = rep
+        .phases()
+        .iter()
+        .find(|p| p.name == "workers_1")
+        .map(|p| p.wall.as_micros())
+        .unwrap_or(0);
+    let rows: Vec<Vec<String>> = rep
+        .phases()
+        .iter()
+        .map(|p| {
+            let us = p.wall.as_micros();
+            vec![
+                p.name.trim_start_matches("workers_").to_string(),
+                format!("{:.1} ms", us as f64 / 1000.0),
+                if us > 0 {
+                    format!("{:.2}x", serial_us as f64 / us as f64)
+                } else {
+                    "-".into()
+                },
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["workers", "wall", "speedup vs serial"],
+        &rows,
+    ));
+    let identical = rep
+        .value("reports_identical_across_workers")
+        .map(|v| matches!(v, Json::Bool(true)))
+        .unwrap_or(false);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!(
+        "\ncanonical reports identical across all worker counts: {identical}\n\
+         host parallelism: {cores} core(s) — speedup saturates there; on a \
+         single-core host\nthe sweep still proves the determinism contract, \
+         just not the wall-time win.\n"
+    ));
+    out.push_str("\ncanonical JSON (byte-reproducible; wall time lives only in `timing`):\n");
+    out.push_str(&rep.canonical_json());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_reports_identical_across_worker_counts() {
+        // One sweep is enough here: run-to-run byte reproducibility is
+        // covered by dfv-core's prop_parallel tests; this asserts the
+        // cross-worker-count identity on the real E11 plan.
+        let r1 = e11_report();
+        assert_eq!(
+            r1.value("reports_identical_across_workers"),
+            Some(&Json::Bool(true))
+        );
+        assert!(!r1.canonical_json().contains("wall_us"));
+        let full = dfv_obs::parse_json(&r1.full_json()).unwrap();
+        assert!(full.get("timing").is_some());
+    }
+}

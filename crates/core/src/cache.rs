@@ -217,7 +217,14 @@ pub(crate) fn load(path: &Path) -> (HashMap<String, (u64, BlockResult)>, CacheLo
 }
 
 /// Atomically persists `cache` to `path` (write `.tmp` sibling, fsync,
-/// rename).
+/// rename, fsync the parent directory).
+///
+/// The final directory fsync matters: `rename` makes the new file visible,
+/// but on filesystems that journal data and metadata separately a crash
+/// right after the rename can still roll the *directory entry* back to the
+/// old (or no) file. Syncing the parent directory makes the rename itself
+/// durable. A pre-existing stale `.tmp` (from a crash mid-save) is simply
+/// overwritten by the next save.
 pub(crate) fn save(path: &Path, cache: &HashMap<String, (u64, BlockResult)>) -> Result<(), String> {
     let data = serialize(cache);
     let mut tmp_name = path.as_os_str().to_owned();
@@ -227,7 +234,19 @@ pub(crate) fn save(path: &Path, cache: &HashMap<String, (u64, BlockResult)>) -> 
         let mut f = fs::File::create(&tmp)?;
         f.write_all(data.as_bytes())?;
         f.sync_all()?;
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        // An empty parent means a relative path in the current directory.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        // Directory fsync is best-effort where the platform disallows
+        // opening directories for sync (the rename is already atomic;
+        // only crash-durability of the rename would be at stake).
+        if let Ok(dir) = fs::File::open(parent) {
+            dir.sync_all()?;
+        }
+        Ok(())
     })();
     write.map_err(|e| format!("persist cache to {}: {e}", path.display()))
 }
@@ -317,5 +336,33 @@ mod tests {
         let cache = HashMap::new();
         let back = deserialize(&serialize(&cache)).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn save_survives_a_preexisting_stale_tmp() {
+        // A crash between writing `.tmp` and the rename leaves the stale
+        // temp file behind; the next save must overwrite it and still
+        // produce a loadable cache.
+        let path = std::env::temp_dir().join(format!(
+            "dfv-cache-stale-{}-{:?}.cache",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let _ = fs::remove_file(&path);
+        fs::write(&tmp, "!! stale temp left by a crashed save !!").unwrap();
+
+        let mut cache = HashMap::new();
+        cache.insert("a".to_string(), entry(BlockStatus::Pass));
+        save(&path, &cache).unwrap();
+
+        // The rename consumed the temp file and the saved cache loads clean.
+        assert!(!tmp.exists(), "stale .tmp must be consumed by the rename");
+        let (loaded, status) = load(&path);
+        assert_eq!(status, CacheLoad::Loaded { entries: 1 });
+        assert!(loaded.contains_key("a"));
+        let _ = fs::remove_file(&path);
     }
 }

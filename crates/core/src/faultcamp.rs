@@ -99,12 +99,26 @@ pub struct FaultCase {
 #[derive(Debug, Clone, Copy)]
 pub struct FaultCampaign {
     seed: u64,
+    workers: Option<usize>,
 }
 
 impl FaultCampaign {
     /// A campaign whose entire sweep is a pure function of `seed`.
     pub fn new(seed: u64) -> Self {
-        FaultCampaign { seed }
+        FaultCampaign {
+            seed,
+            workers: None,
+        }
+    }
+
+    /// Sets the scheduler worker count for [`FaultCampaign::run`].
+    /// Defaults to [`std::thread::available_parallelism`]; the
+    /// `DFV_WORKERS` environment variable overrides either. Cell seeds
+    /// are derived from (block, fault-class) indices, never from the
+    /// executing worker, so the report is identical for every count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// The per-cell seed for `(block_index, kind_index)` — exposed so a
@@ -126,67 +140,93 @@ impl FaultCampaign {
     /// (unfaulted) comparison is not clean are rejected into
     /// [`FaultCampaignReport::baseline_errors`] and skipped — their
     /// verdicts would be noise.
+    ///
+    /// Blocks are independent work items for the scheduler in
+    /// [`crate::sched`] (see [`FaultCampaign::with_workers`]): each
+    /// worker sweeps whole blocks, and the per-block sweeps are merged
+    /// back in block order, so the report — and its canonical JSON — is
+    /// byte-identical for every worker count.
     pub fn run(&self, blocks: &[FaultBlock]) -> FaultCampaignReport {
+        let workers = crate::sched::resolve_workers(self.workers);
+        let sweeps =
+            crate::sched::run_indexed(blocks, workers, |bi, block| self.sweep_block(bi, block));
         let mut cases = Vec::with_capacity(blocks.len() * FaultKind::ALL.len());
         let mut baseline_errors = Vec::new();
-        for (bi, block) in blocks.iter().enumerate() {
-            let baseline = replay(
-                &block.expected,
-                &block.actual,
-                block.policy.build().as_mut(),
-            );
-            if !baseline.is_clean() {
-                baseline_errors.push(format!(
-                    "{}: baseline not clean under {} ({} mismatch(es), first: {})",
-                    block.name,
-                    block.policy.describe(),
-                    baseline.mismatches.len(),
-                    baseline.mismatches[0]
-                ));
-                continue;
-            }
-            for (ki, kind) in FaultKind::ALL.into_iter().enumerate() {
-                let seed = self.cell_seed(bi, ki);
-                let plan = FaultPlan::only(kind, seed);
-                let mut injector = plan.injector();
-                let faulted = injector.perturb(&block.actual);
-                let log = injector.take_log();
-                let report = replay(&block.expected, &faulted, block.policy.build().as_mut());
-                let (verdict, note) = if log.is_empty() {
-                    (FaultVerdict::NotInjected, String::new())
-                } else if report.is_clean() {
-                    if block.policy.tolerates(kind, &plan) {
-                        (
-                            FaultVerdict::Tolerated,
-                            format!("absorbed by {}", block.policy.describe()),
-                        )
-                    } else {
-                        (
-                            FaultVerdict::Masked,
-                            format!("escaped {}: {}", block.policy.describe(), log.events[0]),
-                        )
-                    }
-                } else {
-                    (
-                        FaultVerdict::Detected,
-                        format!("{} -> {}", log.events[0], report.mismatches[0]),
-                    )
-                };
-                cases.push(FaultCase {
-                    block: block.name.clone(),
-                    kind,
-                    seed,
-                    verdict,
-                    injected: log.len(),
-                    mismatches: report.mismatches.len(),
-                    note,
-                });
+        for sweep in sweeps {
+            match sweep {
+                Ok(block_cases) => cases.extend(block_cases),
+                Err(e) => baseline_errors.push(e),
             }
         }
         FaultCampaignReport {
             seed: self.seed,
             cases,
             baseline_errors,
+        }
+    }
+
+    /// The per-block work item: baseline admission check, then one
+    /// [`Self::sweep_cell`] per fault class. Pure — a function of the
+    /// campaign seed, the block, and its index only.
+    fn sweep_block(&self, bi: usize, block: &FaultBlock) -> Result<Vec<FaultCase>, String> {
+        let baseline = replay(
+            &block.expected,
+            &block.actual,
+            block.policy.build().as_mut(),
+        );
+        if !baseline.is_clean() {
+            return Err(format!(
+                "{}: baseline not clean under {} ({} mismatch(es), first: {})",
+                block.name,
+                block.policy.describe(),
+                baseline.mismatches.len(),
+                baseline.mismatches[0]
+            ));
+        }
+        Ok(FaultKind::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(ki, kind)| self.sweep_cell(bi, block, ki, kind))
+            .collect())
+    }
+
+    /// One cell of the sweep: inject a single-class seeded plan into the
+    /// block's clean stream, replay through the declared policy, classify.
+    fn sweep_cell(&self, bi: usize, block: &FaultBlock, ki: usize, kind: FaultKind) -> FaultCase {
+        let seed = self.cell_seed(bi, ki);
+        let plan = FaultPlan::only(kind, seed);
+        let mut injector = plan.injector();
+        let faulted = injector.perturb(&block.actual);
+        let log = injector.take_log();
+        let report = replay(&block.expected, &faulted, block.policy.build().as_mut());
+        let (verdict, note) = if log.is_empty() {
+            (FaultVerdict::NotInjected, String::new())
+        } else if report.is_clean() {
+            if block.policy.tolerates(kind, &plan) {
+                (
+                    FaultVerdict::Tolerated,
+                    format!("absorbed by {}", block.policy.describe()),
+                )
+            } else {
+                (
+                    FaultVerdict::Masked,
+                    format!("escaped {}: {}", block.policy.describe(), log.events[0]),
+                )
+            }
+        } else {
+            (
+                FaultVerdict::Detected,
+                format!("{} -> {}", log.events[0], report.mismatches[0]),
+            )
+        };
+        FaultCase {
+            block: block.name.clone(),
+            kind,
+            seed,
+            verdict,
+            injected: log.len(),
+            mismatches: report.mismatches.len(),
+            note,
         }
     }
 }

@@ -74,6 +74,7 @@
 //!     retry: RetryPolicy::escalating(10_000, 10, 3),
 //!     deadline: Some(Duration::from_secs(60)),
 //!     cache_path: Some(path.clone()),
+//!     ..CampaignOptions::default()
 //! });
 //! let report = campaign.run(&plan);
 //! assert_eq!(report.blocks[0].status, BlockStatus::Pass);
@@ -102,9 +103,11 @@ use dfv_slmir::{lint, LintFinding, Severity};
 
 mod cache;
 mod faultcamp;
+pub mod sched;
 
 pub use cache::CacheLoad;
 pub use faultcamp::{FaultBlock, FaultCampaign, FaultCampaignReport, FaultCase, FaultVerdict};
+pub use sched::{resolve_workers, DeadlineClock, WORKERS_ENV};
 
 /// One SLM/RTL block correspondence (paper §4.2).
 #[derive(Debug, Clone)]
@@ -283,6 +286,12 @@ pub struct CampaignOptions {
     /// Persist the incremental cache here (checksummed text format, written
     /// atomically after every run) so verdicts survive process restarts.
     pub cache_path: Option<PathBuf>,
+    /// Scheduler worker threads for one run. `None` defaults to
+    /// [`std::thread::available_parallelism`]; the `DFV_WORKERS`
+    /// environment variable overrides either. Blocks are independent
+    /// work items, so the canonical report is byte-identical for every
+    /// worker count (see [`sched`]).
+    pub workers: Option<usize>,
 }
 
 /// A campaign run over a plan.
@@ -583,43 +592,68 @@ impl Campaign {
     /// the last run. Cached verdicts are returned with
     /// [`BlockResult::from_cache`] set and near-zero duration — the paper's
     /// incremental-SEC payoff. Under a campaign deadline, blocks reached
-    /// after it passes are skipped with [`BlockStatus::Inconclusive`]; if a
-    /// cache path is configured, the (conclusive) verdicts are persisted
-    /// atomically before returning.
+    /// after it passes are skipped with [`BlockStatus::Inconclusive`]
+    /// *before* their content hash is computed, so an expired run does not
+    /// pay hashing cost over a large plan; if a cache path is configured,
+    /// the (conclusive) verdicts are persisted atomically before returning.
+    ///
+    /// With [`CampaignOptions::workers`] `> 1` the blocks are executed by
+    /// the self-scheduling worker pool in [`sched`]: each block is a pure
+    /// work item (the run-start cache is shared read-only, the deadline is
+    /// the shared amortized [`DeadlineClock`]), results are merged back in
+    /// plan order, and all cache mutation and persistence happens on this
+    /// thread after the join — so the canonical report is byte-identical
+    /// to the one-worker run.
     pub fn run(&mut self, plan: &VerificationPlan) -> CampaignReport {
         let start = Instant::now();
-        let deadline = self.opts.deadline.map(|d| start + d);
-        let mut blocks = Vec::with_capacity(plan.blocks.len());
-        for b in &plan.blocks {
-            let hash = b.content_hash();
-            if let Some((h, cached)) = self.cache.get(&b.name) {
-                if *h == hash {
-                    let mut r = cached.clone();
-                    r.from_cache = true;
-                    r.duration = Duration::ZERO;
-                    blocks.push(r);
-                    continue;
+        let clock = sched::DeadlineClock::new(start, self.opts.deadline);
+        let deadline = clock.instant();
+        let workers = sched::resolve_workers(self.opts.workers);
+        let cache = &self.cache;
+        let retry = &self.opts.retry;
+        // The per-block work item: deadline (amortized, shared) first so an
+        // expired campaign skips even the hashing, then the cache probe,
+        // then the budgeted proof. Returns the content hash alongside the
+        // result so the post-join cache writer needn't rehash.
+        let results: Vec<(Option<u64>, BlockResult)> =
+            sched::run_indexed(&plan.blocks, workers, |_, b| {
+                if clock.expired() {
+                    return (
+                        None,
+                        BlockResult {
+                            name: b.name.clone(),
+                            status: BlockStatus::Inconclusive(
+                                "campaign deadline exceeded before block started".into(),
+                            ),
+                            lint_findings: Vec::new(),
+                            equiv: None,
+                            duration: Duration::ZERO,
+                            from_cache: false,
+                            attempts: 0,
+                        },
+                    );
                 }
-            }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                blocks.push(BlockResult {
-                    name: b.name.clone(),
-                    status: BlockStatus::Inconclusive(
-                        "campaign deadline exceeded before block started".into(),
-                    ),
-                    lint_findings: Vec::new(),
-                    equiv: None,
-                    duration: Duration::ZERO,
-                    from_cache: false,
-                    attempts: 0,
-                });
-                continue;
-            }
-            let r = verify_block_with(b, &self.opts.retry, deadline);
+                let hash = b.content_hash();
+                if let Some((h, cached)) = cache.get(&b.name) {
+                    if *h == hash {
+                        let mut r = cached.clone();
+                        r.from_cache = true;
+                        r.duration = Duration::ZERO;
+                        return (Some(hash), r);
+                    }
+                }
+                (Some(hash), verify_block_with(b, retry, deadline))
+            });
+        // Single writer: the cache is only mutated here, after the join,
+        // in plan order — worker count cannot change what gets cached.
+        let mut blocks = Vec::with_capacity(results.len());
+        for ((hash, r), b) in results.into_iter().zip(&plan.blocks) {
             // Inconclusive is a statement about the *budget*, not the block:
             // caching it would freeze a too-small budget's verdict forever.
-            if !matches!(r.status, BlockStatus::Inconclusive(_)) {
-                self.cache.insert(b.name.clone(), (hash, r.clone()));
+            if let Some(hash) = hash {
+                if !r.from_cache && !matches!(r.status, BlockStatus::Inconclusive(_)) {
+                    self.cache.insert(b.name.clone(), (hash, r.clone()));
+                }
             }
             blocks.push(r);
         }
@@ -889,6 +923,7 @@ mod tests {
             },
             deadline: Some(Duration::ZERO),
             cache_path: None,
+            workers: None,
         });
         let report = campaign.run(&plan);
         assert_eq!(report.inconclusive(), 2);
@@ -903,6 +938,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_skips_before_hashing_or_cache_probe() {
+        // Regression: the deadline used to be checked only *after*
+        // `content_hash()`, so an expired campaign still paid full hashing
+        // cost over the plan (and could serve cache hits). The check now
+        // comes first: with a zero deadline every block — cached or not —
+        // is skipped untouched.
+        let path = temp_cache_path("zero-deadline");
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "other".into(),
+                ..inc_block(false)
+            });
+        let mut warm = Campaign::with_cache_file(&path);
+        assert!(warm.run(&plan).all_pass());
+        drop(warm);
+
+        let mut expired = Campaign::with_options(CampaignOptions {
+            deadline: Some(Duration::ZERO),
+            cache_path: Some(path.clone()),
+            ..CampaignOptions::default()
+        });
+        assert_eq!(expired.cache_load(), &CacheLoad::Loaded { entries: 2 });
+        let report = expired.run(&plan);
+        assert_eq!(report.inconclusive(), 2);
+        for b in &report.blocks {
+            assert!(!b.from_cache, "skip must precede the cache probe");
+            assert_eq!(b.attempts, 0);
+            let BlockStatus::Inconclusive(note) = &b.status else {
+                panic!("expected deadline skip, got {:?}", b.status);
+            };
+            assert!(note.contains("deadline"), "note: {note}");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
     fn inconclusive_verdicts_are_retried_next_run() {
         let plan = VerificationPlan::new().block(hard_block());
         let mut campaign = Campaign::with_options(CampaignOptions {
@@ -913,6 +985,7 @@ mod tests {
             },
             deadline: None,
             cache_path: None,
+            workers: None,
         });
         let r1 = campaign.run(&plan);
         assert_eq!(r1.inconclusive(), 1);

@@ -1,0 +1,240 @@
+//! The deterministic parallel campaign scheduler.
+//!
+//! The paper's economic argument (§4.1) is that many *cheap* verification
+//! runs beat one late batch run — and campaign work items (per-block
+//! proofs, per-block fault sweeps) are already independent: seeds are
+//! derived per cell, cache keys are content hashes, and nothing in a work
+//! item's body touches shared mutable state. This module supplies the
+//! missing piece: a worker pool that executes the items concurrently
+//! while keeping the *observable output identical to the serial run*.
+//!
+//! The determinism contract, relied on by `scripts/check.sh` and the
+//! property tests:
+//!
+//! 1. **Self-scheduling pool.** Workers claim items from one shared
+//!    atomic cursor, so an idle worker steals the next unclaimed item
+//!    instead of waiting behind a static partition. Which worker runs
+//!    which item varies run to run — and must not matter.
+//! 2. **Plan-order merge.** Every result is slotted by its *item index*,
+//!    never by completion order; the assembled vector is
+//!    indistinguishable from a serial for-loop's output.
+//! 3. **Single-writer side effects.** Work items are pure; anything
+//!    stateful (cache insertion, cache persistence, report assembly)
+//!    happens after the join, on the calling thread, in plan order.
+//!
+//! The pool size comes from [`resolve_workers`]: an explicit request, the
+//! `DFV_WORKERS` environment override, or `available_parallelism`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the worker count for every campaign
+/// in the process (useful for `scripts/check.sh` style A/B runs).
+pub const WORKERS_ENV: &str = "DFV_WORKERS";
+
+/// Resolves the worker count for a campaign run.
+///
+/// Priority: the `DFV_WORKERS` environment variable (when set to a
+/// positive integer), then the explicit `requested` option, then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    if let Ok(s) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f` over every item of `items`, returning the results in item
+/// order — the parallel equivalent of `items.iter().enumerate().map(f)`.
+///
+/// With `workers <= 1` (or fewer than two items) this *is* that serial
+/// loop: no threads are spawned, so the one-worker path has zero
+/// scheduling overhead and is the reference the parallel path must match
+/// byte for byte. Otherwise `workers` scoped threads self-schedule over
+/// a shared atomic cursor and each result lands in its item's slot.
+pub fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        // Each worker returns its (index, result) pairs; the join loop
+        // below is the single writer that slots them into item order.
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    produced.push((i, f(i, &items[i])));
+                }
+                produced
+            }));
+        }
+        for h in handles {
+            // A worker can only panic if `f` panicked; propagate it
+            // rather than return a hole-y result vector.
+            for (i, r) in h.join().expect("campaign worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item index was claimed exactly once"))
+        .collect()
+}
+
+/// A shared, amortized campaign deadline clock.
+///
+/// A serial campaign checked its deadline with one `Instant::now()` per
+/// block — cheap, but wasteful on large plans and awkward to share
+/// across workers. This clock keeps the elapsed time in a single
+/// `AtomicU64` of microseconds: any thread may refresh it (every
+/// [`DeadlineClock::STRIDE`]th query takes the real clock reading and
+/// `fetch_max`es it in), and every query compares the cached coarse tick
+/// against the deadline without touching the OS clock.
+///
+/// Expiry is monotonic — once `expired` returns true it stays true —
+/// because the atomic only ever grows.
+#[derive(Debug)]
+pub struct DeadlineClock {
+    start: Instant,
+    deadline_us: Option<u64>,
+    elapsed_us: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl DeadlineClock {
+    /// How many `expired` queries share one real clock reading.
+    pub const STRIDE: u64 = 32;
+
+    /// A clock started at `start` with an optional budget. With
+    /// `deadline == None` every query is a branch on a constant.
+    pub fn new(start: Instant, deadline: Option<Duration>) -> Self {
+        DeadlineClock {
+            start,
+            deadline_us: deadline.map(|d| d.as_micros().min(u64::MAX as u128) as u64),
+            elapsed_us: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the deadline has passed, using the amortized coarse tick.
+    ///
+    /// The first query and every [`Self::STRIDE`]th one after it refresh
+    /// the tick from the real clock; queries in between reuse the cached
+    /// value, so a thundering herd of workers polling between blocks
+    /// costs two atomic ops each, not a syscall each.
+    pub fn expired(&self) -> bool {
+        let Some(deadline_us) = self.deadline_us else {
+            return false;
+        };
+        let n = self.queries.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(Self::STRIDE) {
+            let now = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.elapsed_us.fetch_max(now, Ordering::Relaxed);
+        }
+        self.elapsed_us.load(Ordering::Relaxed) >= deadline_us
+    }
+
+    /// The absolute deadline instant, for handing down into per-block
+    /// budgets (the solver keeps its own finer-grained amortization).
+    pub fn instant(&self) -> Option<Instant> {
+        self.deadline_us
+            .map(|us| self.start + Duration::from_micros(us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn serial_and_parallel_agree_in_item_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = run_indexed(&items, 1, |i, x| (i as u64) * 1000 + x * x);
+        for workers in [2, 3, 8, 200] {
+            let par = run_indexed(&items, workers, |i, x| (i as u64) * 1000 + x * x);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counts: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        run_indexed(&counts, 4, |_, c| c.fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_take_the_serial_path() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_indexed(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(run_indexed(&[7u32], 8, |i, x| (i, *x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn worker_resolution_priority() {
+        // NOTE: tests must not *set* DFV_WORKERS (process-global); assert
+        // only when the harness environment leaves it unset.
+        if std::env::var(WORKERS_ENV).is_err() {
+            assert_eq!(resolve_workers(Some(3)), 3);
+            assert_eq!(resolve_workers(Some(0)), 1);
+            assert!(resolve_workers(None) >= 1);
+        }
+    }
+
+    #[test]
+    fn deadline_clock_none_never_expires_and_zero_expires_at_once() {
+        let free = DeadlineClock::new(Instant::now(), None);
+        for _ in 0..100 {
+            assert!(!free.expired());
+        }
+        assert_eq!(free.instant(), None);
+
+        let zero = DeadlineClock::new(Instant::now(), Some(Duration::ZERO));
+        // The very first query refreshes the tick, so expiry is seen
+        // immediately — not STRIDE queries later.
+        assert!(zero.expired());
+        assert!(zero.expired(), "expiry is sticky");
+    }
+
+    #[test]
+    fn deadline_clock_expires_within_a_stride_of_the_deadline() {
+        let clock = DeadlineClock::new(Instant::now(), Some(Duration::from_millis(5)));
+        let t0 = Instant::now();
+        while !clock.expired() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "clock never expired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

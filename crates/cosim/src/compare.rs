@@ -167,7 +167,9 @@ impl CompareReport {
     /// `cosim.mismatches` counters and emits one `cosim.mismatch` event
     /// per divergence (in detection order).
     pub fn record_to(&self, rec: &dfv_obs::SharedRecorder) {
-        let mut r = rec.borrow_mut();
+        let mut r = rec
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.matched > 0 {
             r.counter_add("cosim.matched", self.matched as u64);
         }

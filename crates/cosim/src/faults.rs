@@ -141,7 +141,9 @@ impl FaultLog {
     /// `cosim.faults_injected` counter and emits one `cosim.fault` event
     /// per injection (in injection order, with provenance).
     pub fn record_to(&self, rec: &dfv_obs::SharedRecorder) {
-        let mut r = rec.borrow_mut();
+        let mut r = rec
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !self.events.is_empty() {
             r.counter_add("cosim.faults_injected", self.events.len() as u64);
         }

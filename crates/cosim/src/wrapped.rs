@@ -441,7 +441,7 @@ mod tests {
         let mut txn = Transaction::new();
         txn.insert("bytes".into(), Bv::from_u64(32, 0x04_03_02_01));
         wrapped.run_transaction(&txn);
-        let m = rec.borrow();
+        let m = rec.lock().unwrap();
         assert_eq!(m.counter("cosim.transactions"), 1);
         assert_eq!(m.counter("cosim.cycles"), wrapped.total_cycles());
         // The forwarded recorder sees the inner simulator's work too.

@@ -12,11 +12,21 @@
 //! Nothing here captures wall-clock time: entries are ordered by a
 //! monotonic sequence number so recorded streams are reproducible
 //! across runs of the same seeded workload.
+//!
+//! # Threading
+//!
+//! The shared handle is `Arc<Mutex<..>>`, so every instrumented engine
+//! is [`Send`] and a proof stack can be dispatched onto worker threads
+//! (the campaign scheduler in `dfv-core` relies on this). For parallel
+//! runs that must stay byte-reproducible, give each worker its own
+//! [`MemoryRecorder`] tagged with a worker id
+//! ([`MemoryRecorder::with_worker`]) and combine the per-worker streams
+//! afterwards with [`MemoryRecorder::merge_ordered`], keyed by the
+//! deterministic work-item index — never by completion order.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Sink for structured instrumentation emitted by the engines.
 ///
@@ -35,18 +45,30 @@ pub trait Recorder {
 
 /// Shared, dynamically dispatched recorder handle.
 ///
-/// The workspace is single-threaded by design, so `Rc<RefCell<..>>` is
-/// the right sharing primitive; engines that hold one become `!Send`,
-/// which nothing in the workspace requires.
-pub type SharedRecorder = Rc<RefCell<dyn Recorder>>;
+/// `Arc<Mutex<..>>` keeps every engine that holds one [`Send`], so
+/// instrumented proof stacks can run on scheduler worker threads. A
+/// poisoned mutex (a panicking thread mid-record) is recovered, not
+/// propagated: losing one entry is better than cascading the panic
+/// through every other worker's instrumentation.
+pub type SharedRecorder = Arc<Mutex<dyn Recorder + Send>>;
 
-/// One recorded entry, ordered by its monotonic `seq` number.
+/// Locks a recorder mutex, recovering from poisoning.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One recorded entry, ordered by its monotonic `seq` number. The
+/// `worker` id records which per-worker recorder produced the entry
+/// (0 for single-recorder runs); after a deterministic merge it is
+/// provenance only — ordering comes from the renumbered `seq`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObsEntry {
     /// A span opened.
     SpanBegin {
         /// Monotonic sequence number.
         seq: u64,
+        /// Id of the recorder that produced the entry.
+        worker: u32,
         /// Span name.
         name: &'static str,
     },
@@ -54,6 +76,8 @@ pub enum ObsEntry {
     SpanEnd {
         /// Monotonic sequence number.
         seq: u64,
+        /// Id of the recorder that produced the entry.
+        worker: u32,
         /// Span name.
         name: &'static str,
     },
@@ -61,6 +85,8 @@ pub enum ObsEntry {
     Event {
         /// Monotonic sequence number.
         seq: u64,
+        /// Id of the recorder that produced the entry.
+        worker: u32,
         /// Event kind.
         kind: &'static str,
         /// Human-readable detail.
@@ -77,25 +103,58 @@ impl ObsEntry {
             | ObsEntry::Event { seq, .. } => seq,
         }
     }
+
+    /// The id of the recorder that produced the entry.
+    pub fn worker(&self) -> u32 {
+        match *self {
+            ObsEntry::SpanBegin { worker, .. }
+            | ObsEntry::SpanEnd { worker, .. }
+            | ObsEntry::Event { worker, .. } => worker,
+        }
+    }
+
+    fn with_seq(mut self, new_seq: u64) -> ObsEntry {
+        match &mut self {
+            ObsEntry::SpanBegin { seq, .. }
+            | ObsEntry::SpanEnd { seq, .. }
+            | ObsEntry::Event { seq, .. } => *seq = new_seq,
+        }
+        self
+    }
 }
 
 /// In-memory [`Recorder`] that keeps everything it is told, in order.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MemoryRecorder {
     seq: u64,
+    worker: u32,
     entries: Vec<ObsEntry>,
     counters: BTreeMap<&'static str, u64>,
 }
 
 impl MemoryRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder (worker id 0).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty recorder whose entries carry `worker` as their
+    /// producer id — one per scheduler worker in parallel runs.
+    pub fn with_worker(worker: u32) -> Self {
+        MemoryRecorder {
+            worker,
+            ..Self::default()
+        }
+    }
+
     /// Creates an empty recorder already wrapped for sharing with engines.
-    pub fn shared() -> Rc<RefCell<MemoryRecorder>> {
-        Rc::new(RefCell::new(MemoryRecorder::new()))
+    pub fn shared() -> Arc<Mutex<MemoryRecorder>> {
+        Arc::new(Mutex::new(MemoryRecorder::new()))
+    }
+
+    /// The worker id stamped on this recorder's entries.
+    pub fn worker_id(&self) -> u32 {
+        self.worker
     }
 
     /// All recorded entries in sequence order.
@@ -126,6 +185,31 @@ impl MemoryRecorder {
             .collect()
     }
 
+    /// Merges per-worker recorder streams into one deterministic stream.
+    ///
+    /// Each part is keyed by the index of the *work item* it recorded
+    /// (plan order), not by the worker that happened to execute it, so
+    /// the merged stream is identical for every worker count and every
+    /// completion interleaving: parts are ordered by `(key, seq)`,
+    /// entries are renumbered with fresh global sequence numbers (their
+    /// original worker ids are kept as provenance), and counters are
+    /// summed into one map.
+    pub fn merge_ordered(parts: impl IntoIterator<Item = (u64, MemoryRecorder)>) -> MemoryRecorder {
+        let mut parts: Vec<(u64, MemoryRecorder)> = parts.into_iter().collect();
+        parts.sort_by_key(|(key, _)| *key);
+        let mut merged = MemoryRecorder::new();
+        for (_, part) in parts {
+            for entry in part.entries {
+                let seq = merged.next_seq();
+                merged.entries.push(entry.with_seq(seq));
+            }
+            for (name, value) in part.counters {
+                *merged.counters.entry(name).or_insert(0) += value;
+            }
+        }
+        merged
+    }
+
     fn next_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
@@ -136,12 +220,14 @@ impl MemoryRecorder {
 impl Recorder for MemoryRecorder {
     fn begin_span(&mut self, name: &'static str) {
         let seq = self.next_seq();
-        self.entries.push(ObsEntry::SpanBegin { seq, name });
+        let worker = self.worker;
+        self.entries.push(ObsEntry::SpanBegin { seq, worker, name });
     }
 
     fn end_span(&mut self, name: &'static str) {
         let seq = self.next_seq();
-        self.entries.push(ObsEntry::SpanEnd { seq, name });
+        let worker = self.worker;
+        self.entries.push(ObsEntry::SpanEnd { seq, worker, name });
     }
 
     fn counter_add(&mut self, name: &'static str, delta: u64) {
@@ -150,16 +236,23 @@ impl Recorder for MemoryRecorder {
 
     fn event(&mut self, kind: &'static str, detail: String) {
         let seq = self.next_seq();
-        self.entries.push(ObsEntry::Event { seq, kind, detail });
+        let worker = self.worker;
+        self.entries.push(ObsEntry::Event {
+            seq,
+            worker,
+            kind,
+            detail,
+        });
     }
 }
 
 /// Optional recorder attachment point embedded in engine structs.
 ///
 /// An unset hook makes every operation a no-op, so instrumented hot
-/// paths cost one branch when observability is off. The newtype also
-/// gives engines `Clone`/`Debug`/`Default` without exposing the
-/// `Rc<RefCell<..>>` plumbing (a cloned engine shares its recorder).
+/// paths cost one branch when observability is off — attaching nothing
+/// stays zero-cost on worker threads too. The newtype also gives
+/// engines `Clone`/`Debug`/`Default` without exposing the
+/// `Arc<Mutex<..>>` plumbing (a cloned engine shares its recorder).
 #[derive(Clone, Default)]
 pub struct ObsHook(Option<SharedRecorder>);
 
@@ -198,14 +291,14 @@ impl ObsHook {
     /// Opens a span if a recorder is attached.
     pub fn begin_span(&self, name: &'static str) {
         if let Some(r) = &self.0 {
-            r.borrow_mut().begin_span(name);
+            lock(r).begin_span(name);
         }
     }
 
     /// Closes a span if a recorder is attached.
     pub fn end_span(&self, name: &'static str) {
         if let Some(r) = &self.0 {
-            r.borrow_mut().end_span(name);
+            lock(r).end_span(name);
         }
     }
 
@@ -216,7 +309,7 @@ impl ObsHook {
             return;
         }
         if let Some(r) = &self.0 {
-            r.borrow_mut().counter_add(name, delta);
+            lock(r).counter_add(name, delta);
         }
     }
 
@@ -224,7 +317,7 @@ impl ObsHook {
     /// only runs when one is, keeping formatting off the fast path.
     pub fn event(&self, kind: &'static str, detail: impl FnOnce() -> String) {
         if let Some(r) = &self.0 {
-            r.borrow_mut().event(kind, detail());
+            lock(r).event(kind, detail());
         }
     }
 }
@@ -273,7 +366,7 @@ mod tests {
         hook.add("x", 0); // dropped
         hook.event("k", || "d".into());
         hook.end_span("s");
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         assert_eq!(r.counter("x"), 7);
         assert_eq!(r.entries().len(), 3);
         assert!(format!("{hook:?}").contains("attached"));
@@ -283,7 +376,61 @@ mod tests {
     fn shared_recorder_coerces_to_dyn() {
         let rec = MemoryRecorder::shared();
         let dynrec: SharedRecorder = rec.clone();
-        dynrec.borrow_mut().counter_add("c", 1);
-        assert_eq!(rec.borrow().counter("c"), 1);
+        dynrec.lock().unwrap().counter_add("c", 1);
+        assert_eq!(rec.lock().unwrap().counter("c"), 1);
+    }
+
+    #[test]
+    fn handle_and_hook_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedRecorder>();
+        assert_send::<ObsHook>();
+        assert_send::<MemoryRecorder>();
+
+        // And the handle actually works from a spawned thread.
+        let rec = MemoryRecorder::shared();
+        let handle: SharedRecorder = rec.clone();
+        std::thread::spawn(move || {
+            let hook = ObsHook::attached(handle);
+            hook.add("threaded", 2);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rec.lock().unwrap().counter("threaded"), 2);
+    }
+
+    #[test]
+    fn merge_is_keyed_by_work_item_not_completion_order() {
+        // Worker 1 recorded items 2 and 0; worker 2 recorded item 1.
+        // Parts arrive in completion order (1 finished before 0).
+        let mut item2 = MemoryRecorder::with_worker(1);
+        item2.event("k", "third".into());
+        item2.counter_add("n", 1);
+        let mut item0 = MemoryRecorder::with_worker(1);
+        item0.begin_span("s");
+        item0.event("k", "first".into());
+        item0.end_span("s");
+        item0.counter_add("n", 10);
+        let mut item1 = MemoryRecorder::with_worker(2);
+        item1.event("k", "second".into());
+        item1.counter_add("n", 100);
+
+        let merged = MemoryRecorder::merge_ordered([
+            (2, item2.clone()),
+            (1, item1.clone()),
+            (0, item0.clone()),
+        ]);
+        assert_eq!(merged.events_of("k"), vec!["first", "second", "third"]);
+        assert_eq!(merged.counter("n"), 111);
+        // Fresh contiguous sequence numbers, provenance preserved.
+        let seqs: Vec<u64> = merged.entries().iter().map(|e| e.seq()).collect();
+        assert_eq!(seqs, (0..merged.entries().len() as u64).collect::<Vec<_>>());
+        assert_eq!(merged.entries()[0].worker(), 1);
+        assert_eq!(merged.entries()[3].worker(), 2);
+
+        // Any arrival order merges to the same stream.
+        let again = MemoryRecorder::merge_ordered([(0, item0), (2, item2), (1, item1)]);
+        assert_eq!(again.entries(), merged.entries());
+        assert_eq!(again.counters(), merged.counters());
     }
 }

@@ -174,7 +174,13 @@ mod tests {
     fn canonical_json_excludes_timing_and_orders_counters() {
         let mut rep = RunReport::new("unit");
         rep.phase("work", || {
-            std::thread::yield_now();
+            // A deterministic counted busy-phase: the same amount of work
+            // every run, no scheduler dependence.
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
         });
         rep.set_counter("z.last", 1);
         rep.set_counter("a.first", 2);

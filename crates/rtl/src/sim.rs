@@ -635,6 +635,12 @@ mod tests {
     }
 
     #[test]
+    fn simulator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
+    }
+
+    #[test]
     fn stats_count_work_and_widths_come_from_declarations() {
         let mut sim = Simulator::new(counter_with_enable()).unwrap();
         sim.watch_output("count");
@@ -652,7 +658,7 @@ mod tests {
         assert_eq!(s.node_evals, s.eval_passes * node_count);
         // First record counts every watch; second counts the two changes.
         assert_eq!(s.value_changes, 4);
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         assert_eq!(r.counter("rtl.steps"), 2);
         assert!(r.counter("rtl.node_evals") > 0);
         // Reset keeps the cumulative counters but clears the trace.

@@ -892,7 +892,7 @@ mod tests {
         pigeonhole(&mut s, 4);
         assert_eq!(s.solve(), SolveResult::Unsat);
         {
-            let r = rec.borrow();
+            let r = rec.lock().unwrap();
             let stats = s.stats();
             assert_eq!(r.counter("sat.conflicts"), stats.conflicts);
             assert_eq!(r.counter("sat.propagations"), stats.propagations);
@@ -910,6 +910,28 @@ mod tests {
         }
         // A second call reports only its own (zero, post-Unsat) work.
         assert_eq!(s.solve(), SolveResult::Unsat);
-        assert_eq!(rec.borrow().counter("sat.conflicts"), s.stats().conflicts);
+        assert_eq!(
+            rec.lock().unwrap().counter("sat.conflicts"),
+            s.stats().conflicts
+        );
+    }
+
+    #[test]
+    fn solver_is_send_even_when_instrumented() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Solver>();
+
+        // An instrumented solve runs fine on a worker thread.
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let handle: dfv_obs::SharedRecorder = rec.clone();
+        std::thread::spawn(move || {
+            let mut s = Solver::new();
+            s.set_recorder(handle);
+            pigeonhole(&mut s, 3);
+            s.solve()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rec.lock().unwrap().events_of("sat.result"), vec!["unsat"]);
     }
 }

@@ -410,7 +410,7 @@ mod tests {
         let r = check_property_observed(&counter(true), "ok", 8, &Budget::unlimited(), rec.clone())
             .unwrap();
         assert_eq!(r.outcome, BmcOutcome::HoldsUpTo(8));
-        let m = rec.borrow();
+        let m = rec.lock().unwrap();
         assert_eq!(m.counter("sec.depths"), 8);
         assert_eq!(m.counter("sec.cnf_vars"), r.cnf_vars as u64);
         assert_eq!(m.events_of("sec.depth").len(), 8);

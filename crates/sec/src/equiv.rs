@@ -864,6 +864,31 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_check_runs_on_a_worker_thread() {
+        // The whole proof stack (miter build, bit-blast, budgeted CDCL,
+        // recorder handle) is Send: an observed check can be dispatched to
+        // a scheduler worker and stream into a recorder owned elsewhere.
+        use dfv_obs::MemoryRecorder;
+        let rec = MemoryRecorder::shared();
+        let handle: dfv_obs::SharedRecorder = rec.clone();
+        let report = std::thread::spawn(move || {
+            check_equivalence_observed(
+                &fig1_slm(false),
+                &fig1_rtl(),
+                &fig1_spec(),
+                &CheckOptions::default(),
+                handle,
+            )
+        })
+        .join()
+        .unwrap()
+        .unwrap();
+        assert!(report.outcome.is_equivalent());
+        let m = rec.lock().unwrap();
+        assert_eq!(m.events_of("sec.outcome"), vec!["equivalent"]);
+    }
+
+    #[test]
     fn observed_equivalence_records_unroll_size_and_outcome() {
         use dfv_obs::MemoryRecorder;
         let rec = MemoryRecorder::shared();
@@ -876,7 +901,7 @@ mod tests {
         )
         .unwrap();
         assert!(report.outcome.is_equivalent());
-        let m = rec.borrow();
+        let m = rec.lock().unwrap();
         assert_eq!(m.counter("sec.cnf_vars"), report.cnf_vars as u64);
         assert_eq!(m.counter("sec.cnf_clauses"), report.cnf_clauses as u64);
         assert_eq!(m.events_of("sec.outcome"), vec!["equivalent"]);
@@ -896,7 +921,7 @@ mod tests {
         )
         .unwrap();
         assert!(!report.outcome.is_equivalent());
-        let m = rec.borrow();
+        let m = rec.lock().unwrap();
         let events = m.events_of("sec.outcome");
         assert_eq!(events.len(), 1);
         assert!(events[0].starts_with("not_equivalent"), "{}", events[0]);

@@ -973,7 +973,7 @@ mod tests {
         k.notify(e, 10);
         k.run(100).unwrap();
         {
-            let r = rec.borrow();
+            let r = rec.lock().unwrap();
             let s = k.stats();
             assert_eq!(r.counter("slm.activations"), s.activations);
             assert_eq!(r.counter("slm.delta_cycles"), s.delta_cycles);
@@ -981,9 +981,9 @@ mod tests {
             assert!(r.events_of("slm.halt").is_empty());
         }
         // A second run records only the new work (deltas, not totals).
-        let before = rec.borrow().counter("slm.activations");
+        let before = rec.lock().unwrap().counter("slm.activations");
         k.run(200).unwrap();
-        assert_eq!(rec.borrow().counter("slm.activations"), before);
+        assert_eq!(rec.lock().unwrap().counter("slm.activations"), before);
 
         // A livelock shows up as a typed halt event.
         let rec2 = dfv_obs::MemoryRecorder::shared();
@@ -993,7 +993,7 @@ mod tests {
         k2.process("spinner", &[ping], move |k| k.notify_now(ping));
         k2.notify(ping, 0);
         assert!(k2.run(10).is_err());
-        let r2 = rec2.borrow();
+        let r2 = rec2.lock().unwrap();
         assert_eq!(r2.events_of("slm.halt").len(), 1);
         assert!(r2.events_of("slm.halt")[0].contains("livelock"));
     }

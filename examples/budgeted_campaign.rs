@@ -72,6 +72,7 @@ fn main() {
         retry: RetryPolicy::escalating(100, 10, 2).with_timeout(Duration::from_millis(1)),
         deadline: Some(Duration::from_secs(30)),
         cache_path: Some(cache.clone()),
+        ..CampaignOptions::default()
     };
 
     println!("== act 1: cold campaign under a 100-conflict / 1 ms budget ==");

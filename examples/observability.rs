@@ -76,7 +76,14 @@ fn build_report() -> (RunReport, String, String) {
 
     // Counters from the golden side (the mutant's differ only in
     // rtl.value_changes, which the divergence already demonstrates).
-    rep.add_counters(golden_rec.borrow().counters().iter().map(|(k, v)| (*k, *v)));
+    rep.add_counters(
+        golden_rec
+            .lock()
+            .unwrap()
+            .counters()
+            .iter()
+            .map(|(k, v)| (*k, *v)),
+    );
     rep.set_value("mutation", Json::Str(format!("{mutation:?}")));
     rep.set_value(
         "divergence_cycle",

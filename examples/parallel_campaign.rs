@@ -1,0 +1,92 @@
+//! The deterministic parallel campaign scheduler end to end: one
+//! verification plan — the ALU and FIR reference blocks plus a ramp of
+//! multiplier-commutativity proofs — run by a worker pool whose size
+//! comes from the `DFV_WORKERS` environment variable (default:
+//! `available_parallelism`), reduced to a byte-reproducible canonical
+//! JSON report.
+//!
+//! The scheduler's contract is that the worker count is *invisible* in
+//! the canonical report: `scripts/check.sh` runs this example under
+//! `DFV_WORKERS=1` and `DFV_WORKERS=4` and byte-compares the two output
+//! files.
+//!
+//! Run with: `DFV_WORKERS=4 cargo run --example parallel_campaign [-- out.json]`
+
+use dfv::core::{BlockPair, Campaign, CampaignOptions, RetryPolicy, VerificationPlan};
+use dfv::designs::{alu, fir};
+use dfv::rtl::ModuleBuilder;
+use dfv::sec::{Binding, EquivSpec};
+
+/// An equivalent multiplier-commutativity block (`a * b` against `b * a`)
+/// at `width` bits per operand.
+fn mul_block(name: &str, width: u32) -> BlockPair {
+    let out = 2 * width;
+    let mut rb = ModuleBuilder::new("rtl_mul");
+    let a = rb.input("a", width);
+    let b = rb.input("b", width);
+    let (aw, bw) = (rb.zext(a, out), rb.zext(b, out));
+    let y = rb.mul(bw, aw);
+    rb.output("y", y);
+    BlockPair {
+        name: name.into(),
+        slm_source: format!(
+            "uint<{out}> mul(uint<{width}> a, uint<{width}> b) {{ return (uint<{out}>)a * (uint<{out}>)b; }}"
+        ),
+        slm_entry: "mul".into(),
+        rtl: rb.finish().expect("mul rtl builds"),
+        spec: EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("b", 0, Binding::Slm("b".into()))
+            .compare("return", "y", 0),
+    }
+}
+
+fn plan() -> VerificationPlan {
+    let mut plan = VerificationPlan::new()
+        .block(BlockPair {
+            name: "alu".into(),
+            slm_source: alu::slm_bit_accurate().into(),
+            slm_entry: "alu".into(),
+            rtl: alu::rtl(8, 8),
+            spec: alu::equiv_spec(),
+        })
+        .block(BlockPair {
+            name: "fir".into(),
+            slm_source: fir::slm_source().into(),
+            slm_entry: "fir".into(),
+            rtl: fir::rtl(),
+            spec: fir::equiv_spec(),
+        });
+    for (i, width) in [4, 4, 5, 5, 6].into_iter().enumerate() {
+        plan = plan.block(mul_block(&format!("mul{width}_{i}"), width));
+    }
+    plan
+}
+
+fn main() {
+    let plan = plan();
+    // `workers: None` defers to DFV_WORKERS / available_parallelism.
+    let mut campaign = Campaign::with_options(CampaignOptions {
+        retry: RetryPolicy::default(),
+        deadline: None,
+        cache_path: None,
+        workers: None,
+    });
+    let workers = dfv::core::resolve_workers(None);
+    let report = campaign.run(&plan);
+    println!("{report}");
+    println!("workers: {workers} (set DFV_WORKERS to override)");
+    assert!(report.all_pass(), "every block in this plan is equivalent");
+
+    let canonical = report.to_run_report().canonical_json();
+    assert!(
+        !canonical.contains("wall_us"),
+        "canonical JSON must not depend on wall time"
+    );
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &canonical).expect("write canonical report");
+        println!("canonical report written to {path}");
+    } else {
+        println!("{canonical}");
+    }
+}

@@ -31,6 +31,16 @@ run cargo run --release --example observability -- "$obs_dir/run1.json"
 run cargo run --release --example observability -- "$obs_dir/run2.json"
 run cmp "$obs_dir/run1.json" "$obs_dir/run2.json"
 run cargo run --release -q -p dfv-bench --bin experiments -- e10 > /dev/null
+# Offline smoke test: deterministic parallel scheduling. The same campaign
+# runs serial and with a 4-worker pool; the canonical JSON a CI gate would
+# diff must be byte-identical — the worker count is invisible in it.
+run env DFV_WORKERS=1 cargo run --release --example parallel_campaign -- "$obs_dir/camp_w1.json"
+run env DFV_WORKERS=4 cargo run --release --example parallel_campaign -- "$obs_dir/camp_w4.json"
+run cmp "$obs_dir/camp_w1.json" "$obs_dir/camp_w4.json"
+run cargo run --release -q -p dfv-bench --bin experiments -- e11 > /dev/null
+# Stress the determinism property tests with the test harness itself
+# running them concurrently (worker pools inside worker pools).
+run cargo test -q --release -p dfv-core --test prop_parallel -- --test-threads 8
 run cargo clippy --all-targets --workspace -- -D warnings
 run cargo fmt --all --check
 

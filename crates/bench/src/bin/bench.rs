@@ -1,0 +1,66 @@
+//! Standalone benchmark runner (no external harness).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dfv-bench --bin bench -- sim
+//! cargo run --release -p dfv-bench --bin bench -- sim --smoke
+//! cargo run --release -p dfv-bench --bin bench -- sim --out BENCH_sim.json --canonical /tmp/c.json
+//! ```
+//!
+//! The `sim` subcommand runs the deterministic simulator workload sweep
+//! (FIR, convolution, memory system; both evaluation engines) and writes
+//! the full report — measured wall-clock included — to `BENCH_sim.json`
+//! (override with `--out`). With `--canonical PATH` it additionally
+//! writes the timing-free canonical JSON, which is byte-identical across
+//! runs and is what CI diffs. `--smoke` shrinks the cycle counts for
+//! fast gating runs.
+
+use dfv_bench::simbench;
+
+/// Cycles per workload for a real measurement run.
+const FULL_CYCLES: u64 = 20_000;
+/// Cycles per workload in `--smoke` mode (CI gate).
+const SMOKE_CYCLES: u64 = 500;
+
+fn usage() -> ! {
+    eprintln!("usage: bench sim [--smoke] [--out PATH] [--canonical PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sim") => run_sim(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_sim(args: &[String]) {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut canonical_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
+            "--canonical" => canonical_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
+    let rep = simbench::sim_bench_report(cycles);
+    print!("{}", simbench::render_sim_bench(&rep));
+    std::fs::write(&out_path, rep.full_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nfull report (with timing) written to {out_path}");
+    if let Some(p) = canonical_path {
+        std::fs::write(&p, rep.canonical_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            std::process::exit(1);
+        });
+        println!("canonical report (deterministic) written to {p}");
+    }
+}

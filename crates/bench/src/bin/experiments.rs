@@ -1,4 +1,4 @@
-//! The experiment runner: regenerates every table/series (E1–E11) from the
+//! The experiment runner: regenerates every table/series (E1–E12) from the
 //! paper's figures and claims.
 //!
 //! Usage:

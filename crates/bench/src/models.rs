@@ -150,10 +150,18 @@ pub struct RtlFir {
 }
 
 impl RtlFir {
-    /// Builds the simulator.
+    /// Builds the simulator (compiled dirty-cone engine).
     pub fn new() -> Self {
         RtlFir {
             sim: Simulator::new(dfv_designs::fir::rtl()).expect("fir rtl builds"),
+        }
+    }
+
+    /// Builds the simulator on the full-reevaluation reference engine —
+    /// the pre-compilation baseline for engine throughput comparisons.
+    pub fn new_reference() -> Self {
+        RtlFir {
+            sim: Simulator::new_reference(dfv_designs::fir::rtl()).expect("fir rtl builds"),
         }
     }
 

@@ -132,6 +132,36 @@ impl Bv {
         v
     }
 
+    /// Creates a `width`-bit vector from raw little-endian limbs, masking
+    /// any bits at or above `width`. The slice must hold exactly
+    /// `ceil(width / 64)` limbs — the counterpart of [`Bv::limbs`], used by
+    /// engines that keep values in flat limb arenas (see [`crate::limbs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `limbs.len() != ceil(width / 64)`.
+    pub fn from_limbs(width: u32, limbs: &[u64]) -> Self {
+        assert!(width > 0, "bit vector width must be at least 1");
+        assert_eq!(
+            limbs.len(),
+            limbs_for(width),
+            "limb count {} does not match width {width}",
+            limbs.len()
+        );
+        let mut v = Bv {
+            width,
+            limbs: limbs.to_vec(),
+        };
+        v.mask_top();
+        v
+    }
+
+    /// The raw little-endian limbs (`ceil(width / 64)` of them; bits at or
+    /// above `width` are zero). The counterpart of [`Bv::from_limbs`].
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
     /// Re-establishes the invariant that bits above `width` are zero.
     pub(crate) fn mask_top(&mut self) {
         let rem = self.width % 64;

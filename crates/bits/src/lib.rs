@@ -65,6 +65,7 @@ mod error;
 mod fixed;
 mod fmt;
 mod fourstate;
+pub mod limbs;
 mod logic;
 mod rng;
 

@@ -1,0 +1,299 @@
+//! Allocation-free operations on raw limb slices.
+//!
+//! A value of width `w` is `ceil(w / 64)` little-endian `u64` limbs with
+//! every bit at or above `w` zero — exactly the [`Bv`](crate::Bv)
+//! representation, but borrowed from a caller-owned arena instead of an
+//! owned `Vec`. Simulation engines that keep all signal values in one
+//! flat arena use these helpers to evaluate multi-limb operators in
+//! place, without a heap allocation per operation; [`Bv`](crate::Bv)
+//! itself remains the semantic oracle (every helper here is
+//! differential-tested against it).
+//!
+//! All functions require `dst.len() == ceil(width / 64)` (and the
+//! matching invariant for operands) and re-establish the excess-bit
+//! invariant on the destination. Operand aliasing with `dst` is allowed
+//! only where documented.
+
+/// The number of limbs a `width`-bit value occupies.
+pub fn limbs_for(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+/// Masks bits at or above `width` in the top limb of `dst`.
+pub fn mask_top(dst: &mut [u64], width: u32) {
+    let rem = width % 64;
+    if rem != 0 {
+        let last = dst.len() - 1;
+        dst[last] &= (1u64 << rem) - 1;
+    }
+}
+
+/// Copies `src` into `dst` (same width; slices must be equal length).
+pub fn copy(dst: &mut [u64], src: &[u64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Whether every limb is zero.
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Whether all `width` bits are one.
+pub fn is_ones(a: &[u64], width: u32) -> bool {
+    let rem = width % 64;
+    let full = if rem == 0 { a.len() } else { a.len() - 1 };
+    a[..full].iter().all(|&l| l == u64::MAX) && (rem == 0 || a[a.len() - 1] == (1u64 << rem) - 1)
+}
+
+/// The parity (reduction XOR) of all bits.
+pub fn red_xor(a: &[u64]) -> bool {
+    a.iter().map(|l| l.count_ones()).sum::<u32>() % 2 == 1
+}
+
+/// The most significant (sign) bit of a `width`-bit value.
+pub fn msb(a: &[u64], width: u32) -> bool {
+    let i = width - 1;
+    (a[(i / 64) as usize] >> (i % 64)) & 1 == 1
+}
+
+/// `dst = a & b` (equal widths; `a`/`b` may alias `dst`).
+pub fn and(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] & b[i];
+    }
+}
+
+/// `dst = a | b` (equal widths; `a`/`b` may alias `dst`).
+pub fn or(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] | b[i];
+    }
+}
+
+/// `dst = a ^ b` (equal widths; `a`/`b` may alias `dst`).
+pub fn xor(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    for i in 0..dst.len() {
+        dst[i] = a[i] ^ b[i];
+    }
+}
+
+/// `dst = !a` at the given width (`a` may alias `dst`).
+pub fn not(dst: &mut [u64], a: &[u64], width: u32) {
+    for i in 0..dst.len() {
+        dst[i] = !a[i];
+    }
+    mask_top(dst, width);
+}
+
+/// `dst = (a + b) mod 2^width` (equal widths; `a`/`b` may alias `dst`).
+pub fn add(dst: &mut [u64], a: &[u64], b: &[u64], width: u32) {
+    let mut carry = 0u64;
+    for i in 0..dst.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        dst[i] = s2;
+        carry = (c1 | c2) as u64;
+    }
+    mask_top(dst, width);
+}
+
+/// `dst = (a - b) mod 2^width` (equal widths; `a`/`b` may alias `dst`).
+pub fn sub(dst: &mut [u64], a: &[u64], b: &[u64], width: u32) {
+    let mut borrow = 0u64;
+    for i in 0..dst.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        dst[i] = d2;
+        borrow = (b1 | b2) as u64;
+    }
+    mask_top(dst, width);
+}
+
+/// `dst = (-a) mod 2^width` (`a` may alias `dst`).
+pub fn neg(dst: &mut [u64], a: &[u64], width: u32) {
+    let mut carry = 1u64;
+    for i in 0..dst.len() {
+        let (s, c) = (!a[i]).overflowing_add(carry);
+        dst[i] = s;
+        carry = c as u64;
+    }
+    mask_top(dst, width);
+}
+
+/// Unsigned `a < b` (equal widths).
+pub fn ult(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// Signed (two's-complement) `a < b` at the given width (equal widths).
+pub fn slt(a: &[u64], b: &[u64], width: u32) -> bool {
+    match (msb(a, width), msb(b, width)) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => ult(a, b),
+    }
+}
+
+/// Zero-extends `src` (of `src_width`) into `dst` (of a width at least
+/// `src_width`; `dst` may be longer than `src`).
+pub fn zext(dst: &mut [u64], src: &[u64]) {
+    dst[..src.len()].copy_from_slice(src);
+    dst[src.len()..].fill(0);
+}
+
+/// Sign-extends `src` (of `src_width`) into `dst` (of `dst_width >=
+/// src_width`).
+pub fn sext(dst: &mut [u64], src: &[u64], src_width: u32, dst_width: u32) {
+    if !msb(src, src_width) {
+        zext(dst, src);
+        return;
+    }
+    dst[..src.len()].copy_from_slice(src);
+    // Fill bits src_width.. with ones: the partial top limb of src, then
+    // whole limbs above it.
+    let rem = src_width % 64;
+    if rem != 0 {
+        dst[src.len() - 1] |= !((1u64 << rem) - 1);
+    }
+    dst[src.len()..].fill(u64::MAX);
+    mask_top(dst, dst_width);
+}
+
+/// The inclusive part-select `src[hi:lo]` into `dst` (of width
+/// `hi - lo + 1`).
+pub fn slice(dst: &mut [u64], src: &[u64], hi: u32, lo: u32) {
+    let out_width = hi - lo + 1;
+    let limb_off = (lo / 64) as usize;
+    let bit_off = lo % 64;
+    for (i, d) in dst.iter_mut().enumerate() {
+        let lo_part = src.get(limb_off + i).copied().unwrap_or(0) >> bit_off;
+        let hi_part = if bit_off == 0 {
+            0
+        } else {
+            src.get(limb_off + i + 1).copied().unwrap_or(0) << (64 - bit_off)
+        };
+        *d = lo_part | hi_part;
+    }
+    mask_top(dst, out_width);
+}
+
+/// Concatenation `{hi, lo}` into `dst` (of width `hi_width + lo_width`;
+/// `hi` becomes the most significant bits).
+pub fn concat(dst: &mut [u64], hi: &[u64], hi_width: u32, lo: &[u64], lo_width: u32) {
+    zext(dst, lo);
+    let limb_off = (lo_width / 64) as usize;
+    let bit_off = lo_width % 64;
+    for (i, &h) in hi.iter().enumerate() {
+        dst[limb_off + i] |= h << bit_off;
+        if bit_off != 0 && limb_off + i + 1 < dst.len() {
+            dst[limb_off + i + 1] |= h >> (64 - bit_off);
+        }
+    }
+    mask_top(dst, hi_width + lo_width);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bv, SplitMix64};
+
+    fn random_bv(rng: &mut SplitMix64, width: u32) -> Bv {
+        let bits: Vec<bool> = (0..width).map(|_| rng.next_u64() & 1 == 1).collect();
+        Bv::from_bits_lsb(&bits)
+    }
+
+    const WIDTHS: [u32; 8] = [1, 7, 63, 64, 65, 127, 128, 200];
+
+    #[test]
+    fn binary_ops_match_bv_oracle() {
+        let mut rng = SplitMix64::new(0xB175);
+        for &w in &WIDTHS {
+            for _ in 0..50 {
+                let a = random_bv(&mut rng, w);
+                let b = random_bv(&mut rng, w);
+                let mut dst = vec![0u64; limbs_for(w)];
+                for (f, oracle) in [
+                    (and as fn(&mut [u64], &[u64], &[u64]), a.and(&b)),
+                    (or, a.or(&b)),
+                    (xor, a.xor(&b)),
+                ] {
+                    f(&mut dst, a.limbs(), b.limbs());
+                    assert_eq!(Bv::from_limbs(w, &dst), oracle, "w={w}");
+                }
+                add(&mut dst, a.limbs(), b.limbs(), w);
+                assert_eq!(Bv::from_limbs(w, &dst), a.wrapping_add(&b), "add w={w}");
+                sub(&mut dst, a.limbs(), b.limbs(), w);
+                assert_eq!(Bv::from_limbs(w, &dst), a.wrapping_sub(&b), "sub w={w}");
+                assert_eq!(ult(a.limbs(), b.limbs()), a.ult(&b), "ult w={w}");
+                assert_eq!(slt(a.limbs(), b.limbs(), w), a.slt(&b), "slt w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_ops_match_bv_oracle() {
+        let mut rng = SplitMix64::new(0xCAFE);
+        for &w in &WIDTHS {
+            for _ in 0..50 {
+                let a = random_bv(&mut rng, w);
+                let mut dst = vec![0u64; limbs_for(w)];
+                not(&mut dst, a.limbs(), w);
+                assert_eq!(Bv::from_limbs(w, &dst), a.not(), "not w={w}");
+                neg(&mut dst, a.limbs(), w);
+                assert_eq!(Bv::from_limbs(w, &dst), a.wrapping_neg(), "neg w={w}");
+                assert_eq!(is_zero(a.limbs()), a.is_zero());
+                assert_eq!(is_ones(a.limbs(), w), a.is_ones());
+                assert_eq!(red_xor(a.limbs()), a.reduce_xor());
+                assert_eq!(msb(a.limbs(), w), a.msb());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_slice_concat_match_bv_oracle() {
+        let mut rng = SplitMix64::new(0x5EED);
+        for &w in &WIDTHS {
+            for _ in 0..50 {
+                let a = random_bv(&mut rng, w);
+                let wide = w + 1 + (rng.next_u64() % 130) as u32;
+                let mut dst = vec![0u64; limbs_for(wide)];
+                zext(&mut dst, a.limbs());
+                assert_eq!(Bv::from_limbs(wide, &dst), a.zext(wide), "zext {w}->{wide}");
+                sext(&mut dst, a.limbs(), w, wide);
+                assert_eq!(Bv::from_limbs(wide, &dst), a.sext(wide), "sext {w}->{wide}");
+
+                let hi = (rng.next_u64() % w as u64) as u32;
+                let lo = (rng.next_u64() % (hi + 1) as u64) as u32;
+                let mut dst = vec![0u64; limbs_for(hi - lo + 1)];
+                slice(&mut dst, a.limbs(), hi, lo);
+                assert_eq!(
+                    Bv::from_limbs(hi - lo + 1, &dst),
+                    a.slice(hi, lo),
+                    "slice {w}[{hi}:{lo}]"
+                );
+
+                let b = random_bv(&mut rng, wide);
+                let mut dst = vec![0u64; limbs_for(w + wide)];
+                concat(&mut dst, a.limbs(), w, b.limbs(), wide);
+                assert_eq!(
+                    Bv::from_limbs(w + wide, &dst),
+                    a.concat(&b),
+                    "concat {w}+{wide}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_limbs_round_trips_and_masks() {
+        let v = Bv::from_limbs(7, &[0xFFFF]);
+        assert_eq!(v, Bv::ones(7));
+        let w = Bv::from_u128(100, 0x0123_4567_89AB_CDEF_0011_2233);
+        assert_eq!(Bv::from_limbs(100, w.limbs()), w);
+    }
+}

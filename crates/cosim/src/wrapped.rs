@@ -282,6 +282,20 @@ impl WrappedRtl {
         })
     }
 
+    /// Wraps an already-constructed simulator — e.g. one built with
+    /// [`Simulator::new_reference`] to run the transaction harness on the
+    /// reference evaluation engine for engine-parity checks.
+    pub fn from_simulator(sim: Simulator) -> Self {
+        WrappedRtl {
+            sim,
+            drivers: Vec::new(),
+            monitors: Vec::new(),
+            max_cycles: 10_000,
+            total_cycles: 0,
+            obs: ObsHook::none(),
+        }
+    }
+
     /// Streams instrumentation into `rec`: `cosim.transactions` /
     /// `cosim.cycles` counters from this wrapper, plus the underlying
     /// simulator's own `rtl.*` counters (the recorder is forwarded).
@@ -446,6 +460,25 @@ mod tests {
         assert_eq!(m.counter("cosim.cycles"), wrapped.total_cycles());
         // The forwarded recorder sees the inner simulator's work too.
         assert_eq!(m.counter("rtl.steps"), wrapped.total_cycles());
+    }
+
+    #[test]
+    fn evaluation_engines_agree_through_transactors() {
+        // The same serialized transactions through the dirty-cone engine
+        // and the full-reevaluation reference must produce identical
+        // transaction-level outputs and cycle counts.
+        let run = |sim: Simulator| {
+            let mut wrapped = WrappedRtl::from_simulator(sim)
+                .with_driver(SerialDriver::new("bytes", "data", "valid", 8))
+                .with_monitor(SerialCollector::new("total", "total", "done", 1));
+            let mut txn = Transaction::new();
+            txn.insert("bytes".into(), Bv::from_u64(32, 0x99_42_07_13));
+            let outs = wrapped.run_transaction(&txn);
+            (outs, wrapped.total_cycles())
+        };
+        let fast = run(Simulator::new(stream_summer()).unwrap());
+        let reference = run(Simulator::new_reference(stream_summer()).unwrap());
+        assert_eq!(fast, reference);
     }
 
     #[test]

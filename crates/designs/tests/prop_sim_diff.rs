@@ -1,0 +1,235 @@
+//! Differential property suite for the compiled simulation engine.
+//!
+//! The dirty-cone engine ([`Simulator::new`]) must be bit-identical to the
+//! reference full-reevaluation interpreter ([`Simulator::new_reference`])
+//! on every design in this crate plus a synthetic "op soup" module that
+//! exercises every operator at single- and multi-limb widths. Both engines
+//! are driven with identical seeded constrained-random stimulus (in-tree
+//! SplitMix64, so the test is reproducible with no external deps) and
+//! compared on per-cycle outputs, the recorded traces, and the rendered
+//! VCD dumps — byte for byte.
+//!
+//! A final regression test pins down the point of the engine: on a sparse
+//! workload the dirty-cone `node_evals` counter must come in strictly
+//! below the reference engine's full-pass count.
+
+use dfv_bits::{Bv, SplitMix64};
+use dfv_designs::{alu, conv, fir, memsys};
+use dfv_rtl::{trace_to_vcd, EvalMode, Module, ModuleBuilder, NodeId, Simulator};
+
+/// A two-operand `ModuleBuilder` node constructor.
+type BinCtor = fn(&mut ModuleBuilder, NodeId, NodeId) -> NodeId;
+/// A one-operand `ModuleBuilder` node constructor.
+type UnCtor = fn(&mut ModuleBuilder, NodeId) -> NodeId;
+
+fn random_bv(rng: &mut SplitMix64, width: u32) -> Bv {
+    let bits: Vec<bool> = (0..width).map(|_| rng.next_u64() & 1 == 1).collect();
+    Bv::from_bits_lsb(&bits)
+}
+
+/// Drives both engines with the same seeded stimulus for `cycles` cycles
+/// and asserts bit-identity of every output every cycle, of the recorded
+/// traces, and of the VCD dumps.
+fn assert_engines_agree(module: Module, seed: u64, cycles: u32) {
+    let name = module.name.clone();
+    let mut fast = Simulator::new(module.clone()).unwrap();
+    let mut oracle = Simulator::new_reference(module.clone()).unwrap();
+    assert_eq!(fast.eval_mode(), EvalMode::DirtyCone);
+    assert_eq!(oracle.eval_mode(), EvalMode::FullOracle);
+    for p in &module.outputs {
+        fast.watch_output(&p.name);
+        oracle.watch_output(&p.name);
+    }
+    // Two independent streams with the same seed produce the same pokes.
+    let mut rng_a = SplitMix64::new(seed);
+    let mut rng_b = SplitMix64::new(seed);
+    for cycle in 0..cycles {
+        for p in &module.inputs {
+            fast.poke(&p.name, random_bv(&mut rng_a, p.width));
+            oracle.poke(&p.name, random_bv(&mut rng_b, p.width));
+        }
+        fast.step();
+        oracle.step();
+        for p in &module.outputs {
+            assert_eq!(
+                fast.output(&p.name),
+                oracle.output(&p.name),
+                "{name}: output {:?} diverged at cycle {cycle} (seed {seed:#x})",
+                p.name
+            );
+        }
+    }
+    assert_eq!(fast.trace(), oracle.trace(), "{name}: traces diverged");
+    assert_eq!(
+        trace_to_vcd(&fast, "tb"),
+        trace_to_vcd(&oracle, "tb"),
+        "{name}: VCD dumps diverged"
+    );
+}
+
+/// A module using every `BinOp`/`UnOp` plus mux/slice/concat/zext/sext, a
+/// register, and a memory — all at operand width `w`, so `w > 64`
+/// exercises the multi-limb kernels and the oracle fallback for the wide
+/// hard ops.
+fn op_soup(w: u32) -> Module {
+    let mut b = ModuleBuilder::new("op_soup");
+    let a = b.input("a", w);
+    let x = b.input("x", w);
+    let amt = b.input("amt", 8);
+    let sel = b.input("sel", 1);
+
+    let bin: [(&str, BinCtor); 10] = [
+        ("add", ModuleBuilder::add),
+        ("sub", ModuleBuilder::sub),
+        ("mul", ModuleBuilder::mul),
+        ("udiv", ModuleBuilder::udiv),
+        ("urem", ModuleBuilder::urem),
+        ("sdiv", ModuleBuilder::sdiv),
+        ("srem", ModuleBuilder::srem),
+        ("and", ModuleBuilder::and),
+        ("or", ModuleBuilder::or),
+        ("xor", ModuleBuilder::xor),
+    ];
+    for (name, f) in bin {
+        let n = f(&mut b, a, x);
+        b.output(name, n);
+    }
+    let cmp: [(&str, BinCtor); 6] = [
+        ("eq", ModuleBuilder::eq),
+        ("ne", ModuleBuilder::ne),
+        ("ult", ModuleBuilder::ult),
+        ("ule", ModuleBuilder::ule),
+        ("slt", ModuleBuilder::slt),
+        ("sle", ModuleBuilder::sle),
+    ];
+    for (name, f) in cmp {
+        let n = f(&mut b, a, x);
+        b.output(name, n);
+    }
+    let sh: [(&str, BinCtor); 3] = [
+        ("shl", ModuleBuilder::shl),
+        ("lshr", ModuleBuilder::lshr),
+        ("ashr", ModuleBuilder::ashr),
+    ];
+    for (name, f) in sh {
+        let n = f(&mut b, a, amt);
+        b.output(name, n);
+    }
+    let un: [(&str, UnCtor); 5] = [
+        ("not", ModuleBuilder::not),
+        ("neg", ModuleBuilder::neg),
+        ("red_and", ModuleBuilder::red_and),
+        ("red_or", ModuleBuilder::red_or),
+        ("red_xor", ModuleBuilder::red_xor),
+    ];
+    for (name, f) in un {
+        let n = f(&mut b, a);
+        b.output(name, n);
+    }
+    let m = b.mux(sel, a, x);
+    b.output("mux", m);
+    let s = b.slice(a, w - 1, w / 2);
+    b.output("slice", s);
+    let c = b.concat(a, x);
+    b.output("concat", c);
+    let z = b.zext(a, w + 13);
+    b.output("zext", z);
+    let e = b.sext(a, w + 13);
+    b.output("sext", e);
+
+    // A wide accumulator register and a wide memory exercise the state
+    // paths of the commit phase at the same widths.
+    let acc = b.reg("acc", w, Bv::zero(w));
+    let q = b.reg_q(acc);
+    let nx = b.xor(q, a);
+    b.connect_reg(acc, nx);
+    b.output("acc", q);
+    let mem = b.mem("m", 4, w, 16);
+    let waddr = b.slice(amt, 3, 0);
+    b.mem_write(mem, sel, waddr, x);
+    let raddr = b.slice(amt, 7, 4);
+    let rd = b.mem_read(mem, raddr);
+    b.output("rdata", rd);
+    b.finish().unwrap()
+}
+
+#[test]
+fn engines_agree_on_alu() {
+    for seed in [1u64, 0xDEAD_BEEF] {
+        assert_engines_agree(alu::rtl(8, 8), seed, 64);
+        assert_engines_agree(alu::rtl(8, 32), seed, 64);
+    }
+}
+
+#[test]
+fn engines_agree_on_fir() {
+    for seed in [2u64, 0xFEED_F00D] {
+        assert_engines_agree(fir::rtl(), seed, 128);
+    }
+}
+
+#[test]
+fn engines_agree_on_conv() {
+    for seed in [3u64, 0xC0FF_EE00] {
+        assert_engines_agree(conv::rtl(), seed, 128);
+    }
+}
+
+#[test]
+fn engines_agree_on_memsys() {
+    let table: [u8; 16] = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+    for seed in [4u64, 0xBADC_0DE5] {
+        assert_engines_agree(memsys::rtl(&table), seed, 128);
+    }
+}
+
+#[test]
+fn engines_agree_on_op_soup_single_limb() {
+    for &w in &[8u32, 33, 63, 64] {
+        assert_engines_agree(op_soup(w), 0x5EED ^ w as u64, 48);
+    }
+}
+
+#[test]
+fn engines_agree_on_op_soup_multi_limb() {
+    for &w in &[65u32, 100, 128, 200] {
+        assert_engines_agree(op_soup(w), 0x1DEA ^ w as u64, 48);
+    }
+}
+
+/// The engine's reason to exist: on a sparse workload (one request, then a
+/// long idle stretch) the dirty-cone engine evaluates strictly fewer nodes
+/// than the full-reevaluation reference under identical stimulus.
+#[test]
+fn dirty_cone_beats_full_reeval_on_sparse_workload() {
+    let table: [u8; 16] = [0; 16];
+    let m = memsys::rtl(&table);
+    let mut fast = Simulator::new(m.clone()).unwrap();
+    let mut oracle = Simulator::new_reference(m).unwrap();
+    let drive = |sim: &mut Simulator| {
+        sim.step_with(&[
+            ("req_valid", Bv::from_bool(true)),
+            ("tag", Bv::from_u64(memsys::TAG_W, 7)),
+            ("addr", Bv::from_u64(memsys::ADDR_W, 3)),
+        ]);
+        sim.poke("req_valid", Bv::from_bool(false));
+        for _ in 0..200 {
+            sim.step();
+        }
+        sim.output("resp0_valid")
+    };
+    let a = drive(&mut fast);
+    let b = drive(&mut oracle);
+    assert_eq!(a, b);
+    let (f, o) = (fast.stats(), oracle.stats());
+    assert_eq!(f.steps, o.steps);
+    assert!(
+        f.node_evals < o.node_evals,
+        "dirty-cone did {} node evals, reference {} — expected strictly less",
+        f.node_evals,
+        o.node_evals
+    );
+    // The idle tail should cost almost nothing: well under one full pass
+    // per cycle on average.
+    assert!(f.node_evals * 2 < o.node_evals);
+}

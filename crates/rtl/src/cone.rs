@@ -94,6 +94,83 @@ pub fn fanin_cone(
     Some(state.finish(max_entries))
 }
 
+/// The static node-to-node fanout map of a module's combinational DAG, in
+/// compressed (CSR) form: for every node, which nodes read its value as an
+/// operand. This is the forward counterpart of [`fanin_cone`]'s backward
+/// traversal, and what the simulator's dirty-cone scheduler walks to find
+/// the nodes a change can reach.
+///
+/// Sequential edges (a node feeding a register D/enable, a memory port, or
+/// an output) are *not* included — those are crossed at the clock edge, not
+/// during combinational settling.
+#[derive(Debug, Clone)]
+pub struct FanoutMap {
+    /// `edges[offsets[i]..offsets[i + 1]]` are the consumers of node `i`,
+    /// in ascending id order.
+    offsets: Vec<u32>,
+    edges: Vec<NodeId>,
+}
+
+impl FanoutMap {
+    /// Builds the fanout map of `module`'s combinational nodes.
+    pub fn build(module: &Module) -> Self {
+        let n = module.nodes.len();
+        let mut counts = vec![0u32; n + 1];
+        for node in &module.nodes {
+            for_each_operand(node, |op| counts[op.index() + 1] += 1);
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut edges = vec![NodeId(0); offsets[n] as usize];
+        let mut next = counts;
+        for (i, node) in module.nodes.iter().enumerate() {
+            for_each_operand(node, |op| {
+                edges[next[op.index()] as usize] = NodeId(i as u32);
+                next[op.index()] += 1;
+            });
+        }
+        FanoutMap { offsets, edges }
+    }
+
+    /// The nodes that read `node`'s value, in ascending id order.
+    pub fn fanouts(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total combinational edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Calls `f` for each combinational operand (node-to-node edge source) of
+/// `node`.
+fn for_each_operand(node: &Node, mut f: impl FnMut(NodeId)) {
+    match node {
+        Node::Input(..) | Node::Const(..) | Node::RegQ(..) | Node::MemReadData(..) => {}
+        Node::InstOut(..) => {}
+        Node::Un(_, a) => f(*a),
+        Node::Bin(_, a, b) => {
+            f(*a);
+            f(*b);
+        }
+        Node::Mux { sel, t, f: fv } => {
+            f(*sel);
+            f(*t);
+            f(*fv);
+        }
+        Node::Slice { src, .. } => f(*src),
+        Node::Concat(a, b) => {
+            f(*a);
+            f(*b);
+        }
+        Node::Zext(a, _) | Node::Sext(a, _) => f(*a),
+    }
+}
+
 struct ConeState<'a> {
     module: &'a Module,
     node_dist: Vec<Option<u32>>,
@@ -331,6 +408,29 @@ mod tests {
             .any(|e| e.name == "m" && e.kind == ConeKind::Mem));
         for inp in ["we", "waddr", "wdata", "raddr"] {
             assert!(cone.iter().any(|e| e.name == inp), "missing {inp}");
+        }
+    }
+
+    #[test]
+    fn fanout_map_inverts_operand_edges() {
+        let m = sample_module();
+        let fan = FanoutMap::build(&m);
+        let mut expected_edges = 0;
+        for (i, node) in m.nodes.iter().enumerate() {
+            super::for_each_operand(node, |op| {
+                expected_edges += 1;
+                assert!(
+                    fan.fanouts(op).contains(&NodeId(i as u32)),
+                    "edge {op:?} -> n{i} missing from fanout map"
+                );
+            });
+        }
+        assert_eq!(fan.edge_count(), expected_edges);
+        // Fanouts are ascending (consumers always have larger ids).
+        for i in 0..m.nodes.len() {
+            let outs = fan.fanouts(NodeId(i as u32));
+            assert!(outs.windows(2).all(|w| w[0] < w[1]));
+            assert!(outs.iter().all(|o| o.index() > i));
         }
     }
 

@@ -44,16 +44,19 @@ pub mod cone;
 mod flatten;
 pub mod ir;
 mod netlist;
+mod schedule;
 mod sim;
 mod vcd;
 mod xprop;
 
 pub use builder::ModuleBuilder;
 pub use check::{check_module, RtlError};
+pub use cone::FanoutMap;
 pub use cone::{fanin_cone, ConeEntry, ConeKind, ConeStart};
 pub use flatten::flatten;
 pub use ir::{Design, Module, ModuleStats, NodeId};
 pub use netlist::{parse_design, parse_module, write_design, write_module};
-pub use sim::{eval_bin, eval_un, SimStats, Simulator, TraceStep};
+pub use schedule::SimSchedule;
+pub use sim::{eval_bin, eval_un, EvalMode, SimStats, Simulator, TraceStep};
 pub use vcd::trace_to_vcd;
 pub use xprop::{reset_coverage, XpropReport};

@@ -1,10 +1,28 @@
 //! Cycle-accurate two-phase simulation of a flat [`Module`].
 //!
 //! Each cycle has two phases: combinational *evaluation* (nodes computed in
-//! topological order from inputs, register outputs, and memory read
+//! dependency order from inputs, register outputs, and memory read
 //! registers) and the *clock edge* ([`Simulator::step`]), which commits
 //! register D inputs, performs memory writes, and samples memory read
 //! addresses (read-first semantics: a read port returns the pre-write word).
+//!
+//! # Evaluation engines
+//!
+//! The simulator carries two interchangeable combinational engines:
+//!
+//! * [`EvalMode::DirtyCone`] (the default, [`Simulator::new`]) — a
+//!   precompiled engine built on [`SimSchedule`]: all values live in one
+//!   flat limb arena at fixed offsets, each node evaluates through a
+//!   compiled kernel with single-limb fast paths, and a pass walks only
+//!   the levelized fanout cone of inputs and state that actually changed.
+//!   Zero heap allocation per node per pass.
+//! * [`EvalMode::FullOracle`] ([`Simulator::new_reference`]) — the
+//!   reference interpreter: every pass re-evaluates every node in id
+//!   order through [`eval_bin`]/[`eval_un`] on freshly materialized
+//!   [`Bv`]s. Slow but maximally simple; the differential test suite
+//!   holds the compiled engine bit-identical to it, and its
+//!   [`SimStats::node_evals`] keeps the historical
+//!   `eval_passes * node_count` invariant.
 
 use std::collections::HashMap;
 
@@ -13,6 +31,7 @@ use dfv_obs::{ObsHook, SharedRecorder, WatchedTrace};
 
 use crate::check::check_module;
 use crate::ir::{BinOp, Module, Node, NodeId, UnOp};
+use crate::schedule::SimSchedule;
 use crate::RtlError;
 
 /// Evaluates a binary operator on concrete values — the single source of
@@ -53,13 +72,28 @@ pub fn eval_un(op: UnOp, a: &Bv) -> Bv {
     }
 }
 
+/// Which combinational evaluation engine a [`Simulator`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Compiled levelized engine with dirty-cone scheduling (the default).
+    /// A pass evaluates only the fanout cone of what changed, so
+    /// [`SimStats::node_evals`] measures actual work.
+    DirtyCone,
+    /// Reference interpreter: every pass re-evaluates every node through
+    /// [`eval_bin`]/[`eval_un`]. `node_evals == eval_passes * node_count`
+    /// by construction.
+    FullOracle,
+}
+
 /// Cumulative work counters for one [`Simulator`].
 ///
 /// Monotonic across the simulator's lifetime (a [`Simulator::reset`]
 /// clears state and trace but not these), so deltas between snapshots
 /// measure the work of a bounded stretch of simulation. `node_evals`
 /// is the deterministic RTL work metric the speed-ratio experiment
-/// compares against the SLM kernel's activation counts.
+/// compares against the SLM kernel's activation counts. Under
+/// [`EvalMode::DirtyCone`] it counts only nodes actually re-evaluated;
+/// under [`EvalMode::FullOracle`] every pass counts every node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Completed clock cycles ([`Simulator::step`] calls).
@@ -108,18 +142,26 @@ pub struct TraceStep {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     module: Module,
-    /// Current combinational values, one per node.
-    values: Vec<Bv>,
-    /// Current register values.
-    reg_vals: Vec<Bv>,
-    /// Memory contents.
-    mem_words: Vec<Vec<Bv>>,
-    /// Registered read data per (mem, read port).
-    mem_read_regs: Vec<Vec<Bv>>,
+    sched: SimSchedule,
+    mode: EvalMode,
+    /// Flat value arena: `[reg slots][mem read reg slots][node slots]`,
+    /// offsets fixed by `sched`.
+    arena: Vec<u64>,
+    /// Memory contents, one flat limb arena for all memories.
+    mem_arena: Vec<u64>,
     /// Current input values.
     input_vals: Vec<Bv>,
-    cycle: u64,
+    /// Per-level dirty buckets (indexed by topological level).
+    dirty_levels: Vec<Vec<u32>>,
+    /// Whether a node currently sits in a dirty bucket.
+    in_dirty: Vec<bool>,
+    /// Force the next pass to evaluate everything (set at reset).
+    full_dirty: bool,
+    /// Whether anything changed since the last pass.
     dirty: bool,
+    /// Reusable multi-limb intermediate buffer.
+    scratch: Vec<u64>,
+    cycle: u64,
     watches: Vec<Watch>,
     trace: Vec<TraceStep>,
     stats: SimStats,
@@ -133,36 +175,62 @@ enum Watch {
     Node(NodeId),
 }
 
+/// The node-region slice at `off` (arena offset) of `l` limbs, where the
+/// slice was split off the arena at `base`.
+fn node_limbs(nodes: &[u64], base: usize, off: u32, l: u32) -> &[u64] {
+    &nodes[off as usize - base..][..l as usize]
+}
+
 impl Simulator {
     /// Creates a simulator for `module`, validating it first. The module
     /// must be flat (no instances) — flatten a hierarchy with
-    /// [`crate::flatten`] first. State starts at the reset values.
+    /// [`crate::flatten`] first. State starts at the reset values. Uses
+    /// the compiled [`EvalMode::DirtyCone`] engine.
     ///
     /// # Errors
     ///
     /// Returns [`RtlError`] if validation fails or the module has
     /// instances.
     pub fn new(module: Module) -> Result<Self, RtlError> {
+        Self::with_mode(module, EvalMode::DirtyCone)
+    }
+
+    /// Creates a simulator running the [`EvalMode::FullOracle`] reference
+    /// interpreter — the baseline the compiled engine is differential-
+    /// tested against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`].
+    pub fn new_reference(module: Module) -> Result<Self, RtlError> {
+        Self::with_mode(module, EvalMode::FullOracle)
+    }
+
+    fn with_mode(module: Module, mode: EvalMode) -> Result<Self, RtlError> {
         check_module(&module)?;
         if !module.instances.is_empty() {
             return Err(RtlError::NotFlat {
                 module: module.name.clone(),
             });
         }
-        let values = module.node_widths.iter().map(|&w| Bv::zero(w)).collect();
+        let sched = SimSchedule::build(&module);
         let input_vals = module.inputs.iter().map(|p| Bv::zero(p.width)).collect();
         let mut sim = Simulator {
-            values,
-            reg_vals: Vec::new(),
-            mem_words: Vec::new(),
-            mem_read_regs: Vec::new(),
+            arena: vec![0; sched.arena_len()],
+            mem_arena: vec![0; sched.mem_arena_len()],
             input_vals,
-            cycle: 0,
+            dirty_levels: vec![Vec::new(); sched.num_levels() as usize],
+            in_dirty: vec![false; module.nodes.len()],
+            full_dirty: true,
             dirty: true,
+            scratch: Vec::with_capacity(sched.max_limbs()),
+            cycle: 0,
             watches: Vec::new(),
             trace: Vec::new(),
             stats: SimStats::default(),
             obs: ObsHook::none(),
+            mode,
+            sched,
             module,
         };
         sim.reset();
@@ -172,6 +240,16 @@ impl Simulator {
     /// The simulated module.
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The precompiled evaluation schedule (levels, fanout edges).
+    pub fn schedule(&self) -> &SimSchedule {
+        &self.sched
+    }
+
+    /// Which evaluation engine this simulator runs.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
     }
 
     /// The current cycle count (number of completed [`Simulator::step`]s
@@ -184,32 +262,42 @@ impl Simulator {
     /// contents, inputs to zero, and the cycle counter to 0. The trace is
     /// cleared.
     pub fn reset(&mut self) {
-        self.reg_vals = self.module.regs.iter().map(|r| r.init.clone()).collect();
-        self.mem_words = self
-            .module
-            .mems
-            .iter()
-            .map(|m| {
-                let mut words = m.init.clone();
-                words.resize(m.depth, Bv::zero(m.data_width));
-                words
-            })
-            .collect();
-        self.mem_read_regs = self
-            .module
-            .mems
-            .iter()
-            .map(|m| vec![Bv::zero(m.data_width); m.read_ports.len()])
-            .collect();
+        self.arena.fill(0);
+        self.mem_arena.fill(0);
+        for (i, r) in self.module.regs.iter().enumerate() {
+            let s = self.sched.reg_slot(i);
+            self.arena[s.off as usize..][..s.limbs as usize].copy_from_slice(r.init.limbs());
+        }
+        for (mi, m) in self.module.mems.iter().enumerate() {
+            let (base, stride) = self.sched.mem_layout(mi);
+            for (a, w) in m.init.iter().enumerate() {
+                self.mem_arena[base as usize + a * stride as usize..][..stride as usize]
+                    .copy_from_slice(w.limbs());
+            }
+        }
+        // Constants are written once here; their kernels are no-ops.
+        for (i, node) in self.module.nodes.iter().enumerate() {
+            if let Node::Const(c) = node {
+                let s = self.sched.node_slot(i);
+                self.arena[s.off as usize..][..s.limbs as usize].copy_from_slice(c.limbs());
+            }
+        }
         for (v, p) in self.input_vals.iter_mut().zip(&self.module.inputs) {
             *v = Bv::zero(p.width);
         }
+        for b in &mut self.dirty_levels {
+            b.clear();
+        }
+        self.in_dirty.fill(false);
+        self.full_dirty = true;
         self.cycle = 0;
         self.dirty = true;
         self.trace.clear();
     }
 
-    /// Sets an input port for the current cycle.
+    /// Sets an input port for the current cycle. Under
+    /// [`EvalMode::DirtyCone`], re-poking the value a port already holds
+    /// is free: nothing is marked dirty.
     ///
     /// # Panics
     ///
@@ -225,48 +313,151 @@ impl Simulator {
             self.module.inputs[idx].width,
             "poke width mismatch on {port:?}"
         );
+        if self.mode == EvalMode::DirtyCone && self.input_vals[idx] == value {
+            return;
+        }
         self.input_vals[idx] = value;
+        let (in_dirty, buckets, sched) = (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
+        for &n in sched.input_nodes(idx) {
+            if !in_dirty[n as usize] {
+                in_dirty[n as usize] = true;
+                buckets[sched.level_raw(n) as usize].push(n);
+            }
+        }
         self.dirty = true;
     }
 
-    /// Evaluates combinational logic if inputs changed since the last
-    /// evaluation. Called automatically by [`Simulator::step`],
+    /// Evaluates combinational logic if inputs or state changed since the
+    /// last evaluation. Called automatically by [`Simulator::step`],
     /// [`Simulator::output`], and [`Simulator::peek`].
     pub fn eval(&mut self) {
         if !self.dirty {
             return;
         }
+        let evaled = match self.mode {
+            EvalMode::FullOracle => self.oracle_pass(),
+            EvalMode::DirtyCone => {
+                if self.full_dirty {
+                    self.full_pass()
+                } else {
+                    self.dirty_pass()
+                }
+            }
+        };
+        self.dirty = false;
+        self.stats.eval_passes += 1;
+        self.stats.node_evals += evaled;
+        self.obs.add("rtl.eval_passes", 1);
+        self.obs.add("rtl.node_evals", evaled);
+    }
+
+    /// Reference pass: every node, in id order, through the `Bv` oracle.
+    fn oracle_pass(&mut self) -> u64 {
         for i in 0..self.module.nodes.len() {
             let v = match &self.module.nodes[i] {
                 Node::Input(idx) => self.input_vals[*idx].clone(),
                 Node::Const(c) => c.clone(),
-                Node::RegQ(r) => self.reg_vals[r.index()].clone(),
-                Node::MemReadData(m, p) => self.mem_read_regs[m.index()][*p].clone(),
+                Node::RegQ(r) => self.reg_bv(r.index()),
+                Node::MemReadData(m, p) => self.mem_rd_bv(m.index(), *p),
                 Node::InstOut(..) => unreachable!("module is flat"),
-                Node::Un(op, a) => eval_un(*op, &self.values[a.index()]),
+                Node::Un(op, a) => eval_un(*op, &self.node_bv(a.index())),
                 Node::Bin(op, a, b) => {
-                    eval_bin(*op, &self.values[a.index()], &self.values[b.index()])
+                    eval_bin(*op, &self.node_bv(a.index()), &self.node_bv(b.index()))
                 }
                 Node::Mux { sel, t, f } => {
-                    if self.values[sel.index()].bit(0) {
-                        self.values[t.index()].clone()
+                    if self.node_bv(sel.index()).bit(0) {
+                        self.node_bv(t.index())
                     } else {
-                        self.values[f.index()].clone()
+                        self.node_bv(f.index())
                     }
                 }
-                Node::Slice { src, hi, lo } => self.values[src.index()].slice(*hi, *lo),
-                Node::Concat(a, b) => self.values[a.index()].concat(&self.values[b.index()]),
-                Node::Zext(a, w) => self.values[a.index()].zext(*w),
-                Node::Sext(a, w) => self.values[a.index()].sext(*w),
+                Node::Slice { src, hi, lo } => self.node_bv(src.index()).slice(*hi, *lo),
+                Node::Concat(a, b) => self.node_bv(a.index()).concat(&self.node_bv(b.index())),
+                Node::Zext(a, w) => self.node_bv(a.index()).zext(*w),
+                Node::Sext(a, w) => self.node_bv(a.index()).sext(*w),
             };
-            self.values[i] = v;
+            let s = self.sched.node_slot(i);
+            self.arena[s.off as usize..][..s.limbs as usize].copy_from_slice(v.limbs());
         }
-        self.dirty = false;
-        self.stats.eval_passes += 1;
-        self.stats.node_evals += self.module.nodes.len() as u64;
-        self.obs.add("rtl.eval_passes", 1);
-        self.obs
-            .add("rtl.node_evals", self.module.nodes.len() as u64);
+        self.module.nodes.len() as u64
+    }
+
+    /// Compiled full pass: every node, in level order, through its kernel.
+    /// Used for the first pass after a reset; also drains stale dirty
+    /// marks.
+    fn full_pass(&mut self) -> u64 {
+        for &n in self.sched.order() {
+            self.sched.eval_node(
+                n as usize,
+                &mut self.arena,
+                &self.input_vals,
+                &mut self.scratch,
+            );
+        }
+        let in_dirty = &mut self.in_dirty;
+        for b in &mut self.dirty_levels {
+            for &n in b.iter() {
+                in_dirty[n as usize] = false;
+            }
+            b.clear();
+        }
+        self.full_dirty = false;
+        self.module.nodes.len() as u64
+    }
+
+    /// Incremental pass: walk only the dirty fanout cone, level by level.
+    /// A node's consumers always sit at a strictly higher level, so each
+    /// node is visited at most once per pass.
+    fn dirty_pass(&mut self) -> u64 {
+        let mut evaled = 0u64;
+        for lvl in 0..self.dirty_levels.len() {
+            if self.dirty_levels[lvl].is_empty() {
+                continue;
+            }
+            let mut bucket = std::mem::take(&mut self.dirty_levels[lvl]);
+            // Deterministic, cache-friendly order regardless of poke order.
+            bucket.sort_unstable();
+            for &n in &bucket {
+                self.in_dirty[n as usize] = false;
+                evaled += 1;
+                let changed = self.sched.eval_node(
+                    n as usize,
+                    &mut self.arena,
+                    &self.input_vals,
+                    &mut self.scratch,
+                );
+                if changed {
+                    let (in_dirty, buckets, sched) =
+                        (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
+                    for f in sched.fanouts(n) {
+                        let fi = f.index();
+                        if !in_dirty[fi] {
+                            in_dirty[fi] = true;
+                            buckets[sched.level_raw(fi as u32) as usize].push(fi as u32);
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            // Hand the emptied Vec back so its capacity is reused.
+            self.dirty_levels[lvl] = bucket;
+        }
+        evaled
+    }
+
+    fn node_bv(&self, n: usize) -> Bv {
+        let s = self.sched.node_slot(n);
+        Bv::from_limbs(s.width, &self.arena[s.off as usize..][..s.limbs as usize])
+    }
+
+    fn reg_bv(&self, r: usize) -> Bv {
+        let s = self.sched.reg_slot(r);
+        Bv::from_limbs(s.width, &self.arena[s.off as usize..][..s.limbs as usize])
+    }
+
+    fn mem_rd_bv(&self, m: usize, p: usize) -> Bv {
+        let s = self.sched.mem_rd_slot(m, p);
+        Bv::from_limbs(s.width, &self.arena[s.off as usize..][..s.limbs as usize])
     }
 
     /// Reads an output port value (after evaluating if needed).
@@ -280,13 +471,13 @@ impl Simulator {
             .output_index(port)
             .unwrap_or_else(|| panic!("no output port named {port:?}"));
         self.eval();
-        self.values[self.module.output_drivers[idx].index()].clone()
+        self.node_bv(self.module.output_drivers[idx].index())
     }
 
     /// Reads an arbitrary node value (after evaluating if needed).
     pub fn peek(&mut self, node: NodeId) -> Bv {
         self.eval();
-        self.values[node.index()].clone()
+        self.node_bv(node.index())
     }
 
     /// Reads a register's current value by name.
@@ -299,7 +490,7 @@ impl Simulator {
             .module
             .reg_index(name)
             .unwrap_or_else(|| panic!("no register named {name:?}"));
-        self.reg_vals[r.index()].clone()
+        self.reg_bv(r.index())
     }
 
     /// Overwrites a register's current value (for state injection in
@@ -313,8 +504,21 @@ impl Simulator {
             .module
             .reg_index(name)
             .unwrap_or_else(|| panic!("no register named {name:?}"));
-        assert_eq!(value.width(), self.module.regs[r.index()].width);
-        self.reg_vals[r.index()] = value;
+        let ri = r.index();
+        assert_eq!(value.width(), self.module.regs[ri].width);
+        let s = self.sched.reg_slot(ri);
+        let cur = &mut self.arena[s.off as usize..][..s.limbs as usize];
+        if self.mode == EvalMode::DirtyCone && cur == value.limbs() {
+            return;
+        }
+        cur.copy_from_slice(value.limbs());
+        let (in_dirty, buckets, sched) = (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
+        for &n in sched.reg_nodes(ri) {
+            if !in_dirty[n as usize] {
+                in_dirty[n as usize] = true;
+                buckets[sched.level_raw(n) as usize].push(n);
+            }
+        }
         self.dirty = true;
     }
 
@@ -330,44 +534,91 @@ impl Simulator {
             .iter()
             .position(|m| m.name == mem)
             .unwrap_or_else(|| panic!("no memory named {mem:?}"));
-        self.mem_words[mi][addr].clone()
+        assert!(addr < self.module.mems[mi].depth, "address out of range");
+        let (base, stride) = self.sched.mem_layout(mi);
+        Bv::from_limbs(
+            self.module.mems[mi].data_width,
+            &self.mem_arena[base as usize + addr * stride as usize..][..stride as usize],
+        )
     }
 
     /// Advances one clock cycle: evaluates, then commits registers and
-    /// memories at the rising edge.
+    /// memories at the rising edge. Under [`EvalMode::DirtyCone`] only
+    /// state that actually changed marks its readers dirty, so the next
+    /// pass walks just the affected cone.
     pub fn step(&mut self) {
         self.eval();
         self.record_trace();
-        // Registers: sample D (respecting enables).
-        let mut new_regs = Vec::with_capacity(self.reg_vals.len());
+        let base = self.sched.state_len();
+        let (state, nodes) = self.arena.split_at_mut(base);
+        let sched = &self.sched;
+        let dirty_cone = self.mode == EvalMode::DirtyCone;
+        let in_dirty = &mut self.in_dirty;
+        let buckets = &mut self.dirty_levels;
+        let mut any = false;
+        let mut mark_all = |ids: &[u32], any: &mut bool| {
+            for &n in ids {
+                if !in_dirty[n as usize] {
+                    in_dirty[n as usize] = true;
+                    buckets[sched.level_raw(n) as usize].push(n);
+                }
+            }
+            *any = true;
+        };
+        // Registers: sample D (respecting enables). D and enable values
+        // live in the node region, register values in the state region —
+        // disjoint, so the commit order across registers is irrelevant.
         for (i, reg) in self.module.regs.iter().enumerate() {
             let load = reg
                 .en
-                .map(|en| self.values[en.index()].bit(0))
+                .map(|en| node_limbs(nodes, base, sched.node_slot(en.index()).off, 1)[0] & 1 == 1)
                 .unwrap_or(true);
-            if load {
-                let next = reg.next.expect("checked: connected");
-                new_regs.push(self.values[next.index()].clone());
-            } else {
-                new_regs.push(self.reg_vals[i].clone());
+            if !load {
+                continue;
+            }
+            let next = reg.next.expect("checked: connected");
+            let ns = sched.node_slot(next.index());
+            let d = node_limbs(nodes, base, ns.off, ns.limbs);
+            let rs = sched.reg_slot(i);
+            let cur = &mut state[rs.off as usize..][..rs.limbs as usize];
+            if cur != d {
+                cur.copy_from_slice(d);
+                if dirty_cone {
+                    mark_all(sched.reg_nodes(i), &mut any);
+                }
             }
         }
         // Memories: sample read addresses (read-first), then write.
         for (mi, mem) in self.module.mems.iter().enumerate() {
+            let (mbase, stride) = sched.mem_layout(mi);
+            let (mbase, stride) = (mbase as usize, stride as usize);
             for (pi, rp) in mem.read_ports.iter().enumerate() {
-                let addr = self.values[rp.addr.index()].to_u64() as usize % mem.depth;
-                self.mem_read_regs[mi][pi] = self.mem_words[mi][addr].clone();
+                let a = node_limbs(nodes, base, sched.node_slot(rp.addr.index()).off, 1)[0];
+                let addr = a as usize % mem.depth;
+                let word = &self.mem_arena[mbase + addr * stride..][..stride];
+                let rs = sched.mem_rd_slot(mi, pi);
+                let cur = &mut state[rs.off as usize..][..rs.limbs as usize];
+                if cur != word {
+                    cur.copy_from_slice(word);
+                    if dirty_cone {
+                        mark_all(sched.mem_read_nodes(mi, pi), &mut any);
+                    }
+                }
             }
             for wp in &mem.write_ports {
-                if self.values[wp.en.index()].bit(0) {
-                    let addr = self.values[wp.addr.index()].to_u64() as usize % mem.depth;
-                    self.mem_words[mi][addr] = self.values[wp.data.index()].clone();
+                if node_limbs(nodes, base, sched.node_slot(wp.en.index()).off, 1)[0] & 1 == 1 {
+                    let a = node_limbs(nodes, base, sched.node_slot(wp.addr.index()).off, 1)[0];
+                    let addr = a as usize % mem.depth;
+                    let ds = sched.node_slot(wp.data.index());
+                    let d = node_limbs(nodes, base, ds.off, ds.limbs);
+                    self.mem_arena[mbase + addr * stride..][..stride].copy_from_slice(d);
                 }
             }
         }
-        self.reg_vals = new_regs;
         self.cycle += 1;
-        self.dirty = true;
+        if !dirty_cone || any {
+            self.dirty = true;
+        }
         self.stats.steps += 1;
         self.obs.add("rtl.steps", 1);
     }
@@ -481,9 +732,9 @@ impl Simulator {
             .watches
             .iter()
             .map(|w| match w {
-                Watch::Output(i) => self.values[self.module.output_drivers[*i].index()].clone(),
-                Watch::Reg(i) => self.reg_vals[*i].clone(),
-                Watch::Node(n) => self.values[n.index()].clone(),
+                Watch::Output(i) => self.node_bv(self.module.output_drivers[*i].index()),
+                Watch::Reg(i) => self.reg_bv(*i),
+                Watch::Node(n) => self.node_bv(n.index()),
             })
             .collect();
         let changed = match self.trace.last() {
@@ -518,7 +769,7 @@ impl Simulator {
             .outputs
             .iter()
             .zip(&self.module.output_drivers)
-            .map(|(p, d)| (p.name.clone(), self.values[d.index()].clone()))
+            .map(|(p, d)| (p.name.clone(), self.node_bv(d.index())))
             .collect()
     }
 }
@@ -654,8 +905,11 @@ mod tests {
         let s = sim.stats();
         assert_eq!(s.steps, 2);
         assert!(s.eval_passes >= 2);
+        // Dirty-cone: node_evals counts actual work, bounded by the full
+        // re-evaluation the interpreter used to do.
         let node_count = sim.module().nodes.len() as u64;
-        assert_eq!(s.node_evals, s.eval_passes * node_count);
+        assert!(s.node_evals > 0);
+        assert!(s.node_evals <= s.eval_passes * node_count);
         // First record counts every watch; second counts the two changes.
         assert_eq!(s.value_changes, 4);
         let r = rec.lock().unwrap();
@@ -668,6 +922,42 @@ mod tests {
         let wt = sim.watched_trace();
         assert!(wt.is_empty());
         assert_eq!(wt.widths(), &[8, 8]);
+    }
+
+    #[test]
+    fn reference_engine_counts_every_node_per_pass() {
+        let mut sim = Simulator::new_reference(counter_with_enable()).unwrap();
+        assert_eq!(sim.eval_mode(), EvalMode::FullOracle);
+        sim.poke("en", Bv::from_bool(true));
+        sim.step();
+        sim.step();
+        assert_eq!(sim.output("count").to_u64(), 2);
+        let s = sim.stats();
+        let node_count = sim.module().nodes.len() as u64;
+        assert_eq!(s.node_evals, s.eval_passes * node_count);
+    }
+
+    #[test]
+    fn dirty_cone_skips_stable_logic() {
+        // A disabled counter after one settled pass: stepping commits no
+        // state change, so subsequent evals touch nothing.
+        let mut sim = Simulator::new(counter_with_enable()).unwrap();
+        sim.poke("en", Bv::from_bool(false));
+        assert_eq!(sim.output("count").to_u64(), 0);
+        let settled = sim.stats().node_evals;
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert_eq!(sim.output("count").to_u64(), 0);
+        assert_eq!(
+            sim.stats().node_evals,
+            settled,
+            "idle cycles must not re-evaluate the cone"
+        );
+        // Re-poking the same input value is also free.
+        sim.poke("en", Bv::from_bool(false));
+        assert_eq!(sim.output("count").to_u64(), 0);
+        assert_eq!(sim.stats().node_evals, settled);
     }
 
     #[test]

@@ -78,10 +78,10 @@ pub fn check_property(module: &Module, property: &str, bound: u32) -> Result<Bmc
             .iter()
             .map(|p| bb.fresh_word(p.width))
             .collect();
-        input_words.push(inputs.clone());
         let cyc = sym.step(&mut bb, &inputs);
         let prop = cyc.output(module, property);
         violated_at.push(!prop[0]);
+        input_words.push(inputs);
     }
     let mut any = bb.false_lit();
     for &v in &violated_at {
@@ -194,10 +194,10 @@ fn check_property_budgeted_inner(
             .iter()
             .map(|p| bb.fresh_word(p.width))
             .collect();
-        input_words.push(inputs.clone());
         let cyc = sym.step(&mut bb, &inputs);
         let prop = cyc.output(module, property);
         let violated = !prop[0];
+        input_words.push(inputs);
         let result = bb.solver().solve_budgeted(&[violated], &budget);
         obs.add("sec.depths", 1);
         let vars_now = bb.solver().num_vars();

@@ -38,6 +38,16 @@ run env DFV_WORKERS=1 cargo run --release --example parallel_campaign -- "$obs_d
 run env DFV_WORKERS=4 cargo run --release --example parallel_campaign -- "$obs_dir/camp_w4.json"
 run cmp "$obs_dir/camp_w1.json" "$obs_dir/camp_w4.json"
 run cargo run --release -q -p dfv-bench --bin experiments -- e11 > /dev/null
+# Offline smoke test: the compiled simulation engine. The workload sweep
+# runs both evaluation engines and panics on any output divergence; the
+# canonical JSON (deterministic counters, no wall-clock) must be
+# byte-identical across two separate processes.
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke \
+    --out "$obs_dir/bench_sim1_full.json" --canonical "$obs_dir/bench_sim1.json" > /dev/null
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke \
+    --out "$obs_dir/bench_sim2_full.json" --canonical "$obs_dir/bench_sim2.json" > /dev/null
+run cmp "$obs_dir/bench_sim1.json" "$obs_dir/bench_sim2.json"
+run cargo run --release -q -p dfv-bench --bin experiments -- e12 > /dev/null
 # Stress the determinism property tests with the test harness itself
 # running them concurrently (worker pools inside worker pools).
 run cargo test -q --release -p dfv-core --test prop_parallel -- --test-threads 8

@@ -77,9 +77,8 @@ pub fn e11_plan() -> VerificationPlan {
 fn options(workers: usize) -> CampaignOptions {
     CampaignOptions {
         retry: RetryPolicy::default(),
-        deadline: None,
-        cache_path: None,
         workers: Some(workers),
+        ..CampaignOptions::default()
     }
 }
 

@@ -102,12 +102,18 @@ use dfv_sec::{check_equivalence_with, Budget, CheckOptions, EquivOutcome, EquivR
 use dfv_slmir::{lint, LintFinding, Severity};
 
 mod cache;
+pub mod chaos;
 mod faultcamp;
+mod journal;
 pub mod sched;
 
-pub use cache::CacheLoad;
+pub use cache::{CacheLoad, PersistError};
+pub use chaos::{ChaosIo, ChaosPlan, FailAction, IoHandle, IoShim, RealIo};
 pub use faultcamp::{FaultBlock, FaultCampaign, FaultCampaignReport, FaultCase, FaultVerdict};
-pub use sched::{resolve_workers, DeadlineClock, WORKERS_ENV};
+pub use journal::JournalLoad;
+pub use sched::{resolve_workers, resolve_workers_with, DeadlineClock, MAX_WORKERS, WORKERS_ENV};
+
+use dfv_obs::ObsHook;
 
 /// One SLM/RTL block correspondence (paper §4.2).
 #[derive(Debug, Clone)]
@@ -176,6 +182,14 @@ pub enum BlockStatus {
     Inconclusive(String),
     /// Parse/elaboration/spec failure.
     Error(String),
+    /// The block's work item panicked and was quarantined by the
+    /// scheduler: the note is the canonicalized panic payload (first line,
+    /// no backtrace — see [`sched::panic_text`]), every other block
+    /// completed normally, and a `core.sched.panic` event was recorded.
+    /// Like `Inconclusive`, a crash says nothing conclusive about the
+    /// block, so it is never cached; a resumed run *does* replay it from
+    /// the journal so the same run stays byte-reproducible.
+    Crashed(String),
 }
 
 impl fmt::Display for BlockStatus {
@@ -186,6 +200,34 @@ impl fmt::Display for BlockStatus {
             BlockStatus::NotEquivalent(_) => write!(f, "FAIL"),
             BlockStatus::Inconclusive(_) => write!(f, "INCONC"),
             BlockStatus::Error(_) => write!(f, "ERROR"),
+            BlockStatus::Crashed(_) => write!(f, "CRASH"),
+        }
+    }
+}
+
+/// Summed solver statistics for one block, in journal-survivable form.
+///
+/// The canonical report's `campaign.cnf_vars`/`cnf_clauses`/`conflicts`
+/// counters are sums of these — kept separately from the full
+/// [`EquivReport`] (which is not persisted) so a verdict replayed from
+/// the checkpoint journal reproduces the same counters byte for byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTotals {
+    /// CNF variables allocated by the (last) equivalence check.
+    pub cnf_vars: usize,
+    /// CNF clauses emitted by the (last) equivalence check.
+    pub cnf_clauses: usize,
+    /// CDCL conflicts spent by the (last) equivalence check.
+    pub conflicts: u64,
+}
+
+impl SolverTotals {
+    /// The totals of one equivalence report.
+    pub fn of(report: &EquivReport) -> Self {
+        SolverTotals {
+            cnf_vars: report.cnf_vars,
+            cnf_clauses: report.cnf_clauses,
+            conflicts: report.solver_stats.conflicts,
         }
     }
 }
@@ -200,13 +242,22 @@ pub struct BlockResult {
     /// All lint findings (including warnings). Empty for verdicts served
     /// from a persisted cache (findings are not persisted).
     pub lint_findings: Vec<LintFinding>,
+    /// How many lint findings the block had when it was verified. Unlike
+    /// [`BlockResult::lint_findings`] this *count* survives the checkpoint
+    /// journal, so a resumed run's canonical report matches the original.
+    pub lint_count: usize,
     /// The equivalence report, when the check ran in this process. For an
     /// inconclusive block this is the *last* attempt's report.
     pub equiv: Option<EquivReport>,
+    /// Journal-survivable solver statistics (see [`SolverTotals`]).
+    pub solver: SolverTotals,
     /// Wall-clock time spent on this block in this run.
     pub duration: Duration,
     /// Whether the verdict came from the incremental cache.
     pub from_cache: bool,
+    /// Whether the verdict was replayed from the checkpoint journal of an
+    /// interrupted run (see [`CampaignOptions::resume`]).
+    pub from_journal: bool,
     /// How many budgeted proof attempts ran (0 for cached/skipped blocks).
     pub attempts: u32,
 }
@@ -292,6 +343,31 @@ pub struct CampaignOptions {
     /// work items, so the canonical report is byte-identical for every
     /// worker count (see [`sched`]).
     pub workers: Option<usize>,
+    /// Append-only checkpoint journal (see [`crate::JournalLoad`]). Each
+    /// completed block's verdict is durably appended *during* the run, so
+    /// a killed campaign re-run on the same path replays every journaled
+    /// verdict and recomputes only what the crash lost. The canonical
+    /// report of a resumed run is byte-identical to an uninterrupted one.
+    pub journal_path: Option<PathBuf>,
+    /// Observability hook for campaign-level events and counters
+    /// (`core.sched.panic`, `core.journal.replayed`, ...). Unset by
+    /// default; never feeds the canonical report.
+    pub obs: ObsHook,
+    /// The I/O shim all campaign persistence (cache + journal) goes
+    /// through. Defaults to the real filesystem; the chaos harness
+    /// ([`chaos`]) swaps in fault injection here.
+    pub io: IoHandle,
+}
+
+impl CampaignOptions {
+    /// Options for resuming (or starting) a journaled campaign at `path`:
+    /// everything default except the checkpoint journal.
+    pub fn resume(path: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            journal_path: Some(path.into()),
+            ..CampaignOptions::default()
+        }
+    }
 }
 
 /// A campaign run over a plan.
@@ -304,6 +380,13 @@ pub struct CampaignReport {
     /// Why persisting the cache failed, if it did (the run itself is still
     /// valid; only restart-resumability is lost).
     pub cache_write_error: Option<String>,
+    /// How opening the checkpoint journal went ([`JournalLoad::Disabled`]
+    /// when no journal is configured). Not part of the canonical report —
+    /// a resumed run must stay byte-identical to an uninterrupted one.
+    pub journal_load: JournalLoad,
+    /// Why journaling failed, if it did (the run still completes; only
+    /// crash-resumability is lost). Not part of the canonical report.
+    pub journal_error: Option<String>,
 }
 
 impl CampaignReport {
@@ -315,6 +398,19 @@ impl CampaignReport {
     /// How many blocks were served from the cache.
     pub fn cache_hits(&self) -> usize {
         self.blocks.iter().filter(|b| b.from_cache).count()
+    }
+
+    /// How many verdicts were replayed from the checkpoint journal.
+    pub fn journal_replayed(&self) -> usize {
+        self.blocks.iter().filter(|b| b.from_journal).count()
+    }
+
+    /// How many blocks crashed (worker panic, quarantined).
+    pub fn crashed(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(b.status, BlockStatus::Crashed(_)))
+            .count()
     }
 
     /// How many blocks ended inconclusive (budget/deadline exhaustion).
@@ -349,11 +445,11 @@ impl CampaignReport {
         );
         let (mut vars, mut clauses, mut conflicts) = (0u64, 0u64, 0u64);
         for b in &self.blocks {
-            if let Some(e) = &b.equiv {
-                vars += e.cnf_vars as u64;
-                clauses += e.cnf_clauses as u64;
-                conflicts += e.solver_stats.conflicts;
-            }
+            // The journal-survivable totals, not the full EquivReport, so
+            // a resumed run sums to the same counters.
+            vars += b.solver.cnf_vars as u64;
+            clauses += b.solver.cnf_clauses as u64;
+            conflicts += b.solver.conflicts;
         }
         rep.set_counter("campaign.cnf_vars", vars);
         rep.set_counter("campaign.cnf_clauses", clauses);
@@ -369,14 +465,23 @@ impl CampaignReport {
                             ("status", Json::Str(b.status.to_string())),
                             ("from_cache", Json::Bool(b.from_cache)),
                             ("attempts", Json::UInt(b.attempts as u64)),
-                            ("lint_findings", Json::UInt(b.lint_findings.len() as u64)),
+                            ("lint_findings", Json::UInt(b.lint_count as u64)),
                         ])
                     })
                     .collect(),
             ),
         );
+        // Crash quarantines are rare enough to keep out of crash-free
+        // reports; when present the count is deterministic (same blocks
+        // crash under the same chaos plan, and a resumed run replays them).
+        if self.crashed() > 0 {
+            rep.set_counter("campaign.crashed", self.crashed() as u64);
+        }
         if let Some(e) = &self.cache_write_error {
             rep.set_value("cache_write_error", Json::str(e));
+        }
+        if let Some(e) = &self.journal_error {
+            rep.set_value("journal_error", Json::str(e));
         }
         for b in &self.blocks {
             rep.push_phase(format!("block:{}", b.name), b.duration);
@@ -398,6 +503,7 @@ impl fmt::Display for CampaignReport {
                 BlockStatus::NotEquivalent(cex) => cex.clone(),
                 BlockStatus::Error(e) => e.clone(),
                 BlockStatus::Inconclusive(why) => why.clone(),
+                BlockStatus::Crashed(payload) => format!("worker panic: {payload}"),
                 BlockStatus::LintBlocked => {
                     let n = b
                         .lint_findings
@@ -413,8 +519,14 @@ impl fmt::Display for CampaignReport {
                 "{:<12} {:<6} {:>6} {:>9} {:>9.1?}  {}",
                 b.name,
                 b.status.to_string(),
-                if b.from_cache { "hit" } else { "-" },
-                b.lint_findings.len(),
+                if b.from_journal {
+                    "jrnl"
+                } else if b.from_cache {
+                    "hit"
+                } else {
+                    "-"
+                },
+                b.lint_count,
                 b.duration,
                 note
             )?;
@@ -426,8 +538,17 @@ impl fmt::Display for CampaignReport {
             self.cache_hits(),
             self.inconclusive()
         )?;
+        if self.journal_replayed() > 0 {
+            write!(f, ", {} replayed from journal", self.journal_replayed())?;
+        }
+        if self.crashed() > 0 {
+            write!(f, ", {} crashed", self.crashed())?;
+        }
         if let Some(e) = &self.cache_write_error {
-            write!(f, " (cache not persisted: {e})")?;
+            write!(f, " (cache: disabled ({e}))")?;
+        }
+        if let Some(e) = &self.journal_error {
+            write!(f, " (journal: disabled ({e}))")?;
         }
         Ok(())
     }
@@ -455,13 +576,20 @@ pub fn verify_block_with(
         name: block.name.clone(),
         status: BlockStatus::Pass,
         lint_findings: Vec::new(),
+        lint_count: 0,
         equiv: None,
+        solver: SolverTotals::default(),
         duration: Duration::ZERO,
         from_cache: false,
+        from_journal: false,
         attempts: 0,
     };
     let finish = |mut r: BlockResult, start: Instant| {
         r.duration = start.elapsed();
+        r.lint_count = r.lint_findings.len();
+        if let Some(e) = &r.equiv {
+            r.solver = SolverTotals::of(e);
+        }
         r
     };
     let prog = match dfv_slmir::parse(&block.slm_source) {
@@ -543,6 +671,22 @@ pub fn verify_block_with(
     unreachable!("the budget loop always returns on its last iteration")
 }
 
+/// The quarantine verdict for a block whose work item panicked.
+fn crashed_result(name: &str, payload: &str) -> BlockResult {
+    BlockResult {
+        name: name.to_string(),
+        status: BlockStatus::Crashed(payload.to_string()),
+        lint_findings: Vec::new(),
+        lint_count: 0,
+        equiv: None,
+        solver: SolverTotals::default(),
+        duration: Duration::ZERO,
+        from_cache: false,
+        from_journal: false,
+        attempts: 0,
+    }
+}
+
 /// A stateful campaign with an incremental result cache (paper §4.1),
 /// optionally persisted across process restarts.
 #[derive(Debug, Default)]
@@ -565,9 +709,13 @@ impl Campaign {
     /// and never trusts damaged verdicts.
     pub fn with_options(opts: CampaignOptions) -> Self {
         let (cache, cache_load) = match &opts.cache_path {
-            Some(p) => cache::load(p),
+            Some(p) => cache::load(p, &opts.io),
             None => (HashMap::new(), CacheLoad::Disabled),
         };
+        if let CacheLoad::Recovered { dropped, .. } = &cache_load {
+            opts.obs
+                .add(dfv_obs::kinds::CACHE_RECOVERED, *dropped as u64);
+        }
         Campaign {
             cache,
             opts,
@@ -608,63 +756,141 @@ impl Campaign {
         let start = Instant::now();
         let clock = sched::DeadlineClock::new(start, self.opts.deadline);
         let deadline = clock.instant();
-        let workers = sched::resolve_workers(self.opts.workers);
+        let workers = sched::resolve_workers_with(self.opts.workers, &self.opts.obs);
+        // Open (or create) the checkpoint journal, replaying any verdicts
+        // an interrupted run already committed.
+        let (mut journal_writer, replayed, journal_load) = match &self.opts.journal_path {
+            Some(p) => {
+                let (w, map, load) = journal::open(p, &self.opts.io);
+                (Some(w), map, load)
+            }
+            None => (None, HashMap::new(), JournalLoad::Disabled),
+        };
+        if let JournalLoad::Resumed { dropped, .. } = &journal_load {
+            self.opts
+                .obs
+                .add(dfv_obs::kinds::JOURNAL_DROPPED, *dropped as u64);
+        }
         let cache = &self.cache;
         let retry = &self.opts.retry;
-        // The per-block work item: deadline (amortized, shared) first so an
-        // expired campaign skips even the hashing, then the cache probe,
-        // then the budgeted proof. Returns the content hash alongside the
-        // result so the post-join cache writer needn't rehash.
-        let results: Vec<(Option<u64>, BlockResult)> =
-            sched::run_indexed(&plan.blocks, workers, |_, b| {
-                if clock.expired() {
-                    return (
-                        None,
-                        BlockResult {
-                            name: b.name.clone(),
-                            status: BlockStatus::Inconclusive(
-                                "campaign deadline exceeded before block started".into(),
-                            ),
-                            lint_findings: Vec::new(),
-                            equiv: None,
-                            duration: Duration::ZERO,
-                            from_cache: false,
-                            attempts: 0,
-                        },
-                    );
+        let io = &self.opts.io;
+        let replayed_ref = &replayed;
+        // The per-block work item: chaos fail point (deterministic, first),
+        // then the deadline (amortized, shared) so an expired campaign
+        // skips even the hashing, then the journal replay probe, then the
+        // cache probe, then the budgeted proof. Returns the content hash
+        // alongside the result so the post-join cache writer needn't
+        // rehash.
+        let work = |_i: usize, b: &BlockPair| -> (Option<u64>, BlockResult) {
+            if io.shim().fail_point("campaign.block", &b.name) == FailAction::Panic {
+                panic!("chaos: injected panic in block {}", b.name);
+            }
+            if clock.expired() {
+                let mut r = crashed_result(&b.name, "");
+                r.status = BlockStatus::Inconclusive(
+                    "campaign deadline exceeded before block started".into(),
+                );
+                return (None, r);
+            }
+            let hash = b.content_hash();
+            if let Some((h, journaled)) = replayed_ref.get(&b.name) {
+                // The journal outranks the cache: it also replays
+                // inconclusive and crashed verdicts, which the cache
+                // deliberately forgets, so resuming the *same* run stays
+                // byte-identical.
+                if *h == hash {
+                    return (Some(hash), journaled.clone());
                 }
-                let hash = b.content_hash();
-                if let Some((h, cached)) = cache.get(&b.name) {
-                    if *h == hash {
-                        let mut r = cached.clone();
-                        r.from_cache = true;
-                        r.duration = Duration::ZERO;
-                        return (Some(hash), r);
+            }
+            if let Some((h, cached)) = cache.get(&b.name) {
+                if *h == hash {
+                    let mut r = cached.clone();
+                    r.from_cache = true;
+                    r.duration = Duration::ZERO;
+                    return (Some(hash), r);
+                }
+            }
+            (Some(hash), verify_block_with(b, retry, deadline))
+        };
+        // The completion-order sink is the journal's single writer: each
+        // verdict is durably appended the moment it exists, so a kill
+        // between two appends loses at most the in-flight blocks. Crashed
+        // items are journaled too (a resumed run must replay them);
+        // replayed and deadline-skipped ones are not (already journaled /
+        // not a verdict).
+        let blocks_ref = &plan.blocks;
+        let results = sched::run_quarantined(&plan.blocks, workers, work, |i, res| {
+            let Some(w) = journal_writer.as_mut() else {
+                return;
+            };
+            match res {
+                Ok((Some(hash), r)) if !r.from_journal => w.append(&r.name, *hash, r),
+                Ok(_) => {}
+                Err(payload) => {
+                    let b = &blocks_ref[i];
+                    // Re-derive the hash defensively: if hashing is what
+                    // panicked, journaling this block is hopeless — skip
+                    // it (the resumed run recomputes and re-crashes).
+                    let hashed =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.content_hash()));
+                    if let Ok(hash) = hashed {
+                        w.append(&b.name, hash, &crashed_result(&b.name, payload));
                     }
                 }
-                (Some(hash), verify_block_with(b, retry, deadline))
-            });
+            }
+        });
         // Single writer: the cache is only mutated here, after the join,
         // in plan order — worker count cannot change what gets cached.
         let mut blocks = Vec::with_capacity(results.len());
-        for ((hash, r), b) in results.into_iter().zip(&plan.blocks) {
-            // Inconclusive is a statement about the *budget*, not the block:
-            // caching it would freeze a too-small budget's verdict forever.
+        for (res, b) in results.into_iter().zip(&plan.blocks) {
+            let (hash, r) = match res {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    // Recorded here, post-join in plan order, so the obs
+                    // stream is deterministic across worker counts.
+                    self.opts.obs.event(dfv_obs::kinds::SCHED_PANIC, || {
+                        format!("{}: {payload}", b.name)
+                    });
+                    (None, crashed_result(&b.name, &payload))
+                }
+            };
+            // Inconclusive is a statement about the *budget*, not the
+            // block — and a crash says even less: caching either would
+            // freeze a non-verdict forever.
             if let Some(hash) = hash {
-                if !r.from_cache && !matches!(r.status, BlockStatus::Inconclusive(_)) {
-                    self.cache.insert(b.name.clone(), (hash, r.clone()));
+                if !r.from_cache
+                    && !matches!(
+                        r.status,
+                        BlockStatus::Inconclusive(_) | BlockStatus::Crashed(_)
+                    )
+                {
+                    let mut cached = r.clone();
+                    // A journal-replayed verdict enters the cache as a
+                    // plain entry; the provenance flag is per-run.
+                    cached.from_journal = false;
+                    self.cache.insert(b.name.clone(), (hash, cached));
                 }
             }
             blocks.push(r);
         }
+        self.opts.obs.add(
+            dfv_obs::kinds::JOURNAL_REPLAYED,
+            blocks.iter().filter(|r| r.from_journal).count() as u64,
+        );
+        let journal_error = journal_writer
+            .as_ref()
+            .and_then(|w| w.error())
+            .map(|e| e.to_string());
         let cache_write_error = match &self.opts.cache_path {
-            Some(p) => cache::save(p, &self.cache).err(),
+            Some(p) => cache::save(p, &self.cache, io).err().map(|e| e.to_string()),
             None => None,
         };
         CampaignReport {
             blocks,
             duration: start.elapsed(),
             cache_write_error,
+            journal_load,
+            journal_error,
         }
     }
 
@@ -922,8 +1148,7 @@ mod tests {
                 fallback_seed: 0,
             },
             deadline: Some(Duration::ZERO),
-            cache_path: None,
-            workers: None,
+            ..CampaignOptions::default()
         });
         let report = campaign.run(&plan);
         assert_eq!(report.inconclusive(), 2);
@@ -983,9 +1208,7 @@ mod tests {
                 fallback_transactions: 0,
                 fallback_seed: 0,
             },
-            deadline: None,
-            cache_path: None,
-            workers: None,
+            ..CampaignOptions::default()
         });
         let r1 = campaign.run(&plan);
         assert_eq!(r1.inconclusive(), 1);
@@ -1032,36 +1255,182 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_cache_is_detected_and_rebuilt() {
+    fn corrupted_cache_entry_is_a_miss_for_that_entry_only() {
         let path = temp_cache_path("corrupt");
-        let plan = VerificationPlan::new().block(inc_block(false));
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "other".into(),
+                ..inc_block(false)
+            });
         let mut first = Campaign::with_cache_file(&path);
         first.run(&plan);
         drop(first);
 
-        // Truncate the file mid-entry (simulates a crash or disk fault).
+        // Truncate the file mid-entry (simulates a crash or disk fault):
+        // the damaged record is dropped, the intact one is recovered.
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() - 7]).unwrap();
 
         let mut second = Campaign::with_cache_file(&path);
-        let CacheLoad::Corrupt { reason } = second.cache_load() else {
-            panic!("expected Corrupt, got {:?}", second.cache_load());
-        };
-        assert!(reason.contains("checksum"), "reason: {reason}");
-        // The campaign still runs (cold) and rewrites a valid cache file.
+        assert_eq!(
+            second.cache_load(),
+            &CacheLoad::Recovered {
+                entries: 1,
+                dropped: 1
+            }
+        );
+        // One block is a hit, the damaged one is re-verified, and the
+        // next save rewrites a fully valid cache file.
         let r = second.run(&plan);
         assert!(r.all_pass());
-        assert_eq!(r.cache_hits(), 0);
+        assert_eq!(r.cache_hits(), 1);
         drop(second);
 
         let third = Campaign::with_cache_file(&path);
-        assert_eq!(third.cache_load(), &CacheLoad::Loaded { entries: 1 });
+        assert_eq!(third.cache_load(), &CacheLoad::Loaded { entries: 2 });
 
-        // Outright garbage is also survived.
+        // Outright garbage is also survived (and rejected wholesale: a
+        // file without the magic header can't be trusted record by
+        // record).
         std::fs::write(&path, "!! this is not a cache file !!").unwrap();
         let fourth = Campaign::with_cache_file(&path);
         assert!(matches!(fourth.cache_load(), CacheLoad::Corrupt { .. }));
         cleanup(&path);
+    }
+
+    #[test]
+    fn cache_recovery_records_a_counter() {
+        let path = temp_cache_path("recover-counter");
+        let plan = VerificationPlan::new().block(inc_block(false));
+        let mut first = Campaign::with_cache_file(&path);
+        first.run(&plan);
+        drop(first);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 3]).unwrap();
+
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let campaign = Campaign::with_options(CampaignOptions {
+            cache_path: Some(path.clone()),
+            obs: dfv_obs::ObsHook::attached(rec.clone()),
+            ..CampaignOptions::default()
+        });
+        assert!(matches!(campaign.cache_load(), CacheLoad::Recovered { .. }));
+        assert_eq!(
+            rec.lock().unwrap().counter(dfv_obs::kinds::CACHE_RECOVERED),
+            1
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn panicking_block_is_quarantined_and_the_rest_complete() {
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "victim".into(),
+                ..inc_block(false)
+            })
+            .block(BlockPair {
+                name: "tail".into(),
+                ..inc_block(false)
+            });
+        for workers in [1, 4] {
+            let rec = dfv_obs::MemoryRecorder::shared();
+            let mut campaign = Campaign::with_options(CampaignOptions {
+                workers: Some(workers),
+                io: IoHandle::chaos(ChaosPlan::none(0).panic_on_block("victim")),
+                obs: dfv_obs::ObsHook::attached(rec.clone()),
+                ..CampaignOptions::default()
+            });
+            let report = campaign.run(&plan);
+            assert_eq!(report.crashed(), 1, "workers={workers}");
+            let BlockStatus::Crashed(payload) = &report.blocks[1].status else {
+                panic!("expected Crashed, got {:?}", report.blocks[1].status);
+            };
+            assert_eq!(payload, "chaos: injected panic in block victim");
+            assert_eq!(report.blocks[0].status, BlockStatus::Pass);
+            assert_eq!(report.blocks[2].status, BlockStatus::Pass);
+            let guard = rec.lock().unwrap();
+            assert_eq!(
+                guard.events_of(dfv_obs::kinds::SCHED_PANIC),
+                vec!["victim: chaos: injected panic in block victim"]
+            );
+            drop(guard);
+            // The quarantine verdict shows up in report renderings too.
+            assert!(report.to_string().contains("CRASH"));
+            let canon = report.to_run_report().canonical_json();
+            assert!(canon.contains("\"CRASH\""), "{canon}");
+            assert!(canon.contains("campaign.crashed"), "{canon}");
+        }
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_after_partial_run() {
+        let path = temp_cache_path("journal-resume");
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "buggy".into(),
+                ..inc_block(true)
+            })
+            .block(BlockPair {
+                name: "third".into(),
+                ..inc_block(false)
+            });
+
+        // Uninterrupted reference run (journaled — the journal must be
+        // invisible in the canonical report).
+        let mut clean = Campaign::with_options(CampaignOptions::resume(&path));
+        let clean_report = clean.run(&plan);
+        assert_eq!(clean_report.journal_load, JournalLoad::Fresh);
+        assert!(clean_report.journal_error.is_none());
+        let clean_json = clean_report.to_run_report().canonical_json();
+        drop(clean);
+
+        // Simulate a crash that lost the last record: truncate the tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text[..text.len() - 2].rfind('\n').unwrap() + 1;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        // The resumed run replays the surviving verdicts, recomputes the
+        // lost one, and its canonical report is byte-identical.
+        let rec = dfv_obs::MemoryRecorder::shared();
+        let mut resumed = Campaign::with_options(CampaignOptions {
+            journal_path: Some(path.clone()),
+            obs: dfv_obs::ObsHook::attached(rec.clone()),
+            ..CampaignOptions::default()
+        });
+        let resumed_report = resumed.run(&plan);
+        assert_eq!(
+            resumed_report.journal_load,
+            JournalLoad::Resumed {
+                entries: 2,
+                dropped: 0
+            }
+        );
+        assert_eq!(resumed_report.journal_replayed(), 2);
+        assert_eq!(
+            rec.lock()
+                .unwrap()
+                .counter(dfv_obs::kinds::JOURNAL_REPLAYED),
+            2
+        );
+        assert_eq!(resumed_report.to_run_report().canonical_json(), clean_json);
+        // The replayed verdicts carry their provenance in the table view.
+        assert!(resumed_report.to_string().contains("jrnl"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn journal_to_unwritable_path_degrades_not_fatal() {
+        let plan = VerificationPlan::new().block(inc_block(false));
+        let mut campaign =
+            Campaign::with_options(CampaignOptions::resume("/nonexistent-dir/dfv.journal"));
+        let report = campaign.run(&plan);
+        assert!(report.all_pass(), "verdicts must not depend on the journal");
+        assert!(report.journal_error.is_some());
+        assert!(report.to_string().contains("journal: disabled"));
     }
 
     #[test]

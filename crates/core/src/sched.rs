@@ -25,31 +25,90 @@
 //! The pool size comes from [`resolve_workers`]: an explicit request, the
 //! `DFV_WORKERS` environment override, or `available_parallelism`.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+use dfv_obs::ObsHook;
 
 /// Environment variable overriding the worker count for every campaign
 /// in the process (useful for `scripts/check.sh` style A/B runs).
 pub const WORKERS_ENV: &str = "DFV_WORKERS";
 
+/// Upper bound on the worker-pool size. A `DFV_WORKERS` override beyond
+/// this (a typo like `44444`, or an outright overflow) falls back to the
+/// default rather than spawning a machine-crushing number of threads.
+pub const MAX_WORKERS: usize = 4096;
+
 /// Resolves the worker count for a campaign run.
 ///
-/// Priority: the `DFV_WORKERS` environment variable (when set to a
-/// positive integer), then the explicit `requested` option, then
-/// [`std::thread::available_parallelism`]. Always at least 1.
+/// Priority: the `DFV_WORKERS` environment variable (when set to an
+/// integer in `1..=`[`MAX_WORKERS`]), then the explicit `requested`
+/// option, then [`std::thread::available_parallelism`]. Always at least 1.
+/// An unusable override (zero, garbage, out of range) is *ignored*, not
+/// obeyed and not fatal — use [`resolve_workers_with`] to also record the
+/// fallback as a warning event.
 pub fn resolve_workers(requested: Option<usize>) -> usize {
-    if let Ok(s) = std::env::var(WORKERS_ENV) {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+    resolve_workers_from(
+        std::env::var(WORKERS_ENV).ok().as_deref(),
+        requested,
+        &ObsHook::default(),
+    )
+}
+
+/// [`resolve_workers`] that records a `core.sched.workers_fallback` event
+/// through `obs` when the environment override was unusable.
+pub fn resolve_workers_with(requested: Option<usize>, obs: &ObsHook) -> usize {
+    resolve_workers_from(std::env::var(WORKERS_ENV).ok().as_deref(), requested, obs)
+}
+
+/// The resolution logic itself, with the environment value injected —
+/// testable without mutating the process-global environment.
+pub fn resolve_workers_from(env: Option<&str>, requested: Option<usize>, obs: &ObsHook) -> usize {
+    if let Some(s) = env {
+        match s.trim().parse::<usize>() {
+            Ok(n) if (1..=MAX_WORKERS).contains(&n) => return n,
+            Ok(n) => obs.event(dfv_obs::kinds::SCHED_WORKERS_FALLBACK, || {
+                format!("{WORKERS_ENV}={n} out of range 1..={MAX_WORKERS}; using default")
+            }),
+            Err(_) => obs.event(dfv_obs::kinds::SCHED_WORKERS_FALLBACK, || {
+                format!("{WORKERS_ENV}={s:?} is not an integer; using default")
+            }),
         }
     }
     match requested {
-        Some(n) => n.max(1),
+        Some(n) => n.clamp(1, MAX_WORKERS),
         None => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+    }
+}
+
+/// Canonicalizes a panic payload into deterministic, single-line text.
+///
+/// Only the payload's own message survives — no backtrace, no thread
+/// name, no addresses — so a `Crashed` verdict's note is byte-stable
+/// across runs and safe for canonical JSON. Long messages are truncated
+/// at a fixed budget.
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    let text = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    };
+    let line = text.lines().next().unwrap_or("");
+    const MAX: usize = 240;
+    if line.len() <= MAX {
+        line.to_string()
+    } else {
+        let mut cut = MAX;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &line[..cut])
     }
 }
 
@@ -67,38 +126,80 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_quarantined(items, workers, f, |_, _| {})
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| panic!("campaign worker panicked: {payload}")))
+        .collect()
+}
+
+/// [`run_indexed`] with panic isolation: a work item that panics becomes
+/// `Err(canonicalized payload)` in its slot instead of poisoning the
+/// pool, and every other worker keeps draining the queue.
+///
+/// `sink` is called on the *calling thread* — the single writer — once
+/// per completed item, in *completion order* (nondeterministic under
+/// parallelism). This is the checkpoint hook: the campaign journals each
+/// verdict the moment it exists, so a kill between two sink calls loses
+/// at most the in-flight items. Anything order-sensitive must instead
+/// consume the returned vector, which is in deterministic item order.
+pub fn run_quarantined<T, R, F, S>(
+    items: &[T],
+    workers: usize,
+    f: F,
+    mut sink: S,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    S: FnMut(usize, &Result<R, String>),
+{
+    let guarded = |i: usize, t: &T| -> Result<R, String> {
+        // `f` only borrows Sync data, and on panic the partial state is
+        // dropped with the unwound stack — nothing torn escapes, so the
+        // unwind-safety assertion is sound.
+        panic::catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|p| panic_text(p.as_ref()))
+    };
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = guarded(i, t);
+                sink(i, &r);
+                r
+            })
+            .collect();
     }
     let workers = workers.min(items.len());
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        // Each worker returns its (index, result) pairs; the join loop
-        // below is the single writer that slots them into item order.
-        let mut handles = Vec::with_capacity(workers);
+        // Workers stream (index, result) pairs to the calling thread,
+        // which is the single writer: it runs the sink in completion
+        // order and slots each result into item order.
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
         for _ in 0..workers {
             let cursor = &cursor;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut produced: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    produced.push((i, f(i, &items[i])));
+            let guarded = &guarded;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
                 }
-                produced
-            }));
+                // A send can only fail if the receiver was dropped, which
+                // only happens when this scope is already unwinding.
+                if tx.send((i, guarded(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
         }
-        for h in handles {
-            // A worker can only panic if `f` panicked; propagate it
-            // rather than return a hole-y result vector.
-            for (i, r) in h.join().expect("campaign worker panicked") {
-                slots[i] = Some(r);
-            }
+        drop(tx);
+        for (i, r) in rx {
+            sink(i, &r);
+            slots[i] = Some(r);
         }
     });
     slots
@@ -208,6 +309,121 @@ mod tests {
             assert_eq!(resolve_workers(Some(0)), 1);
             assert!(resolve_workers(None) >= 1);
         }
+    }
+
+    /// Runs the injected-env resolver and returns (workers, fallback events).
+    fn resolve_with_env(env: Option<&str>, requested: Option<usize>) -> (usize, usize) {
+        use dfv_obs::MemoryRecorder;
+        let rec = MemoryRecorder::shared();
+        let obs = ObsHook::attached(rec.clone());
+        let n = resolve_workers_from(env, requested, &obs);
+        let fallbacks = rec
+            .lock()
+            .unwrap()
+            .events_of(dfv_obs::kinds::SCHED_WORKERS_FALLBACK)
+            .len();
+        (n, fallbacks)
+    }
+
+    #[test]
+    fn zero_workers_env_falls_back_with_warning() {
+        let (n, warns) = resolve_with_env(Some("0"), Some(3));
+        assert_eq!(n, 3, "an unusable override defers to the request");
+        assert_eq!(warns, 1);
+    }
+
+    #[test]
+    fn garbage_workers_env_falls_back_with_warning() {
+        for garbage in ["lots", "", "4x", "-2", "3.5"] {
+            let (n, warns) = resolve_with_env(Some(garbage), Some(2));
+            assert_eq!(n, 2, "env {garbage:?}");
+            assert_eq!(warns, 1, "env {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn overflow_workers_env_falls_back_with_warning() {
+        // Bigger than MAX_WORKERS but parseable...
+        let (n, warns) = resolve_with_env(Some("99999"), Some(4));
+        assert_eq!(n, 4);
+        assert_eq!(warns, 1);
+        // ...and bigger than usize itself.
+        let (n, warns) = resolve_with_env(Some("99999999999999999999999999"), Some(4));
+        assert_eq!(n, 4);
+        assert_eq!(warns, 1);
+    }
+
+    #[test]
+    fn valid_workers_env_wins_without_warning() {
+        let (n, warns) = resolve_with_env(Some(" 7 "), Some(2));
+        assert_eq!(n, 7, "a valid override beats the request");
+        assert_eq!(warns, 0);
+        let (n, _) = resolve_with_env(None, None);
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn requested_workers_are_clamped_to_max() {
+        let (n, warns) = resolve_with_env(None, Some(usize::MAX));
+        assert_eq!(n, MAX_WORKERS);
+        assert_eq!(warns, 0, "clamping an explicit request is not a warning");
+    }
+
+    #[test]
+    fn panicking_item_is_quarantined_and_the_rest_complete() {
+        let items: Vec<u32> = (0..40).collect();
+        for workers in [1, 4] {
+            let out = run_quarantined(
+                &items,
+                workers,
+                |_, x| {
+                    if *x == 13 {
+                        panic!("unlucky item {x}");
+                    }
+                    x * 2
+                },
+                |_, _| {},
+            );
+            assert_eq!(out.len(), 40, "workers={workers}");
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    assert_eq!(r.as_ref().unwrap_err(), "unlucky item 13");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_item_exactly_once_on_the_calling_thread() {
+        let items: Vec<u32> = (0..30).collect();
+        let caller = std::thread::current().id();
+        let mut seen = vec![0u32; items.len()];
+        run_quarantined(
+            &items,
+            4,
+            |_, x| *x,
+            |i, r| {
+                assert_eq!(std::thread::current().id(), caller, "single writer");
+                assert!(r.is_ok());
+                seen[i] += 1;
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn panic_text_is_canonical() {
+        let p = panic::catch_unwind(|| panic!("boom at line {}", 7)).unwrap_err();
+        assert_eq!(panic_text(p.as_ref()), "boom at line 7");
+        let p = panic::catch_unwind(|| panic!("two\nlines")).unwrap_err();
+        assert_eq!(panic_text(p.as_ref()), "two", "first line only");
+        let p = panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_text(p.as_ref()), "<non-string panic payload>");
+        let p = panic::catch_unwind(|| panic!("{}", "x".repeat(1000))).unwrap_err();
+        let t = panic_text(p.as_ref());
+        assert!(t.len() <= 250 && t.ends_with('…'), "long payloads truncate");
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn options(workers: usize) -> CampaignOptions {
         deadline: None,
         cache_path: None,
         workers: Some(workers),
+        ..CampaignOptions::default()
     }
 }
 

@@ -33,6 +33,32 @@ pub mod recorder;
 pub mod report;
 pub mod vcd;
 
+/// Canonical names for cross-crate event kinds and counters.
+///
+/// Any engine may record ad-hoc kinds, but names that more than one crate
+/// produces or consumes (the campaign runner emits them, reports and tests
+/// assert on them) are declared here once so producers and consumers cannot
+/// drift apart. All of them obey the substrate's determinism rules: detail
+/// strings are canonicalized (no pointers, no backtraces, no wall-clock
+/// values), so recorded streams stay byte-reproducible.
+pub mod kinds {
+    /// Event: a campaign work item panicked and was quarantined by the
+    /// scheduler. Detail: `<block>: <canonicalized panic payload>`.
+    pub const SCHED_PANIC: &str = "core.sched.panic";
+    /// Event: a `DFV_WORKERS` override was unusable (zero, garbage, or
+    /// out of range) and the scheduler fell back to the default.
+    pub const SCHED_WORKERS_FALLBACK: &str = "core.sched.workers_fallback";
+    /// Counter: blocks whose verdict was replayed from the campaign
+    /// journal instead of being recomputed (checkpoint/resume).
+    pub const JOURNAL_REPLAYED: &str = "core.journal.replayed";
+    /// Counter: journal records dropped on load because their checksum
+    /// failed (torn tail after a kill, or bit rot).
+    pub const JOURNAL_DROPPED: &str = "core.journal.dropped";
+    /// Counter: on-disk cache entries dropped on load because their
+    /// per-entry checksum failed — the rest of the file was recovered.
+    pub const CACHE_RECOVERED: &str = "core.cache.recovered";
+}
+
 pub use divergence::{combined_vcd, first_divergence, Divergence, WatchedTrace};
 pub use json::{parse_json, Json};
 pub use recorder::{MemoryRecorder, ObsEntry, ObsHook, Recorder, SharedRecorder};

@@ -1,7 +1,7 @@
 //! Resource-governed campaigns: budgets, graceful degradation, and the
 //! crash-safe persisted cache.
 //!
-//! Three acts:
+//! Four acts:
 //! 1. A campaign mixing an easy block with a deliberately hard one (16x16
 //!    multiplier commutativity — CDCL-intractable under a tiny budget) runs
 //!    under a 100-conflict / 1 ms escalating policy: the easy block is
@@ -10,8 +10,11 @@
 //! 2. A second campaign on the same cache path (a "process restart") serves
 //!    the easy block from the persisted cache and retries the inconclusive
 //!    one — inconclusive verdicts are never cached.
-//! 3. The cache file is corrupted on disk; the next campaign detects it,
-//!    reports why, rebuilds cold, and still finishes.
+//! 3. A cache *record* is corrupted on disk; the next campaign drops just
+//!    that record (a miss for that entry only), recovers the rest, and
+//!    still finishes.
+//! 4. The cache file's magic line is corrupted; the next campaign rejects
+//!    the whole file, reports why, rebuilds cold, and still finishes.
 //!
 //! Run with `cargo run --example budgeted_campaign`.
 
@@ -100,19 +103,37 @@ fn main() {
         "inconclusive verdicts are never cached; the hard block retries"
     );
 
-    println!("\n== act 3: the cache file is corrupted on disk ==");
-    let mut text = std::fs::read_to_string(&cache).expect("cache exists");
-    text = text.replace("pass", "warp");
-    std::fs::write(&cache, text).expect("corrupt in place");
+    println!("\n== act 3: one cache record is corrupted on disk ==");
+    let text = std::fs::read_to_string(&cache).expect("cache exists");
+    std::fs::write(&cache, text.replace("pass", "warp")).expect("corrupt in place");
     let mut c3 = Campaign::with_options(opts());
     match c3.cache_load() {
-        CacheLoad::Corrupt { reason } => println!("detected: {reason} -> rebuilding cold"),
-        other => panic!("expected corruption detection, got {other:?}"),
+        CacheLoad::Recovered { entries, dropped } => println!(
+            "recovered: {entries} intact record(s) kept, {dropped} damaged record(s) \
+             dropped as misses"
+        ),
+        other => panic!("expected per-entry recovery, got {other:?}"),
     }
     let r3 = c3.run(&plan);
     print!("{r3}");
-    assert!(!r3.blocks[0].from_cache, "cold after corruption");
+    assert!(
+        !r3.blocks[0].from_cache,
+        "the damaged record is a miss for that entry"
+    );
+
+    println!("\n== act 4: the cache file's magic line is corrupted ==");
+    let text = std::fs::read_to_string(&cache).expect("cache exists");
+    std::fs::write(&cache, text.replace("dfv-campaign-cache", "not-a-cache"))
+        .expect("corrupt in place");
+    let mut c4 = Campaign::with_options(opts());
+    match c4.cache_load() {
+        CacheLoad::Corrupt { reason } => println!("detected: {reason} -> rebuilding cold"),
+        other => panic!("expected whole-file rejection, got {other:?}"),
+    }
+    let r4 = c4.run(&plan);
+    print!("{r4}");
+    assert!(!r4.blocks[0].from_cache, "cold after corruption");
 
     let _ = std::fs::remove_file(&cache);
-    println!("\nall three acts behaved; no hang, no panic.");
+    println!("\nall four acts behaved; no hang, no panic.");
 }

@@ -1,0 +1,118 @@
+//! Crash-tolerant campaigns end to end: run a journaled verification
+//! campaign, kill the process mid-run with a chaos-injected hard abort,
+//! then rerun the same command to resume from the journal — the resumed
+//! canonical report is byte-identical to an uninterrupted run's.
+//!
+//! Modes:
+//!
+//! * `cargo run --example crash_resume -- <journal> <out.json>` — run the
+//!   plan with the journal at `<journal>` (resuming from whatever records
+//!   it already holds) and write the canonical JSON report to `<out.json>`;
+//! * `cargo run --example crash_resume -- <journal> <out.json> --kill-after N`
+//!   — same, but the process `abort()`s the instant the Nth journal
+//!   record lands on disk: a genuine SIGKILL mid-campaign. The command
+//!   exits nonzero and writes no report; the journal keeps the N records.
+//!
+//! `scripts/check.sh` uses exactly this sequence — clean run, killed run,
+//! resumed run — and byte-compares the clean and resumed reports.
+
+use dfv::core::{
+    BlockPair, Campaign, CampaignOptions, ChaosPlan, IoHandle, JournalLoad, VerificationPlan,
+};
+use dfv::designs::{alu, fir};
+use dfv::rtl::ModuleBuilder;
+use dfv::sec::{Binding, EquivSpec};
+use std::path::PathBuf;
+
+/// An equivalent multiplier-commutativity block (`a * b` against `b * a`)
+/// at `width` bits per operand.
+fn mul_block(name: &str, width: u32) -> BlockPair {
+    let out = 2 * width;
+    let mut rb = ModuleBuilder::new("rtl_mul");
+    let a = rb.input("a", width);
+    let b = rb.input("b", width);
+    let (aw, bw) = (rb.zext(a, out), rb.zext(b, out));
+    let y = rb.mul(bw, aw);
+    rb.output("y", y);
+    BlockPair {
+        name: name.into(),
+        slm_source: format!(
+            "uint<{out}> mul(uint<{width}> a, uint<{width}> b) {{ return (uint<{out}>)a * (uint<{out}>)b; }}"
+        ),
+        slm_entry: "mul".into(),
+        rtl: rb.finish().expect("mul rtl builds"),
+        spec: EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("b", 0, Binding::Slm("b".into()))
+            .compare("return", "y", 0),
+    }
+}
+
+fn plan() -> VerificationPlan {
+    let mut plan = VerificationPlan::new()
+        .block(BlockPair {
+            name: "alu".into(),
+            slm_source: alu::slm_bit_accurate().into(),
+            slm_entry: "alu".into(),
+            rtl: alu::rtl(8, 8),
+            spec: alu::equiv_spec(),
+        })
+        .block(BlockPair {
+            name: "fir".into(),
+            slm_source: fir::slm_source().into(),
+            slm_entry: "fir".into(),
+            rtl: fir::rtl(),
+            spec: fir::equiv_spec(),
+        });
+    for (i, width) in [4, 4, 5, 5, 6].into_iter().enumerate() {
+        plan = plan.block(mul_block(&format!("mul{width}_{i}"), width));
+    }
+    plan
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(journal), Some(out)) = (args.next(), args.next()) else {
+        eprintln!("usage: crash_resume <journal> <out.json> [--kill-after N]");
+        std::process::exit(2);
+    };
+    let kill_after = match (args.next().as_deref(), args.next()) {
+        (Some("--kill-after"), Some(n)) => Some(n.parse::<u64>().expect("N must be a number")),
+        (None, _) => None,
+        _ => {
+            eprintln!("usage: crash_resume <journal> <out.json> [--kill-after N]");
+            std::process::exit(2);
+        }
+    };
+
+    let io = match kill_after {
+        // abort() the instant the Nth journal record is durable: the
+        // process dies mid-campaign exactly as a SIGKILL would.
+        Some(n) => IoHandle::chaos(ChaosPlan::none(0).kill_after_nth_append(n)),
+        None => IoHandle::real(),
+    };
+    let plan = plan();
+    let mut campaign = Campaign::with_options(CampaignOptions {
+        journal_path: Some(PathBuf::from(&journal)),
+        io,
+        ..CampaignOptions::default()
+    });
+    let report = campaign.run(&plan);
+    // A --kill-after run never reaches this line.
+
+    println!("{report}");
+    match report.journal_load {
+        JournalLoad::Resumed { entries, dropped } => println!(
+            "resumed: {entries} journaled record(s) loaded, {dropped} dropped, \
+             {} block(s) replayed without recomputation",
+            report.journal_replayed()
+        ),
+        JournalLoad::Fresh => println!("fresh journal started at {journal}"),
+        JournalLoad::Disabled => unreachable!("journal_path is always set here"),
+    }
+    assert!(report.all_pass(), "every block in this plan is equivalent");
+
+    let canonical = report.to_run_report().canonical_json();
+    std::fs::write(&out, &canonical).expect("write canonical report");
+    println!("canonical report written to {out}");
+}

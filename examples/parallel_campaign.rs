@@ -68,9 +68,8 @@ fn main() {
     // `workers: None` defers to DFV_WORKERS / available_parallelism.
     let mut campaign = Campaign::with_options(CampaignOptions {
         retry: RetryPolicy::default(),
-        deadline: None,
-        cache_path: None,
         workers: None,
+        ..CampaignOptions::default()
     });
     let workers = dfv::core::resolve_workers(None);
     let report = campaign.run(&plan);

@@ -48,9 +48,27 @@ run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke \
     --out "$obs_dir/bench_sim2_full.json" --canonical "$obs_dir/bench_sim2.json" > /dev/null
 run cmp "$obs_dir/bench_sim1.json" "$obs_dir/bench_sim2.json"
 run cargo run --release -q -p dfv-bench --bin experiments -- e12 > /dev/null
+# Offline smoke test: crash-tolerant campaigns. A clean journaled run
+# produces the reference report; a second run is hard-killed (abort())
+# by a chaos fail point the instant its 3rd journal record lands; the
+# resumed run must replay the journaled verdicts and write a canonical
+# report byte-identical to the clean one.
+run cargo build --release --example crash_resume
+run ./target/release/examples/crash_resume "$obs_dir/clean.journal" "$obs_dir/camp_clean.json"
+echo "==> crash_resume --kill-after 3 (must die)"
+if ./target/release/examples/crash_resume "$obs_dir/kill.journal" "$obs_dir/camp_never.json" --kill-after 3 2> /dev/null; then
+    echo "error: killed run exited 0" >&2
+    exit 1
+fi
+test ! -e "$obs_dir/camp_never.json"
+run ./target/release/examples/crash_resume "$obs_dir/kill.journal" "$obs_dir/camp_resumed.json"
+run cmp "$obs_dir/camp_clean.json" "$obs_dir/camp_resumed.json"
+run cargo run --release -q -p dfv-bench --bin experiments -- e13 > /dev/null
 # Stress the determinism property tests with the test harness itself
-# running them concurrently (worker pools inside worker pools).
+# running them concurrently (worker pools inside worker pools), and the
+# crash-tolerance properties: kill-at-random-journal-point + resume.
 run cargo test -q --release -p dfv-core --test prop_parallel -- --test-threads 8
+run cargo test -q --release -p dfv-core --test prop_crash
 run cargo clippy --all-targets --workspace -- -D warnings
 run cargo fmt --all --check
 

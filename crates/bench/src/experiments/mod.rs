@@ -1,4 +1,4 @@
-//! Experiments E1–E13: one per figure/claim of the paper. See DESIGN.md's
+//! Experiments E1–E14: one per figure/claim of the paper. See DESIGN.md's
 //! per-experiment index for the mapping.
 
 mod e1;
@@ -6,6 +6,7 @@ mod e10;
 mod e11;
 mod e12;
 mod e13;
+mod e14;
 mod e2;
 mod e3;
 mod e4;
@@ -20,6 +21,7 @@ pub use e10::{e10_observability, e10_report};
 pub use e11::{e11_parallel_campaign, e11_plan, e11_report};
 pub use e12::{e12_report, e12_sim_engine};
 pub use e13::{e13_crash_resume, e13_plan, e13_report};
+pub use e14::{e14_report, e14_serve};
 pub use e2::e2_simulation_speed;
 pub use e3::e3_sec_vs_simulation;
 pub use e4::e4_timing_alignment;
@@ -45,11 +47,12 @@ pub fn run(id: &str) -> Option<String> {
         "e11" => e11_parallel_campaign(),
         "e12" => e12_sim_engine(),
         "e13" => e13_crash_resume(),
+        "e14" => e14_serve(),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];

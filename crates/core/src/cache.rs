@@ -336,11 +336,20 @@ pub(crate) fn parent_dir(path: &Path) -> &Path {
 /// old (or no) file. Syncing the parent directory makes the rename itself
 /// durable. A pre-existing stale `.tmp` (from a crash mid-save) is simply
 /// overwritten by the next save.
+///
+/// The whole sequence runs under the sibling advisory lock
+/// ([`crate::lockfile`]): two processes saving the same cache would
+/// otherwise race tmp-writes and renames and silently drop each other's
+/// verdicts. A lock held by a live process is a typed `"lock"` failure —
+/// the campaign degrades to cache-off, exactly like any other persistence
+/// error. (Loading needs no lock: saves are atomic renames, so a reader
+/// always sees a complete previous file.)
 pub(crate) fn save(
     path: &Path,
     cache: &HashMap<String, (u64, BlockResult)>,
     io: &IoHandle,
 ) -> Result<(), PersistError> {
+    let _lock = crate::lockfile::FileLock::acquire(path, io)?;
     let data = serialize(cache);
     let tmp = tmp_path(path);
     let shim = io.shim();
@@ -490,14 +499,55 @@ mod tests {
         save(&path, &cache, &real).unwrap();
 
         // A torn write of the *temp* file fails the save, but the rename
-        // never happens, so the old cache is untouched.
+        // never happens, so the old cache is untouched. (Durable write #1
+        // is the advisory lock creation; #2 is the tmp file.)
         cache.insert("b".to_string(), entry(BlockStatus::Pass));
-        let io = IoHandle::new(Arc::new(ChaosIo::new(ChaosPlan::none(9).torn_nth_write(1))));
+        let io = IoHandle::new(Arc::new(ChaosIo::new(ChaosPlan::none(9).torn_nth_write(2))));
         let err = save(&path, &cache, &io).unwrap_err();
         assert_eq!(err.op, "write");
         let (map, status) = load(&path, &real);
         assert_eq!(status, CacheLoad::Loaded { entries: 1 });
         assert!(map.contains_key("a"));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(tmp_path(&path));
+    }
+
+    #[test]
+    fn failed_rename_or_enospc_during_save_preserves_previous_cache() {
+        let path = temp("rename-fail");
+        let mut cache = HashMap::new();
+        cache.insert("a".to_string(), entry(BlockStatus::Pass));
+        let real = IoHandle::real();
+        save(&path, &cache, &real).unwrap();
+        let before = fs::read_to_string(&path).unwrap();
+
+        // The rename itself fails: typed error, old cache byte-identical.
+        cache.insert("b".to_string(), entry(BlockStatus::Pass));
+        let io = IoHandle::new(Arc::new(ChaosIo::new(
+            ChaosPlan::none(0).fail_nth_rename(1),
+        )));
+        let err = save(&path, &cache, &io).unwrap_err();
+        assert_eq!(err.op, "rename");
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
+        let (map, status) = load(&path, &real);
+        assert_eq!(status, CacheLoad::Loaded { entries: 1 });
+        assert!(map.contains_key("a"));
+
+        // ENOSPC on the tmp write (after the ~25-byte lock file fits in
+        // the budget): also typed, also leaves the old cache untouched.
+        let io = IoHandle::new(Arc::new(ChaosIo::new(
+            ChaosPlan::none(0).enospc_after_bytes(40),
+        )));
+        let err = save(&path, &cache, &io).unwrap_err();
+        assert_eq!(err.op, "write");
+        assert!(err.msg.contains("ENOSPC"), "{err}");
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
+
+        // With the fault gone the save goes through.
+        save(&path, &cache, &real).unwrap();
+        let (map, status) = load(&path, &real);
+        assert_eq!(status, CacheLoad::Loaded { entries: 2 });
+        assert!(map.contains_key("b"));
         let _ = fs::remove_file(&path);
         let _ = fs::remove_file(tmp_path(&path));
     }

@@ -24,6 +24,12 @@
 //! * **panic-on-block** — a non-I/O fail point: the named campaign work
 //!   item panics, exercising the scheduler's quarantine path.
 //!
+//! The same idea extends one level further up, to the `dfv-serve`
+//! transport: a [`WirePlan`] drives a [`ChaosWire`] byte-stream wrapper
+//! that tears frames mid-send, flips payload bits on receive, disconnects
+//! the peer mid-request, or stalls the reader — so every protocol
+//! degradation path in the daemon is deterministically testable offline.
+//!
 //! Every fault is a pure function of the plan (and its seed), so a chaos
 //! run is exactly reproducible: robustness claims are tested, not asserted.
 
@@ -66,6 +72,12 @@ pub trait IoShim: Send + Sync {
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Best-effort fsync of a directory (durability of a rename).
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Exclusively creates `path` with `data` (and fsyncs it), failing
+    /// with [`ErrorKind::AlreadyExists`] if the file exists — the
+    /// advisory-lock primitive ([`crate::lockfile`]).
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
     /// Non-I/O chaos fail point, consulted by the campaign work loop once
     /// per (point, detail) occurrence. The default — and the real shim —
     /// always says [`FailAction::Continue`].
@@ -111,6 +123,19 @@ impl IoShim for RealIo {
         }
         Ok(())
     }
+
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
 }
 
 /// A seeded, deterministic fault schedule for [`ChaosIo`].
@@ -135,6 +160,10 @@ pub struct ChaosPlan {
     /// Durable writes fail with an ENOSPC-style error once this many
     /// cumulative bytes have been persisted.
     pub enospc_after_bytes: Option<u64>,
+    /// The nth rename fails cleanly — the atomic commit itself is refused
+    /// (EXDEV, ENOSPC on metadata, permission flip) and the target file is
+    /// left exactly as it was.
+    pub fail_nth_rename: Option<u64>,
     /// The nth rename lands, then every later operation fails — the
     /// process "died" immediately after its atomic commit.
     pub crash_after_nth_rename: Option<u64>,
@@ -178,6 +207,12 @@ impl ChaosPlan {
     /// Arms disk-full behaviour after `bytes` persisted bytes.
     pub fn enospc_after_bytes(mut self, bytes: u64) -> Self {
         self.enospc_after_bytes = Some(bytes);
+        self
+    }
+
+    /// Arms a clean failure of the nth rename (1-based).
+    pub fn fail_nth_rename(mut self, n: u64) -> Self {
+        self.fail_nth_rename = Some(n);
         self
     }
 
@@ -344,8 +379,13 @@ impl IoShim for ChaosIo {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         self.check_dead()?;
-        self.inner.rename(from, to)?;
         let n = self.renames.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.fail_nth_rename == Some(n) {
+            return Err(io::Error::other(format!(
+                "chaos: injected failure of rename #{n}"
+            )));
+        }
+        self.inner.rename(from, to)?;
         if self.plan.crash_after_nth_rename == Some(n) {
             self.dead.store(true, Ordering::Relaxed);
         }
@@ -355,6 +395,34 @@ impl IoShim for ChaosIo {
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         self.check_dead()?;
         self.inner.sync_dir(dir)
+    }
+
+    fn create_new(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        // Lock-file creation shares the durable-write fault schedule: a
+        // fail/ENOSPC ordinal landing here models a lock that cannot be
+        // taken, which the caller must degrade on, never panic.
+        self.check_dead()?;
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.fail_nth_write == Some(n) {
+            return Err(io::Error::other(format!(
+                "chaos: injected failure of durable write #{n}"
+            )));
+        }
+        if let Some(cap) = self.plan.enospc_after_bytes {
+            if self.bytes.load(Ordering::Relaxed) + data.len() as u64 > cap {
+                return Err(io::Error::other(format!(
+                    "chaos: ENOSPC (byte budget {cap} exhausted at write #{n})"
+                )));
+            }
+        }
+        self.inner.create_new(path, data)?;
+        self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.check_dead()?;
+        self.inner.remove(path)
     }
 
     fn fail_point(&self, point: &'static str, detail: &str) -> FailAction {
@@ -411,6 +479,168 @@ impl IoHandle {
 impl Default for IoHandle {
     fn default() -> Self {
         IoHandle::real()
+    }
+}
+
+/// A seeded, deterministic fault schedule for a byte-stream transport —
+/// the wire-level twin of [`ChaosPlan`].
+///
+/// `dfv-serve` routes every client/server connection through a stream
+/// wrapper ([`ChaosWire`]) that executes one of these, so every protocol
+/// degradation path — torn frame, bit-flipped payload, mid-request
+/// disconnect, stalled peer — is testable offline and byte-reproducibly.
+/// Ordinals are 1-based and count *calls on the wrapper*: `Write::write`
+/// calls for send faults, `Read::read` calls for receive faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Seed for the torn-send prefix length and bit-flip position.
+    pub seed: u64,
+    /// The nth send transmits only a seeded strict prefix of its bytes,
+    /// then the connection dies (a frame torn mid-flight).
+    pub torn_nth_send: Option<u64>,
+    /// The nth receive returns its bytes with one seeded bit flipped
+    /// (payload corruption the frame checksum must catch).
+    pub bitflip_nth_recv: Option<u64>,
+    /// After this many receives, the peer is gone: every later receive
+    /// reports end-of-stream (clean mid-request disconnect).
+    pub disconnect_after_nth_recv: Option<u64>,
+    /// The nth receive times out — the peer is alive but not sending
+    /// (slow-loris / stalled reader as seen through a read timeout).
+    pub stall_nth_recv: Option<u64>,
+}
+
+impl WirePlan {
+    /// A plan that injects nothing.
+    pub fn none(seed: u64) -> Self {
+        WirePlan {
+            seed,
+            ..WirePlan::default()
+        }
+    }
+
+    /// Arms a torn nth send (1-based).
+    pub fn torn_nth_send(mut self, n: u64) -> Self {
+        self.torn_nth_send = Some(n);
+        self
+    }
+
+    /// Arms a single-bit flip on the nth receive (1-based).
+    pub fn bitflip_nth_recv(mut self, n: u64) -> Self {
+        self.bitflip_nth_recv = Some(n);
+        self
+    }
+
+    /// Arms a peer disconnect after the nth receive (1-based).
+    pub fn disconnect_after_nth_recv(mut self, n: u64) -> Self {
+        self.disconnect_after_nth_recv = Some(n);
+        self
+    }
+
+    /// Arms a read timeout on the nth receive (1-based).
+    pub fn stall_nth_recv(mut self, n: u64) -> Self {
+        self.stall_nth_recv = Some(n);
+        self
+    }
+}
+
+/// A byte stream (`Read + Write`) wrapper executing a [`WirePlan`].
+///
+/// Once a torn send has "killed" the connection, every later operation
+/// fails with [`io::ErrorKind::BrokenPipe`] — a dead TCP peer, not a
+/// half-working one.
+#[derive(Debug)]
+pub struct ChaosWire<W> {
+    inner: W,
+    plan: WirePlan,
+    sends: u64,
+    recvs: u64,
+    dead: bool,
+}
+
+impl<W> ChaosWire<W> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: W, plan: WirePlan) -> Self {
+        ChaosWire {
+            inner,
+            plan,
+            sends: 0,
+            recvs: 0,
+            dead: false,
+        }
+    }
+
+    /// The wrapped stream (for tests inspecting the peer afterwards).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    fn check_dead(&self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "chaos: connection died mid-frame",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<W: io::Read> io::Read for ChaosWire<W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check_dead()?;
+        self.recvs += 1;
+        let n = self.recvs;
+        if let Some(after) = self.plan.disconnect_after_nth_recv {
+            if n > after {
+                return Ok(0); // clean EOF: the peer hung up
+            }
+        }
+        if self.plan.stall_nth_recv == Some(n) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "chaos: peer stalled (read timeout)",
+            ));
+        }
+        let got = self.inner.read(buf)?;
+        if self.plan.bitflip_nth_recv == Some(n) && got > 0 {
+            let mut rng = SplitMix64::new(self.plan.seed ^ n.rotate_left(21));
+            let pos = (rng.next_u64() % got as u64) as usize;
+            buf[pos] ^= 1 << (rng.next_u64() % 8);
+        }
+        Ok(got)
+    }
+}
+
+impl<W: io::Write> io::Write for ChaosWire<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.check_dead()?;
+        self.sends += 1;
+        let n = self.sends;
+        if self.plan.torn_nth_send == Some(n) {
+            // A seeded strict prefix reaches the peer, then the
+            // connection is gone for good.
+            let keep = if buf.len() <= 1 {
+                0
+            } else {
+                let mut rng = SplitMix64::new(self.plan.seed ^ n.rotate_left(13));
+                (rng.next_u64() % (buf.len() as u64 - 1)) as usize
+            };
+            if keep > 0 {
+                self.inner.write_all(&buf[..keep])?;
+                let _ = self.inner.flush();
+            }
+            self.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!("chaos: torn send #{n} ({keep} of {} bytes sent)", buf.len()),
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.check_dead()?;
+        self.inner.flush()
     }
 }
 
@@ -529,6 +759,94 @@ mod tests {
         // The rename really did land before death.
         assert_eq!(RealIo.read_to_string(&b).unwrap(), "payload");
         let _ = fs::remove_file(&b);
+    }
+
+    #[test]
+    fn create_new_is_exclusive_and_remove_clears_it() {
+        let p = temp("createnew");
+        let _ = fs::remove_file(&p);
+        let io = RealIo;
+        io.create_new(&p, b"owner 1").unwrap();
+        let err = io.create_new(&p, b"owner 2").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(io.read_to_string(&p).unwrap(), "owner 1");
+        io.remove(&p).unwrap();
+        io.create_new(&p, b"owner 2").unwrap();
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn failed_rename_leaves_target_untouched() {
+        let a = temp("failren-a");
+        let b = temp("failren-b");
+        let io = ChaosIo::new(ChaosPlan::none(0).fail_nth_rename(1));
+        io.write(&b, b"previous").unwrap();
+        io.write(&a, b"next").unwrap();
+        let err = io.rename(&a, &b).unwrap_err();
+        assert!(err.to_string().contains("rename"), "{err}");
+        assert_eq!(io.read_to_string(&b).unwrap(), "previous");
+        // The fault is one-shot: the second rename lands.
+        io.rename(&a, &b).unwrap();
+        assert_eq!(io.read_to_string(&b).unwrap(), "next");
+        let _ = fs::remove_file(&b);
+    }
+
+    #[test]
+    fn enospc_applies_to_create_new_too() {
+        let p = temp("enospc-lock");
+        let _ = fs::remove_file(&p);
+        let io = ChaosIo::new(ChaosPlan::none(0).enospc_after_bytes(4));
+        let err = io.create_new(&p, b"a lock record").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn torn_send_transmits_a_strict_prefix_then_kills_the_wire() {
+        use std::io::Write as _;
+        let mut out = Vec::new();
+        let mut wire = ChaosWire::new(&mut out, WirePlan::none(0xABC).torn_nth_send(1));
+        let frame = b"a frame long enough to tear somewhere in the middle";
+        let err = wire.write(frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Dead for good: later sends and flushes fail too.
+        assert_eq!(
+            wire.write(b"more").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert!(out.len() < frame.len(), "strict prefix");
+        assert!(frame.starts_with(&out));
+    }
+
+    #[test]
+    fn bitflip_recv_flips_exactly_one_bit_on_the_armed_read() {
+        use std::io::Read as _;
+        let data = b"payload guarded by a frame checksum".to_vec();
+        let mut wire = ChaosWire::new(&data[..], WirePlan::none(5).bitflip_nth_recv(1));
+        let mut buf = vec![0u8; data.len()];
+        let got = wire.read(&mut buf).unwrap();
+        assert_eq!(got, data.len());
+        let diff: u32 = data
+            .iter()
+            .zip(&buf)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn disconnect_and_stall_surface_as_eof_and_timeout() {
+        use std::io::Read as _;
+        let data = b"0123456789".to_vec();
+        let mut wire = ChaosWire::new(&data[..], WirePlan::none(0).disconnect_after_nth_recv(1));
+        let mut buf = [0u8; 4];
+        assert_eq!(wire.read(&mut buf).unwrap(), 4); // recv #1 still works
+        assert_eq!(wire.read(&mut buf).unwrap(), 0, "then the peer is gone");
+
+        let mut wire = ChaosWire::new(&data[..], WirePlan::none(0).stall_nth_recv(2));
+        assert_eq!(wire.read(&mut buf).unwrap(), 4);
+        let err = wire.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

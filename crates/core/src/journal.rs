@@ -139,11 +139,18 @@ fn parse_record(line: &str) -> Option<(String, u64, BlockResult)> {
 /// The append side of an open journal. Once an append fails the writer
 /// degrades to a no-op (the campaign completes without checkpointing;
 /// the first error is reported).
+///
+/// The writer owns the journal's advisory lock ([`crate::lockfile`]) for
+/// its whole lifetime — appends from two processes would interleave into
+/// silent corruption, so a second opener degrades to journal-off until
+/// this writer drops (or its process dies, making the lock stale).
 #[derive(Debug)]
 pub(crate) struct JournalWriter {
     path: PathBuf,
     io: IoHandle,
     error: Option<PersistError>,
+    /// Held, never read — released on drop.
+    _lock: Option<crate::lockfile::FileLock>,
 }
 
 impl JournalWriter {
@@ -174,6 +181,11 @@ impl JournalWriter {
 /// or corrupt records are dropped; if any were, the file is compacted so
 /// the damage does not survive into the next crash. An unwritable path
 /// degrades to a no-op writer with the error recorded, never a panic.
+///
+/// The journal's advisory lock is taken *before* anything else — the
+/// replay read and the compaction rewrite are only trustworthy while no
+/// other process is appending. A lock held by a live process degrades to
+/// a no-op writer with nothing replayed (journal-off for this run).
 pub(crate) fn open(
     path: &Path,
     io: &IoHandle,
@@ -186,7 +198,15 @@ pub(crate) fn open(
         path: path.to_path_buf(),
         io: io.clone(),
         error: None,
+        _lock: None,
     };
+    match crate::lockfile::FileLock::acquire(path, io) {
+        Ok(lock) => writer._lock = Some(lock),
+        Err(e) => {
+            writer.error = Some(e);
+            return (writer, HashMap::new(), JournalLoad::Fresh);
+        }
+    }
     let shim = io.shim();
     let text = match shim.read_to_string(path) {
         Ok(t) => t,
@@ -224,6 +244,11 @@ pub(crate) fn open(
     // A file ending without a newline is itself evidence of a torn append;
     // `lines()` already handed us that fragment and `parse_record` judged
     // it. Compact whenever anything was dropped so the torn bytes are gone.
+    // The rewrite goes through a `.tmp` sibling and an atomic rename (like
+    // the cache save): an ENOSPC or fault *during* compaction must leave
+    // the original file — torn tail and all, still replayable — untouched,
+    // never half-truncated. On failure the writer degrades (error recorded,
+    // appends no-op) but the already-parsed replay map is still returned.
     if dropped > 0 {
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
@@ -232,8 +257,20 @@ pub(crate) fn open(
             let (hash, r) = &map[name.as_str()];
             fresh.push_str(&render_record(name, *hash, r));
         }
-        if let Err(e) = shim.write(path, fresh.as_bytes()) {
-            writer.error = Some(PersistError::io("write", path, &e));
+        let tmp = crate::cache::tmp_path(path);
+        let compacted = shim
+            .write(&tmp, fresh.as_bytes())
+            .map_err(|e| PersistError::io("write", &tmp, &e))
+            .and_then(|()| {
+                shim.rename(&tmp, path)
+                    .map_err(|e| PersistError::io("rename", path, &e))
+            })
+            .and_then(|()| {
+                shim.sync_dir(crate::cache::parent_dir(path))
+                    .map_err(|e| PersistError::io("sync_dir", path, &e))
+            });
+        if let Err(e) = compacted {
+            writer.error = Some(e);
         }
     }
     if map.is_empty() && dropped == 0 {
@@ -292,6 +329,7 @@ mod tests {
         );
         w.append("d", 0x44, &result("d", BlockStatus::Crashed("boom".into())));
         assert!(w.error().is_none());
+        drop(w); // release the journal lock before reopening
 
         let (_, map, load) = open(&path, &io);
         assert_eq!(
@@ -324,6 +362,7 @@ mod tests {
         let (mut w, _, _) = open(&path, &io);
         w.append("a", 1, &result("a", BlockStatus::Pass));
         w.append("b", 2, &result("b", BlockStatus::Pass));
+        drop(w);
 
         // Tear the final record the way a kill mid-append would.
         let text = fs::read_to_string(&path).unwrap();
@@ -364,6 +403,7 @@ mod tests {
             &result("a", BlockStatus::Inconclusive("try1".into())),
         );
         w.append("a", 1, &result("a", BlockStatus::Pass));
+        drop(w);
         let (_, map, load) = open(&path, &io);
         assert_eq!(
             load,
@@ -398,6 +438,7 @@ mod tests {
         for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
             w.append(name, i as u64, &result(name, BlockStatus::Pass));
         }
+        drop(w);
         let io = IoHandle::new(Arc::new(ChaosIo::new(
             ChaosPlan::none(0xF11B).bitflip_nth_read(1),
         )));
@@ -416,12 +457,140 @@ mod tests {
     }
 
     #[test]
+    fn enospc_during_compaction_degrades_and_preserves_the_file() {
+        let path = temp("enospc-compact");
+        let _ = fs::remove_file(&path);
+        let real = IoHandle::real();
+        let (mut w, _, _) = open(&path, &real);
+        w.append("a", 1, &result("a", BlockStatus::Pass));
+        w.append("b", 2, &result("b", BlockStatus::Pass));
+        drop(w);
+        // Tear the tail so the next open wants to compact.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let damaged = fs::read_to_string(&path).unwrap();
+
+        // Byte budget: the lock file (~25 bytes) fits; the compaction's
+        // tmp write (header + a full record) does not.
+        let io = IoHandle::new(Arc::new(ChaosIo::new(
+            ChaosPlan::none(0).enospc_after_bytes(64),
+        )));
+        let (w, map, load) = open(&path, &io);
+        // The replay is still served from the damaged file...
+        assert_eq!(
+            load,
+            JournalLoad::Resumed {
+                entries: 1,
+                dropped: 1
+            }
+        );
+        assert!(map.contains_key("a"));
+        // ...the failure is typed, not a panic...
+        let err = w.error().unwrap();
+        assert_eq!(err.op, "write");
+        assert!(err.msg.contains("ENOSPC"), "{err}");
+        drop(w);
+        // ...and the original file is byte-identical, never truncated.
+        assert_eq!(fs::read_to_string(&path).unwrap(), damaged);
+
+        // Once space is back, the next open compacts successfully.
+        let (w2, map, load) = open(&path, &real);
+        assert!(w2.error().is_none());
+        assert_eq!(
+            load,
+            JournalLoad::Resumed {
+                entries: 1,
+                dropped: 1
+            }
+        );
+        assert!(map.contains_key("a"));
+        drop(w2);
+        let (_, _, load) = open(&path, &real);
+        assert_eq!(
+            load,
+            JournalLoad::Resumed {
+                entries: 1,
+                dropped: 0
+            }
+        );
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(crate::cache::tmp_path(&path));
+    }
+
+    #[test]
+    fn failed_rename_during_compaction_leaves_the_original_journal() {
+        let path = temp("rename-compact");
+        let _ = fs::remove_file(&path);
+        let real = IoHandle::real();
+        let (mut w, _, _) = open(&path, &real);
+        w.append("a", 1, &result("a", BlockStatus::Pass));
+        w.append("b", 2, &result("b", BlockStatus::Pass));
+        drop(w);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let damaged = fs::read_to_string(&path).unwrap();
+
+        let io = IoHandle::new(Arc::new(ChaosIo::new(
+            ChaosPlan::none(0).fail_nth_rename(1),
+        )));
+        let (w, map, load) = open(&path, &io);
+        assert_eq!(
+            load,
+            JournalLoad::Resumed {
+                entries: 1,
+                dropped: 1
+            }
+        );
+        assert!(map.contains_key("a"));
+        let err = w.error().unwrap();
+        assert_eq!(err.op, "rename");
+        drop(w);
+        // The fault fired before the rename touched anything: the damaged
+        // (but replayable) original is exactly as it was.
+        assert_eq!(fs::read_to_string(&path).unwrap(), damaged);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(crate::cache::tmp_path(&path));
+    }
+
+    #[test]
+    fn locked_journal_degrades_to_journal_off_with_no_replay() {
+        let path = temp("locked");
+        let _ = fs::remove_file(&path);
+        let real = IoHandle::real();
+        let (mut w, _, _) = open(&path, &real);
+        w.append("a", 1, &result("a", BlockStatus::Pass));
+
+        // A second opener while the first writer is live: typed lock
+        // failure, nothing replayed, appends no-op — never interleaved.
+        let (w2, map, load) = open(&path, &real);
+        assert!(map.is_empty());
+        assert_eq!(load, JournalLoad::Fresh);
+        let err = w2.error().unwrap();
+        assert_eq!(err.op, "lock");
+        drop(w2);
+        drop(w);
+
+        // With the first writer gone the journal opens normally again.
+        let (_, map, load) = open(&path, &real);
+        assert_eq!(
+            load,
+            JournalLoad::Resumed {
+                entries: 1,
+                dropped: 0
+            }
+        );
+        assert!(map.contains_key("a"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
     fn failed_append_degrades_writer_without_panicking() {
         let path = temp("degrade");
         let _ = fs::remove_file(&path);
-        // First durable write is the header (succeeds); second is the
-        // first record append (fails); writer must go quiet after that.
-        let io = IoHandle::new(Arc::new(ChaosIo::new(ChaosPlan::none(0).fail_nth_write(2))));
+        // Durable write #1 is the lock creation, #2 the header (both
+        // succeed); #3 is the first record append (fails); the writer
+        // must go quiet after that.
+        let io = IoHandle::new(Arc::new(ChaosIo::new(ChaosPlan::none(0).fail_nth_write(3))));
         let (mut w, _, load) = open(&path, &io);
         assert_eq!(load, JournalLoad::Fresh);
         w.append("a", 1, &result("a", BlockStatus::Pass));
@@ -429,6 +598,7 @@ mod tests {
         w.append("b", 2, &result("b", BlockStatus::Pass));
         let err = w.error().unwrap();
         assert_eq!(err.op, "append");
+        drop(w);
         // Only the header reached the disk.
         let (_, map, load) = open(&path, &IoHandle::real());
         assert!(map.is_empty());

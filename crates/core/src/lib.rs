@@ -105,13 +105,17 @@ mod cache;
 pub mod chaos;
 mod faultcamp;
 mod journal;
+pub mod lockfile;
 pub mod sched;
 
 pub use cache::{CacheLoad, PersistError};
-pub use chaos::{ChaosIo, ChaosPlan, FailAction, IoHandle, IoShim, RealIo};
+pub use chaos::{ChaosIo, ChaosPlan, ChaosWire, FailAction, IoHandle, IoShim, RealIo, WirePlan};
 pub use faultcamp::{FaultBlock, FaultCampaign, FaultCampaignReport, FaultCase, FaultVerdict};
 pub use journal::JournalLoad;
-pub use sched::{resolve_workers, resolve_workers_with, DeadlineClock, MAX_WORKERS, WORKERS_ENV};
+pub use lockfile::FileLock;
+pub use sched::{
+    resolve_workers, resolve_workers_with, CancelToken, DeadlineClock, MAX_WORKERS, WORKERS_ENV,
+};
 
 use dfv_obs::ObsHook;
 
@@ -262,6 +266,95 @@ pub struct BlockResult {
     pub attempts: u32,
 }
 
+/// A cross-campaign verdict store keyed by content hash, shared between
+/// every campaign holding a clone — the "one warm cache, many clients"
+/// piece of verification-as-a-service.
+///
+/// The per-campaign cache ([`CampaignOptions::cache_path`]) is keyed by
+/// block *name* and owned by one campaign; this store is keyed purely by
+/// [`BlockPair::content_hash`], so two clients submitting the same block
+/// under different names (or in different plans) still dedupe: the second
+/// submission is served from the store without touching a solver. Only
+/// conclusive verdicts enter the store (same rule as the cache), inserted
+/// post-join by the campaign's single-writer merge step, so the store's
+/// contents are deterministic for a given set of completed campaigns.
+///
+/// A hit is reported as [`BlockResult::from_cache`] — provenance-wise it
+/// *is* a cache hit, just from the process-wide tier.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: std::sync::Arc<std::sync::Mutex<HashMap<u64, BlockResult>>>,
+}
+
+impl SharedStore {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        SharedStore::default()
+    }
+
+    /// The verdict for `hash`, if some campaign already concluded it.
+    pub fn get(&self, hash: u64) -> Option<BlockResult> {
+        self.inner.lock().unwrap().get(&hash).cloned()
+    }
+
+    /// Records a conclusive verdict for `hash` (last writer wins; all
+    /// writers proved the same content, so the verdicts agree).
+    pub fn insert(&self, hash: u64, result: BlockResult) {
+        self.inner.lock().unwrap().insert(hash, result);
+    }
+
+    /// How many distinct content hashes have verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the store holds no verdicts yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+/// A per-completion progress callback, fired by the campaign's
+/// completion-order sink (the same single-threaded step that journals).
+///
+/// This is how a daemon streams "block finished" frames to a client while
+/// the run is live. Completion *order* varies with worker count, so
+/// anything derived from the firing order must stay out of canonical
+/// reports — the hook is observability, like [`CampaignOptions::obs`].
+#[derive(Clone, Default)]
+pub struct ProgressHook(Option<ProgressFn>);
+
+/// The shared callback a [`ProgressHook`] fires.
+type ProgressFn = std::sync::Arc<dyn Fn(&BlockResult) + Send + Sync>;
+
+impl ProgressHook {
+    /// The inert default hook (no allocation, no call overhead).
+    pub fn none() -> Self {
+        ProgressHook::default()
+    }
+
+    /// A hook calling `f` with every completed block result.
+    pub fn new(f: impl Fn(&BlockResult) + Send + Sync + 'static) -> Self {
+        ProgressHook(Some(std::sync::Arc::new(f)))
+    }
+
+    fn fire(&self, r: &BlockResult) {
+        if let Some(f) = &self.0 {
+            f(r);
+        }
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ProgressHook(attached)"
+        } else {
+            "ProgressHook(none)"
+        })
+    }
+}
+
 /// Escalating per-block proof budgets plus the degradation policy once the
 /// last one exhausts (see [`CheckOptions::fallback_transactions`]).
 ///
@@ -357,7 +450,30 @@ pub struct CampaignOptions {
     /// through. Defaults to the real filesystem; the chaos harness
     /// ([`chaos`]) swaps in fault injection here.
     pub io: IoHandle,
+    /// Cooperative cancellation. Once cancelled, blocks not yet started
+    /// are skipped with [`BlockStatus::Inconclusive`] (note
+    /// [`CANCELLED_NOTE`]) and never journaled — a later resume retries
+    /// them — while blocks already in flight complete and checkpoint
+    /// normally, so cancellation never discards finished proof work.
+    pub cancel: CancelToken,
+    /// Process-wide content-hash verdict store shared across campaigns
+    /// (and therefore across daemon clients). Probed after the journal
+    /// and the per-campaign cache; conclusive fresh verdicts are inserted
+    /// post-join. `None` (default) disables the tier.
+    pub shared_store: Option<SharedStore>,
+    /// Per-completion progress callback (see [`ProgressHook`]). Fired in
+    /// completion order from the single-threaded sink; never part of
+    /// canonical reports.
+    pub progress: ProgressHook,
 }
+
+/// The [`BlockStatus::Inconclusive`] note marking a block skipped because
+/// the campaign deadline had already passed when it was scheduled.
+pub const DEADLINE_SKIP_NOTE: &str = "campaign deadline exceeded before block started";
+
+/// The [`BlockStatus::Inconclusive`] note marking a block skipped because
+/// the campaign's [`CancelToken`] fired before it started.
+pub const CANCELLED_NOTE: &str = "request cancelled before block started";
 
 impl CampaignOptions {
     /// Options for resuming (or starting) a journaled campaign at `path`:
@@ -421,6 +537,26 @@ impl CampaignReport {
             .count()
     }
 
+    /// How many blocks were skipped (a subset of [`Self::inconclusive`])
+    /// because the campaign deadline had passed before they started.
+    pub fn deadline_skipped(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(
+                |b| matches!(&b.status, BlockStatus::Inconclusive(n) if n == DEADLINE_SKIP_NOTE),
+            )
+            .count()
+    }
+
+    /// How many blocks were skipped (a subset of [`Self::inconclusive`])
+    /// because the campaign's [`CancelToken`] fired before they started.
+    pub fn cancelled(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| matches!(&b.status, BlockStatus::Inconclusive(n) if n == CANCELLED_NOTE))
+            .count()
+    }
+
     /// The run as a machine-readable [`RunReport`]: block tallies and
     /// solver totals as counters, per-block verdicts under `values`, and
     /// the measured per-block wall times in the timing section (only) —
@@ -471,11 +607,20 @@ impl CampaignReport {
                     .collect(),
             ),
         );
-        // Crash quarantines are rare enough to keep out of crash-free
-        // reports; when present the count is deterministic (same blocks
-        // crash under the same chaos plan, and a resumed run replays them).
+        // Crash quarantines, deadline skips, and cancellations are rare
+        // enough to keep out of clean reports (and conditional counters
+        // keep clean runs byte-identical to pre-existing baselines); when
+        // present each count is deterministic — the same blocks crash
+        // under the same chaos plan, the same tail is skipped once the
+        // deadline/cancel latch is set, and a resumed run replays crashes.
         if self.crashed() > 0 {
             rep.set_counter("campaign.crashed", self.crashed() as u64);
+        }
+        if self.deadline_skipped() > 0 {
+            rep.set_counter("campaign.deadline_skipped", self.deadline_skipped() as u64);
+        }
+        if self.cancelled() > 0 {
+            rep.set_counter("campaign.cancelled", self.cancelled() as u64);
         }
         if let Some(e) = &self.cache_write_error {
             rep.set_value("cache_write_error", Json::str(e));
@@ -543,6 +688,12 @@ impl fmt::Display for CampaignReport {
         }
         if self.crashed() > 0 {
             write!(f, ", {} crashed", self.crashed())?;
+        }
+        if self.deadline_skipped() > 0 {
+            write!(f, ", {} deadline-skipped", self.deadline_skipped())?;
+        }
+        if self.cancelled() > 0 {
+            write!(f, ", {} cancelled", self.cancelled())?;
         }
         if let Some(e) = &self.cache_write_error {
             write!(f, " (cache: disabled ({e}))")?;
@@ -774,22 +925,31 @@ impl Campaign {
         let cache = &self.cache;
         let retry = &self.opts.retry;
         let io = &self.opts.io;
+        let cancel = &self.opts.cancel;
+        let shared = self.opts.shared_store.as_ref();
         let replayed_ref = &replayed;
         // The per-block work item: chaos fail point (deterministic, first),
-        // then the deadline (amortized, shared) so an expired campaign
-        // skips even the hashing, then the journal replay probe, then the
-        // cache probe, then the budgeted proof. Returns the content hash
-        // alongside the result so the post-join cache writer needn't
-        // rehash.
+        // then the deadline (amortized, shared) and the cancel latch so an
+        // expired or abandoned campaign skips even the hashing, then the
+        // journal replay probe, then the per-campaign cache probe, then
+        // the cross-campaign shared store, then the budgeted proof.
+        // Returns the content hash alongside the result so the post-join
+        // cache writer needn't rehash.
         let work = |_i: usize, b: &BlockPair| -> (Option<u64>, BlockResult) {
             if io.shim().fail_point("campaign.block", &b.name) == FailAction::Panic {
                 panic!("chaos: injected panic in block {}", b.name);
             }
             if clock.expired() {
                 let mut r = crashed_result(&b.name, "");
-                r.status = BlockStatus::Inconclusive(
-                    "campaign deadline exceeded before block started".into(),
-                );
+                r.status = BlockStatus::Inconclusive(DEADLINE_SKIP_NOTE.into());
+                return (None, r);
+            }
+            if cancel.is_cancelled() {
+                // Skipped, not journaled (the `None` hash keeps it out of
+                // the sink): a resume after cancellation recomputes these,
+                // while everything already journaled replays.
+                let mut r = crashed_result(&b.name, "");
+                r.status = BlockStatus::Inconclusive(CANCELLED_NOTE.into());
                 return (None, r);
             }
             let hash = b.content_hash();
@@ -810,6 +970,17 @@ impl Campaign {
                     return (Some(hash), r);
                 }
             }
+            if let Some(hit) = shared.and_then(|s| s.get(hash)) {
+                // Another campaign (another client) already proved this
+                // exact content — serve it as a cache hit under *this*
+                // block's name.
+                let mut r = hit;
+                r.name = b.name.clone();
+                r.from_cache = true;
+                r.from_journal = false;
+                r.duration = Duration::ZERO;
+                return (Some(hash), r);
+            }
             (Some(hash), verify_block_with(b, retry, deadline))
         };
         // The completion-order sink is the journal's single writer: each
@@ -819,7 +990,12 @@ impl Campaign {
         // replayed and deadline-skipped ones are not (already journaled /
         // not a verdict).
         let blocks_ref = &plan.blocks;
+        let progress = &self.opts.progress;
         let results = sched::run_quarantined(&plan.blocks, workers, work, |i, res| {
+            match res {
+                Ok((_, r)) => progress.fire(r),
+                Err(payload) => progress.fire(&crashed_result(&blocks_ref[i].name, payload)),
+            }
             let Some(w) = journal_writer.as_mut() else {
                 return;
             };
@@ -868,6 +1044,9 @@ impl Campaign {
                     // A journal-replayed verdict enters the cache as a
                     // plain entry; the provenance flag is per-run.
                     cached.from_journal = false;
+                    if let Some(store) = &self.opts.shared_store {
+                        store.insert(hash, cached.clone());
+                    }
                     self.cache.insert(b.name.clone(), (hash, cached));
                 }
             }
@@ -1443,5 +1622,152 @@ mod tests {
         let report = campaign.run(&plan);
         assert!(report.all_pass(), "verdicts must not depend on the cache");
         assert!(report.cache_write_error.is_some());
+    }
+
+    #[test]
+    fn cancelled_campaign_skips_unstarted_blocks_and_never_journals_them() {
+        let path = temp_cache_path("cancel");
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "second".into(),
+                ..inc_block(false)
+            });
+        // Pre-cancelled token: every block is skipped before hashing.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            journal_path: Some(path.clone()),
+            cancel: cancel.clone(),
+            ..CampaignOptions::default()
+        });
+        let report = campaign.run(&plan);
+        assert_eq!(report.cancelled(), 2);
+        assert_eq!(report.inconclusive(), 2);
+        for b in &report.blocks {
+            assert_eq!(b.attempts, 0);
+            assert!(!b.from_cache);
+        }
+        assert!(report.to_string().contains("2 cancelled"));
+        let canon = report.to_run_report().canonical_json();
+        assert!(canon.contains("campaign.cancelled"), "{canon}");
+        drop(campaign);
+
+        // Cancelled blocks were not journaled, so a fresh (uncancelled)
+        // run on the same journal recomputes them all.
+        let mut resumed = Campaign::with_options(CampaignOptions::resume(&path));
+        let resumed_report = resumed.run(&plan);
+        assert_eq!(resumed_report.journal_load, JournalLoad::Fresh);
+        assert!(resumed_report.all_pass());
+        assert_eq!(resumed_report.cancelled(), 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn shared_store_dedupes_identical_content_across_campaigns() {
+        let store = SharedStore::new();
+        // Client A and client B submit the same block content under
+        // different names and in different campaigns.
+        let plan_a = VerificationPlan::new().block(inc_block(false));
+        let plan_b = VerificationPlan::new().block(BlockPair {
+            name: "same_content_other_name".into(),
+            ..inc_block(false)
+        });
+        let mut a = Campaign::with_options(CampaignOptions {
+            shared_store: Some(store.clone()),
+            ..CampaignOptions::default()
+        });
+        let ra = a.run(&plan_a);
+        assert!(ra.all_pass());
+        assert_eq!(ra.cache_hits(), 0);
+        assert_eq!(store.len(), 1);
+
+        let mut b = Campaign::with_options(CampaignOptions {
+            shared_store: Some(store.clone()),
+            ..CampaignOptions::default()
+        });
+        let rb = b.run(&plan_b);
+        assert!(rb.all_pass());
+        assert_eq!(rb.cache_hits(), 1, "cross-campaign dedup must hit");
+        assert_eq!(rb.blocks[0].name, "same_content_other_name");
+        assert_eq!(rb.blocks[0].attempts, ra.blocks[0].attempts);
+        assert_eq!(store.len(), 1, "a served hit must not re-insert");
+    }
+
+    #[test]
+    fn shared_store_never_holds_inconclusive_verdicts() {
+        let store = SharedStore::new();
+        let plan = VerificationPlan::new().block(hard_block());
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            retry: RetryPolicy {
+                budgets: vec![Budget::unlimited().with_conflicts(10)],
+                fallback_transactions: 0,
+                fallback_seed: 0,
+            },
+            shared_store: Some(store.clone()),
+            ..CampaignOptions::default()
+        });
+        let r = campaign.run(&plan);
+        assert_eq!(r.inconclusive(), 1);
+        assert!(store.is_empty(), "non-verdicts must not be shared");
+    }
+
+    #[test]
+    fn progress_hook_fires_once_per_block_at_any_worker_count() {
+        use std::sync::{Arc, Mutex};
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "b2".into(),
+                ..inc_block(false)
+            })
+            .block(BlockPair {
+                name: "b3".into(),
+                ..inc_block(true)
+            });
+        for workers in [1, 4] {
+            let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = seen.clone();
+            let mut campaign = Campaign::with_options(CampaignOptions {
+                workers: Some(workers),
+                progress: ProgressHook::new(move |r| {
+                    sink.lock()
+                        .unwrap()
+                        .push((r.name.clone(), r.status.to_string()));
+                }),
+                ..CampaignOptions::default()
+            });
+            campaign.run(&plan);
+            let mut got = seen.lock().unwrap().clone();
+            got.sort();
+            assert_eq!(
+                got,
+                vec![
+                    ("b2".to_string(), "PASS".to_string()),
+                    ("b3".to_string(), "FAIL".to_string()),
+                    ("inc".to_string(), "PASS".to_string()),
+                ],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_skips_are_counted_in_the_canonical_summary() {
+        let plan = VerificationPlan::new()
+            .block(inc_block(false))
+            .block(BlockPair {
+                name: "second".into(),
+                ..inc_block(false)
+            });
+        let mut campaign = Campaign::with_options(CampaignOptions {
+            deadline: Some(Duration::ZERO),
+            ..CampaignOptions::default()
+        });
+        let report = campaign.run(&plan);
+        assert_eq!(report.deadline_skipped(), 2);
+        assert!(report.to_string().contains("2 deadline-skipped"));
+        let canon = report.to_run_report().canonical_json();
+        assert!(canon.contains("campaign.deadline_skipped"), "{canon}");
     }
 }

@@ -269,6 +269,34 @@ impl DeadlineClock {
     }
 }
 
+/// A cooperative cancellation flag shared between a campaign and whoever
+/// is waiting on it (a `dfv-serve` client connection, a timeout watcher).
+///
+/// Cancellation is a *latch*: once [`CancelToken::cancel`] fires it stays
+/// set, and every not-yet-started work item degrades to a skip at its
+/// next check — in-flight blocks finish (and are journaled) normally, so
+/// no completed proof work is lost. The default token is never cancelled
+/// and costs one relaxed atomic load per block.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Latches the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,28 @@ pub mod kinds {
     /// Counter: on-disk cache entries dropped on load because their
     /// per-entry checksum failed — the rest of the file was recovered.
     pub const CACHE_RECOVERED: &str = "core.cache.recovered";
+    /// Counter: requests admitted by the `dfv-serve` daemon.
+    pub const SERVE_ACCEPTED: &str = "serve.accepted";
+    /// Counter: requests rejected with a typed `ServiceBusy` (admission
+    /// queue or per-class limit full) or while draining.
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Counter: jobs that ran to completion (report produced, whether or
+    /// not the client was still there to receive it).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Counter: jobs whose cancel latch fired (client disconnect, stalled
+    /// wire, or an explicit cancel frame) before or during execution.
+    pub const SERVE_CANCELLED: &str = "serve.cancelled";
+    /// Counter: a client vanished or stopped draining its connection
+    /// with output still owed to it — a completed job's report (or
+    /// another non-sheddable frame) could not be delivered.
+    pub const SERVE_CLIENT_LOST: &str = "serve.client_lost";
+    /// Counter: protocol frames dropped or refused (bad magic, length
+    /// over the cap, checksum mismatch, malformed payload).
+    pub const SERVE_BAD_FRAME: &str = "serve.bad_frame";
+    /// Counter: progress frames dropped because a client's bounded
+    /// outbound queue was full (slow reader; reports are never dropped
+    /// this way, only progress).
+    pub const SERVE_PROGRESS_DROPPED: &str = "serve.progress_dropped";
 }
 
 pub use divergence::{combined_vcd, first_divergence, Divergence, WatchedTrace};

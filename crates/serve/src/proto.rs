@@ -1,0 +1,995 @@
+//! The `dfv-serve` request/response vocabulary and its JSON codec.
+//!
+//! Everything a client can ask and everything the daemon can answer is an
+//! enum variant here, encoded to the dependency-free [`Json`] value type
+//! and carried inside a checksummed [`crate::frame`]. The codec is the
+//! trust boundary: `decode_request` validates *everything* — unknown
+//! types, missing fields, out-of-range widths, journal names that try to
+//! escape the state directory — and classifies each failure as
+//! [`RetryClass::Permanent`], so a malformed submission is refused with a
+//! typed error instead of poisoning an executor.
+//!
+//! Error classification is part of the protocol, not an afterthought: a
+//! [`Rejected`](Response::Rejected) or [`Error`](Response::Error) frame
+//! carries a [`RetryClass`] telling the client whether backing off and
+//! retrying can ever help (`Transient`: admission queue full, draining
+//! finished) or never will (`Permanent`: malformed plan, oversized
+//! constant, unknown job).
+
+use dfv_bits::Bv;
+use dfv_core::{BlockPair, FaultBlock};
+use dfv_cosim::{ComparatorPolicy, StreamItem};
+use dfv_obs::Json;
+use dfv_rtl::{parse_module, write_module};
+use dfv_sec::{Binding, ComparePoint, EquivSpec, InitState};
+
+/// Whether retrying a failed request can ever succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// The condition is load- or timing-dependent (queue full, draining
+    /// peer, stalled wire): backing off and retrying is sensible.
+    Transient,
+    /// The request itself is unacceptable (malformed, oversized, unknown
+    /// job): retrying the same bytes will fail the same way.
+    Permanent,
+}
+
+impl RetryClass {
+    /// Wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RetryClass::Transient => "transient",
+            RetryClass::Permanent => "permanent",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: &str) -> Option<RetryClass> {
+        match tag {
+            "transient" => Some(RetryClass::Transient),
+            "permanent" => Some(RetryClass::Permanent),
+            _ => None,
+        }
+    }
+}
+
+/// A typed protocol failure: what went wrong and whether retrying helps.
+#[derive(Debug)]
+pub struct ProtoError {
+    /// Human-readable description.
+    pub message: String,
+    /// Retry classification.
+    pub class: RetryClass,
+}
+
+impl ProtoError {
+    /// A permanent (malformed-input) error.
+    pub fn permanent(message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            message: message.into(),
+            class: RetryClass::Permanent,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.class.tag())
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Per-submission knobs a client may set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Worker threads for this job (bounded by the server's executor
+    /// policy; `None` = server default).
+    pub workers: Option<usize>,
+    /// Wall-clock deadline for the whole job in milliseconds. Blocks not
+    /// started when it expires are skipped with a typed verdict. `None` =
+    /// the server's cap.
+    pub deadline_ms: Option<u64>,
+    /// Journal name inside the server's state directory. A resubmission
+    /// naming the same journal resumes from whatever the journal holds —
+    /// the restart-recovery path. Must be a bare file name (validated).
+    pub journal: Option<String>,
+}
+
+/// What a submission asks the daemon to run.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A lint + sequential-equivalence campaign over SLM/RTL block pairs.
+    Campaign {
+        /// The block pairs.
+        blocks: Vec<BlockPair>,
+        /// Submission knobs.
+        options: SubmitOptions,
+    },
+    /// A seeded fault-injection sweep over recorded stream pairs.
+    FaultSweep {
+        /// Campaign seed (the whole sweep is a pure function of it).
+        seed: u64,
+        /// The stream blocks.
+        blocks: Vec<FaultBlock>,
+        /// Submission knobs (`journal` is ignored: fault sweeps are cheap
+        /// pure functions of the seed and are simply re-run on restart).
+        options: SubmitOptions,
+    },
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ask for the daemon's observability counters.
+    Status,
+    /// Submit a job.
+    Submit(JobSpec),
+    /// Cancel a previously accepted job.
+    Cancel {
+        /// The job id from [`Response::Accepted`].
+        job: u64,
+    },
+    /// Begin a graceful drain: stop admitting, finish in-flight work,
+    /// then shut down.
+    Drain,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// Observability counters, sorted by name.
+    Status {
+        /// `(counter name, value)` pairs.
+        counters: Vec<(String, u64)>,
+    },
+    /// The job was admitted and will run.
+    Accepted {
+        /// Server-assigned job id (unique per server incarnation).
+        job: u64,
+    },
+    /// The job was refused at admission.
+    Rejected {
+        /// Why (e.g. `"service busy: campaign queue full"`).
+        reason: String,
+        /// Whether retrying can help.
+        class: RetryClass,
+    },
+    /// A block of an accepted job finished (streamed eagerly; best-effort
+    /// — a slow client loses progress frames before it loses its report).
+    Progress {
+        /// The job id.
+        job: u64,
+        /// Block name.
+        block: String,
+        /// Short status tag (`PASS`, `FAIL`, ...).
+        status: String,
+    },
+    /// The final canonical report of an accepted job.
+    Report {
+        /// The job id.
+        job: u64,
+        /// The canonical run report (`RunReport::canonical_json` parsed
+        /// back to a value — rendering it reproduces the bytes).
+        report: Json,
+    },
+    /// A [`Request::Cancel`] was applied: the job's cancel latch is set
+    /// (already-finished blocks keep their verdicts; unstarted ones are
+    /// skipped).
+    Cancelled {
+        /// The job id.
+        job: u64,
+    },
+    /// The drain was acknowledged; the server finishes in-flight jobs and
+    /// exits.
+    DrainAck,
+    /// A request-level failure (malformed frame payload, unknown job id).
+    Error {
+        /// Description.
+        message: String,
+        /// Whether retrying can help.
+        class: RetryClass,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Field accessors: every decode failure is a typed permanent error.
+// ---------------------------------------------------------------------------
+
+fn need<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, ProtoError> {
+    v.get(key)
+        .ok_or_else(|| ProtoError::permanent(format!("{ctx}: missing field '{key}'")))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, ProtoError> {
+    need(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| ProtoError::permanent(format!("{ctx}: field '{key}' must be a string")))
+}
+
+fn need_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, ProtoError> {
+    need(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| ProtoError::permanent(format!("{ctx}: field '{key}' must be an integer")))
+}
+
+fn need_arr<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], ProtoError> {
+    need(v, key, ctx)?
+        .as_arr()
+        .ok_or_else(|| ProtoError::permanent(format!("{ctx}: field '{key}' must be an array")))
+}
+
+fn opt_u64(v: &Json, key: &str, ctx: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            ProtoError::permanent(format!("{ctx}: field '{key}' must be an integer or null"))
+        }),
+    }
+}
+
+/// A journal name must stay inside the server's state directory: a bare,
+/// non-empty file name with no separators and no `..`.
+pub fn validate_journal_name(name: &str) -> Result<(), ProtoError> {
+    if name.is_empty()
+        || name == "."
+        || name == ".."
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains('\0')
+    {
+        return Err(ProtoError::permanent(format!(
+            "journal name {name:?} must be a bare file name"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Spec / binding / policy codecs
+// ---------------------------------------------------------------------------
+
+fn binding_to_json(b: &Binding) -> Result<Json, ProtoError> {
+    Ok(match b {
+        Binding::Slm(name) => {
+            Json::obj(vec![("kind", Json::str("slm")), ("name", Json::str(name))])
+        }
+        Binding::SlmSlice { name, hi, lo } => Json::obj(vec![
+            ("kind", Json::str("slice")),
+            ("name", Json::str(name)),
+            ("hi", Json::UInt(u64::from(*hi))),
+            ("lo", Json::UInt(u64::from(*lo))),
+        ]),
+        Binding::Const(bv) => {
+            if bv.width() > 64 {
+                return Err(ProtoError::permanent(format!(
+                    "constant binding of width {} exceeds the wire limit of 64 bits",
+                    bv.width()
+                )));
+            }
+            Json::obj(vec![
+                ("kind", Json::str("const")),
+                ("width", Json::UInt(u64::from(bv.width()))),
+                ("value", Json::UInt(bv.to_u64())),
+            ])
+        }
+        Binding::Free => Json::obj(vec![("kind", Json::str("free"))]),
+    })
+}
+
+fn binding_from_json(v: &Json) -> Result<Binding, ProtoError> {
+    let ctx = "binding";
+    match need_str(v, "kind", ctx)? {
+        "slm" => Ok(Binding::Slm(need_str(v, "name", ctx)?.to_string())),
+        "slice" => Ok(Binding::SlmSlice {
+            name: need_str(v, "name", ctx)?.to_string(),
+            hi: u32::try_from(need_u64(v, "hi", ctx)?)
+                .map_err(|_| ProtoError::permanent("binding: 'hi' out of range"))?,
+            lo: u32::try_from(need_u64(v, "lo", ctx)?)
+                .map_err(|_| ProtoError::permanent("binding: 'lo' out of range"))?,
+        }),
+        "const" => {
+            let width = need_u64(v, "width", ctx)?;
+            if width == 0 || width > 64 {
+                return Err(ProtoError::permanent(format!(
+                    "binding: constant width {width} outside 1..=64"
+                )));
+            }
+            let value = need_u64(v, "value", ctx)?;
+            Ok(Binding::Const(Bv::from_u64(width as u32, value)))
+        }
+        "free" => Ok(Binding::Free),
+        other => Err(ProtoError::permanent(format!(
+            "binding: unknown kind {other:?}"
+        ))),
+    }
+}
+
+fn spec_to_json(spec: &EquivSpec) -> Result<Json, ProtoError> {
+    let mut bindings = Vec::with_capacity(spec.bindings.len());
+    for (port, cycle, b) in &spec.bindings {
+        bindings.push(Json::Arr(vec![
+            Json::str(port),
+            Json::UInt(u64::from(*cycle)),
+            binding_to_json(b)?,
+        ]));
+    }
+    let compares = spec
+        .compares
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("slm_output", Json::str(&c.slm_output)),
+                (
+                    "slm_slice",
+                    match c.slm_slice {
+                        Some((hi, lo)) => {
+                            Json::Arr(vec![Json::UInt(u64::from(hi)), Json::UInt(u64::from(lo))])
+                        }
+                        None => Json::Null,
+                    },
+                ),
+                ("rtl_output", Json::str(&c.rtl_output)),
+                ("rtl_cycle", Json::UInt(u64::from(c.rtl_cycle))),
+            ])
+        })
+        .collect();
+    let constraints = spec
+        .constraints
+        .iter()
+        .map(|m| Json::str(write_module(m)))
+        .collect();
+    Ok(Json::obj(vec![
+        ("rtl_cycles", Json::UInt(u64::from(spec.rtl_cycles))),
+        (
+            "init",
+            Json::str(match spec.init {
+                InitState::Reset => "reset",
+                InitState::Free => "free",
+            }),
+        ),
+        ("bindings", Json::Arr(bindings)),
+        ("compares", Json::Arr(compares)),
+        ("constraints", Json::Arr(constraints)),
+    ]))
+}
+
+fn spec_from_json(v: &Json) -> Result<EquivSpec, ProtoError> {
+    let ctx = "spec";
+    let rtl_cycles = u32::try_from(need_u64(v, "rtl_cycles", ctx)?)
+        .map_err(|_| ProtoError::permanent("spec: 'rtl_cycles' out of range"))?;
+    let init = match need_str(v, "init", ctx)? {
+        "reset" => InitState::Reset,
+        "free" => InitState::Free,
+        other => {
+            return Err(ProtoError::permanent(format!(
+                "spec: unknown init state {other:?}"
+            )))
+        }
+    };
+    let mut bindings = Vec::new();
+    for entry in need_arr(v, "bindings", ctx)? {
+        let triple = entry
+            .as_arr()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| ProtoError::permanent("spec: each binding must be [port, cycle, b]"))?;
+        let port = triple[0]
+            .as_str()
+            .ok_or_else(|| ProtoError::permanent("spec: binding port must be a string"))?;
+        let cycle = triple[1]
+            .as_u64()
+            .and_then(|c| u32::try_from(c).ok())
+            .ok_or_else(|| ProtoError::permanent("spec: binding cycle out of range"))?;
+        bindings.push((port.to_string(), cycle, binding_from_json(&triple[2])?));
+    }
+    let mut compares = Vec::new();
+    for entry in need_arr(v, "compares", ctx)? {
+        let slm_slice = match entry.get("slm_slice") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(pair)) if pair.len() == 2 => {
+                let hi = pair[0].as_u64().and_then(|x| u32::try_from(x).ok());
+                let lo = pair[1].as_u64().and_then(|x| u32::try_from(x).ok());
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => Some((hi, lo)),
+                    _ => return Err(ProtoError::permanent("spec: bad slm_slice bounds")),
+                }
+            }
+            Some(_) => return Err(ProtoError::permanent("spec: 'slm_slice' must be [hi, lo]")),
+        };
+        compares.push(ComparePoint {
+            slm_output: need_str(entry, "slm_output", "compare")?.to_string(),
+            slm_slice,
+            rtl_output: need_str(entry, "rtl_output", "compare")?.to_string(),
+            rtl_cycle: u32::try_from(need_u64(entry, "rtl_cycle", "compare")?)
+                .map_err(|_| ProtoError::permanent("compare: 'rtl_cycle' out of range"))?,
+        });
+    }
+    let mut constraints = Vec::new();
+    for entry in need_arr(v, "constraints", ctx)? {
+        let text = entry
+            .as_str()
+            .ok_or_else(|| ProtoError::permanent("spec: constraints must be netlist strings"))?;
+        constraints
+            .push(parse_module(text).map_err(|e| {
+                ProtoError::permanent(format!("spec: bad constraint netlist: {e}"))
+            })?);
+    }
+    Ok(EquivSpec {
+        rtl_cycles,
+        bindings,
+        compares,
+        constraints,
+        init,
+    })
+}
+
+fn block_pair_to_json(b: &BlockPair) -> Result<Json, ProtoError> {
+    Ok(Json::obj(vec![
+        ("name", Json::str(&b.name)),
+        ("slm_source", Json::str(&b.slm_source)),
+        ("slm_entry", Json::str(&b.slm_entry)),
+        ("rtl", Json::str(write_module(&b.rtl))),
+        ("spec", spec_to_json(&b.spec)?),
+    ]))
+}
+
+fn block_pair_from_json(v: &Json) -> Result<BlockPair, ProtoError> {
+    let ctx = "block";
+    let rtl_text = need_str(v, "rtl", ctx)?;
+    Ok(BlockPair {
+        name: need_str(v, "name", ctx)?.to_string(),
+        slm_source: need_str(v, "slm_source", ctx)?.to_string(),
+        slm_entry: need_str(v, "slm_entry", ctx)?.to_string(),
+        rtl: parse_module(rtl_text)
+            .map_err(|e| ProtoError::permanent(format!("block: bad RTL netlist: {e}")))?,
+        spec: spec_from_json(need(v, "spec", ctx)?)?,
+    })
+}
+
+fn policy_to_json(p: &ComparatorPolicy) -> Json {
+    match *p {
+        ComparatorPolicy::Exact => Json::obj(vec![("kind", Json::str("exact"))]),
+        ComparatorPolicy::InOrder {
+            tolerance,
+            max_skew,
+        } => Json::obj(vec![
+            ("kind", Json::str("in_order")),
+            ("tolerance", Json::UInt(tolerance)),
+            (
+                "max_skew",
+                max_skew.map_or(Json::Null, |s| Json::UInt(s as u64)),
+            ),
+        ]),
+        ComparatorPolicy::OutOfOrder {
+            tag_hi,
+            tag_lo,
+            window,
+            max_skew,
+        } => Json::obj(vec![
+            ("kind", Json::str("out_of_order")),
+            ("tag_hi", Json::UInt(u64::from(tag_hi))),
+            ("tag_lo", Json::UInt(u64::from(tag_lo))),
+            ("window", Json::UInt(window as u64)),
+            (
+                "max_skew",
+                max_skew.map_or(Json::Null, |s| Json::UInt(s as u64)),
+            ),
+        ]),
+    }
+}
+
+fn policy_from_json(v: &Json) -> Result<ComparatorPolicy, ProtoError> {
+    let ctx = "policy";
+    let usize_of = |x: u64, what: &str| {
+        usize::try_from(x)
+            .map_err(|_| ProtoError::permanent(format!("policy: {what} out of range")))
+    };
+    match need_str(v, "kind", ctx)? {
+        "exact" => Ok(ComparatorPolicy::Exact),
+        "in_order" => Ok(ComparatorPolicy::InOrder {
+            tolerance: need_u64(v, "tolerance", ctx)?,
+            max_skew: match opt_u64(v, "max_skew", ctx)? {
+                Some(s) => Some(usize_of(s, "max_skew")?),
+                None => None,
+            },
+        }),
+        "out_of_order" => Ok(ComparatorPolicy::OutOfOrder {
+            tag_hi: u32::try_from(need_u64(v, "tag_hi", ctx)?)
+                .map_err(|_| ProtoError::permanent("policy: 'tag_hi' out of range"))?,
+            tag_lo: u32::try_from(need_u64(v, "tag_lo", ctx)?)
+                .map_err(|_| ProtoError::permanent("policy: 'tag_lo' out of range"))?,
+            window: usize_of(need_u64(v, "window", ctx)?, "window")?,
+            max_skew: match opt_u64(v, "max_skew", ctx)? {
+                Some(s) => Some(usize_of(s, "max_skew")?),
+                None => None,
+            },
+        }),
+        other => Err(ProtoError::permanent(format!(
+            "policy: unknown kind {other:?}"
+        ))),
+    }
+}
+
+fn items_to_json(items: &[StreamItem]) -> Result<Json, ProtoError> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        if item.value.width() > 64 {
+            return Err(ProtoError::permanent(format!(
+                "stream value of width {} exceeds the wire limit of 64 bits",
+                item.value.width()
+            )));
+        }
+        out.push(Json::Arr(vec![
+            Json::UInt(u64::from(item.value.width())),
+            Json::UInt(item.value.to_u64()),
+            Json::UInt(item.time),
+        ]));
+    }
+    Ok(Json::Arr(out))
+}
+
+fn items_from_json(v: &Json, what: &str) -> Result<Vec<StreamItem>, ProtoError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| ProtoError::permanent(format!("{what}: must be an array")))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for entry in arr {
+        let triple = entry.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+            ProtoError::permanent(format!("{what}: each item must be [width, value, time]"))
+        })?;
+        let width = triple[0]
+            .as_u64()
+            .filter(|w| (1..=64).contains(w))
+            .ok_or_else(|| ProtoError::permanent(format!("{what}: item width outside 1..=64")))?;
+        let value = triple[1].as_u64().ok_or_else(|| {
+            ProtoError::permanent(format!("{what}: item value must be an integer"))
+        })?;
+        let time = triple[2].as_u64().ok_or_else(|| {
+            ProtoError::permanent(format!("{what}: item time must be an integer"))
+        })?;
+        out.push(StreamItem {
+            value: Bv::from_u64(width as u32, value),
+            time,
+        });
+    }
+    Ok(out)
+}
+
+fn fault_block_to_json(b: &FaultBlock) -> Result<Json, ProtoError> {
+    Ok(Json::obj(vec![
+        ("name", Json::str(&b.name)),
+        ("policy", policy_to_json(&b.policy)),
+        ("expected", items_to_json(&b.expected)?),
+        ("actual", items_to_json(&b.actual)?),
+    ]))
+}
+
+fn fault_block_from_json(v: &Json) -> Result<FaultBlock, ProtoError> {
+    let ctx = "fault block";
+    Ok(FaultBlock {
+        name: need_str(v, "name", ctx)?.to_string(),
+        policy: policy_from_json(need(v, "policy", ctx)?)?,
+        expected: items_from_json(need(v, "expected", ctx)?, "expected")?,
+        actual: items_from_json(need(v, "actual", ctx)?, "actual")?,
+    })
+}
+
+fn options_to_json(o: &SubmitOptions) -> Json {
+    Json::obj(vec![
+        (
+            "workers",
+            o.workers.map_or(Json::Null, |w| Json::UInt(w as u64)),
+        ),
+        ("deadline_ms", o.deadline_ms.map_or(Json::Null, Json::UInt)),
+        (
+            "journal",
+            o.journal.as_deref().map_or(Json::Null, Json::str),
+        ),
+    ])
+}
+
+fn options_from_json(v: &Json) -> Result<SubmitOptions, ProtoError> {
+    let ctx = "options";
+    let workers = match opt_u64(v, "workers", ctx)? {
+        Some(w) => Some(
+            usize::try_from(w)
+                .map_err(|_| ProtoError::permanent("options: 'workers' out of range"))?,
+        ),
+        None => None,
+    };
+    let journal = match v.get("journal") {
+        None | Some(Json::Null) => None,
+        Some(j) => {
+            let name = j
+                .as_str()
+                .ok_or_else(|| ProtoError::permanent("options: 'journal' must be a string"))?;
+            validate_journal_name(name)?;
+            Some(name.to_string())
+        }
+    };
+    Ok(SubmitOptions {
+        workers,
+        deadline_ms: opt_u64(v, "deadline_ms", ctx)?,
+        journal,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Top-level request / response codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a request for the wire.
+///
+/// Fallible because some in-memory values have no wire form (constants and
+/// stream values wider than 64 bits).
+pub fn encode_request(req: &Request) -> Result<Json, ProtoError> {
+    Ok(match req {
+        Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
+        Request::Status => Json::obj(vec![("type", Json::str("status"))]),
+        Request::Cancel { job } => Json::obj(vec![
+            ("type", Json::str("cancel")),
+            ("job", Json::UInt(*job)),
+        ]),
+        Request::Drain => Json::obj(vec![("type", Json::str("drain"))]),
+        Request::Submit(JobSpec::Campaign { blocks, options }) => {
+            let mut encoded = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                encoded.push(block_pair_to_json(b)?);
+            }
+            Json::obj(vec![
+                ("type", Json::str("submit")),
+                ("job_kind", Json::str("campaign")),
+                ("blocks", Json::Arr(encoded)),
+                ("options", options_to_json(options)),
+            ])
+        }
+        Request::Submit(JobSpec::FaultSweep {
+            seed,
+            blocks,
+            options,
+        }) => {
+            let mut encoded = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                encoded.push(fault_block_to_json(b)?);
+            }
+            Json::obj(vec![
+                ("type", Json::str("submit")),
+                ("job_kind", Json::str("fault_sweep")),
+                ("seed", Json::UInt(*seed)),
+                ("blocks", Json::Arr(encoded)),
+                ("options", options_to_json(options)),
+            ])
+        }
+    })
+}
+
+/// Decodes and validates a request from the wire.
+pub fn decode_request(v: &Json) -> Result<Request, ProtoError> {
+    let ctx = "request";
+    match need_str(v, "type", ctx)? {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "cancel" => Ok(Request::Cancel {
+            job: need_u64(v, "job", ctx)?,
+        }),
+        "drain" => Ok(Request::Drain),
+        "submit" => {
+            let options = options_from_json(need(v, "options", ctx)?)?;
+            match need_str(v, "job_kind", ctx)? {
+                "campaign" => {
+                    let mut blocks = Vec::new();
+                    for entry in need_arr(v, "blocks", ctx)? {
+                        blocks.push(block_pair_from_json(entry)?);
+                    }
+                    Ok(Request::Submit(JobSpec::Campaign { blocks, options }))
+                }
+                "fault_sweep" => {
+                    let mut blocks = Vec::new();
+                    for entry in need_arr(v, "blocks", ctx)? {
+                        blocks.push(fault_block_from_json(entry)?);
+                    }
+                    Ok(Request::Submit(JobSpec::FaultSweep {
+                        seed: need_u64(v, "seed", ctx)?,
+                        blocks,
+                        options,
+                    }))
+                }
+                other => Err(ProtoError::permanent(format!(
+                    "request: unknown job kind {other:?}"
+                ))),
+            }
+        }
+        other => Err(ProtoError::permanent(format!(
+            "request: unknown type {other:?}"
+        ))),
+    }
+}
+
+/// Encodes a response for the wire.
+pub fn encode_response(resp: &Response) -> Json {
+    match resp {
+        Response::Pong => Json::obj(vec![("type", Json::str("pong"))]),
+        Response::Status { counters } => Json::obj(vec![
+            ("type", Json::str("status")),
+            (
+                "counters",
+                Json::Obj(
+                    counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Accepted { job } => Json::obj(vec![
+            ("type", Json::str("accepted")),
+            ("job", Json::UInt(*job)),
+        ]),
+        Response::Rejected { reason, class } => Json::obj(vec![
+            ("type", Json::str("rejected")),
+            ("reason", Json::str(reason)),
+            ("class", Json::str(class.tag())),
+        ]),
+        Response::Progress { job, block, status } => Json::obj(vec![
+            ("type", Json::str("progress")),
+            ("job", Json::UInt(*job)),
+            ("block", Json::str(block)),
+            ("status", Json::str(status)),
+        ]),
+        Response::Report { job, report } => Json::obj(vec![
+            ("type", Json::str("report")),
+            ("job", Json::UInt(*job)),
+            ("report", report.clone()),
+        ]),
+        Response::Cancelled { job } => Json::obj(vec![
+            ("type", Json::str("cancelled")),
+            ("job", Json::UInt(*job)),
+        ]),
+        Response::DrainAck => Json::obj(vec![("type", Json::str("drain_ack"))]),
+        Response::Error { message, class } => Json::obj(vec![
+            ("type", Json::str("error")),
+            ("message", Json::str(message)),
+            ("class", Json::str(class.tag())),
+        ]),
+    }
+}
+
+/// Decodes a response from the wire.
+pub fn decode_response(v: &Json) -> Result<Response, ProtoError> {
+    let ctx = "response";
+    let class_of = |v: &Json| -> Result<RetryClass, ProtoError> {
+        RetryClass::from_tag(need_str(v, "class", ctx)?)
+            .ok_or_else(|| ProtoError::permanent("response: unknown retry class"))
+    };
+    match need_str(v, "type", ctx)? {
+        "pong" => Ok(Response::Pong),
+        "status" => {
+            let counters = match need(v, "counters", ctx)? {
+                Json::Obj(pairs) => {
+                    let mut out = Vec::with_capacity(pairs.len());
+                    for (k, val) in pairs {
+                        let n = val.as_u64().ok_or_else(|| {
+                            ProtoError::permanent("response: counter values must be integers")
+                        })?;
+                        out.push((k.clone(), n));
+                    }
+                    out
+                }
+                _ => {
+                    return Err(ProtoError::permanent(
+                        "response: 'counters' must be an object",
+                    ))
+                }
+            };
+            Ok(Response::Status { counters })
+        }
+        "accepted" => Ok(Response::Accepted {
+            job: need_u64(v, "job", ctx)?,
+        }),
+        "rejected" => Ok(Response::Rejected {
+            reason: need_str(v, "reason", ctx)?.to_string(),
+            class: class_of(v)?,
+        }),
+        "progress" => Ok(Response::Progress {
+            job: need_u64(v, "job", ctx)?,
+            block: need_str(v, "block", ctx)?.to_string(),
+            status: need_str(v, "status", ctx)?.to_string(),
+        }),
+        "report" => Ok(Response::Report {
+            job: need_u64(v, "job", ctx)?,
+            report: need(v, "report", ctx)?.clone(),
+        }),
+        "cancelled" => Ok(Response::Cancelled {
+            job: need_u64(v, "job", ctx)?,
+        }),
+        "drain_ack" => Ok(Response::DrainAck),
+        "error" => Ok(Response::Error {
+            message: need_str(v, "message", ctx)?.to_string(),
+            class: class_of(v)?,
+        }),
+        other => Err(ProtoError::permanent(format!(
+            "response: unknown type {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_block(name: &str) -> BlockPair {
+        let rtl = parse_module(
+            "module passthru\n  input a 4\n  output y 4\n  n0 = input 0 : 4\n  drive 0 n0\nend\n",
+        )
+        .expect("tiny netlist parses");
+        BlockPair {
+            name: name.to_string(),
+            slm_source: "int f(int a) { return a; }".to_string(),
+            slm_entry: "f".to_string(),
+            rtl,
+            spec: EquivSpec::new(1)
+                .bind("a", 0, Binding::Slm("a".into()))
+                .bind("b", 0, Binding::Const(Bv::from_u64(4, 9)))
+                .compare("f", "y", 0),
+        }
+    }
+
+    #[test]
+    fn campaign_submission_roundtrips_with_identical_content_hash() {
+        let req = Request::Submit(JobSpec::Campaign {
+            blocks: vec![tiny_block("b0"), tiny_block("b1")],
+            options: SubmitOptions {
+                workers: Some(2),
+                deadline_ms: Some(5_000),
+                journal: Some("job1.journal".into()),
+            },
+        });
+        let wire = encode_request(&req).unwrap();
+        // Through a render/parse cycle, as the frame layer would do it.
+        let back = decode_request(&dfv_obs::parse_json(&wire.render()).unwrap()).unwrap();
+        match (req, back) {
+            (
+                Request::Submit(JobSpec::Campaign {
+                    blocks: a,
+                    options: oa,
+                }),
+                Request::Submit(JobSpec::Campaign {
+                    blocks: b,
+                    options: ob,
+                }),
+            ) => {
+                assert_eq!(oa, ob);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    // The content hash covers source, netlist, and spec —
+                    // if it survives the wire, dedup keys are stable
+                    // across client and server.
+                    assert_eq!(x.content_hash(), y.content_hash(), "block {}", x.name);
+                }
+            }
+            _ => panic!("variant changed in flight"),
+        }
+    }
+
+    #[test]
+    fn fault_sweep_submission_roundtrips() {
+        let items = |n: u64| {
+            (0..n)
+                .map(|i| StreamItem {
+                    value: Bv::from_u64(8, i),
+                    time: i,
+                })
+                .collect::<Vec<_>>()
+        };
+        let req = Request::Submit(JobSpec::FaultSweep {
+            seed: 0xDEAD,
+            blocks: vec![FaultBlock {
+                name: "s0".into(),
+                expected: items(3),
+                actual: items(3),
+                policy: ComparatorPolicy::InOrder {
+                    tolerance: 2,
+                    max_skew: Some(4),
+                },
+            }],
+            options: SubmitOptions::default(),
+        });
+        let wire = encode_request(&req).unwrap();
+        match decode_request(&wire).unwrap() {
+            Request::Submit(JobSpec::FaultSweep { seed, blocks, .. }) => {
+                assert_eq!(seed, 0xDEAD);
+                assert_eq!(blocks.len(), 1);
+                assert_eq!(blocks[0].expected.len(), 3);
+                assert_eq!(blocks[0].expected[2].value.to_u64(), 2);
+                assert!(matches!(
+                    blocks[0].policy,
+                    ComparatorPolicy::InOrder {
+                        tolerance: 2,
+                        max_skew: Some(4)
+                    }
+                ));
+            }
+            _ => panic!("variant changed in flight"),
+        }
+    }
+
+    #[test]
+    fn every_simple_request_and_response_roundtrips() {
+        for req in [
+            Request::Ping,
+            Request::Status,
+            Request::Cancel { job: 7 },
+            Request::Drain,
+        ] {
+            let wire = encode_request(&req).unwrap();
+            let back = decode_request(&wire).unwrap();
+            assert_eq!(std::mem::discriminant(&req), std::mem::discriminant(&back));
+        }
+        for resp in [
+            Response::Pong,
+            Response::Status {
+                counters: vec![("serve.accepted".into(), 3)],
+            },
+            Response::Accepted { job: 1 },
+            Response::Rejected {
+                reason: "service busy: campaign queue full".into(),
+                class: RetryClass::Transient,
+            },
+            Response::Progress {
+                job: 1,
+                block: "b0".into(),
+                status: "PASS".into(),
+            },
+            Response::Report {
+                job: 1,
+                report: Json::obj(vec![("name", Json::str("campaign"))]),
+            },
+            Response::Cancelled { job: 1 },
+            Response::DrainAck,
+            Response::Error {
+                message: "unknown job".into(),
+                class: RetryClass::Permanent,
+            },
+        ] {
+            let wire = encode_response(&resp);
+            let back = decode_response(&wire).unwrap();
+            assert_eq!(std::mem::discriminant(&resp), std::mem::discriminant(&back));
+            assert_eq!(encode_response(&back).render(), wire.render());
+        }
+    }
+
+    #[test]
+    fn malformed_submissions_are_permanent_errors() {
+        let cases = [
+            r#"{"type":"warp"}"#,
+            r#"{"type":"submit","job_kind":"campaign","options":{}}"#,
+            r#"{"type":"submit","job_kind":"campaign","blocks":[{"name":"b"}],"options":{}}"#,
+            r#"{"type":"submit","job_kind":"fault_sweep","seed":1,"blocks":[
+                {"name":"s","policy":{"kind":"sorted"},"expected":[],"actual":[]}],"options":{}}"#,
+            r#"{"type":"submit","job_kind":"campaign","blocks":[],"options":{"journal":"../etc/pwned"}}"#,
+            r#"{"type":"submit","job_kind":"campaign","blocks":[],"options":{"journal":"a/b"}}"#,
+        ];
+        for text in cases {
+            let v = dfv_obs::parse_json(text).unwrap();
+            let err = decode_request(&v).unwrap_err();
+            assert_eq!(err.class, RetryClass::Permanent, "case {text}");
+        }
+    }
+
+    #[test]
+    fn oversized_constants_are_refused_at_encode_time() {
+        let mut b = tiny_block("wide");
+        b.spec = EquivSpec::new(1).bind("a", 0, Binding::Const(Bv::zero(65)));
+        let err = encode_request(&Request::Submit(JobSpec::Campaign {
+            blocks: vec![b],
+            options: SubmitOptions::default(),
+        }))
+        .unwrap_err();
+        assert_eq!(err.class, RetryClass::Permanent);
+        assert!(err.message.contains("64"), "{}", err.message);
+    }
+}

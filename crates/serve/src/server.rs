@@ -1,0 +1,582 @@
+//! The daemon: executor pool, connection threads, and failure containment.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client A ──frames──► reader thread ──► AdmissionQueue ──► executor pool
+//!           ◄─frames─── writer thread ◄── bounded outbound ◄─┘  (Campaign /
+//!  client B ── ...                        channel               FaultCampaign)
+//! ```
+//!
+//! The server is transport-agnostic: [`Server::attach`] accepts any
+//! `(Read, Write)` pair — the in-process [`crate::pipe`] duplex in tests,
+//! split TCP or Unix-domain streams in the example binary, or either
+//! wrapped in a [`dfv_core::ChaosWire`]. Each connection gets two
+//! threads: a *reader* that parses frames and performs admission, and a
+//! *writer* that owns the write half and drains a **bounded** outbound
+//! channel, so one slow client can back-pressure only its own channel,
+//! never an executor or another client.
+//!
+//! # Failure containment, by path
+//!
+//! - **Overload**: admission is bounded ([`crate::admission`]); excess
+//!   submissions get a typed transient `Rejected` and are dropped —
+//!   server memory is constant under any submission rate.
+//! - **Slow client**: progress frames are sent with `try_send` and
+//!   *dropped* (counted) when the outbound channel is full; final
+//!   reports retry with a bounded backoff, then give up and count
+//!   `serve.client_lost`. No send blocks an executor forever.
+//! - **Disconnected / stalled client**: the reader thread sees EOF (or a
+//!   read timeout) and fires the cancel latch of every job the
+//!   connection owns; a running campaign stops starting new blocks,
+//!   journals what finished, and the freed executor moves on.
+//! - **Crashing work**: a panicking block is quarantined by
+//!   `dfv-core::sched` inside the campaign; the job still completes with
+//!   a `Crashed` verdict for that block. A panic can never take down an
+//!   executor thread, let alone the daemon.
+//! - **Kill -9**: accepted campaigns that name a journal checkpoint
+//!   every verdict through `dfv-core`'s crash-safe journal (advisory
+//!   file locks, torn-tail recovery). Resubmitting the same plan with
+//!   the same journal name after a restart replays finished blocks and
+//!   recomputes the rest — the canonical report is byte-identical to an
+//!   uninterrupted run.
+//! - **Drain**: a `Drain` request stops admission (late submitters get a
+//!   typed rejection), lets in-flight and queued jobs finish, and then
+//!   the executor pool exits; [`Server::wait`] returns.
+//!
+//! Identical submissions from different clients share verdicts through a
+//! process-wide [`SharedStore`] keyed by content hash, so a fleet of
+//! clients verifying overlapping block sets pays for each proof once.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dfv_core::{
+    Campaign, CampaignOptions, CancelToken, FaultCampaign, IoHandle, ProgressHook, SharedStore,
+    VerificationPlan,
+};
+use dfv_obs::{kinds, parse_json, ObsHook};
+
+use crate::admission::{AdmissionQueue, Limits, QueuedJob};
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{decode_request, encode_response, JobSpec, Request, Response, RetryClass};
+
+/// Outbound frames buffered per connection before progress is shed.
+const OUTBOUND_QUEUE: usize = 64;
+/// Bounded retry schedule for final (non-sheddable) sends: attempts ×
+/// sleep ≈ 2 s of patience for a slow client, then it is written off.
+const FINAL_SEND_ATTEMPTS: u32 = 400;
+const FINAL_SEND_PAUSE: Duration = Duration::from_millis(5);
+
+/// Monotonic named counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct Counters(Mutex<BTreeMap<String, u64>>);
+
+impl Counters {
+    /// Adds 1 to `name`.
+    pub fn bump(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut m = self.0.lock().expect("counter lock");
+        *m.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.0
+            .lock()
+            .expect("counter lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.0
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+/// A connection's outbound channel, safe to hand to executors.
+///
+/// Progress is best-effort (shed under back-pressure, counted); final
+/// answers are bounded-patience: retried briefly, then abandoned with
+/// `serve.client_lost` — an executor is never parked on a dead client.
+#[derive(Debug, Clone)]
+pub struct Outbound {
+    tx: SyncSender<Response>,
+    counters: Arc<Counters>,
+}
+
+impl Outbound {
+    /// Sheddable send: drops (and counts) when the client is slow.
+    pub fn send_progress(&self, resp: Response) {
+        match self.tx.try_send(resp) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.counters.bump(kinds::SERVE_PROGRESS_DROPPED),
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Non-sheddable send with bounded patience. Returns `false` when
+    /// the client is gone or would not drain its channel in time.
+    pub fn send_final(&self, resp: Response) -> bool {
+        let mut resp = resp;
+        for _ in 0..FINAL_SEND_ATTEMPTS {
+            match self.tx.try_send(resp) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(r)) => {
+                    resp = r;
+                    std::thread::sleep(FINAL_SEND_PAUSE);
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor threads (0 = accept-only; useful for admission tests).
+    pub executors: usize,
+    /// Admission queue limits.
+    pub limits: Limits,
+    /// Default per-campaign worker count when a submission names none.
+    pub default_workers: Option<usize>,
+    /// Cap applied to every submission's deadline (`None` = uncapped).
+    pub max_deadline_ms: Option<u64>,
+    /// Directory for journals (created at start).
+    pub state_dir: PathBuf,
+    /// Filesystem shim used for journals — a [`dfv_core::ChaosIo`] here
+    /// puts the whole persistence path under fault injection.
+    pub io: IoHandle,
+    /// Share verdicts across jobs and clients by content hash.
+    pub dedup: bool,
+    /// Observability hook passed to every campaign.
+    pub obs: ObsHook,
+}
+
+impl ServeConfig {
+    /// Sensible defaults over the given state directory.
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            executors: 2,
+            limits: Limits::default(),
+            default_workers: None,
+            max_deadline_ms: None,
+            state_dir: state_dir.into(),
+            io: IoHandle::real(),
+            dedup: true,
+            obs: ObsHook::none(),
+        }
+    }
+}
+
+struct ServerInner {
+    cfg: ServeConfig,
+    counters: Arc<Counters>,
+    queue: AdmissionQueue,
+    store: Option<SharedStore>,
+    /// Cancel latches of every accepted-but-unfinished job.
+    jobs: Mutex<HashMap<u64, CancelToken>>,
+    next_job: AtomicU64,
+}
+
+/// A running daemon.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Join handles for one attached connection's two threads.
+pub struct ConnHandle {
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+impl ConnHandle {
+    /// Waits for both connection threads to exit (they do when the
+    /// client closes its end and all of its jobs have reported).
+    pub fn join(self) {
+        let _ = self.reader.join();
+        let _ = self.writer.join();
+    }
+}
+
+impl Server {
+    /// Starts the executor pool. Connections are added with [`attach`].
+    ///
+    /// [`attach`]: Server::attach
+    pub fn start(cfg: ServeConfig) -> Server {
+        let _ = std::fs::create_dir_all(&cfg.state_dir);
+        let store = cfg.dedup.then(SharedStore::new);
+        let inner = Arc::new(ServerInner {
+            queue: AdmissionQueue::new(cfg.limits),
+            counters: Arc::new(Counters::default()),
+            store,
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            cfg,
+        });
+        let executors = (0..inner.cfg.executors)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || {
+                    while let Some(job) = inner.queue.pop() {
+                        run_job(&inner, job);
+                    }
+                })
+            })
+            .collect();
+        Server {
+            inner,
+            executors: Mutex::new(executors),
+        }
+    }
+
+    /// Serves one connection over any byte-stream pair. Returns the
+    /// connection's thread handles; the server does not track them.
+    pub fn attach<R, W>(&self, reader: R, writer: W) -> ConnHandle
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        let (tx, rx) = sync_channel::<Response>(OUTBOUND_QUEUE);
+        let outbound = Outbound {
+            tx,
+            counters: self.inner.counters.clone(),
+        };
+        // Job ids this connection owns; both threads cancel them when
+        // the client is found dead (whichever notices first wins).
+        let conn_jobs: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let writer_inner = self.inner.clone();
+        let writer_jobs = conn_jobs.clone();
+        let writer_handle = std::thread::spawn(move || {
+            let mut w = writer;
+            while let Ok(resp) = rx.recv() {
+                if write_frame(&mut w, &encode_response(&resp)).is_err() {
+                    // Client gone with a frame still owed to it. Dropping
+                    // rx makes every later send fail fast at the sender.
+                    writer_inner.counters.bump(kinds::SERVE_CLIENT_LOST);
+                    break;
+                }
+            }
+            cancel_owned_jobs(&writer_inner, &writer_jobs);
+        });
+
+        let reader_inner = self.inner.clone();
+        let reader_jobs = conn_jobs;
+        let reader_handle = std::thread::spawn(move || {
+            let mut r = reader;
+            serve_requests(&reader_inner, &mut r, &outbound, &reader_jobs);
+            cancel_owned_jobs(&reader_inner, &reader_jobs);
+        });
+
+        ConnHandle {
+            reader: reader_handle,
+            writer: writer_handle,
+        }
+    }
+
+    /// Current counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner.counters.snapshot()
+    }
+
+    /// One counter's value.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.counters.get(name)
+    }
+
+    /// Jobs currently queued (admitted, not yet picked up).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Graceful drain: stop admitting, let queued and in-flight jobs
+    /// finish. Combine with [`wait`](Server::wait) to block until done.
+    pub fn drain(&self) {
+        self.inner.queue.drain();
+    }
+
+    /// Blocks until the executor pool exits (after a drain, or a stop).
+    pub fn wait(&self) {
+        let handles = std::mem::take(&mut *self.executors.lock().expect("executor list lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Forceful stop: abandon queued jobs (each gets a typed transient
+    /// error and a `serve.cancelled` count), cancel in-flight ones, and
+    /// join the pool.
+    pub fn stop(&self) {
+        let orphans = self.inner.queue.shutdown();
+        for job in orphans {
+            self.inner
+                .jobs
+                .lock()
+                .expect("job registry lock")
+                .remove(&job.id);
+            job.cancel.cancel();
+            self.inner.counters.bump(kinds::SERVE_CANCELLED);
+            let _ = job.outbound.send_final(Response::Error {
+                message: format!("job {} abandoned: server shutting down", job.id),
+                class: RetryClass::Transient,
+            });
+        }
+        for tok in self.inner.jobs.lock().expect("job registry lock").values() {
+            tok.cancel();
+        }
+        self.wait();
+    }
+}
+
+/// Fires the cancel latch of every still-registered job the connection
+/// owns, then purges its still-queued jobs outright — nobody is left to
+/// read their answers, the freed slots take new admissions, and dropping
+/// them releases their outbound senders so the writer thread can exit.
+/// Idempotent: a latch is counted the first time it trips.
+fn cancel_owned_jobs(inner: &Arc<ServerInner>, owned: &Mutex<Vec<u64>>) {
+    let ids: Vec<u64> = owned.lock().expect("conn job lock").clone();
+    {
+        let registry = inner.jobs.lock().expect("job registry lock");
+        for id in &ids {
+            if let Some(tok) = registry.get(id) {
+                if !tok.is_cancelled() {
+                    tok.cancel();
+                    inner.counters.bump(kinds::SERVE_CANCELLED);
+                }
+            }
+        }
+    }
+    let purged = inner.queue.remove_many(&ids);
+    let mut registry = inner.jobs.lock().expect("job registry lock");
+    for job in purged {
+        registry.remove(&job.id);
+    }
+}
+
+/// The reader-thread request loop. Returns when the connection dies or
+/// framing breaks (after a framing error the stream offset is unknowable,
+/// so the only safe move is to answer and close).
+fn serve_requests(
+    inner: &Arc<ServerInner>,
+    r: &mut impl Read,
+    outbound: &Outbound,
+    conn_jobs: &Mutex<Vec<u64>>,
+) {
+    loop {
+        let msg = match read_frame(r) {
+            Ok(v) => v,
+            Err(e) => {
+                if !(e.is_disconnect() || e.is_stall()) {
+                    inner.counters.bump(kinds::SERVE_BAD_FRAME);
+                    let _ = outbound.send_final(Response::Error {
+                        message: format!("bad frame: {e}"),
+                        class: RetryClass::Permanent,
+                    });
+                }
+                return;
+            }
+        };
+        let req = match decode_request(&msg) {
+            Ok(req) => req,
+            Err(e) => {
+                // The frame itself was sound, so the stream is still in
+                // sync: refuse the request and keep serving.
+                inner.counters.bump(kinds::SERVE_BAD_FRAME);
+                if !outbound.send_final(Response::Error {
+                    message: e.message,
+                    class: e.class,
+                }) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match req {
+            Request::Ping => Response::Pong,
+            Request::Status => Response::Status {
+                counters: inner.counters.snapshot(),
+            },
+            Request::Submit(spec) => {
+                if !admit(inner, spec, outbound, conn_jobs) {
+                    return;
+                }
+                continue;
+            }
+            Request::Cancel { job } => {
+                let tok = inner
+                    .jobs
+                    .lock()
+                    .expect("job registry lock")
+                    .get(&job)
+                    .cloned();
+                match tok {
+                    Some(tok) => {
+                        if !tok.is_cancelled() {
+                            tok.cancel();
+                            inner.counters.bump(kinds::SERVE_CANCELLED);
+                        }
+                        Response::Cancelled { job }
+                    }
+                    None => Response::Error {
+                        message: format!("unknown or already finished job {job}"),
+                        class: RetryClass::Permanent,
+                    },
+                }
+            }
+            Request::Drain => {
+                inner.queue.drain();
+                Response::DrainAck
+            }
+        };
+        if !outbound.send_final(reply) {
+            return;
+        }
+    }
+}
+
+/// Admission: reserve a slot, register, *answer*, then publish — in that
+/// order, so the `Accepted` frame is in the outbound channel before any
+/// executor can see the job, and a client can never watch progress
+/// frames outrun its admission answer. Returns `false` when the client
+/// vanished mid-admission (the connection should close).
+fn admit(
+    inner: &Arc<ServerInner>,
+    spec: JobSpec,
+    outbound: &Outbound,
+    conn_jobs: &Mutex<Vec<u64>>,
+) -> bool {
+    let reservation = match inner.queue.reserve(&spec) {
+        Ok(r) => r,
+        Err(busy) => {
+            inner.counters.bump(kinds::SERVE_REJECTED);
+            return outbound.send_final(Response::Rejected {
+                reason: busy.reason,
+                class: busy.class,
+            });
+        }
+    };
+    let id = inner.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+    let token = CancelToken::new();
+    // Registered before publishing so an executor finishing the job
+    // instantly still finds (and removes) the registry entry.
+    inner
+        .jobs
+        .lock()
+        .expect("job registry lock")
+        .insert(id, token.clone());
+    conn_jobs.lock().expect("conn job lock").push(id);
+    if !outbound.send_final(Response::Accepted { job: id }) {
+        // Client gone before it could hear the answer: release the slot
+        // (reservation drops uncommitted) and never run the job.
+        inner.jobs.lock().expect("job registry lock").remove(&id);
+        return false;
+    }
+    reservation.commit(QueuedJob {
+        id,
+        spec,
+        cancel: token,
+        outbound: outbound.clone(),
+    });
+    inner.counters.bump(kinds::SERVE_ACCEPTED);
+    true
+}
+
+/// Runs one admitted job on the calling executor thread and delivers its
+/// final answer with bounded patience.
+fn run_job(inner: &Arc<ServerInner>, job: QueuedJob) {
+    let QueuedJob {
+        id,
+        spec,
+        cancel,
+        outbound,
+    } = job;
+    let final_resp = match spec {
+        JobSpec::Campaign { blocks, options } => {
+            let plan = VerificationPlan { blocks };
+            let deadline_ms = match (options.deadline_ms, inner.cfg.max_deadline_ms) {
+                (Some(d), Some(cap)) => Some(d.min(cap)),
+                (Some(d), None) => Some(d),
+                (None, cap) => cap,
+            };
+            let progress_out = outbound.clone();
+            let opts = CampaignOptions {
+                deadline: deadline_ms.map(Duration::from_millis),
+                workers: options.workers.or(inner.cfg.default_workers),
+                journal_path: options
+                    .journal
+                    .as_deref()
+                    .map(|n| inner.cfg.state_dir.join(n)),
+                obs: inner.cfg.obs.clone(),
+                io: inner.cfg.io.clone(),
+                cancel: cancel.clone(),
+                shared_store: inner.store.clone(),
+                progress: ProgressHook::new(move |res| {
+                    progress_out.send_progress(Response::Progress {
+                        job: id,
+                        block: res.name.clone(),
+                        status: res.status.to_string(),
+                    });
+                }),
+                ..CampaignOptions::default()
+            };
+            let report = Campaign::with_options(opts).run(&plan);
+            canonical_response(id, &report.to_run_report().canonical_json())
+        }
+        JobSpec::FaultSweep {
+            seed,
+            blocks,
+            options,
+        } => {
+            if cancel.is_cancelled() {
+                Response::Error {
+                    message: format!("job {id} cancelled before it started"),
+                    class: RetryClass::Transient,
+                }
+            } else {
+                let mut camp = FaultCampaign::new(seed);
+                if let Some(w) = options.workers.or(inner.cfg.default_workers) {
+                    camp = camp.with_workers(w);
+                }
+                let report = camp.run(&blocks);
+                canonical_response(id, &report.to_run_report().canonical_json())
+            }
+        }
+    };
+    inner.jobs.lock().expect("job registry lock").remove(&id);
+    inner.counters.bump(kinds::SERVE_COMPLETED);
+    if !outbound.send_final(final_resp) {
+        inner.counters.bump(kinds::SERVE_CLIENT_LOST);
+    }
+}
+
+fn canonical_response(id: u64, canonical: &str) -> Response {
+    match parse_json(canonical) {
+        Ok(v) => Response::Report { job: id, report: v },
+        Err(e) => Response::Error {
+            message: format!("internal: canonical report did not parse: {e}"),
+            class: RetryClass::Permanent,
+        },
+    }
+}

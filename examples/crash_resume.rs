@@ -110,9 +110,17 @@ fn main() {
         JournalLoad::Fresh => println!("fresh journal started at {journal}"),
         JournalLoad::Disabled => unreachable!("journal_path is always set here"),
     }
-    assert!(report.all_pass(), "every block in this plan is equivalent");
-
     let canonical = report.to_run_report().canonical_json();
     std::fs::write(&out, &canonical).expect("write canonical report");
     println!("canonical report written to {out}");
+
+    // Crashed blocks are quarantined, not fatal, during the run — but a
+    // report that still contains them after resume means some work never
+    // produced a verdict, and CI must see that as a failure.
+    let crashed = report.crashed();
+    if crashed > 0 {
+        eprintln!("{crashed} block(s) crashed and were quarantined; rerun to retry them");
+        std::process::exit(1);
+    }
+    assert!(report.all_pass(), "every block in this plan is equivalent");
 }

@@ -26,7 +26,7 @@ run cargo run --release --example fault_campaign
 # pin down the canonical JSON report — it must parse and be
 # byte-reproducible across two separate processes.
 obs_dir=$(mktemp -d)
-trap 'rm -rf "$obs_dir"' EXIT
+trap 'kill $(jobs -p) 2> /dev/null || true; rm -rf "$obs_dir"' EXIT
 run cargo run --release --example observability -- "$obs_dir/run1.json"
 run cargo run --release --example observability -- "$obs_dir/run2.json"
 run cmp "$obs_dir/run1.json" "$obs_dir/run2.json"
@@ -64,6 +64,53 @@ test ! -e "$obs_dir/camp_never.json"
 run ./target/release/examples/crash_resume "$obs_dir/kill.journal" "$obs_dir/camp_resumed.json"
 run cmp "$obs_dir/camp_clean.json" "$obs_dir/camp_resumed.json"
 run cargo run --release -q -p dfv-bench --bin experiments -- e13 > /dev/null
+# Offline smoke test: the dfv-serve daemon over a real loopback socket.
+# An uninterrupted daemon produces the baseline report; a second daemon
+# is hard-killed (abort()) by a chaos fail point the instant its 3rd
+# journal record lands, mid-campaign, taking the client's connection
+# with it; a restarted daemon over the same state dir must replay the
+# journal and hand the resubmitting client a canonical report that is
+# byte-identical to the baseline. Graceful drain must exit 0.
+run cargo build --release --example serve_demo
+serve_demo=./target/release/examples/serve_demo
+wait_addr() {
+    for _ in $(seq 100); do
+        [ -f "$1/serve.addr" ] && return 0
+        sleep 0.1
+    done
+    echo "error: daemon never wrote $1/serve.addr" >&2
+    exit 1
+}
+echo "==> serve_demo serve (baseline daemon)"
+"$serve_demo" serve "$obs_dir/serve_base" 2> /dev/null &
+base_pid=$!
+wait_addr "$obs_dir/serve_base"
+run "$serve_demo" submit "$obs_dir/serve_base" --journal job.journal --out "$obs_dir/serve_base.json" > /dev/null 2>&1
+run "$serve_demo" drain "$obs_dir/serve_base" > /dev/null
+run wait "$base_pid"
+echo "==> serve_demo serve --kill-after 3 (daemon must die mid-campaign)"
+"$serve_demo" serve "$obs_dir/serve_crash" --kill-after 3 2> /dev/null &
+crash_pid=$!
+wait_addr "$obs_dir/serve_crash"
+if "$serve_demo" submit "$obs_dir/serve_crash" --journal job.journal --out "$obs_dir/serve_never.json" > /dev/null 2>&1; then
+    echo "error: submission against the killed daemon succeeded" >&2
+    exit 1
+fi
+if wait "$crash_pid"; then
+    echo "error: killed daemon exited 0" >&2
+    exit 1
+fi
+test ! -e "$obs_dir/serve_never.json"
+echo "==> serve_demo serve (restarted over the crashed state dir)"
+rm -f "$obs_dir/serve_crash/serve.addr"
+"$serve_demo" serve "$obs_dir/serve_crash" 2> /dev/null &
+resume_pid=$!
+wait_addr "$obs_dir/serve_crash"
+run "$serve_demo" submit "$obs_dir/serve_crash" --journal job.journal --out "$obs_dir/serve_resumed.json" > /dev/null 2>&1
+run "$serve_demo" drain "$obs_dir/serve_crash" > /dev/null
+run wait "$resume_pid"
+run cmp "$obs_dir/serve_base.json" "$obs_dir/serve_resumed.json"
+run cargo run --release -q -p dfv-bench --bin experiments -- e14 > /dev/null
 # Stress the determinism property tests with the test harness itself
 # running them concurrently (worker pools inside worker pools), and the
 # crash-tolerance properties: kill-at-random-journal-point + resume.

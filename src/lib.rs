@@ -13,6 +13,7 @@
 //! * [`sec`] — prove SLM/RTL transaction equivalence;
 //! * [`cosim`] — simulate them together through transactors;
 //! * [`core`] — run whole verification campaigns incrementally;
+//! * [`serve`] — run campaigns as a fault-tolerant shared service;
 //! * [`obs`] — observe all of the above: recorders, run reports,
 //!   divergence localization, and VCD rendering.
 
@@ -28,5 +29,6 @@ pub use dfv_obs as obs;
 pub use dfv_rtl as rtl;
 pub use dfv_sat as sat;
 pub use dfv_sec as sec;
+pub use dfv_serve as serve;
 pub use dfv_slm as slm;
 pub use dfv_slmir as slmir;

@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run --release -p dfv-bench --bin bench -- sim
 //! cargo run --release -p dfv-bench --bin bench -- sim --smoke
+//! cargo run --release -p dfv-bench --bin bench -- sim --batch
 //! cargo run --release -p dfv-bench --bin bench -- sim --out BENCH_sim.json --canonical /tmp/c.json
 //! ```
 //!
 //! The `sim` subcommand runs the deterministic simulator workload sweep
 //! (FIR, convolution, memory system; both evaluation engines) and writes
 //! the full report — measured wall-clock included — to `BENCH_sim.json`
-//! (override with `--out`). With `--canonical PATH` it additionally
+//! (override with `--out`). With `--batch` it additionally runs the
+//! 64-lane batched campaign sweep (64 seeded streams per workload: 64
+//! scalar simulators vs one `LaneSim`) and folds its `sim_batch.*`
+//! counters into the same report. With `--canonical PATH` it additionally
 //! writes the timing-free canonical JSON, which is byte-identical across
 //! runs and is what CI diffs. `--smoke` shrinks the cycle counts for
 //! fast gating runs.
@@ -21,9 +25,15 @@ use dfv_bench::simbench;
 const FULL_CYCLES: u64 = 20_000;
 /// Cycles per workload in `--smoke` mode (CI gate).
 const SMOKE_CYCLES: u64 = 500;
+/// Cycles per stream in the batched sweep's full mode — the scalar side
+/// runs 64 streams per workload, so this keeps a full run's wall-clock
+/// comparable to the single-stream sweep's.
+const FULL_BATCH_CYCLES: u64 = 2_000;
+/// Cycles per stream in `--batch --smoke` mode.
+const SMOKE_BATCH_CYCLES: u64 = 120;
 
 fn usage() -> ! {
-    eprintln!("usage: bench sim [--smoke] [--out PATH] [--canonical PATH]");
+    eprintln!("usage: bench sim [--smoke] [--batch] [--out PATH] [--canonical PATH]");
     std::process::exit(2);
 }
 
@@ -37,20 +47,31 @@ fn main() {
 
 fn run_sim(args: &[String]) {
     let mut smoke = false;
+    let mut batch = false;
     let mut out_path = String::from("BENCH_sim.json");
     let mut canonical_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--batch" => batch = true,
             "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
             "--canonical" => canonical_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
-    let rep = simbench::sim_bench_report(cycles);
+    let mut rep = simbench::sim_bench_report(cycles);
     print!("{}", simbench::render_sim_bench(&rep));
+    if batch {
+        let batch_cycles = if smoke {
+            SMOKE_BATCH_CYCLES
+        } else {
+            FULL_BATCH_CYCLES
+        };
+        simbench::add_batch_sweep(&mut rep, batch_cycles);
+        print!("\n{}", simbench::render_sim_batch(&rep));
+    }
     std::fs::write(&out_path, rep.full_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);

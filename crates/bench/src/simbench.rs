@@ -1,4 +1,5 @@
-//! The deterministic simulator workload sweep behind `bench sim` and E12.
+//! The deterministic simulator workload sweep behind `bench sim` and E12,
+//! plus the 64-lane batched sweep behind `bench sim --batch` and E15.
 //!
 //! Three seeded workloads from `dfv-designs` — a dense FIR stream, a
 //! valid-gated convolution stream, and a mostly-idle memory system — each
@@ -9,18 +10,33 @@
 //! timing section, so the canonical JSON reproduces byte-for-byte across
 //! runs and machines while the full JSON still carries the measured
 //! speedup.
+//!
+//! The batched sweep ([`add_batch_sweep`]) measures campaign throughput
+//! instead of single-stream latency: 64 independently-seeded copies of
+//! each workload run once per engine — 64 scalar simulators versus one
+//! 64-lane [`dfv_rtl::LaneSim`] carrying one stream per lane — with the
+//! per-lane output hashes asserted identical before any counter is
+//! reported. `node_evals` counts kernel dispatches, so the lane engine's
+//! ~1/64 dispatch count (plus its per-lane fallback evaluations for
+//! division-class ops) is the honest work ratio.
 
 use dfv_bits::{Bv, SplitMix64};
 use dfv_designs::{conv, fir, memsys};
 use dfv_obs::{Json, RunReport};
-use dfv_rtl::{EvalMode, Module, SimStats, Simulator};
+use dfv_rtl::{EvalMode, LaneSim, Module, SimStats, Simulator};
+
+/// Lanes in the batched sweep (the lane engine's fixed width).
+pub const BATCH_LANES: usize = 64;
 
 /// One named deterministic workload: a module plus a seeded driver.
 struct Workload {
     name: &'static str,
     module: fn() -> Module,
-    /// Pokes every input for one cycle from the given rng and cycle index.
-    drive: fn(&mut Simulator, &mut SplitMix64, u64),
+    /// Produces the input values for one cycle from the given rng and
+    /// cycle index. Ports not mentioned hold their previous value — both
+    /// engines share that semantics, so the same value stream drives
+    /// scalar simulators and individual lanes alike.
+    drive: fn(&mut SplitMix64, u64) -> Vec<(&'static str, Bv)>,
     /// Output ports folded into the cross-engine hash each cycle.
     hash_outputs: &'static [&'static str],
 }
@@ -38,30 +54,35 @@ fn memsys_module() -> Module {
 }
 
 /// Dense: a new sample every cycle, occasional stalls.
-fn drive_fir(sim: &mut Simulator, rng: &mut SplitMix64, _cycle: u64) {
+fn drive_fir(rng: &mut SplitMix64, _cycle: u64) -> Vec<(&'static str, Bv)> {
     let r = rng.next_u64();
-    sim.poke("in_valid", Bv::from_bool(true));
-    sim.poke("stall", Bv::from_bool(r & 0xF == 0));
-    sim.poke("x", Bv::from_u64(8, r >> 8));
+    vec![
+        ("in_valid", Bv::from_bool(true)),
+        ("stall", Bv::from_bool(r & 0xF == 0)),
+        ("x", Bv::from_u64(8, r >> 8)),
+    ]
 }
 
 /// Medium density: a pixel on three cycles out of four.
-fn drive_conv(sim: &mut Simulator, rng: &mut SplitMix64, _cycle: u64) {
+fn drive_conv(rng: &mut SplitMix64, _cycle: u64) -> Vec<(&'static str, Bv)> {
     let r = rng.next_u64();
-    sim.poke("in_valid", Bv::from_bool(r & 3 != 0));
-    sim.poke("pix_in", Bv::from_u64(8, r >> 8));
+    vec![
+        ("in_valid", Bv::from_bool(r & 3 != 0)),
+        ("pix_in", Bv::from_u64(8, r >> 8)),
+    ]
 }
 
 /// Sparse: one request every 16th cycle, idle otherwise — the dirty-cone
 /// engine's best case.
-fn drive_memsys(sim: &mut Simulator, rng: &mut SplitMix64, cycle: u64) {
+fn drive_memsys(rng: &mut SplitMix64, cycle: u64) -> Vec<(&'static str, Bv)> {
     let req = cycle.is_multiple_of(16);
-    sim.poke("req_valid", Bv::from_bool(req));
+    let mut vals = vec![("req_valid", Bv::from_bool(req))];
     if req {
         let r = rng.next_u64();
-        sim.poke("tag", Bv::from_u64(memsys::TAG_W, r));
-        sim.poke("addr", Bv::from_u64(memsys::ADDR_W, r >> 32));
+        vals.push(("tag", Bv::from_u64(memsys::TAG_W, r)));
+        vals.push(("addr", Bv::from_u64(memsys::ADDR_W, r >> 32)));
     }
+    vals
 }
 
 const WORKLOADS: [Workload; 3] = [
@@ -85,27 +106,73 @@ const WORKLOADS: [Workload; 3] = [
     },
 ];
 
-/// Runs one workload on one engine; returns the simulator's counters and
-/// a fold of the watched outputs (engine-independent by construction).
-fn run_workload(w: &Workload, mode: EvalMode, cycles: u64) -> (SimStats, u64) {
+/// The base stimulus seed for a workload.
+fn base_seed(w: &Workload) -> u64 {
+    0xD15C_0000 ^ w.name.len() as u64
+}
+
+/// Per-lane stream seed — lane 0 is the base stream itself, so the
+/// single-stream sweep (`bench sim`) and lane 0 of the batched sweep
+/// replay the identical workload.
+fn lane_seed(base: u64, lane: usize) -> u64 {
+    base ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn fnv_fold(hash: u64, limb: u64) -> u64 {
+    (hash ^ limb).wrapping_mul(0x100000001b3)
+}
+
+/// Runs one workload stream on one scalar engine; returns the simulator's
+/// counters and a fold of the watched outputs (engine-independent by
+/// construction).
+fn run_workload(w: &Workload, mode: EvalMode, seed: u64, cycles: u64) -> (SimStats, u64) {
     let module = (w.module)();
     let mut sim = match mode {
         EvalMode::DirtyCone => Simulator::new(module),
         EvalMode::FullOracle => Simulator::new_reference(module),
     }
     .expect("workload module builds");
-    let mut rng = SplitMix64::new(0xD15C_0000 ^ w.name.len() as u64);
+    let mut rng = SplitMix64::new(seed);
     let mut hash = 0xcbf29ce484222325u64; // FNV-1a
     for cycle in 0..cycles {
-        (w.drive)(&mut sim, &mut rng, cycle);
+        for (port, value) in (w.drive)(&mut rng, cycle) {
+            sim.poke(port, value);
+        }
         sim.step();
         for port in w.hash_outputs {
             for &limb in sim.output(port).limbs() {
-                hash = (hash ^ limb).wrapping_mul(0x100000001b3);
+                hash = fnv_fold(hash, limb);
             }
         }
     }
     (sim.stats(), hash)
+}
+
+/// Runs 64 independently-seeded streams of one workload on a single
+/// [`LaneSim`]; returns the lane engine's counters and the per-lane
+/// output hashes (same fold as [`run_workload`]).
+fn run_workload_lanes(w: &Workload, cycles: u64) -> (dfv_rtl::LaneStats, Vec<u64>) {
+    let mut sim = LaneSim::new((w.module)()).expect("workload module builds");
+    let mut rngs: Vec<SplitMix64> = (0..BATCH_LANES)
+        .map(|lane| SplitMix64::new(lane_seed(base_seed(w), lane)))
+        .collect();
+    let mut hashes = vec![0xcbf29ce484222325u64; BATCH_LANES];
+    for cycle in 0..cycles {
+        for (lane, rng) in rngs.iter_mut().enumerate() {
+            for (port, value) in (w.drive)(rng, cycle) {
+                sim.poke_lane(port, lane, value);
+            }
+        }
+        sim.step();
+        for (lane, hash) in hashes.iter_mut().enumerate() {
+            for port in w.hash_outputs {
+                for &limb in sim.output_lane(port, lane).limbs() {
+                    *hash = fnv_fold(*hash, limb);
+                }
+            }
+        }
+    }
+    (sim.stats(), hashes)
 }
 
 fn engine_tag(mode: EvalMode) -> &'static str {
@@ -132,7 +199,7 @@ pub fn sim_bench_report(cycles: u64) -> RunReport {
         let mut results = Vec::new();
         for mode in [EvalMode::DirtyCone, EvalMode::FullOracle] {
             let (stats, hash) = rep.phase(format!("{}.{}", w.name, engine_tag(mode)), || {
-                run_workload(w, mode, cycles)
+                run_workload(w, mode, base_seed(w), cycles)
             });
             rep.set_counter(
                 format!("sim.{}.{}.steps", w.name, engine_tag(mode)),
@@ -162,6 +229,68 @@ pub fn sim_bench_report(cycles: u64) -> RunReport {
         );
     }
     rep
+}
+
+/// Appends the 64-lane batched sweep to a report (`bench sim --batch`,
+/// E15): for each workload, 64 independently-seeded streams on 64 scalar
+/// dirty-cone simulators versus the same 64 streams on one [`LaneSim`].
+/// Counters land under `sim_batch.*`; the per-lane output hashes must
+/// agree or this panics (a lane/scalar divergence is a simulator bug).
+///
+/// `node_evals` counts kernel dispatches on both engines, and the lane
+/// engine's per-lane fallback evaluations (division-class ops) are
+/// reported — and charged — separately, so
+/// `sim_batch.<w>.scalar.node_evals` versus
+/// `sim_batch.<w>.lanes.node_evals + sim_batch.<w>.lanes.fallback_evals`
+/// is an apples-to-apples work comparison.
+pub fn add_batch_sweep(rep: &mut RunReport, cycles: u64) {
+    rep.set_value("batch_lanes", Json::UInt(BATCH_LANES as u64));
+    for w in &WORKLOADS {
+        let (scalar_evals, scalar_hashes) = rep.phase(format!("{}.scalar64", w.name), || {
+            let mut evals = 0u64;
+            let mut hashes = Vec::with_capacity(BATCH_LANES);
+            for lane in 0..BATCH_LANES {
+                let (stats, hash) = run_workload(
+                    w,
+                    EvalMode::DirtyCone,
+                    lane_seed(base_seed(w), lane),
+                    cycles,
+                );
+                evals += stats.node_evals;
+                hashes.push(hash);
+            }
+            (evals, hashes)
+        });
+        let (lane_stats, lane_hashes) = rep.phase(format!("{}.lanes", w.name), || {
+            run_workload_lanes(w, cycles)
+        });
+        assert_eq!(
+            scalar_hashes, lane_hashes,
+            "lane engine diverged from scalar on workload {}",
+            w.name
+        );
+        let out_hash = scalar_hashes
+            .iter()
+            .fold(0xcbf29ce484222325u64, |h, &x| fnv_fold(h, x));
+        let lane_work = lane_stats.node_evals + lane_stats.lane_fallback_evals;
+        rep.set_counter(
+            format!("sim_batch.{}.scalar.node_evals", w.name),
+            scalar_evals,
+        );
+        rep.set_counter(
+            format!("sim_batch.{}.lanes.node_evals", w.name),
+            lane_stats.node_evals,
+        );
+        rep.set_counter(
+            format!("sim_batch.{}.lanes.fallback_evals", w.name),
+            lane_stats.lane_fallback_evals,
+        );
+        rep.set_counter(format!("sim_batch.{}.out_hash", w.name), out_hash);
+        rep.set_value(
+            format!("node_evals_scalar_over_lanes_x100.{}", w.name),
+            Json::UInt(scalar_evals * 100 / lane_work.max(1)),
+        );
+    }
 }
 
 /// Renders the sweep as a table plus the measured wall-clock speedups.
@@ -213,6 +342,59 @@ pub fn render_sim_bench(rep: &RunReport) -> String {
     out
 }
 
+/// Renders the batched sweep table ([`add_batch_sweep`] counters).
+pub fn render_sim_batch(rep: &RunReport) -> String {
+    let mut out = format!(
+        "batched campaign sweep: {BATCH_LANES} scalar simulators vs one {BATCH_LANES}-lane engine\n\n",
+    );
+    let mut rows = Vec::new();
+    for w in &WORKLOADS {
+        let scalar = rep.counter(&format!("sim_batch.{}.scalar.node_evals", w.name));
+        let lanes = rep.counter(&format!("sim_batch.{}.lanes.node_evals", w.name));
+        let fallback = rep.counter(&format!("sim_batch.{}.lanes.fallback_evals", w.name));
+        let lane_work = lanes + fallback;
+        let (mut scalar_us, mut lanes_us) = (0u128, 0u128);
+        for p in rep.phases() {
+            if p.name == format!("{}.scalar64", w.name) {
+                scalar_us += p.wall.as_micros();
+            } else if p.name == format!("{}.lanes", w.name) {
+                lanes_us += p.wall.as_micros();
+            }
+        }
+        rows.push(vec![
+            w.name.to_string(),
+            scalar.to_string(),
+            lanes.to_string(),
+            fallback.to_string(),
+            format!("{:.2}x", scalar as f64 / lane_work.max(1) as f64),
+            format!("{scalar_us}"),
+            format!("{lanes_us}"),
+            if lanes_us > 0 {
+                format!("{:.2}x", scalar_us as f64 / lanes_us as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    out.push_str(&crate::render_table(
+        &[
+            "workload",
+            "scalar64 node_evals",
+            "lane dispatches",
+            "lane fallbacks",
+            "work ratio",
+            "scalar us",
+            "lanes us",
+            "wall speedup",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nper-lane output hashes are asserted identical before any counter is reported;\nthe work ratio charges every per-lane fallback evaluation against the lane engine.\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +412,26 @@ mod tests {
         assert!(dirty < reference, "dirty {dirty} vs reference {reference}");
         // Timing never leaks into the canonical form.
         assert!(!a.canonical_json().contains("wall_us"));
+    }
+
+    #[test]
+    fn batch_sweep_reproduces_and_beats_scalar_by_8x() {
+        let mk = || {
+            let mut rep = RunReport::new("batch_only");
+            add_batch_sweep(&mut rep, 120);
+            rep
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        for w in ["fir_dense", "conv_stream", "memsys_sparse"] {
+            let scalar = a.counter(&format!("sim_batch.{w}.scalar.node_evals"));
+            let lane_work = a.counter(&format!("sim_batch.{w}.lanes.node_evals"))
+                + a.counter(&format!("sim_batch.{w}.lanes.fallback_evals"));
+            assert!(lane_work > 0, "{w}");
+            assert!(
+                lane_work * 8 <= scalar,
+                "{w}: lane work {lane_work} vs scalar {scalar}"
+            );
+        }
     }
 }

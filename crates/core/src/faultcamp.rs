@@ -100,6 +100,7 @@ pub struct FaultCase {
 pub struct FaultCampaign {
     seed: u64,
     workers: Option<usize>,
+    lanes: usize,
 }
 
 impl FaultCampaign {
@@ -108,6 +109,7 @@ impl FaultCampaign {
         FaultCampaign {
             seed,
             workers: None,
+            lanes: 1,
         }
     }
 
@@ -118,6 +120,20 @@ impl FaultCampaign {
     /// executing worker, so the report is identical for every count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Chunks the sweep's cells into lane groups of `lanes` (matching the
+    /// batched 64-lane RTL evaluator, `dfv_rtl::LaneSim`) instead of
+    /// handing the scheduler whole blocks. Each group is one work item;
+    /// its cells run in ascending lane order and the groups are merged
+    /// back in group order. Because every cell's seed derives from its
+    /// `(block, fault-class)` indices — never from the group or worker
+    /// that executed it — the report, and its canonical JSON, is
+    /// byte-identical for every `lanes` and worker count. Values `<= 1`
+    /// select the per-block path of [`FaultCampaign::run`].
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
         self
     }
 
@@ -147,6 +163,9 @@ impl FaultCampaign {
     /// back in block order, so the report — and its canonical JSON — is
     /// byte-identical for every worker count.
     pub fn run(&self, blocks: &[FaultBlock]) -> FaultCampaignReport {
+        if self.lanes > 1 {
+            return self.run_lanes(blocks);
+        }
         let workers = crate::sched::resolve_workers(self.workers);
         // Quarantined execution: a block whose sweep panics is reported in
         // `crashed` (plan order, deterministic) while every other block's
@@ -175,10 +194,79 @@ impl FaultCampaign {
         }
     }
 
-    /// The per-block work item: baseline admission check, then one
-    /// [`Self::sweep_cell`] per fault class. Pure — a function of the
-    /// campaign seed, the block, and its index only.
-    fn sweep_block(&self, bi: usize, block: &FaultBlock) -> Result<Vec<FaultCase>, String> {
+    /// The lane-group sweep behind [`FaultCampaign::with_lanes`]. Two
+    /// phases: baseline admission per block (in block order), then the
+    /// admitted blocks' `(block, fault-class)` cells — flattened in the
+    /// exact order the per-block path emits them — chunked into groups of
+    /// `lanes` as independent work items. The groups concatenate back in
+    /// order, so the cases vector is identical to the per-block path's.
+    fn run_lanes(&self, blocks: &[FaultBlock]) -> FaultCampaignReport {
+        let workers = crate::sched::resolve_workers(self.workers);
+        let admissions = crate::sched::run_quarantined(
+            blocks,
+            workers,
+            |_, block| Self::admit_baseline(block),
+            |_, _| {},
+        );
+        let mut baseline_errors = Vec::new();
+        let mut crashed = Vec::new();
+        let mut cells = Vec::new();
+        for ((bi, block), admission) in blocks.iter().enumerate().zip(admissions) {
+            match admission {
+                Ok(Ok(())) => {
+                    cells.extend(
+                        FaultKind::ALL
+                            .into_iter()
+                            .enumerate()
+                            .map(|(ki, kind)| (bi, ki, kind)),
+                    );
+                }
+                Ok(Err(e)) => baseline_errors.push(e),
+                Err(payload) => crashed.push(format!("{}: {payload}", block.name)),
+            }
+        }
+        let groups: Vec<&[(usize, usize, FaultKind)]> = cells.chunks(self.lanes).collect();
+        let sweeps = crate::sched::run_quarantined(
+            &groups,
+            workers,
+            |_, group| {
+                group
+                    .iter()
+                    .map(|&(bi, ki, kind)| self.sweep_cell(bi, &blocks[bi], ki, kind))
+                    .collect::<Vec<FaultCase>>()
+            },
+            |_, _| {},
+        );
+        let mut cases = Vec::with_capacity(cells.len());
+        for (sweep, group) in sweeps.into_iter().zip(&groups) {
+            match sweep {
+                Ok(group_cases) => cases.extend(group_cases),
+                Err(payload) => {
+                    // A crashed group quarantines only its own lanes; name
+                    // each distinct block the group touched so the escape
+                    // is attributable, mirroring the per-block path.
+                    let mut names: Vec<&str> = Vec::new();
+                    for &(bi, _, _) in group.iter() {
+                        let name = blocks[bi].name.as_str();
+                        if names.last() != Some(&name) {
+                            names.push(name);
+                        }
+                    }
+                    crashed.push(format!("{}: {payload}", names.join("+")));
+                }
+            }
+        }
+        FaultCampaignReport {
+            seed: self.seed,
+            cases,
+            baseline_errors,
+            crashed,
+        }
+    }
+
+    /// Rejects blocks whose *unfaulted* streams already mismatch under
+    /// their declared policy — their fault verdicts would be noise.
+    fn admit_baseline(block: &FaultBlock) -> Result<(), String> {
         let baseline = replay(
             &block.expected,
             &block.actual,
@@ -193,6 +281,14 @@ impl FaultCampaign {
                 baseline.mismatches[0]
             ));
         }
+        Ok(())
+    }
+
+    /// The per-block work item: baseline admission check, then one
+    /// [`Self::sweep_cell`] per fault class. Pure — a function of the
+    /// campaign seed, the block, and its index only.
+    fn sweep_block(&self, bi: usize, block: &FaultBlock) -> Result<Vec<FaultCase>, String> {
+        Self::admit_baseline(block)?;
         Ok(FaultKind::ALL
             .into_iter()
             .enumerate()
@@ -516,6 +612,53 @@ mod tests {
             parsed.get("values").and_then(|v| v.get("all_accounted")),
             Some(Json::Bool(false))
         ));
+    }
+
+    #[test]
+    fn lane_chunked_sweep_is_byte_identical_at_any_geometry() {
+        // Three blocks x FaultKind::ALL cells, chunked into lane groups of
+        // 1, 3 (splits blocks mid-sweep), and 64 (everything in one
+        // group), at 1 and 4 workers — every geometry must render the
+        // same canonical JSON as the per-block scalar path.
+        let blocks = [
+            untimed_block("fir"),
+            untimed_block("conv"),
+            untimed_block("memsys"),
+        ];
+        let base = FaultCampaign::new(0x1A7E)
+            .run(&blocks)
+            .to_run_report()
+            .canonical_json();
+        for workers in [1usize, 4] {
+            for lanes in [1usize, 3, 64] {
+                let j = FaultCampaign::new(0x1A7E)
+                    .with_workers(workers)
+                    .with_lanes(lanes)
+                    .run(&blocks)
+                    .to_run_report()
+                    .canonical_json();
+                assert_eq!(j, base, "diverged at workers={workers} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_mode_still_rejects_dirty_baselines() {
+        let mut dirty = untimed_block("skewed");
+        dirty.actual[0].value = Bv::from_u64(16, 0xBAD);
+        let blocks = [untimed_block("a"), dirty, untimed_block("b")];
+        let report = FaultCampaign::new(3).with_lanes(64).run(&blocks);
+        assert_eq!(report.baseline_errors.len(), 1);
+        assert!(report.baseline_errors[0].contains("skewed"));
+        // Both healthy blocks swept, in block order, with no cells from
+        // the rejected one leaking into the lane groups.
+        assert_eq!(report.cases.len(), 2 * FaultKind::ALL.len());
+        assert!(report.cases.iter().all(|c| c.block != "skewed"));
+        let scalar = FaultCampaign::new(3).run(&blocks);
+        assert_eq!(
+            report.to_run_report().canonical_json(),
+            scalar.to_run_report().canonical_json()
+        );
     }
 
     #[test]

@@ -107,6 +107,7 @@ mod faultcamp;
 mod journal;
 pub mod lockfile;
 pub mod sched;
+mod stimsweep;
 
 pub use cache::{CacheLoad, PersistError};
 pub use chaos::{ChaosIo, ChaosPlan, ChaosWire, FailAction, IoHandle, IoShim, RealIo, WirePlan};
@@ -116,6 +117,7 @@ pub use lockfile::FileLock;
 pub use sched::{
     resolve_workers, resolve_workers_with, CancelToken, DeadlineClock, MAX_WORKERS, WORKERS_ENV,
 };
+pub use stimsweep::{ScenarioOutcome, StimulusSweep, StimulusSweepReport};
 
 use dfv_obs::ObsHook;
 

@@ -1,0 +1,466 @@
+//! Batched constrained-random stimulus sweeps over compiled RTL.
+//!
+//! The simulation side of the campaign picture: a [`StimulusSweep`] runs
+//! `scenarios` independent constrained-random stimulus streams (one
+//! seeded [`StimulusGen`] per scenario) against a module for a fixed
+//! cycle count, and digests each scenario's output stream into a stable
+//! FNV-1a hash. The sweep is the fuzzing analogue of
+//! [`crate::FaultCampaign`]: scenarios are the cells, and the report is a
+//! pure function of the sweep seed and the module.
+//!
+//! # Lane batching
+//!
+//! With [`StimulusSweep::with_lanes`] the scenarios are chunked into
+//! groups of up to 64 and each group executes on one
+//! [`dfv_rtl::LaneSim`] — the bit-sliced 64-lane evaluator — with
+//! scenario *i* of the group riding lane *i*. One kernel dispatch then
+//! advances every scenario in the group at once, which is where the
+//! ~`1/lanes` node-evaluation cost of a sweep comes from (measured by
+//! [`StimulusSweepReport::node_evals`]).
+//!
+//! Determinism is the whole point of the layering: scenario seeds derive
+//! from the scenario *index* (never the group, lane, or worker that ran
+//! it), the scalar and lane engines are differentially tested to produce
+//! identical outputs, and groups merge back in scenario order through the
+//! deterministic scheduler in [`crate::sched`]. The canonical report
+//! excludes the engine-dependent work counters, so it is byte-identical
+//! for every `lanes` and worker count.
+
+use dfv_bits::{limbs::LANES, Bv, SplitMix64};
+use dfv_cosim::{FieldSpec, StimulusGen};
+use dfv_obs::{Json, RunReport};
+use dfv_rtl::{LaneSim, Module, Simulator};
+
+use crate::cache::Fnv;
+
+/// A seeded multi-scenario constrained-random sweep.
+///
+/// # Example
+///
+/// ```
+/// use dfv_core::StimulusSweep;
+/// use dfv_cosim::FieldSpec;
+///
+/// let module = dfv_designs::fir::rtl();
+/// let sweep = StimulusSweep::new(7)
+///     .field("in_valid", FieldSpec::Uniform { width: 1 })
+///     .field("x", FieldSpec::Corners { width: 8, corner_percent: 25 })
+///     .scenarios(8)
+///     .cycles(32);
+/// let scalar = sweep.run(&module).unwrap();
+/// let batched = sweep.with_lanes(64).run(&module).unwrap();
+/// assert_eq!(
+///     scalar.to_run_report().canonical_json(),
+///     batched.to_run_report().canonical_json(),
+/// );
+/// assert!(batched.node_evals < scalar.node_evals);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StimulusSweep {
+    seed: u64,
+    scenarios: usize,
+    cycles: usize,
+    lanes: usize,
+    workers: Option<usize>,
+    fields: Vec<(String, FieldSpec)>,
+}
+
+impl StimulusSweep {
+    /// A sweep whose entire report is a pure function of `seed` and the
+    /// module it runs over. Defaults: 64 scenarios, 256 cycles, scalar
+    /// (one-lane) execution.
+    pub fn new(seed: u64) -> Self {
+        StimulusSweep {
+            seed,
+            scenarios: 64,
+            cycles: 256,
+            lanes: 1,
+            workers: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a stimulus field driving the input port of the same name.
+    /// Ports without a field are held at zero.
+    pub fn field(mut self, port: &str, spec: FieldSpec) -> Self {
+        self.fields.push((port.into(), spec));
+        self
+    }
+
+    /// Sets how many independent scenarios to run.
+    pub fn scenarios(mut self, n: usize) -> Self {
+        self.scenarios = n;
+        self
+    }
+
+    /// Sets how many cycles each scenario runs.
+    pub fn cycles(mut self, n: usize) -> Self {
+        self.cycles = n;
+        self
+    }
+
+    /// Chunks scenarios into groups of `lanes` (clamped to `1..=64`),
+    /// each executed on one [`LaneSim`] with scenario *i* of the group on
+    /// lane *i*. Scenario seeds derive from scenario indices, so the
+    /// report is byte-identical for every `lanes` value.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.clamp(1, LANES);
+        self
+    }
+
+    /// Sets the scheduler worker count (lane groups are the work items).
+    /// Defaults to [`std::thread::available_parallelism`]; `DFV_WORKERS`
+    /// overrides either. The report is identical for every count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The per-scenario stream seed — exposed so one scenario can be
+    /// replayed in isolation from a report.
+    pub fn scenario_seed(&self, scenario: usize) -> u64 {
+        let mut r =
+            SplitMix64::new(self.seed ^ (scenario as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        r.next_u64()
+    }
+
+    fn gen_for(&self, scenario: usize) -> StimulusGen {
+        let mut g = StimulusGen::new(self.scenario_seed(scenario));
+        for (name, spec) in &self.fields {
+            g = g.field(name, spec.clone());
+        }
+        g
+    }
+
+    /// Runs the sweep. Errors (as strings, no panic) on a field naming a
+    /// missing input port or mismatching its width — catching the
+    /// misconfiguration before any cycles are spent.
+    pub fn run(&self, module: &Module) -> Result<StimulusSweepReport, String> {
+        for (name, spec) in &self.fields {
+            let port = module
+                .inputs
+                .iter()
+                .find(|p| &p.name == name)
+                .ok_or_else(|| format!("stimulus field {name:?} names no input port"))?;
+            let (fw, pw) = (field_width(spec), port.width);
+            if fw != pw {
+                return Err(format!(
+                    "stimulus field {name:?} is {fw} bits but port is {pw}"
+                ));
+            }
+        }
+        let workers = crate::sched::resolve_workers(self.workers);
+        let scenario_ids: Vec<usize> = (0..self.scenarios).collect();
+        let groups: Vec<&[usize]> = scenario_ids.chunks(self.lanes.max(1)).collect();
+        let runs = crate::sched::run_indexed(&groups, workers, |_, group| {
+            if self.lanes > 1 {
+                self.run_group_lanes(module, group)
+            } else {
+                self.run_group_scalar(module, group)
+            }
+        });
+        let mut scenarios = Vec::with_capacity(self.scenarios);
+        let (mut node_evals, mut lane_fallback_evals) = (0u64, 0u64);
+        for run in runs {
+            let run = run?;
+            scenarios.extend(run.hashes);
+            node_evals += run.node_evals;
+            lane_fallback_evals += run.lane_fallback_evals;
+        }
+        Ok(StimulusSweepReport {
+            seed: self.seed,
+            cycles: self.cycles,
+            scenarios,
+            node_evals,
+            lane_fallback_evals,
+        })
+    }
+
+    /// One lane group on the scalar engine: each scenario gets its own
+    /// [`Simulator`] and its stream is replayed cycle by cycle.
+    fn run_group_scalar(&self, module: &Module, group: &[usize]) -> Result<GroupRun, String> {
+        let mut run = GroupRun::default();
+        for &scenario in group {
+            let mut sim = Simulator::new(module.clone()).map_err(|e| e.to_string())?;
+            let mut gen = self.gen_for(scenario);
+            let mut h = Fnv::new();
+            for _ in 0..self.cycles {
+                for (name, value) in gen.next_transaction() {
+                    sim.poke(&name, value);
+                }
+                sim.step();
+                for port in &module.outputs {
+                    hash_bv(&mut h, &sim.output(&port.name));
+                }
+            }
+            run.hashes.push(ScenarioOutcome {
+                scenario,
+                out_hash: h.finish(),
+            });
+            run.node_evals += sim.stats().node_evals;
+        }
+        Ok(run)
+    }
+
+    /// One lane group on the batched engine: a single [`LaneSim`] carries
+    /// the whole group, scenario *i* on lane *i*, each lane fed by its own
+    /// generator — the same per-scenario streams the scalar path draws.
+    fn run_group_lanes(&self, module: &Module, group: &[usize]) -> Result<GroupRun, String> {
+        let mut run = GroupRun::default();
+        let mut sim = LaneSim::new(module.clone()).map_err(|e| e.to_string())?;
+        let mut gens: Vec<StimulusGen> = group.iter().map(|&s| self.gen_for(s)).collect();
+        let mut hashers: Vec<Fnv> = group.iter().map(|_| Fnv::new()).collect();
+        for _ in 0..self.cycles {
+            for (lane, gen) in gens.iter_mut().enumerate() {
+                for (name, value) in gen.next_transaction() {
+                    sim.poke_lane(&name, lane, value);
+                }
+            }
+            sim.step();
+            for (lane, h) in hashers.iter_mut().enumerate() {
+                for port in &module.outputs {
+                    hash_bv(h, &sim.output_lane(&port.name, lane));
+                }
+            }
+        }
+        for (&scenario, h) in group.iter().zip(&hashers) {
+            run.hashes.push(ScenarioOutcome {
+                scenario,
+                out_hash: h.finish(),
+            });
+        }
+        let stats = sim.stats();
+        run.node_evals = stats.node_evals;
+        run.lane_fallback_evals = stats.lane_fallback_evals;
+        Ok(run)
+    }
+}
+
+/// One work item's results: the group's scenario digests in lane order
+/// plus the engine work it spent.
+#[derive(Debug, Default)]
+struct GroupRun {
+    hashes: Vec<ScenarioOutcome>,
+    node_evals: u64,
+    lane_fallback_evals: u64,
+}
+
+fn field_width(spec: &FieldSpec) -> u32 {
+    match spec {
+        FieldSpec::Uniform { width }
+        | FieldSpec::Range { width, .. }
+        | FieldSpec::Corners { width, .. }
+        | FieldSpec::Excluding { width, .. } => *width,
+    }
+}
+
+/// Folds one output value into a scenario digest: width then limbs,
+/// little-endian — identical bytes whichever engine produced the `Bv`.
+fn hash_bv(h: &mut Fnv, v: &Bv) {
+    h.write(&v.width().to_le_bytes());
+    for limb in v.limbs() {
+        h.write(&limb.to_le_bytes());
+    }
+}
+
+/// One scenario's digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// The scenario index (its seed is [`StimulusSweep::scenario_seed`]).
+    pub scenario: usize,
+    /// FNV-1a over every output port value of every cycle, in cycle-major
+    /// module-output order.
+    pub out_hash: u64,
+}
+
+/// The result of one sweep.
+///
+/// The work counters ([`Self::node_evals`], [`Self::lane_fallback_evals`])
+/// measure the engine, not the design's behaviour — they differ between
+/// scalar and batched execution by construction, so
+/// [`Self::to_run_report`] deliberately leaves them out of the canonical
+/// report.
+#[derive(Debug, Clone)]
+pub struct StimulusSweepReport {
+    /// The sweep seed everything derives from.
+    pub seed: u64,
+    /// Cycles each scenario ran.
+    pub cycles: usize,
+    /// Per-scenario digests, in scenario order.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Kernel dispatches summed over every engine the sweep ran — the
+    /// batched path's headline: one dispatch covers a whole lane group.
+    pub node_evals: u64,
+    /// Per-lane scalar fallback evaluations (division and friends) the
+    /// batched engines performed. Always zero on the scalar path.
+    pub lane_fallback_evals: u64,
+}
+
+impl StimulusSweepReport {
+    /// An order-sensitive digest of the whole sweep (for quick equality
+    /// checks and bench summaries).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(&self.seed.to_le_bytes());
+        for s in &self.scenarios {
+            h.write(&(s.scenario as u64).to_le_bytes());
+            h.write(&s.out_hash.to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// Total engine work: kernel dispatches plus per-lane fallbacks.
+    pub fn total_evals(&self) -> u64 {
+        self.node_evals + self.lane_fallback_evals
+    }
+
+    /// The sweep as a machine-readable [`RunReport`]. Only
+    /// engine-independent data enters: the seed, geometry, and the
+    /// per-scenario digests — so the canonical JSON is byte-identical
+    /// for every `lanes` and worker count.
+    pub fn to_run_report(&self) -> RunReport {
+        let mut rep = RunReport::new("stimulus_sweep");
+        rep.set_counter("stimsweep.scenarios", self.scenarios.len() as u64);
+        rep.set_counter("stimsweep.cycles", self.cycles as u64);
+        rep.set_value("seed", Json::UInt(self.seed));
+        rep.set_value("digest", Json::UInt(self.digest()));
+        rep.set_value(
+            "scenarios",
+            Json::Arr(
+                self.scenarios
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("scenario", Json::UInt(s.scenario as u64)),
+                            ("out_hash", Json::UInt(s.out_hash)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fir_sweep(seed: u64) -> StimulusSweep {
+        StimulusSweep::new(seed)
+            .field("in_valid", FieldSpec::Uniform { width: 1 })
+            .field(
+                "x",
+                FieldSpec::Corners {
+                    width: 8,
+                    corner_percent: 25,
+                },
+            )
+            .field(
+                "stall",
+                FieldSpec::Excluding {
+                    width: 1,
+                    exclude: vec![],
+                },
+            )
+            .scenarios(96)
+            .cycles(40)
+    }
+
+    #[test]
+    fn scalar_and_lane_reports_are_byte_identical_at_any_geometry() {
+        let module = dfv_designs::fir::rtl();
+        let base = fir_sweep(0xF12)
+            .run(&module)
+            .unwrap()
+            .to_run_report()
+            .canonical_json();
+        for workers in [1usize, 4] {
+            for lanes in [1usize, 5, 64] {
+                let j = fir_sweep(0xF12)
+                    .with_workers(workers)
+                    .with_lanes(lanes)
+                    .run(&module)
+                    .unwrap()
+                    .to_run_report()
+                    .canonical_json();
+                assert_eq!(j, base, "diverged at workers={workers} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_cuts_kernel_dispatches() {
+        // A fully lane-able datapath: one dispatch advances all 64 lanes,
+        // and the sweep's total work drops by well over the 8x acceptance
+        // floor even when every per-lane fallback evaluation (zero here)
+        // is charged against the batched engine.
+        let mut b = dfv_rtl::ModuleBuilder::new("laneable");
+        let en = b.input("en", 1);
+        let x = b.input("x", 16);
+        let acc = b.reg("acc", 16, dfv_bits::Bv::zero(16));
+        let q = b.reg_q(acc);
+        let sum = b.add(q, x);
+        let folded = b.xor(sum, q);
+        b.connect_reg(acc, folded);
+        b.reg_enable(acc, en);
+        b.output("acc", q);
+        let module = b.finish().unwrap();
+
+        let sweep = |lanes| {
+            StimulusSweep::new(3)
+                .field("en", FieldSpec::Uniform { width: 1 })
+                .field("x", FieldSpec::Uniform { width: 16 })
+                .scenarios(96)
+                .cycles(40)
+                .with_lanes(lanes)
+                .run(&module)
+                .unwrap()
+        };
+        let scalar = sweep(1);
+        let batched = sweep(64);
+        assert_eq!(scalar.digest(), batched.digest());
+        assert_eq!(scalar.lane_fallback_evals, 0);
+        assert_eq!(batched.lane_fallback_evals, 0);
+        assert!(
+            batched.total_evals() * 8 <= scalar.total_evals(),
+            "batched {} vs scalar {}",
+            batched.total_evals(),
+            scalar.total_evals()
+        );
+    }
+
+    #[test]
+    fn scenarios_are_independent_of_grouping() {
+        // A scenario's digest must not depend on which group (or lane) ran
+        // it: sweeping 10 scenarios in groups of 3 gives the same
+        // per-scenario hashes as groups of 64.
+        let module = dfv_designs::fir::rtl();
+        let a = fir_sweep(11)
+            .scenarios(10)
+            .with_lanes(3)
+            .run(&module)
+            .unwrap();
+        let b = fir_sweep(11)
+            .scenarios(10)
+            .with_lanes(64)
+            .run(&module)
+            .unwrap();
+        assert_eq!(a.scenarios, b.scenarios);
+        // And distinct scenarios see distinct stimulus.
+        assert_ne!(a.scenarios[0].out_hash, a.scenarios[1].out_hash);
+    }
+
+    #[test]
+    fn misconfigured_fields_error_before_running() {
+        let module = dfv_designs::fir::rtl();
+        let missing = StimulusSweep::new(1)
+            .field("nope", FieldSpec::Uniform { width: 8 })
+            .run(&module);
+        assert!(missing.unwrap_err().contains("no input port"));
+        let wrong_width = StimulusSweep::new(1)
+            .field("x", FieldSpec::Uniform { width: 16 })
+            .run(&module);
+        assert!(wrong_width.unwrap_err().contains("16 bits but port is 8"));
+    }
+}

@@ -140,6 +140,16 @@ impl StimulusGen {
             .map(|(name, spec)| (name.clone(), self.draw(spec)))
             .collect()
     }
+
+    /// Generates the next `n` transactions in one call — one fuzz
+    /// *round*. Round `r`'s transactions map onto lanes `0..n` of a
+    /// batched 64-lane evaluation, so a campaign that chunks scenarios
+    /// into lane groups draws exactly the same stream a scalar sweep
+    /// would (the batch is just `n` consecutive
+    /// [`StimulusGen::next_transaction`] draws).
+    pub fn next_batch(&mut self, n: usize) -> Vec<Transaction> {
+        (0..n).map(|_| self.next_transaction()).collect()
+    }
 }
 
 /// A uniformly random `Bv` of arbitrary width, drawn 64 bits per chunk
@@ -179,6 +189,26 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(a.next_transaction(), b.next_transaction());
         }
+    }
+
+    #[test]
+    fn batch_is_consecutive_draws() {
+        let mk = || {
+            StimulusGen::new(11)
+                .field("x", FieldSpec::Uniform { width: 16 })
+                .field(
+                    "y",
+                    FieldSpec::Range {
+                        width: 8,
+                        lo: 2,
+                        hi: 9,
+                    },
+                )
+        };
+        let mut one_by_one = mk();
+        let singles: Vec<_> = (0..64).map(|_| one_by_one.next_transaction()).collect();
+        let batch = mk().next_batch(64);
+        assert_eq!(batch, singles);
     }
 
     #[test]

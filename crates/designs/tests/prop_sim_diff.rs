@@ -1,21 +1,31 @@
-//! Differential property suite for the compiled simulation engine.
+//! Differential property suite for the compiled simulation engines.
 //!
-//! The dirty-cone engine ([`Simulator::new`]) must be bit-identical to the
-//! reference full-reevaluation interpreter ([`Simulator::new_reference`])
-//! on every design in this crate plus a synthetic "op soup" module that
-//! exercises every operator at single- and multi-limb widths. Both engines
-//! are driven with identical seeded constrained-random stimulus (in-tree
-//! SplitMix64, so the test is reproducible with no external deps) and
-//! compared on per-cycle outputs, the recorded traces, and the rendered
-//! VCD dumps — byte for byte.
+//! Every seeded design runs through **three** engines under seeded
+//! constrained-random stimulus (in-tree SplitMix64, no external deps):
 //!
-//! A final regression test pins down the point of the engine: on a sparse
-//! workload the dirty-cone `node_evals` counter must come in strictly
-//! below the reference engine's full-pass count.
+//! * the dirty-cone compiled engine ([`Simulator::new`]),
+//! * the reference full-reevaluation interpreter
+//!   ([`Simulator::new_reference`]), and
+//! * the 64-lane batched engine ([`LaneSim`]), each lane driven with its
+//!   own independent stimulus stream.
+//!
+//! The two scalar engines are compared on per-cycle outputs, recorded
+//! traces, and rendered VCD dumps — byte for byte. The batched engine is
+//! compared per lane: lane `l`'s outputs and trace must be bit-identical
+//! to a scalar run of lane `l`'s stimulus.
+//!
+//! Regression tests then pin down the point of each engine: the
+//! dirty-cone `node_evals` counter must come in strictly below the
+//! reference engine's full-pass count on a sparse workload, and the
+//! batched engine must cover 64 scenarios for well under 1/8th (in
+//! practice ~1/64th) of 64 scalar runs' dispatches.
 
+use dfv_bits::limbs::LANES;
 use dfv_bits::{Bv, SplitMix64};
 use dfv_designs::{alu, conv, fir, memsys};
-use dfv_rtl::{trace_to_vcd, EvalMode, Module, ModuleBuilder, NodeId, Simulator};
+use dfv_rtl::{
+    eval_bin, trace_to_vcd, EvalMode, LaneSim, Module, ModuleBuilder, NodeId, Simulator,
+};
 
 /// A two-operand `ModuleBuilder` node constructor.
 type BinCtor = fn(&mut ModuleBuilder, NodeId, NodeId) -> NodeId;
@@ -27,36 +37,88 @@ fn random_bv(rng: &mut SplitMix64, width: u32) -> Bv {
     Bv::from_bits_lsb(&bits)
 }
 
-/// Drives both engines with the same seeded stimulus for `cycles` cycles
-/// and asserts bit-identity of every output every cycle, of the recorded
-/// traces, and of the VCD dumps.
-fn assert_engines_agree(module: Module, seed: u64, cycles: u32) {
+/// The stimulus seed of lane `lane` (lane 0 gets `seed` itself, so the
+/// plain scalar run doubles as lane 0's checker).
+fn lane_seed(seed: u64, lane: usize) -> u64 {
+    seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Drives all three engines with seeded stimulus for `cycles` cycles.
+/// The scalar engines share lane 0's stream and are held bit-identical
+/// on every output, the traces, and the VCDs; the 64-lane batched engine
+/// gets an independent stream per lane and every lane in `check_lanes`
+/// is held bit-identical (outputs per cycle + full trace) to a fresh
+/// scalar run of that lane's stream.
+fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lanes: &[usize]) {
     let name = module.name.clone();
     let mut fast = Simulator::new(module.clone()).unwrap();
     let mut oracle = Simulator::new_reference(module.clone()).unwrap();
+    let mut lanes = LaneSim::new(module.clone()).unwrap();
     assert_eq!(fast.eval_mode(), EvalMode::DirtyCone);
     assert_eq!(oracle.eval_mode(), EvalMode::FullOracle);
     for p in &module.outputs {
         fast.watch_output(&p.name);
         oracle.watch_output(&p.name);
+        lanes.watch_output(&p.name);
     }
-    // Two independent streams with the same seed produce the same pokes.
+    // Scalar checkers for the sampled lanes (lane 0 is covered by `fast`).
+    let mut checkers: Vec<(usize, Simulator, SplitMix64)> = check_lanes
+        .iter()
+        .filter(|&&l| l != 0)
+        .map(|&l| {
+            let mut sim = Simulator::new(module.clone()).unwrap();
+            for p in &module.outputs {
+                sim.watch_output(&p.name);
+            }
+            (l, sim, SplitMix64::new(lane_seed(seed, l)))
+        })
+        .collect();
     let mut rng_a = SplitMix64::new(seed);
     let mut rng_b = SplitMix64::new(seed);
+    let mut lane_rngs: Vec<SplitMix64> = (0..LANES)
+        .map(|l| SplitMix64::new(lane_seed(seed, l)))
+        .collect();
     for cycle in 0..cycles {
         for p in &module.inputs {
             fast.poke(&p.name, random_bv(&mut rng_a, p.width));
             oracle.poke(&p.name, random_bv(&mut rng_b, p.width));
+            for (l, rng) in lane_rngs.iter_mut().enumerate() {
+                lanes.poke_lane(&p.name, l, random_bv(rng, p.width));
+            }
+            for (_, sim, rng) in checkers.iter_mut() {
+                sim.poke(&p.name, random_bv(rng, p.width));
+            }
         }
         fast.step();
         oracle.step();
+        lanes.step();
+        for (_, sim, _) in checkers.iter_mut() {
+            sim.step();
+        }
         for p in &module.outputs {
+            let f = fast.output(&p.name);
             assert_eq!(
-                fast.output(&p.name),
+                f,
                 oracle.output(&p.name),
                 "{name}: output {:?} diverged at cycle {cycle} (seed {seed:#x})",
                 p.name
             );
+            if check_lanes.contains(&0) {
+                assert_eq!(
+                    lanes.output_lane(&p.name, 0),
+                    f,
+                    "{name}: lane 0 output {:?} diverged at cycle {cycle} (seed {seed:#x})",
+                    p.name
+                );
+            }
+            for (l, sim, _) in checkers.iter_mut() {
+                assert_eq!(
+                    lanes.output_lane(&p.name, *l),
+                    sim.output(&p.name),
+                    "{name}: lane {l} output {:?} diverged at cycle {cycle} (seed {seed:#x})",
+                    p.name
+                );
+            }
         }
     }
     assert_eq!(fast.trace(), oracle.trace(), "{name}: traces diverged");
@@ -65,6 +127,39 @@ fn assert_engines_agree(module: Module, seed: u64, cycles: u32) {
         trace_to_vcd(&oracle, "tb"),
         "{name}: VCD dumps diverged"
     );
+    if check_lanes.contains(&0) {
+        assert_eq!(
+            &lanes.trace_lane(0)[..],
+            fast.trace(),
+            "{name}: lane 0 trace diverged"
+        );
+    }
+    for (l, sim, _) in &checkers {
+        assert_eq!(
+            &lanes.trace_lane(*l)[..],
+            sim.trace(),
+            "{name}: lane {l} trace diverged"
+        );
+    }
+}
+
+const ALL_LANES: [usize; 64] = {
+    let mut l = [0usize; 64];
+    let mut i = 0;
+    while i < 64 {
+        l[i] = i;
+        i += 1;
+    }
+    l
+};
+
+/// Spread sample for the expensive wide-op modules: both ends, the limb
+/// boundary neighborhood, and a mid lane.
+const SAMPLED_LANES: [usize; 8] = [0, 1, 7, 31, 32, 33, 62, 63];
+
+/// The classic 2-engine + all-lane check used by the design tests.
+fn assert_engines_agree(module: Module, seed: u64, cycles: u32) {
+    assert_engines_agree_lanes(module, seed, cycles, &ALL_LANES);
 }
 
 /// A module using every `BinOp`/`UnOp` plus mux/slice/concat/zext/sext, a
@@ -186,15 +281,143 @@ fn engines_agree_on_memsys() {
 #[test]
 fn engines_agree_on_op_soup_single_limb() {
     for &w in &[8u32, 33, 63, 64] {
-        assert_engines_agree(op_soup(w), 0x5EED ^ w as u64, 48);
+        assert_engines_agree_lanes(op_soup(w), 0x5EED ^ w as u64, 48, &SAMPLED_LANES);
     }
 }
 
 #[test]
 fn engines_agree_on_op_soup_multi_limb() {
     for &w in &[65u32, 100, 128, 200] {
-        assert_engines_agree(op_soup(w), 0x1DEA ^ w as u64, 48);
+        assert_engines_agree_lanes(op_soup(w), 0x1DEA ^ w as u64, 48, &SAMPLED_LANES);
     }
+}
+
+/// Shift kernels at the limb-boundary amounts (63/64/65), at and above
+/// the data width, through every engine — pinned against the `Bv` oracle
+/// directly, so a regression in any layer (single-limb fast path,
+/// multi-limb kernel, lane fallback) names the diverging case.
+#[test]
+fn shift_kernels_agree_at_limb_boundaries() {
+    for &w in &[8u32, 63, 64, 65, 127, 128, 200] {
+        let mut b = ModuleBuilder::new("shifter");
+        let a = b.input("a", w);
+        let amt = b.input("amt", 16);
+        let shl = b.shl(a, amt);
+        let lshr = b.lshr(a, amt);
+        let ashr = b.ashr(a, amt);
+        b.output("shl", shl);
+        b.output("lshr", lshr);
+        b.output("ashr", ashr);
+        let module = b.finish().unwrap();
+
+        let mut rng = SplitMix64::new(0x5817 ^ w as u64);
+        let mut values = vec![
+            Bv::zero(w),
+            Bv::ones(w),
+            Bv::from_u64(w, 1),
+            random_bv(&mut rng, w),
+        ];
+        // Sign bit alone: the adversarial AShr operand.
+        let mut sign = Bv::zero(w);
+        sign = sign.not().shl(w - 1);
+        values.push(sign);
+        let amounts: Vec<u64> = [0u64, 1, 62, 63, 64, 65, 127, 128]
+            .into_iter()
+            .chain([w as u64 - 1, w as u64, w as u64 + 1, 1000])
+            .collect();
+
+        let mut fast = Simulator::new(module.clone()).unwrap();
+        let mut oracle = Simulator::new_reference(module.clone()).unwrap();
+        let mut lanes = LaneSim::new(module.clone()).unwrap();
+        // Lane-chunk the (value, amount) grid; every case also runs both
+        // scalar engines and the direct oracle.
+        let cases: Vec<(Bv, u64)> = values
+            .iter()
+            .flat_map(|v| amounts.iter().map(move |&m| (v.clone(), m)))
+            .collect();
+        for chunk in cases.chunks(LANES) {
+            for (lane, (v, m)) in chunk.iter().enumerate() {
+                lanes.poke_lane("a", lane, v.clone());
+                lanes.poke_lane("amt", lane, Bv::from_u64(16, *m));
+            }
+            for (lane, (v, m)) in chunk.iter().enumerate() {
+                let amt_bv = Bv::from_u64(16, *m);
+                fast.poke("a", v.clone());
+                fast.poke("amt", amt_bv.clone());
+                oracle.poke("a", v.clone());
+                oracle.poke("amt", amt_bv.clone());
+                for (port, op) in [
+                    ("shl", dfv_rtl::ir::BinOp::Shl),
+                    ("lshr", dfv_rtl::ir::BinOp::LShr),
+                    ("ashr", dfv_rtl::ir::BinOp::AShr),
+                ] {
+                    let expect = eval_bin(op, v, &amt_bv);
+                    assert_eq!(
+                        fast.output(port),
+                        expect,
+                        "compiled {port} w={w} amt={m} a={v:?}"
+                    );
+                    assert_eq!(
+                        oracle.output(port),
+                        expect,
+                        "oracle {port} w={w} amt={m} a={v:?}"
+                    );
+                    assert_eq!(
+                        lanes.output_lane(port, lane),
+                        expect,
+                        "lane {port} w={w} amt={m} a={v:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The batched engine's reason to exist: 64 scenarios on the sparse
+/// memsys workload cost one lane run — well under 1/8th (measured
+/// ~1/64th) of what 64 scalar dirty-cone runs dispatch.
+#[test]
+fn lane_batching_cuts_node_evals_on_sparse_workload() {
+    let table: [u8; 16] = [0; 16];
+    let m = memsys::rtl(&table);
+
+    // 64 scalar runs, one per scenario.
+    let mut scalar_evals = 0u64;
+    for lane in 0..LANES {
+        let mut sim = Simulator::new(m.clone()).unwrap();
+        sim.step_with(&[
+            ("req_valid", Bv::from_bool(true)),
+            ("tag", Bv::from_u64(memsys::TAG_W, lane as u64 % 16)),
+            ("addr", Bv::from_u64(memsys::ADDR_W, lane as u64 % 8)),
+        ]);
+        sim.poke("req_valid", Bv::from_bool(false));
+        for _ in 0..100 {
+            sim.step();
+        }
+        sim.output("resp0_valid");
+        scalar_evals += sim.stats().node_evals;
+    }
+
+    // One batched run covering the same 64 scenarios.
+    let mut lanes = LaneSim::new(m).unwrap();
+    for lane in 0..LANES {
+        lanes.poke_lane("req_valid", lane, Bv::from_bool(true));
+        lanes.poke_lane("tag", lane, Bv::from_u64(memsys::TAG_W, lane as u64 % 16));
+        lanes.poke_lane("addr", lane, Bv::from_u64(memsys::ADDR_W, lane as u64 % 8));
+    }
+    lanes.step();
+    lanes.poke_splat("req_valid", Bv::from_bool(false));
+    for _ in 0..100 {
+        lanes.step();
+    }
+    lanes.output_lane("resp0_valid", 0);
+    let batched = lanes.stats().node_evals + lanes.stats().lane_fallback_evals;
+
+    assert!(
+        batched * 8 <= scalar_evals,
+        "batched run dispatched {batched} (incl. fallbacks) vs {scalar_evals} scalar node evals \
+         — expected at least 8x savings"
+    );
 }
 
 /// The engine's reason to exist: on a sparse workload (one request, then a

@@ -43,6 +43,7 @@ mod check;
 pub mod cone;
 mod flatten;
 pub mod ir;
+mod lanes;
 mod netlist;
 mod schedule;
 mod sim;
@@ -55,6 +56,7 @@ pub use cone::FanoutMap;
 pub use cone::{fanin_cone, ConeEntry, ConeKind, ConeStart};
 pub use flatten::flatten;
 pub use ir::{Design, Module, ModuleStats, NodeId};
+pub use lanes::{LaneSim, LaneStats};
 pub use netlist::{parse_design, parse_module, write_design, write_module};
 pub use schedule::SimSchedule;
 pub use sim::{eval_bin, eval_un, EvalMode, SimStats, Simulator, TraceStep};

@@ -111,6 +111,19 @@ run "$serve_demo" drain "$obs_dir/serve_crash" > /dev/null
 run wait "$resume_pid"
 run cmp "$obs_dir/serve_base.json" "$obs_dir/serve_resumed.json"
 run cargo run --release -q -p dfv-bench --bin experiments -- e14 > /dev/null
+# Offline smoke test: the 64-lane batched engine. The batched sweep runs
+# 64 scalar simulators against one LaneSim per workload, asserts the
+# per-lane output hashes identical, and its canonical JSON (kernel
+# dispatches + fallback counts, no wall-clock) must be byte-identical
+# across two separate processes. The lane-parity property suite then
+# pins scalar vs LaneSim vs full-oracle 3-way equivalence.
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke --batch \
+    --out "$obs_dir/bench_batch1_full.json" --canonical "$obs_dir/bench_batch1.json" > /dev/null
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke --batch \
+    --out "$obs_dir/bench_batch2_full.json" --canonical "$obs_dir/bench_batch2.json" > /dev/null
+run cmp "$obs_dir/bench_batch1.json" "$obs_dir/bench_batch2.json"
+run cargo test -q --release -p dfv-designs --test prop_sim_diff
+run cargo run --release -q -p dfv-bench --bin experiments -- e15 > /dev/null
 # Stress the determinism property tests with the test harness itself
 # running them concurrently (worker pools inside worker pools), and the
 # crash-tolerance properties: kill-at-random-journal-point + resume.

@@ -5,21 +5,27 @@
 //! cargo run --release -p dfv-bench --bin bench -- sim
 //! cargo run --release -p dfv-bench --bin bench -- sim --smoke
 //! cargo run --release -p dfv-bench --bin bench -- sim --batch
+//! cargo run --release -p dfv-bench --bin bench -- sim --engine vm
 //! cargo run --release -p dfv-bench --bin bench -- sim --out BENCH_sim.json --canonical /tmp/c.json
 //! ```
 //!
 //! The `sim` subcommand runs the deterministic simulator workload sweep
-//! (FIR, convolution, memory system; both evaluation engines) and writes
-//! the full report — measured wall-clock included — to `BENCH_sim.json`
-//! (override with `--out`). With `--batch` it additionally runs the
-//! 64-lane batched campaign sweep (64 seeded streams per workload: 64
-//! scalar simulators vs one `LaneSim`) and folds its `sim_batch.*`
-//! counters into the same report. With `--canonical PATH` it additionally
-//! writes the timing-free canonical JSON, which is byte-identical across
-//! runs and is what CI diffs. `--smoke` shrinks the cycle counts for
-//! fast gating runs.
+//! (FIR, convolution, memory system) and writes the full report —
+//! measured wall-clock included — to `BENCH_sim.json` (override with
+//! `--out`). By default every scalar engine runs: the dirty-cone
+//! interpreter, the register-bytecode VM, and the full-reevaluation
+//! reference oracle; `--engine interp` or `--engine vm` restricts the
+//! sweep to that compiled engine (the oracle always runs — it anchors
+//! the output-hash parity assert). With `--batch` it additionally runs
+//! the 64-lane batched campaign sweep (64 seeded streams per workload:
+//! 64 scalar simulators vs one `LaneSim`) and folds its `sim_batch.*`
+//! counters into the same report. With `--canonical PATH` it
+//! additionally writes the timing-free canonical JSON, which is
+//! byte-identical across runs and is what CI diffs. `--smoke` shrinks
+//! the cycle counts for fast gating runs.
 
 use dfv_bench::simbench;
+use dfv_rtl::EvalMode;
 
 /// Cycles per workload for a real measurement run.
 const FULL_CYCLES: u64 = 20_000;
@@ -33,7 +39,9 @@ const FULL_BATCH_CYCLES: u64 = 2_000;
 const SMOKE_BATCH_CYCLES: u64 = 120;
 
 fn usage() -> ! {
-    eprintln!("usage: bench sim [--smoke] [--batch] [--out PATH] [--canonical PATH]");
+    eprintln!(
+        "usage: bench sim [--smoke] [--batch] [--engine interp|vm] [--out PATH] [--canonical PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -48,6 +56,7 @@ fn main() {
 fn run_sim(args: &[String]) {
     let mut smoke = false;
     let mut batch = false;
+    let mut engines: Vec<EvalMode> = Vec::new();
     let mut out_path = String::from("BENCH_sim.json");
     let mut canonical_path: Option<String> = None;
     let mut it = args.iter();
@@ -55,13 +64,21 @@ fn run_sim(args: &[String]) {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--batch" => batch = true,
+            "--engine" => match it.next().map(String::as_str) {
+                Some("interp") => engines.push(EvalMode::DirtyCone),
+                Some("vm") => engines.push(EvalMode::Bytecode),
+                _ => usage(),
+            },
             "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
             "--canonical" => canonical_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
+    if engines.is_empty() {
+        engines.extend(simbench::ALL_ENGINES);
+    }
     let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
-    let mut rep = simbench::sim_bench_report(cycles);
+    let mut rep = simbench::sim_bench_report_engines(cycles, &engines);
     print!("{}", simbench::render_sim_bench(&rep));
     if batch {
         let batch_cycles = if smoke {

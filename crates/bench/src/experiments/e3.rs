@@ -5,16 +5,78 @@
 //! constrained-random co-simulation against the SLM (counting transactions
 //! to first mismatch) and SEC (which proves or refutes). The table reports
 //! detection rate and cost for both.
+//!
+//! The co-simulation side runs on the 64-lane batched engine
+//! ([`LaneSim`]): transactions are drawn in stimulus order, packed one
+//! per lane, stepped once per block, and scanned back in the same order —
+//! so the reported detection latency is a pure function of the seed and
+//! budget, identical at every lane count
+//! (see [`detection_latency`] and the `detection_latency_is_lane_invariant`
+//! test).
 
 use std::time::{Duration, Instant};
 
+use dfv_bits::limbs::LANES;
 use dfv_cosim::{apply_mutation, enumerate_mutations, FieldSpec, StimulusGen};
 use dfv_designs::alu;
-use dfv_rtl::Simulator;
+use dfv_rtl::{LaneSim, Module, Simulator};
 use dfv_sec::{check_equivalence, EquivOutcome};
 use dfv_slmir::{elaborate, parse};
 
 use crate::render_table;
+
+/// The stimulus field every ALU port draws from.
+fn alu_corner() -> FieldSpec {
+    FieldSpec::Corners {
+        width: 8,
+        corner_percent: 25,
+    }
+}
+
+/// Transactions-to-first-mismatch for `mutant` against the SLM oracle,
+/// batched `lanes` transactions at a time on the 64-lane engine. Each
+/// transaction is independent (reset, poke a/b/c, one step), so a block
+/// resets once and carries one transaction per lane; outputs are scanned
+/// back in draw order. The stimulus stream, the scan order, and hence the
+/// returned latency depend only on `seed` and `budget` — never on
+/// `lanes`.
+fn detection_latency(
+    mutant: &Module,
+    slm_sim: &mut Simulator,
+    seed: u64,
+    budget: u64,
+    lanes: usize,
+) -> Option<u64> {
+    let lanes = lanes.clamp(1, LANES);
+    let mut gen = StimulusGen::new(seed);
+    let corner = alu_corner();
+    let mut dut = LaneSim::new(mutant.clone()).expect("mutant simulates");
+    let mut expects = Vec::with_capacity(lanes);
+    let mut t = 0u64;
+    while t < budget {
+        let block = lanes.min((budget - t) as usize);
+        dut.reset();
+        expects.clear();
+        for lane in 0..block {
+            let (a, b, c) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
+            let expect = slm_sim.eval_comb(&[("a", a.clone()), ("b", b.clone()), ("c", c.clone())])
+                ["return"]
+                .clone();
+            dut.poke_lane("a", lane, a);
+            dut.poke_lane("b", lane, b);
+            dut.poke_lane("c", lane, c);
+            expects.push(expect);
+        }
+        dut.step();
+        for (lane, expect) in expects.iter().enumerate() {
+            if dut.output_lane("out", lane) != *expect {
+                return Some(t + lane as u64 + 1);
+            }
+        }
+        t += block as u64;
+    }
+    None
+}
 
 /// Runs E3 and renders its report.
 pub fn e3_sec_vs_simulation() -> String {
@@ -38,30 +100,9 @@ pub fn e3_sec_vs_simulation() -> String {
     let mut slm_sim = Simulator::new(slm.clone()).expect("slm simulates");
     for (i, m) in mutations.iter().enumerate() {
         let mutant = apply_mutation(&golden, m);
-        // Random co-simulation.
+        // Random co-simulation, 64 transactions per batched step.
         let t0 = Instant::now();
-        let mut gen = StimulusGen::new(0xE3 + i as u64);
-        let corner = FieldSpec::Corners {
-            width: 8,
-            corner_percent: 25,
-        };
-        let mut dut = Simulator::new(mutant.clone()).expect("mutant simulates");
-        let mut found = None;
-        for t in 0..budget {
-            let (a, b, c) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
-            let expect = slm_sim.eval_comb(&[("a", a.clone()), ("b", b.clone()), ("c", c.clone())])
-                ["return"]
-                .clone();
-            dut.reset();
-            dut.poke("a", a);
-            dut.poke("b", b);
-            dut.poke("c", c);
-            dut.step();
-            if dut.output("out") != expect {
-                found = Some(t + 1);
-                break;
-            }
-        }
+        let found = detection_latency(&mutant, &mut slm_sim, 0xE3 + i as u64, budget, LANES);
         let sim_dt = t0.elapsed();
         sim_total += sim_dt;
         // SEC.
@@ -122,29 +163,8 @@ pub fn e3_sec_vs_simulation() -> String {
     // input combinations. Random simulation is essentially blind to it;
     // SEC pulls out the witness directly.
     let needle = needle_rtl();
-    let mut gen = StimulusGen::new(0xD1E);
-    let corner = FieldSpec::Corners {
-        width: 8,
-        corner_percent: 25,
-    };
-    let mut dut = Simulator::new(needle.clone()).expect("needle simulates");
     let t0 = Instant::now();
-    let mut found = None;
-    for t in 0..budget * 25 {
-        let (a, b, c) = (gen.draw(&corner), gen.draw(&corner), gen.draw(&corner));
-        let expect = slm_sim.eval_comb(&[("a", a.clone()), ("b", b.clone()), ("c", c.clone())])
-            ["return"]
-            .clone();
-        dut.reset();
-        dut.poke("a", a);
-        dut.poke("b", b);
-        dut.poke("c", c);
-        dut.step();
-        if dut.output("out") != expect {
-            found = Some(t + 1);
-            break;
-        }
-    }
+    let found = detection_latency(&needle, &mut slm_sim, 0xD1E, budget * 25, LANES);
     let sim_dt = t0.elapsed();
     let t1 = Instant::now();
     let report = check_equivalence(&slm, &needle, &spec).expect("valid spec");
@@ -210,11 +230,39 @@ fn needle_rtl() -> dfv_rtl::Module {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn e3_sec_never_misses() {
-        let report = super::e3_sec_vs_simulation();
+        let report = e3_sec_vs_simulation();
         // Every mutant line ends in a SEC verdict; none may be ambiguous.
         assert!(report.contains("caught"));
         assert!(report.contains("benign(proof)"));
+    }
+
+    /// The deterministic core of the E3 report — the per-mutant
+    /// transactions-to-detection column — must be byte-identical whether
+    /// the sweep batches 1, 5, or 64 transactions per lane step.
+    #[test]
+    fn detection_latency_is_lane_invariant() {
+        let slm = elaborate(&parse(alu::slm_bit_accurate()).expect("parses"), "alu")
+            .expect("conditioned");
+        let mut slm_sim = Simulator::new(slm).expect("slm simulates");
+        let golden = alu::rtl(8, 8);
+        let budget = 500u64; // multiple full 64-lane blocks plus a partial one
+        for (i, m) in enumerate_mutations(&golden).iter().enumerate() {
+            let mutant = apply_mutation(&golden, m);
+            let seed = 0xE3 + i as u64;
+            let at64 = detection_latency(&mutant, &mut slm_sim, seed, budget, 64);
+            for lanes in [1usize, 5] {
+                let at = detection_latency(&mutant, &mut slm_sim, seed, budget, lanes);
+                assert_eq!(at, at64, "mutant {i} ({m:?}) diverged at lanes={lanes}");
+            }
+        }
+        let needle = needle_rtl();
+        assert_eq!(
+            detection_latency(&needle, &mut slm_sim, 0xD1E, 2000, 1),
+            detection_latency(&needle, &mut slm_sim, 0xD1E, 2000, 64),
+        );
     }
 }

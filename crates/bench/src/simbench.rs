@@ -1,15 +1,23 @@
-//! The deterministic simulator workload sweep behind `bench sim` and E12,
+//! The deterministic simulator workload sweep behind `bench sim` and E16,
 //! plus the 64-lane batched sweep behind `bench sim --batch` and E15.
 //!
 //! Three seeded workloads from `dfv-designs` — a dense FIR stream, a
 //! valid-gated convolution stream, and a mostly-idle memory system — each
-//! run on both evaluation engines ([`dfv_rtl::EvalMode::DirtyCone`] and
-//! the full-reevaluation reference). The comparable payload is the
-//! deterministic counter set (`steps`, `eval_passes`, `node_evals`, and a
-//! cross-engine output hash); wall-clock lives only in the report's
-//! timing section, so the canonical JSON reproduces byte-for-byte across
-//! runs and machines while the full JSON still carries the measured
-//! speedup.
+//! run on the scalar evaluation engines: the compiled dirty-cone
+//! interpreter ([`dfv_rtl::EvalMode::DirtyCone`]), the register-bytecode
+//! VM ([`dfv_rtl::EvalMode::Bytecode`]), and the full-reevaluation
+//! reference oracle. The oracle always runs — every other engine's output
+//! hash is asserted against it before any number lands in the report.
+//! The comparable payload is the deterministic counter set (`steps`,
+//! `eval_passes`, `node_evals`, and a cross-engine output hash);
+//! wall-clock lives only in the report's timing section, so the canonical
+//! JSON reproduces byte-for-byte across runs and machines while the full
+//! JSON still carries the measured speedup.
+//!
+//! `node_evals` means "work units dispatched" per engine: IR nodes for
+//! the interpreters, VM instructions for the bytecode engine (fusion can
+//! make it smaller than the node count at equal coverage). Cross-engine
+//! work ratios are therefore approximate; the hashes are exact.
 //!
 //! The batched sweep ([`add_batch_sweep`]) measures campaign throughput
 //! instead of single-stream latency: 64 independently-seeded copies of
@@ -28,15 +36,20 @@ use dfv_rtl::{EvalMode, LaneSim, Module, SimStats, Simulator};
 /// Lanes in the batched sweep (the lane engine's fixed width).
 pub const BATCH_LANES: usize = 64;
 
+/// Wall-clock repetitions per workload/engine pair in the scalar sweep;
+/// the recorded time is the minimum across repetitions.
+const TIMING_REPS: usize = 5;
+
 /// One named deterministic workload: a module plus a seeded driver.
 struct Workload {
     name: &'static str,
     module: fn() -> Module,
-    /// Produces the input values for one cycle from the given rng and
-    /// cycle index. Ports not mentioned hold their previous value — both
-    /// engines share that semantics, so the same value stream drives
-    /// scalar simulators and individual lanes alike.
-    drive: fn(&mut SplitMix64, u64) -> Vec<(&'static str, Bv)>,
+    /// Pushes the input values for one cycle into `out` (cleared and
+    /// reused by the harness so driving allocates no per-cycle `Vec`).
+    /// Ports not mentioned hold their previous value — both engines share
+    /// that semantics, so the same value stream drives scalar simulators
+    /// and individual lanes alike.
+    drive: fn(&mut SplitMix64, u64, &mut Vec<(&'static str, Bv)>),
     /// Output ports folded into the cross-engine hash each cycle.
     hash_outputs: &'static [&'static str],
 }
@@ -53,36 +66,40 @@ fn memsys_module() -> Module {
     memsys::rtl(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3])
 }
 
-/// Dense: a new sample every cycle, occasional stalls.
-fn drive_fir(rng: &mut SplitMix64, _cycle: u64) -> Vec<(&'static str, Bv)> {
+/// Dense: a new sample every cycle, occasional stalls. `in_valid` is
+/// constant, so it is driven once — ports hold their value, and a poke
+/// that changes nothing is free on every engine.
+fn drive_fir(rng: &mut SplitMix64, cycle: u64, out: &mut Vec<(&'static str, Bv)>) {
     let r = rng.next_u64();
-    vec![
-        ("in_valid", Bv::from_bool(true)),
-        ("stall", Bv::from_bool(r & 0xF == 0)),
-        ("x", Bv::from_u64(8, r >> 8)),
-    ]
+    if cycle == 0 {
+        out.push(("in_valid", Bv::from_bool(true)));
+    }
+    out.push(("stall", Bv::from_bool(r & 0xF == 0)));
+    out.push(("x", Bv::from_u64(8, r >> 8)));
 }
 
 /// Medium density: a pixel on three cycles out of four.
-fn drive_conv(rng: &mut SplitMix64, _cycle: u64) -> Vec<(&'static str, Bv)> {
+fn drive_conv(rng: &mut SplitMix64, _cycle: u64, out: &mut Vec<(&'static str, Bv)>) {
     let r = rng.next_u64();
-    vec![
-        ("in_valid", Bv::from_bool(r & 3 != 0)),
-        ("pix_in", Bv::from_u64(8, r >> 8)),
-    ]
+    out.push(("in_valid", Bv::from_bool(r & 3 != 0)));
+    out.push(("pix_in", Bv::from_u64(8, r >> 8)));
 }
 
 /// Sparse: one request every 16th cycle, idle otherwise — the dirty-cone
 /// engine's best case.
-fn drive_memsys(rng: &mut SplitMix64, cycle: u64) -> Vec<(&'static str, Bv)> {
-    let req = cycle.is_multiple_of(16);
-    let mut vals = vec![("req_valid", Bv::from_bool(req))];
-    if req {
+fn drive_memsys(rng: &mut SplitMix64, cycle: u64, out: &mut Vec<(&'static str, Bv)>) {
+    // Drive only edges: raise req_valid on request cycles, drop it the
+    // cycle after. Ports hold their value in between, so the effective
+    // stimulus (and every engine's counters) is identical to re-driving
+    // the idle value each cycle.
+    if cycle.is_multiple_of(16) {
         let r = rng.next_u64();
-        vals.push(("tag", Bv::from_u64(memsys::TAG_W, r)));
-        vals.push(("addr", Bv::from_u64(memsys::ADDR_W, r >> 32)));
+        out.push(("req_valid", Bv::from_bool(true)));
+        out.push(("tag", Bv::from_u64(memsys::TAG_W, r)));
+        out.push(("addr", Bv::from_u64(memsys::ADDR_W, r >> 32)));
+    } else if cycle % 16 == 1 {
+        out.push(("req_valid", Bv::from_bool(false)));
     }
-    vals
 }
 
 const WORKLOADS: [Workload; 3] = [
@@ -129,21 +146,43 @@ fn run_workload(w: &Workload, mode: EvalMode, seed: u64, cycles: u64) -> (SimSta
     let module = (w.module)();
     let mut sim = match mode {
         EvalMode::DirtyCone => Simulator::new(module),
+        EvalMode::Bytecode => Simulator::new_vm(module),
         EvalMode::FullOracle => Simulator::new_reference(module),
     }
     .expect("workload module builds");
+    // Resolve the hashed ports once; the read loop is name-scan-free so
+    // the sweep times the engines, not the port lookups.
+    let out_idx: Vec<usize> = w
+        .hash_outputs
+        .iter()
+        .map(|p| sim.module().output_index(p).expect("workload output port"))
+        .collect();
     let mut rng = SplitMix64::new(seed);
     let mut hash = 0xcbf29ce484222325u64; // FNV-1a
+    let mut stim = Vec::new();
+    // Tiny name→index cache for driven ports (drive reuses the same
+    // `'static` literals each cycle, so the pointer comparison hits);
+    // resolves each port name once instead of scanning it every poke.
+    let mut in_idx: Vec<(&'static str, usize)> = Vec::new();
     for cycle in 0..cycles {
-        for (port, value) in (w.drive)(&mut rng, cycle) {
-            sim.poke(port, value);
+        stim.clear();
+        (w.drive)(&mut rng, cycle, &mut stim);
+        for (port, value) in stim.drain(..) {
+            let idx = match in_idx
+                .iter()
+                .find(|(p, _)| std::ptr::eq(*p, port) || *p == port)
+            {
+                Some(&(_, i)) => i,
+                None => {
+                    let i = sim.module().input_index(port).expect("workload input port");
+                    in_idx.push((port, i));
+                    i
+                }
+            };
+            sim.poke_at(idx, value);
         }
         sim.step();
-        for port in w.hash_outputs {
-            for &limb in sim.output(port).limbs() {
-                hash = fnv_fold(hash, limb);
-            }
-        }
+        sim.for_each_output_limb(&out_idx, |limb| hash = fnv_fold(hash, limb));
     }
     (sim.stats(), hash)
 }
@@ -157,9 +196,12 @@ fn run_workload_lanes(w: &Workload, cycles: u64) -> (dfv_rtl::LaneStats, Vec<u64
         .map(|lane| SplitMix64::new(lane_seed(base_seed(w), lane)))
         .collect();
     let mut hashes = vec![0xcbf29ce484222325u64; BATCH_LANES];
+    let mut stim = Vec::new();
     for cycle in 0..cycles {
         for (lane, rng) in rngs.iter_mut().enumerate() {
-            for (port, value) in (w.drive)(rng, cycle) {
+            stim.clear();
+            (w.drive)(rng, cycle, &mut stim);
+            for (port, value) in stim.drain(..) {
                 sim.poke_lane(port, lane, value);
             }
         }
@@ -178,11 +220,29 @@ fn run_workload_lanes(w: &Workload, cycles: u64) -> (dfv_rtl::LaneStats, Vec<u64
 fn engine_tag(mode: EvalMode) -> &'static str {
     match mode {
         EvalMode::DirtyCone => "dirty",
+        EvalMode::Bytecode => "vm",
         EvalMode::FullOracle => "reference",
     }
 }
 
-/// Runs the full sweep and reduces it to a [`RunReport`].
+/// All scalar engines, reference last (its hash anchors the parity
+/// asserts, and "compiled engines first" keeps the table order stable).
+pub const ALL_ENGINES: [EvalMode; 3] = [
+    EvalMode::DirtyCone,
+    EvalMode::Bytecode,
+    EvalMode::FullOracle,
+];
+
+/// Runs the full sweep over all three engines; see
+/// [`sim_bench_report_engines`].
+pub fn sim_bench_report(cycles: u64) -> RunReport {
+    sim_bench_report_engines(cycles, &ALL_ENGINES)
+}
+
+/// Runs the workload sweep on the requested `engines` and reduces it to a
+/// [`RunReport`]. The full-reevaluation reference always runs (it is
+/// appended if absent) — it is the oracle every other engine's output
+/// hash is checked against.
 ///
 /// Counters and values are a pure function of the fixed seeds (the
 /// canonical JSON is byte-reproducible); one timing phase per
@@ -190,17 +250,49 @@ fn engine_tag(mode: EvalMode) -> &'static str {
 ///
 /// # Panics
 ///
-/// Panics if the two engines disagree on any workload's output stream —
-/// that would be a simulator bug, not a measurement.
-pub fn sim_bench_report(cycles: u64) -> RunReport {
+/// Panics if any engine disagrees with the reference oracle on any
+/// workload's output stream — that would be a simulator bug, not a
+/// measurement. The assert fires before the report (and thus any timing)
+/// is returned.
+pub fn sim_bench_report_engines(cycles: u64, engines: &[EvalMode]) -> RunReport {
     let mut rep = RunReport::new("sim_engine_sweep");
+    add_engine_sweep(&mut rep, cycles, engines);
+    rep
+}
+
+/// Appends the scalar engine sweep to an existing report (the body of
+/// [`sim_bench_report_engines`], reused by E16). Same counters, same
+/// oracle-anchored parity asserts.
+pub fn add_engine_sweep(rep: &mut RunReport, cycles: u64, engines: &[EvalMode]) {
+    let mut modes: Vec<EvalMode> = Vec::new();
+    for &m in engines.iter().chain([EvalMode::FullOracle].iter()) {
+        if !modes.contains(&m) {
+            modes.push(m);
+        }
+    }
     rep.set_value("cycles_per_workload", Json::UInt(cycles));
     for w in &WORKLOADS {
+        // Best-of-N wall clock, engines interleaved within each
+        // repetition: the per-engine timed section is a few milliseconds,
+        // so a single run is dominated by scheduler noise on a shared
+        // machine, and timing engines seconds apart would let load drift
+        // skew their *ratio*. The counters and hash are a pure function
+        // of the seed — identical across repetitions — so only the
+        // minimum wall time per engine is recorded.
+        let mut best = vec![std::time::Duration::MAX; modes.len()];
+        let mut outs: Vec<Option<(SimStats, u64)>> = vec![None; modes.len()];
+        for _ in 0..TIMING_REPS {
+            for (k, &mode) in modes.iter().enumerate() {
+                let t = std::time::Instant::now();
+                let r = run_workload(w, mode, base_seed(w), cycles);
+                best[k] = best[k].min(t.elapsed());
+                outs[k].get_or_insert(r);
+            }
+        }
         let mut results = Vec::new();
-        for mode in [EvalMode::DirtyCone, EvalMode::FullOracle] {
-            let (stats, hash) = rep.phase(format!("{}.{}", w.name, engine_tag(mode)), || {
-                run_workload(w, mode, base_seed(w), cycles)
-            });
+        for (k, &mode) in modes.iter().enumerate() {
+            rep.push_phase(format!("{}.{}", w.name, engine_tag(mode)), best[k]);
+            let (stats, hash) = outs[k].take().expect("at least one timing rep");
             rep.set_counter(
                 format!("sim.{}.{}.steps", w.name, engine_tag(mode)),
                 stats.steps,
@@ -213,22 +305,30 @@ pub fn sim_bench_report(cycles: u64) -> RunReport {
                 format!("sim.{}.{}.node_evals", w.name, engine_tag(mode)),
                 stats.node_evals,
             );
-            results.push((stats, hash));
+            results.push((mode, stats, hash));
         }
-        let (dirty, reference) = (&results[0], &results[1]);
-        assert_eq!(
-            dirty.1, reference.1,
-            "engines diverged on workload {}",
-            w.name
-        );
-        rep.set_counter(format!("sim.{}.out_hash", w.name), dirty.1);
-        let ratio = reference.0.node_evals * 100 / dirty.0.node_evals.max(1);
-        rep.set_value(
-            format!("node_evals_ref_over_dirty_x100.{}", w.name),
-            Json::UInt(ratio),
-        );
+        let &(_, ref ref_stats, ref_hash) = results
+            .iter()
+            .find(|(m, ..)| *m == EvalMode::FullOracle)
+            .expect("reference always runs");
+        for (mode, stats, hash) in &results {
+            if *mode == EvalMode::FullOracle {
+                continue;
+            }
+            assert_eq!(
+                *hash,
+                ref_hash,
+                "{} engine diverged from the reference oracle on workload {}",
+                engine_tag(*mode),
+                w.name
+            );
+            rep.set_value(
+                format!("node_evals_ref_over_{}_x100.{}", engine_tag(*mode), w.name),
+                Json::UInt(ref_stats.node_evals * 100 / stats.node_evals.max(1)),
+            );
+        }
+        rep.set_counter(format!("sim.{}.out_hash", w.name), ref_hash);
     }
-    rep
 }
 
 /// Appends the 64-lane batched sweep to a report (`bench sim --batch`,
@@ -293,51 +393,60 @@ pub fn add_batch_sweep(rep: &mut RunReport, cycles: u64) {
     }
 }
 
-/// Renders the sweep as a table plus the measured wall-clock speedups.
+/// Wall-clock of the phase `{workload}.{tag}`, in microseconds.
+fn phase_us(rep: &RunReport, workload: &str, tag: &str) -> u128 {
+    let name = format!("{workload}.{tag}");
+    rep.phases()
+        .iter()
+        .filter(|p| p.name == name)
+        .map(|p| p.wall.as_micros())
+        .sum()
+}
+
+/// Renders the sweep as a table — one row per workload x engine that ran
+/// — plus the measured wall-clock speedups against the reference oracle.
 pub fn render_sim_bench(rep: &RunReport) -> String {
     let mut out = String::from(
-        "simulator workload sweep: compiled dirty-cone engine vs full-reevaluation reference\n\n",
+        "simulator workload sweep: compiled engines (dirty-cone interpreter, bytecode VM)\nvs the full-reevaluation reference oracle\n\n",
     );
     let mut rows = Vec::new();
     for w in &WORKLOADS {
-        let dirty = rep.counter(&format!("sim.{}.dirty.node_evals", w.name));
-        let reference = rep.counter(&format!("sim.{}.reference.node_evals", w.name));
-        let (mut dirty_us, mut ref_us) = (0u128, 0u128);
-        for p in rep.phases() {
-            if p.name == format!("{}.dirty", w.name) {
-                dirty_us += p.wall.as_micros();
-            } else if p.name == format!("{}.reference", w.name) {
-                ref_us += p.wall.as_micros();
+        let ref_evals = rep.counter(&format!("sim.{}.reference.node_evals", w.name));
+        let ref_us = phase_us(rep, w.name, "reference");
+        for mode in ALL_ENGINES {
+            let tag = engine_tag(mode);
+            if rep.counter(&format!("sim.{}.{tag}.steps", w.name)) == 0 {
+                continue; // engine not part of this run
             }
+            let evals = rep.counter(&format!("sim.{}.{tag}.node_evals", w.name));
+            let us = phase_us(rep, w.name, tag);
+            rows.push(vec![
+                w.name.to_string(),
+                tag.to_string(),
+                evals.to_string(),
+                format!("{:.2}x", ref_evals as f64 / evals.max(1) as f64),
+                format!("{us}"),
+                if us > 0 {
+                    format!("{:.2}x", ref_us as f64 / us as f64)
+                } else {
+                    "-".into()
+                },
+            ]);
         }
-        rows.push(vec![
-            w.name.to_string(),
-            dirty.to_string(),
-            reference.to_string(),
-            format!("{:.2}x", reference as f64 / dirty.max(1) as f64),
-            format!("{dirty_us}"),
-            format!("{ref_us}"),
-            if dirty_us > 0 {
-                format!("{:.2}x", ref_us as f64 / dirty_us as f64)
-            } else {
-                "-".into()
-            },
-        ]);
     }
     out.push_str(&crate::render_table(
         &[
             "workload",
-            "dirty node_evals",
-            "ref node_evals",
-            "work ratio",
-            "dirty us",
-            "ref us",
-            "wall speedup",
+            "engine",
+            "node_evals",
+            "work vs ref",
+            "us",
+            "wall vs ref",
         ],
         &rows,
     ));
     out.push_str(
-        "\nnode_evals are deterministic (canonical JSON payload); the us / speedup\ncolumns are measured wall-clock and live only in the full JSON's timing section.\n",
+        "\nnode_evals are deterministic work units per engine (IR nodes for the\ninterpreters, VM instructions for the bytecode engine) and form the canonical\nJSON payload; the us / speedup columns are measured wall-clock and live only\nin the full JSON's timing section. Every engine's output hash is asserted\nagainst the reference oracle before the report exists.\n",
     );
     out
 }
@@ -412,6 +521,27 @@ mod tests {
         assert!(dirty < reference, "dirty {dirty} vs reference {reference}");
         // Timing never leaks into the canonical form.
         assert!(!a.canonical_json().contains("wall_us"));
+    }
+
+    #[test]
+    fn vm_rows_present_and_engine_subsets_reproduce() {
+        let a = sim_bench_report(200);
+        for w in ["fir_dense", "conv_stream", "memsys_sparse"] {
+            // The default sweep carries a vm row whose step/pass counters
+            // match the interpreter's (same stimulus, same schedule).
+            assert_eq!(
+                a.counter(&format!("sim.{w}.vm.steps")),
+                a.counter(&format!("sim.{w}.dirty.steps"))
+            );
+            assert!(a.counter(&format!("sim.{w}.vm.node_evals")) > 0);
+        }
+        // A vm-only run appends the reference oracle automatically, skips
+        // the interpreter, and reproduces byte-for-byte.
+        let v1 = sim_bench_report_engines(150, &[EvalMode::Bytecode]);
+        let v2 = sim_bench_report_engines(150, &[EvalMode::Bytecode]);
+        assert_eq!(v1.canonical_json(), v2.canonical_json());
+        assert!(v1.counter("sim.fir_dense.reference.steps") > 0);
+        assert_eq!(v1.counter("sim.fir_dense.dirty.steps"), 0);
     }
 
     #[test]

@@ -24,11 +24,81 @@
 pub struct Bv {
     pub(crate) width: u32,
     /// Little-endian limbs; `limbs.len() == ceil(width / 64)`, excess bits 0.
-    pub(crate) limbs: Vec<u64>,
+    pub(crate) limbs: LimbVec,
 }
 
 pub(crate) fn limbs_for(width: u32) -> usize {
     (width as usize).div_ceil(64)
+}
+
+/// Inline-or-heap limb storage. Single-limb values (width ≤ 64 — the
+/// overwhelmingly common case in simulation harness traffic) live inline
+/// with no heap allocation; wider values fall back to a `Vec`. The variant
+/// is canonical by length (`len == 1` is always `One`), so the derived
+/// equality and hash agree with slice equality for equal-width values.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum LimbVec {
+    One([u64; 1]),
+    Many(Vec<u64>),
+}
+
+impl LimbVec {
+    #[inline]
+    pub(crate) fn filled(fill: u64, n: usize) -> Self {
+        if n == 1 {
+            LimbVec::One([fill])
+        } else {
+            LimbVec::Many(vec![fill; n])
+        }
+    }
+
+    #[inline]
+    pub(crate) fn from_slice(s: &[u64]) -> Self {
+        if s.len() == 1 {
+            LimbVec::One([s[0]])
+        } else {
+            LimbVec::Many(s.to_vec())
+        }
+    }
+}
+
+impl std::ops::Deref for LimbVec {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        match self {
+            LimbVec::One(a) => a,
+            LimbVec::Many(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for LimbVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            LimbVec::One(a) => a,
+            LimbVec::Many(v) => v,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a LimbVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut LimbVec {
+    type Item = &'a mut u64;
+    type IntoIter = std::slice::IterMut<'a, u64>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
 }
 
 impl Bv {
@@ -41,7 +111,7 @@ impl Bv {
         assert!(width > 0, "bit vector width must be at least 1");
         Bv {
             width,
-            limbs: vec![0; limbs_for(width)],
+            limbs: LimbVec::filled(0, limbs_for(width)),
         }
     }
 
@@ -53,7 +123,7 @@ impl Bv {
     pub fn ones(width: u32) -> Self {
         let mut v = Bv {
             width,
-            limbs: vec![u64::MAX; limbs_for(width)],
+            limbs: LimbVec::filled(u64::MAX, limbs_for(width)),
         };
         assert!(width > 0, "bit vector width must be at least 1");
         v.mask_top();
@@ -64,7 +134,7 @@ impl Bv {
     pub fn from_bool(b: bool) -> Self {
         Bv {
             width: 1,
-            limbs: vec![b as u64],
+            limbs: LimbVec::One([b as u64]),
         }
     }
 
@@ -108,7 +178,7 @@ impl Bv {
         let fill = if value < 0 { u64::MAX } else { 0 };
         let mut v = Bv {
             width,
-            limbs: vec![fill; limbs_for(width)],
+            limbs: LimbVec::filled(fill, limbs_for(width)),
         };
         assert!(width > 0, "bit vector width must be at least 1");
         v.limbs[0] = value as u64;
@@ -150,7 +220,7 @@ impl Bv {
         );
         let mut v = Bv {
             width,
-            limbs: limbs.to_vec(),
+            limbs: LimbVec::from_slice(limbs),
         };
         v.mask_top();
         v

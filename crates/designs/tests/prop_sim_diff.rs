@@ -1,15 +1,16 @@
 //! Differential property suite for the compiled simulation engines.
 //!
-//! Every seeded design runs through **three** engines under seeded
+//! Every seeded design runs through **four** engines under seeded
 //! constrained-random stimulus (in-tree SplitMix64, no external deps):
 //!
 //! * the dirty-cone compiled engine ([`Simulator::new`]),
+//! * the register-bytecode VM engine ([`Simulator::new_vm`]),
 //! * the reference full-reevaluation interpreter
 //!   ([`Simulator::new_reference`]), and
 //! * the 64-lane batched engine ([`LaneSim`]), each lane driven with its
 //!   own independent stimulus stream.
 //!
-//! The two scalar engines are compared on per-cycle outputs, recorded
+//! The three scalar engines are compared on per-cycle outputs, recorded
 //! traces, and rendered VCD dumps — byte for byte. The batched engine is
 //! compared per lane: lane `l`'s outputs and trace must be bit-identical
 //! to a scalar run of lane `l`'s stimulus.
@@ -43,7 +44,7 @@ fn lane_seed(seed: u64, lane: usize) -> u64 {
     seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// Drives all three engines with seeded stimulus for `cycles` cycles.
+/// Drives all four engines with seeded stimulus for `cycles` cycles.
 /// The scalar engines share lane 0's stream and are held bit-identical
 /// on every output, the traces, and the VCDs; the 64-lane batched engine
 /// gets an independent stream per lane and every lane in `check_lanes`
@@ -52,12 +53,15 @@ fn lane_seed(seed: u64, lane: usize) -> u64 {
 fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lanes: &[usize]) {
     let name = module.name.clone();
     let mut fast = Simulator::new(module.clone()).unwrap();
+    let mut vm = Simulator::new_vm(module.clone()).unwrap();
     let mut oracle = Simulator::new_reference(module.clone()).unwrap();
     let mut lanes = LaneSim::new(module.clone()).unwrap();
     assert_eq!(fast.eval_mode(), EvalMode::DirtyCone);
+    assert_eq!(vm.eval_mode(), EvalMode::Bytecode);
     assert_eq!(oracle.eval_mode(), EvalMode::FullOracle);
     for p in &module.outputs {
         fast.watch_output(&p.name);
+        vm.watch_output(&p.name);
         oracle.watch_output(&p.name);
         lanes.watch_output(&p.name);
     }
@@ -74,6 +78,7 @@ fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lane
         })
         .collect();
     let mut rng_a = SplitMix64::new(seed);
+    let mut rng_v = SplitMix64::new(seed);
     let mut rng_b = SplitMix64::new(seed);
     let mut lane_rngs: Vec<SplitMix64> = (0..LANES)
         .map(|l| SplitMix64::new(lane_seed(seed, l)))
@@ -81,6 +86,7 @@ fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lane
     for cycle in 0..cycles {
         for p in &module.inputs {
             fast.poke(&p.name, random_bv(&mut rng_a, p.width));
+            vm.poke(&p.name, random_bv(&mut rng_v, p.width));
             oracle.poke(&p.name, random_bv(&mut rng_b, p.width));
             for (l, rng) in lane_rngs.iter_mut().enumerate() {
                 lanes.poke_lane(&p.name, l, random_bv(rng, p.width));
@@ -90,6 +96,7 @@ fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lane
             }
         }
         fast.step();
+        vm.step();
         oracle.step();
         lanes.step();
         for (_, sim, _) in checkers.iter_mut() {
@@ -101,6 +108,12 @@ fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lane
                 f,
                 oracle.output(&p.name),
                 "{name}: output {:?} diverged at cycle {cycle} (seed {seed:#x})",
+                p.name
+            );
+            assert_eq!(
+                vm.output(&p.name),
+                f,
+                "{name}: vm output {:?} diverged at cycle {cycle} (seed {seed:#x})",
                 p.name
             );
             if check_lanes.contains(&0) {
@@ -122,10 +135,16 @@ fn assert_engines_agree_lanes(module: Module, seed: u64, cycles: u32, check_lane
         }
     }
     assert_eq!(fast.trace(), oracle.trace(), "{name}: traces diverged");
+    assert_eq!(vm.trace(), oracle.trace(), "{name}: vm trace diverged");
     assert_eq!(
         trace_to_vcd(&fast, "tb"),
         trace_to_vcd(&oracle, "tb"),
         "{name}: VCD dumps diverged"
+    );
+    assert_eq!(
+        trace_to_vcd(&vm, "tb"),
+        trace_to_vcd(&oracle, "tb"),
+        "{name}: vm VCD dump diverged"
     );
     if check_lanes.contains(&0) {
         assert_eq!(
@@ -280,7 +299,7 @@ fn engines_agree_on_memsys() {
 
 #[test]
 fn engines_agree_on_op_soup_single_limb() {
-    for &w in &[8u32, 33, 63, 64] {
+    for &w in &[1u32, 8, 33, 63, 64] {
         assert_engines_agree_lanes(op_soup(w), 0x5EED ^ w as u64, 48, &SAMPLED_LANES);
     }
 }
@@ -298,7 +317,7 @@ fn engines_agree_on_op_soup_multi_limb() {
 /// multi-limb kernel, lane fallback) names the diverging case.
 #[test]
 fn shift_kernels_agree_at_limb_boundaries() {
-    for &w in &[8u32, 63, 64, 65, 127, 128, 200] {
+    for &w in &[1u32, 8, 63, 64, 65, 127, 128, 200] {
         let mut b = ModuleBuilder::new("shifter");
         let a = b.input("a", w);
         let amt = b.input("amt", 16);
@@ -327,9 +346,10 @@ fn shift_kernels_agree_at_limb_boundaries() {
             .collect();
 
         let mut fast = Simulator::new(module.clone()).unwrap();
+        let mut vm = Simulator::new_vm(module.clone()).unwrap();
         let mut oracle = Simulator::new_reference(module.clone()).unwrap();
         let mut lanes = LaneSim::new(module.clone()).unwrap();
-        // Lane-chunk the (value, amount) grid; every case also runs both
+        // Lane-chunk the (value, amount) grid; every case also runs the
         // scalar engines and the direct oracle.
         let cases: Vec<(Bv, u64)> = values
             .iter()
@@ -344,6 +364,8 @@ fn shift_kernels_agree_at_limb_boundaries() {
                 let amt_bv = Bv::from_u64(16, *m);
                 fast.poke("a", v.clone());
                 fast.poke("amt", amt_bv.clone());
+                vm.poke("a", v.clone());
+                vm.poke("amt", amt_bv.clone());
                 oracle.poke("a", v.clone());
                 oracle.poke("amt", amt_bv.clone());
                 for (port, op) in [
@@ -357,6 +379,7 @@ fn shift_kernels_agree_at_limb_boundaries() {
                         expect,
                         "compiled {port} w={w} amt={m} a={v:?}"
                     );
+                    assert_eq!(vm.output(port), expect, "vm {port} w={w} amt={m} a={v:?}");
                     assert_eq!(
                         oracle.output(port),
                         expect,

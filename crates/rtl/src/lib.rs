@@ -44,6 +44,7 @@ pub mod cone;
 mod flatten;
 pub mod ir;
 mod lanes;
+mod lower;
 mod netlist;
 mod schedule;
 mod sim;

@@ -8,7 +8,7 @@
 //!
 //! # Evaluation engines
 //!
-//! The simulator carries two interchangeable combinational engines:
+//! The simulator carries three interchangeable combinational engines:
 //!
 //! * [`EvalMode::DirtyCone`] (the default, [`Simulator::new`]) — a
 //!   precompiled engine built on [`SimSchedule`]: all values live in one
@@ -16,11 +16,21 @@
 //!   compiled kernel with single-limb fast paths, and a pass walks only
 //!   the levelized fanout cone of inputs and state that actually changed.
 //!   Zero heap allocation per node per pass.
+//! * [`EvalMode::Bytecode`] ([`Simulator::new_vm`]) — the schedule
+//!   lowered further into flat `dfv-vm` register bytecode (see
+//!   `lower.rs`): every operand offset is pre-resolved, constant
+//!   operands fold into immediate forms, common compare→mux and
+//!   add→slice pairs fuse into one instruction, and the clock edge
+//!   commits through a compiled offset plan. Small programs run dense
+//!   (whole-program straight-line passes, zero tracking overhead);
+//!   larger ones keep dirty-cone scheduling at instruction granularity
+//!   with whole-level straight-line blocks when a level is mostly
+//!   dirty.
 //! * [`EvalMode::FullOracle`] ([`Simulator::new_reference`]) — the
 //!   reference interpreter: every pass re-evaluates every node in id
 //!   order through [`eval_bin`]/[`eval_un`] on freshly materialized
 //!   [`Bv`]s. Slow but maximally simple; the differential test suite
-//!   holds the compiled engine bit-identical to it, and its
+//!   holds both compiled engines bit-identical to it, and its
 //!   [`SimStats::node_evals`] keeps the historical
 //!   `eval_passes * node_count` invariant.
 
@@ -31,6 +41,7 @@ use dfv_obs::{ObsHook, SharedRecorder, WatchedTrace};
 
 use crate::check::check_module;
 use crate::ir::{BinOp, Module, Node, NodeId, UnOp};
+use crate::lower::VmEngine;
 use crate::schedule::SimSchedule;
 use crate::RtlError;
 
@@ -79,6 +90,16 @@ pub enum EvalMode {
     /// A pass evaluates only the fanout cone of what changed, so
     /// [`SimStats::node_evals`] measures actual work.
     DirtyCone,
+    /// The schedule lowered to flat register bytecode executed by the
+    /// `dfv-vm` interpreter loop: no per-node enum dispatch, constant
+    /// operands folded into immediates, common pairs fused, and the clock
+    /// edge committed through a compiled offset plan. Small programs run
+    /// *dense* — every pass executes the whole program straight-line with
+    /// no dirty tracking — while larger ones keep dirty-cone scheduling
+    /// at instruction granularity. [`SimStats::node_evals`] counts
+    /// instructions executed either way (a dense pass counts the whole
+    /// program), still bounded by `eval_passes * node_count`.
+    Bytecode,
     /// Reference interpreter: every pass re-evaluates every node through
     /// [`eval_bin`]/[`eval_un`]. `node_evals == eval_passes * node_count`
     /// by construction.
@@ -144,6 +165,8 @@ pub struct Simulator {
     module: Module,
     sched: SimSchedule,
     mode: EvalMode,
+    /// The bytecode engine (`Some` iff `mode == EvalMode::Bytecode`).
+    vm: Option<VmEngine>,
     /// Flat value arena: `[reg slots][mem read reg slots][node slots]`,
     /// offsets fixed by `sched`.
     arena: Vec<u64>,
@@ -159,6 +182,16 @@ pub struct Simulator {
     full_dirty: bool,
     /// Whether anything changed since the last pass.
     dirty: bool,
+    /// Whether anything was poked or injected since the last clock edge
+    /// (conservative: cleared at commit, set by every mutator).
+    since_commit: bool,
+    /// Whether the last bytecode commit was a provable no-op: no state
+    /// changed and no memory write port fired. Together with
+    /// `!since_commit` this proves the next commit is also a no-op — the
+    /// node region is bit-identical to what the last commit saw — so
+    /// [`Simulator::step`] skips the commit walk entirely (the quiescence
+    /// short-circuit; idle cycles cost two flag checks).
+    vm_quiet: bool,
     /// Reusable multi-limb intermediate buffer.
     scratch: Vec<u64>,
     cycle: u64,
@@ -206,6 +239,18 @@ impl Simulator {
         Self::with_mode(module, EvalMode::FullOracle)
     }
 
+    /// Creates a simulator running the [`EvalMode::Bytecode`] engine:
+    /// the schedule lowered to flat register bytecode with constant
+    /// folding, instruction fusion, and instruction-level dirty-cone
+    /// scheduling. Bit-identical to the other two engines.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`].
+    pub fn new_vm(module: Module) -> Result<Self, RtlError> {
+        Self::with_mode(module, EvalMode::Bytecode)
+    }
+
     fn with_mode(module: Module, mode: EvalMode) -> Result<Self, RtlError> {
         check_module(&module)?;
         if !module.instances.is_empty() {
@@ -214,8 +259,10 @@ impl Simulator {
             });
         }
         let sched = SimSchedule::build(&module);
+        let vm = (mode == EvalMode::Bytecode).then(|| VmEngine::build(&module, &sched));
         let input_vals = module.inputs.iter().map(|p| Bv::zero(p.width)).collect();
         let mut sim = Simulator {
+            vm,
             arena: vec![0; sched.arena_len()],
             mem_arena: vec![0; sched.mem_arena_len()],
             input_vals,
@@ -223,6 +270,8 @@ impl Simulator {
             in_dirty: vec![false; module.nodes.len()],
             full_dirty: true,
             dirty: true,
+            since_commit: true,
+            vm_quiet: false,
             scratch: Vec::with_capacity(sched.max_limbs()),
             cycle: 0,
             watches: Vec::new(),
@@ -292,6 +341,8 @@ impl Simulator {
         self.full_dirty = true;
         self.cycle = 0;
         self.dirty = true;
+        self.since_commit = true;
+        self.vm_quiet = false;
         self.trace.clear();
     }
 
@@ -308,23 +359,58 @@ impl Simulator {
             .module
             .input_index(port)
             .unwrap_or_else(|| panic!("no input port named {port:?}"));
+        self.poke_at(idx, value);
+    }
+
+    /// As [`Simulator::poke`], by input-port index (the position in
+    /// `self.module().inputs`) — lets a harness resolve port names once
+    /// instead of scanning them every poke.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the width differs.
+    pub fn poke_at(&mut self, idx: usize, value: Bv) {
         assert_eq!(
             value.width(),
             self.module.inputs[idx].width,
-            "poke width mismatch on {port:?}"
+            "poke width mismatch on {:?}",
+            self.module.inputs[idx].name
         );
-        if self.mode == EvalMode::DirtyCone && self.input_vals[idx] == value {
+        if self.mode != EvalMode::FullOracle && self.input_vals[idx] == value {
             return;
         }
         self.input_vals[idx] = value;
         let (in_dirty, buckets, sched) = (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
-        for &n in sched.input_nodes(idx) {
-            if !in_dirty[n as usize] {
-                in_dirty[n as usize] = true;
-                buckets[sched.level_raw(n) as usize].push(n);
+        match &self.vm {
+            Some(vm) => {
+                // The VM has no input instructions: write the port value
+                // straight into the input nodes' slots and (unless the
+                // program runs dense) dirty the consuming instructions.
+                let v = &self.input_vals[idx];
+                for &n in sched.input_nodes(idx) {
+                    let s = sched.node_slot(n as usize);
+                    self.arena[s.off as usize..][..s.limbs as usize].copy_from_slice(v.limbs());
+                }
+                if !vm.dense() {
+                    for &i in vm.input_succ(idx) {
+                        if !in_dirty[i as usize] {
+                            in_dirty[i as usize] = true;
+                            buckets[vm.instr_level(i) as usize].push(i);
+                        }
+                    }
+                }
+            }
+            None => {
+                for &n in sched.input_nodes(idx) {
+                    if !in_dirty[n as usize] {
+                        in_dirty[n as usize] = true;
+                        buckets[sched.level_raw(n) as usize].push(n);
+                    }
+                }
             }
         }
         self.dirty = true;
+        self.since_commit = true;
     }
 
     /// Evaluates combinational logic if inputs or state changed since the
@@ -341,6 +427,18 @@ impl Simulator {
                     self.full_pass()
                 } else {
                     self.dirty_pass()
+                }
+            }
+            EvalMode::Bytecode => {
+                let dense = self
+                    .vm
+                    .as_ref()
+                    .expect("Bytecode mode has an engine")
+                    .dense();
+                if dense || self.full_dirty {
+                    self.vm_full_pass()
+                } else {
+                    self.vm_dirty_pass()
                 }
             }
         };
@@ -445,6 +543,94 @@ impl Simulator {
         evaled
     }
 
+    /// Bytecode full pass: the whole program as one straight-line block.
+    /// Used for the first pass after a reset, and for *every* pass of a
+    /// dense program (nothing marks, so there is nothing to drain); also
+    /// drains stale dirty marks. Input node slots already hold the port
+    /// values (poke writes them; reset zeroes them along with the ports).
+    fn vm_full_pass(&mut self) -> u64 {
+        let vm = self.vm.as_ref().expect("Bytecode mode has an engine");
+        vm.prog().run(&mut self.arena, &mut self.scratch);
+        // Dense programs never mark, so their buckets are provably empty;
+        // only a tracked program's forced full pass has marks to drain.
+        if !vm.dense() {
+            let in_dirty = &mut self.in_dirty;
+            for b in &mut self.dirty_levels {
+                for &i in b.iter() {
+                    in_dirty[i as usize] = false;
+                }
+                b.clear();
+            }
+        }
+        self.full_dirty = false;
+        vm.prog().len() as u64
+    }
+
+    /// Bytecode incremental pass: walk dirty instructions level by level.
+    /// Successor instructions always sit at a strictly higher level, so
+    /// each instruction runs at most once per pass. A mostly-dirty level
+    /// is executed as its whole contiguous straight-line block instead of
+    /// instruction-picking — the block costs no dispatch overhead per
+    /// skipped instruction and keeps `node_evals` deterministic (marks
+    /// are a set; full blocks and sorted buckets are order-independent).
+    fn vm_dirty_pass(&mut self) -> u64 {
+        let vm = self.vm.as_ref().expect("Bytecode mode has an engine");
+        let mut evaled = 0u64;
+        for lvl in 0..self.dirty_levels.len() {
+            if self.dirty_levels[lvl].is_empty() {
+                continue;
+            }
+            let mut bucket = std::mem::take(&mut self.dirty_levels[lvl]);
+            let (lo, hi) = vm.level_range(lvl);
+            let range_len = (hi - lo) as usize;
+            if bucket.len() * 4 >= range_len {
+                // Mostly dirty: run the whole level straight-line.
+                for &i in &bucket {
+                    self.in_dirty[i as usize] = false;
+                }
+                evaled += range_len as u64;
+                for i in lo..hi {
+                    let changed =
+                        vm.prog()
+                            .exec_one(i as usize, &mut self.arena, &mut self.scratch);
+                    if changed {
+                        let (in_dirty, buckets) = (&mut self.in_dirty, &mut self.dirty_levels);
+                        for &s in vm.succs(i) {
+                            if !in_dirty[s as usize] {
+                                in_dirty[s as usize] = true;
+                                buckets[vm.instr_level(s) as usize].push(s);
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Deterministic, cache-friendly order regardless of poke
+                // order.
+                bucket.sort_unstable();
+                evaled += bucket.len() as u64;
+                for &i in &bucket {
+                    self.in_dirty[i as usize] = false;
+                    let changed =
+                        vm.prog()
+                            .exec_one(i as usize, &mut self.arena, &mut self.scratch);
+                    if changed {
+                        let (in_dirty, buckets) = (&mut self.in_dirty, &mut self.dirty_levels);
+                        for &s in vm.succs(i) {
+                            if !in_dirty[s as usize] {
+                                in_dirty[s as usize] = true;
+                                buckets[vm.instr_level(s) as usize].push(s);
+                            }
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            // Hand the emptied Vec back so its capacity is reused.
+            self.dirty_levels[lvl] = bucket;
+        }
+        evaled
+    }
+
     fn node_bv(&self, n: usize) -> Bv {
         let s = self.sched.node_slot(n);
         Bv::from_limbs(s.width, &self.arena[s.off as usize..][..s.limbs as usize])
@@ -472,6 +658,58 @@ impl Simulator {
             .unwrap_or_else(|| panic!("no output port named {port:?}"));
         self.eval();
         self.node_bv(self.module.output_drivers[idx].index())
+    }
+
+    /// Reads an output port's raw little-endian limbs without
+    /// materializing a [`Bv`] (after evaluating if needed). The slot is
+    /// kept masked by every engine, so the limbs equal
+    /// `self.output(port).limbs()` — this is the allocation-free read
+    /// path for harnesses that hash or compare output streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output_limbs(&mut self, port: &str) -> &[u64] {
+        let idx = self
+            .module
+            .output_index(port)
+            .unwrap_or_else(|| panic!("no output port named {port:?}"));
+        self.output_limbs_at(idx)
+    }
+
+    /// As [`Simulator::output_limbs`], by output-port index (the position
+    /// in `self.module().outputs`) — lets a harness resolve port names
+    /// once instead of scanning them every read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn output_limbs_at(&mut self, idx: usize) -> &[u64] {
+        self.eval();
+        let s = self
+            .sched
+            .node_slot(self.module.output_drivers[idx].index());
+        &self.arena[s.off as usize..][..s.limbs as usize]
+    }
+
+    /// Feeds every listed output port's limbs (ports in the given order,
+    /// limbs little-endian) to `f` after a single evaluation — the
+    /// batched form of [`Simulator::output_limbs_at`] for harnesses that
+    /// hash or compare an output stream every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn for_each_output_limb(&mut self, idxs: &[usize], mut f: impl FnMut(u64)) {
+        self.eval();
+        for &idx in idxs {
+            let s = self
+                .sched
+                .node_slot(self.module.output_drivers[idx].index());
+            for &l in &self.arena[s.off as usize..][..s.limbs as usize] {
+                f(l);
+            }
+        }
     }
 
     /// Reads an arbitrary node value (after evaluating if needed).
@@ -508,18 +746,33 @@ impl Simulator {
         assert_eq!(value.width(), self.module.regs[ri].width);
         let s = self.sched.reg_slot(ri);
         let cur = &mut self.arena[s.off as usize..][..s.limbs as usize];
-        if self.mode == EvalMode::DirtyCone && cur == value.limbs() {
+        if self.mode != EvalMode::FullOracle && cur == value.limbs() {
             return;
         }
         cur.copy_from_slice(value.limbs());
         let (in_dirty, buckets, sched) = (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
-        for &n in sched.reg_nodes(ri) {
-            if !in_dirty[n as usize] {
-                in_dirty[n as usize] = true;
-                buckets[sched.level_raw(n) as usize].push(n);
+        match &self.vm {
+            Some(vm) => {
+                if !vm.dense() {
+                    for &i in vm.reg_succ(ri) {
+                        if !in_dirty[i as usize] {
+                            in_dirty[i as usize] = true;
+                            buckets[vm.instr_level(i) as usize].push(i);
+                        }
+                    }
+                }
+            }
+            None => {
+                for &n in sched.reg_nodes(ri) {
+                    if !in_dirty[n as usize] {
+                        in_dirty[n as usize] = true;
+                        buckets[sched.level_raw(n) as usize].push(n);
+                    }
+                }
             }
         }
         self.dirty = true;
+        self.since_commit = true;
     }
 
     /// Reads a memory word.
@@ -549,10 +802,38 @@ impl Simulator {
     pub fn step(&mut self) {
         self.eval();
         self.record_trace();
+        let any = if self.vm.is_some() {
+            // Quiescence short-circuit: if nothing was poked or injected
+            // since the last commit, and that commit neither changed
+            // state nor fired a memory write, the node region is
+            // bit-identical to what it saw — this edge is a no-op.
+            if !self.since_commit && self.vm_quiet {
+                false
+            } else {
+                let (any, wrote) = self.vm_commit();
+                self.vm_quiet = !any && !wrote;
+                any
+            }
+        } else {
+            self.generic_commit()
+        };
+        self.since_commit = false;
+        self.cycle += 1;
+        if self.mode == EvalMode::FullOracle || any {
+            self.dirty = true;
+        }
+        self.stats.steps += 1;
+        self.obs.add("rtl.steps", 1);
+    }
+
+    /// Clock-edge commit through the interpreter's module walk (the
+    /// dirty-cone and reference engines). Returns whether any state
+    /// changed.
+    fn generic_commit(&mut self) -> bool {
         let base = self.sched.state_len();
         let (state, nodes) = self.arena.split_at_mut(base);
         let sched = &self.sched;
-        let dirty_cone = self.mode == EvalMode::DirtyCone;
+        let track = self.mode != EvalMode::FullOracle;
         let in_dirty = &mut self.in_dirty;
         let buckets = &mut self.dirty_levels;
         let mut any = false;
@@ -583,7 +864,7 @@ impl Simulator {
             let cur = &mut state[rs.off as usize..][..rs.limbs as usize];
             if cur != d {
                 cur.copy_from_slice(d);
-                if dirty_cone {
+                if track {
                     mark_all(sched.reg_nodes(i), &mut any);
                 }
             }
@@ -600,7 +881,7 @@ impl Simulator {
                 let cur = &mut state[rs.off as usize..][..rs.limbs as usize];
                 if cur != word {
                     cur.copy_from_slice(word);
-                    if dirty_cone {
+                    if track {
                         mark_all(sched.mem_read_nodes(mi, pi), &mut any);
                     }
                 }
@@ -615,12 +896,85 @@ impl Simulator {
                 }
             }
         }
-        self.cycle += 1;
-        if !dirty_cone || any {
-            self.dirty = true;
+        any
+    }
+
+    /// Clock-edge commit through the bytecode engine's compiled plan:
+    /// every enable/D/state/address offset was resolved at lowering time
+    /// ([`crate::lower::RegPlan`] / [`crate::lower::MemPlan`]), so this
+    /// walks flat tables with a single-limb fast path instead of the
+    /// module. Dense programs skip dirty marking entirely (their next
+    /// pass reruns everything); tracked programs mark the same successor
+    /// instructions the generic walk would. Returns whether any state
+    /// changed and whether any memory write port fired (the pair feeding
+    /// the quiescence short-circuit in [`Simulator::step`]).
+    fn vm_commit(&mut self) -> (bool, bool) {
+        let vm = self.vm.as_ref().expect("vm commit needs an engine");
+        let dense = vm.dense();
+        let base = self.sched.state_len();
+        let (state, nodes) = self.arena.split_at_mut(base);
+        let in_dirty = &mut self.in_dirty;
+        let buckets = &mut self.dirty_levels;
+        let mut any = false;
+        let mut wrote = false;
+        let mut mark_all = |ids: &[u32]| {
+            for &i in ids {
+                if !in_dirty[i as usize] {
+                    in_dirty[i as usize] = true;
+                    buckets[vm.instr_level(i) as usize].push(i);
+                }
+            }
+        };
+        let node1 = |off: u32| nodes[off as usize - base];
+        for rp in vm.reg_plans() {
+            if rp.en_off != crate::lower::NO_EN && node1(rp.en_off) & 1 == 0 {
+                continue;
+            }
+            if rp.limbs == 1 {
+                let d = node1(rp.d_off);
+                let cur = &mut state[rp.state_off as usize];
+                if *cur != d {
+                    *cur = d;
+                    any = true;
+                    if !dense {
+                        mark_all(vm.reg_succ(rp.reg as usize));
+                    }
+                }
+            } else {
+                let d = node_limbs(nodes, base, rp.d_off, rp.limbs);
+                let cur = &mut state[rp.state_off as usize..][..rp.limbs as usize];
+                if cur != d {
+                    cur.copy_from_slice(d);
+                    any = true;
+                    if !dense {
+                        mark_all(vm.reg_succ(rp.reg as usize));
+                    }
+                }
+            }
         }
-        self.stats.steps += 1;
-        self.obs.add("rtl.steps", 1);
+        for mp in vm.mem_plans() {
+            for r in &mp.reads {
+                let addr = node1(r.addr_off) as usize % mp.depth;
+                let word = &self.mem_arena[mp.base + addr * mp.stride..][..mp.stride];
+                let cur = &mut state[r.state_off as usize..][..mp.stride];
+                if cur != word {
+                    cur.copy_from_slice(word);
+                    any = true;
+                    if !dense {
+                        mark_all(vm.mem_rd_succ(mp.mem as usize, r.port as usize));
+                    }
+                }
+            }
+            for w in &mp.writes {
+                if node1(w.en_off) & 1 == 1 {
+                    wrote = true;
+                    let addr = node1(w.addr_off) as usize % mp.depth;
+                    let d = node_limbs(nodes, base, w.d_off, mp.stride as u32);
+                    self.mem_arena[mp.base + addr * mp.stride..][..mp.stride].copy_from_slice(d);
+                }
+            }
+        }
+        (any, wrote)
     }
 
     /// Convenience: poke several ports, then step once.
@@ -1005,5 +1359,271 @@ mod tests {
         tb.output("y", o[0]);
         let top = tb.finish().unwrap();
         assert!(Simulator::new(top).is_err());
+    }
+
+    /// Every operator shape the bytecode lowering handles: all 19 binary
+    /// ops at single-limb and multi-limb widths, the unary and structural
+    /// ops, constant operands on both sides (including oversized constant
+    /// shift amounts), fusable compare→mux and add→slice pairs, plus a
+    /// memory and registered feedback so stepping keeps the cone churning.
+    fn op_soup() -> Module {
+        let mut b = ModuleBuilder::new("soup");
+        let x = b.input("x", 64);
+        let y = b.input("y", 64);
+        let n = b.input("n", 17);
+        let m = b.input("m", 17);
+        let wx = b.input("wx", 100);
+        let wy = b.input("wy", 100);
+        let c = b.input("c", 1);
+        let mut outs: Vec<NodeId> = Vec::new();
+        // All binary ops, single-limb and multi-limb.
+        for (a, bb) in [(x, y), (wx, wy)] {
+            outs.push(b.add(a, bb));
+            outs.push(b.sub(a, bb));
+            outs.push(b.mul(a, bb));
+            outs.push(b.udiv(a, bb));
+            outs.push(b.urem(a, bb));
+            outs.push(b.sdiv(a, bb));
+            outs.push(b.srem(a, bb));
+            outs.push(b.and(a, bb));
+            outs.push(b.or(a, bb));
+            outs.push(b.xor(a, bb));
+            outs.push(b.shl(a, bb));
+            outs.push(b.lshr(a, bb));
+            outs.push(b.ashr(a, bb));
+            outs.push(b.eq(a, bb));
+            outs.push(b.ne(a, bb));
+            outs.push(b.ult(a, bb));
+            outs.push(b.ule(a, bb));
+            outs.push(b.slt(a, bb));
+            outs.push(b.sle(a, bb));
+        }
+        // Unary ops, both width classes.
+        for a in [n, wx] {
+            outs.push(b.not(a));
+            outs.push(b.neg(a));
+            outs.push(b.red_and(a));
+            outs.push(b.red_or(a));
+            outs.push(b.red_xor(a));
+        }
+        // Structural ops.
+        outs.push(b.mux(c, x, y));
+        outs.push(b.mux(c, wx, wy));
+        outs.push(b.slice(x, 40, 9));
+        outs.push(b.slice(wx, 80, 30)); // multi-limb src, 1-limb out
+        outs.push(b.slice(wx, 95, 10)); // multi-limb src and out
+        outs.push(b.concat(n, m));
+        outs.push(b.concat(wx, x));
+        outs.push(b.zext(n, 64));
+        outs.push(b.zext(x, 128));
+        outs.push(b.zext(wx, 128));
+        outs.push(b.sext(n, 64));
+        outs.push(b.sext(n, 120));
+        outs.push(b.sext(wx, 128));
+        // Constant operands: right, left-commutative, left-subtract, and
+        // constant shift amounts below / at-or-above the width.
+        let k = b.lit(64, 0x00C0_FFEE_1234_5678);
+        let k3 = b.lit(64, 3);
+        let k70 = b.lit(64, 70);
+        outs.push(b.add(x, k));
+        outs.push(b.sub(k, x));
+        outs.push(b.mul(k, x));
+        outs.push(b.and(k, x));
+        outs.push(b.eq(x, k));
+        outs.push(b.shl(x, k3));
+        outs.push(b.lshr(x, k3));
+        outs.push(b.ashr(x, k3));
+        outs.push(b.shl(x, k70));
+        outs.push(b.lshr(x, k70));
+        outs.push(b.ashr(x, k70));
+        // Fusable pairs: a compare whose only reader is a mux select, and
+        // an add whose only reader is a slice.
+        let fsel = b.ult(x, y);
+        outs.push(b.mux(fsel, y, x));
+        let fsum = b.add(n, m);
+        outs.push(b.slice(fsum, 12, 4));
+        // A memory (read-first, 1-cycle latency) and registered feedback.
+        let mem = b.mem("m", 4, 32, 16);
+        let waddr = b.slice(x, 3, 0);
+        let wdata = b.slice(y, 31, 0);
+        let raddr = b.slice(y, 3, 0);
+        b.mem_write(mem, c, waddr, wdata);
+        outs.push(b.mem_read(mem, raddr));
+        let r64 = b.reg("acc64", 64, Bv::from_u64(64, 7));
+        let q64 = b.reg_q(r64);
+        let fb64 = b.xor(q64, x);
+        let nx64 = b.add(fb64, y);
+        b.connect_reg(r64, nx64);
+        b.reg_enable(r64, c);
+        outs.push(q64);
+        let rw = b.reg("accw", 100, Bv::zero(100));
+        let qw = b.reg_q(rw);
+        let nxw = b.add(qw, wx);
+        b.connect_reg(rw, nxw);
+        outs.push(qw);
+        for (i, o) in outs.into_iter().enumerate() {
+            b.output(format!("o{i}"), o);
+        }
+        b.finish().unwrap()
+    }
+
+    fn rand_bv(rng: &mut dfv_bits::SplitMix64, w: u32) -> Bv {
+        let limbs: Vec<u64> = (0..w.div_ceil(64)).map(|_| rng.next_u64()).collect();
+        Bv::from_limbs(w, &limbs)
+    }
+
+    /// Drives `sim` with seeded random stimulus and returns all outputs
+    /// at every cycle.
+    fn run_random(mut sim: Simulator, seed: u64, cycles: usize) -> Vec<Vec<Bv>> {
+        let mut rng = dfv_bits::SplitMix64::new(seed);
+        let inputs: Vec<(String, u32)> = sim
+            .module()
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.width))
+            .collect();
+        let outs: Vec<String> = sim
+            .module()
+            .outputs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        let mut rows = Vec::new();
+        for _ in 0..cycles {
+            for (name, w) in &inputs {
+                let v = rand_bv(&mut rng, *w);
+                sim.poke(name, v);
+            }
+            rows.push(outs.iter().map(|o| sim.output(o)).collect::<Vec<_>>());
+            sim.step();
+        }
+        rows
+    }
+
+    #[test]
+    fn bytecode_engine_matches_scalar_and_oracle_on_op_soup() {
+        let module = op_soup();
+        for seed in [1u64, 0xDEAD_BEEF, 42] {
+            let scalar = run_random(Simulator::new(module.clone()).unwrap(), seed, 48);
+            let vm = run_random(Simulator::new_vm(module.clone()).unwrap(), seed, 48);
+            let oracle = run_random(Simulator::new_reference(module.clone()).unwrap(), seed, 48);
+            assert_eq!(vm, scalar, "vm vs scalar diverged (seed {seed})");
+            assert_eq!(vm, oracle, "vm vs oracle diverged (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn bytecode_engine_counts_and_counter_match() {
+        let mut sim = Simulator::new_vm(counter_with_enable()).unwrap();
+        assert_eq!(sim.eval_mode(), EvalMode::Bytecode);
+        sim.poke("en", Bv::from_bool(true));
+        sim.step();
+        sim.step();
+        assert_eq!(sim.output("count").to_u64(), 2);
+        sim.poke("en", Bv::from_bool(false));
+        sim.step();
+        assert_eq!(sim.output("count").to_u64(), 2);
+        // Fused and folded instructions mean at most one instruction per
+        // node, so the dirty-cone bound still holds.
+        let s = sim.stats();
+        let node_count = sim.module().nodes.len() as u64;
+        assert!(s.node_evals > 0);
+        assert!(s.node_evals <= s.eval_passes * node_count);
+    }
+
+    #[test]
+    fn bytecode_fused_pairs_keep_intermediates_observable() {
+        // The compare and the add are absorbed into their consumers, but
+        // their slots must still hold exactly the values the scalar
+        // engine computes — peeks and watches read them.
+        let mut b = ModuleBuilder::new("fused");
+        let x = b.input("x", 32);
+        let y = b.input("y", 32);
+        let sel = b.ult(x, y);
+        let mx = b.mux(sel, y, x);
+        let sum = b.add(x, y);
+        let sl = b.slice(sum, 20, 5);
+        b.output("max", mx);
+        b.output("mid", sl);
+        let module = b.finish().unwrap();
+        let mut vm = Simulator::new_vm(module.clone()).unwrap();
+        let mut oracle = Simulator::new_reference(module).unwrap();
+        let mut rng = dfv_bits::SplitMix64::new(9);
+        for _ in 0..64 {
+            let (a, bb) = (rng.bits(32), rng.bits(32));
+            for sim in [&mut vm, &mut oracle] {
+                sim.poke("x", Bv::from_u64(32, a));
+                sim.poke("y", Bv::from_u64(32, bb));
+            }
+            assert_eq!(vm.output("max"), oracle.output("max"));
+            assert_eq!(vm.output("mid"), oracle.output("mid"));
+            assert_eq!(vm.peek(sel), oracle.peek(sel), "fused compare slot");
+            assert_eq!(vm.peek(sum), oracle.peek(sum), "fused add slot");
+            vm.step();
+            oracle.step();
+        }
+    }
+
+    #[test]
+    fn bytecode_idle_cycles_and_repeat_pokes_are_free() {
+        let mut sim = Simulator::new_vm(counter_with_enable()).unwrap();
+        sim.poke("en", Bv::from_bool(false));
+        assert_eq!(sim.output("count").to_u64(), 0);
+        let settled = sim.stats().node_evals;
+        for _ in 0..100 {
+            sim.step();
+        }
+        sim.poke("en", Bv::from_bool(false));
+        assert_eq!(sim.output("count").to_u64(), 0);
+        assert_eq!(
+            sim.stats().node_evals,
+            settled,
+            "idle cycles must not execute instructions"
+        );
+    }
+
+    #[test]
+    fn bytecode_node_evals_deterministic_under_poke_order() {
+        let module = op_soup();
+        let mut fwd = Simulator::new_vm(module.clone()).unwrap();
+        let mut rev = Simulator::new_vm(module).unwrap();
+        let mut rng = dfv_bits::SplitMix64::new(77);
+        let inputs: Vec<(String, u32)> = fwd
+            .module()
+            .inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.width))
+            .collect();
+        for _ in 0..16 {
+            let vals: Vec<Bv> = inputs.iter().map(|(_, w)| rand_bv(&mut rng, *w)).collect();
+            for (i, (name, _)) in inputs.iter().enumerate() {
+                fwd.poke(name, vals[i].clone());
+            }
+            for (i, (name, _)) in inputs.iter().enumerate().rev() {
+                rev.poke(name, vals[i].clone());
+            }
+            fwd.step();
+            rev.step();
+            assert_eq!(
+                fwd.stats().node_evals,
+                rev.stats().node_evals,
+                "instruction count must not depend on poke order"
+            );
+        }
+        assert_eq!(fwd.output("o0"), rev.output("o0"));
+    }
+
+    #[test]
+    fn bytecode_set_reg_marks_cone() {
+        let mut vm = Simulator::new_vm(counter_with_enable()).unwrap();
+        let mut oracle = Simulator::new_reference(counter_with_enable()).unwrap();
+        for sim in [&mut vm, &mut oracle] {
+            sim.poke("en", Bv::from_bool(true));
+            sim.step();
+            sim.set_reg("count", Bv::from_u64(8, 200));
+            sim.step();
+        }
+        assert_eq!(vm.output("count").to_u64(), 201);
+        assert_eq!(oracle.output("count").to_u64(), 201);
     }
 }

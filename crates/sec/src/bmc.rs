@@ -266,7 +266,10 @@ fn validate_property(module: &Module, property: &str, bound: u32) -> Result<(), 
 }
 
 /// Reads the SAT model for the unrolled cycles in `input_words`, replays
-/// it, and validates that the replay hits a violation.
+/// it through the compiled bytecode engine, and validates that the replay
+/// hits a violation — with the full-reevaluation oracle run in lockstep
+/// and every output asserted identical each cycle, so a counterexample
+/// can never be an artifact of the compiled engine.
 fn extract_trace(
     solver: &Solver,
     module: &Module,
@@ -284,19 +287,30 @@ fn extract_trace(
                 .collect()
         })
         .collect();
-    // Replay to find (and validate) the first violation. `Simulator::new`
+    // Replay to find (and validate) the first violation. The constructors
     // cannot fail: the module already passed `check_module`.
-    let mut sim = Simulator::new(module.clone()).expect("checked");
+    let mut sim = Simulator::new_vm(module.clone()).expect("checked");
+    let mut oracle = Simulator::new_reference(module.clone()).expect("checked");
     let mut violation_cycle = None;
     for (t, cycle_inputs) in inputs.iter().enumerate() {
         for (name, v) in cycle_inputs {
             sim.poke(name, v.clone());
+            oracle.poke(name, v.clone());
+        }
+        for p in &module.outputs {
+            assert_eq!(
+                sim.output(&p.name),
+                oracle.output(&p.name),
+                "bytecode replay diverged from the oracle on output {:?} at cycle {t}",
+                p.name
+            );
         }
         if !sim.output(property).bit(0) {
             violation_cycle = Some(t as u32);
             break;
         }
         sim.step();
+        oracle.step();
     }
     let violation_cycle = violation_cycle
         .expect("SAT model did not replay to a violation: bit-blasting soundness bug");

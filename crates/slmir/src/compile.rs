@@ -1,0 +1,708 @@
+//! Straight-line segment compiler: SLM-C statement runs → `dfv-vm` bytecode.
+//!
+//! The interpreter in [`crate::interp`] walks the AST one node at a time;
+//! that is the *oracle*. This module finds maximal runs of branch-free,
+//! scalar-only statements inside each block and lowers them once into flat
+//! register bytecode ([`dfv_vm::Program`]). At run time the interpreter
+//! replaces the whole run with one `Program::run` call plus a handful of
+//! load/store transfers — byte-identical results and an *identical* `steps`
+//! count, because every segment records exactly how many interpreter ticks
+//! the statements it replaces would have charged.
+//!
+//! What compiles: `Decl`/`Assign`/`Expr`/`Return` statements over scalar
+//! variables of width ≤ 64, with `Int`/`Var`/`Un`/`Bin`/`Cast` expressions.
+//! Everything else — control flow, arrays, pointers, calls, `?:` (which
+//! evaluates only the taken side, so its tick count is data-dependent) —
+//! ends the segment and stays on the oracle path.
+//!
+//! Segments are keyed by the *span* of their first statement, which survives
+//! the `Func` clone the interpreter performs on every call, so callees get
+//! compiled execution too. Any span that occurs more than once in the
+//! program is poisoned (mapped to `None`) so a key can never identify the
+//! wrong statement.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use dfv_vm::{Instr, Program as VmProgram};
+
+use crate::ast::*;
+use crate::sema::{int_promote, literal_ty, promote};
+
+/// Segment table key: the (line, col) of a segment's first statement.
+pub(crate) type SpanKey = (u32, u32);
+
+/// Compiled segments by first-statement span. `None` marks a poisoned key
+/// (span not unique program-wide — never matched at run time).
+pub(crate) type SegTable = HashMap<SpanKey, Option<Rc<Segment>>>;
+
+/// What a compiled `return` produces when the segment finishes.
+#[derive(Debug)]
+pub(crate) enum RetAction {
+    /// `return;` — a void return.
+    Void,
+    /// `return e;` — the value lives in `slot` at type `src`; the caller
+    /// resizes it to `out` per source signedness (the interpreter's
+    /// `Return` rule). `src == out` when the function's return type is not
+    /// a narrow scalar.
+    Value {
+        /// Arena slot holding the (masked) return value.
+        slot: u32,
+        /// Type the value was computed at.
+        src: ScalarTy,
+        /// Type the interpreter would resize it to.
+        out: ScalarTy,
+    },
+}
+
+/// One compiled straight-line statement run.
+#[derive(Debug)]
+pub(crate) struct Segment {
+    /// The bytecode for the whole run.
+    pub prog: VmProgram,
+    /// Exactly how many interpreter ticks the replaced statements charge.
+    pub ticks: u64,
+    /// How many statements of the enclosing block this segment covers.
+    pub n_stmts: usize,
+    /// Environment reads at entry: (name, arena slot, expected cell type).
+    pub loads: Vec<(String, u32, ScalarTy)>,
+    /// Environment writes at exit, in first-assignment order.
+    pub stores: Vec<(String, u32, ScalarTy)>,
+    /// Cells to push at exit, in declaration order (store-index parity
+    /// with the oracle requires pushing them exactly like `exec_stmt`).
+    pub decls: Vec<(String, u32, ScalarTy)>,
+    /// Set iff the segment ends in a `return`.
+    pub ret: Option<RetAction>,
+}
+
+/// Compiles every eligible statement run in `prog` into a segment table.
+pub(crate) fn compile(prog: &Program) -> SegTable {
+    let mut span_count: HashMap<SpanKey, u32> = HashMap::new();
+    for f in &prog.funcs {
+        count_spans(&f.body, &mut span_count);
+    }
+    let mut segs = SegTable::new();
+    for (k, c) in &span_count {
+        if *c > 1 {
+            segs.insert(*k, None);
+        }
+    }
+    for f in &prog.funcs {
+        let opaque = opaque_names(f);
+        let mut scopes: Vec<HashMap<String, ScalarTy>> = vec![HashMap::new()];
+        for p in &f.params {
+            if let Ty::Scalar(sc) = p.ty {
+                scopes[0].insert(p.name.clone(), sc);
+            }
+        }
+        walk_block(f, &f.body, &mut scopes, &opaque, &mut segs);
+    }
+    segs
+}
+
+fn count_spans(body: &[Stmt], out: &mut HashMap<SpanKey, u32>) {
+    for s in body {
+        *out.entry((s.span.line, s.span.col)).or_insert(0) += 1;
+        match &s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count_spans(then_body, out);
+                count_spans(else_body, out);
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } | StmtKind::Block(body) => {
+                count_spans(body, out)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Names the interpreter may treat as pointer/array in `f`.
+///
+/// `is_ptr_ty`/`cell_is_array` in the interpreter resolve a name by a
+/// whole-function pre-order scan (first matching declaration wins), not by
+/// scope — so a name with *any* non-scalar declaration anywhere in the
+/// function is off-limits to compilation, even where a scalar declaration
+/// of the same name is in scope.
+fn opaque_names(f: &Func) -> HashSet<String> {
+    fn scan(body: &[Stmt], out: &mut HashSet<String>) {
+        for s in body {
+            match &s.kind {
+                StmtKind::Decl { name, ty, .. } if !matches!(ty, Ty::Scalar(_)) => {
+                    out.insert(name.clone());
+                }
+                StmtKind::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    scan(then_body, out);
+                    scan(else_body, out);
+                }
+                StmtKind::For { body, .. }
+                | StmtKind::While { body, .. }
+                | StmtKind::Block(body) => scan(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    for p in &f.params {
+        if !matches!(p.ty, Ty::Scalar(_)) {
+            out.insert(p.name.clone());
+        }
+    }
+    scan(&f.body, &mut out);
+    out
+}
+
+fn walk_block(
+    f: &Func,
+    body: &[Stmt],
+    scopes: &mut Vec<HashMap<String, ScalarTy>>,
+    opaque: &HashSet<String>,
+    segs: &mut SegTable,
+) {
+    let mut i = 0;
+    while i < body.len() {
+        let mut b = SegBuilder::default();
+        let mut j = i;
+        while j < body.len() && b.ret.is_none() {
+            let ck = b.checkpoint();
+            if b.try_stmt(f, &body[j], scopes, opaque) {
+                j += 1;
+            } else {
+                b.rollback(ck);
+                break;
+            }
+        }
+        // A single cheap statement is not worth the load/store round trip.
+        if j > i && (j - i >= 2 || b.ticks >= 4) {
+            let key = (body[i].span.line, body[i].span.col);
+            segs.entry(key)
+                .or_insert_with(|| Some(Rc::new(b.finish(j - i))));
+            // Declarations inside the segment stay visible to later
+            // statements of this block.
+            for s in &body[i..j] {
+                apply_decl_scope(s, scopes);
+            }
+            i = j;
+            continue;
+        }
+        // Statement i is interpreted; track its scope effect and recurse
+        // into nested blocks so their runs compile too.
+        let s = &body[i];
+        match &s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                scopes.push(HashMap::new());
+                walk_block(f, then_body, scopes, opaque, segs);
+                scopes.pop();
+                scopes.push(HashMap::new());
+                walk_block(f, else_body, scopes, opaque, segs);
+                scopes.pop();
+            }
+            StmtKind::For { var, body, .. } => {
+                let mut frame = HashMap::new();
+                frame.insert(var.clone(), ScalarTy::INT);
+                scopes.push(frame);
+                walk_block(f, body, scopes, opaque, segs);
+                scopes.pop();
+            }
+            StmtKind::While { body, .. } => {
+                scopes.push(HashMap::new());
+                walk_block(f, body, scopes, opaque, segs);
+                scopes.pop();
+            }
+            StmtKind::Block(body) => {
+                scopes.push(HashMap::new());
+                walk_block(f, body, scopes, opaque, segs);
+                scopes.pop();
+            }
+            _ => apply_decl_scope(s, scopes),
+        }
+        i += 1;
+    }
+}
+
+fn apply_decl_scope(s: &Stmt, scopes: &mut [HashMap<String, ScalarTy>]) {
+    if let StmtKind::Decl {
+        name,
+        ty: Ty::Scalar(sc),
+        ..
+    } = &s.kind
+    {
+        scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.clone(), *sc);
+    }
+}
+
+fn ok_width(sc: ScalarTy) -> bool {
+    sc.width <= 64
+}
+
+fn mask64(w: u32) -> u64 {
+    debug_assert!((1..=64).contains(&w));
+    u64::MAX >> (64 - w)
+}
+
+#[derive(Clone)]
+struct Binding {
+    slot: u32,
+    ty: ScalarTy,
+    /// Whether the binding aliases an environment cell (vs. an in-segment
+    /// declaration) — only external bindings write back at exit.
+    external: bool,
+}
+
+#[derive(Default)]
+struct SegBuilder {
+    instrs: Vec<Instr>,
+    n_slots: u32,
+    ticks: u64,
+    loads: Vec<(String, u32, ScalarTy)>,
+    stores: Vec<(String, u32, ScalarTy)>,
+    decls: Vec<(String, u32, ScalarTy)>,
+    bindings: HashMap<String, Binding>,
+    ret: Option<RetAction>,
+}
+
+struct Checkpoint {
+    instrs: usize,
+    n_slots: u32,
+    ticks: u64,
+    loads: usize,
+    stores: usize,
+    decls: usize,
+    bindings: HashMap<String, Binding>,
+}
+
+impl SegBuilder {
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            instrs: self.instrs.len(),
+            n_slots: self.n_slots,
+            ticks: self.ticks,
+            loads: self.loads.len(),
+            stores: self.stores.len(),
+            decls: self.decls.len(),
+            bindings: self.bindings.clone(),
+        }
+    }
+
+    fn rollback(&mut self, ck: Checkpoint) {
+        self.instrs.truncate(ck.instrs);
+        self.n_slots = ck.n_slots;
+        self.ticks = ck.ticks;
+        self.loads.truncate(ck.loads);
+        self.stores.truncate(ck.stores);
+        self.decls.truncate(ck.decls);
+        self.bindings = ck.bindings;
+        self.ret = None;
+    }
+
+    fn finish(self, n_stmts: usize) -> Segment {
+        let prog = VmProgram::new(self.instrs, self.n_slots as usize)
+            .expect("segment lowering emitted invalid bytecode");
+        Segment {
+            prog,
+            ticks: self.ticks,
+            n_stmts,
+            loads: self.loads,
+            stores: self.stores,
+            decls: self.decls,
+            ret: self.ret,
+        }
+    }
+
+    fn alloc(&mut self) -> u32 {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        s
+    }
+
+    /// Attempts to append one statement; returns false (caller rolls back)
+    /// if it cannot be compiled exactly.
+    fn try_stmt(
+        &mut self,
+        f: &Func,
+        s: &Stmt,
+        scopes: &[HashMap<String, ScalarTy>],
+        opaque: &HashSet<String>,
+    ) -> bool {
+        self.ticks += 1; // exec_stmt ticks once per statement
+        match &s.kind {
+            StmtKind::Decl {
+                name,
+                ty: Ty::Scalar(sc),
+                init,
+            } => {
+                if !ok_width(*sc) || opaque.contains(name) {
+                    return false;
+                }
+                let slot = self.alloc();
+                match init {
+                    Some(e) => {
+                        let Some((es, et)) = self.expr(e, scopes, opaque) else {
+                            return false;
+                        };
+                        self.store_resized(es, et, slot, *sc);
+                    }
+                    None => self.instrs.push(Instr::Const1 { dst: slot, imm: 0 }),
+                }
+                self.decls.push((name.clone(), slot, *sc));
+                self.bindings.insert(
+                    name.clone(),
+                    Binding {
+                        slot,
+                        ty: *sc,
+                        external: false,
+                    },
+                );
+                true
+            }
+            StmtKind::Assign {
+                lhs: LValue::Var(n),
+                rhs,
+            } => {
+                if opaque.contains(n) {
+                    return false;
+                }
+                let Some((rs, rt)) = self.expr(rhs, scopes, opaque) else {
+                    return false;
+                };
+                let (slot, ty, external) = match self.bindings.get(n) {
+                    Some(b) => (b.slot, b.ty, b.external),
+                    None => {
+                        let Some(ty) = resolve_scope(scopes, n).filter(|t| ok_width(*t)) else {
+                            return false;
+                        };
+                        let slot = self.alloc();
+                        self.bindings.insert(
+                            n.clone(),
+                            Binding {
+                                slot,
+                                ty,
+                                external: true,
+                            },
+                        );
+                        (slot, ty, true)
+                    }
+                };
+                self.store_resized(rs, rt, slot, ty);
+                if external && !self.stores.iter().any(|(sn, _, _)| sn == n) {
+                    self.stores.push((n.clone(), slot, ty));
+                }
+                true
+            }
+            StmtKind::Expr(e) => self.expr(e, scopes, opaque).is_some(),
+            StmtKind::Return(v) => {
+                match v {
+                    None => self.ret = Some(RetAction::Void),
+                    Some(e) => {
+                        let Some((es, et)) = self.expr(e, scopes, opaque) else {
+                            return false;
+                        };
+                        let out = match f.ret {
+                            Ty::Scalar(sc) => sc,
+                            _ => et,
+                        };
+                        self.ret = Some(RetAction::Value {
+                            slot: es,
+                            src: et,
+                            out,
+                        });
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Compiles a pure expression; returns its slot and type, or `None` if
+    /// any node is outside the compilable subset. Charges one tick per
+    /// node, exactly like `Interp::eval`.
+    fn expr(
+        &mut self,
+        e: &Expr,
+        scopes: &[HashMap<String, ScalarTy>],
+        opaque: &HashSet<String>,
+    ) -> Option<(u32, ScalarTy)> {
+        self.ticks += 1;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let t = literal_ty(*v);
+                let dst = self.alloc();
+                self.instrs.push(Instr::Const1 {
+                    dst,
+                    imm: *v & mask64(t.width),
+                });
+                Some((dst, t))
+            }
+            ExprKind::Var(n) => {
+                if let Some(b) = self.bindings.get(n) {
+                    return Some((b.slot, b.ty));
+                }
+                if opaque.contains(n) {
+                    return None;
+                }
+                let ty = resolve_scope(scopes, n).filter(|t| ok_width(*t))?;
+                let slot = self.alloc();
+                self.loads.push((n.clone(), slot, ty));
+                self.bindings.insert(
+                    n.clone(),
+                    Binding {
+                        slot,
+                        ty,
+                        external: true,
+                    },
+                );
+                Some((slot, ty))
+            }
+            ExprKind::Un(op, a) => {
+                let (as_, at) = self.expr(a, scopes, opaque)?;
+                let dst = self.alloc();
+                let (ins, ty) = match op {
+                    UnOp::Neg => (
+                        Instr::Neg1 {
+                            dst,
+                            a: as_,
+                            w: at.width as u8,
+                        },
+                        at,
+                    ),
+                    UnOp::Not => (
+                        Instr::Not1 {
+                            dst,
+                            a: as_,
+                            w: at.width as u8,
+                        },
+                        at,
+                    ),
+                    UnOp::LNot => (Instr::EqZ1 { dst, a: as_ }, ScalarTy::BOOL),
+                };
+                self.instrs.push(ins);
+                Some((dst, ty))
+            }
+            ExprKind::Bin(op, a, b) => {
+                let (as_, at) = self.expr(a, scopes, opaque)?;
+                let (bs, bt) = self.expr(b, scopes, opaque)?;
+                self.binop(*op, as_, at, bs, bt)
+            }
+            ExprKind::Cast(ty, a) => {
+                if !ok_width(*ty) {
+                    return None;
+                }
+                let (as_, at) = self.expr(a, scopes, opaque)?;
+                let slot = self.resize_to(as_, at, *ty);
+                Some((slot, *ty))
+            }
+            _ => None,
+        }
+    }
+
+    /// Lowers one binary operator with the exact promotion rules of
+    /// `interp::eval_binop`.
+    fn binop(
+        &mut self,
+        op: BinOp,
+        as_: u32,
+        at: ScalarTy,
+        bs: u32,
+        bt: ScalarTy,
+    ) -> Option<(u32, ScalarTy)> {
+        use BinOp::*;
+        match op {
+            Add | Sub | Mul | Div | Rem | And | Or | Xor => {
+                let p = promote(at, bt);
+                if !ok_width(p) {
+                    return None;
+                }
+                let (w, pw) = (p.width as u8, p.width as u8);
+                let a = self.resize_to(as_, at, p);
+                let b = self.resize_to(bs, bt, p);
+                let dst = self.alloc();
+                let ins = match op {
+                    Add => Instr::Add1 { dst, a, b, w },
+                    Sub => Instr::Sub1 { dst, a, b, w },
+                    Mul => Instr::Mul1 { dst, a, b, w },
+                    Div if p.signed => Instr::SDiv1 {
+                        dst,
+                        a,
+                        b,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    Div => Instr::UDiv1 { dst, a, b, w },
+                    Rem if p.signed => Instr::SRem1 {
+                        dst,
+                        a,
+                        b,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    Rem => Instr::URem1 { dst, a, b },
+                    And => Instr::And1 { dst, a, b },
+                    Or => Instr::Or1 { dst, a, b },
+                    Xor => Instr::Xor1 { dst, a, b },
+                    _ => unreachable!(),
+                };
+                self.instrs.push(ins);
+                Some((dst, p))
+            }
+            Shl | Shr => {
+                // Only the left side promotes; the raw right value is the
+                // shift amount (`eval_binop` passes it unresized).
+                let lt = int_promote(at);
+                if !ok_width(lt) {
+                    return None;
+                }
+                let w = lt.width as u8;
+                let a = self.resize_to(as_, at, lt);
+                let dst = self.alloc();
+                let ins = match (op, lt.signed) {
+                    (Shl, _) => Instr::Shl1 { dst, a, b: bs, w },
+                    (Shr, true) => Instr::AShr1 { dst, a, b: bs, w },
+                    (Shr, false) => Instr::LShr1 { dst, a, b: bs, w },
+                    _ => unreachable!(),
+                };
+                self.instrs.push(ins);
+                Some((dst, lt))
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let p = promote(at, bt);
+                if !ok_width(p) {
+                    return None;
+                }
+                let pw = p.width as u8;
+                let a = self.resize_to(as_, at, p);
+                let b = self.resize_to(bs, bt, p);
+                let dst = self.alloc();
+                let ins = match (op, p.signed) {
+                    (Eq, _) => Instr::Eq1 { dst, a, b },
+                    (Ne, _) => Instr::Ne1 { dst, a, b },
+                    (Lt, false) => Instr::Ult1 { dst, a, b },
+                    (Le, false) => Instr::Ule1 { dst, a, b },
+                    // a > b  ==  b < a;  a >= b  ==  b <= a
+                    (Gt, false) => Instr::Ult1 { dst, a: b, b: a },
+                    (Ge, false) => Instr::Ule1 { dst, a: b, b: a },
+                    (Lt, true) => Instr::Slt1 {
+                        dst,
+                        a,
+                        b,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    (Le, true) => Instr::Sle1 {
+                        dst,
+                        a,
+                        b,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    (Gt, true) => Instr::Slt1 {
+                        dst,
+                        a: b,
+                        b: a,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    (Ge, true) => Instr::Sle1 {
+                        dst,
+                        a: b,
+                        b: a,
+                        aw: pw,
+                        bw: pw,
+                    },
+                    _ => unreachable!(),
+                };
+                self.instrs.push(ins);
+                Some((dst, ScalarTy::BOOL))
+            }
+            LAnd | LOr => {
+                // Eager on the *unpromoted* operands, like the interpreter:
+                // !(a==0 | b==0) for &&, !(a==0 & b==0) for ||.
+                let za = self.alloc();
+                self.instrs.push(Instr::EqZ1 { dst: za, a: as_ });
+                let zb = self.alloc();
+                self.instrs.push(Instr::EqZ1 { dst: zb, a: bs });
+                let both = self.alloc();
+                self.instrs.push(if op == LAnd {
+                    Instr::Or1 {
+                        dst: both,
+                        a: za,
+                        b: zb,
+                    }
+                } else {
+                    Instr::And1 {
+                        dst: both,
+                        a: za,
+                        b: zb,
+                    }
+                });
+                let dst = self.alloc();
+                self.instrs.push(Instr::XorC1 {
+                    dst,
+                    a: both,
+                    imm: 1,
+                });
+                Some((dst, ScalarTy::BOOL))
+            }
+        }
+    }
+
+    /// Emits the value in `slot` resized from `from` to `to` (per *source*
+    /// signedness, the SLM-C conversion rule), reusing the slot when the
+    /// masked bits are already the answer.
+    fn resize_to(&mut self, slot: u32, from: ScalarTy, to: ScalarTy) -> u32 {
+        if to.width == from.width || (to.width > from.width && !from.signed) {
+            return slot; // identity / zext of an already-masked value
+        }
+        let dst = self.alloc();
+        self.resize_into(slot, from, dst, to);
+        dst
+    }
+
+    /// Like `resize_to` but into a fixed destination slot (variable slots
+    /// must stay stable so later reads and exit stores see the value).
+    fn store_resized(&mut self, src: u32, from: ScalarTy, dst: u32, to: ScalarTy) {
+        if src == dst && (to.width == from.width || (to.width > from.width && !from.signed)) {
+            return;
+        }
+        self.resize_into(src, from, dst, to);
+    }
+
+    fn resize_into(&mut self, src: u32, from: ScalarTy, dst: u32, to: ScalarTy) {
+        let ins = if to.width < from.width {
+            Instr::Slice1 {
+                dst,
+                a: src,
+                sh: 0,
+                w: to.width as u8,
+            }
+        } else if to.width > from.width && from.signed {
+            Instr::Sext1 {
+                dst,
+                a: src,
+                aw: from.width as u8,
+                ow: to.width as u8,
+            }
+        } else {
+            Instr::Copy1 { dst, a: src }
+        };
+        self.instrs.push(ins);
+    }
+}
+
+fn resolve_scope(scopes: &[HashMap<String, ScalarTy>], n: &str) -> Option<ScalarTy> {
+    scopes.iter().rev().find_map(|f| f.get(n).copied())
+}

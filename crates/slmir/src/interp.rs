@@ -12,10 +12,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 use dfv_bits::Bv;
 
 use crate::ast::*;
+use crate::compile::{RetAction, SegTable, Segment};
 use crate::sema::{binop_result, literal_ty, promote};
 use crate::token::Span;
 
@@ -130,6 +132,13 @@ pub struct Interp<'p> {
     steps: u64,
     call_depth: u32,
     max_call_depth: u32,
+    /// Compiled straight-line segments by first-statement span; empty
+    /// unless constructed with [`Interp::new_compiled`].
+    segs: SegTable,
+    /// Reusable register arena for segment execution.
+    seg_arena: Vec<u64>,
+    /// Reusable wide-op scratch for segment execution.
+    seg_scratch: Vec<u64>,
 }
 
 /// Default statement budget before an execution is declared runaway.
@@ -150,7 +159,31 @@ impl<'p> Interp<'p> {
             steps: 0,
             call_depth: 0,
             max_call_depth: DEFAULT_MAX_CALL_DEPTH,
+            segs: SegTable::new(),
+            seg_arena: Vec::new(),
+            seg_scratch: Vec::new(),
         }
+    }
+
+    /// Creates an interpreter that pre-compiles straight-line statement
+    /// runs to `dfv-vm` bytecode and executes them as single blocks.
+    ///
+    /// Results are bit-identical to [`Interp::new`] — same return value,
+    /// same `out` parameters, same [`RunResult::steps`], same errors at the
+    /// same spans. Compiled segments cover branch-free scalar statements;
+    /// everything else (control flow, arrays, pointers, calls) falls back
+    /// to AST interpretation, which stays the semantic oracle.
+    pub fn new_compiled(prog: &'p Program) -> Self {
+        let mut i = Interp::new(prog);
+        i.segs = crate::compile::compile(prog);
+        i
+    }
+
+    /// How many statement runs were compiled to bytecode (0 for
+    /// [`Interp::new`]). Exposed so tests can assert the compiled path is
+    /// actually exercised.
+    pub fn compiled_segments(&self) -> usize {
+        self.segs.values().filter(|s| s.is_some()).count()
     }
 
     /// Overrides the statement budget (for tests of runaway loops).
@@ -309,7 +342,30 @@ impl<'p> Interp<'p> {
         // the shadowed binding if there was one).
         let mut shadowed: Vec<(String, Option<usize>)> = Vec::new();
         let mut flow = Flow::Normal;
-        for s in body {
+        let mut i = 0;
+        while i < body.len() {
+            let s = &body[i];
+            if !self.segs.is_empty() {
+                if let Some(Some(seg)) = self.segs.get(&(s.span.line, s.span.col)) {
+                    let seg = Rc::clone(seg);
+                    // Under-fueled executions fall back to the oracle so
+                    // the fuel error lands on the exact statement.
+                    if self.steps + seg.ticks <= self.fuel {
+                        if let Some(fl) = self.run_segment(&seg, env, &mut shadowed) {
+                            match fl {
+                                Flow::Normal => {
+                                    i += seg.n_stmts;
+                                    continue;
+                                }
+                                other => {
+                                    flow = other;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             match self.exec_stmt(f, s, env, &mut shadowed)? {
                 Flow::Normal => {}
                 other => {
@@ -317,6 +373,7 @@ impl<'p> Interp<'p> {
                     break;
                 }
             }
+            i += 1;
         }
         for (name, old) in shadowed.into_iter().rev() {
             match old {
@@ -325,6 +382,55 @@ impl<'p> Interp<'p> {
             };
         }
         Ok(flow)
+    }
+
+    /// Executes one compiled segment, or returns `None` (no state touched)
+    /// if the runtime environment does not match the shapes the segment was
+    /// compiled against — the caller then interprets the statements.
+    ///
+    /// Compiled segments cannot fail: every opcode is total and fuel was
+    /// prechecked, so this replaces `seg.n_stmts` statements exactly.
+    fn run_segment(
+        &mut self,
+        seg: &Segment,
+        env: &mut HashMap<String, usize>,
+        shadowed: &mut Vec<(String, Option<usize>)>,
+    ) -> Option<Flow> {
+        for (name, _, ty) in seg.loads.iter().chain(seg.stores.iter()) {
+            let cell = &self.store[*env.get(name)?];
+            if cell.words.len() != 1 || cell.ty != *ty {
+                return None;
+            }
+        }
+        self.seg_arena.clear();
+        self.seg_arena.resize(seg.prog.arena_len(), 0);
+        for (name, slot, _) in &seg.loads {
+            self.seg_arena[*slot as usize] = self.store[env[name]].words[0].to_u64();
+        }
+        seg.prog.run(&mut self.seg_arena, &mut self.seg_scratch);
+        self.steps += seg.ticks;
+        for (name, slot, ty) in &seg.stores {
+            let idx = env[name];
+            self.store[idx].words[0] = Bv::from_u64(ty.width, self.seg_arena[*slot as usize]);
+        }
+        // Declarations push cells exactly like `exec_stmt` so store indices
+        // (and therefore pointer encodings) stay oracle-identical.
+        for (name, slot, ty) in &seg.decls {
+            self.store.push(Cell {
+                words: vec![Bv::from_u64(ty.width, self.seg_arena[*slot as usize])],
+                ty: *ty,
+            });
+            let idx = self.store.len() - 1;
+            shadowed.push((name.clone(), env.insert(name.clone(), idx)));
+        }
+        Some(match &seg.ret {
+            None => Flow::Normal,
+            Some(RetAction::Void) => Flow::Return(Value::Void),
+            Some(RetAction::Value { slot, src, out }) => {
+                let b = Bv::from_u64(src.width, self.seg_arena[*slot as usize]);
+                Flow::Return(Value::Scalar(resize(&b, src.signed, *out), out.signed))
+            }
+        })
     }
 
     fn exec_stmt(
@@ -1208,6 +1314,173 @@ mod tests {
             &[Value::from_i64(s64, -1), Value::from_u64(u64t, 1)],
         );
         assert_eq!(r.as_bv().unwrap().to_u64(), 1);
+    }
+
+    /// Runs `entry` through both the AST oracle and the segment-compiled
+    /// interpreter and asserts the full [`RunResult`] — return value, out
+    /// params, and exact step count — is identical. Returns the compiled
+    /// run's segment count so callers can assert coverage.
+    fn assert_compiled_parity(src: &str, entry: &str, args: &[Value]) -> usize {
+        let prog = parse(src).unwrap();
+        crate::sema::check(&prog).unwrap();
+        let oracle = Interp::new(&prog).run(entry, args);
+        let mut compiled = Interp::new_compiled(&prog);
+        let n = compiled.compiled_segments();
+        assert_eq!(compiled.run(entry, args), oracle, "compiled vs oracle");
+        n
+    }
+
+    #[test]
+    fn compiled_straight_line_matches_oracle() {
+        let src = r#"
+            uint16 f(uint8 a, int8 b) {
+                int t = a * 3 + b;
+                uint16 u = (uint16) t ^ 0x55;
+                u = u + (uint16) a;
+                return u - 1;
+            }
+        "#;
+        let n = assert_compiled_parity(
+            src,
+            "f",
+            &[
+                u8v(200),
+                Value::from_i64(
+                    ScalarTy {
+                        width: 8,
+                        signed: true,
+                    },
+                    -7,
+                ),
+            ],
+        );
+        assert!(n > 0, "expected at least one compiled segment");
+    }
+
+    #[test]
+    fn compiled_segments_inside_loops_match_oracle() {
+        // The loop itself is interpreted; its body compiles to one segment
+        // that runs every iteration, including a declaration (cell-push
+        // parity) and mixed-signedness comparisons feeding arithmetic.
+        let src = r#"
+            uint32 f(uint8 seed) {
+                uint32 acc = 0;
+                for (int i = 0; i < 37; i++) {
+                    uint32 x = acc * 1103515245 + (uint32) seed;
+                    x = x ^ (x >> 7);
+                    acc = acc + x % 251;
+                }
+                return acc;
+            }
+        "#;
+        let n = assert_compiled_parity(src, "f", &[u8v(0x5A)]);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn compiled_edge_operators_match_oracle() {
+        // Division/remainder by zero, shifts past the width, negation at
+        // minimum, logical ops on nonzero-but-not-one values: the exact
+        // corners where a lowering that is "almost" eval_binop diverges.
+        let src = r#"
+            int f(int a, int b) {
+                int q = a / b;
+                int r = a % b;
+                int s1 = a << 33;
+                int s2 = a >> 31;
+                uint8 t = (uint8) a;
+                int s3 = (int)(t >> 9);
+                int l = (a && b) + (a || b) + !a;
+                int n = -a + ~b;
+                return q + r + s1 + s2 + s3 + l + n;
+            }
+        "#;
+        for (a, b) in [(7, 0), (-2147483648, -1), (0, 5), (-9, 4), (12345, -678)] {
+            let args = [
+                Value::from_i64(ScalarTy::INT, a),
+                Value::from_i64(ScalarTy::INT, b),
+            ];
+            assert!(assert_compiled_parity(src, "f", &args) > 0);
+        }
+    }
+
+    #[test]
+    fn compiled_callee_segments_and_outs_match_oracle() {
+        // Spans survive the Func clone `call` performs, so segments fire
+        // inside callees; out params flow back through the compiled writes.
+        let src = r#"
+            void mix(uint16 v, out uint16 hi, out uint16 lo) {
+                hi = v >> 8;
+                lo = v & 255;
+            }
+            uint16 top(uint16 v) {
+                uint16 h = 0;
+                uint16 l = 0;
+                mix(v * 3, h, l);
+                return (h << 8) | l;
+            }
+        "#;
+        let args = [Value::from_u64(
+            ScalarTy {
+                width: 16,
+                signed: false,
+            },
+            0xBEEF,
+        )];
+        assert!(assert_compiled_parity(src, "top", &args) > 0);
+    }
+
+    #[test]
+    fn compiled_shadowing_and_mixed_blocks_match_oracle() {
+        // Re-declaration of a name after assigning the outer one inside a
+        // single segment, plus pointer statements that force fallback in
+        // the same function (store indices must stay aligned for the
+        // pointer encoding to keep working).
+        let src = r#"
+            int f(int x) {
+                x = x + 1;
+                int y = x * 2;
+                int x = y - 3;
+                int *p = &x;
+                *p = *p + y;
+                return x;
+            }
+        "#;
+        for v in [-5, 0, 41] {
+            let args = [Value::from_i64(ScalarTy::INT, v)];
+            assert!(assert_compiled_parity(src, "f", &args) > 0);
+        }
+    }
+
+    #[test]
+    fn compiled_fuel_exhaustion_matches_oracle_exactly() {
+        // The step counts must agree at every prefix, so the fuel error
+        // fires after the same statement with the same span. Probe a range
+        // of budgets across the compiled/interpreted boundary.
+        let src = r#"
+            int f() {
+                int acc = 0;
+                for (int i = 0; i < 8; i++) {
+                    int t = i * i + 1;
+                    acc = acc + t;
+                }
+                return acc;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        for fuel in 1..90 {
+            let oracle = Interp::new(&prog).with_fuel(fuel).run("f", &[]);
+            let compiled = Interp::new_compiled(&prog).with_fuel(fuel).run("f", &[]);
+            assert_eq!(compiled, oracle, "fuel={fuel}");
+        }
+    }
+
+    #[test]
+    fn compiled_interp_reports_segments() {
+        let src = "int f() { int a = 1; int b = 2; return a + b; }";
+        let prog = parse(src).unwrap();
+        assert_eq!(Interp::new(&prog).compiled_segments(), 0);
+        assert!(Interp::new_compiled(&prog).compiled_segments() > 0);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+mod compile;
 mod elaborate;
 pub mod interp;
 mod lint;

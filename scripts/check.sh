@@ -124,6 +124,20 @@ run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke --batch \
 run cmp "$obs_dir/bench_batch1.json" "$obs_dir/bench_batch2.json"
 run cargo test -q --release -p dfv-designs --test prop_sim_diff
 run cargo run --release -q -p dfv-bench --bin experiments -- e15 > /dev/null
+# Offline smoke test: the register-bytecode VM. The sweep restricted to
+# the VM engine (the reference oracle always rides along; every engine's
+# output hash is asserted against it before the report exists) must
+# produce byte-identical canonical JSON across two separate processes.
+# The VM instruction suite and the 3-way scalar/VM/oracle parity
+# properties then run in release — the same optimization level the
+# benchmarks use.
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke --engine vm \
+    --out "$obs_dir/bench_vm1_full.json" --canonical "$obs_dir/bench_vm1.json" > /dev/null
+run cargo run --release -q -p dfv-bench --bin bench -- sim --smoke --engine vm \
+    --out "$obs_dir/bench_vm2_full.json" --canonical "$obs_dir/bench_vm2.json" > /dev/null
+run cmp "$obs_dir/bench_vm1.json" "$obs_dir/bench_vm2.json"
+run cargo test -q --release -p dfv-vm
+run cargo run --release -q -p dfv-bench --bin experiments -- e16 > /dev/null
 # Stress the determinism property tests with the test harness itself
 # running them concurrently (worker pools inside worker pools), and the
 # crash-tolerance properties: kill-at-random-journal-point + resume.

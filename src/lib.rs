@@ -32,3 +32,4 @@ pub use dfv_sec as sec;
 pub use dfv_serve as serve;
 pub use dfv_slm as slm;
 pub use dfv_slmir as slmir;
+pub use dfv_vm as vm;

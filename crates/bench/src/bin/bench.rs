@@ -7,6 +7,8 @@
 //! cargo run --release -p dfv-bench --bin bench -- sim --batch
 //! cargo run --release -p dfv-bench --bin bench -- sim --engine vm
 //! cargo run --release -p dfv-bench --bin bench -- sim --out BENCH_sim.json --canonical /tmp/c.json
+//! cargo run --release -p dfv-bench --bin bench -- sec
+//! cargo run --release -p dfv-bench --bin bench -- sec --smoke --canonical /tmp/c.json
 //! ```
 //!
 //! The `sim` subcommand runs the deterministic simulator workload sweep
@@ -23,8 +25,13 @@
 //! additionally writes the timing-free canonical JSON, which is
 //! byte-identical across runs and is what CI diffs. `--smoke` shrinks
 //! the cycle counts for fast gating runs.
+//!
+//! The `sec` subcommand runs the SAT-sweeping miter sweep: every SEC
+//! workload checked sweep-off and sweep-on with verdict and
+//! counterexample-location parity asserted inside the harness, written
+//! to `BENCH_sec.json`. Same `--smoke`/`--out`/`--canonical` contract.
 
-use dfv_bench::simbench;
+use dfv_bench::{secbench, simbench};
 use dfv_rtl::EvalMode;
 
 /// Cycles per workload for a real measurement run.
@@ -40,7 +47,7 @@ const SMOKE_BATCH_CYCLES: u64 = 120;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench sim [--smoke] [--batch] [--engine interp|vm] [--out PATH] [--canonical PATH]"
+        "usage: bench sim [--smoke] [--batch] [--engine interp|vm] [--out PATH] [--canonical PATH]\n       bench sec [--smoke] [--out PATH] [--canonical PATH]"
     );
     std::process::exit(2);
 }
@@ -49,6 +56,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sim") => run_sim(&args[1..]),
+        Some("sec") => run_sec(&args[1..]),
         _ => usage(),
     }
 }
@@ -89,6 +97,35 @@ fn run_sim(args: &[String]) {
         simbench::add_batch_sweep(&mut rep, batch_cycles);
         print!("\n{}", simbench::render_sim_batch(&rep));
     }
+    std::fs::write(&out_path, rep.full_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nfull report (with timing) written to {out_path}");
+    if let Some(p) = canonical_path {
+        std::fs::write(&p, rep.canonical_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            std::process::exit(1);
+        });
+        println!("canonical report (deterministic) written to {p}");
+    }
+}
+
+fn run_sec(args: &[String]) {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_sec.json");
+    let mut canonical_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
+            "--canonical" => canonical_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let rep = secbench::sec_bench_report(smoke);
+    print!("{}", secbench::render_sec_bench(&rep));
     std::fs::write(&out_path, rep.full_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);

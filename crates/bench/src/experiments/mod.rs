@@ -1,4 +1,4 @@
-//! Experiments E1–E16: one per figure/claim of the paper. See DESIGN.md's
+//! Experiments E1–E17: one per figure/claim of the paper. See DESIGN.md's
 //! per-experiment index for the mapping.
 
 mod e1;
@@ -9,6 +9,7 @@ mod e13;
 mod e14;
 mod e15;
 mod e16;
+mod e17;
 mod e2;
 mod e3;
 mod e4;
@@ -26,6 +27,7 @@ pub use e13::{e13_crash_resume, e13_plan, e13_report};
 pub use e14::{e14_report, e14_serve};
 pub use e15::{e15_lane_batching, e15_report};
 pub use e16::{e16_bytecode_vm, e16_report};
+pub use e17::{e17_report, e17_sat_sweeping};
 pub use e2::e2_simulation_speed;
 pub use e3::e3_sec_vs_simulation;
 pub use e4::e4_timing_alignment;
@@ -35,7 +37,7 @@ pub use e7::e7_model_conditioning;
 pub use e8::e8_partitioned_sec;
 pub use e9::e9_fault_robustness;
 
-/// Runs one experiment by id (`"e1"`..`"e16"`); returns its report text.
+/// Runs one experiment by id (`"e1"`..`"e17"`); returns its report text.
 pub fn run(id: &str) -> Option<String> {
     Some(match id {
         "e1" => e1_fig1_nonassociativity(),
@@ -54,12 +56,13 @@ pub fn run(id: &str) -> Option<String> {
         "e14" => e14_serve(),
         "e15" => e15_lane_batching(),
         "e16" => e16_bytecode_vm(),
+        "e17" => e17_sat_sweeping(),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

@@ -1,5 +1,5 @@
 //! The experiment harness: one module per experiment from DESIGN.md's
-//! per-experiment index (E1–E12), each regenerating the table/series for the
+//! per-experiment index (E1–E17), each regenerating the table/series for the
 //! corresponding figure or claim of the paper.
 //!
 //! Run everything with `cargo run --release -p dfv-bench --bin experiments`
@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod models;
+pub mod secbench;
 pub mod simbench;
 
 /// Renders a simple aligned table: a header row plus data rows.

@@ -1,0 +1,474 @@
+//! The SEC sweeping benchmark behind `bench sec` and E17: every miter
+//! workload is checked twice — sweep-off (the raw bit-blasted miter) and
+//! sweep-on (word-level rewriting + simulation-guided fraiging, `dfv-sec`'s
+//! [`SweepOptions`]) — and the two runs' *verdicts* and counterexample
+//! mismatch locations are asserted identical before any number lands in
+//! the report. The comparable payload is the deterministic counter set
+//! (SAT conflicts, CNF size, sweep statistics, a structural
+//! counterexample hash); wall-clock lives only in the timing section, so
+//! the canonical JSON reproduces byte-for-byte across processes while the
+//! full JSON still carries the measured speedup.
+//!
+//! The counterexample hash folds only mismatch *locations* (output names
+//! and the RTL sample cycle): sweeping legitimately changes which
+//! satisfying assignment the solver surfaces, but never *where* the
+//! models can be made to disagree — and each counterexample has already
+//! been replayed concretely by the checker before it reaches this module.
+
+use dfv_obs::{Json, RunReport};
+use dfv_rtl::{Module, ModuleBuilder};
+use dfv_sec::{check_equivalence_with, Binding, CheckOptions, EquivOutcome, EquivSpec};
+
+/// Wall-clock repetitions per workload; off/on runs are interleaved
+/// within each repetition (same rationale as the simulator sweep: the
+/// *ratio* is the measurement, so both sides must see the same load).
+const TIMING_REPS: usize = 5;
+
+/// One named miter workload: both models, the transaction spec, and
+/// whether the pair is equivalent by construction (checked, not trusted).
+struct SecWorkload {
+    name: &'static str,
+    build: fn(smoke: bool) -> (Module, Module, EquivSpec),
+    equivalent: bool,
+}
+
+/// `a*b` versus `b*a`, zero-extended to the full product width. The
+/// classic CDCL cliff: the unswept miter is exponential in the operand
+/// width, while commutative canonicalization collapses the two cones to
+/// the same literals.
+fn mul_comm(smoke: bool) -> (Module, Module, EquivSpec) {
+    let w = if smoke { 5 } else { 7 };
+    mul_pair(w, false)
+}
+
+/// Like [`mul_comm`] with a seeded near-miss: the RTL adds 1 to the
+/// product exactly when `(a, b) == (3, 5)`, so the miter is falsifiable
+/// at a single input point — the counterexample-parity workload.
+fn mul_bug(smoke: bool) -> (Module, Module, EquivSpec) {
+    let w = if smoke { 4 } else { 6 };
+    mul_pair(w, true)
+}
+
+pub(crate) fn mul_pair(w: u32, inject_bug: bool) -> (Module, Module, EquivSpec) {
+    let ow = 2 * w;
+    let mut sb = ModuleBuilder::new("slm_mul");
+    let a = sb.input("a", w);
+    let b = sb.input("b", w);
+    let (aw, bw) = (sb.zext(a, ow), sb.zext(b, ow));
+    let y = sb.mul(aw, bw);
+    sb.output("y", y);
+    let slm = sb.finish().unwrap();
+
+    let mut rb = ModuleBuilder::new("rtl_mul");
+    let a = rb.input("a", w);
+    let b = rb.input("b", w);
+    let (aw, bw) = (rb.zext(a, ow), rb.zext(b, ow));
+    let mut y = rb.mul(bw, aw);
+    if inject_bug {
+        let three = rb.lit(w, 3);
+        let five = rb.lit(w, 5);
+        let ea = rb.eq(a, three);
+        let eb = rb.eq(b, five);
+        let hit = rb.and(ea, eb);
+        let bump = rb.zext(hit, ow);
+        y = rb.add(y, bump);
+    }
+    rb.output("y", y);
+    let rtl = rb.finish().unwrap();
+
+    let spec = EquivSpec::new(1)
+        .bind("a", 0, Binding::Slm("a".into()))
+        .bind("b", 0, Binding::Slm("b".into()))
+        .compare("y", "y", 0);
+    (slm, rtl, spec)
+}
+
+/// A multiply-accumulate with both the multiply and the accumulate
+/// commuted: `(a*b) + c` versus `c + (b*a)`.
+fn madd_comm(smoke: bool) -> (Module, Module, EquivSpec) {
+    let w = if smoke { 4 } else { 6 };
+    let ow = 2 * w;
+    let mut sb = ModuleBuilder::new("slm_madd");
+    let a = sb.input("a", w);
+    let b = sb.input("b", w);
+    let c = sb.input("c", ow);
+    let (aw, bw) = (sb.zext(a, ow), sb.zext(b, ow));
+    let p = sb.mul(aw, bw);
+    let y = sb.add(p, c);
+    sb.output("y", y);
+    let slm = sb.finish().unwrap();
+
+    let mut rb = ModuleBuilder::new("rtl_madd");
+    let a = rb.input("a", w);
+    let b = rb.input("b", w);
+    let c = rb.input("c", ow);
+    let (aw, bw) = (rb.zext(a, ow), rb.zext(b, ow));
+    let p = rb.mul(bw, aw);
+    let y = rb.add(c, p);
+    rb.output("y", y);
+    let rtl = rb.finish().unwrap();
+
+    let spec = EquivSpec::new(1)
+        .bind("a", 0, Binding::Slm("a".into()))
+        .bind("b", 0, Binding::Slm("b".into()))
+        .bind("c", 0, Binding::Slm("c".into()))
+        .compare("y", "y", 0);
+    (slm, rtl, spec)
+}
+
+/// `(a+b)+c` versus `(c+a)+b`: associativity, which the word-level GVN
+/// deliberately does *not* rewrite. Here the structural collapse fails
+/// and the sweep has to earn its merges with budgeted SAT proofs — the
+/// honest cost model for the fraiging stage.
+fn add_assoc(smoke: bool) -> (Module, Module, EquivSpec) {
+    let w = if smoke { 8 } else { 16 };
+    let mut sb = ModuleBuilder::new("slm_assoc");
+    let a = sb.input("a", w);
+    let b = sb.input("b", w);
+    let c = sb.input("c", w);
+    let t = sb.add(a, b);
+    let y = sb.add(t, c);
+    sb.output("y", y);
+    let slm = sb.finish().unwrap();
+
+    let mut rb = ModuleBuilder::new("rtl_assoc");
+    let a = rb.input("a", w);
+    let b = rb.input("b", w);
+    let c = rb.input("c", w);
+    let t = rb.add(c, a);
+    let y = rb.add(t, b);
+    rb.output("y", y);
+    let rtl = rb.finish().unwrap();
+
+    let spec = EquivSpec::new(1)
+        .bind("a", 0, Binding::Slm("a".into()))
+        .bind("b", 0, Binding::Slm("b".into()))
+        .bind("c", 0, Binding::Slm("c".into()))
+        .compare("y", "y", 0);
+    (slm, rtl, spec)
+}
+
+/// A fused-multiply-add mantissa slice — significand multiply, addend
+/// alignment, sum, one-step normalization — with the RTL's multiply and
+/// add commuted and its datapath decorated with `|0` / `^0` identities
+/// the word-level rewriter must strip. The significand multiplier
+/// dominates the unswept miter; sweeping collapses it structurally.
+fn fpu_slice(smoke: bool) -> (Module, Module, EquivSpec) {
+    let mw = if smoke { 4 } else { 6 };
+    let pw = 2 * mw + 1; // product plus one guard bit of headroom
+    let build = |name: &str, commuted: bool| -> Module {
+        let mut b = ModuleBuilder::new(name);
+        let ma = b.input("ma", mw);
+        let mb = b.input("mb", mw);
+        let mc = b.input("mc", mw);
+        let d = b.input("d", 3); // addend alignment shift
+        let (maw, mbw) = (b.zext(ma, pw), b.zext(mb, pw));
+        let p = if commuted {
+            b.mul(mbw, maw)
+        } else {
+            b.mul(maw, mbw)
+        };
+        // Align the addend below the product and sum.
+        let mcw = b.zext(mc, pw);
+        let dw = b.zext(d, pw);
+        let shifted = b.lshr(mcw, dw);
+        let sum = if commuted {
+            b.add(shifted, p)
+        } else {
+            b.add(p, shifted)
+        };
+        // Normalize: on overflow into the guard bit, shift right one.
+        let carry = b.bit(sum, pw - 1);
+        let one = b.lit(pw, 1);
+        let norm = b.lshr(sum, one);
+        let mant = b.mux(carry, norm, sum);
+        let mant = if commuted {
+            // Identity decorations the rewriter must see through.
+            let z = b.lit(pw, 0);
+            let t = b.or(mant, z);
+            b.xor(t, z)
+        } else {
+            mant
+        };
+        b.output("mant", mant);
+        b.output("carry", carry);
+        b.finish().unwrap()
+    };
+    let slm = build("slm_fpu", false);
+    let rtl = build("rtl_fpu", true);
+    let spec = EquivSpec::new(1)
+        .bind("ma", 0, Binding::Slm("ma".into()))
+        .bind("mb", 0, Binding::Slm("mb".into()))
+        .bind("mc", 0, Binding::Slm("mc".into()))
+        .bind("d", 0, Binding::Slm("d".into()))
+        .compare("mant", "mant", 0)
+        .compare("carry", "carry", 0);
+    (slm, rtl, spec)
+}
+
+/// The memory-system design's fast bank (1-cycle ROM latency), SLM
+/// elaborated from its conditioned C source — a sequential miter with
+/// real memories and `Free` tag pins, measuring sweep overhead on a
+/// workload the raw path already handles well.
+fn memsys_fast(_smoke: bool) -> (Module, Module, EquivSpec) {
+    let table = [3u8, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+    let slm = dfv_slmir::elaborate(
+        &dfv_slmir::parse(&dfv_designs::memsys::slm_source(&table)).unwrap(),
+        "lookup",
+    )
+    .unwrap();
+    let rtl = dfv_designs::memsys::rtl(&table);
+    (slm, rtl, dfv_designs::memsys::equiv_spec_fast())
+}
+
+const WORKLOADS: [SecWorkload; 6] = [
+    SecWorkload {
+        name: "mul_comm",
+        build: mul_comm,
+        equivalent: true,
+    },
+    SecWorkload {
+        name: "madd_comm",
+        build: madd_comm,
+        equivalent: true,
+    },
+    SecWorkload {
+        name: "add_assoc",
+        build: add_assoc,
+        equivalent: true,
+    },
+    SecWorkload {
+        name: "fpu_slice",
+        build: fpu_slice,
+        equivalent: true,
+    },
+    SecWorkload {
+        name: "memsys_fast",
+        build: memsys_fast,
+        equivalent: true,
+    },
+    SecWorkload {
+        name: "mul_bug",
+        build: mul_bug,
+        equivalent: false,
+    },
+];
+
+fn fnv_fold(hash: u64, limb: u64) -> u64 {
+    (hash ^ limb).wrapping_mul(0x100000001b3)
+}
+
+fn fnv_str(hash: u64, s: &str) -> u64 {
+    s.bytes().fold(hash, |h, b| fnv_fold(h, b as u64))
+}
+
+/// Structural counterexample hash: a fold of the sorted mismatch
+/// locations. `0` for non-falsifying outcomes.
+fn cex_hash(outcome: &EquivOutcome) -> u64 {
+    let EquivOutcome::NotEquivalent(cex) = outcome else {
+        return 0;
+    };
+    let mut locs: Vec<(String, String, u32)> = cex
+        .mismatches
+        .iter()
+        .map(|m| (m.slm_output.clone(), m.rtl_output.clone(), m.rtl_cycle))
+        .collect();
+    locs.sort();
+    let mut h = 0xcbf29ce484222325u64;
+    for (s, r, c) in &locs {
+        h = fnv_str(h, s);
+        h = fnv_str(h, r);
+        h = fnv_fold(h, *c as u64);
+    }
+    h
+}
+
+fn verdict_code(outcome: &EquivOutcome) -> u64 {
+    match outcome {
+        EquivOutcome::Equivalent => 0,
+        EquivOutcome::NotEquivalent(_) => 1,
+        EquivOutcome::Inconclusive { .. } => 2,
+    }
+}
+
+/// Runs the sweep-on/sweep-off miter sweep and reduces it to a
+/// [`RunReport`]. Counters are a pure function of the workloads (the
+/// canonical JSON is byte-reproducible across processes); per-workload
+/// timing phases carry the wall-clock.
+///
+/// # Panics
+///
+/// Panics if sweeping changes any workload's verdict or counterexample
+/// mismatch locations, or if a by-construction-equivalent workload is
+/// falsified — each of those would be a checker bug, not a measurement.
+/// The asserts fire before the report (and thus any timing) is returned.
+pub fn sec_bench_report(smoke: bool) -> RunReport {
+    let mut rep = RunReport::new("sec_sweep");
+    rep.set_value("smoke", Json::Bool(smoke));
+    for w in &WORKLOADS {
+        let (slm, rtl, spec) = (w.build)(smoke);
+        let opt_off = CheckOptions::default();
+        let opt_on = CheckOptions::swept();
+        // Best-of-N wall clock, off/on interleaved within each
+        // repetition so load drift cannot skew the ratio. The verdicts
+        // and counters are deterministic — identical across repetitions
+        // — so only the first repetition's reports are kept.
+        let mut best_off = std::time::Duration::MAX;
+        let mut best_on = std::time::Duration::MAX;
+        let mut kept: Option<(dfv_sec::EquivReport, dfv_sec::EquivReport)> = None;
+        for _ in 0..TIMING_REPS {
+            let t = std::time::Instant::now();
+            let off = check_equivalence_with(&slm, &rtl, &spec, &opt_off).unwrap();
+            best_off = best_off.min(t.elapsed());
+            let t = std::time::Instant::now();
+            let on = check_equivalence_with(&slm, &rtl, &spec, &opt_on).unwrap();
+            best_on = best_on.min(t.elapsed());
+            kept.get_or_insert((off, on));
+        }
+        let (off, on) = kept.expect("at least one timing rep");
+
+        // Parity gates — everything below is measurement, this is truth.
+        assert_eq!(
+            verdict_code(&off.outcome),
+            verdict_code(&on.outcome),
+            "workload {}: sweeping changed the verdict: off={:?} on={:?}",
+            w.name,
+            off.outcome,
+            on.outcome
+        );
+        assert_eq!(
+            cex_hash(&off.outcome),
+            cex_hash(&on.outcome),
+            "workload {}: sweeping changed the counterexample locations",
+            w.name
+        );
+        assert_eq!(
+            w.equivalent,
+            off.outcome.is_equivalent(),
+            "workload {}: unexpected verdict {:?}",
+            w.name,
+            off.outcome
+        );
+
+        rep.push_phase(format!("{}.off", w.name), best_off);
+        rep.push_phase(format!("{}.on", w.name), best_on);
+        rep.set_counter(
+            format!("sec.{}.verdict", w.name),
+            verdict_code(&off.outcome),
+        );
+        rep.set_counter(format!("sec.{}.cex_hash", w.name), cex_hash(&off.outcome));
+        for (tag, r) in [("off", &off), ("on", &on)] {
+            rep.set_counter(
+                format!("sec.{}.{tag}.conflicts", w.name),
+                r.solver_stats.conflicts,
+            );
+            rep.set_counter(format!("sec.{}.{tag}.vars", w.name), r.cnf_vars as u64);
+            rep.set_counter(
+                format!("sec.{}.{tag}.clauses", w.name),
+                r.cnf_clauses as u64,
+            );
+        }
+        let sw = on.sweep.expect("sweep-on run carries sweep stats");
+        rep.set_counter(format!("sec.{}.sweep.classes", w.name), sw.classes);
+        rep.set_counter(format!("sec.{}.sweep.candidates", w.name), sw.candidates);
+        rep.set_counter(format!("sec.{}.sweep.proved", w.name), sw.proved);
+        rep.set_counter(format!("sec.{}.sweep.refuted", w.name), sw.refuted);
+        rep.set_counter(format!("sec.{}.sweep.merged_lits", w.name), sw.merged_lits);
+        rep.set_counter(
+            format!("sec.{}.sweep.proof_conflicts", w.name),
+            sw.proof_conflicts,
+        );
+        rep.set_value(
+            format!("conflicts_off_over_on_x100.{}", w.name),
+            Json::UInt(off.solver_stats.conflicts * 100 / on.solver_stats.conflicts.max(1)),
+        );
+    }
+    rep
+}
+
+/// Wall-clock of the phase `{workload}.{tag}`, in microseconds.
+fn phase_us(rep: &RunReport, workload: &str, tag: &str) -> u128 {
+    let name = format!("{workload}.{tag}");
+    rep.phases()
+        .iter()
+        .filter(|p| p.name == name)
+        .map(|p| p.wall.as_micros())
+        .sum()
+}
+
+/// Renders the sweep as a table: one row per workload, sweep-off versus
+/// sweep-on conflicts and wall-clock.
+pub fn render_sec_bench(rep: &RunReport) -> String {
+    let mut out = String::from(
+        "SEC sweeping front-end: raw bit-blasted miter (off) vs word-level rewriting\n+ simulation-guided fraiging (on), verdict parity asserted per workload\n\n",
+    );
+    let mut rows = Vec::new();
+    for w in &WORKLOADS {
+        let c_off = rep.counter(&format!("sec.{}.off.conflicts", w.name));
+        let c_on = rep.counter(&format!("sec.{}.on.conflicts", w.name));
+        let us_off = phase_us(rep, w.name, "off");
+        let us_on = phase_us(rep, w.name, "on");
+        let verdict = match rep.counter(&format!("sec.{}.verdict", w.name)) {
+            0 => "equivalent",
+            1 => "not-equiv",
+            _ => "inconclusive",
+        };
+        rows.push(vec![
+            w.name.to_string(),
+            verdict.to_string(),
+            c_off.to_string(),
+            c_on.to_string(),
+            format!("{:.1}x", c_off as f64 / c_on.max(1) as f64),
+            format!("{us_off}"),
+            format!("{us_on}"),
+            if us_on > 0 {
+                format!("{:.1}x", us_off as f64 / us_on as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    out.push_str(&crate::render_table(
+        &[
+            "workload",
+            "verdict",
+            "conflicts off",
+            "conflicts on",
+            "ratio",
+            "off us",
+            "on us",
+            "wall speedup",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nconflicts (and all sweep.* counters) are deterministic and form the canonical\nJSON payload; the us / speedup columns are measured wall-clock and live only in\nthe full JSON's timing section. Verdicts and counterexample mismatch locations\nare asserted identical off-vs-on before the report exists.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_json_reproduces_and_sweep_wins_where_promised() {
+        let a = sec_bench_report(true);
+        let b = sec_bench_report(true);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert!(!a.canonical_json().contains("wall_us"));
+        // The two commutativity workloads must show an integer-factor
+        // conflict drop even in smoke mode.
+        for w in ["mul_comm", "madd_comm"] {
+            let off = a.counter(&format!("sec.{w}.off.conflicts"));
+            let on = a.counter(&format!("sec.{w}.on.conflicts"));
+            assert!(
+                off >= 2 * on.max(1),
+                "{w}: conflicts off {off} vs on {on} — sweep lost its edge"
+            );
+        }
+        // The seeded bug is found with matching mismatch locations.
+        assert_eq!(a.counter("sec.mul_bug.verdict"), 1);
+        assert_ne!(a.counter("sec.mul_bug.cex_hash"), 0);
+    }
+}

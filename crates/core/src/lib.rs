@@ -786,6 +786,7 @@ pub fn verify_block_with(
             // are budgets left to escalate into, skip it.
             fallback_transactions: if last { retry.fallback_transactions } else { 0 },
             fallback_seed: retry.fallback_seed,
+            ..CheckOptions::default()
         };
         result.attempts += 1;
         match check_equivalence_with(&slm, &block.rtl, &block.spec, &opts) {

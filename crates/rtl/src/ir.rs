@@ -291,6 +291,11 @@ impl Module {
         self.node_widths[id.index()]
     }
 
+    /// All node ids of this module, in definition (topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
     /// Looks up an input port index by name.
     pub fn input_index(&self, name: &str) -> Option<usize> {
         self.inputs.iter().position(|p| p.name == name)

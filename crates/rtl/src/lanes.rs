@@ -20,19 +20,18 @@
 //! dirty cone is therefore the union of the per-lane cones, which is
 //! exactly what keeps per-lane results identical to 64 scalar runs.
 //!
-//! # Fallback ops
+//! # Hard ops
 //!
-//! Division and remainder do not bit-slice profitably. Those kernels
-//! fall back to the scalar semantics per lane: extract each lane's
-//! value, run [`crate::eval_bin`] (the `Bv` oracle — the same single
-//! source of truth the scalar engine uses), and insert the result back.
-//! [`LaneStats::lane_fallback_evals`] counts these per-lane oracle calls
-//! separately so benchmarks can report honest batching ratios.
-//! Multiplication and the shifts *do* slice: mul is a shift-add kernel
-//! (slice `i` of `b` masks the lanes where `a << i` enters the
-//! accumulator) and the shifts are lane-masked barrel shifters — so
-//! constant-coefficient datapaths (FIR taps, convolution kernels,
-//! fixed-point scaling) never leave the lane domain.
+//! Every kernel evaluates in the lane domain — there is no per-lane
+//! scalar fallback left. Multiplication is a shift-add kernel (slice `i`
+//! of `b` masks the lanes where `a << i` enters the accumulator), the
+//! shifts are lane-masked barrel shifters, and division/remainder run a
+//! bit-serial restoring divider over the bit slices (`w` subtract/select
+//! steps divide all 64 lanes; signed variants divide magnitudes and
+//! patch signs per lane — see [`lane_udivrem`]). Divide-by-zero lanes
+//! follow the `Bv` oracle's semantics (all-ones quotient, dividend
+//! remainder) by construction. [`LaneStats::lane_fallback_evals`] is
+//! retained for report compatibility and is now always zero.
 //!
 //! # Determinism
 //!
@@ -49,7 +48,7 @@ use dfv_bits::Bv;
 use crate::check::check_module;
 use crate::ir::{BinOp, Module, Node, NodeId, UnOp};
 use crate::schedule::SimSchedule;
-use crate::sim::{eval_bin, TraceStep};
+use crate::sim::TraceStep;
 use crate::RtlError;
 
 /// Cumulative work counters for one [`LaneSim`]. Monotonic across the
@@ -64,8 +63,10 @@ pub struct LaneStats {
     /// lanes, so this is the number to compare against 64 scalar runs'
     /// `node_evals`.
     pub node_evals: u64,
-    /// Per-lane scalar-oracle evaluations taken by non-lane-able kernels
-    /// (division/remainder): 64 per dispatch of such a node.
+    /// Per-lane scalar-oracle evaluations. Since the restoring divider
+    /// moved division into the lane domain no kernel falls back, so this
+    /// is always zero; the field stays so work-ratio reports keep their
+    /// shape.
     pub lane_fallback_evals: u64,
 }
 
@@ -274,7 +275,7 @@ impl LaneProgram {
         arena: &mut [u64],
         inputs: &[Vec<u64>],
         scratch: &mut Vec<u64>,
-        fb: &mut FallbackBufs,
+        fb: &mut DivBufs,
     ) -> (bool, u64) {
         let slot = self.node_slots[n];
         let ow = slot.width;
@@ -336,20 +337,16 @@ impl LaneProgram {
                         scratch.copy_from_slice(av);
                         lane_shift(*op, scratch, bv);
                     }
-                    BinOp::UDiv | BinOp::URem | BinOp::SDiv | BinOp::SRem => {
-                        // Per-lane scalar fallback through the Bv oracle.
-                        fb.sized(*aw, *bw);
-                        for lane in 0..LANES {
-                            lane_extract(av, *aw, lane, &mut fb.a);
-                            lane_extract(bv, *bw, lane, &mut fb.b);
-                            let r = eval_bin(
-                                *op,
-                                &Bv::from_limbs(*aw, &fb.a),
-                                &Bv::from_limbs(*bw, &fb.b),
-                            );
-                            lane_insert(scratch, ow, lane, r.limbs());
-                        }
-                        return (write_diff(out, scratch), LANES as u64);
+                    BinOp::UDiv | BinOp::URem => {
+                        // Restoring division in the lane domain: one
+                        // bit-serial pass divides all 64 lanes at once.
+                        fb.sized(ow);
+                        lane_udivrem(av, bv, &mut fb.quo, &mut fb.rem, &mut fb.diff);
+                        scratch.copy_from_slice(if *op == BinOp::UDiv { &fb.quo } else { &fb.rem });
+                    }
+                    BinOp::SDiv | BinOp::SRem => {
+                        fb.sized(ow);
+                        lane_sdivrem(*op, av, bv, scratch, fb);
                     }
                 }
                 write_diff(out, scratch)
@@ -390,19 +387,29 @@ impl LaneProgram {
     }
 }
 
-/// Value-form buffers for the per-lane fallback kernels.
+/// Bit-sliced scratch groups for the lane-domain divider (quotient,
+/// remainder, subtract scratch, and the two signed-magnitude operands).
 #[derive(Debug, Clone, Default)]
-struct FallbackBufs {
-    a: Vec<u64>,
-    b: Vec<u64>,
+struct DivBufs {
+    quo: Vec<u64>,
+    rem: Vec<u64>,
+    diff: Vec<u64>,
+    ma: Vec<u64>,
+    mb: Vec<u64>,
 }
 
-impl FallbackBufs {
-    fn sized(&mut self, aw: u32, bw: u32) {
-        self.a.clear();
-        self.a.resize(limbs_for(aw), 0);
-        self.b.clear();
-        self.b.resize(limbs_for(bw), 0);
+impl DivBufs {
+    fn sized(&mut self, w: u32) {
+        for v in [
+            &mut self.quo,
+            &mut self.rem,
+            &mut self.diff,
+            &mut self.ma,
+            &mut self.mb,
+        ] {
+            v.clear();
+            v.resize(w as usize, 0);
+        }
     }
 }
 
@@ -458,7 +465,7 @@ pub struct LaneSim {
     full_dirty: bool,
     dirty: bool,
     scratch: Vec<u64>,
-    fb: FallbackBufs,
+    fb: DivBufs,
     /// Value-form scratch for pokes/reads/memory stepping.
     val_buf: Vec<u64>,
     cycle: u64,
@@ -498,7 +505,7 @@ impl LaneSim {
             full_dirty: true,
             dirty: true,
             scratch: Vec::with_capacity(prog.max_width),
-            fb: FallbackBufs::default(),
+            fb: DivBufs::default(),
             val_buf: vec![0; prog.max_limbs],
             cycle: 0,
             watches: Vec::new(),
@@ -775,6 +782,54 @@ impl LaneSim {
         Bv::from_limbs(s.width, &self.val_buf[..limbs_for(s.width)])
     }
 
+    /// Overrides a register's current value on one lane — the batched
+    /// analogue of [`crate::Simulator::set_reg`], used to explore 64
+    /// initial states in one run. Marks the register's fanout dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register has that name, the width differs, or
+    /// `lane >= 64`.
+    pub fn set_reg_lane(&mut self, name: &str, lane: usize, value: Bv) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let r = self
+            .module
+            .reg_index(name)
+            .unwrap_or_else(|| panic!("no register named {name:?}"));
+        let idx = r.index();
+        assert_eq!(
+            value.width(),
+            self.module.regs[idx].width,
+            "set_reg width mismatch on {name:?}"
+        );
+        let s = self.prog.reg_slots[idx];
+        lane_insert(
+            &mut self.arena[s.off as usize..][..s.width as usize],
+            s.width,
+            lane,
+            value.limbs(),
+        );
+        let (in_dirty, buckets, sched) = (&mut self.in_dirty, &mut self.dirty_levels, &self.sched);
+        for &n in sched.reg_nodes(idx) {
+            if !in_dirty[n as usize] {
+                in_dirty[n as usize] = true;
+                buckets[sched.level_raw(n) as usize].push(n);
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// A node's lane group after evaluation: `width` limbs, limb `i`
+    /// holding bit `i` of all 64 lanes. The transposed form doubles as a
+    /// 64-pattern signature — hashing these limbs compares a node's
+    /// behavior across 64 stimuli with no per-lane extraction, which is
+    /// what the SAT-sweeping candidate detector in `dfv-sec` keys on.
+    pub fn node_lanes(&mut self, node: NodeId) -> &[u64] {
+        self.eval();
+        let s = self.prog.node_slots[node.index()];
+        &self.arena[s.off as usize..][..s.width as usize]
+    }
+
     /// Advances one clock cycle on all 64 lanes: evaluates, then commits
     /// registers (with per-lane enable masking) and memories (read-first,
     /// per lane) at the rising edge.
@@ -1025,6 +1080,77 @@ fn lane_shift(op: BinOp, out: &mut [u64], amt: &[u64]) {
     }
 }
 
+/// Lane-parallel restoring division: for every lane, `quo = a / b` and
+/// `rem = a % b`, computed entirely in the bit-sliced domain. Classic
+/// bit-serial restoring division, one subtract/select step per bit: the
+/// remainder shifts left absorbing the next dividend bit, lanes where it
+/// reached the divisor subtract it and set the quotient bit. The bit
+/// shifted out of the remainder (`top`) stands in for the `w+1`-th
+/// compare bit, so a `w`-limb remainder suffices.
+///
+/// Divide-by-zero lanes get the oracle semantics for free: `rem < 0` is
+/// never true, so every quotient bit sets (all-ones) and nothing is ever
+/// subtracted (the remainder ends as the dividend).
+///
+/// `diff` is scratch; all slices are `a.len()` limbs.
+fn lane_udivrem(a: &[u64], b: &[u64], quo: &mut [u64], rem: &mut [u64], diff: &mut [u64]) {
+    let w = a.len();
+    rem.fill(0);
+    for i in (0..w).rev() {
+        let top = rem[w - 1];
+        for j in (1..w).rev() {
+            rem[j] = rem[j - 1];
+        }
+        rem[0] = a[i];
+        // Lanes where the (top:rem) value is >= b: top set means the
+        // shifted remainder overflowed w bits and certainly exceeds b.
+        let ge = top | !lane_ult(rem, b);
+        lane_sub(diff, rem, b);
+        for (r, &d) in rem.iter_mut().zip(diff.iter()) {
+            *r = (ge & d) | (!ge & *r);
+        }
+        quo[i] = ge;
+    }
+}
+
+/// Lane-parallel signed division/remainder via magnitudes: divide
+/// `|a| / |b|` with [`lane_udivrem`], then negate the quotient in lanes
+/// with differing operand signs (patching divide-by-zero lanes to the
+/// all-ones quotient) and the remainder in lanes with a negative
+/// dividend (by-zero lanes come out as the dividend automatically).
+fn lane_sdivrem(op: BinOp, a: &[u64], b: &[u64], out: &mut [u64], fb: &mut DivBufs) {
+    let w = a.len();
+    let (sa, sb) = (a[w - 1], b[w - 1]);
+    lane_neg(&mut fb.diff, a);
+    for (m, (&n, &x)) in fb.ma.iter_mut().zip(fb.diff.iter().zip(a)) {
+        *m = (sa & n) | (!sa & x);
+    }
+    lane_neg(&mut fb.diff, b);
+    for (m, (&n, &x)) in fb.mb.iter_mut().zip(fb.diff.iter().zip(b)) {
+        *m = (sb & n) | (!sb & x);
+    }
+    // Split borrows: the divider writes quo/rem with ma/mb as inputs.
+    let (ma, mb) = (std::mem::take(&mut fb.ma), std::mem::take(&mut fb.mb));
+    lane_udivrem(&ma, &mb, &mut fb.quo, &mut fb.rem, &mut fb.diff);
+    fb.ma = ma;
+    fb.mb = mb;
+    let bz = !fb.mb.iter().fold(0u64, |m, &x| m | x);
+    let (src, flip) = match op {
+        BinOp::SDiv => (&fb.quo, sa ^ sb),
+        _ => (&fb.rem, sa),
+    };
+    lane_neg(&mut fb.diff, src);
+    for (o, (&v, &n)) in out.iter_mut().zip(src.iter().zip(fb.diff.iter())) {
+        *o = (flip & n) | (!flip & v);
+    }
+    if op == BinOp::SDiv {
+        // sdiv by zero is all-ones regardless of the dividend's sign.
+        for o in out.iter_mut() {
+            *o |= bz;
+        }
+    }
+}
+
 /// Lane-parallel negate: `out = -a` per lane, as `!a + 1`.
 fn lane_neg(out: &mut [u64], a: &[u64]) {
     let mut c = u64::MAX;
@@ -1138,27 +1264,39 @@ mod tests {
     }
 
     #[test]
-    fn fallback_ops_match_scalar_per_lane() {
-        // Division routes through the per-lane oracle; mul and shl are
-        // sliced kernels. Check all three against 64 scalar runs.
+    fn division_ops_match_scalar_per_lane() {
+        // All four division-class ops now run the lane-domain restoring
+        // divider — no per-lane oracle fallback remains. Check every op
+        // against 64 scalar runs, with divide-by-zero lanes included.
         let mut b = ModuleBuilder::new("hard");
         let x = b.input("x", 32);
         let y = b.input("y", 32);
         let m = b.mul(x, y);
-        let d = b.udiv(x, y);
+        let ud = b.udiv(x, y);
+        let ur = b.urem(x, y);
+        let sd = b.sdiv(x, y);
+        let sr = b.srem(x, y);
         let sh = b.shl(x, y);
         b.output("m", m);
-        b.output("d", d);
+        b.output("ud", ud);
+        b.output("ur", ur);
+        b.output("sd", sd);
+        b.output("sr", sr);
         b.output("sh", sh);
         let module = b.finish().unwrap();
 
         let mut rng = SplitMix64::new(0x1A7E);
         let mut lane_sim = LaneSim::new(module.clone()).unwrap();
         let stim: Vec<(Bv, Bv)> = (0..LANES)
-            .map(|_| {
+            .map(|lane| {
+                let y = match lane % 4 {
+                    0 => 0, // divide-by-zero lanes
+                    1 => rng.next_u64() & 0x3F,
+                    _ => rng.next_u64() & 0xFFFF_FFFF, // incl. negatives
+                };
                 (
                     Bv::from_u64(32, rng.next_u64() & 0xFFFF_FFFF),
-                    Bv::from_u64(32, rng.next_u64() & 0x3F),
+                    Bv::from_u64(32, y),
                 )
             })
             .collect();
@@ -1167,19 +1305,85 @@ mod tests {
             lane_sim.poke_lane("y", lane, yv.clone());
         }
         lane_sim.eval();
-        assert!(lane_sim.stats().lane_fallback_evals > 0);
+        assert_eq!(
+            lane_sim.stats().lane_fallback_evals,
+            0,
+            "division must slice"
+        );
         for (lane, (xv, yv)) in stim.iter().enumerate() {
             let mut scalar = Simulator::new(module.clone()).unwrap();
             scalar.poke("x", xv.clone());
             scalar.poke("y", yv.clone());
-            for port in ["m", "d", "sh"] {
+            for port in ["m", "ud", "ur", "sd", "sr", "sh"] {
                 assert_eq!(
                     lane_sim.output_lane(port, lane),
                     scalar.output(port),
-                    "{port} lane {lane}"
+                    "{port} lane {lane}: {xv} op {yv}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn lane_divider_corner_cases_match_bv_oracle() {
+        // INT_MIN / -1, x / 0, 0 / x, x % larger — the divider's signed
+        // patch-up and the overflow-bit compare, pinned against eval_bin
+        // at a width that crosses a limb boundary on the magnitude path.
+        let mut b = ModuleBuilder::new("corners");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        for (name, n) in [
+            ("ud", b.udiv(x, y)),
+            ("ur", b.urem(x, y)),
+            ("sd", b.sdiv(x, y)),
+            ("sr", b.srem(x, y)),
+        ] {
+            b.output(name, n);
+        }
+        let module = b.finish().unwrap();
+        let cases: [(u64, u64); 8] = [
+            (0x80, 0xFF), // INT_MIN / -1 wraps
+            (0x80, 0x01),
+            (0x7F, 0x80),
+            (0xAB, 0x00), // by zero
+            (0x00, 0x00),
+            (0x00, 0xC3),
+            (0x05, 0x0D), // dividend < divisor
+            (0xFE, 0x02),
+        ];
+        let mut sim = LaneSim::new(module).unwrap();
+        for (lane, &(xv, yv)) in cases.iter().cycle().take(LANES).enumerate() {
+            sim.poke_lane("x", lane, Bv::from_u64(8, xv));
+            sim.poke_lane("y", lane, Bv::from_u64(8, yv));
+        }
+        for (lane, &(xv, yv)) in cases.iter().cycle().take(LANES).enumerate() {
+            let (a, b) = (Bv::from_u64(8, xv), Bv::from_u64(8, yv));
+            for (port, op) in [
+                ("ud", BinOp::UDiv),
+                ("ur", BinOp::URem),
+                ("sd", BinOp::SDiv),
+                ("sr", BinOp::SRem),
+            ] {
+                assert_eq!(
+                    sim.output_lane(port, lane),
+                    crate::sim::eval_bin(op, &a, &b),
+                    "{port} lane {lane}: {xv:#x} op {yv:#x}"
+                );
+            }
+        }
+        assert_eq!(sim.stats().lane_fallback_evals, 0);
+    }
+
+    #[test]
+    fn set_reg_lane_overrides_one_lane() {
+        let mut sim = LaneSim::new(counter_with_enable()).unwrap();
+        sim.poke_splat("en", Bv::from_bool(true));
+        sim.set_reg_lane("count", 3, Bv::from_u64(8, 100));
+        assert_eq!(sim.output_lane("count", 3).to_u64(), 100);
+        assert_eq!(sim.output_lane("count", 2).to_u64(), 0);
+        sim.step();
+        assert_eq!(sim.output_lane("count", 3).to_u64(), 101);
+        assert_eq!(sim.output_lane("count", 2).to_u64(), 1);
     }
 
     #[test]

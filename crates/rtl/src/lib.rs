@@ -46,6 +46,7 @@ pub mod ir;
 mod lanes;
 mod lower;
 mod netlist;
+mod opt;
 mod schedule;
 mod sim;
 mod vcd;
@@ -59,6 +60,7 @@ pub use flatten::flatten;
 pub use ir::{Design, Module, ModuleStats, NodeId};
 pub use lanes::{LaneSim, LaneStats};
 pub use netlist::{parse_design, parse_module, write_design, write_module};
+pub use opt::{optimize, OptStats};
 pub use schedule::SimSchedule;
 pub use sim::{eval_bin, eval_un, EvalMode, SimStats, Simulator, TraceStep};
 pub use vcd::trace_to_vcd;

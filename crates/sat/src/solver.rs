@@ -41,6 +41,24 @@ pub struct SolverStats {
     pub reductions: u64,
 }
 
+impl SolverStats {
+    /// The work done since `baseline` (an earlier snapshot of the same
+    /// solver): cumulative counters are subtracted, while `learnts` — a
+    /// point-in-time gauge, not a counter — carries the current value.
+    /// Useful for attributing cost to an individual solve phase (e.g. the
+    /// SAT-sweeping proofs inside one equivalence check).
+    pub fn since(&self, baseline: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - baseline.conflicts,
+            decisions: self.decisions - baseline.decisions,
+            propagations: self.propagations - baseline.propagations,
+            restarts: self.restarts - baseline.restarts,
+            learnts: self.learnts,
+            reductions: self.reductions - baseline.reductions,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,

@@ -166,6 +166,29 @@ impl<'a> BitBlaster<'a> {
         if t == f {
             return t;
         }
+        // Constant arms collapse to a single gate (or the select
+        // itself), so a mux with a known branch never pays the full
+        // three-gate encoding.
+        if t == self.true_lit {
+            // s ? 1 : f  =  s | f
+            return self.or_gate(s, f);
+        }
+        if t == self.false_lit() {
+            // s ? 0 : f  =  !s & f
+            return self.and_gate(!s, f);
+        }
+        if f == self.true_lit {
+            // s ? t : 1  =  !s | t
+            return self.or_gate(!s, t);
+        }
+        if f == self.false_lit() {
+            // s ? t : 0  =  s & t
+            return self.and_gate(s, t);
+        }
+        if t == !f {
+            // s ? t : !t  =  xnor(s, t)
+            return !self.xor_gate(s, t);
+        }
         let a = self.and_gate(s, t);
         let b = self.and_gate(!s, f);
         self.or_gate(a, b)
@@ -589,5 +612,94 @@ mod tests {
         let l = av.wrapping_add(&bv).sext(9).wrapping_add(&cv.sext(9));
         let r = bv.wrapping_add(&cv).sext(9).wrapping_add(&av.sext(9));
         assert_ne!(l, r, "model {av} {bv} {cv} is not a counterexample");
+    }
+
+    #[test]
+    fn constant_operand_gates_fold_without_clauses() {
+        // Every gate with a known true/false operand must return the
+        // folded literal and emit no clauses at all.
+        let mut solver = Solver::new();
+        let mut bb = BitBlaster::new(&mut solver);
+        let a = bb.fresh_word(1)[0];
+        let f = bb.fresh_word(1)[0];
+        let tt = bb.true_lit();
+        let ff = bb.false_lit();
+        let before = bb.solver().num_clauses();
+        assert_eq!(bb.and_gate(a, ff), ff);
+        assert_eq!(bb.and_gate(tt, a), a);
+        assert_eq!(bb.or_gate(a, ff), a);
+        assert_eq!(bb.or_gate(a, tt), tt);
+        assert_eq!(bb.or_gate(ff, a), a);
+        assert_eq!(bb.xor_gate(a, ff), a);
+        assert_eq!(bb.xor_gate(a, tt), !a);
+        assert_eq!(bb.mux_gate(a, tt, ff), a);
+        assert_eq!(bb.mux_gate(a, ff, tt), !a);
+        assert_eq!(bb.mux_gate(tt, a, f), a);
+        assert_eq!(bb.mux_gate(ff, a, f), f);
+        assert_eq!(bb.mux_gate(a, f, f), f);
+        assert_eq!(
+            bb.solver().num_clauses(),
+            before,
+            "constant folds must not emit clauses"
+        );
+        // Constant-arm muxes collapse to a single gate, not three.
+        let one_gate = bb.mux_gate(a, tt, f); // a | f
+        let after_or = bb.solver().num_clauses();
+        assert_eq!(one_gate, bb.or_gate(a, f), "hash-conses with plain or");
+        assert_eq!(bb.solver().num_clauses(), after_or);
+    }
+
+    #[test]
+    fn folded_mux_matches_reference_semantics() {
+        // Truth-table check of every mux fold against `if s { t } else
+        // { f }`, with inputs pinned by unit clauses so the folded
+        // literal's model value is forced.
+        for bits in 0..8u32 {
+            let (sv, tv, fv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let expect = if sv { tv } else { fv };
+            // Five shapes: both arms free, t const, f const, t == !f,
+            // and both arms const.
+            for shape in 0..5 {
+                let mut solver = Solver::new();
+                let mut bb = BitBlaster::new(&mut solver);
+                let s = bb.fresh_word(1)[0];
+                let x = bb.fresh_word(1)[0];
+                let konst = |bb: &mut BitBlaster, v: bool| {
+                    if v {
+                        bb.true_lit()
+                    } else {
+                        bb.false_lit()
+                    }
+                };
+                let (t, f) = match shape {
+                    0 => (x, bb.fresh_word(1)[0]),
+                    1 => (konst(&mut bb, tv), x),
+                    2 => (x, konst(&mut bb, fv)),
+                    3 => (x, !x),
+                    _ => (konst(&mut bb, tv), konst(&mut bb, fv)),
+                };
+                if shape == 3 && tv == fv {
+                    continue; // t == !f cannot represent tv == fv
+                }
+                let o = bb.mux_gate(s, t, f);
+                bb.assert_lit(if sv { s } else { !s });
+                for (lit, v) in [(t, tv), (f, fv)] {
+                    if lit != bb.true_lit() && lit != bb.false_lit() {
+                        bb.assert_lit(if v { lit } else { !lit });
+                    }
+                }
+                drop(bb);
+                assert_eq!(
+                    solver.solve(),
+                    SolveResult::Sat,
+                    "shape {shape} bits {bits}"
+                );
+                assert_eq!(
+                    solver.lit_value(o),
+                    Some(expect),
+                    "shape {shape} s={sv} t={tv} f={fv}"
+                );
+            }
+        }
     }
 }

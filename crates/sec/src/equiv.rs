@@ -13,7 +13,8 @@ use dfv_sat::{Budget, ExhaustedReason, Lit, SolveResult, Solver, SolverStats};
 
 use crate::bitblast::{model_word, BitBlaster};
 use crate::spec::{Binding, EquivSpec, InitState, SecError};
-use crate::unroll::{eval_comb_symbolic, SymbolicSim};
+use crate::sweep::{rtl_site, SweepOptions, SweepStats, Sweeper, SLM_SITE};
+use crate::unroll::{eval_comb_symbolic, eval_comb_symbolic_hooked, SymbolicSim};
 
 /// One output disagreement within a counterexample.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +138,10 @@ pub struct CheckOptions {
     pub fallback_transactions: u64,
     /// Seed for the fallback stimulus generator.
     pub fallback_seed: u64,
+    /// The SAT-sweeping front-end (word-level rewriting, signature
+    /// classes, budgeted merge proofs). Off by default; verdict-neutral
+    /// when on.
+    pub sweep: SweepOptions,
 }
 
 impl Default for CheckOptions {
@@ -145,6 +150,7 @@ impl Default for CheckOptions {
             budget: Budget::unlimited(),
             fallback_transactions: 256,
             fallback_seed: 0xDF5,
+            sweep: SweepOptions::default(),
         }
     }
 }
@@ -154,6 +160,14 @@ impl CheckOptions {
     pub fn with_budget(budget: Budget) -> Self {
         CheckOptions {
             budget,
+            ..CheckOptions::default()
+        }
+    }
+
+    /// The default options with the sweeping front-end enabled.
+    pub fn swept() -> Self {
+        CheckOptions {
+            sweep: SweepOptions::on(),
             ..CheckOptions::default()
         }
     }
@@ -170,6 +184,8 @@ pub struct EquivReport {
     pub cnf_clauses: usize,
     /// SAT search statistics.
     pub solver_stats: SolverStats,
+    /// What the sweeping front-end did, when it was enabled.
+    pub sweep: Option<SweepStats>,
     /// Wall-clock time of the whole check.
     pub duration: Duration,
 }
@@ -281,7 +297,7 @@ fn check_equivalence_inner(
     obs: &ObsHook,
 ) -> Result<EquivReport, SecError> {
     let start = Instant::now();
-    let mut ctx = build_miter(slm, rtl, spec)?;
+    let mut ctx = build_miter(slm, rtl, spec, &opts.sweep)?;
     obs.begin_span("sec.equiv");
     if let Some(rec) = obs.recorder() {
         ctx.solver.set_recorder(rec);
@@ -293,6 +309,15 @@ fn check_equivalence_inner(
     let cnf_clauses = ctx.solver.num_clauses();
     obs.add("sec.cnf_vars", cnf_vars as u64);
     obs.add("sec.cnf_clauses", cnf_clauses as u64);
+    if let Some(s) = &ctx.sweep {
+        obs.add("sec.sweep.classes", s.classes);
+        obs.add("sec.sweep.candidates", s.candidates);
+        obs.add("sec.sweep.proved", s.proved);
+        obs.add("sec.sweep.refuted", s.refuted);
+        obs.add("sec.sweep.merged_lits", s.merged_lits);
+        obs.add("sec.sweep.proof_conflicts", s.proof_conflicts);
+        obs.add("sec.sweep.nodes_removed", s.nodes_before - s.nodes_after);
+    }
     let outcome = match ctx.solver.solve_budgeted(&[], &opts.budget) {
         SolveResult::Unsat => EquivOutcome::Equivalent,
         SolveResult::Sat => EquivOutcome::NotEquivalent(Box::new(extract_and_replay(
@@ -349,6 +374,7 @@ fn check_equivalence_inner(
         cnf_vars,
         cnf_clauses,
         solver_stats: ctx.solver.stats(),
+        sweep: ctx.sweep,
         duration: start.elapsed(),
     })
 }
@@ -372,6 +398,8 @@ pub struct PerOutputReport {
     pub verdicts: Vec<OutputVerdict>,
     /// CNF variables allocated (shared across all outputs).
     pub cnf_vars: usize,
+    /// What the sweeping front-end did, when it was enabled.
+    pub sweep: Option<SweepStats>,
     /// Total wall-clock time.
     pub duration: Duration,
 }
@@ -420,7 +448,7 @@ pub fn check_equivalence_per_output_with(
     opts: &CheckOptions,
 ) -> Result<PerOutputReport, SecError> {
     let start = Instant::now();
-    let mut ctx = build_miter(slm, rtl, spec)?;
+    let mut ctx = build_miter(slm, rtl, spec, &opts.sweep)?;
     let cnf_vars = ctx.solver.num_vars();
     let mut verdicts = Vec::with_capacity(spec.compares.len());
     for (cp, &diff) in spec.compares.iter().zip(&ctx.diffs) {
@@ -450,6 +478,7 @@ pub fn check_equivalence_per_output_with(
     Ok(PerOutputReport {
         verdicts,
         cnf_vars,
+        sweep: ctx.sweep,
         duration: start.elapsed(),
     })
 }
@@ -463,12 +492,46 @@ struct MiterCtx {
     slm_words: HashMap<String, Vec<Lit>>,
     free_words: HashMap<(usize, u32), Vec<Lit>>,
     initial_reg_words: Vec<Vec<Lit>>,
+    sweep: Option<SweepStats>,
 }
 
-fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx, SecError> {
+/// Encodes the miter. With sweeping enabled, both modules are first
+/// canonicalized by `dfv_rtl::optimize` and the *optimized* modules are
+/// encoded, with the [`Sweeper`]'s per-node hook proving and merging
+/// candidate-equal bits as the encoding proceeds (deterministic order:
+/// SLM nodes, then RTL cycles 0..k). The optimizer preserves ports,
+/// registers, and memories by name and order, so counterexample
+/// extraction and concrete replay keep using the caller's original
+/// modules.
+fn build_miter(
+    slm: &Module,
+    rtl: &Module,
+    spec: &EquivSpec,
+    sweep: &SweepOptions,
+) -> Result<MiterCtx, SecError> {
     spec.validate(slm, rtl)?;
     dfv_rtl::check_module(slm)?;
     dfv_rtl::check_module(rtl)?;
+
+    // Sweeping stages 1 (word-level rewriting) and 2 (signature classes).
+    let mut sweeper = None;
+    let optimized = if sweep.enabled {
+        let (slm_o, _, _) = dfv_rtl::optimize(slm);
+        let (rtl_o, _, _) = dfv_rtl::optimize(rtl);
+        let mut sw = Sweeper::analyze(&slm_o, &rtl_o, spec, sweep)?;
+        sw.add_opt_stats(
+            slm.nodes.len() + rtl.nodes.len(),
+            slm_o.nodes.len() + rtl_o.nodes.len(),
+        );
+        sweeper = Some(sw);
+        Some((slm_o, rtl_o))
+    } else {
+        None
+    };
+    let (slm, rtl) = match &optimized {
+        Some((s, r)) => (s, r),
+        None => (slm, rtl),
+    };
 
     let mut solver = Solver::new();
     let mut bb = BitBlaster::new(&mut solver);
@@ -485,7 +548,9 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
         .map(|p| slm_words[&p.name].clone())
         .collect();
 
-    // Environment constraints.
+    // Environment constraints. Encoded (and asserted) before any sweep
+    // proof runs, so merges are sound relative to the constrained input
+    // space — exactly the space the verdict quantifies over.
     for c in &spec.constraints {
         let ins: Vec<Vec<Lit>> = c
             .inputs
@@ -498,7 +563,12 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
     }
 
     // SLM evaluation.
-    let slm_cycle = eval_comb_symbolic(&mut bb, slm, &slm_input_vec);
+    let slm_cycle = match sweeper.as_mut() {
+        Some(sw) => eval_comb_symbolic_hooked(&mut bb, slm, &slm_input_vec, &mut |bb, n, w| {
+            sw.process_word(bb, SLM_SITE, n, w)
+        }),
+        None => eval_comb_symbolic(&mut bb, slm, &slm_input_vec),
+    };
 
     // RTL unrolling.
     let mut binding_at: HashMap<(usize, u32), &Binding> = HashMap::new();
@@ -530,7 +600,12 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
                 None => bb.constant(&Bv::zero(p.width)),
             })
             .collect();
-        rtl_cycles.push(sym.step(&mut bb, &inputs));
+        rtl_cycles.push(match sweeper.as_mut() {
+            Some(sw) => sym.step_hooked(&mut bb, &inputs, &mut |bb, n, w| {
+                sw.process_word(bb, rtl_site(t), n, w)
+            }),
+            None => sym.step(&mut bb, &inputs),
+        });
     }
 
     // One (unasserted) difference literal per compare point.
@@ -551,6 +626,7 @@ fn build_miter(slm: &Module, rtl: &Module, spec: &EquivSpec) -> Result<MiterCtx,
         slm_words,
         free_words,
         initial_reg_words,
+        sweep: sweeper.map(|s| s.stats()),
     })
 }
 
@@ -1113,12 +1189,91 @@ mod tests {
     }
 
     #[test]
+    fn sweep_collapses_multiplier_commutativity() {
+        // Unswept, proving a*b == b*a for 16-bit operands is out of reach
+        // for CDCL (the budgeted tests below rely on that). The sweeping
+        // front-end's commutative GVN canonicalizes both multipliers to
+        // the same operand order, the shared input literals make the two
+        // cones literally identical through the gate caches, and the
+        // difference folds to constant false — Equivalent in milliseconds
+        // with (near) zero conflicts.
+        let (slm, rtl, spec) = hard_pair();
+        let report = check_equivalence_with(&slm, &rtl, &spec, &CheckOptions::swept()).unwrap();
+        assert!(report.outcome.is_equivalent(), "{:?}", report.outcome);
+        let sweep = report.sweep.expect("sweep ran");
+        assert!(sweep.nodes_after <= sweep.nodes_before);
+        assert!(
+            report.solver_stats.conflicts < 100,
+            "canonicalized miter must be trivial, got {} conflicts",
+            report.solver_stats.conflicts
+        );
+    }
+
+    #[test]
+    fn sweep_preserves_verdicts_on_fig1() {
+        // Same verdict with and without the front-end, on both the
+        // equivalent and the inequivalent orderings; the counterexample
+        // must land on the same compare point and replay concretely
+        // (extract_and_replay already asserts the replay).
+        for order_bc in [false, true] {
+            let slm = fig1_slm(order_bc);
+            let rtl = fig1_rtl();
+            let off = check_equivalence(&slm, &rtl, &fig1_spec()).unwrap();
+            let on =
+                check_equivalence_with(&slm, &rtl, &fig1_spec(), &CheckOptions::swept()).unwrap();
+            assert_eq!(off.outcome.is_equivalent(), on.outcome.is_equivalent());
+            assert!(on.sweep.is_some());
+            assert!(off.sweep.is_none());
+            if let (EquivOutcome::NotEquivalent(a), EquivOutcome::NotEquivalent(b)) =
+                (&off.outcome, &on.outcome)
+            {
+                assert_eq!(a.mismatches[0].slm_output, b.mismatches[0].slm_output);
+                assert_eq!(a.mismatches[0].rtl_cycle, b.mismatches[0].rtl_cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_respects_constraints_and_free_bindings() {
+        // A Free-bound mode pin flips the output; sweeping must still
+        // find the bad mode (signatures randomize free bindings, proofs
+        // run under the same constraint clauses).
+        let mut sb = ModuleBuilder::new("slm");
+        let a = sb.input("a", 8);
+        sb.output("y", a);
+        let slm = sb.finish().unwrap();
+
+        let mut rb = ModuleBuilder::new("rtl");
+        let a = rb.input("a", 8);
+        let mode = rb.input("mode", 1);
+        let na = rb.not(a);
+        let y = rb.mux(mode, na, a);
+        rb.output("y", y);
+        let rtl = rb.finish().unwrap();
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("mode", 0, Binding::Free)
+            .compare("y", "y", 0);
+        let report = check_equivalence_with(&slm, &rtl, &spec, &CheckOptions::swept()).unwrap();
+        assert!(!report.outcome.is_equivalent());
+
+        let spec = EquivSpec::new(1)
+            .bind("a", 0, Binding::Slm("a".into()))
+            .bind("mode", 0, Binding::Const(Bv::zero(1)))
+            .compare("y", "y", 0);
+        let report = check_equivalence_with(&slm, &rtl, &spec, &CheckOptions::swept()).unwrap();
+        assert!(report.outcome.is_equivalent());
+    }
+
+    #[test]
     fn tiny_budget_yields_inconclusive_with_falsification() {
         let (slm, rtl, spec) = hard_pair();
         let opts = CheckOptions {
             budget: Budget::unlimited().with_conflicts(100),
             fallback_transactions: 64,
             fallback_seed: 7,
+            ..CheckOptions::default()
         };
         let started = Instant::now();
         let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
@@ -1148,6 +1303,7 @@ mod tests {
             budget: Budget::unlimited().with_timeout(Duration::from_millis(1)),
             fallback_transactions: 0,
             fallback_seed: 0,
+            ..CheckOptions::default()
         };
         let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
         assert_eq!(
@@ -1182,6 +1338,7 @@ mod tests {
             budget: Budget::unlimited().with_conflicts(0),
             fallback_transactions: 32,
             fallback_seed: 1,
+            ..CheckOptions::default()
         };
         let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
         match report.outcome {
@@ -1228,6 +1385,7 @@ mod tests {
             budget: Budget::unlimited().with_conflicts(0),
             fallback_transactions: 200,
             fallback_seed: 3,
+            ..CheckOptions::default()
         };
         let report = check_equivalence_with(&slm, &rtl, &spec, &opts).unwrap();
         match report.outcome {

@@ -27,6 +27,7 @@ mod bitblast;
 mod bmc;
 mod equiv;
 mod spec;
+mod sweep;
 mod unroll;
 
 pub use bitblast::{model_word, BitBlaster};
@@ -40,7 +41,10 @@ pub use equiv::{
     EquivOutcome, EquivReport, FalsificationSummary, Mismatch, OutputVerdict, PerOutputReport,
 };
 pub use spec::{Binding, ComparePoint, EquivSpec, InitState, SecError};
-pub use unroll::{eval_comb_symbolic, SymbolicCycle, SymbolicSim, MEM_BLAST_LIMIT};
+pub use sweep::{SweepOptions, SweepStats};
+pub use unroll::{
+    eval_comb_symbolic, eval_comb_symbolic_hooked, SymbolicCycle, SymbolicSim, MEM_BLAST_LIMIT,
+};
 
 // Re-exported so budgeted callers don't need a direct `dfv-sat` dependency.
 pub use dfv_sat::{Budget, ExhaustedReason};
